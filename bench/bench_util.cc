@@ -1,0 +1,137 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "agnn/common/string_util.h"
+#include "agnn/common/table.h"
+
+namespace agnn::bench {
+
+BenchOptions BenchOptions::FromFlags(int argc, char** argv) {
+  FlagParser parser;
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(2);
+  }
+  BenchOptions options;
+  const std::string scale = parser.GetString("scale", "small");
+  if (scale == "paper") {
+    options.scale = data::Scale::kPaper;
+  } else if (scale != "small") {
+    std::fprintf(stderr, "--scale must be small or paper\n");
+    std::exit(2);
+  }
+  if (parser.Has("datasets")) {
+    options.datasets.clear();
+    for (const std::string& name :
+         StrSplit(parser.GetString("datasets", ""), ',')) {
+      if (!name.empty()) options.datasets.push_back(name);
+    }
+  }
+  options.epochs_explicit = parser.Has("epochs");
+  options.epochs =
+      static_cast<size_t>(parser.GetInt("epochs", static_cast<int>(options.epochs)));
+  options.embedding_dim = static_cast<size_t>(
+      parser.GetInt("dim", static_cast<int>(options.embedding_dim)));
+  options.num_neighbors = static_cast<size_t>(
+      parser.GetInt("neighbors", static_cast<int>(options.num_neighbors)));
+  options.seed = static_cast<uint64_t>(parser.GetInt("seed", 7));
+  options.test_fraction =
+      parser.GetDouble("test_fraction", options.test_fraction);
+  return options;
+}
+
+eval::ExperimentConfig BenchOptions::MakeExperimentConfig() const {
+  eval::ExperimentConfig config;
+  config.test_fraction = test_fraction;
+  config.seed = seed;
+  config.agnn.embedding_dim = embedding_dim;
+  config.agnn.num_neighbors = num_neighbors;
+  config.agnn.vae_hidden_dim = embedding_dim;
+  config.agnn.prediction_hidden_dim = 2 * embedding_dim;
+  config.agnn.epochs = epochs;
+  config.agnn.seed = seed;
+  config.baseline_options.embedding_dim = embedding_dim;
+  config.baseline_options.epochs = epochs;
+  config.baseline_options.num_neighbors = num_neighbors;
+  config.baseline_options.seed = seed;
+  return config;
+}
+
+const data::Dataset& LoadDataset(const std::string& name, data::Scale scale,
+                                 uint64_t seed) {
+  static std::map<std::string, data::Dataset>* cache =
+      new std::map<std::string, data::Dataset>();
+  const std::string key =
+      name + (scale == data::Scale::kPaper ? "/paper/" : "/small/") +
+      std::to_string(seed);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(key, data::GenerateSynthetic(
+                                data::SyntheticConfig::ByName(name, scale),
+                                seed))
+             .first;
+  }
+  return it->second;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref,
+                 const BenchOptions& options) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf(
+      "Config: scale=%s dim=%zu neighbors=%zu epochs=%zu seed=%llu "
+      "test_fraction=%.2f\n",
+      options.scale == data::Scale::kPaper ? "paper" : "small",
+      options.embedding_dim, options.num_neighbors, options.epochs,
+      static_cast<unsigned long long>(options.seed), options.test_fraction);
+  std::printf(
+      "Data: synthetic replicas of the paper's datasets (see DESIGN.md); "
+      "compare SHAPES, not absolute values.\n");
+  std::printf("================================================================\n\n");
+}
+
+void RunAgnnSweep(const BenchOptions& options, const std::string& param_name,
+                  const std::vector<SweepSetting>& settings) {
+  for (const std::string& dataset_name : options.datasets) {
+    const data::Dataset& dataset =
+        LoadDataset(dataset_name, options.scale, options.seed);
+    Table table({param_name, "ICS RMSE", "UCS RMSE", "ICS MAE", "UCS MAE"});
+    // One runner per scenario, shared across settings so every setting is
+    // evaluated on the same split.
+    eval::ExperimentRunner ics(dataset, data::Scenario::kItemColdStart,
+                               options.MakeExperimentConfig());
+    eval::ExperimentRunner ucs(dataset, data::Scenario::kUserColdStart,
+                               options.MakeExperimentConfig());
+    for (const SweepSetting& setting : settings) {
+      eval::ExperimentConfig config = options.MakeExperimentConfig();
+      setting.apply(&config.agnn);
+      core::AgnnTrainer ics_trainer(dataset, ics.split(), config.agnn);
+      ics_trainer.Train();
+      eval::RmseMae ics_result = ics_trainer.EvaluateTest();
+      core::AgnnTrainer ucs_trainer(dataset, ucs.split(), config.agnn);
+      ucs_trainer.Train();
+      eval::RmseMae ucs_result = ucs_trainer.EvaluateTest();
+      std::fprintf(stderr, "  %s %s=%s done\n", dataset_name.c_str(),
+                   param_name.c_str(), setting.label.c_str());
+      table.AddRow({setting.label, Table::Cell(ics_result.rmse),
+                    Table::Cell(ucs_result.rmse), Table::Cell(ics_result.mae),
+                    Table::Cell(ucs_result.mae)});
+    }
+    std::printf("--- %s ---\n%s\n", dataset_name.c_str(),
+                table.ToString().c_str());
+  }
+}
+
+std::string ImprovementCell(double ours, double best_baseline) {
+  if (best_baseline == 0.0) return "n/a";
+  const double pct = (best_baseline - ours) / best_baseline * 100.0;
+  return (pct >= 0 ? "+" : "") + FormatDouble(pct, 2) + "%";
+}
+
+}  // namespace agnn::bench

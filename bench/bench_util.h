@@ -1,0 +1,67 @@
+#ifndef AGNN_BENCH_BENCH_UTIL_H_
+#define AGNN_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agnn/common/flags.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/eval/protocol.h"
+
+// Shared plumbing for the table/figure reproduction binaries: flag parsing,
+// dataset caching, and header printing. Compiled into each bench executable
+// (kept out of the libraries — it is benchmark plumbing, not API).
+
+namespace agnn::bench {
+
+/// Options common to every bench binary.
+struct BenchOptions {
+  data::Scale scale = data::Scale::kSmall;
+  std::vector<std::string> datasets = {"ml100k", "ml1m", "yelp"};
+  size_t epochs = 6;           ///< AGNN + baseline epochs.
+  bool epochs_explicit = false;  ///< True when --epochs was passed.
+  size_t embedding_dim = 16;   ///< D for all models.
+  size_t num_neighbors = 8;
+  uint64_t seed = 7;
+  double test_fraction = 0.2;
+
+  /// Parses --scale=small|paper --datasets=a,b --epochs --dim --neighbors
+  /// --seed --test_fraction. Exits with a message on bad flags.
+  static BenchOptions FromFlags(int argc, char** argv);
+
+  /// Experiment configuration with these options applied uniformly to AGNN
+  /// and the baselines.
+  eval::ExperimentConfig MakeExperimentConfig() const;
+};
+
+/// Loads (and caches) a synthetic preset; repeated calls with the same
+/// (name, scale) return the same dataset so every model in a bench sees
+/// identical data.
+const data::Dataset& LoadDataset(const std::string& name, data::Scale scale,
+                                 uint64_t seed);
+
+/// Prints the bench banner: what is being reproduced and with which knobs.
+void PrintHeader(const std::string& title, const std::string& paper_ref,
+                 const BenchOptions& options);
+
+/// "+3.19%" / "-0.32%" improvement of `ours` over `best_baseline` (lower
+/// is better for RMSE/MAE).
+std::string ImprovementCell(double ours, double best_baseline);
+
+/// One setting of a hyper-parameter sweep (Figs. 5-7): a display label and
+/// a mutation applied to the AGNN config.
+struct SweepSetting {
+  std::string label;
+  std::function<void(core::AgnnConfig*)> apply;
+};
+
+/// Runs AGNN for every setting on ICS and UCS across the configured
+/// datasets and prints one table per dataset (rows = settings, columns =
+/// scenario RMSE) — the data behind one sweep figure.
+void RunAgnnSweep(const BenchOptions& options, const std::string& param_name,
+                  const std::vector<SweepSetting>& settings);
+
+}  // namespace agnn::bench
+
+#endif  // AGNN_BENCH_BENCH_UTIL_H_

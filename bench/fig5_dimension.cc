@@ -1,0 +1,41 @@
+// Reproduces Fig. 5: impact of the latent vector dimension D.
+//
+// The paper sweeps D ∈ {10, 20, 30, 40, 50} with λ=1 and p=5 and observes a
+// general improvement with larger D on MovieLens and overfitting beyond
+// D≈40 on Yelp. We sweep the same values.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace agnn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromFlags(argc, argv);
+  // Sweeps train many models; trade a little accuracy for runtime unless
+  // the caller chose an epoch budget explicitly.
+  if (!options.epochs_explicit) options.epochs = 3;
+  PrintHeader("Fig. 5 — Impact of latent vector dimension D",
+              "Fig. 5 of the AGNN paper (RMSE vs D, ICS & UCS)", options);
+
+  std::vector<SweepSetting> settings;
+  for (size_t d : {10u, 20u, 30u, 40u, 50u}) {
+    settings.push_back({std::to_string(d), [d](core::AgnnConfig* config) {
+                          config->embedding_dim = d;
+                          config->vae_hidden_dim = d;
+                          config->prediction_hidden_dim = 2 * d;
+                        }});
+  }
+  RunAgnnSweep(options, "D", settings);
+  std::printf(
+      "Expected shape (paper 4.3): RMSE improves as D grows on the "
+      "MovieLens replicas; on the sparser Yelp replica large D overfits "
+      "and the curve turns back up.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn::bench
+
+int main(int argc, char** argv) { return agnn::bench::Main(argc, argv); }

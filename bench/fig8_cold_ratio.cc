@@ -1,0 +1,69 @@
+// Reproduces Fig. 8: performance vs the ratio of strict cold start nodes.
+//
+// The paper holds out 10%, 30%, and 50% of nodes (with all their
+// interactions) and compares AGNN against the three strongest baselines —
+// DiffNet, STAR-GCN, and MetaEmb — on ICS and UCS for every dataset.
+// Interaction-bound models degrade fastest; MetaEmb overtakes them at high
+// ratios but stays behind AGNN.
+
+#include <cstdio>
+
+#include "agnn/common/string_util.h"
+#include "agnn/common/table.h"
+#include "bench_util.h"
+
+namespace agnn::bench {
+namespace {
+
+constexpr double kRatios[] = {0.1, 0.3, 0.5};
+const char* kModels[] = {"AGNN", "DiffNet", "STAR-GCN", "MetaEmb"};
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromFlags(argc, argv);
+  // Sweeps train many models; trade a little accuracy for runtime unless
+  // the caller chose an epoch budget explicitly.
+  if (!options.epochs_explicit) options.epochs = 3;
+  PrintHeader(
+      "Fig. 8 — Performance vs strict cold start ratio",
+      "Fig. 8 of the AGNN paper (RMSE at 10/30/50% cold nodes, ICS & UCS)",
+      options);
+
+  for (const std::string& dataset_name : options.datasets) {
+    const data::Dataset& dataset =
+        LoadDataset(dataset_name, options.scale, options.seed);
+    for (data::Scenario scenario :
+         {data::Scenario::kItemColdStart, data::Scenario::kUserColdStart}) {
+      Table table({"Cold ratio", "AGNN", "DiffNet", "STAR-GCN", "MetaEmb"});
+      for (double ratio : kRatios) {
+        BenchOptions ratio_options = options;
+        ratio_options.test_fraction = ratio;
+        eval::ExperimentRunner runner(dataset, scenario,
+                                      ratio_options.MakeExperimentConfig());
+        std::vector<std::string> row = {
+            FormatDouble(ratio * 100.0, 0) + "%"};
+        for (const char* model : kModels) {
+          eval::ModelResult r = runner.Run(model);
+          std::fprintf(stderr, "  %s/%s ratio=%.0f%% %s done (%.1fs)\n",
+                       dataset_name.c_str(),
+                       ScenarioName(scenario).c_str(), ratio * 100.0, model,
+                       r.train_seconds);
+          row.push_back(Table::Cell(r.metrics.rmse));
+        }
+        table.AddRow(row);
+      }
+      std::printf("--- %s / %s (RMSE) ---\n%s\n", dataset_name.c_str(),
+                  ScenarioName(scenario).c_str(), table.ToString().c_str());
+    }
+  }
+  std::printf(
+      "Expected shape (paper 4.4): all models degrade as the cold ratio "
+      "grows; DiffNet and STAR-GCN (interaction-bound) degrade fastest; "
+      "MetaEmb holds up better at 50%% but stays behind AGNN "
+      "everywhere.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn::bench
+
+int main(int argc, char** argv) { return agnn::bench::Main(argc, argv); }

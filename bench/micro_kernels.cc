@@ -1,0 +1,118 @@
+// Microbenchmarks backing the complexity analysis of Section 5.2: the
+// gated-GNN forward+backward cost must scale linearly in the number of
+// interactions |R+|, the neighborhood size |N|, and the embedding
+// dimension D — O(|R+| |N_u| |N_i| D) overall. Also covers the other hot
+// kernels: GEMM, attribute-graph construction, and neighbor sampling.
+
+#include <benchmark/benchmark.h>
+
+#include "agnn/core/gated_gnn.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/graph/attribute_graph.h"
+#include "agnn/graph/interaction_graph.h"
+
+namespace agnn {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix b = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  for (auto _ : state) {
+    Matrix c = a.MatMul(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+// Gated-GNN forward+backward as a function of the neighborhood size |N|.
+void BM_GatedGnnNeighbors(benchmark::State& state) {
+  const size_t neighbors = static_cast<size_t>(state.range(0));
+  const size_t batch = 128;
+  const size_t dim = 16;
+  Rng rng(2);
+  core::GatedGnn gnn(dim, core::Aggregator::kGatedGnn, &rng);
+  for (auto _ : state) {
+    ag::Var self =
+        ag::MakeParam(Matrix::RandomNormal(batch, dim, 0, 1, &rng));
+    ag::Var neigh = ag::MakeParam(
+        Matrix::RandomNormal(batch * neighbors, dim, 0, 1, &rng));
+    ag::Var loss = ag::MeanAll(ag::Square(gnn.Forward(self, neigh, neighbors)));
+    ag::Backward(loss);
+    benchmark::DoNotOptimize(loss->value().At(0, 0));
+  }
+  state.SetComplexityN(static_cast<int64_t>(neighbors));
+}
+BENCHMARK(BM_GatedGnnNeighbors)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Complexity(benchmark::oN);
+
+// ... and as a function of the embedding dimension D.
+void BM_GatedGnnDimension(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const size_t batch = 128;
+  const size_t neighbors = 8;
+  Rng rng(3);
+  core::GatedGnn gnn(dim, core::Aggregator::kGatedGnn, &rng);
+  for (auto _ : state) {
+    ag::Var self =
+        ag::MakeParam(Matrix::RandomNormal(batch, dim, 0, 1, &rng));
+    ag::Var neigh = ag::MakeParam(
+        Matrix::RandomNormal(batch * neighbors, dim, 0, 1, &rng));
+    ag::Var loss = ag::MeanAll(ag::Square(gnn.Forward(self, neigh, neighbors)));
+    ag::Backward(loss);
+    benchmark::DoNotOptimize(loss->value().At(0, 0));
+  }
+  state.SetComplexityN(static_cast<int64_t>(dim));
+}
+BENCHMARK(BM_GatedGnnDimension)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Attribute-graph (candidate pool) construction over the ml100k replica.
+void BM_BuildCandidatePool(benchmark::State& state) {
+  data::Dataset ds = data::GenerateSynthetic(
+      data::SyntheticConfig::Ml100k(data::Scale::kSmall), 5);
+  auto sims = graph::PairwiseBinaryCosine(ds.item_attrs,
+                                          ds.item_schema.total_slots());
+  for (auto _ : state) {
+    graph::WeightedGraph pool = graph::BuildCandidatePool(
+        sims, {}, graph::ProximityMode::kAttributeOnly, 5.0);
+    benchmark::DoNotOptimize(pool.NumEdges());
+  }
+}
+BENCHMARK(BM_BuildCandidatePool);
+
+// Pairwise attribute proximity (the inverted-index cosine).
+void BM_PairwiseBinaryCosine(benchmark::State& state) {
+  data::Dataset ds = data::GenerateSynthetic(
+      data::SyntheticConfig::Ml100k(data::Scale::kSmall), 6);
+  for (auto _ : state) {
+    auto sims = graph::PairwiseBinaryCosine(ds.item_attrs,
+                                            ds.item_schema.total_slots());
+    benchmark::DoNotOptimize(sims.size());
+  }
+}
+BENCHMARK(BM_PairwiseBinaryCosine);
+
+// Proximity-weighted neighbor sampling (the per-batch dynamic-graph step).
+void BM_SampleNeighbors(benchmark::State& state) {
+  data::Dataset ds = data::GenerateSynthetic(
+      data::SyntheticConfig::Ml100k(data::Scale::kSmall), 7);
+  auto sims = graph::PairwiseBinaryCosine(ds.item_attrs,
+                                          ds.item_schema.total_slots());
+  graph::WeightedGraph pool = graph::BuildCandidatePool(
+      sims, {}, graph::ProximityMode::kAttributeOnly, 5.0);
+  Rng rng(8);
+  size_t node = 0;
+  for (auto _ : state) {
+    auto sample = graph::SampleNeighbors(pool, node, 8, &rng);
+    benchmark::DoNotOptimize(sample.data());
+    node = (node + 1) % pool.num_nodes;
+  }
+}
+BENCHMARK(BM_SampleNeighbors);
+
+}  // namespace
+}  // namespace agnn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Reproduces Table 4: replacement study. Swaps AGNN components for the
+// corresponding techniques from the baselines — kNN / co-purchase graph
+// construction, GCN / GAT aggregation, mask / dropout / LLAE cold-start
+// handling — and reports RMSE/MAE on strict cold start.
+
+#include <cstdio>
+
+#include "agnn/common/table.h"
+#include "bench_util.h"
+#include "paper_reference.h"
+
+namespace agnn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromFlags(argc, argv);
+  PrintHeader(
+      "Table 4 — Replacement study",
+      "Table 4 of the AGNN paper (component swaps from baselines, ICS & UCS)",
+      options);
+
+  std::vector<std::string> variants = {"AGNN"};
+  for (const std::string& name : core::ReplacementVariantNames()) {
+    variants.push_back(name);
+  }
+
+  for (const std::string& dataset_name : options.datasets) {
+    const data::Dataset& dataset =
+        LoadDataset(dataset_name, options.scale, options.seed);
+    for (data::Scenario scenario :
+         {data::Scenario::kItemColdStart, data::Scenario::kUserColdStart}) {
+      const int scenario_idx =
+          scenario == data::Scenario::kItemColdStart ? 0 : 1;
+      eval::ExperimentRunner runner(dataset, scenario,
+                                    options.MakeExperimentConfig());
+      std::printf("--- %s / %s ---\n", dataset_name.c_str(),
+                  ScenarioName(scenario).c_str());
+      Table table({"Variant", "RMSE", "MAE", "Paper RMSE", "Train s"});
+      for (const std::string& variant : variants) {
+        eval::ModelResult r = runner.Run(variant);
+        std::fprintf(stderr, "  trained %-12s (%.1fs)\n", variant.c_str(),
+                     r.train_seconds);
+        const double paper =
+            PaperAblationRmse(variant, dataset_name, scenario_idx);
+        table.AddRow({variant, Table::Cell(r.metrics.rmse),
+                      Table::Cell(r.metrics.mae),
+                      paper < 0 ? "-" : Table::Cell(paper),
+                      Table::Cell(r.train_seconds, 1)});
+      }
+      std::printf("%s\n", table.ToString().c_str());
+    }
+  }
+  std::printf(
+      "Expected shape (paper Section 5.1.2): AGNN beats all replacements; "
+      "AGNN_cop collapses on MovieLens ICS (no co-purchase neighbors for "
+      "cold items); gated-GNN > GAT > GCN; eVAE > mask > drop > LLAE "
+      "variants; AGNN_LLAE (no GNN) is the worst cold-start module.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn::bench
+
+int main(int argc, char** argv) { return agnn::bench::Main(argc, argv); }

@@ -1,0 +1,102 @@
+// The paper's motivating example (Fig. 1): a newly released movie — think
+// "Avengers" — has attributes (category, director, stars) but not a single
+// rating. Can we predict how users will rate it?
+//
+// This example trains AGNN on an ML-100K-style world, picks a strict cold
+// start movie, shows the attribute-graph neighbors that preference
+// information flows from (its "Captain America"s), and compares AGNN's
+// per-user predictions against the only interaction-based fallback
+// available for a cold item: the global mean.
+//
+// Build & run:  ./build/examples/cold_start_movie
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "agnn/core/trainer.h"
+#include "agnn/data/split.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/eval/metrics.h"
+
+int main() {
+  using namespace agnn;
+
+  data::Dataset dataset = data::GenerateSynthetic(
+      data::SyntheticConfig::Ml100k(data::Scale::kSmall), /*seed=*/7);
+  Rng rng(7);
+  data::Split split =
+      data::MakeSplit(dataset, data::Scenario::kItemColdStart, 0.2, &rng);
+
+  core::AgnnConfig config;
+  config.epochs = 6;
+  core::AgnnTrainer trainer(dataset, split, config);
+  std::printf("Training AGNN on %zu warm ratings...\n", split.train.size());
+  trainer.Train();
+
+  // Pick the cold movie with the most test ratings — our "Avengers".
+  std::vector<size_t> test_count(dataset.num_items, 0);
+  for (const data::Rating& r : split.test) ++test_count[r.item];
+  size_t avengers = 0;
+  for (size_t i = 0; i < dataset.num_items; ++i) {
+    if (split.cold_item[i] && test_count[i] > test_count[avengers]) {
+      avengers = i;
+    }
+  }
+  std::printf("\n\"Avengers\" stand-in: item %zu — %zu held-out ratings, "
+              "0 training ratings, attribute slots:",
+              avengers, test_count[avengers]);
+  for (size_t slot : dataset.item_attrs[avengers]) {
+    std::printf(" %zu(%s)", slot,
+                dataset.item_schema
+                    .field(dataset.item_schema.FieldOfSlot(slot))
+                    .name.c_str());
+  }
+  std::printf("\n");
+
+  // The attribute graph gives the cold movie a neighborhood to borrow
+  // preference information from — the mechanism of Fig. 1.
+  const graph::WeightedGraph& item_graph = trainer.item_graph();
+  std::printf("Its attribute-graph candidate pool (%zu movies), strongest "
+              "first:\n",
+              item_graph.Degree(avengers));
+  std::vector<std::pair<double, size_t>> pool;
+  for (size_t k = 0; k < item_graph.Degree(avengers); ++k) {
+    pool.push_back({item_graph.weights[avengers][k],
+                    item_graph.neighbors[avengers][k]});
+  }
+  std::sort(pool.rbegin(), pool.rend());
+  for (size_t k = 0; k < std::min<size_t>(5, pool.size()); ++k) {
+    const size_t neighbor = pool[k].second;
+    std::printf("  movie %zu (proximity %.3f, %s)\n", neighbor,
+                pool[k].first,
+                split.cold_item[neighbor] ? "also cold" : "warm");
+  }
+
+  // Compare AGNN vs the global-mean fallback on the movie's actual ratings.
+  float mean = 0.0f;
+  for (const data::Rating& r : split.train) mean += r.value;
+  mean /= static_cast<float>(split.train.size());
+
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<float> truth;
+  for (const data::Rating& r : split.test) {
+    if (r.item == avengers) {
+      pairs.push_back({r.user, r.item});
+      truth.push_back(r.value);
+    }
+  }
+  auto agnn_preds = trainer.Predict(pairs);
+  std::printf("\n%-8s %-12s %-12s %s\n", "user", "true rating", "AGNN",
+              "global mean");
+  for (size_t k = 0; k < std::min<size_t>(8, pairs.size()); ++k) {
+    std::printf("%-8zu %-12.0f %-12.2f %.2f\n", pairs[k].first, truth[k],
+                agnn_preds[k], mean);
+  }
+  eval::RmseMae agnn_metrics = eval::ComputeRmseMae(agnn_preds, truth);
+  std::vector<float> mean_preds(truth.size(), mean);
+  eval::RmseMae mean_metrics = eval::ComputeRmseMae(mean_preds, truth);
+  std::printf("\nRMSE on this cold movie: AGNN %.4f vs global mean %.4f\n",
+              agnn_metrics.rmse, mean_metrics.rmse);
+  return 0;
+}

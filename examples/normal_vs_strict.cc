@@ -1,0 +1,93 @@
+// Normal vs strict cold start (paper Fig. 2 and Section 2.3).
+//
+// "Normal" cold start nodes are unseen during training but have a handful
+// of interactions available at test time (the ask-to-rate / inductive
+// setting); "strict" cold start nodes have none at all. The paper's core
+// argument is that interaction-graph methods like STAR-GCN only function
+// in the normal setting, while AGNN's attribute graphs work in both.
+//
+// This example measures exactly that: STAR-GCN and AGNN on the SAME item
+// holdout, once strict and once with 3 support ratings per held-out item.
+// STAR-GCN's improvement from strict -> normal dwarfs AGNN's, because
+// AGNN never depended on the support interactions in the first place.
+//
+// Build & run:  ./build/examples/normal_vs_strict
+
+#include <cstdio>
+
+#include "agnn/baselines/factory.h"
+#include "agnn/common/table.h"
+#include "agnn/core/trainer.h"
+#include "agnn/data/split.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/eval/metrics.h"
+
+namespace {
+
+using namespace agnn;
+
+eval::RmseMae EvalBaseline(const std::string& name,
+                           const data::Dataset& dataset,
+                           const data::Split& split) {
+  baselines::TrainOptions options;
+  auto model = baselines::MakeBaseline(name, options);
+  model->Fit(dataset, split);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<float> truth;
+  for (const data::Rating& r : split.test) {
+    pairs.push_back({r.user, r.item});
+    truth.push_back(r.value);
+  }
+  auto preds = model->PredictPairs(pairs);
+  eval::ClampPredictions(&preds, dataset.rating_min, dataset.rating_max);
+  return eval::ComputeRmseMae(preds, truth);
+}
+
+eval::RmseMae EvalAgnn(const data::Dataset& dataset,
+                       const data::Split& split) {
+  core::AgnnConfig config;
+  core::AgnnTrainer trainer(dataset, split, config);
+  trainer.Train();
+  return trainer.EvaluateTest();
+}
+
+}  // namespace
+
+int main() {
+  data::Dataset dataset = data::GenerateSynthetic(
+      data::SyntheticConfig::Ml100k(data::Scale::kSmall), /*seed=*/19);
+
+  Rng rng_strict(19);
+  data::Split strict = data::MakeSplit(
+      dataset, data::Scenario::kItemColdStart, 0.2, &rng_strict);
+  Rng rng_normal(19);  // same holdout, plus 3 support ratings per item
+  data::Split normal = data::MakeNormalColdStartSplit(
+      dataset, data::Scenario::kItemColdStart, 0.2, /*support_per_node=*/3,
+      &rng_normal);
+
+  std::printf("Item holdout: strict = %zu test ratings, 0 support; "
+              "normal = %zu test ratings, 3 support each\n\n",
+              strict.test.size(), normal.test.size());
+
+  Table table({"Model", "Strict RMSE", "Normal RMSE", "Gain from support"});
+  for (const std::string& name : {std::string("STAR-GCN"),
+                                  std::string("GC-MC"),
+                                  std::string("AGNN")}) {
+    std::printf("training %s (strict)...\n", name.c_str());
+    eval::RmseMae s = name == "AGNN" ? EvalAgnn(dataset, strict)
+                                     : EvalBaseline(name, dataset, strict);
+    std::printf("training %s (normal)...\n", name.c_str());
+    eval::RmseMae n = name == "AGNN" ? EvalAgnn(dataset, normal)
+                                     : EvalBaseline(name, dataset, normal);
+    char gain[32];
+    std::snprintf(gain, sizeof(gain), "%+.1f%%",
+                  (s.rmse - n.rmse) / s.rmse * 100.0);
+    table.AddRow({name, Table::Cell(s.rmse), Table::Cell(n.rmse), gain});
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: the interaction-graph models improve sharply once "
+      "support edges exist (they were blind without them); AGNN improves "
+      "only mildly — its attribute graphs never needed the support.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Yelp protocol (Section 4.1.1): users have no profile attributes, so their
+// SOCIAL LINKS double as the attribute encoding — each row of the social
+// matrix is the user's multi-hot attribute vector.
+//
+// This example trains AGNN on a Yelp-style world under strict USER cold
+// start: brand-new users who never rated anything, known only through who
+// they befriended at sign-up. It then contrasts AGNN with plain matrix
+// factorization, which has nothing to say about a user it has never seen.
+//
+// Build & run:  ./build/examples/social_cold_user
+
+#include <cstdio>
+#include <vector>
+
+#include "agnn/baselines/mf.h"
+#include "agnn/core/trainer.h"
+#include "agnn/data/split.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/eval/metrics.h"
+
+int main() {
+  using namespace agnn;
+
+  data::Dataset dataset = data::GenerateSynthetic(
+      data::SyntheticConfig::Yelp(data::Scale::kSmall), /*seed=*/11);
+  std::printf("Yelp-style world: %zu users, %zu businesses, %zu ratings, "
+              "social graph with %.1f links/user\n",
+              dataset.num_users, dataset.num_items, dataset.ratings.size(),
+              [&] {
+                size_t links = 0;
+                for (const auto& adj : dataset.social_links) {
+                  links += adj.size();
+                }
+                return static_cast<double>(links) /
+                       static_cast<double>(dataset.num_users);
+              }());
+
+  Rng rng(11);
+  data::Split split =
+      data::MakeSplit(dataset, data::Scenario::kUserColdStart, 0.2, &rng);
+  std::printf("Strict user cold start: %zu new users, %zu of their ratings "
+              "to predict\n",
+              split.NumColdUsers(), split.test.size());
+
+  // AGNN: the social row is the attribute encoding, so the user-user
+  // attribute graph connects new users to their friends-of-similar-friends.
+  core::AgnnConfig config;
+  config.epochs = 6;
+  core::AgnnTrainer trainer(dataset, split, config);
+  trainer.Train();
+  eval::RmseMae agnn = trainer.EvaluateTest();
+
+  // Matrix factorization: a cold user's embedding is untrained noise.
+  baselines::TrainOptions mf_options;
+  baselines::Mf mf(mf_options);
+  mf.Fit(dataset, split);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<float> truth;
+  for (const data::Rating& r : split.test) {
+    pairs.push_back({r.user, r.item});
+    truth.push_back(r.value);
+  }
+  auto mf_preds = mf.PredictPairs(pairs);
+  eval::ClampPredictions(&mf_preds, dataset.rating_min, dataset.rating_max);
+  eval::RmseMae mf_metrics = eval::ComputeRmseMae(mf_preds, truth);
+
+  std::printf("\n%-24s RMSE %.4f | MAE %.4f\n", "AGNN (social-as-attrs):",
+              agnn.rmse, agnn.mae);
+  std::printf("%-24s RMSE %.4f | MAE %.4f\n", "MF (interaction-only):",
+              mf_metrics.rmse, mf_metrics.mae);
+
+  // Show one cold user's social neighborhood — the only thing we know
+  // about them — and a few predictions.
+  size_t newcomer = 0;
+  while (!split.cold_user[newcomer]) ++newcomer;
+  std::printf("\nNew user %zu knows users:", newcomer);
+  for (size_t k = 0; k < std::min<size_t>(8, dataset.social_links[newcomer].size());
+       ++k) {
+    std::printf(" %zu", dataset.social_links[newcomer][k]);
+  }
+  auto preds = trainer.Predict({{newcomer, 0}, {newcomer, 1}, {newcomer, 2}});
+  std::printf("\nAGNN predicts their ratings for businesses 0-2: %.2f %.2f "
+              "%.2f\n",
+              preds[0], preds[1], preds[2]);
+  return 0;
+}

@@ -1,0 +1,468 @@
+#include "agnn/autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::ag {
+namespace {
+
+// Builds an interior node over `parents` with the given forward value and
+// backward closure. The closure receives the finished node and must
+// AccumulateGrad into each parent that requires (or transitively carries)
+// gradients. We propagate unconditionally: leaves that don't require grad
+// simply receive accumulations that the optimizers ignore; this keeps the
+// closures simple and is cheap at this library's scales.
+Var MakeOp(Matrix value, std::vector<Var> parents,
+           std::function<void(Node*)> backward) {
+  auto node = std::make_shared<Node>(std::move(value));
+  node->SetParents(std::move(parents));
+  node->SetBackward(std::move(backward));
+  return node;
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  return MakeOp(a->value().Add(b->value()), {a, b}, [](Node* n) {
+    n->parents()[0]->AccumulateGrad(n->grad());
+    n->parents()[1]->AccumulateGrad(n->grad());
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  return MakeOp(a->value().Sub(b->value()), {a, b}, [](Node* n) {
+    n->parents()[0]->AccumulateGrad(n->grad());
+    n->parents()[1]->AccumulateGrad(n->grad().Scale(-1.0f));
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  return MakeOp(a->value().Mul(b->value()), {a, b}, [](Node* n) {
+    n->parents()[0]->AccumulateGrad(n->grad().Mul(n->parents()[1]->value()));
+    n->parents()[1]->AccumulateGrad(n->grad().Mul(n->parents()[0]->value()));
+  });
+}
+
+Var Neg(const Var& x) { return Scale(x, -1.0f); }
+
+Var Scale(const Var& x, float s) {
+  return MakeOp(x->value().Scale(s), {x}, [s](Node* n) {
+    n->parents()[0]->AccumulateGrad(n->grad().Scale(s));
+  });
+}
+
+Var AddScalar(const Var& x, float s) {
+  return MakeOp(x->value().AddScalar(s), {x}, [](Node* n) {
+    n->parents()[0]->AccumulateGrad(n->grad());
+  });
+}
+
+Var Sigmoid(const Var& x) {
+  Matrix out = x->value().Map(
+      [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  return MakeOp(std::move(out), {x}, [](Node* n) {
+    Matrix g = n->grad();
+    const Matrix& s = n->value();
+    for (size_t i = 0; i < g.size(); ++i) {
+      const float sv = s.data()[i];
+      g.data()[i] *= sv * (1.0f - sv);
+    }
+    n->parents()[0]->AccumulateGrad(g);
+  });
+}
+
+Var Tanh(const Var& x) {
+  Matrix out = x->value().Map([](float v) { return std::tanh(v); });
+  return MakeOp(std::move(out), {x}, [](Node* n) {
+    Matrix g = n->grad();
+    const Matrix& t = n->value();
+    for (size_t i = 0; i < g.size(); ++i) {
+      const float tv = t.data()[i];
+      g.data()[i] *= 1.0f - tv * tv;
+    }
+    n->parents()[0]->AccumulateGrad(g);
+  });
+}
+
+Var Relu(const Var& x) { return LeakyRelu(x, 0.0f); }
+
+Var LeakyRelu(const Var& x, float slope) {
+  Matrix out = x->value().Map(
+      [slope](float v) { return v > 0.0f ? v : slope * v; });
+  return MakeOp(std::move(out), {x}, [slope](Node* n) {
+    Matrix g = n->grad();
+    const Matrix& in = n->parents()[0]->value();
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (in.data()[i] <= 0.0f) g.data()[i] *= slope;
+    }
+    n->parents()[0]->AccumulateGrad(g);
+  });
+}
+
+Var Exp(const Var& x) {
+  Matrix out = x->value().Map([](float v) { return std::exp(v); });
+  return MakeOp(std::move(out), {x}, [](Node* n) {
+    n->parents()[0]->AccumulateGrad(n->grad().Mul(n->value()));
+  });
+}
+
+Var Log(const Var& x) {
+  Matrix out = x->value().Map([](float v) {
+    AGNN_DCHECK(v > 0.0f);
+    return std::log(v);
+  });
+  return MakeOp(std::move(out), {x}, [](Node* n) {
+    Matrix g = n->grad();
+    const Matrix& in = n->parents()[0]->value();
+    for (size_t i = 0; i < g.size(); ++i) g.data()[i] /= in.data()[i];
+    n->parents()[0]->AccumulateGrad(g);
+  });
+}
+
+Var Square(const Var& x) {
+  Matrix out = x->value().Map([](float v) { return v * v; });
+  return MakeOp(std::move(out), {x}, [](Node* n) {
+    Matrix g = n->grad().Mul(n->parents()[0]->value());
+    g.ScaleInPlace(2.0f);
+    n->parents()[0]->AccumulateGrad(g);
+  });
+}
+
+Var Softplus(const Var& x) {
+  Matrix out = x->value().Map([](float v) {
+    // Numerically stable log(1 + e^v).
+    return v > 20.0f ? v : std::log1p(std::exp(v));
+  });
+  return MakeOp(std::move(out), {x}, [](Node* n) {
+    Matrix g = n->grad();
+    const Matrix& in = n->parents()[0]->value();
+    for (size_t i = 0; i < g.size(); ++i) {
+      g.data()[i] *= 1.0f / (1.0f + std::exp(-in.data()[i]));
+    }
+    n->parents()[0]->AccumulateGrad(g);
+  });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  return MakeOp(a->value().MatMul(b->value()), {a, b}, [](Node* n) {
+    const Matrix& g = n->grad();
+    // dA = g * B^T ; dB = A^T * g.
+    n->parents()[0]->AccumulateGrad(
+        g.MatMulTransposed(n->parents()[1]->value()));
+    n->parents()[1]->AccumulateGrad(
+        n->parents()[0]->value().TransposedMatMul(g));
+  });
+}
+
+Var AddRowBroadcast(const Var& x, const Var& bias) {
+  return MakeOp(x->value().AddRowBroadcast(bias->value()), {x, bias},
+                [](Node* n) {
+                  n->parents()[0]->AccumulateGrad(n->grad());
+                  n->parents()[1]->AccumulateGrad(n->grad().ColSums());
+                });
+}
+
+Var MulColBroadcast(const Var& x, const Var& s) {
+  const Matrix& xv = x->value();
+  const Matrix& sv = s->value();
+  AGNN_CHECK_EQ(sv.cols(), 1u);
+  AGNN_CHECK_EQ(sv.rows(), xv.rows());
+  Matrix out = xv;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    const float scale = sv.At(r, 0);
+    float* row = out.Row(r);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= scale;
+  }
+  return MakeOp(std::move(out), {x, s}, [](Node* n) {
+    const Matrix& g = n->grad();
+    const Matrix& xv = n->parents()[0]->value();
+    const Matrix& sv = n->parents()[1]->value();
+    Matrix dx = g;
+    Matrix ds(sv.rows(), 1);
+    for (size_t r = 0; r < g.rows(); ++r) {
+      const float scale = sv.At(r, 0);
+      float acc = 0.0f;
+      float* dxr = dx.Row(r);
+      const float* gr = g.Row(r);
+      const float* xr = xv.Row(r);
+      for (size_t c = 0; c < g.cols(); ++c) {
+        acc += gr[c] * xr[c];
+        dxr[c] *= scale;
+      }
+      ds.At(r, 0) = acc;
+    }
+    n->parents()[0]->AccumulateGrad(dx);
+    n->parents()[1]->AccumulateGrad(ds);
+  });
+}
+
+Var RowwiseDot(const Var& a, const Var& b) {
+  const Matrix& av = a->value();
+  const Matrix& bv = b->value();
+  AGNN_CHECK(av.SameShape(bv));
+  Matrix out(av.rows(), 1);
+  for (size_t r = 0; r < av.rows(); ++r) {
+    const float* ar = av.Row(r);
+    const float* br = bv.Row(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < av.cols(); ++c) acc += ar[c] * br[c];
+    out.At(r, 0) = acc;
+  }
+  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+    const Matrix& g = n->grad();  // [B,1]
+    const Matrix& av = n->parents()[0]->value();
+    const Matrix& bv = n->parents()[1]->value();
+    Matrix da(av.rows(), av.cols());
+    Matrix db(bv.rows(), bv.cols());
+    for (size_t r = 0; r < av.rows(); ++r) {
+      const float gr = g.At(r, 0);
+      const float* ar = av.Row(r);
+      const float* br = bv.Row(r);
+      float* dar = da.Row(r);
+      float* dbr = db.Row(r);
+      for (size_t c = 0; c < av.cols(); ++c) {
+        dar[c] = gr * br[c];
+        dbr[c] = gr * ar[c];
+      }
+    }
+    n->parents()[0]->AccumulateGrad(da);
+    n->parents()[1]->AccumulateGrad(db);
+  });
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  const size_t split = a->value().cols();
+  return MakeOp(a->value().ConcatCols(b->value()), {a, b}, [split](Node* n) {
+    const Matrix& g = n->grad();
+    n->parents()[0]->AccumulateGrad(g.SliceCols(0, split));
+    n->parents()[1]->AccumulateGrad(g.SliceCols(split, g.cols()));
+  });
+}
+
+Var SliceCols(const Var& x, size_t begin, size_t end) {
+  return MakeOp(x->value().SliceCols(begin, end), {x}, [begin, end](Node* n) {
+    const Matrix& g = n->grad();
+    const Matrix& xv = n->parents()[0]->value();
+    Matrix dx(xv.rows(), xv.cols());
+    for (size_t r = 0; r < g.rows(); ++r) {
+      for (size_t c = begin; c < end; ++c) {
+        dx.At(r, c) = g.At(r, c - begin);
+      }
+    }
+    n->parents()[0]->AccumulateGrad(dx);
+  });
+}
+
+Var RepeatRows(const Var& x, size_t times) {
+  AGNN_CHECK_GT(times, 0u);
+  const Matrix& xv = x->value();
+  Matrix out(xv.rows() * times, xv.cols());
+  for (size_t r = 0; r < xv.rows(); ++r) {
+    for (size_t k = 0; k < times; ++k) {
+      std::copy(xv.Row(r), xv.Row(r) + xv.cols(), out.Row(r * times + k));
+    }
+  }
+  return MakeOp(std::move(out), {x}, [times](Node* n) {
+    const Matrix& g = n->grad();
+    const Matrix& xv = n->parents()[0]->value();
+    Matrix dx(xv.rows(), xv.cols());
+    for (size_t r = 0; r < xv.rows(); ++r) {
+      float* dst = dx.Row(r);
+      for (size_t k = 0; k < times; ++k) {
+        const float* src = g.Row(r * times + k);
+        for (size_t c = 0; c < xv.cols(); ++c) dst[c] += src[c];
+      }
+    }
+    n->parents()[0]->AccumulateGrad(dx);
+  });
+}
+
+namespace {
+
+Var RowBlockReduce(const Var& x, size_t block, bool mean) {
+  AGNN_CHECK_GT(block, 0u);
+  const Matrix& xv = x->value();
+  AGNN_CHECK_EQ(xv.rows() % block, 0u);
+  const size_t groups = xv.rows() / block;
+  const float scale = mean ? 1.0f / static_cast<float>(block) : 1.0f;
+  Matrix out(groups, xv.cols());
+  for (size_t g = 0; g < groups; ++g) {
+    float* dst = out.Row(g);
+    for (size_t k = 0; k < block; ++k) {
+      const float* src = xv.Row(g * block + k);
+      for (size_t c = 0; c < xv.cols(); ++c) dst[c] += src[c];
+    }
+    for (size_t c = 0; c < xv.cols(); ++c) dst[c] *= scale;
+  }
+  return MakeOp(std::move(out), {x}, [block, scale](Node* n) {
+    const Matrix& g = n->grad();
+    const Matrix& xv = n->parents()[0]->value();
+    Matrix dx(xv.rows(), xv.cols());
+    for (size_t grp = 0; grp < g.rows(); ++grp) {
+      const float* src = g.Row(grp);
+      for (size_t k = 0; k < block; ++k) {
+        float* dst = dx.Row(grp * block + k);
+        for (size_t c = 0; c < g.cols(); ++c) dst[c] = src[c] * scale;
+      }
+    }
+    n->parents()[0]->AccumulateGrad(dx);
+  });
+}
+
+}  // namespace
+
+Var RowBlockMean(const Var& x, size_t block) {
+  return RowBlockReduce(x, block, /*mean=*/true);
+}
+
+Var RowBlockSum(const Var& x, size_t block) {
+  return RowBlockReduce(x, block, /*mean=*/false);
+}
+
+Var GatherRows(const Var& table, const std::vector<size_t>& indices) {
+  return MakeOp(table->value().GatherRows(indices), {table},
+                [indices](Node* n) {
+                  const Matrix& tv = n->parents()[0]->value();
+                  Matrix dt(tv.rows(), tv.cols());
+                  dt.ScatterAddRows(indices, n->grad());
+                  n->parents()[0]->AccumulateGrad(dt);
+                });
+}
+
+Var SegmentSum(const Var& x, const std::vector<size_t>& segments,
+               size_t num_segments) {
+  const Matrix& xv = x->value();
+  AGNN_CHECK_EQ(segments.size(), xv.rows());
+  Matrix out(num_segments, xv.cols());
+  for (size_t t = 0; t < segments.size(); ++t) {
+    AGNN_CHECK_LT(segments[t], num_segments);
+    float* dst = out.Row(segments[t]);
+    const float* src = xv.Row(t);
+    for (size_t c = 0; c < xv.cols(); ++c) dst[c] += src[c];
+  }
+  return MakeOp(std::move(out), {x}, [segments](Node* n) {
+    const Matrix& g = n->grad();
+    const Matrix& xv = n->parents()[0]->value();
+    Matrix dx(xv.rows(), xv.cols());
+    for (size_t t = 0; t < segments.size(); ++t) {
+      const float* src = g.Row(segments[t]);
+      float* dst = dx.Row(t);
+      for (size_t c = 0; c < g.cols(); ++c) dst[c] = src[c];
+    }
+    n->parents()[0]->AccumulateGrad(dx);
+  });
+}
+
+Var SumAll(const Var& x) {
+  Matrix out(1, 1);
+  out.At(0, 0) = x->value().Sum();
+  return MakeOp(std::move(out), {x}, [](Node* n) {
+    const float g = n->grad().At(0, 0);
+    const Matrix& xv = n->parents()[0]->value();
+    n->parents()[0]->AccumulateGrad(Matrix(xv.rows(), xv.cols(), g));
+  });
+}
+
+Var MeanAll(const Var& x) {
+  const float inv = 1.0f / static_cast<float>(x->value().size());
+  return Scale(SumAll(x), inv);
+}
+
+Var MseLoss(const Var& pred, const Matrix& target) {
+  AGNN_CHECK(pred->value().SameShape(target));
+  return MeanAll(Square(Sub(pred, MakeConst(target))));
+}
+
+Var GaussianKlMean(const Var& mu, const Var& logvar) {
+  const Matrix& muv = mu->value();
+  const Matrix& lvv = logvar->value();
+  AGNN_CHECK(muv.SameShape(lvv));
+  const float inv_batch = 1.0f / static_cast<float>(muv.rows());
+  Matrix out(1, 1);
+  float acc = 0.0f;
+  for (size_t i = 0; i < muv.size(); ++i) {
+    const float m = muv.data()[i];
+    const float lv = lvv.data()[i];
+    acc += -0.5f * (1.0f + lv - m * m - std::exp(lv));
+  }
+  out.At(0, 0) = acc * inv_batch;
+  return MakeOp(std::move(out), {mu, logvar}, [inv_batch](Node* n) {
+    const float g = n->grad().At(0, 0) * inv_batch;
+    const Matrix& muv = n->parents()[0]->value();
+    const Matrix& lvv = n->parents()[1]->value();
+    Matrix dmu(muv.rows(), muv.cols());
+    Matrix dlv(lvv.rows(), lvv.cols());
+    for (size_t i = 0; i < muv.size(); ++i) {
+      dmu.data()[i] = g * muv.data()[i];
+      dlv.data()[i] = g * -0.5f * (1.0f - std::exp(lvv.data()[i]));
+    }
+    n->parents()[0]->AccumulateGrad(dmu);
+    n->parents()[1]->AccumulateGrad(dlv);
+  });
+}
+
+Var SoftmaxBlocks(const Var& x, size_t block) {
+  AGNN_CHECK_GT(block, 0u);
+  const Matrix& xv = x->value();
+  AGNN_CHECK_EQ(xv.cols(), 1u);
+  AGNN_CHECK_EQ(xv.rows() % block, 0u);
+  Matrix out(xv.rows(), 1);
+  for (size_t g = 0; g < xv.rows() / block; ++g) {
+    float max_v = xv.At(g * block, 0);
+    for (size_t k = 1; k < block; ++k) {
+      max_v = std::max(max_v, xv.At(g * block + k, 0));
+    }
+    float denom = 0.0f;
+    for (size_t k = 0; k < block; ++k) {
+      const float e = std::exp(xv.At(g * block + k, 0) - max_v);
+      out.At(g * block + k, 0) = e;
+      denom += e;
+    }
+    for (size_t k = 0; k < block; ++k) out.At(g * block + k, 0) /= denom;
+  }
+  return MakeOp(std::move(out), {x}, [block](Node* n) {
+    const Matrix& g = n->grad();
+    const Matrix& s = n->value();
+    Matrix dx(s.rows(), 1);
+    for (size_t grp = 0; grp < s.rows() / block; ++grp) {
+      float weighted = 0.0f;
+      for (size_t k = 0; k < block; ++k) {
+        const size_t r = grp * block + k;
+        weighted += g.At(r, 0) * s.At(r, 0);
+      }
+      for (size_t k = 0; k < block; ++k) {
+        const size_t r = grp * block + k;
+        dx.At(r, 0) = s.At(r, 0) * (g.At(r, 0) - weighted);
+      }
+    }
+    n->parents()[0]->AccumulateGrad(dx);
+  });
+}
+
+Var Dropout(const Var& x, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  AGNN_CHECK_LT(p, 1.0f);
+  AGNN_CHECK(rng != nullptr);
+  const Matrix& xv = x->value();
+  Matrix mask(xv.rows(), xv.cols());
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  return Mul(x, MakeConst(std::move(mask)));
+}
+
+Var Reparameterize(const Var& mu, const Var& logvar, Rng* rng) {
+  AGNN_CHECK(rng != nullptr);
+  const Matrix& muv = mu->value();
+  Matrix eps(muv.rows(), muv.cols());
+  for (size_t i = 0; i < eps.size(); ++i) {
+    eps.data()[i] = static_cast<float>(rng->Normal());
+  }
+  // z = mu + exp(0.5 * logvar) .* eps
+  return Add(mu, Mul(Exp(Scale(logvar, 0.5f)), MakeConst(std::move(eps))));
+}
+
+}  // namespace agnn::ag

@@ -1,0 +1,98 @@
+#ifndef AGNN_AUTOGRAD_OPS_H_
+#define AGNN_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "agnn/autograd/variable.h"
+#include "agnn/common/rng.h"
+
+// Differentiable operations. Every function builds a new graph node whose
+// backward closure implements the exact vector-Jacobian product; all ops are
+// covered by finite-difference property tests in tests/autograd.
+
+namespace agnn::ag {
+
+// -- Elementwise binary -----------------------------------------------------
+
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+/// Hadamard (elementwise) product.
+Var Mul(const Var& a, const Var& b);
+
+// -- Elementwise unary --------------------------------------------------------
+
+Var Neg(const Var& x);
+Var Scale(const Var& x, float s);
+Var AddScalar(const Var& x, float s);
+Var Sigmoid(const Var& x);
+Var Tanh(const Var& x);
+Var Relu(const Var& x);
+/// LeakyReLU with the given negative slope (paper uses 0.01).
+Var LeakyRelu(const Var& x, float slope = 0.01f);
+Var Exp(const Var& x);
+/// Natural log; inputs must be strictly positive.
+Var Log(const Var& x);
+Var Square(const Var& x);
+Var Softplus(const Var& x);
+
+// -- Linear algebra ------------------------------------------------------------
+
+/// a [m,k] x b [k,n] -> [m,n].
+Var MatMul(const Var& a, const Var& b);
+/// Adds a 1xD bias row to every row of x [B,D].
+Var AddRowBroadcast(const Var& x, const Var& bias);
+/// Multiplies each row r of x [B,D] by scalar s[r] from s [B,1].
+Var MulColBroadcast(const Var& x, const Var& s);
+/// Per-row inner products: a [B,D], b [B,D] -> [B,1].
+Var RowwiseDot(const Var& a, const Var& b);
+
+// -- Shape ---------------------------------------------------------------------
+
+/// Column-wise concatenation: [B,Da], [B,Db] -> [B,Da+Db].
+Var ConcatCols(const Var& a, const Var& b);
+/// Columns [begin,end) of x.
+Var SliceCols(const Var& x, size_t begin, size_t end);
+/// Repeats each row of x [B,D] `times` consecutive times -> [B*times, D].
+Var RepeatRows(const Var& x, size_t times);
+/// Means of consecutive row blocks of size `block`: [B*block, D] -> [B,D].
+Var RowBlockMean(const Var& x, size_t block);
+/// Sums of consecutive row blocks of size `block`: [B*block, D] -> [B,D].
+Var RowBlockSum(const Var& x, size_t block);
+/// Embedding lookup: rows `indices` of `table` [V,D] -> [n,D]; gradient
+/// scatter-adds into the table.
+Var GatherRows(const Var& table, const std::vector<size_t>& indices);
+/// Sums rows of x [T,D] into `num_segments` output rows according to
+/// `segments` (segments[t] in [0, num_segments)). Segments may be empty
+/// (zero rows) and need not be contiguous. This is the variable-length
+/// counterpart of RowBlockSum, used to pool each node's attribute-value
+/// embeddings (nodes have differing attribute counts).
+Var SegmentSum(const Var& x, const std::vector<size_t>& segments,
+               size_t num_segments);
+
+// -- Reductions and losses -------------------------------------------------------
+
+/// Sum of all elements -> 1x1.
+Var SumAll(const Var& x);
+/// Mean of all elements -> 1x1.
+Var MeanAll(const Var& x);
+/// Mean squared error between pred [B,1] and constant target -> 1x1.
+Var MseLoss(const Var& pred, const Matrix& target);
+/// Mean over batch of KL( N(mu_r, diag(exp(logvar_r))) || N(0, I) ) -> 1x1.
+Var GaussianKlMean(const Var& mu, const Var& logvar);
+/// Softmax within each consecutive block of `block` rows of x [B*block, 1];
+/// the attention normalizer used by the GAT replacement aggregator.
+Var SoftmaxBlocks(const Var& x, size_t block);
+
+// -- Stochastic helpers ------------------------------------------------------------
+
+/// Inverted dropout: zeroes each element with probability p and rescales by
+/// 1/(1-p); identity when `training` is false or p == 0.
+Var Dropout(const Var& x, float p, Rng* rng, bool training);
+
+/// Reparameterized Gaussian sample z = mu + exp(0.5*logvar) * eps with
+/// eps ~ N(0, I) drawn from `rng`; gradients flow into mu and logvar.
+Var Reparameterize(const Var& mu, const Var& logvar, Rng* rng);
+
+}  // namespace agnn::ag
+
+#endif  // AGNN_AUTOGRAD_OPS_H_

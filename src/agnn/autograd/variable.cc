@@ -1,0 +1,105 @@
+#include "agnn/autograd/variable.h"
+
+#include <unordered_set>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::ag {
+
+const Matrix& Node::grad() const {
+  if (!grad_allocated_) {
+    grad_ = Matrix::Zeros(value_.rows(), value_.cols());
+    grad_allocated_ = true;
+  }
+  return grad_;
+}
+
+Matrix& Node::mutable_grad() {
+  grad();  // ensure allocation
+  return grad_;
+}
+
+void Node::ZeroGrad() {
+  if (grad_allocated_) grad_.Fill(0.0f);
+}
+
+void Node::AccumulateGrad(const Matrix& g) {
+  AGNN_CHECK(g.rows() == value_.rows() && g.cols() == value_.cols())
+      << "gradient shape " << g.rows() << "x" << g.cols()
+      << " does not match value shape " << value_.rows() << "x"
+      << value_.cols();
+  mutable_grad().AddInPlace(g);
+}
+
+Var MakeParam(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+}
+
+Var MakeConst(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+}
+
+namespace {
+
+// Iterative DFS post-order over the graph rooted at `root`. The returned
+// order has parents after children-of-the-traversal (i.e., reversed order is
+// a valid topological order for backward).
+void TopoOrder(const Var& root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents().size()) {
+      Node* parent = top.node->parents()[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  AGNN_CHECK(root != nullptr);
+  AGNN_CHECK(root->value().rows() == 1 && root->value().cols() == 1)
+      << "Backward requires a scalar (1x1) root, got "
+      << root->value().rows() << "x" << root->value().cols();
+  std::vector<Node*> order;
+  TopoOrder(root, &order);
+  root->mutable_grad().At(0, 0) = 1.0f;
+  // Post-order puts the root last; walk backwards so every node's gradient
+  // is complete before it propagates to its parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    (*it)->RunBackward();
+  }
+}
+
+Matrix NumericGradient(const std::function<double()>& loss_fn, Matrix* param,
+                       double epsilon) {
+  AGNN_CHECK(param != nullptr);
+  Matrix grad(param->rows(), param->cols());
+  for (size_t r = 0; r < param->rows(); ++r) {
+    for (size_t c = 0; c < param->cols(); ++c) {
+      const float saved = param->At(r, c);
+      param->At(r, c) = saved + static_cast<float>(epsilon);
+      const double plus = loss_fn();
+      param->At(r, c) = saved - static_cast<float>(epsilon);
+      const double minus = loss_fn();
+      param->At(r, c) = saved;
+      grad.At(r, c) = static_cast<float>((plus - minus) / (2.0 * epsilon));
+    }
+  }
+  return grad;
+}
+
+}  // namespace agnn::ag

@@ -1,0 +1,90 @@
+#ifndef AGNN_AUTOGRAD_VARIABLE_H_
+#define AGNN_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::ag {
+
+class Node;
+
+/// A differentiable value: shared handle to a tape node. Graphs are built
+/// dynamically by the ops in ops.h and freed when the last handle drops.
+using Var = std::shared_ptr<Node>;
+
+/// One node of the dynamic computation graph: a value, its (lazily
+/// allocated) gradient, the parents it was computed from, and a closure
+/// that pushes this node's gradient into its parents' gradients.
+class Node {
+ public:
+  /// Leaf node. Parameters pass requires_grad = true; constants false.
+  explicit Node(Matrix value, bool requires_grad = false)
+      : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const Matrix& value() const { return value_; }
+  Matrix& mutable_value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+
+  /// Gradient w.r.t. this node; zero matrix until backward touches it.
+  const Matrix& grad() const;
+  Matrix& mutable_grad();
+  bool has_grad() const { return grad_allocated_; }
+
+  /// Resets the gradient to zero (keeps allocation).
+  void ZeroGrad();
+
+  /// Internal: wire an interior node created by an op.
+  void SetParents(std::vector<Var> parents) { parents_ = std::move(parents); }
+  void SetBackward(std::function<void(Node*)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  const std::vector<Var>& parents() const { return parents_; }
+
+  /// Accumulates `g` into this node's gradient if it requires one.
+  void AccumulateGrad(const Matrix& g);
+
+  /// Runs this node's local backward step (no-op for leaves).
+  void RunBackward() {
+    if (backward_fn_) backward_fn_(this);
+  }
+
+  bool is_leaf() const { return parents_.empty(); }
+
+ private:
+  Matrix value_;
+  mutable Matrix grad_;
+  mutable bool grad_allocated_ = false;
+  bool requires_grad_;
+  std::vector<Var> parents_;
+  std::function<void(Node*)> backward_fn_;
+};
+
+/// Creates a trainable leaf (gradient will be accumulated).
+Var MakeParam(Matrix value);
+
+/// Creates a non-trainable leaf.
+Var MakeConst(Matrix value);
+
+/// Reverse-mode backward pass from scalar `root` (must be 1x1). Seeds the
+/// root gradient with 1 and propagates through the graph in reverse
+/// topological order. Gradients accumulate into every reachable node with
+/// requires_grad; call ZeroGrad on parameters between optimization steps.
+void Backward(const Var& root);
+
+/// Numerically estimates d(loss)/d(param[i]) by central differences, where
+/// `loss_fn` rebuilds the graph and returns the scalar loss value. Used by
+/// the gradient-checking property tests.
+Matrix NumericGradient(const std::function<double()>& loss_fn, Matrix* param,
+                       double epsilon = 1e-3);
+
+}  // namespace agnn::ag
+
+#endif  // AGNN_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,112 @@
+#include "agnn/baselines/common.h"
+
+#include <cmath>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::baselines {
+
+void BiasPredictor::Fit(const std::vector<data::Rating>& train,
+                        size_t num_users, size_t num_items, float damping) {
+  AGNN_CHECK(!train.empty());
+  double sum = 0.0;
+  for (const data::Rating& r : train) sum += r.value;
+  global_mean_ = static_cast<float>(sum / static_cast<double>(train.size()));
+
+  std::vector<double> user_sum(num_users, 0.0);
+  std::vector<double> item_sum(num_items, 0.0);
+  std::vector<size_t> user_count(num_users, 0);
+  std::vector<size_t> item_count(num_items, 0);
+  // Item biases first (deviation from the global mean), then user biases
+  // (deviation from mean + item bias) — the classic damped-means cascade.
+  for (const data::Rating& r : train) {
+    item_sum[r.item] += r.value - global_mean_;
+    ++item_count[r.item];
+  }
+  item_bias_.assign(num_items, 0.0f);
+  for (size_t i = 0; i < num_items; ++i) {
+    item_bias_[i] = static_cast<float>(
+        item_sum[i] / (damping + static_cast<double>(item_count[i])));
+  }
+  for (const data::Rating& r : train) {
+    user_sum[r.user] += r.value - global_mean_ - item_bias_[r.item];
+    ++user_count[r.user];
+  }
+  user_bias_.assign(num_users, 0.0f);
+  for (size_t u = 0; u < num_users; ++u) {
+    user_bias_[u] = static_cast<float>(
+        user_sum[u] / (damping + static_cast<double>(user_count[u])));
+  }
+}
+
+float BiasPredictor::Predict(size_t user, size_t item) const {
+  AGNN_CHECK_LT(user, user_bias_.size());
+  AGNN_CHECK_LT(item, item_bias_.size());
+  return global_mean_ + user_bias_[user] + item_bias_[item];
+}
+
+AttrEmbedder::AttrEmbedder(size_t num_slots, size_t dim, Rng* rng)
+    : dim_(dim), slots_(num_slots, dim, rng) {
+  RegisterSubmodule("slots", &slots_);
+}
+
+ag::Var AttrEmbedder::Forward(
+    const std::vector<std::vector<size_t>>& node_slots) const {
+  const size_t batch = node_slots.size();
+  std::vector<size_t> flat;
+  std::vector<size_t> segments;
+  Matrix inv_sqrt(batch, 1);
+  for (size_t n = 0; n < batch; ++n) {
+    for (size_t slot : node_slots[n]) {
+      flat.push_back(slot);
+      segments.push_back(n);
+    }
+    inv_sqrt.At(n, 0) =
+        node_slots[n].empty()
+            ? 0.0f
+            : 1.0f / std::sqrt(static_cast<float>(node_slots[n].size()));
+  }
+  if (flat.empty()) return ag::MakeConst(Matrix::Zeros(batch, dim_));
+  ag::Var pooled = ag::SegmentSum(slots_.Forward(flat), segments, batch);
+  return ag::MulColBroadcast(pooled, ag::MakeConst(std::move(inv_sqrt)));
+}
+
+std::vector<std::vector<size_t>> GatherSlots(
+    const std::vector<std::vector<size_t>>& attrs,
+    const std::vector<size_t>& ids) {
+  std::vector<std::vector<size_t>> out;
+  out.reserve(ids.size());
+  for (size_t id : ids) {
+    AGNN_CHECK_LT(id, attrs.size());
+    out.push_back(attrs[id]);
+  }
+  return out;
+}
+
+Matrix PairBatch::TargetColumn() const {
+  Matrix col(targets.size(), 1);
+  for (size_t i = 0; i < targets.size(); ++i) col.At(i, 0) = targets[i];
+  return col;
+}
+
+std::vector<PairBatch> MakeRatingBatches(
+    const std::vector<data::Rating>& train, size_t batch_size, Rng* rng) {
+  auto index_batches = data::MakeBatches(train.size(), batch_size, rng);
+  std::vector<PairBatch> batches;
+  batches.reserve(index_batches.size());
+  for (const auto& indices : index_batches) {
+    PairBatch batch;
+    batch.users.reserve(indices.size());
+    batch.items.reserve(indices.size());
+    batch.targets.reserve(indices.size());
+    for (size_t idx : indices) {
+      batch.users.push_back(train[idx].user);
+      batch.items.push_back(train[idx].item);
+      batch.targets.push_back(train[idx].value);
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace agnn::baselines

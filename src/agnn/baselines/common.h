@@ -1,0 +1,68 @@
+#ifndef AGNN_BASELINES_COMMON_H_
+#define AGNN_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "agnn/data/split.h"
+#include "agnn/nn/layers.h"
+
+namespace agnn::baselines {
+
+/// Damped-mean bias predictor: mu + b_u + b_i with shrinkage toward the
+/// global mean. Serves as the cold fallback inside several baselines and as
+/// the floor any learned model must beat.
+class BiasPredictor {
+ public:
+  void Fit(const std::vector<data::Rating>& train, size_t num_users,
+           size_t num_items, float damping = 10.0f);
+
+  float Predict(size_t user, size_t item) const;
+  float global_mean() const { return global_mean_; }
+  float user_bias(size_t user) const { return user_bias_[user]; }
+  float item_bias(size_t item) const { return item_bias_[item]; }
+
+ private:
+  float global_mean_ = 0.0f;
+  std::vector<float> user_bias_;
+  std::vector<float> item_bias_;
+};
+
+/// Mean-pools the embeddings of a node's active attribute slots
+/// (normalized by sqrt(k)) — the "feature embedding" building block shared
+/// by DiffNet, DANSER, GC-MC, STAR-GCN, DropoutNet, HERS, and MetaEmb.
+class AttrEmbedder : public nn::Module {
+ public:
+  AttrEmbedder(size_t num_slots, size_t dim, Rng* rng);
+
+  /// node_slots -> [batch, dim].
+  ag::Var Forward(const std::vector<std::vector<size_t>>& node_slots) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  nn::Embedding slots_;
+};
+
+/// Gathers per-node attribute slot lists for a batch of ids.
+std::vector<std::vector<size_t>> GatherSlots(
+    const std::vector<std::vector<size_t>>& attrs,
+    const std::vector<size_t>& ids);
+
+/// One mini-batch of training ratings.
+struct PairBatch {
+  std::vector<size_t> users;
+  std::vector<size_t> items;
+  std::vector<float> targets;
+
+  /// Targets as a [B,1] column.
+  Matrix TargetColumn() const;
+};
+
+/// Shuffled mini-batches over the training ratings.
+std::vector<PairBatch> MakeRatingBatches(const std::vector<data::Rating>& train,
+                                         size_t batch_size, Rng* rng);
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_COMMON_H_

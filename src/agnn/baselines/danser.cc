@@ -1,0 +1,82 @@
+#include "agnn/baselines/danser.h"
+
+#include "agnn/graph/interaction_graph.h"
+#include "agnn/nn/init.h"
+
+namespace agnn::baselines {
+
+void Danser::Prepare(const data::Dataset& dataset, const data::Split& split,
+                     Rng* rng) {
+  if (dataset.has_social()) {
+    user_graph_ = graph::BuildSocialGraph(dataset.social_links);
+  } else {
+    auto sims = graph::PairwiseBinaryCosine(dataset.user_attrs,
+                                            dataset.user_schema.total_slots());
+    user_graph_ = graph::BuildKnnGraph(sims, options_.num_neighbors);
+  }
+  // Item-item graph from co-click counts on the TRAINING interactions.
+  graph::InteractionGraph train_graph(dataset.num_users, dataset.num_items,
+                                      split.train);
+  item_graph_ = graph::BuildCoPurchaseGraph(train_graph.AllItemRatings(),
+                                            dataset.num_users,
+                                            options_.num_neighbors);
+
+  const size_t dim = options_.embedding_dim;
+  user_id_ = std::make_unique<nn::Embedding>(dataset.num_users, dim, rng);
+  item_id_ = std::make_unique<nn::Embedding>(dataset.num_items, dim, rng);
+  user_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.user_schema.total_slots(), dim, rng);
+  item_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.item_schema.total_slots(), dim, rng);
+  user_proj_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  item_proj_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  RegisterSubmodule("user_id", user_id_.get());
+  RegisterSubmodule("item_id", item_id_.get());
+  RegisterSubmodule("user_attr", user_attr_.get());
+  RegisterSubmodule("item_attr", item_attr_.get());
+  RegisterSubmodule("user_proj", user_proj_.get());
+  RegisterSubmodule("item_proj", item_proj_.get());
+  user_attn_ = RegisterParameter("user_attn",
+                                 nn::XavierUniform(2 * dim, 1, rng));
+  item_attn_ = RegisterParameter("item_attn",
+                                 nn::XavierUniform(2 * dim, 1, rng));
+}
+
+ag::Var Danser::Base(bool user_side, const std::vector<size_t>& ids) const {
+  if (user_side) {
+    return ag::Add(
+        user_id_->Forward(ids),
+        user_attr_->Forward(GatherSlots(dataset_->user_attrs, ids)));
+  }
+  return ag::Add(item_id_->Forward(ids),
+                 item_attr_->Forward(GatherSlots(dataset_->item_attrs, ids)));
+}
+
+ag::Var Danser::Attend(const ag::Var& self, const ag::Var& neighbors,
+                       const std::vector<bool>& isolated, size_t count,
+                       const nn::Linear& proj, const ag::Var& attn) const {
+  ag::Var self_rep = ag::RepeatRows(self, count);
+  ag::Var proj_self = proj.Forward(self_rep);
+  ag::Var proj_neigh = proj.Forward(neighbors);
+  ag::Var logits = ag::LeakyRelu(
+      ag::MatMul(ag::ConcatCols(proj_self, proj_neigh), attn), 0.2f);
+  ag::Var alpha = ag::SoftmaxBlocks(logits, count);
+  ag::Var agg = ag::RowBlockSum(ag::MulColBroadcast(proj_neigh, alpha), count);
+  return ag::LeakyRelu(ag::Add(self, ZeroIsolatedRows(agg, isolated)));
+}
+
+ag::Var Danser::ScoreBatch(const std::vector<size_t>& users,
+                           const std::vector<size_t>& items, Rng* rng,
+                           bool training) {
+  (void)training;
+  const size_t s = options_.num_neighbors;
+  NeighborSample un = SampleOrIsolate(user_graph_, users, s, rng);
+  NeighborSample in = SampleOrIsolate(item_graph_, items, s, rng);
+  ag::Var user_emb = Attend(Base(true, users), Base(true, un.flat),
+                            un.isolated, s, *user_proj_, user_attn_);
+  ag::Var item_emb = Attend(Base(false, items), Base(false, in.flat),
+                            in.isolated, s, *item_proj_, item_attn_);
+  return ScoreFromEmbeddings(user_emb, item_emb, users, items);
+}
+
+}  // namespace agnn::baselines

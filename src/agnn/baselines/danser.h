@@ -1,0 +1,51 @@
+#ifndef AGNN_BASELINES_DANSER_H_
+#define AGNN_BASELINES_DANSER_H_
+
+#include <memory>
+
+#include "agnn/baselines/graph_rec_base.h"
+
+namespace agnn::baselines {
+
+/// DANSER (Wu et al., 2019): dual graph attention networks.
+///
+/// Both sides are aggregated with graph attention. The user-user graph is
+/// the social graph (Yelp) or attribute-kNN (MovieLens, per the paper's
+/// protocol); the item-item graph is built from co-click counts — which is
+/// exactly why DANSER collapses on strict item cold start: a never-rated
+/// item has no co-click neighbors at all.
+class Danser : public GraphRecBase {
+ public:
+  explicit Danser(const TrainOptions& options) : GraphRecBase(options) {}
+  std::string name() const override { return "DANSER"; }
+
+ protected:
+  void Prepare(const data::Dataset& dataset, const data::Split& split,
+               Rng* rng) override;
+  ag::Var ScoreBatch(const std::vector<size_t>& users,
+                     const std::vector<size_t>& items, Rng* rng,
+                     bool training) override;
+
+ private:
+  /// Base embedding (id + attribute) of one side.
+  ag::Var Base(bool user_side, const std::vector<size_t>& ids) const;
+  /// One graph-attention hop over sampled neighbors.
+  ag::Var Attend(const ag::Var& self, const ag::Var& neighbors,
+                 const std::vector<bool>& isolated, size_t count,
+                 const nn::Linear& proj, const ag::Var& attn) const;
+
+  graph::WeightedGraph user_graph_;
+  graph::WeightedGraph item_graph_;
+  std::unique_ptr<nn::Embedding> user_id_;
+  std::unique_ptr<nn::Embedding> item_id_;
+  std::unique_ptr<AttrEmbedder> user_attr_;
+  std::unique_ptr<AttrEmbedder> item_attr_;
+  std::unique_ptr<nn::Linear> user_proj_;
+  std::unique_ptr<nn::Linear> item_proj_;
+  ag::Var user_attn_;  // [2D, 1]
+  ag::Var item_attn_;  // [2D, 1]
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_DANSER_H_

@@ -1,0 +1,63 @@
+#include "agnn/baselines/diffnet.h"
+
+namespace agnn::baselines {
+
+void DiffNet::Prepare(const data::Dataset& dataset, const data::Split& split,
+                      Rng* rng) {
+  (void)split;
+  if (dataset.has_social()) {
+    user_graph_ = graph::BuildSocialGraph(dataset.social_links);
+  } else {
+    auto sims = graph::PairwiseBinaryCosine(dataset.user_attrs,
+                                            dataset.user_schema.total_slots());
+    user_graph_ = graph::BuildKnnGraph(sims, options_.num_neighbors);
+  }
+  const size_t dim = options_.embedding_dim;
+  user_id_ = std::make_unique<nn::Embedding>(dataset.num_users, dim, rng);
+  item_id_ = std::make_unique<nn::Embedding>(dataset.num_items, dim, rng);
+  user_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.user_schema.total_slots(), dim, rng);
+  item_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.item_schema.total_slots(), dim, rng);
+  diffuse1_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  diffuse2_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  RegisterSubmodule("user_id", user_id_.get());
+  RegisterSubmodule("item_id", item_id_.get());
+  RegisterSubmodule("user_attr", user_attr_.get());
+  RegisterSubmodule("item_attr", item_attr_.get());
+  RegisterSubmodule("diffuse1", diffuse1_.get());
+  RegisterSubmodule("diffuse2", diffuse2_.get());
+}
+
+ag::Var DiffNet::UserBase(const std::vector<size_t>& ids) const {
+  return ag::Add(user_id_->Forward(ids),
+                 user_attr_->Forward(GatherSlots(dataset_->user_attrs, ids)));
+}
+
+ag::Var DiffNet::ScoreBatch(const std::vector<size_t>& users,
+                            const std::vector<size_t>& items, Rng* rng,
+                            bool training) {
+  (void)training;
+  const size_t s = options_.num_neighbors;
+  // Two diffusion hops: first-hop neighbors aggregate their own neighbors.
+  NeighborSample hop1 = SampleOrIsolate(user_graph_, users, s, rng);
+  NeighborSample hop2 = SampleOrIsolate(user_graph_, hop1.flat, s, rng);
+
+  ag::Var hop2_base = UserBase(hop2.flat);  // [B*s*s, D]
+  ag::Var hop1_base = UserBase(hop1.flat);  // [B*s, D]
+  ag::Var hop1_in = ZeroIsolatedRows(
+      ag::LeakyRelu(diffuse2_->Forward(ag::RowBlockMean(hop2_base, s))),
+      hop2.isolated);
+  ag::Var hop1_full = ag::Add(hop1_base, hop1_in);
+  ag::Var user_in = ZeroIsolatedRows(
+      ag::LeakyRelu(diffuse1_->Forward(ag::RowBlockMean(hop1_full, s))),
+      hop1.isolated);
+  ag::Var user_emb = ag::Add(UserBase(users), user_in);
+
+  ag::Var item_emb =
+      ag::Add(item_id_->Forward(items),
+              item_attr_->Forward(GatherSlots(dataset_->item_attrs, items)));
+  return ScoreFromEmbeddings(user_emb, item_emb, users, items);
+}
+
+}  // namespace agnn::baselines

@@ -1,0 +1,46 @@
+#ifndef AGNN_BASELINES_DIFFNET_H_
+#define AGNN_BASELINES_DIFFNET_H_
+
+#include <memory>
+
+#include "agnn/baselines/graph_rec_base.h"
+
+namespace agnn::baselines {
+
+/// DiffNet (Wu et al., 2019): social influence diffusion.
+///
+/// User representations fuse a free id embedding with the attribute
+/// embedding and then diffuse across the user-user graph (social links on
+/// Yelp, attribute-kNN on MovieLens, per the paper's protocol):
+///   u⁰ = id_u + attr_u;  uˡ⁺¹ = uˡ + mean_{v∈N(u)} v⁰·Wˡ
+/// Items use id + attribute embeddings. Scoring is the standard dot
+/// product with biases. Strict cold users still receive diffusion from
+/// their attribute/social neighborhood; strict cold items only have their
+/// attribute embedding.
+class DiffNet : public GraphRecBase {
+ public:
+  explicit DiffNet(const TrainOptions& options) : GraphRecBase(options) {}
+  std::string name() const override { return "DiffNet"; }
+
+ protected:
+  void Prepare(const data::Dataset& dataset, const data::Split& split,
+               Rng* rng) override;
+  ag::Var ScoreBatch(const std::vector<size_t>& users,
+                     const std::vector<size_t>& items, Rng* rng,
+                     bool training) override;
+
+ private:
+  ag::Var UserBase(const std::vector<size_t>& ids) const;
+
+  graph::WeightedGraph user_graph_;
+  std::unique_ptr<nn::Embedding> user_id_;
+  std::unique_ptr<nn::Embedding> item_id_;
+  std::unique_ptr<AttrEmbedder> user_attr_;
+  std::unique_ptr<AttrEmbedder> item_attr_;
+  std::unique_ptr<nn::Linear> diffuse1_;
+  std::unique_ptr<nn::Linear> diffuse2_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_DIFFNET_H_

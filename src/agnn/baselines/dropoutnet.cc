@@ -1,0 +1,112 @@
+#include "agnn/baselines/dropoutnet.h"
+
+#include "agnn/common/logging.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::baselines {
+namespace {
+
+constexpr float kPreferenceDropout = 0.5f;
+
+}  // namespace
+
+void DropoutNet::Fit(const data::Dataset& dataset, const data::Split& split) {
+  dataset_ = &dataset;
+  split_ = &split;
+  Rng rng(options_.seed);
+
+  // Stage 1: pretrained preference model.
+  TrainOptions mf_options = options_;
+  pretrained_ = std::make_unique<Mf>(mf_options);
+  pretrained_->Fit(dataset, split);
+  bias_.Fit(split.train, dataset.num_users, dataset.num_items);
+
+  // Stage 2: content-aware transforms.
+  const size_t dim = options_.embedding_dim;
+  user_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.user_schema.total_slots(), dim, &rng);
+  item_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.item_schema.total_slots(), dim, &rng);
+  user_net_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{2 * dim, 2 * dim, dim}, &rng);
+  item_net_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{2 * dim, 2 * dim, dim}, &rng);
+  RegisterSubmodule("user_attr", user_attr_.get());
+  RegisterSubmodule("item_attr", item_attr_.get());
+  RegisterSubmodule("user_net", user_net_.get());
+  RegisterSubmodule("item_net", item_net_.get());
+
+  nn::Adam opt(Parameters(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const PairBatch& batch :
+         MakeRatingBatches(split.train, options_.batch_size, &rng)) {
+      opt.ZeroGrad();
+      std::vector<bool> drop_users(batch.users.size());
+      std::vector<bool> drop_items(batch.items.size());
+      for (size_t b = 0; b < batch.users.size(); ++b) {
+        drop_users[b] = rng.Bernoulli(kPreferenceDropout);
+        drop_items[b] = rng.Bernoulli(kPreferenceDropout);
+      }
+      ag::Var fu = Transform(true, batch.users, drop_users);
+      ag::Var fv = Transform(false, batch.items, drop_items);
+      // Residual target over the bias model.
+      Matrix residual(batch.targets.size(), 1);
+      for (size_t b = 0; b < batch.targets.size(); ++b) {
+        residual.At(b, 0) =
+            batch.targets[b] - bias_.Predict(batch.users[b], batch.items[b]);
+      }
+      ag::Backward(ag::MseLoss(ag::RowwiseDot(fu, fv), residual));
+      nn::ClipGradNorm(Parameters(), options_.grad_clip);
+      opt.Step();
+    }
+  }
+}
+
+ag::Var DropoutNet::Transform(bool user_side, const std::vector<size_t>& ids,
+                              const std::vector<bool>& drop) const {
+  const Matrix& factors =
+      user_side ? pretrained_->user_factors() : pretrained_->item_factors();
+  Matrix pref = factors.GatherRows(ids);
+  for (size_t b = 0; b < ids.size(); ++b) {
+    if (!drop[b]) continue;
+    for (size_t c = 0; c < pref.cols(); ++c) pref.At(b, c) = 0.0f;
+  }
+  const AttrEmbedder& attr = user_side ? *user_attr_ : *item_attr_;
+  const auto& attrs = user_side ? dataset_->user_attrs : dataset_->item_attrs;
+  const nn::Mlp& net = user_side ? *user_net_ : *item_net_;
+  return net.Forward(ag::ConcatCols(ag::MakeConst(std::move(pref)),
+                                    attr.Forward(GatherSlots(attrs, ids))));
+}
+
+std::vector<bool> DropoutNet::TestDropFlags(
+    bool user_side, const std::vector<size_t>& ids) const {
+  const auto& cold = user_side ? split_->cold_user : split_->cold_item;
+  std::vector<bool> drop(ids.size(), false);
+  for (size_t b = 0; b < ids.size(); ++b) drop[b] = cold[ids[b]];
+  return drop;
+}
+
+float DropoutNet::Predict(size_t user, size_t item) {
+  return PredictPairs({{user, item}})[0];
+}
+
+std::vector<float> DropoutNet::PredictPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  AGNN_CHECK(user_net_ != nullptr) << "Fit must run before Predict";
+  std::vector<size_t> users;
+  std::vector<size_t> items;
+  for (const auto& [u, i] : pairs) {
+    users.push_back(u);
+    items.push_back(i);
+  }
+  ag::Var fu = Transform(true, users, TestDropFlags(true, users));
+  ag::Var fv = Transform(false, items, TestDropFlags(false, items));
+  ag::Var dot = ag::RowwiseDot(fu, fv);
+  std::vector<float> out(pairs.size());
+  for (size_t b = 0; b < pairs.size(); ++b) {
+    out[b] = bias_.Predict(users[b], items[b]) + dot->value().At(b, 0);
+  }
+  return out;
+}
+
+}  // namespace agnn::baselines

@@ -1,0 +1,52 @@
+#ifndef AGNN_BASELINES_DROPOUTNET_H_
+#define AGNN_BASELINES_DROPOUTNET_H_
+
+#include <memory>
+
+#include "agnn/baselines/common.h"
+#include "agnn/baselines/mf.h"
+#include "agnn/baselines/rating_model.h"
+
+namespace agnn::baselines {
+
+/// DropoutNet (Volkovs et al., 2017).
+///
+/// Stage 1 pretrains biased MF to obtain preference embeddings U, V.
+/// Stage 2 trains two DNNs f([u_pref ; u_attr]) and g([v_pref ; v_attr])
+/// whose dot product reproduces the ratings, while randomly zeroing the
+/// preference inputs (input dropout) so the networks learn to fall back on
+/// content alone. At test time strict cold nodes feed a zero preference
+/// vector — the model's designed-for case, but its quality is bounded by
+/// the pretrained preference model it distills.
+class DropoutNet : public RatingModel, public nn::Module {
+ public:
+  explicit DropoutNet(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "DropoutNet"; }
+  void Fit(const data::Dataset& dataset, const data::Split& split) override;
+  float Predict(size_t user, size_t item) override;
+  std::vector<float> PredictPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs) override;
+
+ private:
+  /// Transformed embedding of one side. `drop` marks rows whose preference
+  /// input is zeroed (cold nodes at test time; sampled rows in training).
+  ag::Var Transform(bool user_side, const std::vector<size_t>& ids,
+                    const std::vector<bool>& drop) const;
+  std::vector<bool> TestDropFlags(bool user_side,
+                                  const std::vector<size_t>& ids) const;
+
+  TrainOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  const data::Split* split_ = nullptr;
+  std::unique_ptr<Mf> pretrained_;
+  BiasPredictor bias_;
+  std::unique_ptr<AttrEmbedder> user_attr_;
+  std::unique_ptr<AttrEmbedder> item_attr_;
+  std::unique_ptr<nn::Mlp> user_net_;
+  std::unique_ptr<nn::Mlp> item_net_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_DROPOUTNET_H_

@@ -1,0 +1,45 @@
+#include "agnn/baselines/factory.h"
+
+#include "agnn/baselines/danser.h"
+#include "agnn/baselines/diffnet.h"
+#include "agnn/baselines/dropoutnet.h"
+#include "agnn/baselines/gcmc.h"
+#include "agnn/baselines/hers.h"
+#include "agnn/baselines/igmc.h"
+#include "agnn/baselines/llae.h"
+#include "agnn/baselines/metaemb.h"
+#include "agnn/baselines/metahin.h"
+#include "agnn/baselines/mf.h"
+#include "agnn/baselines/nfm.h"
+#include "agnn/baselines/srmgcnn.h"
+#include "agnn/baselines/stargcn.h"
+#include "agnn/common/logging.h"
+
+namespace agnn::baselines {
+
+std::unique_ptr<RatingModel> MakeBaseline(const std::string& name,
+                                          const TrainOptions& options) {
+  if (name == "MF") return std::make_unique<Mf>(options);
+  if (name == "NFM") return std::make_unique<Nfm>(options);
+  if (name == "DiffNet") return std::make_unique<DiffNet>(options);
+  if (name == "DANSER") return std::make_unique<Danser>(options);
+  if (name == "sRMGCNN") return std::make_unique<Srmgcnn>(options);
+  if (name == "GC-MC") return std::make_unique<Gcmc>(options);
+  if (name == "STAR-GCN") return std::make_unique<StarGcn>(options);
+  if (name == "MetaHIN") return std::make_unique<MetaHin>(options);
+  if (name == "IGMC") return std::make_unique<Igmc>(options);
+  if (name == "DropoutNet") return std::make_unique<DropoutNet>(options);
+  if (name == "LLAE") return std::make_unique<Llae>(options);
+  if (name == "HERS") return std::make_unique<Hers>(options);
+  if (name == "MetaEmb") return std::make_unique<MetaEmb>(options);
+  AGNN_LOG(Fatal) << "unknown baseline: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> Table2BaselineNames() {
+  return {"NFM",     "DiffNet",    "DANSER", "sRMGCNN", "GC-MC",
+          "STAR-GCN", "MetaHIN",   "IGMC",   "DropoutNet", "LLAE",
+          "HERS",    "MetaEmb"};
+}
+
+}  // namespace agnn::baselines

@@ -1,0 +1,23 @@
+#ifndef AGNN_BASELINES_FACTORY_H_
+#define AGNN_BASELINES_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agnn/baselines/rating_model.h"
+
+namespace agnn::baselines {
+
+/// Instantiates a baseline by its Table 2 row name: "MF", "NFM", "DiffNet",
+/// "DANSER", "sRMGCNN", "GC-MC", "STAR-GCN", "MetaHIN", "IGMC",
+/// "DropoutNet", "LLAE", "HERS", "MetaEmb". Aborts on an unknown name.
+std::unique_ptr<RatingModel> MakeBaseline(const std::string& name,
+                                          const TrainOptions& options);
+
+/// The twelve Table 2 baselines, in the paper's row order.
+std::vector<std::string> Table2BaselineNames();
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_FACTORY_H_

@@ -1,0 +1,74 @@
+#include "agnn/baselines/gcmc.h"
+
+#include "agnn/graph/interaction_graph.h"
+
+namespace agnn::baselines {
+namespace {
+
+// Bipartite adjacency as weighted graphs (weight = rating value, which
+// biases sampling toward strong interactions).
+void BuildBipartite(const data::Dataset& dataset,
+                    const std::vector<data::Rating>& train,
+                    graph::WeightedGraph* user_to_items,
+                    graph::WeightedGraph* item_to_users) {
+  user_to_items->Resize(dataset.num_users);
+  item_to_users->Resize(dataset.num_items);
+  for (const data::Rating& r : train) {
+    user_to_items->AddCrossEdge(r.user, r.item, r.value);
+    item_to_users->AddCrossEdge(r.item, r.user, r.value);
+  }
+}
+
+}  // namespace
+
+void Gcmc::Prepare(const data::Dataset& dataset, const data::Split& split,
+                   Rng* rng) {
+  BuildBipartite(dataset, split.train, &user_to_items_, &item_to_users_);
+  const size_t dim = options_.embedding_dim;
+  user_id_ = std::make_unique<nn::Embedding>(dataset.num_users, dim, rng);
+  item_id_ = std::make_unique<nn::Embedding>(dataset.num_items, dim, rng);
+  user_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.user_schema.total_slots(), dim, rng);
+  item_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.item_schema.total_slots(), dim, rng);
+  user_conv_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  item_conv_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  user_feature_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  item_feature_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  RegisterSubmodule("user_id", user_id_.get());
+  RegisterSubmodule("item_id", item_id_.get());
+  RegisterSubmodule("user_attr", user_attr_.get());
+  RegisterSubmodule("item_attr", item_attr_.get());
+  RegisterSubmodule("user_conv", user_conv_.get());
+  RegisterSubmodule("item_conv", item_conv_.get());
+  RegisterSubmodule("user_feature", user_feature_.get());
+  RegisterSubmodule("item_feature", item_feature_.get());
+}
+
+ag::Var Gcmc::ScoreBatch(const std::vector<size_t>& users,
+                         const std::vector<size_t>& items, Rng* rng,
+                         bool training) {
+  (void)training;
+  const size_t s = options_.num_neighbors;
+  // User side: aggregate rated items' id embeddings.
+  NeighborSample rated = SampleOrIsolate(user_to_items_, users, s, rng);
+  ag::Var user_conv = ZeroIsolatedRows(
+      user_conv_->Forward(ag::RowBlockMean(item_id_->Forward(rated.flat), s)),
+      rated.isolated);
+  ag::Var user_emb = ag::LeakyRelu(
+      ag::Add(user_conv, user_feature_->Forward(user_attr_->Forward(
+                             GatherSlots(dataset_->user_attrs, users)))));
+
+  // Item side: aggregate raters' id embeddings.
+  NeighborSample raters = SampleOrIsolate(item_to_users_, items, s, rng);
+  ag::Var item_conv = ZeroIsolatedRows(
+      item_conv_->Forward(ag::RowBlockMean(user_id_->Forward(raters.flat), s)),
+      raters.isolated);
+  ag::Var item_emb = ag::LeakyRelu(
+      ag::Add(item_conv, item_feature_->Forward(item_attr_->Forward(
+                             GatherSlots(dataset_->item_attrs, items)))));
+
+  return ScoreFromEmbeddings(user_emb, item_emb, users, items);
+}
+
+}  // namespace agnn::baselines

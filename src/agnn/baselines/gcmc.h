@@ -1,0 +1,47 @@
+#ifndef AGNN_BASELINES_GCMC_H_
+#define AGNN_BASELINES_GCMC_H_
+
+#include <memory>
+
+#include "agnn/baselines/graph_rec_base.h"
+
+namespace agnn::baselines {
+
+/// GC-MC (van den Berg et al., 2018): graph convolutional matrix
+/// completion on the user-item bipartite graph.
+///
+/// A user's convolved representation averages the id embeddings of the
+/// items they rated (and vice versa); side information enters only AFTER
+/// the convolution, as a separate dense feature channel:
+///   h_u = LeakyReLU( W · mean_{i∈N(u)} n_i  +  W_f · attr_u )
+/// A strict cold node has an empty bipartite neighborhood, so its conv term
+/// is zero and only the post-conv feature channel remains — the limitation
+/// the paper highlights.
+class Gcmc : public GraphRecBase {
+ public:
+  explicit Gcmc(const TrainOptions& options) : GraphRecBase(options) {}
+  std::string name() const override { return "GC-MC"; }
+
+ protected:
+  void Prepare(const data::Dataset& dataset, const data::Split& split,
+               Rng* rng) override;
+  ag::Var ScoreBatch(const std::vector<size_t>& users,
+                     const std::vector<size_t>& items, Rng* rng,
+                     bool training) override;
+
+ private:
+  graph::WeightedGraph user_to_items_;
+  graph::WeightedGraph item_to_users_;
+  std::unique_ptr<nn::Embedding> user_id_;
+  std::unique_ptr<nn::Embedding> item_id_;
+  std::unique_ptr<AttrEmbedder> user_attr_;
+  std::unique_ptr<AttrEmbedder> item_attr_;
+  std::unique_ptr<nn::Linear> user_conv_;
+  std::unique_ptr<nn::Linear> item_conv_;
+  std::unique_ptr<nn::Linear> user_feature_;
+  std::unique_ptr<nn::Linear> item_feature_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_GCMC_H_

@@ -1,0 +1,109 @@
+#include "agnn/baselines/graph_rec_base.h"
+
+#include "agnn/common/logging.h"
+
+namespace agnn::baselines {
+
+NeighborSample SampleOrIsolate(const graph::WeightedGraph& graph,
+                               const std::vector<size_t>& ids, size_t count,
+                               Rng* rng) {
+  NeighborSample sample;
+  sample.flat.reserve(ids.size() * count);
+  sample.isolated.reserve(ids.size());
+  for (size_t id : ids) {
+    if (graph.neighbors[id].empty()) {
+      sample.isolated.push_back(true);
+      sample.flat.insert(sample.flat.end(), count, 0);
+    } else {
+      sample.isolated.push_back(false);
+      auto picks = graph::SampleNeighbors(graph, id, count, rng);
+      sample.flat.insert(sample.flat.end(), picks.begin(), picks.end());
+    }
+  }
+  return sample;
+}
+
+ag::Var ZeroIsolatedRows(const ag::Var& aggregated,
+                         const std::vector<bool>& isolated) {
+  AGNN_CHECK_EQ(aggregated->value().rows(), isolated.size());
+  bool any = false;
+  for (bool b : isolated) any = any || b;
+  if (!any) return aggregated;
+  Matrix keep(isolated.size(), 1);
+  for (size_t i = 0; i < isolated.size(); ++i) {
+    keep.At(i, 0) = isolated[i] ? 0.0f : 1.0f;
+  }
+  return ag::MulColBroadcast(aggregated, ag::MakeConst(std::move(keep)));
+}
+
+void GraphRecBase::Fit(const data::Dataset& dataset,
+                       const data::Split& split) {
+  dataset_ = &dataset;
+  split_ = &split;
+  Prepare(dataset, split, &rng_);
+
+  user_bias_ =
+      std::make_unique<nn::Embedding>(dataset.num_users, 1, &rng_, 0.01f);
+  item_bias_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, 1, &rng_, 0.01f);
+  RegisterSubmodule("user_bias", user_bias_.get());
+  RegisterSubmodule("item_bias", item_bias_.get());
+  BiasPredictor bias;
+  bias.Fit(split.train, dataset.num_users, dataset.num_items);
+  global_bias_ =
+      RegisterParameter("global_bias", Matrix(1, 1, bias.global_mean()));
+
+  nn::Adam opt(Parameters(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const PairBatch& batch :
+         MakeRatingBatches(split.train, options_.batch_size, &rng_)) {
+      opt.ZeroGrad();
+      ag::Var pred =
+          ScoreBatch(batch.users, batch.items, &rng_, /*training=*/true);
+      ag::Var loss = ag::MseLoss(pred, batch.TargetColumn());
+      if (ag::Var extra = ExtraLoss(&rng_)) {
+        loss = ag::Add(loss, extra);
+      }
+      ag::Backward(loss);
+      nn::ClipGradNorm(Parameters(), options_.grad_clip);
+      opt.Step();
+    }
+  }
+}
+
+ag::Var GraphRecBase::ScoreFromEmbeddings(
+    const ag::Var& user_emb, const ag::Var& item_emb,
+    const std::vector<size_t>& users, const std::vector<size_t>& items) const {
+  return ag::AddRowBroadcast(
+      ag::Add(ag::RowwiseDot(user_emb, item_emb),
+              ag::Add(user_bias_->Forward(users), item_bias_->Forward(items))),
+      global_bias_);
+}
+
+float GraphRecBase::Predict(size_t user, size_t item) {
+  return PredictPairs({{user, item}})[0];
+}
+
+std::vector<float> GraphRecBase::PredictPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  AGNN_CHECK(dataset_ != nullptr) << "Fit must run before Predict";
+  std::vector<float> out;
+  out.reserve(pairs.size());
+  const size_t chunk = 512;
+  for (size_t start = 0; start < pairs.size(); start += chunk) {
+    const size_t end = std::min(pairs.size(), start + chunk);
+    std::vector<size_t> users;
+    std::vector<size_t> items;
+    for (size_t i = start; i < end; ++i) {
+      users.push_back(pairs[i].first);
+      items.push_back(pairs[i].second);
+    }
+    ag::Var pred = ScoreBatch(users, items, &rng_, /*training=*/false);
+    for (size_t r = 0; r < users.size(); ++r) {
+      out.push_back(pred->value().At(r, 0));
+    }
+  }
+  return out;
+}
+
+}  // namespace agnn::baselines

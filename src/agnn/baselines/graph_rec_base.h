@@ -1,0 +1,79 @@
+#ifndef AGNN_BASELINES_GRAPH_REC_BASE_H_
+#define AGNN_BASELINES_GRAPH_REC_BASE_H_
+
+#include <memory>
+
+#include "agnn/baselines/common.h"
+#include "agnn/baselines/rating_model.h"
+#include "agnn/graph/attribute_graph.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::baselines {
+
+/// A batch of sampled neighbors with isolation flags. Isolated nodes get a
+/// placeholder id (0) in `flat` and must have their aggregated message
+/// zeroed via `isolated`.
+struct NeighborSample {
+  std::vector<size_t> flat;     ///< [B * count]
+  std::vector<bool> isolated;   ///< [B]
+};
+
+/// Samples `count` neighbors per id; unlike graph::SampleNeighbors this
+/// reports isolated nodes instead of self-looping, since cross-side
+/// (bipartite) aggregation cannot substitute the node itself.
+NeighborSample SampleOrIsolate(const graph::WeightedGraph& graph,
+                               const std::vector<size_t>& ids, size_t count,
+                               Rng* rng);
+
+/// Zeroes the rows of `aggregated` that belong to isolated nodes.
+ag::Var ZeroIsolatedRows(const ag::Var& aggregated,
+                         const std::vector<bool>& isolated);
+
+/// Shared skeleton for the GNN-style baselines (DiffNet, DANSER, sRMGCNN,
+/// GC-MC, STAR-GCN, HERS): subclasses build their graphs/modules in
+/// Prepare() and produce per-batch scores in ScoreBatch(); this class owns
+/// the bias terms, the Adam training loop, and batched prediction.
+class GraphRecBase : public RatingModel, public nn::Module {
+ public:
+  explicit GraphRecBase(const TrainOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  void Fit(const data::Dataset& dataset, const data::Split& split) final;
+  float Predict(size_t user, size_t item) final;
+  std::vector<float> PredictPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs) final;
+
+ protected:
+  /// Builds graphs and registers submodules. Called once at the start of
+  /// Fit, before the bias embeddings are created.
+  virtual void Prepare(const data::Dataset& dataset, const data::Split& split,
+                       Rng* rng) = 0;
+
+  /// Scores one batch of (user, item) pairs; returns [B, 1].
+  virtual ag::Var ScoreBatch(const std::vector<size_t>& users,
+                             const std::vector<size_t>& items, Rng* rng,
+                             bool training) = 0;
+
+  /// Extra loss terms added to the batch MSE (e.g., STAR-GCN's
+  /// reconstruction). Default: none (returns null).
+  virtual ag::Var ExtraLoss(Rng* rng) { return nullptr; }
+
+  /// Standard scoring tail: p·q + b_u + b_i + μ.
+  ag::Var ScoreFromEmbeddings(const ag::Var& user_emb, const ag::Var& item_emb,
+                              const std::vector<size_t>& users,
+                              const std::vector<size_t>& items) const;
+
+  TrainOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  const data::Split* split_ = nullptr;
+  Rng rng_;
+
+ private:
+  std::unique_ptr<nn::Embedding> user_bias_;
+  std::unique_ptr<nn::Embedding> item_bias_;
+  ag::Var global_bias_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_GRAPH_REC_BASE_H_

@@ -1,0 +1,59 @@
+#include "agnn/baselines/hers.h"
+
+namespace agnn::baselines {
+
+void Hers::Prepare(const data::Dataset& dataset, const data::Split& split,
+                   Rng* rng) {
+  (void)split;
+  if (dataset.has_social()) {
+    user_graph_ = graph::BuildSocialGraph(dataset.social_links);
+  } else {
+    auto sims = graph::PairwiseBinaryCosine(dataset.user_attrs,
+                                            dataset.user_schema.total_slots());
+    user_graph_ = graph::BuildKnnGraph(sims, options_.num_neighbors);
+  }
+  // Item-item relations from common attributes (the paper uses common
+  // tags; our datasets have none, so common attributes stand in — the same
+  // adaptation the AGNN paper makes).
+  auto item_sims = graph::PairwiseBinaryCosine(
+      dataset.item_attrs, dataset.item_schema.total_slots());
+  item_graph_ = graph::BuildKnnGraph(item_sims, options_.num_neighbors);
+
+  const size_t dim = options_.embedding_dim;
+  user_id_ = std::make_unique<nn::Embedding>(dataset.num_users, dim, rng);
+  item_id_ = std::make_unique<nn::Embedding>(dataset.num_items, dim, rng);
+  user_relate_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  item_relate_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  RegisterSubmodule("user_id", user_id_.get());
+  RegisterSubmodule("item_id", item_id_.get());
+  RegisterSubmodule("user_relate", user_relate_.get());
+  RegisterSubmodule("item_relate", item_relate_.get());
+}
+
+ag::Var Hers::Aggregate(const nn::Embedding& ids, const nn::Linear& relate,
+                        const graph::WeightedGraph& graph,
+                        const std::vector<size_t>& batch_ids,
+                        Rng* rng) const {
+  const size_t s = options_.num_neighbors;
+  NeighborSample sample = SampleOrIsolate(graph, batch_ids, s, rng);
+  // Influential context: the relation-aggregated neighbor representation
+  // plus the node's own id embedding (untrained noise for cold nodes).
+  ag::Var context = ZeroIsolatedRows(
+      ag::LeakyRelu(relate.Forward(
+          ag::RowBlockMean(ids.Forward(sample.flat), s))),
+      sample.isolated);
+  return ag::Add(ids.Forward(batch_ids), context);
+}
+
+ag::Var Hers::ScoreBatch(const std::vector<size_t>& users,
+                         const std::vector<size_t>& items, Rng* rng,
+                         bool training) {
+  (void)training;
+  ag::Var user_emb =
+      Aggregate(*user_id_, *user_relate_, user_graph_, users, rng);
+  ag::Var item_emb =
+      Aggregate(*item_id_, *item_relate_, item_graph_, items, rng);
+  return ScoreFromEmbeddings(user_emb, item_emb, users, items);
+}
+
+}  // namespace agnn::baselines

@@ -1,0 +1,47 @@
+#ifndef AGNN_BASELINES_HERS_H_
+#define AGNN_BASELINES_HERS_H_
+
+#include <memory>
+
+#include "agnn/baselines/graph_rec_base.h"
+
+namespace agnn::baselines {
+
+/// HERS (Hu et al., 2019): modeling influential contexts with
+/// heterogeneous relations.
+///
+/// Nodes are represented by aggregating the id embeddings of their
+/// *relational* neighbors (social links for users on Yelp, attribute-kNN
+/// otherwise; common-attribute kNN for items) — crucially WITHOUT using the
+/// node's own attributes. A strict cold node is therefore represented
+/// purely by its influential context, which is why HERS handles cold start
+/// but tends to push cold nodes toward their neighborhood's (popular)
+/// taste, the weakness the AGNN paper points out.
+class Hers : public GraphRecBase {
+ public:
+  explicit Hers(const TrainOptions& options) : GraphRecBase(options) {}
+  std::string name() const override { return "HERS"; }
+
+ protected:
+  void Prepare(const data::Dataset& dataset, const data::Split& split,
+               Rng* rng) override;
+  ag::Var ScoreBatch(const std::vector<size_t>& users,
+                     const std::vector<size_t>& items, Rng* rng,
+                     bool training) override;
+
+ private:
+  ag::Var Aggregate(const nn::Embedding& ids, const nn::Linear& relate,
+                    const graph::WeightedGraph& graph,
+                    const std::vector<size_t>& batch_ids, Rng* rng) const;
+
+  graph::WeightedGraph user_graph_;
+  graph::WeightedGraph item_graph_;
+  std::unique_ptr<nn::Embedding> user_id_;
+  std::unique_ptr<nn::Embedding> item_id_;
+  std::unique_ptr<nn::Linear> user_relate_;
+  std::unique_ptr<nn::Linear> item_relate_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_HERS_H_

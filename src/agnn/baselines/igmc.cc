@@ -1,0 +1,115 @@
+#include "agnn/baselines/igmc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::baselines {
+
+void Igmc::PairFeatures(size_t user, size_t item, float* out) const {
+  std::fill(out, out + kFeatureDim, 0.0f);
+  const auto& user_ratings = train_graph_->UserRatings(user);
+  const auto& item_ratings = train_graph_->ItemRatings(item);
+
+  // Rating-level histograms (target edge removed), normalized by degree.
+  float user_sum = 0.0f;
+  size_t user_count = 0;
+  for (const auto& [other_item, value] : user_ratings) {
+    if (other_item == item) continue;  // IGMC removes the target edge
+    const size_t level = static_cast<size_t>(
+        std::clamp(value, 1.0f, static_cast<float>(kNumRatingLevels)));
+    out[level - 1] += 1.0f;
+    user_sum += value;
+    ++user_count;
+  }
+  float item_sum = 0.0f;
+  size_t item_count = 0;
+  for (const auto& [other_user, value] : item_ratings) {
+    if (other_user == user) continue;
+    const size_t level = static_cast<size_t>(
+        std::clamp(value, 1.0f, static_cast<float>(kNumRatingLevels)));
+    out[kNumRatingLevels + level - 1] += 1.0f;
+    item_sum += value;
+    ++item_count;
+  }
+  if (user_count > 0) {
+    for (size_t l = 0; l < kNumRatingLevels; ++l) {
+      out[l] /= static_cast<float>(user_count);
+    }
+  }
+  if (item_count > 0) {
+    for (size_t l = 0; l < kNumRatingLevels; ++l) {
+      out[kNumRatingLevels + l] /= static_cast<float>(item_count);
+    }
+  }
+  // Mean ratings and log-degrees.
+  out[2 * kNumRatingLevels] =
+      user_count > 0 ? user_sum / static_cast<float>(user_count) : 0.0f;
+  out[2 * kNumRatingLevels + 1] =
+      item_count > 0 ? item_sum / static_cast<float>(item_count) : 0.0f;
+  out[2 * kNumRatingLevels + 2] =
+      std::log1p(static_cast<float>(user_count));
+  out[2 * kNumRatingLevels + 3] =
+      std::log1p(static_cast<float>(item_count));
+}
+
+ag::Var Igmc::Score(const std::vector<size_t>& users,
+                    const std::vector<size_t>& items) const {
+  Matrix features(users.size(), kFeatureDim);
+  for (size_t b = 0; b < users.size(); ++b) {
+    PairFeatures(users[b], items[b], features.Row(b));
+  }
+  return mlp_->Forward(ag::MakeConst(std::move(features)));
+}
+
+void Igmc::Fit(const data::Dataset& dataset, const data::Split& split) {
+  Rng rng(options_.seed);
+  train_graph_ = std::make_unique<graph::InteractionGraph>(
+      dataset.num_users, dataset.num_items, split.train);
+  bias_.Fit(split.train, dataset.num_users, dataset.num_items);
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{kFeatureDim, 32, 16, 1}, &rng);
+  RegisterSubmodule("mlp", mlp_.get());
+
+  nn::Adam opt(Parameters(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const PairBatch& batch :
+         MakeRatingBatches(split.train, options_.batch_size, &rng)) {
+      opt.ZeroGrad();
+      // The MLP predicts the residual over the bias model (IGMC's graph
+      // patterns refine, rather than replace, global statistics).
+      Matrix residual(batch.targets.size(), 1);
+      for (size_t b = 0; b < batch.targets.size(); ++b) {
+        residual.At(b, 0) =
+            batch.targets[b] - bias_.Predict(batch.users[b], batch.items[b]);
+      }
+      ag::Backward(ag::MseLoss(Score(batch.users, batch.items), residual));
+      nn::ClipGradNorm(Parameters(), options_.grad_clip);
+      opt.Step();
+    }
+  }
+}
+
+float Igmc::Predict(size_t user, size_t item) {
+  return PredictPairs({{user, item}})[0];
+}
+
+std::vector<float> Igmc::PredictPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  AGNN_CHECK(mlp_ != nullptr) << "Fit must run before Predict";
+  std::vector<size_t> users;
+  std::vector<size_t> items;
+  for (const auto& [u, i] : pairs) {
+    users.push_back(u);
+    items.push_back(i);
+  }
+  ag::Var residual = Score(users, items);
+  std::vector<float> out(pairs.size());
+  for (size_t b = 0; b < pairs.size(); ++b) {
+    out[b] = bias_.Predict(users[b], items[b]) + residual->value().At(b, 0);
+  }
+  return out;
+}
+
+}  // namespace agnn::baselines

@@ -1,0 +1,56 @@
+#ifndef AGNN_BASELINES_IGMC_H_
+#define AGNN_BASELINES_IGMC_H_
+
+#include <memory>
+
+#include "agnn/baselines/common.h"
+#include "agnn/baselines/rating_model.h"
+#include "agnn/graph/interaction_graph.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::baselines {
+
+/// IGMC (Zhang & Chen, 2020), laptop-scale variant.
+///
+/// IGMC scores a pair from its enclosing user-item subgraph with a
+/// relational GCN whose node features are structural labels (no side
+/// information, no per-node embeddings). With 1-hop subgraphs and constant
+/// role labels, one R-GCN layer collapses exactly to rating-type statistics
+/// of the subgraph: for each rating level r, the (normalized) counts of
+/// target-user edges and target-item edges with that rating, plus mean
+/// ratings and degrees. We feed those statistics to an MLP — the faithful
+/// degenerate form of the 1-layer R-GCN.
+///
+/// A strict cold node has an empty subgraph on its side: the features are
+/// zero and IGMC falls back to what the other side and the global term
+/// provide — the degradation the AGNN paper reports.
+class Igmc : public RatingModel, public nn::Module {
+ public:
+  explicit Igmc(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "IGMC"; }
+  void Fit(const data::Dataset& dataset, const data::Split& split) override;
+  float Predict(size_t user, size_t item) override;
+  std::vector<float> PredictPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs) override;
+
+  /// Dimensionality of the subgraph feature vector.
+  static constexpr size_t kNumRatingLevels = 5;
+  static constexpr size_t kFeatureDim = 2 * kNumRatingLevels + 4;
+
+ private:
+  /// Enclosing-subgraph features of one pair, excluding the (u,i) edge
+  /// itself (IGMC's target-edge removal).
+  void PairFeatures(size_t user, size_t item, float* out) const;
+  ag::Var Score(const std::vector<size_t>& users,
+                const std::vector<size_t>& items) const;
+
+  TrainOptions options_;
+  std::unique_ptr<graph::InteractionGraph> train_graph_;
+  BiasPredictor bias_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_IGMC_H_

@@ -1,0 +1,58 @@
+#include "agnn/baselines/llae.h"
+
+#include "agnn/common/logging.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::baselines {
+
+void Llae::Fit(const data::Dataset& dataset, const data::Split& split) {
+  dataset_ = &dataset;
+  Rng rng(options_.seed);
+  const size_t slots = dataset.user_schema.total_slots();
+  w_ = RegisterParameter(
+      "w", Matrix::RandomNormal(slots, dataset.num_items, 0.0f, 0.01f, &rng));
+
+  // Binary behavior targets from the training interactions.
+  std::vector<std::vector<size_t>> behavior(dataset.num_users);
+  for (const data::Rating& r : split.train) behavior[r.user].push_back(r.item);
+
+  // Users with at least one training interaction form the training set.
+  std::vector<size_t> train_users;
+  for (size_t u = 0; u < dataset.num_users; ++u) {
+    if (!behavior[u].empty()) train_users.push_back(u);
+  }
+
+  nn::Adam opt(Parameters(), options_.learning_rate);
+  const size_t batch = 64;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&train_users);
+    for (size_t start = 0; start < train_users.size(); start += batch) {
+      const size_t end = std::min(train_users.size(), start + batch);
+      Matrix a(end - start, slots);
+      Matrix y(end - start, dataset.num_items);
+      for (size_t b = 0; b < end - start; ++b) {
+        const size_t u = train_users[start + b];
+        for (size_t slot : dataset.user_attrs[u]) a.At(b, slot) = 1.0f;
+        for (size_t item : behavior[u]) y.At(b, item) = 1.0f;
+      }
+      opt.ZeroGrad();
+      ag::Var recon = ag::MatMul(ag::MakeConst(std::move(a)), w_);
+      ag::Backward(ag::MseLoss(recon, y));
+      opt.Step();
+    }
+  }
+}
+
+float Llae::Predict(size_t user, size_t item) {
+  AGNN_CHECK(w_ != nullptr) << "Fit must run before Predict";
+  // Reconstruction read-out — deliberately NOT rescaled to the rating
+  // range (see class comment).
+  const Matrix& w = w_->value();
+  float score = 0.0f;
+  for (size_t slot : dataset_->user_attrs[user]) {
+    score += w.At(slot, item);
+  }
+  return score;
+}
+
+}  // namespace agnn::baselines

@@ -1,0 +1,39 @@
+#ifndef AGNN_BASELINES_LLAE_H_
+#define AGNN_BASELINES_LLAE_H_
+
+#include <memory>
+
+#include "agnn/baselines/common.h"
+#include "agnn/baselines/rating_model.h"
+
+namespace agnn::baselines {
+
+/// LLAE (Li et al., 2019): low-rank linear auto-encoder from zero-shot
+/// learning, applied to cold-start recommendation.
+///
+/// LLAE learns a linear map W from a user's attribute encoding to the
+/// user's *binary behavior vector* over all items, and reads predictions
+/// directly off the reconstruction: r̂(u, i) = (a_u W)_i. Because the
+/// reconstruction targets are 0/1 interactions rather than rating values,
+/// its outputs live near [0, 1] while the ground truth lives in [1, 5] —
+/// the objective mismatch that makes LLAE's RMSE catastrophic in Table 2
+/// (≈3.1–3.8 in the paper). This implementation reproduces that behavior
+/// deliberately; see AGNN_LLAE / AGNN_LLAE+ in Table 4 for the
+/// loss-corrected component study.
+class Llae : public RatingModel, public nn::Module {
+ public:
+  explicit Llae(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "LLAE"; }
+  void Fit(const data::Dataset& dataset, const data::Split& split) override;
+  float Predict(size_t user, size_t item) override;
+
+ private:
+  TrainOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  ag::Var w_;  // [K_u, N]
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_LLAE_H_

@@ -1,0 +1,100 @@
+#include "agnn/baselines/metaemb.h"
+
+#include "agnn/common/logging.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::baselines {
+
+void MetaEmb::Fit(const data::Dataset& dataset, const data::Split& split) {
+  dataset_ = &dataset;
+  split_ = &split;
+  Rng rng(options_.seed);
+
+  base_ = std::make_unique<Mf>(options_);
+  base_->Fit(dataset, split);
+  bias_.Fit(split.train, dataset.num_users, dataset.num_items);
+
+  const size_t dim = options_.embedding_dim;
+  user_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.user_schema.total_slots(), dim, &rng);
+  item_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.item_schema.total_slots(), dim, &rng);
+  user_gen_ = std::make_unique<nn::Linear>(dim, dim, &rng);
+  item_gen_ = std::make_unique<nn::Linear>(dim, dim, &rng);
+  RegisterSubmodule("user_attr", user_attr_.get());
+  RegisterSubmodule("item_attr", item_attr_.get());
+  RegisterSubmodule("user_gen", user_gen_.get());
+  RegisterSubmodule("item_gen", item_gen_.get());
+
+  nn::Adam opt(Parameters(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const PairBatch& batch :
+         MakeRatingBatches(split.train, options_.batch_size, &rng)) {
+      opt.ZeroGrad();
+      ag::Var gen_u = Generate(true, batch.users);
+      ag::Var gen_i = Generate(false, batch.items);
+      // (a) Imitate the trained embeddings of warm nodes.
+      ag::Var imitate = ag::Add(
+          ag::MeanAll(ag::Square(ag::Sub(
+              gen_u, ag::MakeConst(
+                         base_->user_factors().GatherRows(batch.users))))),
+          ag::MeanAll(ag::Square(ag::Sub(
+              gen_i, ag::MakeConst(
+                         base_->item_factors().GatherRows(batch.items))))));
+      // (b) Cold-start simulation: generated embeddings must already score
+      // well on their own.
+      Matrix residual(batch.targets.size(), 1);
+      for (size_t b = 0; b < batch.targets.size(); ++b) {
+        residual.At(b, 0) =
+            batch.targets[b] - bias_.Predict(batch.users[b], batch.items[b]);
+      }
+      ag::Var rating_loss = ag::MseLoss(ag::RowwiseDot(gen_u, gen_i), residual);
+      ag::Backward(ag::Add(rating_loss, ag::Scale(imitate, 0.5f)));
+      nn::ClipGradNorm(Parameters(), options_.grad_clip);
+      opt.Step();
+    }
+  }
+}
+
+ag::Var MetaEmb::Generate(bool user_side,
+                          const std::vector<size_t>& ids) const {
+  const AttrEmbedder& attr = user_side ? *user_attr_ : *item_attr_;
+  const nn::Linear& gen = user_side ? *user_gen_ : *item_gen_;
+  const auto& attrs = user_side ? dataset_->user_attrs : dataset_->item_attrs;
+  return gen.Forward(attr.Forward(GatherSlots(attrs, ids)));
+}
+
+float MetaEmb::Predict(size_t user, size_t item) {
+  return PredictPairs({{user, item}})[0];
+}
+
+std::vector<float> MetaEmb::PredictPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  AGNN_CHECK(base_ != nullptr) << "Fit must run before Predict";
+  std::vector<size_t> users;
+  std::vector<size_t> items;
+  for (const auto& [u, i] : pairs) {
+    users.push_back(u);
+    items.push_back(i);
+  }
+  // Cold nodes use generated embeddings; warm nodes their trained ones.
+  Matrix pu = base_->user_factors().GatherRows(users);
+  Matrix qi = base_->item_factors().GatherRows(items);
+  Matrix gen_u = Generate(true, users)->value();
+  Matrix gen_i = Generate(false, items)->value();
+  std::vector<float> out(pairs.size());
+  for (size_t b = 0; b < pairs.size(); ++b) {
+    const float* u_vec =
+        split_->cold_user[users[b]] ? gen_u.Row(b) : pu.Row(b);
+    const float* i_vec =
+        split_->cold_item[items[b]] ? gen_i.Row(b) : qi.Row(b);
+    float dot = 0.0f;
+    for (size_t c = 0; c < options_.embedding_dim; ++c) {
+      dot += u_vec[c] * i_vec[c];
+    }
+    out[b] = bias_.Predict(users[b], items[b]) + dot;
+  }
+  return out;
+}
+
+}  // namespace agnn::baselines

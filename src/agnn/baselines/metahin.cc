@@ -1,0 +1,114 @@
+#include "agnn/baselines/metahin.h"
+
+#include <algorithm>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::baselines {
+
+void MetaHin::Fit(const data::Dataset& dataset, const data::Split& split) {
+  dataset_ = &dataset;
+  Rng rng(options_.seed);
+  const size_t dim = options_.embedding_dim;
+  user_id_ = std::make_unique<nn::Embedding>(dataset.num_users, dim, &rng);
+  item_id_ = std::make_unique<nn::Embedding>(dataset.num_items, dim, &rng);
+  user_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.user_schema.total_slots(), dim, &rng);
+  item_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.item_schema.total_slots(), dim, &rng);
+  RegisterSubmodule("user_id", user_id_.get());
+  RegisterSubmodule("item_id", item_id_.get());
+  RegisterSubmodule("user_attr", user_attr_.get());
+  RegisterSubmodule("item_attr", item_attr_.get());
+
+  bias_.Fit(split.train, dataset.num_users, dataset.num_items);
+  support_.assign(dataset.num_users, {});
+  for (const data::Rating& r : split.train) support_[r.user].push_back(r);
+
+  nn::Adam opt(Parameters(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const PairBatch& batch :
+         MakeRatingBatches(split.train, options_.batch_size, &rng)) {
+      opt.ZeroGrad();
+      // First-order meta step: prior + constant adaptation delta.
+      Matrix deltas(batch.users.size(), dim);
+      for (size_t b = 0; b < batch.users.size(); ++b) {
+        Matrix d = AdaptationDelta(batch.users[b]);
+        for (size_t c = 0; c < dim; ++c) deltas.At(b, c) = d.At(0, c);
+      }
+      ag::Var adapted =
+          ag::Add(UserPrior(batch.users), ag::MakeConst(std::move(deltas)));
+      ag::Var pred = ag::RowwiseDot(adapted, ItemEmbedding(batch.items));
+      // Residual targets: the bias model handles mu/b_u/b_i.
+      Matrix residual(batch.targets.size(), 1);
+      for (size_t b = 0; b < batch.targets.size(); ++b) {
+        residual.At(b, 0) =
+            batch.targets[b] - bias_.Predict(batch.users[b], batch.items[b]);
+      }
+      ag::Backward(ag::MseLoss(pred, residual));
+      nn::ClipGradNorm(Parameters(), options_.grad_clip);
+      opt.Step();
+    }
+  }
+}
+
+ag::Var MetaHin::UserPrior(const std::vector<size_t>& ids) const {
+  return ag::Add(user_id_->Forward(ids),
+                 user_attr_->Forward(GatherSlots(dataset_->user_attrs, ids)));
+}
+
+ag::Var MetaHin::ItemEmbedding(const std::vector<size_t>& ids) const {
+  return ag::Add(item_id_->Forward(ids),
+                 item_attr_->Forward(GatherSlots(dataset_->item_attrs, ids)));
+}
+
+Matrix MetaHin::AdaptationDelta(size_t user) const {
+  const size_t dim = options_.embedding_dim;
+  Matrix delta(1, dim);
+  const auto& sup = support_[user];
+  if (sup.empty()) return delta;  // strict cold user: no adaptation
+  const size_t count = std::min<size_t>(sup.size(), 8);
+
+  // Current prior value of this user (forward values only; first-order).
+  ag::Var p = UserPrior({user});
+  const Matrix& pv = p->value();
+  for (size_t j = 0; j < count; ++j) {
+    const data::Rating& r = sup[j];
+    ag::Var q = ItemEmbedding({r.item});
+    const Matrix& qv = q->value();
+    float dot = 0.0f;
+    for (size_t c = 0; c < dim; ++c) dot += pv.At(0, c) * qv.At(0, c);
+    const float error = bias_.Predict(r.user, r.item) + dot - r.value;
+    // d/dp (error²) = 2 error q.
+    for (size_t c = 0; c < dim; ++c) {
+      delta.At(0, c) -= inner_lr_ * 2.0f * error * qv.At(0, c) /
+                        static_cast<float>(count);
+    }
+  }
+  return delta;
+}
+
+float MetaHin::Predict(size_t user, size_t item) {
+  return PredictPairs({{user, item}})[0];
+}
+
+std::vector<float> MetaHin::PredictPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  AGNN_CHECK(user_id_ != nullptr) << "Fit must run before Predict";
+  std::vector<float> out;
+  out.reserve(pairs.size());
+  const size_t dim = options_.embedding_dim;
+  for (const auto& [user, item] : pairs) {
+    ag::Var p = UserPrior({user});
+    ag::Var q = ItemEmbedding({item});
+    Matrix delta = AdaptationDelta(user);
+    float dot = 0.0f;
+    for (size_t c = 0; c < dim; ++c) {
+      dot += (p->value().At(0, c) + delta.At(0, c)) * q->value().At(0, c);
+    }
+    out.push_back(bias_.Predict(user, item) + dot);
+  }
+  return out;
+}
+
+}  // namespace agnn::baselines

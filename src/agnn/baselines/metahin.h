@@ -1,0 +1,57 @@
+#ifndef AGNN_BASELINES_METAHIN_H_
+#define AGNN_BASELINES_METAHIN_H_
+
+#include <memory>
+
+#include "agnn/baselines/common.h"
+#include "agnn/baselines/rating_model.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::baselines {
+
+/// MetaHIN (Lu et al., 2020), laptop-scale first-order variant.
+///
+/// Optimization-based meta-learning over user tasks on a heterogeneous
+/// information network: each user's representation is a semantic prior
+/// (id + attribute embedding) adapted by one inner gradient step on the
+/// user's *support* ratings before scoring the *query* ratings. The inner
+/// step uses the closed-form gradient of the dot-product loss and is
+/// first-order (no gradient through the adaptation), i.e., FOMAML.
+///
+/// The key property the AGNN paper exercises survives the simplification:
+/// a strict cold start user has an EMPTY support set at test time, so no
+/// adaptation happens and only the global prior remains — which is exactly
+/// why MetaHIN degrades in the strict scenario.
+class MetaHin : public RatingModel, public nn::Module {
+ public:
+  explicit MetaHin(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "MetaHIN"; }
+  void Fit(const data::Dataset& dataset, const data::Split& split) override;
+  float Predict(size_t user, size_t item) override;
+  std::vector<float> PredictPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs) override;
+
+ private:
+  /// Prior user representation: id + attribute semantics.
+  ag::Var UserPrior(const std::vector<size_t>& ids) const;
+  ag::Var ItemEmbedding(const std::vector<size_t>& ids) const;
+  /// Closed-form inner-step delta for one user from its support ratings
+  /// (empty support -> zero delta).
+  Matrix AdaptationDelta(size_t user) const;
+
+  TrainOptions options_;
+  float inner_lr_ = 0.05f;
+  const data::Dataset* dataset_ = nullptr;
+  // Support sets per user (their training ratings).
+  std::vector<std::vector<data::Rating>> support_;
+  BiasPredictor bias_;
+  std::unique_ptr<nn::Embedding> user_id_;
+  std::unique_ptr<nn::Embedding> item_id_;
+  std::unique_ptr<AttrEmbedder> user_attr_;
+  std::unique_ptr<AttrEmbedder> item_attr_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_METAHIN_H_

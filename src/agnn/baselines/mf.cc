@@ -1,0 +1,83 @@
+#include "agnn/baselines/mf.h"
+
+#include "agnn/common/logging.h"
+
+namespace agnn::baselines {
+
+void Mf::Fit(const data::Dataset& dataset, const data::Split& split) {
+  Rng rng(options_.seed);
+  user_emb_ = std::make_unique<nn::Embedding>(dataset.num_users,
+                                              options_.embedding_dim, &rng);
+  item_emb_ = std::make_unique<nn::Embedding>(dataset.num_items,
+                                              options_.embedding_dim, &rng);
+  user_bias_ =
+      std::make_unique<nn::Embedding>(dataset.num_users, 1, &rng, 0.01f);
+  item_bias_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, 1, &rng, 0.01f);
+  RegisterSubmodule("user_emb", user_emb_.get());
+  RegisterSubmodule("item_emb", item_emb_.get());
+  RegisterSubmodule("user_bias", user_bias_.get());
+  RegisterSubmodule("item_bias", item_bias_.get());
+
+  BiasPredictor bias;
+  bias.Fit(split.train, dataset.num_users, dataset.num_items);
+  global_bias_ =
+      RegisterParameter("global_bias", Matrix(1, 1, bias.global_mean()));
+
+  nn::Adam opt(Parameters(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const PairBatch& batch :
+         MakeRatingBatches(split.train, options_.batch_size, &rng)) {
+      opt.ZeroGrad();
+      ag::Var pu = user_emb_->Forward(batch.users);
+      ag::Var qi = item_emb_->Forward(batch.items);
+      ag::Var pred = ag::AddRowBroadcast(
+          ag::Add(ag::RowwiseDot(pu, qi),
+                  ag::Add(user_bias_->Forward(batch.users),
+                          item_bias_->Forward(batch.items))),
+          global_bias_);
+      ag::Backward(ag::MseLoss(pred, batch.TargetColumn()));
+      nn::ClipGradNorm(Parameters(), options_.grad_clip);
+      opt.Step();
+    }
+  }
+}
+
+float Mf::Predict(size_t user, size_t item) {
+  return PredictPairs({{user, item}})[0];
+}
+
+std::vector<float> Mf::PredictPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  AGNN_CHECK(user_emb_ != nullptr) << "Fit must run before Predict";
+  std::vector<size_t> users;
+  std::vector<size_t> items;
+  users.reserve(pairs.size());
+  items.reserve(pairs.size());
+  for (const auto& [u, i] : pairs) {
+    users.push_back(u);
+    items.push_back(i);
+  }
+  ag::Var pred = ag::AddRowBroadcast(
+      ag::Add(ag::RowwiseDot(user_emb_->Forward(users),
+                             item_emb_->Forward(items)),
+              ag::Add(user_bias_->Forward(users), item_bias_->Forward(items))),
+      global_bias_);
+  std::vector<float> out(pairs.size());
+  for (size_t r = 0; r < pairs.size(); ++r) {
+    out[r] = pred->value().At(r, 0);
+  }
+  return out;
+}
+
+const Matrix& Mf::user_factors() const {
+  AGNN_CHECK(user_emb_ != nullptr);
+  return user_emb_->table()->value();
+}
+
+const Matrix& Mf::item_factors() const {
+  AGNN_CHECK(item_emb_ != nullptr);
+  return item_emb_->table()->value();
+}
+
+}  // namespace agnn::baselines

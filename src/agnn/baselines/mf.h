@@ -1,0 +1,42 @@
+#ifndef AGNN_BASELINES_MF_H_
+#define AGNN_BASELINES_MF_H_
+
+#include <memory>
+
+#include "agnn/baselines/common.h"
+#include "agnn/baselines/rating_model.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::baselines {
+
+/// Biased matrix factorization (Koren et al., 2009):
+///   R̂_ui = μ + b_u + b_i + p_u q_iᵀ
+/// trained with Adam on squared error. The canonical interaction-only CF
+/// model: strong warm start, no signal at all for strict cold nodes.
+class Mf : public RatingModel, public nn::Module {
+ public:
+  explicit Mf(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "MF"; }
+  void Fit(const data::Dataset& dataset, const data::Split& split) override;
+  float Predict(size_t user, size_t item) override;
+  std::vector<float> PredictPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs) override;
+
+  /// Trained latent factors (used by DropoutNet as its pretrained
+  /// preference model).
+  const Matrix& user_factors() const;
+  const Matrix& item_factors() const;
+
+ private:
+  TrainOptions options_;
+  std::unique_ptr<nn::Embedding> user_emb_;
+  std::unique_ptr<nn::Embedding> item_emb_;
+  std::unique_ptr<nn::Embedding> user_bias_;
+  std::unique_ptr<nn::Embedding> item_bias_;
+  ag::Var global_bias_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_MF_H_

@@ -1,0 +1,96 @@
+#include "agnn/baselines/nfm.h"
+
+#include "agnn/common/logging.h"
+
+namespace agnn::baselines {
+
+std::vector<size_t> Nfm::PairSlots(size_t user, size_t item) const {
+  std::vector<size_t> slots;
+  for (size_t s : dataset_->user_attrs[user]) {
+    slots.push_back(user_attr_offset_ + s);
+  }
+  for (size_t s : dataset_->item_attrs[item]) {
+    slots.push_back(item_attr_offset_ + s);
+  }
+  slots.push_back(user_id_offset_ + user);
+  slots.push_back(item_id_offset_ + item);
+  return slots;
+}
+
+ag::Var Nfm::Score(const std::vector<size_t>& users,
+                   const std::vector<size_t>& items) const {
+  const size_t batch = users.size();
+  std::vector<size_t> flat;
+  std::vector<size_t> segments;
+  for (size_t n = 0; n < batch; ++n) {
+    for (size_t slot : PairSlots(users[n], items[n])) {
+      flat.push_back(slot);
+      segments.push_back(n);
+    }
+  }
+  ag::Var v = slot_emb_->Forward(flat);
+  ag::Var sum_v = ag::SegmentSum(v, segments, batch);
+  ag::Var sum_v_sq = ag::SegmentSum(ag::Square(v), segments, batch);
+  ag::Var bi = ag::Scale(ag::Sub(ag::Square(sum_v), sum_v_sq), 0.5f);
+  // Linear part: Σ w_k over active slots.
+  ag::Var linear = ag::SegmentSum(slot_bias_->Forward(flat), segments, batch);
+  return ag::AddRowBroadcast(ag::Add(mlp_->Forward(bi), linear), global_bias_);
+}
+
+void Nfm::Fit(const data::Dataset& dataset, const data::Split& split) {
+  dataset_ = &dataset;
+  user_attr_offset_ = 0;
+  item_attr_offset_ = dataset.user_schema.total_slots();
+  user_id_offset_ = item_attr_offset_ + dataset.item_schema.total_slots();
+  item_id_offset_ = user_id_offset_ + dataset.num_users;
+  total_slots_ = item_id_offset_ + dataset.num_items;
+
+  Rng rng(options_.seed);
+  slot_emb_ = std::make_unique<nn::Embedding>(total_slots_,
+                                              options_.embedding_dim, &rng);
+  slot_bias_ = std::make_unique<nn::Embedding>(total_slots_, 1, &rng, 0.01f);
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{options_.embedding_dim, options_.embedding_dim, 1},
+      &rng);
+  RegisterSubmodule("slot_emb", slot_emb_.get());
+  RegisterSubmodule("slot_bias", slot_bias_.get());
+  RegisterSubmodule("mlp", mlp_.get());
+
+  BiasPredictor bias;
+  bias.Fit(split.train, dataset.num_users, dataset.num_items);
+  global_bias_ =
+      RegisterParameter("global_bias", Matrix(1, 1, bias.global_mean()));
+
+  nn::Adam opt(Parameters(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const PairBatch& batch :
+         MakeRatingBatches(split.train, options_.batch_size, &rng)) {
+      opt.ZeroGrad();
+      ag::Var pred = Score(batch.users, batch.items);
+      ag::Backward(ag::MseLoss(pred, batch.TargetColumn()));
+      nn::ClipGradNorm(Parameters(), options_.grad_clip);
+      opt.Step();
+    }
+  }
+}
+
+float Nfm::Predict(size_t user, size_t item) {
+  return PredictPairs({{user, item}})[0];
+}
+
+std::vector<float> Nfm::PredictPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  AGNN_CHECK(slot_emb_ != nullptr) << "Fit must run before Predict";
+  std::vector<size_t> users;
+  std::vector<size_t> items;
+  for (const auto& [u, i] : pairs) {
+    users.push_back(u);
+    items.push_back(i);
+  }
+  ag::Var pred = Score(users, items);
+  std::vector<float> out(pairs.size());
+  for (size_t r = 0; r < pairs.size(); ++r) out[r] = pred->value().At(r, 0);
+  return out;
+}
+
+}  // namespace agnn::baselines

@@ -1,0 +1,55 @@
+#ifndef AGNN_BASELINES_NFM_H_
+#define AGNN_BASELINES_NFM_H_
+
+#include <memory>
+
+#include "agnn/baselines/common.h"
+#include "agnn/baselines/rating_model.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::baselines {
+
+/// Neural Factorization Machine (He & Chua, 2017).
+///
+/// The feature vector of a pair (u, i) concatenates the user id, item id,
+/// user attributes, and item attributes as one multi-hot encoding over a
+/// joint slot space. NFM embeds the active slots, applies Bi-Interaction
+/// pooling, and feeds the pooled vector through an MLP:
+///
+///   ŷ = w₀ + Σ_k w_k + MLP( ½[(Σv)² − Σv²] )
+///
+/// Because attributes participate symmetrically with ids, NFM generalizes
+/// to strict cold nodes (the id slot embedding is simply untrained noise).
+class Nfm : public RatingModel, public nn::Module {
+ public:
+  explicit Nfm(const TrainOptions& options) : options_(options) {}
+
+  std::string name() const override { return "NFM"; }
+  void Fit(const data::Dataset& dataset, const data::Split& split) override;
+  float Predict(size_t user, size_t item) override;
+  std::vector<float> PredictPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs) override;
+
+ private:
+  /// Joint slot list of one (user, item) pair.
+  std::vector<size_t> PairSlots(size_t user, size_t item) const;
+  ag::Var Score(const std::vector<size_t>& users,
+                const std::vector<size_t>& items) const;
+
+  TrainOptions options_;
+  const data::Dataset* dataset_ = nullptr;
+  // Slot-space layout offsets.
+  size_t user_attr_offset_ = 0;
+  size_t item_attr_offset_ = 0;
+  size_t user_id_offset_ = 0;
+  size_t item_id_offset_ = 0;
+  size_t total_slots_ = 0;
+  std::unique_ptr<nn::Embedding> slot_emb_;   // v_k
+  std::unique_ptr<nn::Embedding> slot_bias_;  // w_k
+  std::unique_ptr<nn::Mlp> mlp_;
+  ag::Var global_bias_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_NFM_H_

@@ -1,0 +1,13 @@
+#include "agnn/baselines/rating_model.h"
+
+namespace agnn::baselines {
+
+std::vector<float> RatingModel::PredictPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  std::vector<float> out;
+  out.reserve(pairs.size());
+  for (const auto& [user, item] : pairs) out.push_back(Predict(user, item));
+  return out;
+}
+
+}  // namespace agnn::baselines

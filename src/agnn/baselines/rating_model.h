@@ -1,0 +1,50 @@
+#ifndef AGNN_BASELINES_RATING_MODEL_H_
+#define AGNN_BASELINES_RATING_MODEL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agnn/data/split.h"
+
+namespace agnn::baselines {
+
+/// Shared training hyper-parameters for all baselines. Kept deliberately
+/// uniform (same dim / epochs / optimizer family) so Table 2 compares
+/// mechanisms, not tuning budgets.
+struct TrainOptions {
+  size_t embedding_dim = 16;
+  size_t epochs = 6;
+  size_t batch_size = 256;
+  float learning_rate = 3e-3f;
+  float grad_clip = 5.0f;
+  size_t num_neighbors = 8;  ///< For graph-based baselines.
+  uint64_t seed = 1;
+};
+
+/// Common interface of every comparison model in Table 2. A model is
+/// constructed, Fit on the training half of a split (it may inspect the
+/// cold flags to know which nodes are strictly cold at test time, but must
+/// never read test interactions), then queried pair-by-pair or in batch.
+class RatingModel {
+ public:
+  virtual ~RatingModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on split.train. `dataset` provides attributes/social links;
+  /// implementations must not touch split.test.
+  virtual void Fit(const data::Dataset& dataset, const data::Split& split) = 0;
+
+  /// Predicted rating for one (user, item) pair under test conditions.
+  virtual float Predict(size_t user, size_t item) = 0;
+
+  /// Batch prediction; default loops over Predict. Predictions are NOT
+  /// clamped — the evaluation protocol clamps to the rating scale.
+  virtual std::vector<float> PredictPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs);
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_RATING_MODEL_H_

@@ -1,0 +1,47 @@
+#include "agnn/baselines/srmgcnn.h"
+
+namespace agnn::baselines {
+
+void Srmgcnn::Prepare(const data::Dataset& dataset, const data::Split& split,
+                      Rng* rng) {
+  (void)split;
+  auto user_sims = graph::PairwiseBinaryCosine(
+      dataset.user_attrs, dataset.user_schema.total_slots());
+  auto item_sims = graph::PairwiseBinaryCosine(
+      dataset.item_attrs, dataset.item_schema.total_slots());
+  user_graph_ = graph::BuildKnnGraph(user_sims, options_.num_neighbors);
+  item_graph_ = graph::BuildKnnGraph(item_sims, options_.num_neighbors);
+
+  const size_t dim = options_.embedding_dim;
+  user_id_ = std::make_unique<nn::Embedding>(dataset.num_users, dim, rng);
+  item_id_ = std::make_unique<nn::Embedding>(dataset.num_items, dim, rng);
+  user_conv_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  item_conv_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  RegisterSubmodule("user_id", user_id_.get());
+  RegisterSubmodule("item_id", item_id_.get());
+  RegisterSubmodule("user_conv", user_conv_.get());
+  RegisterSubmodule("item_conv", item_conv_.get());
+}
+
+ag::Var Srmgcnn::Convolve(const nn::Embedding& ids, const nn::Linear& conv,
+                          const graph::WeightedGraph& graph,
+                          const std::vector<size_t>& batch_ids,
+                          Rng* rng) const {
+  const size_t s = options_.num_neighbors;
+  NeighborSample sample = SampleOrIsolate(graph, batch_ids, s, rng);
+  ag::Var neighbor_mean = ag::RowBlockMean(ids.Forward(sample.flat), s);
+  ag::Var message = ZeroIsolatedRows(
+      ag::LeakyRelu(conv.Forward(neighbor_mean)), sample.isolated);
+  return ag::Add(ids.Forward(batch_ids), message);
+}
+
+ag::Var Srmgcnn::ScoreBatch(const std::vector<size_t>& users,
+                            const std::vector<size_t>& items, Rng* rng,
+                            bool training) {
+  (void)training;
+  ag::Var user_emb = Convolve(*user_id_, *user_conv_, user_graph_, users, rng);
+  ag::Var item_emb = Convolve(*item_id_, *item_conv_, item_graph_, items, rng);
+  return ScoreFromEmbeddings(user_emb, item_emb, users, items);
+}
+
+}  // namespace agnn::baselines

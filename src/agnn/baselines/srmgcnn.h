@@ -1,0 +1,46 @@
+#ifndef AGNN_BASELINES_SRMGCNN_H_
+#define AGNN_BASELINES_SRMGCNN_H_
+
+#include <memory>
+
+#include "agnn/baselines/graph_rec_base.h"
+
+namespace agnn::baselines {
+
+/// sRMGCNN (Monti et al., 2017): separable recurrent multi-graph CNN,
+/// laptop-scale variant.
+///
+/// Graph convolutions run over user-user and item-item k-nearest-neighbor
+/// graphs built in attribute space, but — as the paper points out as its
+/// weakness — the attributes themselves are NOT part of the convolution:
+/// only the free id embeddings are convolved. A strict cold node therefore
+/// enters the conv with an untrained embedding and receives only its
+/// neighbors' signal.
+class Srmgcnn : public GraphRecBase {
+ public:
+  explicit Srmgcnn(const TrainOptions& options) : GraphRecBase(options) {}
+  std::string name() const override { return "sRMGCNN"; }
+
+ protected:
+  void Prepare(const data::Dataset& dataset, const data::Split& split,
+               Rng* rng) override;
+  ag::Var ScoreBatch(const std::vector<size_t>& users,
+                     const std::vector<size_t>& items, Rng* rng,
+                     bool training) override;
+
+ private:
+  ag::Var Convolve(const nn::Embedding& ids, const nn::Linear& conv,
+                   const graph::WeightedGraph& graph,
+                   const std::vector<size_t>& batch_ids, Rng* rng) const;
+
+  graph::WeightedGraph user_graph_;
+  graph::WeightedGraph item_graph_;
+  std::unique_ptr<nn::Embedding> user_id_;
+  std::unique_ptr<nn::Embedding> item_id_;
+  std::unique_ptr<nn::Linear> user_conv_;
+  std::unique_ptr<nn::Linear> item_conv_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_SRMGCNN_H_

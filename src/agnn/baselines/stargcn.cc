@@ -1,0 +1,152 @@
+#include "agnn/baselines/stargcn.h"
+
+namespace agnn::baselines {
+namespace {
+
+constexpr float kMaskFraction = 0.2f;
+
+void BuildBipartite(const data::Dataset& dataset,
+                    const std::vector<data::Rating>& train,
+                    graph::WeightedGraph* user_to_items,
+                    graph::WeightedGraph* item_to_users) {
+  user_to_items->Resize(dataset.num_users);
+  item_to_users->Resize(dataset.num_items);
+  for (const data::Rating& r : train) {
+    user_to_items->AddCrossEdge(r.user, r.item, r.value);
+    item_to_users->AddCrossEdge(r.item, r.user, r.value);
+  }
+}
+
+}  // namespace
+
+void StarGcn::Prepare(const data::Dataset& dataset, const data::Split& split,
+                      Rng* rng) {
+  BuildBipartite(dataset, split.train, &user_to_items_, &item_to_users_);
+  const size_t dim = options_.embedding_dim;
+  user_id_ = std::make_unique<nn::Embedding>(dataset.num_users, dim, rng);
+  item_id_ = std::make_unique<nn::Embedding>(dataset.num_items, dim, rng);
+  user_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.user_schema.total_slots(), dim, rng);
+  item_attr_ = std::make_unique<AttrEmbedder>(
+      dataset.item_schema.total_slots(), dim, rng);
+  user_fuse_ = std::make_unique<nn::Linear>(2 * dim, dim, rng);
+  item_fuse_ = std::make_unique<nn::Linear>(2 * dim, dim, rng);
+  user_conv_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  item_conv_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  user_decoder_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  item_decoder_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  RegisterSubmodule("user_id", user_id_.get());
+  RegisterSubmodule("item_id", item_id_.get());
+  RegisterSubmodule("user_attr", user_attr_.get());
+  RegisterSubmodule("item_attr", item_attr_.get());
+  RegisterSubmodule("user_fuse", user_fuse_.get());
+  RegisterSubmodule("item_fuse", item_fuse_.get());
+  RegisterSubmodule("user_conv", user_conv_.get());
+  RegisterSubmodule("item_conv", item_conv_.get());
+  RegisterSubmodule("user_decoder", user_decoder_.get());
+  RegisterSubmodule("item_decoder", item_decoder_.get());
+}
+
+ag::Var StarGcn::Base(bool user_side, const std::vector<size_t>& ids,
+                      const std::vector<bool>* cold, Rng* rng, bool training,
+                      bool record) {
+  const nn::Embedding& id_table = user_side ? *user_id_ : *item_id_;
+  const AttrEmbedder& attr = user_side ? *user_attr_ : *item_attr_;
+  const auto& attrs =
+      user_side ? dataset_->user_attrs : dataset_->item_attrs;
+  const nn::Linear& fuse = user_side ? *user_fuse_ : *item_fuse_;
+
+  ag::Var id_emb = id_table.Forward(ids);
+  std::vector<bool> masked(ids.size(), false);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (cold != nullptr && (*cold)[ids[i]]) masked[i] = true;
+    if (training && !masked[i] && rng->Bernoulli(kMaskFraction)) {
+      masked[i] = true;
+    }
+  }
+  bool any = false;
+  Matrix keep(ids.size(), 1, 1.0f);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (masked[i]) {
+      keep.At(i, 0) = 0.0f;
+      any = true;
+    }
+  }
+  ag::Var masked_id = id_emb;
+  if (any) {
+    masked_id = ag::MulColBroadcast(id_emb, ag::MakeConst(keep));
+  }
+  if (record) {
+    // Stash the mask and the original (pre-mask) id embeddings for the
+    // reconstruction loss; both enter as constants.
+    Matrix selector(ids.size(), 1);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      selector.At(i, 0) = masked[i] ? 1.0f : 0.0f;
+    }
+    recorded_selector_ = std::move(selector);
+    recorded_original_ = id_emb->value();
+  }
+  return fuse.Forward(
+      ag::ConcatCols(masked_id, attr.Forward(GatherSlots(attrs, ids))));
+}
+
+ag::Var StarGcn::ScoreBatch(const std::vector<size_t>& users,
+                            const std::vector<size_t>& items, Rng* rng,
+                            bool training) {
+  const size_t s = options_.num_neighbors;
+  const std::vector<bool>* cold_users = training ? nullptr : &split_->cold_user;
+  const std::vector<bool>* cold_items = training ? nullptr : &split_->cold_item;
+
+  // User side: convolve over rated items' base embeddings.
+  NeighborSample rated = SampleOrIsolate(user_to_items_, users, s, rng);
+  ag::Var user_self = Base(true, users, cold_users, rng, training,
+                           /*record=*/training);
+  Matrix user_selector = recorded_selector_;
+  Matrix user_original = recorded_original_;
+  ag::Var rated_base = Base(false, rated.flat, cold_items, rng,
+                            /*training=*/false, /*record=*/false);
+  ag::Var user_emb = ag::LeakyRelu(ag::Add(
+      user_self,
+      ZeroIsolatedRows(user_conv_->Forward(ag::RowBlockMean(rated_base, s)),
+                       rated.isolated)));
+
+  // Item side.
+  NeighborSample raters = SampleOrIsolate(item_to_users_, items, s, rng);
+  ag::Var item_self = Base(false, items, cold_items, rng, training,
+                           /*record=*/training);
+  Matrix item_selector = recorded_selector_;
+  Matrix item_original = recorded_original_;
+  ag::Var rater_base = Base(true, raters.flat, cold_users, rng,
+                            /*training=*/false, /*record=*/false);
+  ag::Var item_emb = ag::LeakyRelu(ag::Add(
+      item_self,
+      ZeroIsolatedRows(item_conv_->Forward(ag::RowBlockMean(rater_base, s)),
+                       raters.isolated)));
+
+  if (training) {
+    // Reconstruct masked id embeddings from the convolved outputs.
+    auto recon = [](const nn::Linear& decoder, const ag::Var& conv_out,
+                    const Matrix& selector, const Matrix& original) {
+      ag::Var diff =
+          ag::Sub(decoder.Forward(conv_out), ag::MakeConst(original));
+      ag::Var masked =
+          ag::MulColBroadcast(diff, ag::MakeConst(selector));
+      const float inv = 1.0f / static_cast<float>(original.rows());
+      return ag::Scale(ag::SumAll(ag::Square(masked)), inv);
+    };
+    pending_recon_ =
+        ag::Add(recon(*user_decoder_, user_emb, user_selector, user_original),
+                recon(*item_decoder_, item_emb, item_selector, item_original));
+  }
+
+  return ScoreFromEmbeddings(user_emb, item_emb, users, items);
+}
+
+ag::Var StarGcn::ExtraLoss(Rng* rng) {
+  (void)rng;
+  ag::Var out = pending_recon_;
+  pending_recon_ = nullptr;
+  return out;
+}
+
+}  // namespace agnn::baselines

@@ -1,0 +1,64 @@
+#ifndef AGNN_BASELINES_STARGCN_H_
+#define AGNN_BASELINES_STARGCN_H_
+
+#include <memory>
+
+#include "agnn/baselines/graph_rec_base.h"
+
+namespace agnn::baselines {
+
+/// STAR-GCN (Zhang et al., 2019): stacked and reconstructed GCN.
+///
+/// Node inputs concatenate a free id embedding with the attribute (feature)
+/// embedding. During training a fraction of id embeddings is masked to
+/// zero, and a decoder reconstructs the masked embeddings from the
+/// convolved outputs — teaching the network to synthesize embeddings for
+/// unseen nodes. At test time strict cold nodes use the zero mask token
+/// (the paper's ask-to-rate edges are NOT added, matching the protocol of
+/// the AGNN paper's comparison).
+class StarGcn : public GraphRecBase {
+ public:
+  explicit StarGcn(const TrainOptions& options) : GraphRecBase(options) {}
+  std::string name() const override { return "STAR-GCN"; }
+
+ protected:
+  void Prepare(const data::Dataset& dataset, const data::Split& split,
+               Rng* rng) override;
+  ag::Var ScoreBatch(const std::vector<size_t>& users,
+                     const std::vector<size_t>& items, Rng* rng,
+                     bool training) override;
+  ag::Var ExtraLoss(Rng* rng) override;
+
+ private:
+  /// Base [id_maybe_masked ; attr] -> D embedding of one side's nodes.
+  /// `mask` marks rows whose id embedding is replaced by the mask token;
+  /// when `record` is set the original embeddings and mask are stashed for
+  /// the reconstruction loss.
+  ag::Var Base(bool user_side, const std::vector<size_t>& ids,
+               const std::vector<bool>* cold, Rng* rng, bool training,
+               bool record);
+
+  graph::WeightedGraph user_to_items_;
+  graph::WeightedGraph item_to_users_;
+  std::unique_ptr<nn::Embedding> user_id_;
+  std::unique_ptr<nn::Embedding> item_id_;
+  std::unique_ptr<AttrEmbedder> user_attr_;
+  std::unique_ptr<AttrEmbedder> item_attr_;
+  std::unique_ptr<nn::Linear> user_fuse_;
+  std::unique_ptr<nn::Linear> item_fuse_;
+  std::unique_ptr<nn::Linear> user_conv_;
+  std::unique_ptr<nn::Linear> item_conv_;
+  std::unique_ptr<nn::Linear> user_decoder_;
+  std::unique_ptr<nn::Linear> item_decoder_;
+
+  // Pending reconstruction terms recorded by the last training ScoreBatch.
+  ag::Var pending_recon_;
+  // Scratch written by Base(record=true): which rows were masked and their
+  // original id embeddings.
+  Matrix recorded_selector_;
+  Matrix recorded_original_;
+};
+
+}  // namespace agnn::baselines
+
+#endif  // AGNN_BASELINES_STARGCN_H_

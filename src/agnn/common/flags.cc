@@ -1,0 +1,61 @@
+#include "agnn/common/flags.h"
+
+#include <cstdlib>
+
+#include "agnn/common/string_util.h"
+
+namespace agnn {
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag, else bare
+    // boolean `--name`.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return Status::Ok();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int FlagParser::GetInt(const std::string& name, int default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::atoi(it->second.c_str());
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::atof(it->second.c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace agnn

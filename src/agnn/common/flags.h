@@ -1,0 +1,35 @@
+#ifndef AGNN_COMMON_FLAGS_H_
+#define AGNN_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+
+#include "agnn/common/status.h"
+
+namespace agnn {
+
+/// Tiny command-line flag parser for example and benchmark binaries.
+/// Accepts `--name=value` and `--name value`; bare `--name` is treated as
+/// boolean true. Unknown flags are kept so callers can validate.
+class FlagParser {
+ public:
+  /// Parses argv; returns an error on malformed arguments (e.g., a
+  /// positional argument, which this library's binaries never take).
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace agnn
+
+#endif  // AGNN_COMMON_FLAGS_H_

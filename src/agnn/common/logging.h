@@ -1,0 +1,106 @@
+#ifndef AGNN_COMMON_LOGGING_H_
+#define AGNN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Lightweight logging and invariant-checking macros in the spirit of
+// glog/absl. Library code never throws; a failed AGNN_CHECK aborts with a
+// message identifying the violated invariant, which is the correct response
+// to a programming error in a numerical library.
+
+namespace agnn {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log message. Flushes to stderr on destruction; aborts the
+/// process for kFatal messages.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << "[" << Label(severity) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+    if (severity_ == LogSeverity::kFatal) {
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Label(LogSeverity severity) {
+    switch (severity) {
+      case LogSeverity::kInfo:
+        return "INFO";
+      case LogSeverity::kWarning:
+        return "WARN";
+      case LogSeverity::kError:
+        return "ERROR";
+      case LogSeverity::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log stream; used to implement the void-returning ternary in
+/// AGNN_CHECK without "unused value" warnings.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace agnn
+
+#define AGNN_LOG(severity)                                              \
+  ::agnn::LogMessage(::agnn::LogSeverity::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+#define AGNN_CHECK(condition)                                   \
+  (condition) ? (void)0                                         \
+              : ::agnn::LogMessageVoidify() &                   \
+                    AGNN_LOG(Fatal) << "Check failed: " #condition " "
+
+#define AGNN_CHECK_OP(op, a, b)                                           \
+  ((a)op(b)) ? (void)0                                                    \
+             : ::agnn::LogMessageVoidify() &                              \
+                   AGNN_LOG(Fatal) << "Check failed: " #a " " #op " " #b  \
+                                   << " (" << (a) << " vs " << (b) << ") "
+
+#define AGNN_CHECK_EQ(a, b) AGNN_CHECK_OP(==, a, b)
+#define AGNN_CHECK_NE(a, b) AGNN_CHECK_OP(!=, a, b)
+#define AGNN_CHECK_LT(a, b) AGNN_CHECK_OP(<, a, b)
+#define AGNN_CHECK_LE(a, b) AGNN_CHECK_OP(<=, a, b)
+#define AGNN_CHECK_GT(a, b) AGNN_CHECK_OP(>, a, b)
+#define AGNN_CHECK_GE(a, b) AGNN_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define AGNN_DCHECK(condition) \
+  while (false) AGNN_CHECK(condition)
+#else
+#define AGNN_DCHECK(condition) AGNN_CHECK(condition)
+#endif
+
+#endif  // AGNN_COMMON_LOGGING_H_

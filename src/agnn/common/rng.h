@@ -1,0 +1,68 @@
+#ifndef AGNN_COMMON_RNG_H_
+#define AGNN_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace agnn {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). All randomness in the library flows through explicitly
+/// passed Rng instances so every experiment is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`
+  /// (non-negative, not all zero).
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (size_t i = values->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; useful for giving each
+  /// component its own stream from one experiment seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace agnn
+
+#endif  // AGNN_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+#ifndef AGNN_COMMON_STRING_UTIL_H_
+#define AGNN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agnn {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string StrTrim(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace agnn
+
+#endif  // AGNN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#include "agnn/common/table.h"
+
+#include <algorithm>
+
+#include "agnn/common/logging.h"
+#include "agnn/common/string_util.h"
+
+namespace agnn {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  AGNN_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  AGNN_CHECK_LE(row.size(), header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Cell(double value, int digits) {
+  return FormatDouble(value, digits);
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  out += "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace agnn

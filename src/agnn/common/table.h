@@ -1,0 +1,35 @@
+#ifndef AGNN_COMMON_TABLE_H_
+#define AGNN_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace agnn {
+
+/// Accumulates rows of strings and renders them as a GitHub-flavored
+/// Markdown table with aligned columns. Used by every benchmark binary to
+/// print the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows are a programming error.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 4 decimal places.
+  static std::string Cell(double value, int digits = 4);
+
+  /// Renders the table, one trailing newline included.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace agnn
+
+#endif  // AGNN_COMMON_TABLE_H_

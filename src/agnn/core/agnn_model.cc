@@ -1,0 +1,320 @@
+#include "agnn/core/agnn_model.h"
+
+#include <string>
+
+#include "agnn/common/logging.h"
+#include "agnn/nn/init.h"
+
+namespace agnn::core {
+namespace {
+
+// Gathers the active attribute slots for a batch of node ids.
+std::vector<std::vector<size_t>> GatherAttrs(
+    const std::vector<std::vector<size_t>>& attrs,
+    const std::vector<size_t>& ids) {
+  std::vector<std::vector<size_t>> out;
+  out.reserve(ids.size());
+  for (size_t id : ids) {
+    AGNN_CHECK_LT(id, attrs.size());
+    out.push_back(attrs[id]);
+  }
+  return out;
+}
+
+// [B,1] column with 1.0 where selected.
+Matrix SelectorColumn(const std::vector<bool>& selected) {
+  Matrix col(selected.size(), 1);
+  for (size_t i = 0; i < selected.size(); ++i) {
+    col.At(i, 0) = selected[i] ? 1.0f : 0.0f;
+  }
+  return col;
+}
+
+// Blends two [B,D] embeddings row-wise: rows with selector 1 come from
+// `replacement`, others from `base`.
+ag::Var BlendRows(const ag::Var& base, const ag::Var& replacement,
+                  const std::vector<bool>& selector) {
+  Matrix sel = SelectorColumn(selector);
+  Matrix keep = sel.Map([](float v) { return 1.0f - v; });
+  return ag::Add(ag::MulColBroadcast(base, ag::MakeConst(std::move(keep))),
+                 ag::MulColBroadcast(replacement,
+                                     ag::MakeConst(std::move(sel))));
+}
+
+bool AnySelected(const std::vector<bool>& selector) {
+  for (bool b : selector) {
+    if (b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AgnnModel::AgnnModel(const AgnnConfig& config, const data::Dataset& dataset,
+                     float train_global_mean, Rng* rng)
+    : config_(config) {
+  // The LLAE replacement removes the GNN by definition (Section 5.1.2).
+  if (config_.cold_start == ColdStartModule::kLlae) {
+    config_.aggregator = Aggregator::kNone;
+  }
+  user_side_ = MakeSide(dataset, /*user_side=*/true, rng);
+  item_side_ = MakeSide(dataset, /*user_side=*/false, rng);
+  prediction_ = std::make_unique<PredictionLayer>(
+      config_.embedding_dim, config_.prediction_hidden_dim, dataset.num_users,
+      dataset.num_items, train_global_mean, rng);
+  RegisterSubmodule("prediction", prediction_.get());
+}
+
+AgnnModel::Side AgnnModel::MakeSide(const data::Dataset& dataset,
+                                    bool user_side, Rng* rng) {
+  const size_t dim = config_.embedding_dim;
+  const std::string prefix = user_side ? "user" : "item";
+  Side side;
+  side.attrs = user_side ? &dataset.user_attrs : &dataset.item_attrs;
+  const size_t num_slots = user_side ? dataset.user_schema.total_slots()
+                                     : dataset.item_schema.total_slots();
+  const size_t num_nodes = user_side ? dataset.num_users : dataset.num_items;
+
+  side.interaction = std::make_unique<AttributeInteractionLayer>(
+      num_slots, dim, rng, config_.leaky_slope);
+  RegisterSubmodule(prefix + "_interaction", side.interaction.get());
+
+  side.preference = std::make_unique<nn::Embedding>(num_nodes, dim, rng);
+  RegisterSubmodule(prefix + "_preference", side.preference.get());
+
+  side.fusion = std::make_unique<nn::Linear>(2 * dim, dim, rng);
+  RegisterSubmodule(prefix + "_fusion", side.fusion.get());
+  // Identity-skip initialization of Eq. 5: the fusion starts as
+  // p = m + x + small-noise, so the additive signal path is intact from
+  // step one and W only has to learn the *refinement*. (A purely random
+  // W[m;x] must first rediscover the pass-through, which measurably slows
+  // convergence at small D.)
+  if (config_.fusion_identity_init) {
+    for (const nn::NamedParameter& p : side.fusion->Parameters()) {
+      if (p.name != "weight") continue;
+      Matrix& w = p.var->mutable_value();
+      for (size_t d = 0; d < dim; ++d) {
+        w.At(d, d) += 1.0f;        // m block
+        w.At(dim + d, d) += 1.0f;  // x block
+      }
+    }
+  }
+
+  switch (config_.cold_start) {
+    case ColdStartModule::kEvae:
+    case ColdStartModule::kPlainVae:
+      side.evae = std::make_unique<Evae>(dim, config_.vae_hidden_dim, rng);
+      RegisterSubmodule(prefix + "_evae", side.evae.get());
+      break;
+    case ColdStartModule::kLlae:
+    case ColdStartModule::kLlaePlus:
+      side.dae = std::make_unique<nn::Linear>(dim, dim, rng);
+      RegisterSubmodule(prefix + "_dae", side.dae.get());
+      break;
+    case ColdStartModule::kMask:
+      side.decoder = std::make_unique<nn::Linear>(dim, dim, rng);
+      RegisterSubmodule(prefix + "_decoder", side.decoder.get());
+      break;
+    case ColdStartModule::kNone:
+    case ColdStartModule::kDropout:
+      break;
+  }
+
+  side.gnn =
+      std::make_unique<GatedGnn>(dim, config_.aggregator, rng,
+                                 config_.gnn_output_slope);
+  RegisterSubmodule(prefix + "_gnn", side.gnn.get());
+  return side;
+}
+
+AgnnModel::SideResult AgnnModel::ComputeNodes(
+    const Side& side, const std::vector<size_t>& ids,
+    const std::vector<bool>* cold, Rng* rng, bool training,
+    bool compute_recon) const {
+  SideResult result;
+  const size_t batch = ids.size();
+
+  // Attribute embedding x (Eq. 4).
+  ag::Var x = side.interaction->Forward(GatherAttrs(*side.attrs, ids));
+  // Trained preference embedding m / n lookup.
+  ag::Var m_warm = side.preference->Forward(ids);
+
+  // Which batch rows have no usable preference embedding.
+  std::vector<bool> missing(batch, false);
+  if (cold != nullptr) {
+    for (size_t i = 0; i < batch; ++i) missing[i] = (*cold)[ids[i]];
+  }
+
+  ag::Var m = m_warm;
+  switch (config_.cold_start) {
+    case ColdStartModule::kEvae:
+    case ColdStartModule::kPlainVae: {
+      // The eVAE only needs to run when its loss is being computed or when
+      // the batch contains cold nodes needing a generated preference;
+      // neighbor batches during training skip it entirely.
+      if (compute_recon || AnySelected(missing)) {
+        EvaeOutput vae = side.evae->Forward(x, rng, training);
+        std::vector<bool> use_generated = missing;
+        if (training && compute_recon &&
+            config_.cold_simulation_fraction > 0.0f) {
+          // Cold-start simulation: a fraction of warm target nodes consume
+          // the generated x' instead of their trained preference, so the
+          // fusion/GNN/prediction stack learns to work with generated
+          // preferences and the generator is trained end-to-end.
+          for (size_t i = 0; i < batch; ++i) {
+            if (!use_generated[i] &&
+                rng->Bernoulli(config_.cold_simulation_fraction)) {
+              use_generated[i] = true;
+            }
+          }
+        }
+        if (AnySelected(use_generated)) {
+          // Strict cold (and simulated-cold) nodes use the generated
+          // preference x' (Section 3.3.3).
+          m = BlendRows(m_warm, vae.reconstructed, use_generated);
+        }
+        if (compute_recon) {
+          result.recon_loss = side.evae->Loss(
+              vae, x, m_warm,
+              /*with_approximation=*/config_.cold_start ==
+                  ColdStartModule::kEvae);
+        }
+      }
+      break;
+    }
+    case ColdStartModule::kNone: {
+      // No generator: cold nodes fall back to a zero preference embedding;
+      // only the attribute embedding carries signal.
+      if (AnySelected(missing)) {
+        ag::Var zeros =
+            ag::MakeConst(Matrix::Zeros(batch, config_.embedding_dim));
+        m = BlendRows(m_warm, zeros, missing);
+      }
+      break;
+    }
+    case ColdStartModule::kMask:
+    case ColdStartModule::kDropout: {
+      std::vector<bool> hidden = missing;
+      if (training) {
+        // Randomly hide a fraction of warm nodes so the model learns to
+        // cope with absent preferences (STAR-GCN mask / DropoutNet drop).
+        for (size_t i = 0; i < batch; ++i) {
+          if (!hidden[i] && rng->Bernoulli(config_.mask_fraction)) {
+            hidden[i] = true;
+          }
+        }
+      }
+      if (AnySelected(hidden)) {
+        ag::Var zeros =
+            ag::MakeConst(Matrix::Zeros(batch, config_.embedding_dim));
+        m = BlendRows(m_warm, zeros, hidden);
+      }
+      if (config_.cold_start == ColdStartModule::kMask && compute_recon) {
+        // Remember what was masked; the decoder loss is applied after the
+        // GNN (MaskDecoderLoss).
+        result.mask_selector = ag::MakeConst(SelectorColumn(hidden));
+        result.masked_preference = m_warm->value();
+      }
+      break;
+    }
+    case ColdStartModule::kLlae:
+    case ColdStartModule::kLlaePlus: {
+      // Denoising linear auto-encoder from attribute embedding to
+      // preference embedding.
+      ag::Var noisy = ag::Dropout(x, 0.2f, rng, training);
+      ag::Var m_hat = side.dae->Forward(noisy);
+      if (AnySelected(missing)) {
+        m = BlendRows(m_warm, m_hat, missing);
+      }
+      if (compute_recon) {
+        result.recon_loss = ag::MeanAll(
+            ag::Square(ag::Sub(m_hat, ag::MakeConst(m_warm->value()))));
+      }
+      break;
+    }
+  }
+
+  // Fusion (Eq. 5): p = W [m ; x] + b.
+  result.node_embeddings = side.fusion->Forward(ag::ConcatCols(m, x));
+  return result;
+}
+
+ag::Var AgnnModel::MaskDecoderLoss(const Side& side, const SideResult& result,
+                                   const ag::Var& final_embeddings) const {
+  if (!result.mask_selector) return nullptr;
+  ag::Var decoded = side.decoder->Forward(final_embeddings);
+  ag::Var diff =
+      ag::Sub(decoded, ag::MakeConst(result.masked_preference));
+  // Only masked rows contribute.
+  ag::Var masked_diff = ag::MulColBroadcast(diff, result.mask_selector);
+  return ag::MeanAll(ag::Square(masked_diff));
+}
+
+AgnnModel::ForwardResult AgnnModel::Forward(const Batch& batch, Rng* rng,
+                                            bool training) const {
+  AGNN_CHECK_EQ(batch.user_ids.size(), batch.item_ids.size());
+  const size_t neighbors = neighbors_per_node();
+
+  SideResult users = ComputeNodes(user_side_, batch.user_ids, batch.cold_users,
+                                  rng, training, /*compute_recon=*/training);
+  SideResult items = ComputeNodes(item_side_, batch.item_ids, batch.cold_items,
+                                  rng, training, /*compute_recon=*/training);
+
+  ag::Var user_final = users.node_embeddings;
+  ag::Var item_final = items.node_embeddings;
+  if (neighbors > 0) {
+    AGNN_CHECK_EQ(batch.user_neighbor_ids.size(),
+                  batch.user_ids.size() * neighbors);
+    AGNN_CHECK_EQ(batch.item_neighbor_ids.size(),
+                  batch.item_ids.size() * neighbors);
+    SideResult user_neigh =
+        ComputeNodes(user_side_, batch.user_neighbor_ids, batch.cold_users,
+                     rng, training, /*compute_recon=*/false);
+    SideResult item_neigh =
+        ComputeNodes(item_side_, batch.item_neighbor_ids, batch.cold_items,
+                     rng, training, /*compute_recon=*/false);
+    user_final = user_side_.gnn->Forward(users.node_embeddings,
+                                         user_neigh.node_embeddings,
+                                         neighbors);
+    item_final = item_side_.gnn->Forward(items.node_embeddings,
+                                         item_neigh.node_embeddings,
+                                         neighbors);
+  }
+
+  ForwardResult result;
+  result.predictions = prediction_->Forward(user_final, item_final,
+                                            batch.user_ids, batch.item_ids);
+
+  // Collect reconstruction losses.
+  ag::Var recon;
+  auto accumulate = [&recon](const ag::Var& term) {
+    if (!term) return;
+    recon = recon ? ag::Add(recon, term) : term;
+  };
+  accumulate(users.recon_loss);
+  accumulate(items.recon_loss);
+  if (training && config_.cold_start == ColdStartModule::kMask) {
+    accumulate(MaskDecoderLoss(user_side_, users, user_final));
+    accumulate(MaskDecoderLoss(item_side_, items, item_final));
+  }
+  result.recon_loss = recon ? recon : ag::MakeConst(Matrix::Zeros(1, 1));
+  return result;
+}
+
+AgnnModel::LossResult AgnnModel::Loss(
+    const ForwardResult& forward, const std::vector<float>& targets) const {
+  AGNN_CHECK_EQ(forward.predictions->value().rows(), targets.size());
+  Matrix target_col(targets.size(), 1);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    target_col.At(i, 0) = targets[i];
+  }
+  LossResult result;
+  ag::Var pred_loss = ag::MseLoss(forward.predictions, target_col);
+  result.prediction_loss = pred_loss->value().At(0, 0);
+  result.reconstruction_loss = forward.recon_loss->value().At(0, 0);
+  result.total =
+      ag::Add(pred_loss, ag::Scale(forward.recon_loss, config_.lambda));
+  return result;
+}
+
+}  // namespace agnn::core

@@ -1,0 +1,109 @@
+#ifndef AGNN_CORE_AGNN_MODEL_H_
+#define AGNN_CORE_AGNN_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "agnn/core/config.h"
+#include "agnn/core/evae.h"
+#include "agnn/core/gated_gnn.h"
+#include "agnn/core/interaction_layer.h"
+#include "agnn/core/prediction_layer.h"
+#include "agnn/data/dataset.h"
+#include "agnn/nn/layers.h"
+
+namespace agnn::core {
+
+/// One training/evaluation batch of (user, item) pairs together with the
+/// per-round sampled attribute-graph neighbors of both sides.
+struct Batch {
+  std::vector<size_t> user_ids;            ///< [B]
+  std::vector<size_t> item_ids;            ///< [B]
+  std::vector<size_t> user_neighbor_ids;   ///< [B*S]; empty if aggregator off
+  std::vector<size_t> item_neighbor_ids;   ///< [B*S]
+  /// Strict-cold flags over ALL nodes (empty => nothing is cold, e.g.,
+  /// during training). Applied to both targets and neighbors.
+  const std::vector<bool>* cold_users = nullptr;
+  const std::vector<bool>* cold_items = nullptr;
+};
+
+/// The full AGNN network (Fig. 3a): per side (user/item) an attribute
+/// interaction layer, a preference-embedding table, the eVAE (or a
+/// replacement cold-start module), a fusion layer (Eq. 5), a gated-GNN, and
+/// a shared prediction layer. All Table 3/4 variants are selected through
+/// AgnnConfig.
+class AgnnModel : public nn::Module {
+ public:
+  AgnnModel(const AgnnConfig& config, const data::Dataset& dataset,
+            float train_global_mean, Rng* rng);
+
+  struct ForwardResult {
+    ag::Var predictions;  ///< [B, 1]
+    ag::Var recon_loss;   ///< scalar; zero constant when not applicable
+  };
+
+  /// End-to-end forward pass. In training mode the cold-start module's
+  /// stochastic parts (VAE sampling, mask/dropout selection) are active and
+  /// the reconstruction loss is populated.
+  ForwardResult Forward(const Batch& batch, Rng* rng, bool training) const;
+
+  /// Combined loss (Eq. 15-16, batch-mean form):
+  ///   L = mean (R̂ − R)² + λ L_recon.
+  /// Also returns the two components for the Fig. 9 training curves.
+  struct LossResult {
+    ag::Var total;
+    float prediction_loss;
+    float reconstruction_loss;
+  };
+  LossResult Loss(const ForwardResult& forward,
+                  const std::vector<float>& targets) const;
+
+  const AgnnConfig& config() const { return config_; }
+  size_t neighbors_per_node() const {
+    return config_.aggregator == Aggregator::kNone ? 0 : config_.num_neighbors;
+  }
+
+ private:
+  /// Everything one side (users or items) owns.
+  struct Side {
+    std::unique_ptr<AttributeInteractionLayer> interaction;
+    std::unique_ptr<nn::Embedding> preference;
+    std::unique_ptr<Evae> evae;
+    std::unique_ptr<nn::Linear> fusion;    // Eq. 5
+    std::unique_ptr<nn::Linear> dae;       // LLAE replacement
+    std::unique_ptr<nn::Linear> decoder;   // mask replacement
+    std::unique_ptr<GatedGnn> gnn;
+    const std::vector<std::vector<size_t>>* attrs = nullptr;
+  };
+
+  struct SideResult {
+    ag::Var node_embeddings;  ///< p (Eq. 5), [B, D]
+    ag::Var recon_loss;       ///< scalar or null
+    /// For the mask variant: which batch rows were masked ([B,1] 0/1) and
+    /// their original preference embeddings (constants).
+    ag::Var mask_selector;
+    Matrix masked_preference;
+  };
+
+  Side MakeSide(const data::Dataset& dataset, bool user_side, Rng* rng);
+
+  /// Computes fused node embeddings p for `ids` on one side, applying the
+  /// configured cold-start module. `compute_recon` is set for target nodes
+  /// during training only.
+  SideResult ComputeNodes(const Side& side, const std::vector<size_t>& ids,
+                          const std::vector<bool>* cold, Rng* rng,
+                          bool training, bool compute_recon) const;
+
+  /// Post-GNN reconstruction loss of the mask variant.
+  ag::Var MaskDecoderLoss(const Side& side, const SideResult& result,
+                          const ag::Var& final_embeddings) const;
+
+  AgnnConfig config_;
+  Side user_side_;
+  Side item_side_;
+  std::unique_ptr<PredictionLayer> prediction_;
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_AGNN_MODEL_H_

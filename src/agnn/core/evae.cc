@@ -1,0 +1,62 @@
+#include "agnn/core/evae.h"
+
+#include "agnn/common/logging.h"
+
+namespace agnn::core {
+
+Evae::Evae(size_t dim, size_t hidden_dim, Rng* rng)
+    : inference_hidden_(dim, hidden_dim, rng),
+      mu_head_(hidden_dim, dim, rng),
+      logvar_head_(hidden_dim, dim, rng),
+      generator_({dim, hidden_dim, dim}, rng, nn::Activation::kTanh,
+                 nn::Activation::kNone) {
+  RegisterSubmodule("inference", &inference_hidden_);
+  RegisterSubmodule("mu", &mu_head_);
+  RegisterSubmodule("logvar", &logvar_head_);
+  RegisterSubmodule("generator", &generator_);
+  // Start the posterior variance small (sigma ~ exp(-1.5) ~ 0.22) so early
+  // reparameterized samples are informative; the KL term grows it back as
+  // far as the data supports.
+  for (const nn::NamedParameter& p : logvar_head_.Parameters()) {
+    if (p.name == "bias") p.var->mutable_value().Fill(-3.0f);
+  }
+}
+
+EvaeOutput Evae::Forward(const ag::Var& x, Rng* rng, bool training) const {
+  EvaeOutput out;
+  ag::Var h = ag::Tanh(inference_hidden_.Forward(x));
+  out.mu = mu_head_.Forward(h);
+  out.logvar = logvar_head_.Forward(h);
+  out.z = training ? ag::Reparameterize(out.mu, out.logvar, rng) : out.mu;
+  out.reconstructed = generator_.Forward(out.z);
+  return out;
+}
+
+ag::Var Evae::Loss(const EvaeOutput& out, const ag::Var& x,
+                   const ag::Var& preference, bool with_approximation) const {
+  // All three terms are normalized per element (mean over batch AND
+  // dimensions) so that L_recon is on the same O(1) scale as the mean
+  // squared prediction error; the paper's lambda=1 balance then carries
+  // over to the batch-mean loss formulation used here.
+  const float inv_dims = 1.0f / static_cast<float>(x->value().cols());
+  // KL(q || N(0,I)).
+  ag::Var loss = ag::Scale(ag::GaussianKlMean(out.mu, out.logvar), inv_dims);
+  // -E[log p(x'|z)] as squared error (Gaussian likelihood). The target is
+  // a stop-gradient copy of x: the VAE must reconstruct the attribute
+  // embedding, but the reconstruction objective must not shrink the
+  // interaction layer's embeddings toward whatever the decoder can produce
+  // (gradients still reach x through the encoder input).
+  loss = ag::Add(loss, ag::MeanAll(ag::Square(ag::Sub(
+                           out.reconstructed, ag::MakeConst(x->value())))));
+  if (with_approximation) {
+    // ||x' − m||²: the extension that maps attribute space to preference
+    // space. Gradients must shape the *generator*, not drag the preference
+    // table toward x', so m enters as a constant.
+    ag::Var target = ag::MakeConst(preference->value());
+    loss = ag::Add(
+        loss, ag::MeanAll(ag::Square(ag::Sub(out.reconstructed, target))));
+  }
+  return loss;
+}
+
+}  // namespace agnn::core

@@ -1,0 +1,54 @@
+#ifndef AGNN_CORE_EVAE_H_
+#define AGNN_CORE_EVAE_H_
+
+#include "agnn/nn/layers.h"
+
+namespace agnn::core {
+
+/// Output of one eVAE pass.
+struct EvaeOutput {
+  ag::Var mu;             ///< [B, D] posterior mean.
+  ag::Var logvar;         ///< [B, D] posterior log-variance.
+  ag::Var z;              ///< [B, D] reparameterized sample.
+  ag::Var reconstructed;  ///< [B, D] x' — the generated preference embedding.
+};
+
+/// Extended variational auto-encoder (Section 3.3.3, Eq. 6-8, Fig. 3b).
+///
+/// Inference net maps an attribute embedding x to q(z|x) = N(mu, diag(σ²));
+/// the generation net maps z back to a reconstruction x'. The *extension*
+/// (third part) constrains x' to approximate the node's trained preference
+/// embedding m, so that at test time x' serves as the preference embedding
+/// of a strict cold start node:
+///
+///   L_recon = KL(q(z|x) || N(0,I)) + ||x' − x||² + ||x' − m||²
+///
+/// (The published Eq. 8 writes the ELBO terms with flipped signs; this is
+/// the standard sign convention for the same objective — minimizing KL and
+/// reconstruction error — plus the approximation term.)
+class Evae : public nn::Module {
+ public:
+  Evae(size_t dim, size_t hidden_dim, Rng* rng);
+
+  /// Runs inference + generation. In training mode z is sampled via the
+  /// reparameterization trick; in eval mode z = mu (the standard
+  /// deterministic decode).
+  EvaeOutput Forward(const ag::Var& x, Rng* rng, bool training) const;
+
+  /// Reconstruction loss (Eq. 8). `preference` is the batch's trained
+  /// preference embedding m (the approximation target). When
+  /// `with_approximation` is false the loss degrades to a standard VAE
+  /// (the AGNN_VAE ablation).
+  ag::Var Loss(const EvaeOutput& out, const ag::Var& x,
+               const ag::Var& preference, bool with_approximation) const;
+
+ private:
+  nn::Linear inference_hidden_;
+  nn::Linear mu_head_;
+  nn::Linear logvar_head_;
+  nn::Mlp generator_;
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_EVAE_H_

@@ -1,0 +1,54 @@
+#ifndef AGNN_CORE_GATED_GNN_H_
+#define AGNN_CORE_GATED_GNN_H_
+
+#include "agnn/core/config.h"
+#include "agnn/nn/layers.h"
+
+namespace agnn::core {
+
+/// Neighborhood aggregation layer (Section 3.3.4, Eq. 9-13, Fig. 4).
+///
+/// The full gated-GNN applies two dimension-level gates:
+///  - aggregate gate a_gate^{f_i} = σ(W_a [p_u ; p_{f_i}] + b_a) selects
+///    which dimensions of each neighbor flow to the target (Eq. 9-10);
+///  - filter gate f_gate = σ(W_f [p_u ; mean(p_f)] + b_f) removes the
+///    target's own dimensions that disagree with the neighborhood
+///    (homophily, Eq. 11-12);
+/// combined as p̃_u = LeakyReLU(p_u ⊙ (1 − f_gate) + mean(p_f ⊙ a_gate))
+/// (Eq. 13).
+///
+/// The same module also implements the Table 3 gate ablations and the
+/// Table 4 GCN/GAT replacements, selected by Aggregator.
+class GatedGnn : public nn::Module {
+ public:
+  GatedGnn(size_t dim, Aggregator aggregator, Rng* rng,
+           float leaky_slope = 0.01f);
+
+  /// `self` is [B, D]; `neighbors` is [B * num_neighbors, D], grouped so
+  /// that rows [n*S, (n+1)*S) are node n's sampled neighbors. Returns the
+  /// aggregated [B, D] final embeddings.
+  ag::Var Forward(const ag::Var& self, const ag::Var& neighbors,
+                  size_t num_neighbors) const;
+
+  Aggregator aggregator() const { return aggregator_; }
+
+ private:
+  Aggregator aggregator_;
+  float leaky_slope_;
+  // Gated-GNN parameters (used by kGatedGnn / kNoAggregateGate /
+  // kNoFilterGate).
+  ag::Var w_aggregate_;  // [2D, D]
+  ag::Var b_aggregate_;  // [1, D]
+  ag::Var w_filter_;     // [2D, D]
+  ag::Var b_filter_;     // [1, D]
+  // GCN replacement parameters.
+  ag::Var w_gcn_;  // [D, D]
+  ag::Var b_gcn_;  // [1, D]
+  // GAT replacement parameters.
+  ag::Var w_gat_;    // [D, D] shared projection
+  ag::Var attn_;     // [2D, 1] attention vector
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_GATED_GNN_H_

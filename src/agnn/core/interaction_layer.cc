@@ -1,0 +1,53 @@
+#include "agnn/core/interaction_layer.h"
+
+#include "agnn/common/logging.h"
+#include "agnn/nn/init.h"
+
+namespace agnn::core {
+
+AttributeInteractionLayer::AttributeInteractionLayer(size_t num_slots,
+                                                     size_t dim, Rng* rng,
+                                                     float leaky_slope)
+    : dim_(dim),
+      leaky_slope_(leaky_slope),
+      value_embeddings_(num_slots, dim, rng) {
+  RegisterSubmodule("values", &value_embeddings_);
+  w_bi_ = RegisterParameter("w_bi", nn::XavierUniform(dim, dim, rng));
+  w_linear_ = RegisterParameter("w_linear", nn::XavierUniform(dim, dim, rng));
+  bias_ = RegisterParameter("bias", Matrix::Zeros(1, dim));
+}
+
+ag::Var AttributeInteractionLayer::Forward(
+    const std::vector<std::vector<size_t>>& node_slots) const {
+  const size_t batch = node_slots.size();
+  AGNN_CHECK_GT(batch, 0u);
+
+  // Flatten all nodes' active slots into one gather + segment reduction.
+  std::vector<size_t> flat_slots;
+  std::vector<size_t> segments;
+  for (size_t n = 0; n < batch; ++n) {
+    for (size_t slot : node_slots[n]) {
+      flat_slots.push_back(slot);
+      segments.push_back(n);
+    }
+  }
+
+  ag::Var sum_v;
+  ag::Var sum_v_sq;
+  if (flat_slots.empty()) {
+    sum_v = ag::MakeConst(Matrix::Zeros(batch, dim_));
+    sum_v_sq = sum_v;
+  } else {
+    ag::Var v = value_embeddings_.Forward(flat_slots);  // [T, D]
+    sum_v = ag::SegmentSum(v, segments, batch);         // Σ v_i
+    sum_v_sq = ag::SegmentSum(ag::Square(v), segments, batch);  // Σ v_i²
+  }
+
+  // f_BI = ((Σv)² − Σv²) / 2 ; f_L = Σv.
+  ag::Var f_bi = ag::Scale(ag::Sub(ag::Square(sum_v), sum_v_sq), 0.5f);
+  ag::Var pre = ag::AddRowBroadcast(
+      ag::Add(ag::MatMul(f_bi, w_bi_), ag::MatMul(sum_v, w_linear_)), bias_);
+  return ag::LeakyRelu(pre, leaky_slope_);
+}
+
+}  // namespace agnn::core

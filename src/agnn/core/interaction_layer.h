@@ -1,0 +1,43 @@
+#ifndef AGNN_CORE_INTERACTION_LAYER_H_
+#define AGNN_CORE_INTERACTION_LAYER_H_
+
+#include <vector>
+
+#include "agnn/nn/layers.h"
+
+namespace agnn::core {
+
+/// Attribute interaction layer (Section 3.3.2, Eq. 2-4): embeds each active
+/// attribute value and combines them with Bi-Interaction pooling plus a
+/// linear term, followed by a fully connected LeakyReLU layer:
+///
+///   f_BI(a) = sum_{i<j} v_i ⊙ v_j,   f_L(a) = sum_i v_i
+///   x = LeakyReLU(W1 f_BI + W0 f_L + b)
+///
+/// f_BI uses the O(K) identity  sum_{i<j} v_i⊙v_j = ((Σv)² − Σv²) / 2.
+class AttributeInteractionLayer : public nn::Module {
+ public:
+  /// `num_slots`: width K of the multi-hot encoding; `dim`: embedding and
+  /// output dimensionality D.
+  AttributeInteractionLayer(size_t num_slots, size_t dim, Rng* rng,
+                            float leaky_slope = 0.01f);
+
+  /// Computes attribute embeddings for a batch of nodes given their active
+  /// slots. Returns [batch, dim]. Nodes with no attributes produce rows
+  /// driven purely by the bias.
+  ag::Var Forward(const std::vector<std::vector<size_t>>& node_slots) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  float leaky_slope_;
+  nn::Embedding value_embeddings_;
+  ag::Var w_bi_;      // W^(1)_fc [D, D]
+  ag::Var w_linear_;  // W^(0)_fc [D, D]
+  ag::Var bias_;      // [1, D]
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_INTERACTION_LAYER_H_

@@ -1,0 +1,36 @@
+#include "agnn/core/prediction_layer.h"
+
+#include "agnn/common/logging.h"
+
+namespace agnn::core {
+
+PredictionLayer::PredictionLayer(size_t dim, size_t hidden_dim,
+                                 size_t num_users, size_t num_items,
+                                 float global_mean, Rng* rng)
+    : mlp_({2 * dim, hidden_dim, 1}, rng, nn::Activation::kLeakyRelu,
+           nn::Activation::kNone),
+      user_bias_(num_users, 1, rng, /*init_scale=*/0.01f),
+      item_bias_(num_items, 1, rng, /*init_scale=*/0.01f) {
+  RegisterSubmodule("mlp", &mlp_);
+  RegisterSubmodule("user_bias", &user_bias_);
+  RegisterSubmodule("item_bias", &item_bias_);
+  global_bias_ =
+      RegisterParameter("global_bias", Matrix(1, 1, global_mean));
+}
+
+ag::Var PredictionLayer::Forward(const ag::Var& user_final,
+                                 const ag::Var& item_final,
+                                 const std::vector<size_t>& user_ids,
+                                 const std::vector<size_t>& item_ids) const {
+  AGNN_CHECK_EQ(user_final->value().rows(), user_ids.size());
+  AGNN_CHECK_EQ(item_final->value().rows(), item_ids.size());
+  ag::Var nonlinear =
+      mlp_.Forward(ag::ConcatCols(user_final, item_final));        // [B,1]
+  ag::Var dot = ag::RowwiseDot(user_final, item_final);            // [B,1]
+  ag::Var biased = ag::Add(ag::Add(nonlinear, dot),
+                           ag::Add(user_bias_.Forward(user_ids),
+                                   item_bias_.Forward(item_ids)));
+  return ag::AddRowBroadcast(biased, global_bias_);
+}
+
+}  // namespace agnn::core

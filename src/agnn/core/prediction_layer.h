@@ -1,0 +1,35 @@
+#ifndef AGNN_CORE_PREDICTION_LAYER_H_
+#define AGNN_CORE_PREDICTION_LAYER_H_
+
+#include <vector>
+
+#include "agnn/nn/layers.h"
+
+namespace agnn::core {
+
+/// Rating prediction head (Section 3.3.5, Eq. 14):
+///
+///   R̂_ui = MLP([p̃_u ; q̃_i]) + p̃_u q̃_iᵀ + b_u + b_i + μ
+///
+/// with a one-hidden-layer MLP, learned per-user and per-item biases, and a
+/// global bias initialized to the training mean rating.
+class PredictionLayer : public nn::Module {
+ public:
+  PredictionLayer(size_t dim, size_t hidden_dim, size_t num_users,
+                  size_t num_items, float global_mean, Rng* rng);
+
+  /// p̃_u, q̃_i are [B, D]; ids select bias rows. Returns [B, 1] ratings.
+  ag::Var Forward(const ag::Var& user_final, const ag::Var& item_final,
+                  const std::vector<size_t>& user_ids,
+                  const std::vector<size_t>& item_ids) const;
+
+ private:
+  nn::Mlp mlp_;
+  nn::Embedding user_bias_;
+  nn::Embedding item_bias_;
+  ag::Var global_bias_;  // [1, 1]
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_PREDICTION_LAYER_H_

@@ -1,0 +1,171 @@
+#include "agnn/core/trainer.h"
+
+#include <algorithm>
+
+#include "agnn/common/logging.h"
+#include "agnn/graph/interaction_graph.h"
+
+namespace agnn::core {
+
+AgnnTrainer::AgnnTrainer(const data::Dataset& dataset,
+                         const data::Split& split, const AgnnConfig& config)
+    : dataset_(dataset), split_(split), config_(config), rng_(config.seed) {
+  BuildGraphs();
+  const graph::InteractionGraph train_graph(dataset_.num_users,
+                                            dataset_.num_items, split_.train);
+  Rng init_rng = rng_.Fork();
+  model_ = std::make_unique<AgnnModel>(config_, dataset_,
+                                       train_graph.global_mean(), &init_rng);
+  optimizer_ = std::make_unique<nn::Adam>(model_->Parameters(),
+                                          config_.learning_rate);
+}
+
+void AgnnTrainer::BuildGraphs() {
+  const graph::InteractionGraph train_graph(dataset_.num_users,
+                                            dataset_.num_items, split_.train);
+  switch (config_.graph_construction) {
+    case GraphConstruction::kDynamic: {
+      auto user_attr_sims = graph::PairwiseBinaryCosine(
+          dataset_.user_attrs, dataset_.user_schema.total_slots());
+      auto item_attr_sims = graph::PairwiseBinaryCosine(
+          dataset_.item_attrs, dataset_.item_schema.total_slots());
+      auto user_pref_sims = graph::PairwiseSparseCosine(
+          train_graph.AllUserRatings(), dataset_.num_items);
+      auto item_pref_sims = graph::PairwiseSparseCosine(
+          train_graph.AllItemRatings(), dataset_.num_users);
+      user_graph_ = graph::BuildCandidatePool(user_attr_sims, user_pref_sims,
+                                              config_.proximity_mode,
+                                              config_.candidate_percent);
+      item_graph_ = graph::BuildCandidatePool(item_attr_sims, item_pref_sims,
+                                              config_.proximity_mode,
+                                              config_.candidate_percent);
+      break;
+    }
+    case GraphConstruction::kKnn: {
+      auto user_attr_sims = graph::PairwiseBinaryCosine(
+          dataset_.user_attrs, dataset_.user_schema.total_slots());
+      auto item_attr_sims = graph::PairwiseBinaryCosine(
+          dataset_.item_attrs, dataset_.item_schema.total_slots());
+      user_graph_ = graph::BuildKnnGraph(user_attr_sims, config_.knn_k);
+      item_graph_ = graph::BuildKnnGraph(item_attr_sims, config_.knn_k);
+      break;
+    }
+    case GraphConstruction::kCoPurchase: {
+      // DANSER protocol: co-interaction counts; on Yelp the social links
+      // already form the user-user graph.
+      if (dataset_.has_social()) {
+        user_graph_ = graph::BuildSocialGraph(dataset_.social_links);
+      } else {
+        user_graph_ = graph::BuildCoPurchaseGraph(
+            train_graph.AllUserRatings(), dataset_.num_items, config_.knn_k);
+      }
+      item_graph_ = graph::BuildCoPurchaseGraph(
+          train_graph.AllItemRatings(), dataset_.num_users, config_.knn_k);
+      break;
+    }
+  }
+}
+
+std::vector<size_t> AgnnTrainer::SampleBatchNeighbors(
+    const graph::WeightedGraph& graph, const std::vector<size_t>& ids) {
+  std::vector<size_t> out;
+  const size_t s = model_ ? model_->neighbors_per_node()
+                          : config_.num_neighbors;
+  out.reserve(ids.size() * s);
+  for (size_t id : ids) {
+    auto sample = graph::SampleNeighbors(graph, id, s, &rng_);
+    out.insert(out.end(), sample.begin(), sample.end());
+  }
+  return out;
+}
+
+Batch AgnnTrainer::MakeBatch(const std::vector<size_t>& rating_indices,
+                             std::vector<float>* targets) {
+  Batch batch;
+  batch.user_ids.reserve(rating_indices.size());
+  batch.item_ids.reserve(rating_indices.size());
+  if (targets != nullptr) targets->reserve(rating_indices.size());
+  for (size_t idx : rating_indices) {
+    const data::Rating& r = split_.train[idx];
+    batch.user_ids.push_back(r.user);
+    batch.item_ids.push_back(r.item);
+    if (targets != nullptr) targets->push_back(r.value);
+  }
+  if (model_->neighbors_per_node() > 0) {
+    batch.user_neighbor_ids = SampleBatchNeighbors(user_graph_, batch.user_ids);
+    batch.item_neighbor_ids = SampleBatchNeighbors(item_graph_, batch.item_ids);
+  }
+  return batch;
+}
+
+const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
+  AGNN_CHECK(!split_.train.empty());
+  curves_.clear();
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto batches =
+        data::MakeBatches(split_.train.size(), config_.batch_size, &rng_);
+    EpochStats stats;
+    for (const auto& indices : batches) {
+      std::vector<float> targets;
+      Batch batch = MakeBatch(indices, &targets);
+      optimizer_->ZeroGrad();
+      auto forward = model_->Forward(batch, &rng_, /*training=*/true);
+      auto loss = model_->Loss(forward, targets);
+      ag::Backward(loss.total);
+      nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
+      optimizer_->Step();
+      const double weight = static_cast<double>(indices.size()) /
+                            static_cast<double>(split_.train.size());
+      stats.prediction_loss += weight * loss.prediction_loss;
+      stats.reconstruction_loss += weight * loss.reconstruction_loss;
+    }
+    curves_.push_back(stats);
+  }
+  return curves_;
+}
+
+std::vector<float> AgnnTrainer::Predict(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  std::vector<float> predictions;
+  predictions.reserve(pairs.size());
+  const size_t chunk = std::max<size_t>(config_.batch_size, 256);
+  for (size_t start = 0; start < pairs.size(); start += chunk) {
+    const size_t end = std::min(pairs.size(), start + chunk);
+    Batch batch;
+    for (size_t i = start; i < end; ++i) {
+      batch.user_ids.push_back(pairs[i].first);
+      batch.item_ids.push_back(pairs[i].second);
+    }
+    batch.cold_users = &split_.cold_user;
+    batch.cold_items = &split_.cold_item;
+    if (model_->neighbors_per_node() > 0) {
+      batch.user_neighbor_ids =
+          SampleBatchNeighbors(user_graph_, batch.user_ids);
+      batch.item_neighbor_ids =
+          SampleBatchNeighbors(item_graph_, batch.item_ids);
+    }
+    auto forward = model_->Forward(batch, &rng_, /*training=*/false);
+    const Matrix& preds = forward.predictions->value();
+    for (size_t r = 0; r < preds.rows(); ++r) {
+      predictions.push_back(preds.At(r, 0));
+    }
+  }
+  eval::ClampPredictions(&predictions, dataset_.rating_min,
+                         dataset_.rating_max);
+  return predictions;
+}
+
+eval::RmseMae AgnnTrainer::EvaluateTest() {
+  AGNN_CHECK(!split_.test.empty());
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<float> targets;
+  pairs.reserve(split_.test.size());
+  targets.reserve(split_.test.size());
+  for (const data::Rating& r : split_.test) {
+    pairs.push_back({r.user, r.item});
+    targets.push_back(r.value);
+  }
+  return eval::ComputeRmseMae(Predict(pairs), targets);
+}
+
+}  // namespace agnn::core

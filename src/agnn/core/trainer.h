@@ -1,0 +1,74 @@
+#ifndef AGNN_CORE_TRAINER_H_
+#define AGNN_CORE_TRAINER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "agnn/core/agnn_model.h"
+#include "agnn/data/split.h"
+#include "agnn/eval/metrics.h"
+#include "agnn/graph/attribute_graph.h"
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::core {
+
+/// Trains and evaluates an AgnnModel on one dataset split.
+///
+/// The trainer owns the attribute-graph construction (Section 3.3.1):
+/// candidate pools are built once from the *training* interactions plus the
+/// full attribute table, and neighbors are re-sampled from the pools every
+/// batch — the paper's dynamic graph strategy. Strict cold nodes are
+/// members of the graphs (they have attribute proximity) but never appear
+/// in training batches as targets.
+class AgnnTrainer {
+ public:
+  /// `dataset` and `split` must outlive the trainer.
+  AgnnTrainer(const data::Dataset& dataset, const data::Split& split,
+              const AgnnConfig& config);
+
+  /// Per-epoch mean losses (the Fig. 9 curves).
+  struct EpochStats {
+    double prediction_loss = 0.0;
+    double reconstruction_loss = 0.0;
+  };
+
+  /// Runs config.epochs of Adam training; returns the loss curves.
+  const std::vector<EpochStats>& Train();
+
+  /// RMSE/MAE on the split's test interactions (predictions clamped to the
+  /// rating scale; strict cold nodes handled by the cold-start module).
+  eval::RmseMae EvaluateTest();
+
+  /// Raw (clamped) predictions for arbitrary pairs under test conditions.
+  std::vector<float> Predict(
+      const std::vector<std::pair<size_t, size_t>>& pairs);
+
+  const AgnnModel& model() const { return *model_; }
+  AgnnModel* mutable_model() { return model_.get(); }
+  const graph::WeightedGraph& user_graph() const { return user_graph_; }
+  const graph::WeightedGraph& item_graph() const { return item_graph_; }
+  const std::vector<EpochStats>& curves() const { return curves_; }
+
+ private:
+  void BuildGraphs();
+  Batch MakeBatch(const std::vector<size_t>& rating_indices,
+                  std::vector<float>* targets);
+  /// Samples S neighbors per id from `graph` into a flat [B*S] list.
+  std::vector<size_t> SampleBatchNeighbors(const graph::WeightedGraph& graph,
+                                           const std::vector<size_t>& ids);
+
+  const data::Dataset& dataset_;
+  const data::Split& split_;
+  AgnnConfig config_;
+  Rng rng_;
+  graph::WeightedGraph user_graph_;
+  graph::WeightedGraph item_graph_;
+  std::unique_ptr<AgnnModel> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<EpochStats> curves_;
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_TRAINER_H_

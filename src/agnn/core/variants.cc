@@ -1,0 +1,59 @@
+#include "agnn/core/variants.h"
+
+#include "agnn/common/logging.h"
+
+namespace agnn::core {
+
+AgnnConfig MakeVariant(const AgnnConfig& base, const std::string& name) {
+  AgnnConfig config = base;
+  config.name = name;
+  if (name == "AGNN") {
+    return config;
+  }
+  if (name == "AGNN_PP") {
+    config.proximity_mode = graph::ProximityMode::kPreferenceOnly;
+  } else if (name == "AGNN_AP") {
+    config.proximity_mode = graph::ProximityMode::kAttributeOnly;
+  } else if (name == "AGNN_-gGNN") {
+    config.aggregator = Aggregator::kNone;
+  } else if (name == "AGNN_-agate") {
+    config.aggregator = Aggregator::kNoAggregateGate;
+  } else if (name == "AGNN_-fgate") {
+    config.aggregator = Aggregator::kNoFilterGate;
+  } else if (name == "AGNN_-eVAE") {
+    config.cold_start = ColdStartModule::kNone;
+  } else if (name == "AGNN_VAE") {
+    config.cold_start = ColdStartModule::kPlainVae;
+  } else if (name == "AGNN_knn") {
+    config.graph_construction = GraphConstruction::kKnn;
+  } else if (name == "AGNN_cop") {
+    config.graph_construction = GraphConstruction::kCoPurchase;
+  } else if (name == "AGNN_GCN") {
+    config.aggregator = Aggregator::kGcn;
+  } else if (name == "AGNN_GAT") {
+    config.aggregator = Aggregator::kGat;
+  } else if (name == "AGNN_mask") {
+    config.cold_start = ColdStartModule::kMask;
+  } else if (name == "AGNN_drop") {
+    config.cold_start = ColdStartModule::kDropout;
+  } else if (name == "AGNN_LLAE") {
+    config.cold_start = ColdStartModule::kLlae;
+  } else if (name == "AGNN_LLAE+") {
+    config.cold_start = ColdStartModule::kLlaePlus;
+  } else {
+    AGNN_LOG(Fatal) << "unknown AGNN variant: " << name;
+  }
+  return config;
+}
+
+std::vector<std::string> AblationVariantNames() {
+  return {"AGNN_PP",     "AGNN_AP",     "AGNN_-gGNN", "AGNN_-agate",
+          "AGNN_-fgate", "AGNN_-eVAE",  "AGNN_VAE"};
+}
+
+std::vector<std::string> ReplacementVariantNames() {
+  return {"AGNN_knn",  "AGNN_cop",  "AGNN_GCN",  "AGNN_GAT",
+          "AGNN_mask", "AGNN_drop", "AGNN_LLAE", "AGNN_LLAE+"};
+}
+
+}  // namespace agnn::core

@@ -1,0 +1,32 @@
+#ifndef AGNN_CORE_VARIANTS_H_
+#define AGNN_CORE_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "agnn/core/config.h"
+
+namespace agnn::core {
+
+/// Returns `base` reconfigured as the named model variant from the paper's
+/// ablation (Table 3) and replacement (Table 4) studies. Recognized names:
+///   "AGNN"                        — the full model
+///   "AGNN_PP", "AGNN_AP"          — single-proximity graph construction
+///   "AGNN_-gGNN", "AGNN_-agate", "AGNN_-fgate" — gate ablations
+///   "AGNN_-eVAE", "AGNN_VAE"      — cold-start module ablations
+///   "AGNN_knn", "AGNN_cop"        — graph-construction replacements
+///   "AGNN_GCN", "AGNN_GAT"        — aggregator replacements
+///   "AGNN_mask", "AGNN_drop", "AGNN_LLAE", "AGNN_LLAE+" — cold-start
+///                                    technique replacements
+/// Aborts on an unknown name.
+AgnnConfig MakeVariant(const AgnnConfig& base, const std::string& name);
+
+/// Variant rows of Table 3, in paper order (excluding the AGNN headline).
+std::vector<std::string> AblationVariantNames();
+
+/// Variant rows of Table 4, in paper order (excluding the AGNN headline).
+std::vector<std::string> ReplacementVariantNames();
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_VARIANTS_H_

@@ -1,0 +1,42 @@
+#include "agnn/data/attribute_schema.h"
+
+#include "agnn/common/logging.h"
+
+namespace agnn::data {
+
+AttributeSchema::AttributeSchema(std::vector<AttributeField> fields)
+    : fields_(std::move(fields)) {
+  offsets_.reserve(fields_.size());
+  for (const AttributeField& f : fields_) {
+    AGNN_CHECK_GT(f.cardinality, 0u) << "field " << f.name;
+    offsets_.push_back(total_slots_);
+    total_slots_ += f.cardinality;
+  }
+}
+
+const AttributeField& AttributeSchema::field(size_t f) const {
+  AGNN_CHECK_LT(f, fields_.size());
+  return fields_[f];
+}
+
+size_t AttributeSchema::offset(size_t f) const {
+  AGNN_CHECK_LT(f, offsets_.size());
+  return offsets_[f];
+}
+
+size_t AttributeSchema::SlotOf(size_t f, size_t v) const {
+  AGNN_CHECK_LT(f, fields_.size());
+  AGNN_CHECK_LT(v, fields_[f].cardinality);
+  return offsets_[f] + v;
+}
+
+size_t AttributeSchema::FieldOfSlot(size_t slot) const {
+  AGNN_CHECK_LT(slot, total_slots_);
+  // Fields are few (<10); linear scan is fine.
+  for (size_t f = fields_.size(); f-- > 0;) {
+    if (slot >= offsets_[f]) return f;
+  }
+  return 0;
+}
+
+}  // namespace agnn::data

@@ -1,0 +1,51 @@
+#ifndef AGNN_DATA_ATTRIBUTE_SCHEMA_H_
+#define AGNN_DATA_ATTRIBUTE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace agnn::data {
+
+/// One attribute field (e.g., "gender", "age", "category"). A field owns a
+/// contiguous range of slots in the concatenated multi-hot encoding; a
+/// single-valued field activates exactly one slot, a multi-valued field
+/// (e.g., movie categories) may activate several.
+struct AttributeField {
+  std::string name;
+  size_t cardinality = 0;  ///< Number of distinct values.
+  bool multi_valued = false;
+};
+
+/// Layout of the concatenated multi-hot attribute encoding a ∈ R^K described
+/// in Section 3.1 of the paper: fields are laid out back to back, so field f
+/// value v occupies slot offset(f) + v.
+class AttributeSchema {
+ public:
+  AttributeSchema() = default;
+  explicit AttributeSchema(std::vector<AttributeField> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const AttributeField& field(size_t f) const;
+
+  /// Total number of slots K across all fields.
+  size_t total_slots() const { return total_slots_; }
+
+  /// First slot of field f.
+  size_t offset(size_t f) const;
+
+  /// Global slot index of value v of field f.
+  size_t SlotOf(size_t f, size_t v) const;
+
+  /// Inverse of SlotOf: which field does a global slot belong to.
+  size_t FieldOfSlot(size_t slot) const;
+
+ private:
+  std::vector<AttributeField> fields_;
+  std::vector<size_t> offsets_;
+  size_t total_slots_ = 0;
+};
+
+}  // namespace agnn::data
+
+#endif  // AGNN_DATA_ATTRIBUTE_SCHEMA_H_

@@ -1,0 +1,239 @@
+#include "agnn/data/csv_loader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "agnn/common/string_util.h"
+
+namespace agnn::data {
+namespace {
+
+// Reads all data lines (header skipped) of a csv with `columns` fields.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, size_t columns) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = StrTrim(line);
+    if (trimmed.empty()) continue;
+    if (first) {
+      first = false;  // header
+      continue;
+    }
+    auto fields = StrSplit(trimmed, ',');
+    if (fields.size() != columns) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": expected " +
+          std::to_string(columns) + " columns, got " +
+          std::to_string(fields.size()));
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+StatusOr<size_t> ParseId(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) {
+    return Status::InvalidArgument("bad " + what + " id: '" + text + "'");
+  }
+  return static_cast<size_t>(value);
+}
+
+// Dictionary-encodes (field, value) rows into an AttributeSchema plus
+// per-node slot lists. Field order = first appearance; value order within a
+// field = first appearance.
+struct AttrTable {
+  AttributeSchema schema;
+  std::vector<std::vector<size_t>> slots;
+};
+
+StatusOr<AttrTable> BuildAttrTable(
+    const std::vector<std::vector<std::string>>& rows, size_t num_nodes,
+    const std::string& what) {
+  std::vector<std::string> field_order;
+  std::map<std::string, std::map<std::string, size_t>> values_by_field;
+  struct Pending {
+    size_t node;
+    std::string field;
+    std::string value;
+  };
+  std::vector<Pending> pending;
+  for (const auto& row : rows) {
+    StatusOr<size_t> node = ParseId(row[0], what);
+    if (!node.ok()) return node.status();
+    if (*node >= num_nodes) {
+      return Status::OutOfRange(what + " id " + row[0] +
+                                " exceeds id space from ratings file");
+    }
+    auto [it, inserted] = values_by_field.try_emplace(row[1]);
+    if (inserted) field_order.push_back(row[1]);
+    it->second.try_emplace(row[2], it->second.size());
+    pending.push_back({*node, row[1], row[2]});
+  }
+
+  std::vector<AttributeField> fields;
+  std::map<std::string, size_t> field_index;
+  for (const std::string& name : field_order) {
+    field_index[name] = fields.size();
+    fields.push_back({name, values_by_field[name].size(),
+                      /*multi_valued=*/true});
+  }
+  AttrTable table;
+  table.schema = AttributeSchema(std::move(fields));
+  table.slots.resize(num_nodes);
+  for (const Pending& p : pending) {
+    const size_t f = field_index[p.field];
+    table.slots[p.node].push_back(
+        table.schema.SlotOf(f, values_by_field[p.field][p.value]));
+  }
+  for (auto& slots : table.slots) {
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  }
+  return table;
+}
+
+}  // namespace
+
+StatusOr<Dataset> LoadCsvDataset(const CsvSources& sources,
+                                 const std::string& name) {
+  auto ratings_rows = ReadCsv(sources.ratings_path, 3);
+  if (!ratings_rows.ok()) return ratings_rows.status();
+
+  Dataset ds;
+  ds.name = name;
+  ds.rating_min = sources.rating_min;
+  ds.rating_max = sources.rating_max;
+  for (const auto& row : *ratings_rows) {
+    StatusOr<size_t> user = ParseId(row[0], "user");
+    if (!user.ok()) return user.status();
+    StatusOr<size_t> item = ParseId(row[1], "item");
+    if (!item.ok()) return item.status();
+    const float value = static_cast<float>(std::atof(row[2].c_str()));
+    if (value < sources.rating_min || value > sources.rating_max) {
+      return Status::OutOfRange("rating " + row[2] + " outside scale");
+    }
+    ds.ratings.push_back({*user, *item, value});
+    ds.num_users = std::max(ds.num_users, *user + 1);
+    ds.num_items = std::max(ds.num_items, *item + 1);
+  }
+  if (ds.ratings.empty()) {
+    return Status::InvalidArgument("no ratings in " + sources.ratings_path);
+  }
+
+  // Item attributes.
+  auto item_rows = ReadCsv(sources.item_attrs_path, 3);
+  if (!item_rows.ok()) return item_rows.status();
+  auto item_table = BuildAttrTable(*item_rows, ds.num_items, "item");
+  if (!item_table.ok()) return item_table.status();
+  ds.item_schema = std::move(item_table.value().schema);
+  ds.item_attrs = std::move(item_table.value().slots);
+
+  // Social links (optional; required in Yelp mode).
+  if (!sources.social_path.empty()) {
+    auto social_rows = ReadCsv(sources.social_path, 2);
+    if (!social_rows.ok()) return social_rows.status();
+    std::vector<std::set<size_t>> links(ds.num_users);
+    for (const auto& row : *social_rows) {
+      StatusOr<size_t> a = ParseId(row[0], "user");
+      if (!a.ok()) return a.status();
+      StatusOr<size_t> b = ParseId(row[1], "friend");
+      if (!b.ok()) return b.status();
+      if (*a >= ds.num_users || *b >= ds.num_users || *a == *b) {
+        return Status::OutOfRange("bad social edge " + row[0] + "," + row[1]);
+      }
+      links[*a].insert(*b);
+      links[*b].insert(*a);
+    }
+    ds.social_links.resize(ds.num_users);
+    for (size_t u = 0; u < ds.num_users; ++u) {
+      ds.social_links[u].assign(links[u].begin(), links[u].end());
+    }
+  }
+
+  // User attributes: profile csv, or the Yelp protocol's social rows.
+  if (!sources.user_attrs_path.empty()) {
+    auto user_rows = ReadCsv(sources.user_attrs_path, 3);
+    if (!user_rows.ok()) return user_rows.status();
+    auto user_table = BuildAttrTable(*user_rows, ds.num_users, "user");
+    if (!user_table.ok()) return user_table.status();
+    ds.user_schema = std::move(user_table.value().schema);
+    ds.user_attrs = std::move(user_table.value().slots);
+  } else {
+    if (!ds.has_social()) {
+      return Status::InvalidArgument(
+          "user attrs csv missing and no social csv given");
+    }
+    ds.user_schema =
+        AttributeSchema({{"social", ds.num_users, /*multi_valued=*/true}});
+    ds.user_attrs = ds.social_links;
+  }
+
+  ds.Validate();
+  return ds;
+}
+
+Status SaveCsvDataset(const Dataset& dataset, const CsvSources& sources) {
+  {
+    std::ofstream out(sources.ratings_path);
+    if (!out.good()) {
+      return Status::InvalidArgument("cannot write " + sources.ratings_path);
+    }
+    out << "user_id,item_id,rating\n";
+    for (const Rating& r : dataset.ratings) {
+      out << r.user << "," << r.item << "," << r.value << "\n";
+    }
+  }
+  auto write_attrs = [](const std::string& path, const AttributeSchema& schema,
+                        const std::vector<std::vector<size_t>>& attrs,
+                        const std::string& id_header) {
+    std::ofstream out(path);
+    if (!out.good()) return Status::InvalidArgument("cannot write " + path);
+    out << id_header << ",field,value\n";
+    for (size_t node = 0; node < attrs.size(); ++node) {
+      for (size_t slot : attrs[node]) {
+        const size_t field = schema.FieldOfSlot(slot);
+        out << node << "," << schema.field(field).name << ",v"
+            << (slot - schema.offset(field)) << "\n";
+      }
+    }
+    return Status::Ok();
+  };
+  if (!sources.item_attrs_path.empty()) {
+    Status s = write_attrs(sources.item_attrs_path, dataset.item_schema,
+                           dataset.item_attrs, "item_id");
+    if (!s.ok()) return s;
+  }
+  if (!sources.user_attrs_path.empty() && !dataset.has_social()) {
+    Status s = write_attrs(sources.user_attrs_path, dataset.user_schema,
+                           dataset.user_attrs, "user_id");
+    if (!s.ok()) return s;
+  }
+  if (!sources.social_path.empty() && dataset.has_social()) {
+    std::ofstream out(sources.social_path);
+    if (!out.good()) {
+      return Status::InvalidArgument("cannot write " + sources.social_path);
+    }
+    out << "user_id,friend_id\n";
+    for (size_t u = 0; u < dataset.social_links.size(); ++u) {
+      for (size_t v : dataset.social_links[u]) {
+        if (u < v) out << u << "," << v << "\n";  // each edge once
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace agnn::data

@@ -1,0 +1,93 @@
+#include "agnn/data/dataset.h"
+
+#include <algorithm>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::data {
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats stats;
+  stats.num_users = num_users;
+  stats.num_items = num_items;
+  stats.num_ratings = ratings.size();
+  const double cells =
+      static_cast<double>(num_users) * static_cast<double>(num_items);
+  stats.sparsity =
+      cells == 0.0 ? 0.0 : 1.0 - static_cast<double>(ratings.size()) / cells;
+  return stats;
+}
+
+float Dataset::GlobalMeanRating() const {
+  AGNN_CHECK(!ratings.empty());
+  double sum = 0.0;
+  for (const Rating& r : ratings) sum += r.value;
+  return static_cast<float>(sum / static_cast<double>(ratings.size()));
+}
+
+namespace {
+
+Matrix DenseAttributes(const std::vector<std::vector<size_t>>& attrs,
+                       size_t width) {
+  Matrix out(attrs.size(), width);
+  for (size_t row = 0; row < attrs.size(); ++row) {
+    for (size_t slot : attrs[row]) {
+      AGNN_CHECK_LT(slot, width);
+      out.At(row, slot) = 1.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix Dataset::DenseUserAttributes() const {
+  return DenseAttributes(user_attrs, user_schema.total_slots());
+}
+
+Matrix Dataset::DenseItemAttributes() const {
+  return DenseAttributes(item_attrs, item_schema.total_slots());
+}
+
+void Dataset::Validate() const {
+  AGNN_CHECK_EQ(user_attrs.size(), num_users);
+  AGNN_CHECK_EQ(item_attrs.size(), num_items);
+  auto check_attrs = [](const std::vector<std::vector<size_t>>& attrs,
+                        size_t width) {
+    for (const auto& slots : attrs) {
+      AGNN_CHECK(std::is_sorted(slots.begin(), slots.end()));
+      AGNN_CHECK(std::adjacent_find(slots.begin(), slots.end()) ==
+                 slots.end())
+          << "duplicate attribute slot";
+      for (size_t slot : slots) AGNN_CHECK_LT(slot, width);
+    }
+  };
+  check_attrs(user_attrs, user_schema.total_slots());
+  check_attrs(item_attrs, item_schema.total_slots());
+  for (const Rating& r : ratings) {
+    AGNN_CHECK_LT(r.user, num_users);
+    AGNN_CHECK_LT(r.item, num_items);
+    AGNN_CHECK_GE(r.value, rating_min);
+    AGNN_CHECK_LE(r.value, rating_max);
+  }
+  if (has_social()) {
+    AGNN_CHECK_EQ(social_links.size(), num_users);
+    for (size_t u = 0; u < social_links.size(); ++u) {
+      for (size_t v : social_links[u]) {
+        AGNN_CHECK_LT(v, num_users);
+        AGNN_CHECK_NE(v, u);
+      }
+    }
+  }
+}
+
+Matrix SlotsToDenseRow(const std::vector<size_t>& slots, size_t width) {
+  Matrix row(1, width);
+  for (size_t slot : slots) {
+    AGNN_CHECK_LT(slot, width);
+    row.At(0, slot) = 1.0f;
+  }
+  return row;
+}
+
+}  // namespace agnn::data

@@ -1,0 +1,75 @@
+#ifndef AGNN_DATA_DATASET_H_
+#define AGNN_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "agnn/data/attribute_schema.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::data {
+
+/// One observed explicit interaction: user `u` rated item `i` with `value`.
+struct Rating {
+  size_t user = 0;
+  size_t item = 0;
+  float value = 0.0f;
+};
+
+/// Summary statistics matching the paper's Table 1.
+struct DatasetStats {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_ratings = 0;
+  double sparsity = 0.0;  ///< 1 - |R| / (M*N).
+};
+
+/// A rating-prediction dataset: users, items, explicit ratings, and the
+/// multi-hot attribute encodings the AGNN attribute graphs are built from.
+/// Attribute encodings are stored sparsely as lists of active slots.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  std::string name;
+  size_t num_users = 0;
+  size_t num_items = 0;
+  float rating_min = 1.0f;
+  float rating_max = 5.0f;
+
+  AttributeSchema user_schema;
+  AttributeSchema item_schema;
+
+  /// Active attribute slots per user/item (sorted, unique).
+  std::vector<std::vector<size_t>> user_attrs;
+  std::vector<std::vector<size_t>> item_attrs;
+
+  /// Optional social links (Yelp protocol): adjacency lists, symmetric.
+  /// When non-empty, the social rows double as user attribute encodings.
+  std::vector<std::vector<size_t>> social_links;
+
+  std::vector<Rating> ratings;
+
+  bool has_social() const { return !social_links.empty(); }
+
+  DatasetStats Stats() const;
+
+  /// Mean rating over all interactions.
+  float GlobalMeanRating() const;
+
+  /// Dense [num_users, K_u] 0/1 multi-hot matrix of user attributes.
+  Matrix DenseUserAttributes() const;
+  /// Dense [num_items, K_i] 0/1 multi-hot matrix of item attributes.
+  Matrix DenseItemAttributes() const;
+
+  /// Internal consistency check (ids in range, slots valid, sorted).
+  /// Aborts via AGNN_CHECK on violation; used by tests and generators.
+  void Validate() const;
+};
+
+/// Splits a set of active slots into a dense 0/1 row of width `width`.
+Matrix SlotsToDenseRow(const std::vector<size_t>& slots, size_t width);
+
+}  // namespace agnn::data
+
+#endif  // AGNN_DATA_DATASET_H_

@@ -1,0 +1,39 @@
+#include "agnn/data/discrete_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::data {
+
+DiscreteDistribution::DiscreteDistribution(
+    const std::vector<double>& weights) {
+  AGNN_CHECK(!weights.empty());
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    AGNN_CHECK_GE(w, 0.0);
+    acc += w;
+    cumulative_.push_back(acc);
+  }
+  AGNN_CHECK_GT(acc, 0.0) << "all weights zero";
+}
+
+size_t DiscreteDistribution::Sample(Rng* rng) const {
+  AGNN_CHECK(rng != nullptr);
+  const double target = rng->Uniform() * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  if (it == cumulative_.end()) --it;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+std::vector<double> PowerLawWeights(size_t n, double exponent) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -exponent);
+  }
+  return weights;
+}
+
+}  // namespace agnn::data

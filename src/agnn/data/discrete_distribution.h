@@ -1,0 +1,35 @@
+#ifndef AGNN_DATA_DISCRETE_DISTRIBUTION_H_
+#define AGNN_DATA_DISCRETE_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "agnn/common/rng.h"
+
+namespace agnn::data {
+
+/// Samples indices proportionally to fixed non-negative weights in O(log n)
+/// per draw (cumulative sums + binary search). Used by the synthetic
+/// generator for its popularity- and activity-skewed draws, where the
+/// O(n)-per-draw Rng::Categorical would dominate generation time.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  /// Index in [0, size) with probability weight[i] / total.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+  double total_weight() const {
+    return cumulative_.empty() ? 0.0 : cumulative_.back();
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Zipf-like weights: weight(i) = (i+1)^-exponent for i in [0, n).
+std::vector<double> PowerLawWeights(size_t n, double exponent);
+
+}  // namespace agnn::data
+
+#endif  // AGNN_DATA_DISCRETE_DISTRIBUTION_H_

@@ -1,0 +1,138 @@
+#include "agnn/data/split.h"
+
+#include <algorithm>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::data {
+
+std::string ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kWarmStart:
+      return "WS";
+    case Scenario::kItemColdStart:
+      return "ICS";
+    case Scenario::kUserColdStart:
+      return "UCS";
+  }
+  return "?";
+}
+
+size_t Split::NumColdUsers() const {
+  return static_cast<size_t>(
+      std::count(cold_user.begin(), cold_user.end(), true));
+}
+
+size_t Split::NumColdItems() const {
+  return static_cast<size_t>(
+      std::count(cold_item.begin(), cold_item.end(), true));
+}
+
+Split MakeSplit(const Dataset& dataset, Scenario scenario,
+                double test_fraction, Rng* rng) {
+  AGNN_CHECK(rng != nullptr);
+  AGNN_CHECK_GT(test_fraction, 0.0);
+  AGNN_CHECK_LT(test_fraction, 1.0);
+  Split split;
+  split.scenario = scenario;
+  split.cold_user.assign(dataset.num_users, false);
+  split.cold_item.assign(dataset.num_items, false);
+
+  if (scenario == Scenario::kWarmStart) {
+    std::vector<size_t> order(dataset.ratings.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng->Shuffle(&order);
+    const size_t test_count =
+        static_cast<size_t>(test_fraction * static_cast<double>(order.size()));
+    for (size_t i = 0; i < order.size(); ++i) {
+      const Rating& r = dataset.ratings[order[i]];
+      (i < test_count ? split.test : split.train).push_back(r);
+    }
+    return split;
+  }
+
+  const bool item_side = scenario == Scenario::kItemColdStart;
+  const size_t node_count =
+      item_side ? dataset.num_items : dataset.num_users;
+  const size_t cold_count =
+      static_cast<size_t>(test_fraction * static_cast<double>(node_count));
+  auto cold_nodes = rng->SampleWithoutReplacement(node_count, cold_count);
+  auto& cold_flags = item_side ? split.cold_item : split.cold_user;
+  for (size_t node : cold_nodes) cold_flags[node] = true;
+
+  for (const Rating& r : dataset.ratings) {
+    const bool is_cold = item_side ? cold_flags[r.item] : cold_flags[r.user];
+    (is_cold ? split.test : split.train).push_back(r);
+  }
+  return split;
+}
+
+void CheckSplitInvariants(const Dataset& dataset, const Split& split) {
+  AGNN_CHECK_EQ(split.train.size() + split.test.size(),
+                dataset.ratings.size());
+  for (const Rating& r : split.train) {
+    AGNN_CHECK(!split.cold_user[r.user])
+        << "cold user " << r.user << " leaked into training";
+    AGNN_CHECK(!split.cold_item[r.item])
+        << "cold item " << r.item << " leaked into training";
+  }
+  if (split.scenario != Scenario::kWarmStart) {
+    for (const Rating& r : split.test) {
+      const bool touches_cold =
+          split.cold_user[r.user] || split.cold_item[r.item];
+      AGNN_CHECK(touches_cold)
+          << "test interaction does not touch any cold node";
+    }
+  }
+}
+
+Split MakeNormalColdStartSplit(const Dataset& dataset, Scenario scenario,
+                               double test_fraction, size_t support_per_node,
+                               Rng* rng) {
+  AGNN_CHECK(scenario != Scenario::kWarmStart)
+      << "normal cold start applies to the cold-start scenarios";
+  Split split = MakeSplit(dataset, scenario, test_fraction, rng);
+  if (support_per_node == 0) return split;
+
+  const bool item_side = scenario == Scenario::kItemColdStart;
+  // Shuffle the test interactions so the support set is a random subset of
+  // each node's interactions.
+  rng->Shuffle(&split.test);
+  const size_t node_count = item_side ? dataset.num_items : dataset.num_users;
+  std::vector<size_t> moved(node_count, 0);
+  std::vector<Rating> still_test;
+  still_test.reserve(split.test.size());
+  for (const Rating& r : split.test) {
+    const size_t node = item_side ? r.item : r.user;
+    if (moved[node] < support_per_node) {
+      split.train.push_back(r);
+      ++moved[node];
+    } else {
+      still_test.push_back(r);
+    }
+  }
+  split.test = std::move(still_test);
+  // The held-out nodes now have training interactions: they are normal,
+  // not strict, cold start nodes.
+  auto& cold_flags = item_side ? split.cold_item : split.cold_user;
+  std::fill(cold_flags.begin(), cold_flags.end(), false);
+  return split;
+}
+
+std::vector<std::vector<size_t>> MakeBatches(size_t count, size_t batch_size,
+                                             Rng* rng) {
+  AGNN_CHECK_GT(batch_size, 0u);
+  AGNN_CHECK(rng != nullptr);
+  std::vector<size_t> order(count);
+  for (size_t i = 0; i < count; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  std::vector<std::vector<size_t>> batches;
+  for (size_t start = 0; start < count; start += batch_size) {
+    const size_t end = std::min(count, start + batch_size);
+    batches.emplace_back(order.begin() + static_cast<ptrdiff_t>(start),
+                         order.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace agnn::data

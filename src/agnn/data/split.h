@@ -1,0 +1,65 @@
+#ifndef AGNN_DATA_SPLIT_H_
+#define AGNN_DATA_SPLIT_H_
+
+#include <string>
+#include <vector>
+
+#include "agnn/common/rng.h"
+#include "agnn/data/dataset.h"
+
+namespace agnn::data {
+
+/// Evaluation scenarios from Section 3.1 / Fig. 2 of the paper.
+///  - kWarmStart (WS): a random fraction of interactions is held out.
+///  - kItemColdStart (ICS): a fraction of *items* is held out together with
+///    every one of their interactions — strict cold start items.
+///  - kUserColdStart (UCS): likewise for users.
+enum class Scenario { kWarmStart, kItemColdStart, kUserColdStart };
+
+std::string ScenarioName(Scenario scenario);
+
+/// A train/test partition of a dataset's ratings.
+struct Split {
+  std::vector<Rating> train;
+  std::vector<Rating> test;
+  /// Per-node strict-cold flags (all false for warm start). A strict cold
+  /// node appears in no training interaction.
+  std::vector<bool> cold_user;
+  std::vector<bool> cold_item;
+  Scenario scenario = Scenario::kWarmStart;
+
+  size_t NumColdUsers() const;
+  size_t NumColdItems() const;
+};
+
+/// Builds the paper's split: `test_fraction` of interactions (WS) or of
+/// nodes (ICS/UCS) goes to test. For cold-start scenarios every interaction
+/// of a held-out node is removed from training, so held-out nodes are
+/// strictly cold. Deterministic in (*rng state).
+Split MakeSplit(const Dataset& dataset, Scenario scenario,
+                double test_fraction, Rng* rng);
+
+/// Verifies the strict cold start invariant: no test-cold node appears in
+/// any training interaction. Aborts on violation.
+void CheckSplitInvariants(const Dataset& dataset, const Split& split);
+
+/// NORMAL cold start (paper Fig. 2a): the held-out nodes are unseen during
+/// the original training data collection but DO have a few interactions
+/// available at test time (ask-to-rate / inductive setting). This is
+/// modeled by moving up to `support_per_node` of each held-out node's
+/// interactions from test back into train, after which the node is no
+/// longer strictly cold (its cold flag is cleared). Comparing a model's
+/// RMSE on MakeSplit vs MakeNormalColdStartSplit quantifies how much of
+/// its cold-start ability depends on those few interactions — the paper's
+/// core distinction between STAR-GCN-style methods and AGNN.
+Split MakeNormalColdStartSplit(const Dataset& dataset, Scenario scenario,
+                               double test_fraction, size_t support_per_node,
+                               Rng* rng);
+
+/// Shuffled mini-batch index lists over [0, count).
+std::vector<std::vector<size_t>> MakeBatches(size_t count, size_t batch_size,
+                                             Rng* rng);
+
+}  // namespace agnn::data
+
+#endif  // AGNN_DATA_SPLIT_H_

@@ -1,0 +1,415 @@
+#include "agnn/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "agnn/common/logging.h"
+#include "agnn/data/discrete_distribution.h"
+
+namespace agnn::data {
+namespace {
+
+// Picks `count` distinct values in [0, cardinality) and returns the global
+// slots, sorted.
+std::vector<size_t> PickFieldSlots(const AttributeSchema& schema, size_t f,
+                                   const FieldSpec& spec, Rng* rng) {
+  const size_t count =
+      spec.min_active +
+      (spec.max_active > spec.min_active
+           ? static_cast<size_t>(
+                 rng->UniformInt(spec.max_active - spec.min_active + 1))
+           : 0);
+  auto values = rng->SampleWithoutReplacement(spec.field.cardinality, count);
+  std::vector<size_t> slots;
+  slots.reserve(values.size());
+  for (size_t v : values) slots.push_back(schema.SlotOf(f, v));
+  std::sort(slots.begin(), slots.end());
+  return slots;
+}
+
+// Assigns attribute slots for all nodes of one side.
+std::vector<std::vector<size_t>> AssignAttributes(
+    const AttributeSchema& schema, const std::vector<FieldSpec>& specs,
+    size_t count, Rng* rng) {
+  std::vector<std::vector<size_t>> attrs(count);
+  for (size_t n = 0; n < count; ++n) {
+    for (size_t f = 0; f < specs.size(); ++f) {
+      auto slots = PickFieldSlots(schema, f, specs[f], rng);
+      attrs[n].insert(attrs[n].end(), slots.begin(), slots.end());
+    }
+    std::sort(attrs[n].begin(), attrs[n].end());
+  }
+  return attrs;
+}
+
+// Homophilous social graph: users are partitioned into communities; each
+// user draws most links within its community. Result is symmetric with no
+// self-loops.
+std::vector<std::vector<size_t>> GenerateSocialGraph(
+    const SyntheticConfig& config, Rng* rng) {
+  const size_t n = config.num_users;
+  std::vector<size_t> community(n);
+  for (size_t u = 0; u < n; ++u) {
+    community[u] = rng->UniformInt(config.num_communities);
+  }
+  std::vector<std::vector<size_t>> members(config.num_communities);
+  for (size_t u = 0; u < n; ++u) members[community[u]].push_back(u);
+
+  std::vector<std::unordered_set<size_t>> links(n);
+  for (size_t u = 0; u < n; ++u) {
+    const size_t degree =
+        config.min_social_degree +
+        rng->UniformInt(config.max_social_degree - config.min_social_degree +
+                        1);
+    const auto& own = members[community[u]];
+    for (size_t attempt = 0, added = 0;
+         added < degree && attempt < degree * 10; ++attempt) {
+      size_t v;
+      if (rng->Bernoulli(config.within_community_prob) && own.size() > 1) {
+        v = own[rng->UniformInt(own.size())];
+      } else {
+        v = rng->UniformInt(n);
+      }
+      if (v == u) continue;
+      if (links[u].insert(v).second) {
+        links[v].insert(u);
+        ++added;
+      }
+    }
+  }
+
+  std::vector<std::vector<size_t>> adjacency(n);
+  for (size_t u = 0; u < n; ++u) {
+    adjacency[u].assign(links[u].begin(), links[u].end());
+    std::sort(adjacency[u].begin(), adjacency[u].end());
+  }
+  return adjacency;
+}
+
+// Per-node latent vectors and biases from the attribute-driven causal model.
+struct NodeFactors {
+  Matrix latents;             // [count, latent_dim]
+  Matrix personal;            // [count, latent_dim] non-attribute component
+  std::vector<float> biases;  // [count]
+};
+
+NodeFactors MakeFactors(const std::vector<std::vector<size_t>>& attrs,
+                        size_t num_slots, const SyntheticConfig& config,
+                        Rng* rng) {
+  const size_t count = attrs.size();
+  const size_t dim = config.latent_dim;
+  Matrix slot_latents = Matrix::RandomNormal(num_slots, dim, 0.0f, 1.0f, rng);
+  std::vector<float> slot_biases(num_slots);
+  for (auto& b : slot_biases) b = static_cast<float>(rng->Normal());
+
+  NodeFactors factors;
+  factors.latents = Matrix(count, dim);
+  factors.personal = Matrix(count, dim);
+  factors.biases.resize(count);
+  for (size_t n = 0; n < count; ++n) {
+    const auto& slots = attrs[n];
+    float* row = factors.latents.Row(n);
+    float* personal = factors.personal.Row(n);
+    float bias_attr = 0.0f;
+    if (!slots.empty()) {
+      // Sum of slot latents normalized by sqrt(k) keeps unit variance per
+      // dimension regardless of how many attributes the node has.
+      const float inv_sqrt_k =
+          1.0f / std::sqrt(static_cast<float>(slots.size()));
+      for (size_t slot : slots) {
+        const float* sl = slot_latents.Row(slot);
+        for (size_t d = 0; d < dim; ++d) row[d] += sl[d];
+        bias_attr += slot_biases[slot];
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        row[d] *= config.attr_strength * inv_sqrt_k;
+      }
+      bias_attr *= inv_sqrt_k;
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      personal[d] =
+          config.personal_strength * static_cast<float>(rng->Normal());
+      row[d] += personal[d];
+    }
+    factors.biases[n] =
+        config.bias_attr_strength * bias_attr +
+        config.bias_personal_strength * static_cast<float>(rng->Normal());
+  }
+  return factors;
+}
+
+// Smooths node latents over the attribute-similarity kNN graph: each node
+// gains `scale` times the mean of its k most attribute-similar peers'
+// PERSONAL latent components (binary cosine over slot sets; the `source`
+// snapshot is the personal matrix so the smoothing does not cascade).
+// Diffusing the personal — not the attribute-driven — components is what
+// makes this signal recoverable only by aggregating actual neighbors: it
+// is shared among attribute-similar nodes yet is not any function of the
+// node's own attribute encoding. Self-contained rather than reusing
+// agnn::graph to keep the data layer dependency-free.
+void SmoothLatentsOverAttributeKnn(
+    const std::vector<std::vector<size_t>>& attrs, size_t num_slots, size_t k,
+    float scale, const Matrix& source, Matrix* latents) {
+  if (scale == 0.0f || k == 0 || attrs.size() < 2) return;
+  const size_t n = attrs.size();
+  // Inverted index over slots.
+  std::vector<std::vector<size_t>> by_slot(num_slots);
+  for (size_t node = 0; node < n; ++node) {
+    for (size_t slot : attrs[node]) by_slot[slot].push_back(node);
+  }
+  const Matrix& snapshot = source;
+  std::unordered_map<size_t, size_t> common;
+  std::vector<std::pair<float, size_t>> ranked;
+  for (size_t node = 0; node < n; ++node) {
+    common.clear();
+    for (size_t slot : attrs[node]) {
+      for (size_t other : by_slot[slot]) {
+        if (other != node) ++common[other];
+      }
+    }
+    if (common.empty()) continue;
+    ranked.clear();
+    for (const auto& [other, count] : common) {
+      const float sim =
+          static_cast<float>(count) /
+          std::sqrt(static_cast<float>(attrs[node].size()) *
+                    static_cast<float>(attrs[other].size()));
+      ranked.push_back({sim, other});
+    }
+    const size_t keep = std::min(k, ranked.size());
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<ptrdiff_t>(keep),
+                      ranked.end(), std::greater<>());
+    float* row = latents->Row(node);
+    const float weight = scale / static_cast<float>(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      const float* neighbor = snapshot.Row(ranked[i].second);
+      for (size_t d = 0; d < latents->cols(); ++d) {
+        row[d] += weight * neighbor[d];
+      }
+    }
+  }
+}
+
+float DotRow(const Matrix& a, size_t ra, const Matrix& b, size_t rb) {
+  const float* x = a.Row(ra);
+  const float* y = b.Row(rb);
+  float acc = 0.0f;
+  for (size_t d = 0; d < a.cols(); ++d) acc += x[d] * y[d];
+  return acc;
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config, uint64_t seed) {
+  AGNN_CHECK_GT(config.num_users, 0u);
+  AGNN_CHECK_GT(config.num_items, 0u);
+  AGNN_CHECK_GE(config.num_ratings, config.num_users + config.num_items)
+      << "need enough ratings to cover every node at least once";
+  Rng rng(seed);
+
+  Dataset ds;
+  ds.name = config.name;
+  ds.num_users = config.num_users;
+  ds.num_items = config.num_items;
+
+  // -- Schemas and attribute assignment -------------------------------
+  std::vector<AttributeField> item_fields;
+  for (const FieldSpec& spec : config.item_fields) {
+    item_fields.push_back(spec.field);
+  }
+  ds.item_schema = AttributeSchema(std::move(item_fields));
+  ds.item_attrs = AssignAttributes(ds.item_schema, config.item_fields,
+                                   config.num_items, &rng);
+
+  if (config.social) {
+    // Yelp protocol: the social row is the user's attribute encoding; the
+    // schema is a single multi-valued field over user ids.
+    ds.user_schema = AttributeSchema(
+        {{"social", config.num_users, /*multi_valued=*/true}});
+    ds.social_links = GenerateSocialGraph(config, &rng);
+    ds.user_attrs = ds.social_links;  // slot v == link to user v
+  } else {
+    std::vector<AttributeField> user_fields;
+    for (const FieldSpec& spec : config.user_fields) {
+      user_fields.push_back(spec.field);
+    }
+    ds.user_schema = AttributeSchema(std::move(user_fields));
+    ds.user_attrs = AssignAttributes(ds.user_schema, config.user_fields,
+                                     config.num_users, &rng);
+  }
+
+  // -- Latent factors -----------------------------------------------------
+  NodeFactors users = MakeFactors(ds.user_attrs, ds.user_schema.total_slots(),
+                                  config, &rng);
+  NodeFactors items = MakeFactors(ds.item_attrs, ds.item_schema.total_slots(),
+                                  config, &rng);
+  SmoothLatentsOverAttributeKnn(ds.user_attrs, ds.user_schema.total_slots(),
+                                config.smooth_k, config.neighbor_smooth_scale,
+                                users.personal, &users.latents);
+  SmoothLatentsOverAttributeKnn(ds.item_attrs, ds.item_schema.total_slots(),
+                                config.smooth_k, config.neighbor_smooth_scale,
+                                items.personal, &items.latents);
+
+  auto draw_rating = [&](size_t u, size_t i) {
+    const float dot = DotRow(users.latents, u, items.latents, i);
+    const float raw = config.mu + users.biases[u] + items.biases[i] +
+                      config.dot_scale * dot +
+                      config.noise * static_cast<float>(rng.Normal());
+    const float rounded = std::round(raw);
+    return std::clamp(rounded, ds.rating_min, ds.rating_max);
+  };
+
+  // -- Interaction sampling -------------------------------------------------
+  // Activity/popularity ranks are a random permutation so that node id
+  // carries no information.
+  std::vector<size_t> user_rank(config.num_users);
+  std::vector<size_t> item_rank(config.num_items);
+  for (size_t u = 0; u < config.num_users; ++u) user_rank[u] = u;
+  for (size_t i = 0; i < config.num_items; ++i) item_rank[i] = i;
+  rng.Shuffle(&user_rank);
+  rng.Shuffle(&item_rank);
+  std::vector<double> user_weights(config.num_users);
+  std::vector<double> item_weights(config.num_items);
+  {
+    auto uw = PowerLawWeights(config.num_users, config.user_activity_exponent);
+    auto iw =
+        PowerLawWeights(config.num_items, config.item_popularity_exponent);
+    for (size_t u = 0; u < config.num_users; ++u) {
+      user_weights[u] = uw[user_rank[u]];
+    }
+    for (size_t i = 0; i < config.num_items; ++i) {
+      item_weights[i] = iw[item_rank[i]];
+    }
+  }
+  DiscreteDistribution user_dist(user_weights);
+  DiscreteDistribution item_dist(item_weights);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(config.num_ratings * 2);
+  auto add_pair = [&](size_t u, size_t i) {
+    const uint64_t key = static_cast<uint64_t>(u) * config.num_items + i;
+    if (!seen.insert(key).second) return false;
+    ds.ratings.push_back({u, i, draw_rating(u, i)});
+    return true;
+  };
+
+  // Coverage pass: every user and every item gets at least one rating.
+  for (size_t u = 0; u < config.num_users; ++u) {
+    while (!add_pair(u, item_dist.Sample(&rng))) {
+    }
+  }
+  for (size_t i = 0; i < config.num_items; ++i) {
+    // The coverage pass above may already have hit this item.
+    bool covered = false;
+    for (int attempt = 0; attempt < 64 && !covered; ++attempt) {
+      const uint64_t key =
+          static_cast<uint64_t>(user_dist.Sample(&rng)) * config.num_items + i;
+      if (seen.count(key)) {
+        covered = true;  // someone already rated it via this user
+      } else {
+        covered = add_pair(key / config.num_items, i);
+      }
+    }
+    if (!covered) add_pair(rng.UniformInt(config.num_users), i);
+  }
+
+  // Fill pass: skewed draws up to the target count.
+  size_t safety = config.num_ratings * 50;
+  while (ds.ratings.size() < config.num_ratings && safety-- > 0) {
+    add_pair(user_dist.Sample(&rng), item_dist.Sample(&rng));
+  }
+  AGNN_CHECK_GE(ds.ratings.size(), config.num_ratings * 9 / 10)
+      << "interaction sampling failed to reach target density";
+
+  ds.Validate();
+  return ds;
+}
+
+namespace {
+
+FieldSpec Single(const std::string& name, size_t cardinality) {
+  return {{name, cardinality, false}, 1, 1};
+}
+
+FieldSpec Multi(const std::string& name, size_t cardinality, size_t min_active,
+                size_t max_active) {
+  return {{name, cardinality, true}, min_active, max_active};
+}
+
+}  // namespace
+
+SyntheticConfig SyntheticConfig::Ml100k(Scale scale) {
+  SyntheticConfig config;
+  config.name = "ml100k";
+  if (scale == Scale::kPaper) {
+    config.num_users = 943;
+    config.num_items = 1682;
+    config.num_ratings = 100000;
+  } else {
+    config.num_users = 300;
+    config.num_items = 500;
+    config.num_ratings = 20000;
+  }
+  config.user_fields = {Single("gender", 2), Single("age", 7),
+                        Single("occupation", 21)};
+  const bool paper = scale == Scale::kPaper;
+  config.item_fields = {Multi("category", 18, 1, 3),
+                        Single("director", paper ? 160 : 50),
+                        Single("star", paper ? 250 : 80),
+                        Single("country", 12), Single("year", 8)};
+  return config;
+}
+
+SyntheticConfig SyntheticConfig::Ml1m(Scale scale) {
+  SyntheticConfig config;
+  config.name = "ml1m";
+  if (scale == Scale::kPaper) {
+    config.num_users = 6040;
+    config.num_items = 3883;
+    config.num_ratings = 1000209;
+  } else {
+    config.num_users = 500;
+    config.num_items = 800;
+    config.num_ratings = 24000;
+  }
+  config.user_fields = {Single("gender", 2), Single("age", 7),
+                        Single("occupation", 21)};
+  const bool paper = scale == Scale::kPaper;
+  config.item_fields = {Multi("category", 18, 1, 3),
+                        Single("director", paper ? 300 : 90),
+                        Single("star", paper ? 400 : 140),
+                        Single("country", 12), Single("year", 8)};
+  return config;
+}
+
+SyntheticConfig SyntheticConfig::Yelp(Scale scale) {
+  SyntheticConfig config;
+  config.name = "yelp";
+  if (scale == Scale::kPaper) {
+    config.num_users = 23549;
+    config.num_items = 17139;
+    config.num_ratings = 941742;
+  } else {
+    config.num_users = 1200;
+    config.num_items = 1500;
+    config.num_ratings = 18000;
+  }
+  config.social = true;
+  config.num_communities = scale == Scale::kPaper ? 120 : 25;
+  config.item_fields = {Multi("category", 30, 1, 3), Single("state", 12),
+                        Single("city", 60)};
+  return config;
+}
+
+SyntheticConfig SyntheticConfig::ByName(const std::string& name, Scale scale) {
+  if (name == "ml100k") return Ml100k(scale);
+  if (name == "ml1m") return Ml1m(scale);
+  if (name == "yelp") return Yelp(scale);
+  AGNN_LOG(Fatal) << "unknown dataset preset: " << name;
+  return {};
+}
+
+}  // namespace agnn::data

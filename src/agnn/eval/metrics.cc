@@ -1,0 +1,73 @@
+#include "agnn/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::eval {
+
+RmseMae ComputeRmseMae(const std::vector<float>& predictions,
+                       const std::vector<float>& targets) {
+  AGNN_CHECK_EQ(predictions.size(), targets.size());
+  AGNN_CHECK(!predictions.empty());
+  double sq = 0.0;
+  double abs = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double diff =
+        static_cast<double>(predictions[i]) - static_cast<double>(targets[i]);
+    sq += diff * diff;
+    abs += std::fabs(diff);
+  }
+  const double n = static_cast<double>(predictions.size());
+  return {std::sqrt(sq / n), abs / n};
+}
+
+void ClampPredictions(std::vector<float>* predictions, float lo, float hi) {
+  AGNN_CHECK(predictions != nullptr);
+  for (float& p : *predictions) p = std::clamp(p, lo, hi);
+}
+
+namespace {
+
+// Standard normal CDF via erfc.
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+PairedTTest PairedSquaredErrorTTest(const std::vector<float>& predictions_a,
+                                    const std::vector<float>& predictions_b,
+                                    const std::vector<float>& targets) {
+  AGNN_CHECK_EQ(predictions_a.size(), targets.size());
+  AGNN_CHECK_EQ(predictions_b.size(), targets.size());
+  const size_t n = targets.size();
+  AGNN_CHECK_GE(n, 2u);
+  double mean = 0.0;
+  std::vector<double> diffs(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double ea = predictions_a[i] - targets[i];
+    const double eb = predictions_b[i] - targets[i];
+    diffs[i] = ea * ea - eb * eb;
+    mean += diffs[i];
+  }
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double d : diffs) var += (d - mean) * (d - mean);
+  var /= static_cast<double>(n - 1);
+
+  PairedTTest result;
+  result.degrees_of_freedom = n - 1;
+  if (var <= 0.0) {
+    result.t_statistic = mean == 0.0 ? 0.0 : (mean > 0.0 ? 1e9 : -1e9);
+    result.p_value = mean == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic =
+      mean / std::sqrt(var / static_cast<double>(n));
+  // Two-sided p under the normal approximation (dof is large in all our
+  // uses).
+  result.p_value = 2.0 * (1.0 - NormalCdf(std::fabs(result.t_statistic)));
+  return result;
+}
+
+}  // namespace agnn::eval

@@ -1,0 +1,40 @@
+#ifndef AGNN_EVAL_METRICS_H_
+#define AGNN_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace agnn::eval {
+
+/// RMSE + MAE pair (Eq. 17-18).
+struct RmseMae {
+  double rmse = 0.0;
+  double mae = 0.0;
+};
+
+/// Computes RMSE and MAE between predictions and ground-truth ratings.
+RmseMae ComputeRmseMae(const std::vector<float>& predictions,
+                       const std::vector<float>& targets);
+
+/// Clamps predictions into the rating scale [lo, hi] — standard practice
+/// for explicit-rating evaluation.
+void ClampPredictions(std::vector<float>* predictions, float lo, float hi);
+
+/// Result of a paired two-sided t-test on per-example losses.
+struct PairedTTest {
+  double t_statistic = 0.0;
+  size_t degrees_of_freedom = 0;
+  /// Two-sided p-value (normal approximation; exact enough for the paper's
+  /// n in the thousands).
+  double p_value = 1.0;
+};
+
+/// Paired t-test over per-example squared errors of two prediction vectors
+/// against the same targets. Used for the significance markers in Table 2.
+PairedTTest PairedSquaredErrorTTest(const std::vector<float>& predictions_a,
+                                    const std::vector<float>& predictions_b,
+                                    const std::vector<float>& targets);
+
+}  // namespace agnn::eval
+
+#endif  // AGNN_EVAL_METRICS_H_

@@ -1,0 +1,50 @@
+#include "agnn/eval/protocol.h"
+
+#include "agnn/common/logging.h"
+#include "agnn/common/stopwatch.h"
+#include "agnn/common/string_util.h"
+
+namespace agnn::eval {
+
+ExperimentRunner::ExperimentRunner(const data::Dataset& dataset,
+                                   data::Scenario scenario,
+                                   const ExperimentConfig& config)
+    : dataset_(dataset), config_(config) {
+  Rng rng(config.seed);
+  split_ = data::MakeSplit(dataset, scenario, config.test_fraction, &rng);
+  data::CheckSplitInvariants(dataset, split_);
+  pairs_.reserve(split_.test.size());
+  targets_.reserve(split_.test.size());
+  for (const data::Rating& r : split_.test) {
+    pairs_.push_back({r.user, r.item});
+    targets_.push_back(r.value);
+  }
+}
+
+ModelResult ExperimentRunner::Run(const std::string& model_name) {
+  ModelResult result;
+  result.model = model_name;
+  Stopwatch watch;
+  if (StartsWith(model_name, "AGNN")) {
+    core::AgnnConfig config = core::MakeVariant(config_.agnn, model_name);
+    core::AgnnTrainer trainer(dataset_, split_, config);
+    trainer.Train();
+    result.predictions = trainer.Predict(pairs_);  // already clamped
+  } else {
+    auto model = baselines::MakeBaseline(model_name, config_.baseline_options);
+    model->Fit(dataset_, split_);
+    result.predictions = model->PredictPairs(pairs_);
+    ClampPredictions(&result.predictions, dataset_.rating_min,
+                     dataset_.rating_max);
+  }
+  result.train_seconds = watch.ElapsedSeconds();
+  result.metrics = ComputeRmseMae(result.predictions, targets_);
+  return result;
+}
+
+PairedTTest ExperimentRunner::Compare(const ModelResult& a,
+                                      const ModelResult& b) const {
+  return PairedSquaredErrorTTest(a.predictions, b.predictions, targets_);
+}
+
+}  // namespace agnn::eval

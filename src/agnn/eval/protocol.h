@@ -1,0 +1,66 @@
+#ifndef AGNN_EVAL_PROTOCOL_H_
+#define AGNN_EVAL_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "agnn/baselines/factory.h"
+#include "agnn/core/trainer.h"
+#include "agnn/core/variants.h"
+#include "agnn/data/split.h"
+#include "agnn/eval/metrics.h"
+
+namespace agnn::eval {
+
+/// Everything the Section 4 experiments share: split fractions, seeds, and
+/// the model hyper-parameters (identical across models by design).
+struct ExperimentConfig {
+  double test_fraction = 0.2;  ///< Paper: 20% (varied in Fig. 8).
+  uint64_t seed = 7;
+  core::AgnnConfig agnn;
+  baselines::TrainOptions baseline_options;
+};
+
+/// Result of training + evaluating one model on one scenario.
+struct ModelResult {
+  std::string model;
+  RmseMae metrics;
+  std::vector<float> predictions;  ///< Clamped test predictions.
+  double train_seconds = 0.0;
+};
+
+/// Runs the paper's protocol on one dataset/scenario: builds the split
+/// once, then trains and evaluates any number of models on it. Model names
+/// are either AGNN variants (anything core::MakeVariant accepts) or
+/// Table 2 baseline names.
+class ExperimentRunner {
+ public:
+  ExperimentRunner(const data::Dataset& dataset, data::Scenario scenario,
+                   const ExperimentConfig& config);
+
+  ModelResult Run(const std::string& model_name);
+
+  const data::Split& split() const { return split_; }
+  /// Ground-truth ratings of the test interactions (aligned with
+  /// ModelResult::predictions).
+  const std::vector<float>& test_targets() const { return targets_; }
+  /// Test pairs, aligned with test_targets().
+  const std::vector<std::pair<size_t, size_t>>& test_pairs() const {
+    return pairs_;
+  }
+
+  /// Significance of a vs b on this split (paired t-test on squared
+  /// errors); negative t favors a.
+  PairedTTest Compare(const ModelResult& a, const ModelResult& b) const;
+
+ private:
+  const data::Dataset& dataset_;
+  ExperimentConfig config_;
+  data::Split split_;
+  std::vector<std::pair<size_t, size_t>> pairs_;
+  std::vector<float> targets_;
+};
+
+}  // namespace agnn::eval
+
+#endif  // AGNN_EVAL_PROTOCOL_H_

@@ -1,0 +1,77 @@
+#include "agnn/eval/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::eval {
+
+std::vector<size_t> TopK(const std::vector<float>& scores, size_t k) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t keep = std::min(k, scores.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(keep),
+                    order.end(), [&scores](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(keep);
+  return order;
+}
+
+namespace {
+
+size_t HitsAtK(const std::vector<float>& scores,
+               const std::vector<size_t>& relevant, size_t k) {
+  std::unordered_set<size_t> relevant_set(relevant.begin(), relevant.end());
+  size_t hits = 0;
+  for (size_t idx : TopK(scores, k)) {
+    if (relevant_set.count(idx)) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace
+
+double RecallAtK(const std::vector<float>& scores,
+                 const std::vector<size_t>& relevant, size_t k) {
+  AGNN_CHECK_GT(k, 0u);
+  if (relevant.empty()) return 0.0;
+  const size_t denom = std::min(k, relevant.size());
+  return static_cast<double>(HitsAtK(scores, relevant, k)) /
+         static_cast<double>(denom);
+}
+
+double PrecisionAtK(const std::vector<float>& scores,
+                    const std::vector<size_t>& relevant, size_t k) {
+  AGNN_CHECK_GT(k, 0u);
+  return static_cast<double>(HitsAtK(scores, relevant, k)) /
+         static_cast<double>(k);
+}
+
+double NdcgAtK(const std::vector<float>& scores,
+               const std::vector<size_t>& relevant, size_t k) {
+  AGNN_CHECK_GT(k, 0u);
+  if (relevant.empty()) return 0.0;
+  std::unordered_set<size_t> relevant_set(relevant.begin(), relevant.end());
+  double dcg = 0.0;
+  const auto ranking = TopK(scores, k);
+  for (size_t pos = 0; pos < ranking.size(); ++pos) {
+    if (relevant_set.count(ranking[pos])) {
+      dcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  const size_t ideal_hits = std::min(k, relevant.size());
+  for (size_t pos = 0; pos < ideal_hits; ++pos) {
+    ideal += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+  }
+  return dcg / ideal;
+}
+
+}  // namespace agnn::eval

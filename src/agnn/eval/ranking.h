@@ -1,0 +1,38 @@
+#ifndef AGNN_EVAL_RANKING_H_
+#define AGNN_EVAL_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace agnn::eval {
+
+/// Top-N ranking metrics. The paper evaluates rating prediction
+/// (RMSE/MAE), but several of its baselines are top-N recommenders that it
+/// "revised to optimize RMSE"; these utilities support running the reverse
+/// comparison — ranking quality of a rating model — which downstream users
+/// routinely want.
+///
+/// All functions take one user's `scores` over candidate items and the set
+/// of `relevant` item indices (positions into `scores`), and evaluate the
+/// top-k of the induced ranking. Ties broken by lower index.
+
+/// |top-k ∩ relevant| / min(k, |relevant|) — a.k.a. hit ratio when
+/// |relevant| == 1.
+double RecallAtK(const std::vector<float>& scores,
+                 const std::vector<size_t>& relevant, size_t k);
+
+/// |top-k ∩ relevant| / k.
+double PrecisionAtK(const std::vector<float>& scores,
+                    const std::vector<size_t>& relevant, size_t k);
+
+/// Binary-relevance NDCG@k with log2 discounting.
+double NdcgAtK(const std::vector<float>& scores,
+               const std::vector<size_t>& relevant, size_t k);
+
+/// Indices of the k highest scores, descending (the ranking used by the
+/// metrics above); exposed for tests and callers that need the list.
+std::vector<size_t> TopK(const std::vector<float>& scores, size_t k);
+
+}  // namespace agnn::eval
+
+#endif  // AGNN_EVAL_RANKING_H_

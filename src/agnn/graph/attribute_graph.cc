@@ -1,0 +1,132 @@
+#include "agnn/graph/attribute_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::graph {
+
+WeightedGraph BuildCandidatePool(const SimilarityLists& attribute_sims,
+                                 const SimilarityLists& preference_sims,
+                                 ProximityMode mode, double top_percent) {
+  AGNN_CHECK_GT(top_percent, 0.0);
+  const size_t num_nodes = attribute_sims.size();
+  AGNN_CHECK(preference_sims.empty() ||
+             preference_sims.size() == num_nodes);
+  const bool use_attr = mode != ProximityMode::kPreferenceOnly;
+  const bool use_pref =
+      mode != ProximityMode::kAttributeOnly && !preference_sims.empty();
+
+  // Pool size: top p% of all nodes, at least 1.
+  const size_t pool_size = std::max<size_t>(
+      1, static_cast<size_t>(top_percent / 100.0 *
+                             static_cast<double>(num_nodes)));
+
+  WeightedGraph pool;
+  pool.Resize(num_nodes);
+  std::unordered_map<size_t, std::pair<float, float>> merged;  // v -> (a, p)
+  for (size_t u = 0; u < num_nodes; ++u) {
+    merged.clear();
+    if (use_attr) {
+      for (const auto& [v, sim] : attribute_sims[u]) merged[v].first = sim;
+    }
+    if (use_pref) {
+      for (const auto& [v, sim] : preference_sims[u]) merged[v].second = sim;
+    }
+    if (merged.empty()) continue;  // isolated: sampler falls back to self
+
+    std::vector<size_t> ids;
+    std::vector<float> attr_scores;
+    std::vector<float> pref_scores;
+    ids.reserve(merged.size());
+    for (const auto& [v, scores] : merged) {
+      ids.push_back(v);
+      attr_scores.push_back(scores.first);
+      pref_scores.push_back(scores.second);
+    }
+    // Per-node min-max normalization before summing (Section 3.3.1).
+    if (use_attr) MinMaxNormalize(&attr_scores);
+    if (use_pref) MinMaxNormalize(&pref_scores);
+
+    std::vector<std::pair<float, size_t>> ranked;
+    ranked.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      float combined = 0.0f;
+      if (use_attr) combined += attr_scores[i];
+      if (use_pref) combined += pref_scores[i];
+      ranked.push_back({combined, ids[i]});
+    }
+    const size_t keep = std::min(pool_size, ranked.size());
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<ptrdiff_t>(keep),
+                      ranked.end(), std::greater<>());
+    for (size_t i = 0; i < keep; ++i) {
+      // +epsilon keeps the sampling weights strictly positive even for the
+      // pool's minimum-scoring member.
+      pool.AddEdge(u, ranked[i].second, ranked[i].first + 1e-3);
+    }
+  }
+  pool.Validate();
+  return pool;
+}
+
+WeightedGraph BuildKnnGraph(const SimilarityLists& attribute_sims, size_t k) {
+  const size_t num_nodes = attribute_sims.size();
+  WeightedGraph graph;
+  graph.Resize(num_nodes);
+  for (size_t u = 0; u < num_nodes; ++u) {
+    for (const auto& [v, sim] : attribute_sims[u]) {
+      graph.AddEdge(u, v, sim);
+    }
+  }
+  graph.TruncateTopK(k);
+  graph.Validate();
+  return graph;
+}
+
+WeightedGraph BuildCoPurchaseGraph(const std::vector<SparseVec>& ratings,
+                                   size_t dim, size_t top_k) {
+  const size_t num_nodes = ratings.size();
+  // Inverted index: counterpart id -> nodes interacting with it.
+  std::vector<std::vector<size_t>> by_counterpart(dim);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    for (const auto& [idx, value] : ratings[n]) {
+      (void)value;
+      AGNN_CHECK_LT(idx, dim);
+      by_counterpart[idx].push_back(n);
+    }
+  }
+  WeightedGraph graph;
+  graph.Resize(num_nodes);
+  std::unordered_map<size_t, size_t> common;
+  for (size_t u = 0; u < num_nodes; ++u) {
+    common.clear();
+    for (const auto& [idx, value] : ratings[u]) {
+      (void)value;
+      for (size_t v : by_counterpart[idx]) {
+        if (v != u) ++common[v];
+      }
+    }
+    for (const auto& [v, count] : common) {
+      graph.AddEdge(u, v, static_cast<double>(count));
+    }
+  }
+  graph.TruncateTopK(top_k);
+  graph.Validate();
+  return graph;
+}
+
+WeightedGraph BuildSocialGraph(
+    const std::vector<std::vector<size_t>>& social_links) {
+  WeightedGraph graph;
+  graph.Resize(social_links.size());
+  for (size_t u = 0; u < social_links.size(); ++u) {
+    for (size_t v : social_links[u]) graph.AddEdge(u, v, 1.0);
+  }
+  graph.Validate();
+  return graph;
+}
+
+}  // namespace agnn::graph

@@ -1,0 +1,47 @@
+#ifndef AGNN_GRAPH_ATTRIBUTE_GRAPH_H_
+#define AGNN_GRAPH_ATTRIBUTE_GRAPH_H_
+
+#include <vector>
+
+#include "agnn/graph/graph.h"
+#include "agnn/graph/interaction_graph.h"
+#include "agnn/graph/proximity.h"
+
+namespace agnn::graph {
+
+/// Which proximities enter the combined score (Table 3's AGNN_PP / AGNN_AP
+/// ablations use a single proximity).
+enum class ProximityMode { kBoth, kPreferenceOnly, kAttributeOnly };
+
+/// Section 3.3.1: for every node, the candidate pool N^C contains the nodes
+/// with top p% combined proximity; edge weights are the combined scores
+/// (per-node min-max normalized attribute + preference similarity). During
+/// training, neighbors are re-sampled from this pool each round via
+/// SampleNeighbors — the paper's dynamic graph construction.
+///
+/// `attribute_sims` / `preference_sims` come from PairwiseBinaryCosine /
+/// PairwiseSparseCosine; either may be empty lists for cold nodes (no
+/// preference) — such nodes' pools fall back to the available proximity.
+WeightedGraph BuildCandidatePool(const SimilarityLists& attribute_sims,
+                                 const SimilarityLists& preference_sims,
+                                 ProximityMode mode, double top_percent);
+
+/// Replacement study (AGNN_knn): static k-nearest-neighbor graph in
+/// attribute space, as in sRMGCNN.
+WeightedGraph BuildKnnGraph(const SimilarityLists& attribute_sims, size_t k);
+
+/// Replacement study (AGNN_cop): item-item (or user-user) graph weighted by
+/// the number of common raters (co-click/co-purchase), as in DANSER.
+/// `preference_vectors` are the node's interaction lists; a strict cold
+/// node has an empty list and hence no co-purchase neighbors at all — the
+/// degradation the paper reports.
+WeightedGraph BuildCoPurchaseGraph(const std::vector<SparseVec>& ratings,
+                                   size_t dim, size_t top_k);
+
+/// User-user graph directly from social links (Yelp protocol), unit weight.
+WeightedGraph BuildSocialGraph(
+    const std::vector<std::vector<size_t>>& social_links);
+
+}  // namespace agnn::graph
+
+#endif  // AGNN_GRAPH_ATTRIBUTE_GRAPH_H_

@@ -1,0 +1,104 @@
+#include "agnn/graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::graph {
+
+void WeightedGraph::AddEdge(size_t from, size_t to, double weight) {
+  AGNN_CHECK_LT(from, num_nodes);
+  AGNN_CHECK_LT(to, num_nodes);
+  neighbors[from].push_back(to);
+  weights[from].push_back(weight);
+}
+
+void WeightedGraph::AddCrossEdge(size_t from, size_t to, double weight) {
+  AGNN_CHECK_LT(from, num_nodes);
+  neighbors[from].push_back(to);
+  weights[from].push_back(weight);
+}
+
+size_t WeightedGraph::NumEdges() const {
+  size_t total = 0;
+  for (const auto& adj : neighbors) total += adj.size();
+  return total;
+}
+
+double WeightedGraph::AverageDegree() const {
+  if (num_nodes == 0) return 0.0;
+  return static_cast<double>(NumEdges()) / static_cast<double>(num_nodes);
+}
+
+void WeightedGraph::TruncateTopK(size_t k) {
+  for (size_t n = 0; n < num_nodes; ++n) {
+    auto& adj = neighbors[n];
+    auto& w = weights[n];
+    if (adj.size() <= k) continue;
+    std::vector<size_t> order(adj.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
+                      order.end(),
+                      [&w](size_t a, size_t b) { return w[a] > w[b]; });
+    std::vector<size_t> new_adj(k);
+    std::vector<double> new_w(k);
+    for (size_t i = 0; i < k; ++i) {
+      new_adj[i] = adj[order[i]];
+      new_w[i] = w[order[i]];
+    }
+    adj = std::move(new_adj);
+    w = std::move(new_w);
+  }
+}
+
+void WeightedGraph::Validate() const {
+  AGNN_CHECK_EQ(neighbors.size(), num_nodes);
+  AGNN_CHECK_EQ(weights.size(), num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    AGNN_CHECK_EQ(neighbors[n].size(), weights[n].size());
+    for (size_t i = 0; i < neighbors[n].size(); ++i) {
+      AGNN_CHECK_LT(neighbors[n][i], num_nodes);
+      AGNN_CHECK(std::isfinite(weights[n][i]));
+    }
+  }
+}
+
+std::vector<size_t> SampleNeighbors(const WeightedGraph& graph, size_t node,
+                                    size_t count, Rng* rng) {
+  AGNN_CHECK_LT(node, graph.num_nodes);
+  AGNN_CHECK(rng != nullptr);
+  const auto& adj = graph.neighbors[node];
+  const auto& w = graph.weights[node];
+  if (adj.empty()) return std::vector<size_t>(count, node);
+
+  std::vector<size_t> out;
+  out.reserve(count);
+  if (adj.size() <= count) {
+    // Take the whole neighborhood, then top up with weighted replacement.
+    out = adj;
+  }
+  double total = 0.0;
+  for (double x : w) total += std::max(x, 0.0);
+  while (out.size() < count) {
+    if (total <= 0.0) {
+      out.push_back(adj[rng->UniformInt(adj.size())]);
+      continue;
+    }
+    double target = rng->Uniform() * total;
+    size_t pick = adj.size() - 1;
+    for (size_t i = 0; i < adj.size(); ++i) {
+      target -= std::max(w[i], 0.0);
+      if (target < 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    out.push_back(adj[pick]);
+  }
+  if (out.size() > count) out.resize(count);
+  return out;
+}
+
+}  // namespace agnn::graph

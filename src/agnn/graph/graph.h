@@ -1,0 +1,55 @@
+#ifndef AGNN_GRAPH_GRAPH_H_
+#define AGNN_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "agnn/common/rng.h"
+
+namespace agnn::graph {
+
+/// Weighted adjacency over nodes [0, num_nodes). Used both for candidate
+/// pools (neighbors + proximity weights) and for fixed graphs (kNN,
+/// co-purchase, social). Neighbor lists may be empty for isolated nodes.
+struct WeightedGraph {
+  size_t num_nodes = 0;
+  std::vector<std::vector<size_t>> neighbors;
+  std::vector<std::vector<double>> weights;
+
+  void Resize(size_t n) {
+    num_nodes = n;
+    neighbors.assign(n, {});
+    weights.assign(n, {});
+  }
+
+  void AddEdge(size_t from, size_t to, double weight);
+
+  /// Adds an edge whose target lives in a DIFFERENT node space (bipartite
+  /// adjacency, e.g., user -> item). Only `from` is range-checked; such
+  /// graphs must not rely on SampleNeighbors' self-loop fallback (use
+  /// SampleOrIsolate-style handling instead) and Validate() must not be
+  /// called on them.
+  void AddCrossEdge(size_t from, size_t to, double weight);
+
+  size_t Degree(size_t node) const { return neighbors[node].size(); }
+  size_t NumEdges() const;
+  double AverageDegree() const;
+
+  /// Keeps only the top-k heaviest neighbors of every node.
+  void TruncateTopK(size_t k);
+
+  /// Consistency check: indices in range, parallel arrays, finite weights.
+  void Validate() const;
+};
+
+/// Samples exactly `count` neighbors of `node`, proportionally to edge
+/// weight, with replacement when the neighborhood is smaller than `count`.
+/// Isolated nodes fall back to `count` copies of the node itself (a
+/// self-loop), which turns the aggregation step into an identity — the
+/// correct degenerate behaviour for a node with no usable neighbors.
+std::vector<size_t> SampleNeighbors(const WeightedGraph& graph, size_t node,
+                                    size_t count, Rng* rng);
+
+}  // namespace agnn::graph
+
+#endif  // AGNN_GRAPH_GRAPH_H_

@@ -1,0 +1,40 @@
+#include "agnn/graph/interaction_graph.h"
+
+#include <algorithm>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::graph {
+
+InteractionGraph::InteractionGraph(size_t num_users, size_t num_items,
+                                   const std::vector<data::Rating>& ratings)
+    : num_users_(num_users), num_items_(num_items) {
+  by_user_.resize(num_users);
+  by_item_.resize(num_items);
+  double sum = 0.0;
+  for (const data::Rating& r : ratings) {
+    AGNN_CHECK_LT(r.user, num_users);
+    AGNN_CHECK_LT(r.item, num_items);
+    by_user_[r.user].push_back({r.item, r.value});
+    by_item_[r.item].push_back({r.user, r.value});
+    sum += r.value;
+  }
+  for (auto& vec : by_user_) std::sort(vec.begin(), vec.end());
+  for (auto& vec : by_item_) std::sort(vec.begin(), vec.end());
+  global_mean_ = ratings.empty()
+                     ? 0.0f
+                     : static_cast<float>(sum / static_cast<double>(
+                                                    ratings.size()));
+}
+
+const SparseVec& InteractionGraph::UserRatings(size_t user) const {
+  AGNN_CHECK_LT(user, num_users_);
+  return by_user_[user];
+}
+
+const SparseVec& InteractionGraph::ItemRatings(size_t item) const {
+  AGNN_CHECK_LT(item, num_items_);
+  return by_item_[item];
+}
+
+}  // namespace agnn::graph

@@ -1,0 +1,48 @@
+#ifndef AGNN_GRAPH_INTERACTION_GRAPH_H_
+#define AGNN_GRAPH_INTERACTION_GRAPH_H_
+
+#include <vector>
+
+#include "agnn/data/dataset.h"
+#include "agnn/graph/proximity.h"
+
+namespace agnn::graph {
+
+/// Bipartite user-item interaction graph built from a set of (train)
+/// ratings. This is the structure the interaction-graph baselines (GC-MC,
+/// STAR-GCN, IGMC, ...) operate on, and also the source of the "preference
+/// vectors" used by AGNN's preference proximity.
+class InteractionGraph {
+ public:
+  InteractionGraph(size_t num_users, size_t num_items,
+                   const std::vector<data::Rating>& ratings);
+
+  size_t num_users() const { return num_users_; }
+  size_t num_items() const { return num_items_; }
+
+  /// Items rated by `user` as (item, rating) sorted by item.
+  const SparseVec& UserRatings(size_t user) const;
+  /// Users who rated `item` as (user, rating) sorted by user.
+  const SparseVec& ItemRatings(size_t item) const;
+
+  /// All users' rating vectors (the user preference vectors of Eq. 1).
+  const std::vector<SparseVec>& AllUserRatings() const { return by_user_; }
+  /// All items' rated-by vectors (the item preference vectors of Eq. 1).
+  const std::vector<SparseVec>& AllItemRatings() const { return by_item_; }
+
+  size_t UserDegree(size_t user) const { return by_user_[user].size(); }
+  size_t ItemDegree(size_t item) const { return by_item_[item].size(); }
+
+  float global_mean() const { return global_mean_; }
+
+ private:
+  size_t num_users_;
+  size_t num_items_;
+  std::vector<SparseVec> by_user_;
+  std::vector<SparseVec> by_item_;
+  float global_mean_ = 0.0f;
+};
+
+}  // namespace agnn::graph
+
+#endif  // AGNN_GRAPH_INTERACTION_GRAPH_H_

@@ -1,0 +1,142 @@
+#include "agnn/graph/proximity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::graph {
+
+float CosineSimilarity(const SparseVec& a, const SparseVec& b) {
+  if (a.empty() || b.empty()) return 0.0f;
+  float dot = 0.0f;
+  float norm_a = 0.0f;
+  float norm_b = 0.0f;
+  for (const auto& [idx, v] : a) {
+    (void)idx;
+    norm_a += v * v;
+  }
+  for (const auto& [idx, v] : b) {
+    (void)idx;
+    norm_b += v * v;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  if (norm_a == 0.0f || norm_b == 0.0f) return 0.0f;
+  return dot / std::sqrt(norm_a * norm_b);
+}
+
+float BinaryCosineSimilarity(const std::vector<size_t>& a,
+                             const std::vector<size_t>& b) {
+  if (a.empty() || b.empty()) return 0.0f;
+  size_t common = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<float>(common) /
+         std::sqrt(static_cast<float>(a.size()) *
+                   static_cast<float>(b.size()));
+}
+
+namespace {
+
+// Node-major inverted-index accumulation: for node u, walks the inverted
+// list of every index u is active on, accumulating dot products with every
+// co-occurring node into a scratch map. Memory stays O(max co-occurrence
+// neighborhood) instead of O(all non-zero pairs).
+SimilarityLists AccumulatePairwise(
+    const std::vector<SparseVec>& vectors,
+    const std::vector<std::vector<std::pair<size_t, float>>>& by_index,
+    const std::vector<float>& norms) {
+  const size_t num_nodes = vectors.size();
+  SimilarityLists sims(num_nodes);
+  std::unordered_map<size_t, float> dots;
+  for (size_t u = 0; u < num_nodes; ++u) {
+    if (norms[u] == 0.0f) continue;
+    dots.clear();
+    for (const auto& [idx, uv] : vectors[u]) {
+      for (const auto& [w, wv] : by_index[idx]) {
+        if (w != u) dots[w] += uv * wv;
+      }
+    }
+    sims[u].reserve(dots.size());
+    for (const auto& [w, dot] : dots) {
+      if (norms[w] == 0.0f) continue;
+      const float sim = dot / (norms[u] * norms[w]);
+      if (sim > 0.0f) sims[u].push_back({w, sim});
+    }
+    std::sort(sims[u].begin(), sims[u].end());
+  }
+  return sims;
+}
+
+}  // namespace
+
+SimilarityLists PairwiseBinaryCosine(
+    const std::vector<std::vector<size_t>>& slots, size_t num_slots) {
+  std::vector<SparseVec> vectors(slots.size());
+  for (size_t n = 0; n < slots.size(); ++n) {
+    vectors[n].reserve(slots[n].size());
+    for (size_t slot : slots[n]) {
+      AGNN_CHECK_LT(slot, num_slots);
+      vectors[n].push_back({slot, 1.0f});
+    }
+  }
+  return PairwiseSparseCosine(vectors, num_slots);
+}
+
+SimilarityLists PairwiseSparseCosine(const std::vector<SparseVec>& vectors,
+                                     size_t dim) {
+  const size_t num_nodes = vectors.size();
+  std::vector<std::vector<std::pair<size_t, float>>> by_index(dim);
+  std::vector<float> norms(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    float norm = 0.0f;
+    for (const auto& [idx, v] : vectors[n]) {
+      AGNN_CHECK_LT(idx, dim);
+      by_index[idx].push_back({n, v});
+      norm += v * v;
+    }
+    norms[n] = std::sqrt(norm);
+  }
+  return AccumulatePairwise(vectors, by_index, norms);
+}
+
+void MinMaxNormalize(std::vector<float>* values) {
+  AGNN_CHECK(values != nullptr);
+  if (values->empty()) return;
+  const auto [min_it, max_it] =
+      std::minmax_element(values->begin(), values->end());
+  const float lo = *min_it;
+  const float hi = *max_it;
+  if (hi - lo < 1e-12f) {
+    std::fill(values->begin(), values->end(), 0.5f);
+    return;
+  }
+  const float inv = 1.0f / (hi - lo);
+  for (float& v : *values) v = (v - lo) * inv;
+}
+
+}  // namespace agnn::graph

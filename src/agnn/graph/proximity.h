@@ -1,0 +1,48 @@
+#ifndef AGNN_GRAPH_PROXIMITY_H_
+#define AGNN_GRAPH_PROXIMITY_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace agnn::graph {
+
+/// Sparse vector as (index, value) pairs sorted by index.
+using SparseVec = std::vector<std::pair<size_t, float>>;
+
+/// Per-node similarity lists: sims[u] = {(v, similarity), ...} for every v
+/// with non-zero similarity to u (u itself excluded).
+using SimilarityLists = std::vector<std::vector<std::pair<size_t, float>>>;
+
+/// Cosine similarity of two sparse vectors (sorted by index).
+///
+/// Note on Eq. (1): the paper writes proximity as the cosine *distance*
+/// 1 - cos(w, v) but then selects "top p% proximity" neighbors, i.e., the
+/// most similar nodes. We therefore work directly with cosine similarity;
+/// ranking by similarity is identical to ranking by ascending Eq. (1).
+float CosineSimilarity(const SparseVec& a, const SparseVec& b);
+
+/// Cosine similarity of two binary slot sets: |a ∩ b| / sqrt(|a| |b|).
+/// Inputs sorted ascending.
+float BinaryCosineSimilarity(const std::vector<size_t>& a,
+                             const std::vector<size_t>& b);
+
+/// All-pairs attribute proximity over multi-hot encodings via an inverted
+/// index over slots: only node pairs sharing at least one active slot are
+/// materialized (all other pairs have similarity exactly 0).
+SimilarityLists PairwiseBinaryCosine(
+    const std::vector<std::vector<size_t>>& slots, size_t num_slots);
+
+/// All-pairs preference proximity over sparse real-valued vectors (e.g.,
+/// users' rating vectors over items) via an inverted index over indices.
+SimilarityLists PairwiseSparseCosine(const std::vector<SparseVec>& vectors,
+                                     size_t dim);
+
+/// Min-max normalizes `values` in place to [0, 1]; constant inputs map to
+/// 0.5 (so a degenerate proximity contributes an uninformative constant,
+/// not a spurious extreme).
+void MinMaxNormalize(std::vector<float>* values);
+
+}  // namespace agnn::graph
+
+#endif  // AGNN_GRAPH_PROXIMITY_H_

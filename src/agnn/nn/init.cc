@@ -1,0 +1,22 @@
+#include "agnn/nn/init.h"
+
+#include <cmath>
+
+namespace agnn::nn {
+
+Matrix XavierUniform(size_t fan_in, size_t fan_out, Rng* rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Matrix::RandomUniform(fan_in, fan_out, -bound, bound, rng);
+}
+
+Matrix HeNormal(size_t fan_in, size_t fan_out, Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Matrix::RandomNormal(fan_in, fan_out, 0.0f, stddev, rng);
+}
+
+Matrix EmbeddingNormal(size_t rows, size_t cols, float scale, Rng* rng) {
+  return Matrix::RandomNormal(rows, cols, 0.0f, scale, rng);
+}
+
+}  // namespace agnn::nn

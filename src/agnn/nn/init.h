@@ -1,0 +1,22 @@
+#ifndef AGNN_NN_INIT_H_
+#define AGNN_NN_INIT_H_
+
+#include "agnn/common/rng.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::nn {
+
+/// Glorot/Xavier uniform: U(-b, b) with b = sqrt(6 / (fan_in + fan_out)).
+/// The default for the paper's linear layers and gates.
+Matrix XavierUniform(size_t fan_in, size_t fan_out, Rng* rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)); used ahead of ReLU-family
+/// activations.
+Matrix HeNormal(size_t fan_in, size_t fan_out, Rng* rng);
+
+/// Small-scale normal init for embedding tables: N(0, scale).
+Matrix EmbeddingNormal(size_t rows, size_t cols, float scale, Rng* rng);
+
+}  // namespace agnn::nn
+
+#endif  // AGNN_NN_INIT_H_

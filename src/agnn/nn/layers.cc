@@ -1,0 +1,76 @@
+#include "agnn/nn/layers.h"
+
+#include <memory>
+#include <string>
+
+#include "agnn/common/logging.h"
+#include "agnn/nn/init.h"
+
+namespace agnn::nn {
+
+ag::Var Activate(const ag::Var& x, Activation activation, float leaky_slope) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kLeakyRelu:
+      return ag::LeakyRelu(x, leaky_slope);
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+  }
+  AGNN_LOG(Fatal) << "unknown activation";
+  return x;
+}
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ =
+      RegisterParameter("weight", XavierUniform(in_features, out_features, rng));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", Matrix::Zeros(1, out_features));
+  }
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  AGNN_CHECK_EQ(x->value().cols(), in_features_);
+  ag::Var out = ag::MatMul(x, weight_);
+  if (bias_) out = ag::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+Embedding::Embedding(size_t count, size_t dim, Rng* rng, float init_scale)
+    : count_(count), dim_(dim) {
+  table_ =
+      RegisterParameter("table", EmbeddingNormal(count, dim, init_scale, rng));
+}
+
+ag::Var Embedding::Forward(const std::vector<size_t>& indices) const {
+  return ag::GatherRows(table_, indices);
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng* rng,
+         Activation hidden_activation, Activation output_activation)
+    : hidden_activation_(hidden_activation),
+      output_activation_(output_activation) {
+  AGNN_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterSubmodule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+ag::Var Mlp::Forward(const ag::Var& x) const {
+  ag::Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    const bool is_last = (i + 1 == layers_.size());
+    h = Activate(h, is_last ? output_activation_ : hidden_activation_);
+  }
+  return h;
+}
+
+}  // namespace agnn::nn

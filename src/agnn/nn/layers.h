@@ -1,0 +1,76 @@
+#ifndef AGNN_NN_LAYERS_H_
+#define AGNN_NN_LAYERS_H_
+
+#include <vector>
+
+#include "agnn/autograd/ops.h"
+#include "agnn/nn/module.h"
+
+namespace agnn::nn {
+
+/// Activation applied between (and optionally after) MLP layers.
+enum class Activation { kNone, kLeakyRelu, kRelu, kSigmoid, kTanh };
+
+/// Applies an activation as an autograd op.
+ag::Var Activate(const ag::Var& x, Activation activation,
+                 float leaky_slope = 0.01f);
+
+/// Affine map y = x W + b with W [in, out], optional bias.
+class Linear : public Module {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  /// x [B, in] -> [B, out].
+  ag::Var Forward(const ag::Var& x) const;
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  ag::Var weight_;
+  ag::Var bias_;  // null when use_bias == false
+};
+
+/// Trainable lookup table [count, dim]; rows indexed by id.
+class Embedding : public Module {
+ public:
+  Embedding(size_t count, size_t dim, Rng* rng, float init_scale = 0.1f);
+
+  /// indices -> [indices.size(), dim].
+  ag::Var Forward(const std::vector<size_t>& indices) const;
+
+  /// Direct access to the full table leaf (e.g., for whole-table ops).
+  const ag::Var& table() const { return table_; }
+
+  size_t count() const { return count_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t count_;
+  size_t dim_;
+  ag::Var table_;
+};
+
+/// Multi-layer perceptron: Linear -> activation repeated, with a separate
+/// choice of output activation (default none, i.e., a regression head).
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, hidden..., out}; requires at least {in, out}.
+  Mlp(const std::vector<size_t>& dims, Rng* rng,
+      Activation hidden_activation = Activation::kLeakyRelu,
+      Activation output_activation = Activation::kNone);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation hidden_activation_;
+  Activation output_activation_;
+};
+
+}  // namespace agnn::nn
+
+#endif  // AGNN_NN_LAYERS_H_

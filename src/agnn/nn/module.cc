@@ -1,0 +1,71 @@
+#include "agnn/nn/module.h"
+
+#include <istream>
+#include <ostream>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::nn {
+
+std::vector<NamedParameter> Module::Parameters() const {
+  std::vector<NamedParameter> out = params_;
+  for (const Child& child : children_) {
+    for (NamedParameter p : child.module->Parameters()) {
+      p.name = child.name + "/" + p.name;
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() const {
+  for (const NamedParameter& p : Parameters()) p.var->ZeroGrad();
+}
+
+size_t Module::ParameterCount() const {
+  size_t count = 0;
+  for (const NamedParameter& p : Parameters()) count += p.var->value().size();
+  return count;
+}
+
+void Module::Save(std::ostream* out) const {
+  AGNN_CHECK(out != nullptr);
+  const auto params = Parameters();
+  const uint64_t n = params.size();
+  out->write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const NamedParameter& p : params) p.var->value().Serialize(out);
+}
+
+Status Module::Load(std::istream* in) const {
+  AGNN_CHECK(in != nullptr);
+  const auto params = Parameters();
+  uint64_t n = 0;
+  in->read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in->good()) return Status::InvalidArgument("truncated parameter file");
+  if (n != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(n) +
+        ", module has " + std::to_string(params.size()));
+  }
+  for (const NamedParameter& p : params) {
+    Matrix m = Matrix::Deserialize(in);
+    if (!m.SameShape(p.var->value())) {
+      return Status::InvalidArgument("shape mismatch for parameter " + p.name);
+    }
+    p.var->mutable_value() = std::move(m);
+  }
+  return Status::Ok();
+}
+
+ag::Var Module::RegisterParameter(std::string name, Matrix value) {
+  ag::Var var = ag::MakeParam(std::move(value));
+  params_.push_back({std::move(name), var});
+  return var;
+}
+
+void Module::RegisterSubmodule(std::string name, Module* submodule) {
+  AGNN_CHECK(submodule != nullptr);
+  children_.push_back({std::move(name), submodule});
+}
+
+}  // namespace agnn::nn

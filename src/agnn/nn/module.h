@@ -1,0 +1,67 @@
+#ifndef AGNN_NN_MODULE_H_
+#define AGNN_NN_MODULE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "agnn/autograd/variable.h"
+#include "agnn/common/status.h"
+
+namespace agnn::nn {
+
+/// Named trainable parameter.
+struct NamedParameter {
+  std::string name;
+  ag::Var var;
+};
+
+/// Base class for everything with trainable parameters. Subclasses register
+/// their parameters and submodules in their constructor; Parameters() then
+/// yields the full flattened list in registration order, which fixes the
+/// (de)serialization order.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its submodules, depth-first in
+  /// registration order. Names are slash-qualified by submodule name.
+  std::vector<NamedParameter> Parameters() const;
+
+  /// Zeroes the gradient of every parameter.
+  void ZeroGrad() const;
+
+  /// Total number of scalar parameters.
+  size_t ParameterCount() const;
+
+  /// Writes all parameter matrices in Parameters() order.
+  void Save(std::ostream* out) const;
+
+  /// Reads parameters written by Save; shapes must match exactly.
+  Status Load(std::istream* in) const;
+
+ protected:
+  Module() = default;
+
+  /// Registers a trainable matrix; returns its graph leaf.
+  ag::Var RegisterParameter(std::string name, Matrix value);
+
+  /// Registers a child whose parameters are included in Parameters().
+  /// The child must outlive this module (normally it is a data member).
+  void RegisterSubmodule(std::string name, Module* submodule);
+
+ private:
+  struct Child {
+    std::string name;
+    Module* module;
+  };
+  std::vector<NamedParameter> params_;
+  std::vector<Child> children_;
+};
+
+}  // namespace agnn::nn
+
+#endif  // AGNN_NN_MODULE_H_

@@ -1,0 +1,85 @@
+#include "agnn/nn/optimizer.h"
+
+#include <cmath>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::nn {
+
+float ClipGradNorm(const std::vector<NamedParameter>& params, float max_norm) {
+  AGNN_CHECK_GT(max_norm, 0.0f);
+  float total_sq = 0.0f;
+  for (const NamedParameter& p : params) {
+    if (p.var->has_grad()) total_sq += p.var->grad().SquaredL2Norm();
+  }
+  const float norm = std::sqrt(total_sq);
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (const NamedParameter& p : params) {
+      if (p.var->has_grad()) p.var->mutable_grad().ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+void Optimizer::ZeroGrad() {
+  for (const NamedParameter& p : params_) p.var->ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<NamedParameter> params, float learning_rate,
+         float weight_decay)
+    : Optimizer(std::move(params)), weight_decay_(weight_decay) {
+  learning_rate_ = learning_rate;
+}
+
+void Sgd::Step() {
+  for (const NamedParameter& p : params_) {
+    if (!p.var->has_grad()) continue;
+    Matrix& w = p.var->mutable_value();
+    const Matrix& g = p.var->grad();
+    for (size_t i = 0; i < w.size(); ++i) {
+      float grad = g.data()[i] + weight_decay_ * w.data()[i];
+      w.data()[i] -= learning_rate_ * grad;
+    }
+  }
+}
+
+Adam::Adam(std::vector<NamedParameter> params, float learning_rate,
+           float beta1, float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  learning_rate_ = learning_rate;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const NamedParameter& p : params_) {
+    m_.emplace_back(p.var->value().rows(), p.var->value().cols());
+    v_.emplace_back(p.var->value().rows(), p.var->value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    const NamedParameter& p = params_[pi];
+    if (!p.var->has_grad()) continue;
+    Matrix& w = p.var->mutable_value();
+    const Matrix& g = p.var->grad();
+    Matrix& m = m_[pi];
+    Matrix& v = v_[pi];
+    for (size_t i = 0; i < w.size(); ++i) {
+      const float grad = g.data()[i] + weight_decay_ * w.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0f - beta1_) * grad;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m.data()[i] / bias1;
+      const float v_hat = v.data()[i] / bias2;
+      w.data()[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace agnn::nn

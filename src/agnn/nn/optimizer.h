@@ -1,0 +1,74 @@
+#ifndef AGNN_NN_OPTIMIZER_H_
+#define AGNN_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "agnn/nn/module.h"
+
+namespace agnn::nn {
+
+/// Rescales all parameter gradients so their global L2 norm is at most
+/// `max_norm`; returns the pre-clip norm.
+float ClipGradNorm(const std::vector<NamedParameter>& params, float max_norm);
+
+/// Base interface for first-order optimizers over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<NamedParameter> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<NamedParameter> params_;
+  float learning_rate_ = 1e-3f;
+};
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<NamedParameter> params, float learning_rate,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2015) — the optimizer the paper trains with.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<NamedParameter> params, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  // First/second moment estimates, one pair per parameter, indexed like
+  // params_.
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace agnn::nn
+
+#endif  // AGNN_NN_OPTIMIZER_H_

@@ -1,0 +1,397 @@
+#include "agnn/tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "agnn/common/logging.h"
+#include "agnn/common/string_util.h"
+
+namespace agnn {
+
+Matrix::Matrix(size_t rows, size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  AGNN_CHECK_EQ(data_.size(), rows_ * cols_);
+}
+
+Matrix Matrix::Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::Ones(size_t rows, size_t cols) {
+  return Matrix(rows, cols, 1.0f);
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, float lo, float hi,
+                             Rng* rng) {
+  AGNN_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+  return m;
+}
+
+Matrix Matrix::RandomNormal(size_t rows, size_t cols, float mean, float stddev,
+                            Rng* rng) {
+  AGNN_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng->Normal(mean, stddev));
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<float>& values) {
+  return Matrix(1, values.size(), values);
+}
+
+float& Matrix::At(size_t r, size_t c) {
+  AGNN_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+float Matrix::At(size_t r, size_t c) const {
+  AGNN_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+float* Matrix::Row(size_t r) {
+  AGNN_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+const float* Matrix::Row(size_t r) const {
+  AGNN_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  AGNN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  AGNN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::MulInPlace(const Matrix& other) {
+  AGNN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::ScaleInPlace(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::AddScalarInPlace(float s) {
+  for (auto& v : data_) v += s;
+  return *this;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  Matrix out = *this;
+  return out.AddInPlace(other);
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  Matrix out = *this;
+  return out.SubInPlace(other);
+}
+
+Matrix Matrix::Mul(const Matrix& other) const {
+  Matrix out = *this;
+  return out.MulInPlace(other);
+}
+
+Matrix Matrix::Div(const Matrix& other) const {
+  AGNN_CHECK(SameShape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    AGNN_DCHECK(other.data_[i] != 0.0f);
+    out.data_[i] /= other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::Scale(float s) const {
+  Matrix out = *this;
+  return out.ScaleInPlace(s);
+}
+
+Matrix Matrix::AddScalar(float s) const {
+  Matrix out = *this;
+  return out.AddScalarInPlace(s);
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
+  AGNN_CHECK_EQ(row.rows(), 1u);
+  AGNN_CHECK_EQ(row.cols(), cols_);
+  Matrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    float* dst = out.Row(r);
+    const float* src = row.Row(0);
+    for (size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::MulRowBroadcast(const Matrix& row) const {
+  AGNN_CHECK_EQ(row.rows(), 1u);
+  AGNN_CHECK_EQ(row.cols(), cols_);
+  Matrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    float* dst = out.Row(r);
+    const float* src = row.Row(0);
+    for (size_t c = 0; c < cols_; ++c) dst[c] *= src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Map(const std::function<float(float)>& fn) const {
+  Matrix out = *this;
+  for (auto& v : out.data_) v = fn(v);
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  AGNN_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // ikj loop order: streams through `other` and `out` rows contiguously.
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a = Row(i);
+    float* o = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const float aik = a[k];
+      if (aik == 0.0f) continue;
+      const float* b = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  // (this^T) x other, where this is [k, m] and other is [k, n].
+  AGNN_CHECK_EQ(rows_, other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const float* a = Row(k);
+    const float* b = other.Row(k);
+    for (size_t i = 0; i < cols_; ++i) {
+      const float aki = a[i];
+      if (aki == 0.0f) continue;
+      float* o = out.Row(i);
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  // this x (other^T), where this is [m, k] and other is [n, k].
+  AGNN_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a = Row(i);
+    float* o = out.Row(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const float* b = other.Row(j);
+      float acc = 0.0f;
+      for (size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+float Matrix::Dot(const Matrix& other) const {
+  AGNN_CHECK(SameShape(other));
+  float acc = 0.0f;
+  for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+float Matrix::SquaredL2Norm() const { return Dot(*this); }
+
+float Matrix::Sum() const {
+  float acc = 0.0f;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+float Matrix::Mean() const {
+  AGNN_CHECK_GT(size(), 0u);
+  return Sum() / static_cast<float>(size());
+}
+
+float Matrix::Min() const {
+  AGNN_CHECK_GT(size(), 0u);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Matrix::Max() const {
+  AGNN_CHECK_GT(size(), 0u);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+Matrix Matrix::RowSums() const {
+  Matrix out(rows_, 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* row = Row(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c];
+    out.At(r, 0) = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* row = Row(r);
+    float* o = out.Row(0);
+    for (size_t c = 0; c < cols_; ++c) o[c] += row[c];
+  }
+  return out;
+}
+
+Matrix Matrix::ColMeans() const {
+  AGNN_CHECK_GT(rows_, 0u);
+  return ColSums().Scale(1.0f / static_cast<float>(rows_));
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t r = 0; r < indices.size(); ++r) {
+    AGNN_CHECK_LT(indices[r], rows_);
+    std::memcpy(out.Row(r), Row(indices[r]), cols_ * sizeof(float));
+  }
+  return out;
+}
+
+void Matrix::ScatterAddRows(const std::vector<size_t>& indices,
+                            const Matrix& source) {
+  AGNN_CHECK_EQ(indices.size(), source.rows());
+  AGNN_CHECK_EQ(cols_, source.cols());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    AGNN_CHECK_LT(indices[r], rows_);
+    float* dst = Row(indices[r]);
+    const float* src = source.Row(r);
+    for (size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  AGNN_CHECK_EQ(rows_, other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::memcpy(out.Row(r), Row(r), cols_ * sizeof(float));
+    std::memcpy(out.Row(r) + cols_, other.Row(r), other.cols_ * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::SliceCols(size_t begin, size_t end) const {
+  AGNN_CHECK_LE(begin, end);
+  AGNN_CHECK_LE(end, cols_);
+  Matrix out(rows_, end - begin);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::memcpy(out.Row(r), Row(r) + begin, (end - begin) * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::SliceRows(size_t begin, size_t end) const {
+  AGNN_CHECK_LE(begin, end);
+  AGNN_CHECK_LE(end, rows_);
+  Matrix out(end - begin, cols_);
+  if (end > begin) {
+    std::memcpy(out.Row(0), Row(begin), (end - begin) * cols_ * sizeof(float));
+  }
+  return out;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Matrix::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+float Matrix::MaxAbsDiff(const Matrix& other) const {
+  AGNN_CHECK(SameShape(other));
+  float worst = 0.0f;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+void Matrix::Serialize(std::ostream* out) const {
+  AGNN_CHECK(out != nullptr);
+  uint64_t r = rows_;
+  uint64_t c = cols_;
+  out->write(reinterpret_cast<const char*>(&r), sizeof(r));
+  out->write(reinterpret_cast<const char*>(&c), sizeof(c));
+  out->write(reinterpret_cast<const char*>(data_.data()),
+             static_cast<std::streamsize>(data_.size() * sizeof(float)));
+}
+
+Matrix Matrix::Deserialize(std::istream* in) {
+  AGNN_CHECK(in != nullptr);
+  uint64_t r = 0;
+  uint64_t c = 0;
+  in->read(reinterpret_cast<char*>(&r), sizeof(r));
+  in->read(reinterpret_cast<char*>(&c), sizeof(c));
+  AGNN_CHECK(in->good()) << "truncated matrix header";
+  Matrix m(static_cast<size_t>(r), static_cast<size_t>(c));
+  in->read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+  AGNN_CHECK(!in->fail()) << "truncated matrix payload";
+  return m;
+}
+
+std::string Matrix::DebugString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  for (size_t r = 0; r < std::min(rows_, max_rows); ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < std::min(cols_, max_cols); ++c) {
+      if (c > 0) os << ", ";
+      os << FormatDouble(At(r, c), 4);
+    }
+    if (cols_ > max_cols) os << ", ...";
+    os << "]";
+    if (r + 1 < std::min(rows_, max_rows)) os << "\n";
+  }
+  if (rows_ > max_rows) os << "\n ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace agnn

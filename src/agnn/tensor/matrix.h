@@ -1,0 +1,148 @@
+#ifndef AGNN_TENSOR_MATRIX_H_
+#define AGNN_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "agnn/common/rng.h"
+
+namespace agnn {
+
+/// Dense row-major float32 matrix. This is the only tensor type in the
+/// library: vectors are 1xN or Nx1 matrices, batches are [batch, dim].
+/// All operations bounds-check their shapes with AGNN_CHECK.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, float fill = 0.0f);
+
+  /// rows x cols matrix adopting `values` (size must be rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<float> values);
+
+  // -- Factories --------------------------------------------------------
+
+  static Matrix Zeros(size_t rows, size_t cols);
+  static Matrix Ones(size_t rows, size_t cols);
+  static Matrix Identity(size_t n);
+  /// Entries i.i.d. Uniform(lo, hi).
+  static Matrix RandomUniform(size_t rows, size_t cols, float lo, float hi,
+                              Rng* rng);
+  /// Entries i.i.d. Normal(mean, stddev).
+  static Matrix RandomNormal(size_t rows, size_t cols, float mean,
+                             float stddev, Rng* rng);
+  /// 1 x values.size() row vector.
+  static Matrix RowVector(const std::vector<float>& values);
+
+  // -- Shape and element access -----------------------------------------
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& At(size_t r, size_t c);
+  float At(size_t r, size_t c) const;
+  float* Row(size_t r);
+  const float* Row(size_t r) const;
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // -- Elementwise arithmetic (shape-checked) ----------------------------
+
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& MulInPlace(const Matrix& other);  ///< Hadamard product.
+  Matrix& ScaleInPlace(float s);
+  Matrix& AddScalarInPlace(float s);
+
+  Matrix Add(const Matrix& other) const;
+  Matrix Sub(const Matrix& other) const;
+  Matrix Mul(const Matrix& other) const;  ///< Hadamard product.
+  Matrix Div(const Matrix& other) const;  ///< Elementwise; checks != 0.
+  Matrix Scale(float s) const;
+  Matrix AddScalar(float s) const;
+
+  /// Adds `row` (1 x cols) to every row; the broadcast used for biases.
+  Matrix AddRowBroadcast(const Matrix& row) const;
+  /// Hadamard-multiplies every row by `row` (1 x cols).
+  Matrix MulRowBroadcast(const Matrix& row) const;
+
+  /// Applies `fn` to every element.
+  Matrix Map(const std::function<float(float)>& fn) const;
+
+  // -- Linear algebra -----------------------------------------------------
+
+  /// this [m,k] x other [k,n] -> [m,n].
+  Matrix MatMul(const Matrix& other) const;
+  /// this^T [k,m]^T x other [k,n] -> [m,n]; avoids materializing transpose.
+  Matrix TransposedMatMul(const Matrix& other) const;
+  /// this [m,k] x other^T [n,k]^T -> [m,n].
+  Matrix MatMulTransposed(const Matrix& other) const;
+  Matrix Transposed() const;
+
+  /// Frobenius inner product.
+  float Dot(const Matrix& other) const;
+  float SquaredL2Norm() const;
+
+  // -- Reductions ----------------------------------------------------------
+
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  /// Column vector [rows,1] of per-row sums.
+  Matrix RowSums() const;
+  /// Row vector [1,cols] of per-column sums.
+  Matrix ColSums() const;
+  /// Row vector [1,cols] of per-column means.
+  Matrix ColMeans() const;
+
+  // -- Row gather/scatter (embedding lookups) ------------------------------
+
+  /// New matrix whose r-th row is this->Row(indices[r]).
+  Matrix GatherRows(const std::vector<size_t>& indices) const;
+  /// For each r, adds source.Row(r) into this->Row(indices[r]).
+  void ScatterAddRows(const std::vector<size_t>& indices,
+                      const Matrix& source);
+
+  /// [rows, this.cols + other.cols] with `other` appended column-wise.
+  Matrix ConcatCols(const Matrix& other) const;
+  /// Columns [begin, end) as a new matrix.
+  Matrix SliceCols(size_t begin, size_t end) const;
+  /// Rows [begin, end) as a new matrix.
+  Matrix SliceRows(size_t begin, size_t end) const;
+
+  void Fill(float value);
+
+  /// True if every element is finite.
+  bool AllFinite() const;
+
+  /// Max |a-b| over elements; shapes must match.
+  float MaxAbsDiff(const Matrix& other) const;
+
+  // -- Serialization --------------------------------------------------------
+
+  /// Binary format: uint64 rows, uint64 cols, rows*cols float32.
+  void Serialize(std::ostream* out) const;
+  static Matrix Deserialize(std::istream* in);
+
+  std::string DebugString(size_t max_rows = 6, size_t max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace agnn
+
+#endif  // AGNN_TENSOR_MATRIX_H_

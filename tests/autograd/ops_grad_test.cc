@@ -1,0 +1,298 @@
+// Finite-difference gradient checks for every differentiable op. Each case
+// builds a scalar loss from one or more parameter matrices, runs Backward,
+// and compares every analytic parameter gradient against a central-difference
+// estimate. Inputs are kept away from kinks (ReLU at 0) so the numeric
+// estimates are valid.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/autograd/ops.h"
+#include "agnn/autograd/variable.h"
+
+namespace agnn::ag {
+namespace {
+
+// A gradient-check scenario: named graph builder over a set of parameters.
+struct GradCase {
+  std::string name;
+  std::vector<Matrix> param_inits;
+  // Builds the scalar loss from the given parameter leaves.
+  std::function<Var(const std::vector<Var>&)> build;
+};
+
+class OpsGradTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(OpsGradTest, AnalyticMatchesNumeric) {
+  const GradCase& c = GetParam();
+  std::vector<Var> params;
+  params.reserve(c.param_inits.size());
+  for (const Matrix& init : c.param_inits) params.push_back(MakeParam(init));
+
+  Var loss = c.build(params);
+  ASSERT_EQ(loss->value().rows(), 1u);
+  ASSERT_EQ(loss->value().cols(), 1u);
+  Backward(loss);
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Matrix& value = params[pi]->mutable_value();
+    auto loss_fn = [&]() {
+      // Rebuild with fresh leaves reading the perturbed values.
+      std::vector<Var> fresh;
+      for (const Var& p : params) fresh.push_back(MakeConst(p->value()));
+      return static_cast<double>(c.build(fresh)->value().At(0, 0));
+    };
+    Matrix numeric = NumericGradient(loss_fn, &value, 1e-3);
+    const Matrix& analytic = params[pi]->grad();
+    for (size_t i = 0; i < numeric.size(); ++i) {
+      const float n = numeric.data()[i];
+      const float a = analytic.data()[i];
+      EXPECT_NEAR(a, n, 2e-2f + 2e-2f * std::fabs(n))
+          << "case=" << c.name << " param=" << pi << " element=" << i;
+    }
+  }
+}
+
+Matrix M(size_t r, size_t c, std::vector<float> v) {
+  return Matrix(r, c, std::move(v));
+}
+
+std::vector<GradCase> MakeCases() {
+  Rng rng(1234);
+  auto rand = [&rng](size_t r, size_t c) {
+    return Matrix::RandomUniform(r, c, 0.3f, 1.2f, &rng);
+  };
+  auto randn = [&rng](size_t r, size_t c) {
+    return Matrix::RandomNormal(r, c, 0.0f, 0.8f, &rng);
+  };
+
+  std::vector<GradCase> cases;
+
+  cases.push_back({"add",
+                   {randn(2, 3), randn(2, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Add(p[0], p[1]));
+                   }});
+  cases.push_back({"sub_weighted",
+                   {randn(2, 3), randn(2, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Mul(Sub(p[0], p[1]), p[0]));
+                   }});
+  cases.push_back({"mul",
+                   {randn(3, 2), randn(3, 2)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Mul(p[0], p[1]));
+                   }});
+  cases.push_back({"neg_scale_addscalar",
+                   {randn(2, 2)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(AddScalar(Scale(Neg(p[0]), 1.7f), 0.3f));
+                   }});
+  cases.push_back({"sigmoid",
+                   {randn(2, 4)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Sigmoid(p[0]));
+                   }});
+  cases.push_back({"tanh",
+                   {randn(2, 4)},
+                   [](const std::vector<Var>& p) { return SumAll(Tanh(p[0])); }});
+  cases.push_back({"leaky_relu_away_from_kink",
+                   {M(2, 2, {0.5f, -0.7f, 1.2f, -0.3f})},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(LeakyRelu(p[0], 0.01f));
+                   }});
+  cases.push_back({"relu_away_from_kink",
+                   {M(2, 2, {0.5f, -0.7f, 1.2f, -0.3f})},
+                   [](const std::vector<Var>& p) { return SumAll(Relu(p[0])); }});
+  cases.push_back({"exp",
+                   {randn(2, 3)},
+                   [](const std::vector<Var>& p) { return SumAll(Exp(p[0])); }});
+  cases.push_back({"log_positive",
+                   {rand(2, 3)},
+                   [](const std::vector<Var>& p) { return SumAll(Log(p[0])); }});
+  cases.push_back({"square",
+                   {randn(3, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(p[0]));
+                   }});
+  cases.push_back({"softplus",
+                   {randn(2, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Softplus(p[0]));
+                   }});
+  cases.push_back({"matmul",
+                   {randn(3, 4), randn(4, 2)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(MatMul(p[0], p[1])));
+                   }});
+  cases.push_back({"add_row_broadcast",
+                   {randn(4, 3), randn(1, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(AddRowBroadcast(p[0], p[1])));
+                   }});
+  cases.push_back({"mul_col_broadcast",
+                   {randn(4, 3), randn(4, 1)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(MulColBroadcast(p[0], p[1])));
+                   }});
+  cases.push_back({"rowwise_dot",
+                   {randn(4, 3), randn(4, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(RowwiseDot(p[0], p[1])));
+                   }});
+  cases.push_back({"concat_cols",
+                   {randn(3, 2), randn(3, 4)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(ConcatCols(p[0], p[1])));
+                   }});
+  cases.push_back({"slice_cols",
+                   {randn(3, 5)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(SliceCols(p[0], 1, 4)));
+                   }});
+  cases.push_back({"repeat_rows",
+                   {randn(3, 2)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(RepeatRows(p[0], 4)));
+                   }});
+  cases.push_back({"row_block_mean",
+                   {randn(6, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(RowBlockMean(p[0], 3)));
+                   }});
+  cases.push_back({"row_block_sum",
+                   {randn(6, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(RowBlockSum(p[0], 2)));
+                   }});
+  cases.push_back({"gather_rows_with_repeats",
+                   {randn(5, 3)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(
+                         Square(GatherRows(p[0], {0, 2, 2, 4, 0})));
+                   }});
+  cases.push_back({"segment_sum_with_gaps",
+                   {randn(5, 3)},
+                   [](const std::vector<Var>& p) {
+                     // Segment 1 is empty; segment 0 gets three rows.
+                     return SumAll(Square(SegmentSum(p[0], {0, 2, 0, 0, 2}, 3)));
+                   }});
+  cases.push_back({"mean_all",
+                   {randn(3, 4)},
+                   [](const std::vector<Var>& p) {
+                     return MeanAll(Square(p[0]));
+                   }});
+  cases.push_back({"mse_loss",
+                   {randn(5, 1)},
+                   [](const std::vector<Var>& p) {
+                     Matrix target(5, 1, {1, 2, 3, 4, 5});
+                     return MseLoss(p[0], target);
+                   }});
+  cases.push_back({"gaussian_kl",
+                   {randn(4, 3), randn(4, 3)},
+                   [](const std::vector<Var>& p) {
+                     return GaussianKlMean(p[0], p[1]);
+                   }});
+  cases.push_back({"softmax_blocks",
+                   {randn(6, 1)},
+                   [](const std::vector<Var>& p) {
+                     // Weighted so the loss depends non-trivially on each
+                     // softmax output.
+                     Matrix w(6, 1, {1, 2, 3, -1, 0.5f, 2});
+                     return SumAll(Mul(SoftmaxBlocks(p[0], 3), MakeConst(w)));
+                   }});
+  cases.push_back({"reparameterize_composed",
+                   {randn(3, 2), randn(3, 2)},
+                   [](const std::vector<Var>& p) {
+                     // Deterministic eps so the loss is a fixed function.
+                     Matrix eps(3, 2, {0.5f, -1.2f, 0.3f, 0.9f, -0.4f, 1.1f});
+                     Var z = Add(p[0], Mul(Exp(Scale(p[1], 0.5f)),
+                                           MakeConst(eps)));
+                     return SumAll(Square(z));
+                   }});
+  cases.push_back({"deep_composition",
+                   {randn(2, 3), randn(3, 3), randn(1, 3)},
+                   [](const std::vector<Var>& p) {
+                     Var h = Tanh(AddRowBroadcast(MatMul(p[0], p[1]), p[2]));
+                     Var g = Sigmoid(MatMul(h, p[1]));
+                     return MeanAll(Square(Mul(h, g)));
+                   }});
+
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpsGradTest, ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<GradCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(OpsForwardTest, SigmoidValues) {
+  Var x = MakeConst(Matrix(1, 2, {0.0f, 100.0f}));
+  Matrix s = Sigmoid(x)->value();
+  EXPECT_FLOAT_EQ(s.At(0, 0), 0.5f);
+  EXPECT_NEAR(s.At(0, 1), 1.0f, 1e-6f);
+}
+
+TEST(OpsForwardTest, SoftmaxBlocksSumToOnePerBlock) {
+  Var x = MakeConst(Matrix(6, 1, {1, 2, 3, -5, 0, 5}));
+  Matrix s = SoftmaxBlocks(x, 3)->value();
+  EXPECT_NEAR(s.At(0, 0) + s.At(1, 0) + s.At(2, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(s.At(3, 0) + s.At(4, 0) + s.At(5, 0), 1.0f, 1e-5f);
+  EXPECT_GT(s.At(2, 0), s.At(0, 0));  // larger logit -> larger weight
+}
+
+TEST(OpsForwardTest, SegmentSumPoolsVariableLengthGroups) {
+  Var x = MakeConst(Matrix(4, 2, {1, 2, 10, 20, 100, 200, 1000, 2000}));
+  Matrix out = SegmentSum(x, {0, 0, 2, 0}, 3)->value();
+  EXPECT_FLOAT_EQ(out.At(0, 0), 1011.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 1), 2022.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 0), 0.0f);  // empty segment
+  EXPECT_FLOAT_EQ(out.At(2, 1), 200.0f);
+}
+
+TEST(OpsForwardTest, RepeatAndBlockMeanAreInverse) {
+  Var x = MakeConst(Matrix(2, 2, {1, 2, 3, 4}));
+  Matrix round_trip = RowBlockMean(RepeatRows(x, 5), 5)->value();
+  EXPECT_LT(round_trip.MaxAbsDiff(x->value()), 1e-6f);
+}
+
+TEST(OpsForwardTest, GaussianKlZeroForStandardNormal) {
+  Var mu = MakeConst(Matrix::Zeros(3, 4));
+  Var logvar = MakeConst(Matrix::Zeros(3, 4));
+  EXPECT_NEAR(GaussianKlMean(mu, logvar)->value().At(0, 0), 0.0f, 1e-6f);
+}
+
+TEST(OpsForwardTest, GaussianKlPositiveOtherwise) {
+  Var mu = MakeConst(Matrix(1, 2, {1.0f, -2.0f}));
+  Var logvar = MakeConst(Matrix(1, 2, {0.5f, -0.5f}));
+  EXPECT_GT(GaussianKlMean(mu, logvar)->value().At(0, 0), 0.0f);
+}
+
+TEST(OpsForwardTest, DropoutIdentityWhenEval) {
+  Rng rng(3);
+  Var x = MakeConst(Matrix::Ones(4, 4));
+  Var out = Dropout(x, 0.5f, &rng, /*training=*/false);
+  EXPECT_EQ(out.get(), x.get());
+}
+
+TEST(OpsForwardTest, DropoutPreservesExpectation) {
+  Rng rng(3);
+  Var x = MakeConst(Matrix::Ones(100, 100));
+  Var out = Dropout(x, 0.3f, &rng, /*training=*/true);
+  // Inverted dropout: E[out] == x. 10k samples -> mean within ~3%.
+  EXPECT_NEAR(out->value().Mean(), 1.0f, 0.03f);
+}
+
+TEST(OpsForwardTest, ReparameterizeMatchesMuForTinyVariance) {
+  Rng rng(5);
+  Var mu = MakeConst(Matrix(2, 2, {1, 2, 3, 4}));
+  Var logvar = MakeConst(Matrix(2, 2, -30.0f));  // stddev ~ 3e-7
+  Var z = Reparameterize(mu, logvar, &rng);
+  EXPECT_LT(z->value().MaxAbsDiff(mu->value()), 1e-4f);
+}
+
+}  // namespace
+}  // namespace agnn::ag

@@ -1,0 +1,76 @@
+#include "agnn/autograd/variable.h"
+
+#include <gtest/gtest.h>
+
+#include "agnn/autograd/ops.h"
+
+namespace agnn::ag {
+namespace {
+
+TEST(VariableTest, LeafProperties) {
+  Var p = MakeParam(Matrix::Ones(2, 2));
+  EXPECT_TRUE(p->requires_grad());
+  EXPECT_TRUE(p->is_leaf());
+  Var c = MakeConst(Matrix::Ones(2, 2));
+  EXPECT_FALSE(c->requires_grad());
+}
+
+TEST(VariableTest, GradLazilyAllocatedAsZeros) {
+  Var p = MakeParam(Matrix::Ones(3, 4));
+  EXPECT_FALSE(p->has_grad());
+  EXPECT_FLOAT_EQ(p->grad().Sum(), 0.0f);
+  EXPECT_TRUE(p->has_grad());
+}
+
+TEST(VariableTest, BackwardThroughSum) {
+  Var p = MakeParam(Matrix(2, 2, {1, 2, 3, 4}));
+  Var loss = SumAll(p);
+  Backward(loss);
+  // d(sum)/dx = 1 everywhere.
+  EXPECT_FLOAT_EQ(p->grad().At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(p->grad().At(1, 1), 1.0f);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossBackwards) {
+  Var p = MakeParam(Matrix::Ones(1, 1));
+  Var loss1 = SumAll(p);
+  Backward(loss1);
+  Var loss2 = SumAll(p);
+  Backward(loss2);
+  EXPECT_FLOAT_EQ(p->grad().At(0, 0), 2.0f);
+  p->ZeroGrad();
+  EXPECT_FLOAT_EQ(p->grad().At(0, 0), 0.0f);
+}
+
+TEST(VariableTest, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum(x*x + x*x) = 2*sum(x^2); dx = 4x.
+  Var x = MakeParam(Matrix(1, 2, {3, -2}));
+  Var sq = Mul(x, x);
+  Var loss = SumAll(Add(sq, sq));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 1), -8.0f);
+}
+
+TEST(VariableTest, SharedSubgraphVisitedOnce) {
+  // y = x + x reused by two consumers; gradient must be exact, not doubled.
+  Var x = MakeParam(Matrix(1, 1, {2.0f}));
+  Var y = Add(x, x);         // dy/dx = 2
+  Var loss = SumAll(Mul(y, y));  // loss = (2x)^2 -> d/dx = 8x = 16
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 16.0f);
+}
+
+TEST(VariableTest, NumericGradientOfQuadratic) {
+  Matrix w(1, 2, {1.5f, -0.5f});
+  auto loss_fn = [&w]() {
+    return static_cast<double>(w.At(0, 0) * w.At(0, 0) +
+                               3.0f * w.At(0, 1));
+  };
+  Matrix g = NumericGradient(loss_fn, &w);
+  EXPECT_NEAR(g.At(0, 0), 3.0f, 1e-2);  // d/dw0 w0^2 = 2*1.5
+  EXPECT_NEAR(g.At(0, 1), 3.0f, 1e-2);
+}
+
+}  // namespace
+}  // namespace agnn::ag

@@ -1,0 +1,67 @@
+#include "agnn/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace agnn {
+namespace {
+
+// Builds an argv array from string literals (argv[0] is the program name).
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesEqualsForm) {
+  std::vector<std::string> args = {"prog", "--scale=small", "--epochs=7"};
+  auto argv = MakeArgv(args);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.GetString("scale", ""), "small");
+  EXPECT_EQ(parser.GetInt("epochs", 0), 7);
+}
+
+TEST(FlagParserTest, ParsesSpaceForm) {
+  std::vector<std::string> args = {"prog", "--seed", "123"};
+  auto argv = MakeArgv(args);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.GetInt("seed", 0), 123);
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = MakeArgv(args);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(parser.GetBool("verbose", false));
+}
+
+TEST(FlagParserTest, DefaultsWhenMissing) {
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.GetString("absent", "fallback"), "fallback");
+  EXPECT_EQ(parser.GetInt("absent", -1), -1);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("absent", 2.5), 2.5);
+  EXPECT_FALSE(parser.Has("absent"));
+}
+
+TEST(FlagParserTest, RejectsPositionalArguments) {
+  std::vector<std::string> args = {"prog", "positional"};
+  auto argv = MakeArgv(args);
+  FlagParser parser;
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, ParsesDouble) {
+  std::vector<std::string> args = {"prog", "--lambda=0.1"};
+  auto argv = MakeArgv(args);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_DOUBLE_EQ(parser.GetDouble("lambda", 0.0), 0.1);
+}
+
+}  // namespace
+}  // namespace agnn

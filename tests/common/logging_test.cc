@@ -1,0 +1,62 @@
+#include "agnn/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace agnn {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  AGNN_CHECK(true);
+  AGNN_CHECK_EQ(1, 1);
+  AGNN_CHECK_NE(1, 2);
+  AGNN_CHECK_LT(1, 2);
+  AGNN_CHECK_LE(2, 2);
+  AGNN_CHECK_GT(3, 2);
+  AGNN_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(AGNN_CHECK(false) << "context", "Check failed: false");
+}
+
+TEST(CheckDeathTest, ComparisonCheckPrintsValues) {
+  int a = 3;
+  int b = 5;
+  EXPECT_DEATH(AGNN_CHECK_EQ(a, b), "\\(3 vs 5\\)");
+}
+
+TEST(CheckDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(AGNN_LOG(Fatal) << "boom", "boom");
+}
+
+TEST(LogTest, NonFatalSeveritiesReturn) {
+  // Must not abort; output goes to stderr.
+  AGNN_LOG(Info) << "info message";
+  AGNN_LOG(Warning) << "warning message";
+  AGNN_LOG(Error) << "error message";
+}
+
+TEST(CheckTest, StreamedContextOnlyEvaluatedOnFailure) {
+  // The ternary in AGNN_CHECK must not evaluate the stream when the
+  // condition holds.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "ctx";
+  };
+  AGNN_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckActiveInDebug) {
+  EXPECT_DEATH(AGNN_DCHECK(false), "Check failed");
+}
+#else
+TEST(CheckTest, DcheckCompiledOutInRelease) {
+  AGNN_DCHECK(false);  // must be a no-op
+}
+#endif
+
+}  // namespace
+}  // namespace agnn

@@ -1,0 +1,40 @@
+#include "agnn/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace agnn {
+namespace {
+
+TEST(TableTest, RendersMarkdownWithAlignedColumns) {
+  Table t({"model", "rmse"});
+  t.AddRow({"AGNN", "1.0187"});
+  t.AddRow({"NFM", "1.0416"});
+  std::string rendered = t.ToString();
+  EXPECT_NE(rendered.find("| model |"), std::string::npos);
+  EXPECT_NE(rendered.find("| AGNN  |"), std::string::npos);
+  EXPECT_NE(rendered.find("|-------|"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string rendered = t.ToString();
+  // Row renders with empty padded cells and does not crash.
+  EXPECT_NE(rendered.find("| only |"), std::string::npos);
+}
+
+TEST(TableTest, CellFormatsDoubles) {
+  EXPECT_EQ(Table::Cell(1.01866, 4), "1.0187");
+  EXPECT_EQ(Table::Cell(2.5, 2), "2.50");
+}
+
+TEST(TableTest, WidthFollowsLongestCell) {
+  Table t({"x"});
+  t.AddRow({"longer-cell"});
+  std::string rendered = t.ToString();
+  EXPECT_NE(rendered.find("| x           |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agnn

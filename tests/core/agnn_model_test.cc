@@ -1,0 +1,176 @@
+#include "agnn/core/agnn_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agnn/core/variants.h"
+#include "agnn/data/synthetic.h"
+
+namespace agnn::core {
+namespace {
+
+using data::Dataset;
+
+// A tiny deterministic dataset for fast model-level tests.
+const Dataset& TinyDataset() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config = data::SyntheticConfig::Ml100k(
+        data::Scale::kSmall);
+    config.num_users = 40;
+    config.num_items = 60;
+    config.num_ratings = 600;
+    return new Dataset(GenerateSynthetic(config, 11));
+  }();
+  return *ds;
+}
+
+AgnnConfig TinyConfig() {
+  AgnnConfig config;
+  config.embedding_dim = 8;
+  config.num_neighbors = 4;
+  config.vae_hidden_dim = 8;
+  config.prediction_hidden_dim = 8;
+  return config;
+}
+
+Batch MakeTinyBatch(const AgnnModel& model) {
+  Batch batch;
+  batch.user_ids = {0, 1, 2};
+  batch.item_ids = {5, 6, 7};
+  const size_t s = model.neighbors_per_node();
+  for (size_t i = 0; i < 3 * s; ++i) {
+    batch.user_neighbor_ids.push_back(i % TinyDataset().num_users);
+    batch.item_neighbor_ids.push_back(i % TinyDataset().num_items);
+  }
+  return batch;
+}
+
+class AgnnVariantTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AgnnVariantTest, ForwardAndBackwardRun) {
+  Rng rng(1);
+  AgnnConfig config = MakeVariant(TinyConfig(), GetParam());
+  AgnnModel model(config, TinyDataset(), 3.6f, &rng);
+  Batch batch = MakeTinyBatch(model);
+  auto forward = model.Forward(batch, &rng, /*training=*/true);
+  ASSERT_EQ(forward.predictions->value().rows(), 3u);
+  EXPECT_TRUE(forward.predictions->value().AllFinite());
+  auto loss = model.Loss(forward, {4.0f, 3.0f, 5.0f});
+  EXPECT_TRUE(std::isfinite(loss.prediction_loss));
+  EXPECT_TRUE(std::isfinite(loss.reconstruction_loss));
+  ag::Backward(loss.total);
+  // At least the prediction layer must receive gradients.
+  bool any_grad = false;
+  for (const auto& p : model.Parameters()) {
+    if (p.var->has_grad() && p.var->grad().SquaredL2Norm() > 0.0f) {
+      any_grad = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_grad);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, AgnnVariantTest,
+    ::testing::Values("AGNN", "AGNN_PP", "AGNN_AP", "AGNN_-gGNN",
+                      "AGNN_-agate", "AGNN_-fgate", "AGNN_-eVAE", "AGNN_VAE",
+                      "AGNN_knn", "AGNN_cop", "AGNN_GCN", "AGNN_GAT",
+                      "AGNN_mask", "AGNN_drop", "AGNN_LLAE", "AGNN_LLAE+"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(AgnnModelTest, LlaeVariantDisablesAggregator) {
+  Rng rng(2);
+  AgnnConfig config = MakeVariant(TinyConfig(), "AGNN_LLAE");
+  AgnnModel model(config, TinyDataset(), 3.6f, &rng);
+  EXPECT_EQ(model.neighbors_per_node(), 0u);
+  AgnnConfig plus = MakeVariant(TinyConfig(), "AGNN_LLAE+");
+  AgnnModel model_plus(plus, TinyDataset(), 3.6f, &rng);
+  EXPECT_GT(model_plus.neighbors_per_node(), 0u);
+}
+
+TEST(AgnnModelTest, ColdNodesUseGeneratedPreference) {
+  // Predictions for a cold item must not depend on its (untrained)
+  // preference row: zeroing that row changes nothing.
+  Rng rng(3);
+  AgnnConfig config = TinyConfig();
+  AgnnModel model(config, TinyDataset(), 3.6f, &rng);
+  std::vector<bool> cold_items(TinyDataset().num_items, false);
+  cold_items[5] = true;
+
+  Batch batch = MakeTinyBatch(model);
+  batch.cold_items = &cold_items;
+  Rng fwd_rng(42);
+  Matrix before = model.Forward(batch, &fwd_rng, false).predictions->value();
+
+  // Zero the cold item's preference row.
+  for (const auto& p : model.Parameters()) {
+    if (p.name.find("item_preference") != std::string::npos) {
+      Matrix& table = p.var->mutable_value();
+      for (size_t c = 0; c < table.cols(); ++c) table.At(5, c) = 0.0f;
+    }
+  }
+  Rng fwd_rng2(42);
+  Matrix after = model.Forward(batch, &fwd_rng2, false).predictions->value();
+  EXPECT_FLOAT_EQ(before.At(0, 0), after.At(0, 0));
+}
+
+TEST(AgnnModelTest, WarmNodesUseTrainedPreference) {
+  // Conversely, zeroing a WARM item's preference row must change its
+  // prediction.
+  Rng rng(4);
+  AgnnConfig config = TinyConfig();
+  AgnnModel model(config, TinyDataset(), 3.6f, &rng);
+  Batch batch = MakeTinyBatch(model);
+  Rng fwd_rng(42);
+  Matrix before = model.Forward(batch, &fwd_rng, false).predictions->value();
+  for (const auto& p : model.Parameters()) {
+    if (p.name.find("item_preference") != std::string::npos) {
+      Matrix& table = p.var->mutable_value();
+      for (size_t c = 0; c < table.cols(); ++c) table.At(5, c) = 0.0f;
+    }
+  }
+  Rng fwd_rng2(42);
+  Matrix after = model.Forward(batch, &fwd_rng2, false).predictions->value();
+  EXPECT_GT(std::fabs(before.At(0, 0) - after.At(0, 0)), 1e-6f);
+}
+
+TEST(AgnnModelTest, ReconLossZeroWhenEvalMode) {
+  Rng rng(5);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  Batch batch = MakeTinyBatch(model);
+  auto forward = model.Forward(batch, &rng, /*training=*/false);
+  EXPECT_FLOAT_EQ(forward.recon_loss->value().At(0, 0), 0.0f);
+}
+
+TEST(AgnnModelTest, LambdaScalesReconInTotalLoss) {
+  Rng rng(6);
+  AgnnConfig config = TinyConfig();
+  config.lambda = 0.0f;
+  AgnnModel model(config, TinyDataset(), 3.6f, &rng);
+  Batch batch = MakeTinyBatch(model);
+  Rng fwd_rng(9);
+  auto forward = model.Forward(batch, &fwd_rng, /*training=*/true);
+  auto loss = model.Loss(forward, {4.0f, 3.0f, 5.0f});
+  EXPECT_GT(loss.reconstruction_loss, 0.0f);
+  EXPECT_NEAR(loss.total->value().At(0, 0), loss.prediction_loss, 1e-5f);
+}
+
+TEST(AgnnModelTest, ParameterCountScalesWithDim) {
+  Rng rng(7);
+  AgnnConfig small = TinyConfig();
+  AgnnConfig large = TinyConfig();
+  large.embedding_dim = 16;
+  AgnnModel a(small, TinyDataset(), 3.6f, &rng);
+  AgnnModel b(large, TinyDataset(), 3.6f, &rng);
+  EXPECT_GT(b.ParameterCount(), a.ParameterCount());
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -1,0 +1,129 @@
+#include "agnn/core/evae.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agnn/nn/optimizer.h"
+
+namespace agnn::core {
+namespace {
+
+TEST(EvaeTest, ForwardShapes) {
+  Rng rng(1);
+  Evae evae(8, 12, &rng);
+  ag::Var x = ag::MakeConst(Matrix::RandomNormal(5, 8, 0, 1, &rng));
+  EvaeOutput out = evae.Forward(x, &rng, /*training=*/true);
+  EXPECT_EQ(out.mu->value().rows(), 5u);
+  EXPECT_EQ(out.mu->value().cols(), 8u);
+  EXPECT_TRUE(out.logvar->value().SameShape(out.mu->value()));
+  EXPECT_TRUE(out.z->value().SameShape(out.mu->value()));
+  EXPECT_TRUE(out.reconstructed->value().SameShape(out.mu->value()));
+}
+
+TEST(EvaeTest, EvalModeIsDeterministic) {
+  Rng rng(2);
+  Evae evae(6, 8, &rng);
+  ag::Var x = ag::MakeConst(Matrix::RandomNormal(3, 6, 0, 1, &rng));
+  EvaeOutput a = evae.Forward(x, &rng, /*training=*/false);
+  EvaeOutput b = evae.Forward(x, &rng, /*training=*/false);
+  EXPECT_FLOAT_EQ(
+      a.reconstructed->value().MaxAbsDiff(b.reconstructed->value()), 0.0f);
+  // In eval mode z is the posterior mean.
+  EXPECT_FLOAT_EQ(a.z->value().MaxAbsDiff(a.mu->value()), 0.0f);
+}
+
+TEST(EvaeTest, TrainingModeSamples) {
+  Rng rng(3);
+  Evae evae(6, 8, &rng);
+  ag::Var x = ag::MakeConst(Matrix::RandomNormal(3, 6, 0, 1, &rng));
+  EvaeOutput a = evae.Forward(x, &rng, /*training=*/true);
+  EvaeOutput b = evae.Forward(x, &rng, /*training=*/true);
+  EXPECT_GT(a.z->value().MaxAbsDiff(b.z->value()), 0.0f);
+}
+
+TEST(EvaeTest, LossIsFiniteAndHasApproximationTerm) {
+  Rng rng(4);
+  Evae evae(6, 8, &rng);
+  ag::Var x = ag::MakeConst(Matrix::RandomNormal(4, 6, 0, 1, &rng));
+  ag::Var m = ag::MakeConst(Matrix::RandomNormal(4, 6, 0, 1, &rng));
+  EvaeOutput out = evae.Forward(x, &rng, /*training=*/false);
+  float with = evae.Loss(out, x, m, true)->value().At(0, 0);
+  float without = evae.Loss(out, x, m, false)->value().At(0, 0);
+  EXPECT_TRUE(std::isfinite(with));
+  // The approximation term ||x' - m||^2 is non-negative and almost surely
+  // positive for random m.
+  EXPECT_GT(with, without);
+}
+
+TEST(EvaeTest, TrainingLearnsToMapAttributeToPreference) {
+  // Property: after optimizing L_recon on a fixed linear relation
+  // m = A x, the generated x' approximates m far better than at init —
+  // exactly the capability AGNN needs for strict cold start nodes.
+  Rng rng(5);
+  const size_t dim = 6;
+  Evae evae(dim, 16, &rng);
+  Matrix a_map = Matrix::RandomNormal(dim, dim, 0, 0.5f, &rng);
+  Matrix x_data = Matrix::RandomNormal(64, dim, 0, 1, &rng);
+  Matrix m_data = x_data.MatMul(a_map);
+
+  ag::Var x = ag::MakeConst(x_data);
+  ag::Var m = ag::MakeConst(m_data);
+  auto recon_error = [&]() {
+    EvaeOutput out = evae.Forward(x, &rng, /*training=*/false);
+    return out.reconstructed->value().Sub(m_data).SquaredL2Norm() / 64.0f;
+  };
+  const float before = recon_error();
+
+  nn::Adam opt(evae.Parameters(), 0.01f);
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    EvaeOutput out = evae.Forward(x, &rng, /*training=*/true);
+    ag::Backward(evae.Loss(out, x, m, /*with_approximation=*/true));
+    opt.Step();
+  }
+  const float after = recon_error();
+  EXPECT_LT(after, before * 0.5f);
+}
+
+TEST(EvaeTest, PlainVaeDoesNotLearnPreferenceMapping) {
+  // Without the approximation term the generator reconstructs x, not m:
+  // the ablation result behind AGNN_VAE in Table 3.
+  Rng rng(6);
+  const size_t dim = 6;
+  Evae evae(dim, 16, &rng);
+  Matrix a_map = Matrix::RandomNormal(dim, dim, 0, 0.5f, &rng);
+  Matrix x_data = Matrix::RandomNormal(64, dim, 0, 1, &rng);
+  Matrix m_data = x_data.MatMul(a_map);
+  ag::Var x = ag::MakeConst(x_data);
+  ag::Var m = ag::MakeConst(m_data);
+
+  nn::Adam opt(evae.Parameters(), 0.01f);
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    EvaeOutput out = evae.Forward(x, &rng, /*training=*/true);
+    ag::Backward(evae.Loss(out, x, m, /*with_approximation=*/false));
+    opt.Step();
+  }
+  EvaeOutput out = evae.Forward(x, &rng, /*training=*/false);
+  const float to_m =
+      out.reconstructed->value().Sub(m_data).SquaredL2Norm();
+  const float to_x =
+      out.reconstructed->value().Sub(x_data).SquaredL2Norm();
+  EXPECT_LT(to_x, to_m);
+}
+
+TEST(EvaeTest, ApproximationTargetIsConstant) {
+  // Gradients must not flow into the preference embedding through the
+  // approximation term (it enters as a constant).
+  Rng rng(7);
+  Evae evae(4, 6, &rng);
+  ag::Var x = ag::MakeConst(Matrix::RandomNormal(3, 4, 0, 1, &rng));
+  ag::Var m = ag::MakeParam(Matrix::RandomNormal(3, 4, 0, 1, &rng));
+  EvaeOutput out = evae.Forward(x, &rng, /*training=*/true);
+  ag::Backward(evae.Loss(out, x, m, /*with_approximation=*/true));
+  EXPECT_FALSE(m->has_grad());
+}
+
+}  // namespace
+}  // namespace agnn::core

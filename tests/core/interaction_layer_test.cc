@@ -1,0 +1,90 @@
+#include "agnn/core/interaction_layer.h"
+
+#include <gtest/gtest.h>
+
+namespace agnn::core {
+namespace {
+
+TEST(AttributeInteractionLayerTest, OutputShape) {
+  Rng rng(1);
+  AttributeInteractionLayer layer(20, 8, &rng);
+  ag::Var x = layer.Forward({{0, 3, 7}, {1}, {2, 4, 6, 8, 10}});
+  EXPECT_EQ(x->value().rows(), 3u);
+  EXPECT_EQ(x->value().cols(), 8u);
+  EXPECT_TRUE(x->value().AllFinite());
+}
+
+TEST(AttributeInteractionLayerTest, BiInteractionIdentityMatchesBruteForce) {
+  // The layer uses 0.5*((Σv)² − Σv²); verify against the O(K²) definition
+  // sum_{i<j} v_i ⊙ v_j by reimplementing both on the raw embedding table.
+  Rng rng(2);
+  AttributeInteractionLayer layer(6, 4, &rng);
+  const std::vector<size_t> slots = {0, 2, 5};
+
+  // Extract the value-embedding table (first registered parameter).
+  Matrix table;
+  for (const auto& p : layer.Parameters()) {
+    if (p.name.find("values") != std::string::npos) {
+      table = p.var->value();
+    }
+  }
+  ASSERT_EQ(table.rows(), 6u);
+
+  Matrix brute(1, 4);
+  for (size_t a = 0; a < slots.size(); ++a) {
+    for (size_t b = a + 1; b < slots.size(); ++b) {
+      for (size_t d = 0; d < 4; ++d) {
+        brute.At(0, d) += table.At(slots[a], d) * table.At(slots[b], d);
+      }
+    }
+  }
+  Matrix sum(1, 4);
+  Matrix sum_sq(1, 4);
+  for (size_t slot : slots) {
+    for (size_t d = 0; d < 4; ++d) {
+      sum.At(0, d) += table.At(slot, d);
+      sum_sq.At(0, d) += table.At(slot, d) * table.At(slot, d);
+    }
+  }
+  Matrix identity = sum.Mul(sum).Sub(sum_sq).Scale(0.5f);
+  EXPECT_LT(identity.MaxAbsDiff(brute), 1e-5f);
+}
+
+TEST(AttributeInteractionLayerTest, SingleAttributeHasZeroBiTerm) {
+  // With one active slot there are no pairs, so two nodes that differ only
+  // in having the BI term must still produce well-defined output.
+  Rng rng(3);
+  AttributeInteractionLayer layer(10, 6, &rng);
+  ag::Var x = layer.Forward({{4}});
+  EXPECT_TRUE(x->value().AllFinite());
+}
+
+TEST(AttributeInteractionLayerTest, NoAttributesYieldsBiasDrivenRow) {
+  Rng rng(4);
+  AttributeInteractionLayer layer(10, 6, &rng);
+  ag::Var x = layer.Forward({{}, {1, 2}});
+  EXPECT_EQ(x->value().rows(), 2u);
+  EXPECT_TRUE(x->value().AllFinite());
+}
+
+TEST(AttributeInteractionLayerTest, SameSlotsSameEmbedding) {
+  Rng rng(5);
+  AttributeInteractionLayer layer(12, 8, &rng);
+  ag::Var x = layer.Forward({{1, 5, 9}, {1, 5, 9}, {2, 5, 9}});
+  Matrix v = x->value();
+  EXPECT_FLOAT_EQ(v.SliceRows(0, 1).MaxAbsDiff(v.SliceRows(1, 2)), 0.0f);
+  EXPECT_GT(v.SliceRows(0, 1).MaxAbsDiff(v.SliceRows(2, 3)), 0.0f);
+}
+
+TEST(AttributeInteractionLayerTest, GradientsReachValueEmbeddings) {
+  Rng rng(6);
+  AttributeInteractionLayer layer(8, 4, &rng);
+  ag::Var loss = ag::MeanAll(ag::Square(layer.Forward({{0, 1}, {2, 3}})));
+  ag::Backward(loss);
+  for (const auto& p : layer.Parameters()) {
+    EXPECT_TRUE(p.var->has_grad()) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -1,0 +1,151 @@
+#include "agnn/core/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agnn/core/variants.h"
+#include "agnn/data/synthetic.h"
+
+namespace agnn::core {
+namespace {
+
+using data::Dataset;
+
+const Dataset& TrainerDataset() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+    config.num_users = 80;
+    config.num_items = 120;
+    config.num_ratings = 2500;
+    return new Dataset(GenerateSynthetic(config, 21));
+  }();
+  return *ds;
+}
+
+AgnnConfig FastConfig() {
+  AgnnConfig config;
+  config.embedding_dim = 8;
+  config.num_neighbors = 4;
+  config.vae_hidden_dim = 8;
+  config.prediction_hidden_dim = 8;
+  config.epochs = 3;
+  config.batch_size = 128;
+  return config;
+}
+
+TEST(AgnnTrainerTest, TrainingReducesPredictionLoss) {
+  Rng rng(1);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kWarmStart, 0.2, &rng);
+  AgnnTrainer trainer(TrainerDataset(), split, FastConfig());
+  const auto& curves = trainer.Train();
+  ASSERT_EQ(curves.size(), 3u);
+  EXPECT_LT(curves.back().prediction_loss, curves.front().prediction_loss);
+}
+
+TEST(AgnnTrainerTest, ReconLossRecordedAndDecreasing) {
+  Rng rng(2);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kWarmStart, 0.2, &rng);
+  AgnnTrainer trainer(TrainerDataset(), split, FastConfig());
+  const auto& curves = trainer.Train();
+  EXPECT_GT(curves.front().reconstruction_loss, 0.0);
+  EXPECT_LT(curves.back().reconstruction_loss,
+            curves.front().reconstruction_loss);
+}
+
+TEST(AgnnTrainerTest, BeatsGlobalMeanOnWarmStart) {
+  Rng rng(3);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kWarmStart, 0.2, &rng);
+  AgnnConfig config = FastConfig();
+  config.epochs = 5;
+  AgnnTrainer trainer(TrainerDataset(), split, config);
+  trainer.Train();
+  eval::RmseMae result = trainer.EvaluateTest();
+
+  // Baseline: predict the train mean everywhere.
+  double mean = 0.0;
+  for (const auto& r : split.train) mean += r.value;
+  mean /= static_cast<double>(split.train.size());
+  double mean_rmse = 0.0;
+  for (const auto& r : split.test) {
+    mean_rmse += (r.value - mean) * (r.value - mean);
+  }
+  mean_rmse = std::sqrt(mean_rmse / static_cast<double>(split.test.size()));
+  EXPECT_LT(result.rmse, mean_rmse);
+}
+
+TEST(AgnnTrainerTest, HandlesStrictItemColdStart) {
+  Rng rng(4);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kItemColdStart, 0.2, &rng);
+  AgnnTrainer trainer(TrainerDataset(), split, FastConfig());
+  trainer.Train();
+  eval::RmseMae result = trainer.EvaluateTest();
+  EXPECT_TRUE(std::isfinite(result.rmse));
+  EXPECT_LT(result.rmse, 2.0);  // far better than random on a 1-5 scale
+  EXPECT_LE(result.mae, result.rmse);
+}
+
+TEST(AgnnTrainerTest, HandlesStrictUserColdStart) {
+  Rng rng(5);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kUserColdStart, 0.2, &rng);
+  AgnnTrainer trainer(TrainerDataset(), split, FastConfig());
+  trainer.Train();
+  eval::RmseMae result = trainer.EvaluateTest();
+  EXPECT_TRUE(std::isfinite(result.rmse));
+  EXPECT_LT(result.rmse, 2.0);
+}
+
+TEST(AgnnTrainerTest, PredictionsWithinRatingScale) {
+  Rng rng(6);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kWarmStart, 0.2, &rng);
+  AgnnTrainer trainer(TrainerDataset(), split, FastConfig());
+  trainer.Train();
+  std::vector<std::pair<size_t, size_t>> pairs = {{0, 0}, {1, 5}, {7, 11}};
+  auto preds = trainer.Predict(pairs);
+  ASSERT_EQ(preds.size(), 3u);
+  for (float p : preds) {
+    EXPECT_GE(p, 1.0f);
+    EXPECT_LE(p, 5.0f);
+  }
+}
+
+TEST(AgnnTrainerTest, GraphConstructionVariantsBuildDifferentGraphs) {
+  Rng rng(7);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kWarmStart, 0.2, &rng);
+  AgnnTrainer dynamic(TrainerDataset(), split, FastConfig());
+  AgnnTrainer knn(TrainerDataset(), split,
+                  MakeVariant(FastConfig(), "AGNN_knn"));
+  AgnnTrainer cop(TrainerDataset(), split,
+                  MakeVariant(FastConfig(), "AGNN_cop"));
+  // Dynamic pools are p%-capped; knn is k-capped; co-purchase reflects
+  // interaction overlap. All three should be structurally different.
+  EXPECT_NE(dynamic.item_graph().NumEdges(), knn.item_graph().NumEdges());
+  EXPECT_NE(knn.item_graph().neighbors, cop.item_graph().neighbors);
+}
+
+TEST(AgnnTrainerTest, DeterministicGivenSeed) {
+  Rng rng(8);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kWarmStart, 0.2, &rng);
+  AgnnConfig config = FastConfig();
+  config.epochs = 1;
+  AgnnTrainer a(TrainerDataset(), split, config);
+  AgnnTrainer b(TrainerDataset(), split, config);
+  a.Train();
+  b.Train();
+  auto ra = a.EvaluateTest();
+  auto rb = b.EvaluateTest();
+  EXPECT_DOUBLE_EQ(ra.rmse, rb.rmse);
+  EXPECT_DOUBLE_EQ(ra.mae, rb.mae);
+}
+
+}  // namespace
+}  // namespace agnn::core

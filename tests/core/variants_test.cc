@@ -1,0 +1,88 @@
+#include "agnn/core/variants.h"
+
+#include <gtest/gtest.h>
+
+namespace agnn::core {
+namespace {
+
+TEST(VariantsTest, AgnnIsUnchangedBase) {
+  AgnnConfig base;
+  base.embedding_dim = 24;
+  AgnnConfig v = MakeVariant(base, "AGNN");
+  EXPECT_EQ(v.name, "AGNN");
+  EXPECT_EQ(v.embedding_dim, 24u);
+  EXPECT_EQ(v.aggregator, Aggregator::kGatedGnn);
+  EXPECT_EQ(v.cold_start, ColdStartModule::kEvae);
+  EXPECT_EQ(v.graph_construction, GraphConstruction::kDynamic);
+}
+
+TEST(VariantsTest, ProximityVariants) {
+  AgnnConfig base;
+  EXPECT_EQ(MakeVariant(base, "AGNN_PP").proximity_mode,
+            graph::ProximityMode::kPreferenceOnly);
+  EXPECT_EQ(MakeVariant(base, "AGNN_AP").proximity_mode,
+            graph::ProximityMode::kAttributeOnly);
+}
+
+TEST(VariantsTest, AggregatorVariants) {
+  AgnnConfig base;
+  EXPECT_EQ(MakeVariant(base, "AGNN_-gGNN").aggregator, Aggregator::kNone);
+  EXPECT_EQ(MakeVariant(base, "AGNN_-agate").aggregator,
+            Aggregator::kNoAggregateGate);
+  EXPECT_EQ(MakeVariant(base, "AGNN_-fgate").aggregator,
+            Aggregator::kNoFilterGate);
+  EXPECT_EQ(MakeVariant(base, "AGNN_GCN").aggregator, Aggregator::kGcn);
+  EXPECT_EQ(MakeVariant(base, "AGNN_GAT").aggregator, Aggregator::kGat);
+}
+
+TEST(VariantsTest, ColdStartVariants) {
+  AgnnConfig base;
+  EXPECT_EQ(MakeVariant(base, "AGNN_-eVAE").cold_start,
+            ColdStartModule::kNone);
+  EXPECT_EQ(MakeVariant(base, "AGNN_VAE").cold_start,
+            ColdStartModule::kPlainVae);
+  EXPECT_EQ(MakeVariant(base, "AGNN_mask").cold_start,
+            ColdStartModule::kMask);
+  EXPECT_EQ(MakeVariant(base, "AGNN_drop").cold_start,
+            ColdStartModule::kDropout);
+  EXPECT_EQ(MakeVariant(base, "AGNN_LLAE").cold_start,
+            ColdStartModule::kLlae);
+  EXPECT_EQ(MakeVariant(base, "AGNN_LLAE+").cold_start,
+            ColdStartModule::kLlaePlus);
+}
+
+TEST(VariantsTest, GraphConstructionVariants) {
+  AgnnConfig base;
+  EXPECT_EQ(MakeVariant(base, "AGNN_knn").graph_construction,
+            GraphConstruction::kKnn);
+  EXPECT_EQ(MakeVariant(base, "AGNN_cop").graph_construction,
+            GraphConstruction::kCoPurchase);
+}
+
+TEST(VariantsTest, NameIsStamped) {
+  AgnnConfig base;
+  EXPECT_EQ(MakeVariant(base, "AGNN_GAT").name, "AGNN_GAT");
+}
+
+TEST(VariantsTest, TableListsMatchPaperRowCounts) {
+  EXPECT_EQ(AblationVariantNames().size(), 7u);    // Table 3 minus AGNN
+  EXPECT_EQ(ReplacementVariantNames().size(), 8u);  // Table 4 minus AGNN
+}
+
+TEST(VariantsTest, EveryListedVariantResolves) {
+  AgnnConfig base;
+  for (const auto& name : AblationVariantNames()) {
+    EXPECT_EQ(MakeVariant(base, name).name, name);
+  }
+  for (const auto& name : ReplacementVariantNames()) {
+    EXPECT_EQ(MakeVariant(base, name).name, name);
+  }
+}
+
+TEST(VariantsDeathTest, UnknownNameAborts) {
+  AgnnConfig base;
+  EXPECT_DEATH(MakeVariant(base, "AGNN_bogus"), "unknown AGNN variant");
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -1,0 +1,59 @@
+#include "agnn/data/attribute_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace agnn::data {
+namespace {
+
+AttributeSchema UserSchema() {
+  return AttributeSchema({{"gender", 2, false},
+                          {"age", 7, false},
+                          {"occupation", 21, false}});
+}
+
+TEST(AttributeSchemaTest, TotalSlotsSumsCardinalities) {
+  AttributeSchema s = UserSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.total_slots(), 30u);
+}
+
+TEST(AttributeSchemaTest, OffsetsAreContiguous) {
+  AttributeSchema s = UserSchema();
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 2u);
+  EXPECT_EQ(s.offset(2), 9u);
+}
+
+TEST(AttributeSchemaTest, SlotOfMatchesPaperEncoding) {
+  // The paper's example a_u = [gender][age][occupation]: gender=1 is slot 1,
+  // age=0 is slot 2, occupation=1 is slot 10.
+  AttributeSchema s = UserSchema();
+  EXPECT_EQ(s.SlotOf(0, 1), 1u);
+  EXPECT_EQ(s.SlotOf(1, 0), 2u);
+  EXPECT_EQ(s.SlotOf(2, 1), 10u);
+}
+
+TEST(AttributeSchemaTest, FieldOfSlotInvertsSlotOf) {
+  AttributeSchema s = UserSchema();
+  for (size_t f = 0; f < s.num_fields(); ++f) {
+    for (size_t v = 0; v < s.field(f).cardinality; ++v) {
+      EXPECT_EQ(s.FieldOfSlot(s.SlotOf(f, v)), f);
+    }
+  }
+}
+
+TEST(AttributeSchemaTest, FieldAccessorsExposeMetadata) {
+  AttributeSchema s({{"category", 18, true}});
+  EXPECT_EQ(s.field(0).name, "category");
+  EXPECT_TRUE(s.field(0).multi_valued);
+  EXPECT_EQ(s.field(0).cardinality, 18u);
+}
+
+TEST(AttributeSchemaTest, EmptySchemaHasNoSlots) {
+  AttributeSchema s;
+  EXPECT_EQ(s.total_slots(), 0u);
+  EXPECT_EQ(s.num_fields(), 0u);
+}
+
+}  // namespace
+}  // namespace agnn::data

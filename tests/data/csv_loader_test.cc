@@ -1,0 +1,186 @@
+#include "agnn/data/csv_loader.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "agnn/data/synthetic.h"
+
+namespace agnn::data {
+namespace {
+
+class CsvLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("agnn_csv_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Write(const std::string& filename, const std::string& content) {
+    const std::string path = (dir_ / filename).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvLoaderTest, LoadsWellFormedFiles) {
+  CsvSources sources;
+  sources.ratings_path = Write("ratings.csv",
+                               "user_id,item_id,rating\n"
+                               "0,0,5\n"
+                               "0,1,3\n"
+                               "1,1,4\n");
+  sources.user_attrs_path = Write("users.csv",
+                                  "user_id,field,value\n"
+                                  "0,gender,M\n"
+                                  "0,age,25\n"
+                                  "1,gender,F\n"
+                                  "1,age,25\n");
+  sources.item_attrs_path = Write("items.csv",
+                                  "item_id,field,value\n"
+                                  "0,category,action\n"
+                                  "0,category,comedy\n"
+                                  "1,category,action\n");
+  auto loaded = LoadCsvDataset(sources, "toy");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& ds = *loaded;
+  EXPECT_EQ(ds.num_users, 2u);
+  EXPECT_EQ(ds.num_items, 2u);
+  EXPECT_EQ(ds.ratings.size(), 3u);
+  EXPECT_EQ(ds.user_schema.num_fields(), 2u);
+  EXPECT_EQ(ds.user_schema.field(0).name, "gender");
+  EXPECT_EQ(ds.user_attrs[0].size(), 2u);
+  // Multi-hot categories: item 0 activates two slots of the same field.
+  EXPECT_EQ(ds.item_attrs[0].size(), 2u);
+  EXPECT_EQ(ds.item_attrs[1].size(), 1u);
+  // Users 0 and 1 share the age=25 slot but differ in gender.
+  EXPECT_NE(ds.user_attrs[0], ds.user_attrs[1]);
+}
+
+TEST_F(CsvLoaderTest, SocialModeUsesLinksAsAttributes) {
+  CsvSources sources;
+  sources.ratings_path = Write("ratings.csv",
+                               "user_id,item_id,rating\n"
+                               "0,0,5\n"
+                               "1,0,2\n"
+                               "2,0,4\n");
+  sources.item_attrs_path = Write("items.csv",
+                                  "item_id,field,value\n"
+                                  "0,category,bar\n");
+  sources.social_path = Write("social.csv",
+                              "user_id,friend_id\n"
+                              "0,1\n"
+                              "1,2\n");
+  auto loaded = LoadCsvDataset(sources);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& ds = *loaded;
+  ASSERT_TRUE(ds.has_social());
+  EXPECT_EQ(ds.user_schema.total_slots(), ds.num_users);
+  EXPECT_EQ(ds.user_attrs, ds.social_links);
+  // Symmetry: 0-1 and 1-2.
+  EXPECT_EQ(ds.social_links[1].size(), 2u);
+}
+
+TEST_F(CsvLoaderTest, RejectsMalformedRows) {
+  CsvSources sources;
+  sources.ratings_path = Write("ratings.csv",
+                               "user_id,item_id,rating\n"
+                               "0,0\n");  // missing column
+  sources.user_attrs_path = Write("users.csv", "user_id,field,value\n");
+  sources.item_attrs_path = Write("items.csv", "item_id,field,value\n");
+  EXPECT_FALSE(LoadCsvDataset(sources).ok());
+}
+
+TEST_F(CsvLoaderTest, RejectsOutOfScaleRatings) {
+  CsvSources sources;
+  sources.ratings_path = Write("ratings.csv",
+                               "user_id,item_id,rating\n"
+                               "0,0,9\n");
+  sources.user_attrs_path = Write("users.csv", "user_id,field,value\n");
+  sources.item_attrs_path = Write("items.csv", "item_id,field,value\n");
+  EXPECT_FALSE(LoadCsvDataset(sources).ok());
+}
+
+TEST_F(CsvLoaderTest, RejectsAttrIdBeyondRatingIdSpace) {
+  CsvSources sources;
+  sources.ratings_path = Write("ratings.csv",
+                               "user_id,item_id,rating\n"
+                               "0,0,3\n");
+  sources.user_attrs_path = Write("users.csv",
+                                  "user_id,field,value\n"
+                                  "7,gender,M\n");
+  sources.item_attrs_path = Write("items.csv", "item_id,field,value\n");
+  EXPECT_FALSE(LoadCsvDataset(sources).ok());
+}
+
+TEST_F(CsvLoaderTest, MissingFileIsError) {
+  CsvSources sources;
+  sources.ratings_path = (dir_ / "does_not_exist.csv").string();
+  sources.user_attrs_path = Write("users.csv", "user_id,field,value\n");
+  sources.item_attrs_path = Write("items.csv", "item_id,field,value\n");
+  EXPECT_FALSE(LoadCsvDataset(sources).ok());
+}
+
+TEST_F(CsvLoaderTest, SyntheticRoundTripsThroughCsv) {
+  SyntheticConfig config = SyntheticConfig::Ml100k(Scale::kSmall);
+  config.num_users = 30;
+  config.num_items = 40;
+  config.num_ratings = 300;
+  Dataset original = GenerateSynthetic(config, 5);
+
+  CsvSources sources;
+  sources.ratings_path = (dir_ / "r.csv").string();
+  sources.user_attrs_path = (dir_ / "u.csv").string();
+  sources.item_attrs_path = (dir_ / "i.csv").string();
+  ASSERT_TRUE(SaveCsvDataset(original, sources).ok());
+  auto loaded = LoadCsvDataset(sources, "roundtrip");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_users, original.num_users);
+  EXPECT_EQ(loaded->num_items, original.num_items);
+  ASSERT_EQ(loaded->ratings.size(), original.ratings.size());
+  for (size_t i = 0; i < original.ratings.size(); ++i) {
+    EXPECT_EQ(loaded->ratings[i].user, original.ratings[i].user);
+    EXPECT_EQ(loaded->ratings[i].item, original.ratings[i].item);
+    EXPECT_FLOAT_EQ(loaded->ratings[i].value, original.ratings[i].value);
+  }
+  // Attribute structure survives (same number of active slots per node and
+  // same field count; slot ids may be permuted by dictionary order).
+  EXPECT_EQ(loaded->user_schema.num_fields(),
+            original.user_schema.num_fields());
+  for (size_t u = 0; u < original.num_users; ++u) {
+    EXPECT_EQ(loaded->user_attrs[u].size(), original.user_attrs[u].size());
+  }
+  for (size_t i = 0; i < original.num_items; ++i) {
+    EXPECT_EQ(loaded->item_attrs[i].size(), original.item_attrs[i].size());
+  }
+}
+
+TEST_F(CsvLoaderTest, YelpRoundTripsSocialGraph) {
+  SyntheticConfig config = SyntheticConfig::Yelp(Scale::kSmall);
+  config.num_users = 40;
+  config.num_items = 30;
+  config.num_ratings = 300;
+  Dataset original = GenerateSynthetic(config, 6);
+
+  CsvSources sources;
+  sources.ratings_path = (dir_ / "r.csv").string();
+  sources.item_attrs_path = (dir_ / "i.csv").string();
+  sources.social_path = (dir_ / "s.csv").string();
+  ASSERT_TRUE(SaveCsvDataset(original, sources).ok());
+  auto loaded = LoadCsvDataset(sources, "yelp-roundtrip");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->social_links, original.social_links);
+  EXPECT_EQ(loaded->user_attrs, original.user_attrs);
+}
+
+}  // namespace
+}  // namespace agnn::data

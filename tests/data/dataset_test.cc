@@ -1,0 +1,95 @@
+#include "agnn/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace agnn::data {
+namespace {
+
+Dataset TinyValid() {
+  Dataset ds;
+  ds.name = "tiny";
+  ds.num_users = 2;
+  ds.num_items = 3;
+  ds.user_schema = AttributeSchema({{"gender", 2, false}});
+  ds.item_schema = AttributeSchema({{"category", 4, true}});
+  ds.user_attrs = {{0}, {1}};
+  ds.item_attrs = {{0, 2}, {1}, {3}};
+  ds.ratings = {{0, 0, 5.0f}, {1, 2, 1.0f}, {0, 1, 3.0f}};
+  return ds;
+}
+
+TEST(DatasetTest, StatsComputeSparsity) {
+  Dataset ds = TinyValid();
+  DatasetStats stats = ds.Stats();
+  EXPECT_EQ(stats.num_users, 2u);
+  EXPECT_EQ(stats.num_items, 3u);
+  EXPECT_EQ(stats.num_ratings, 3u);
+  EXPECT_DOUBLE_EQ(stats.sparsity, 1.0 - 3.0 / 6.0);
+}
+
+TEST(DatasetTest, GlobalMeanRating) {
+  EXPECT_FLOAT_EQ(TinyValid().GlobalMeanRating(), 3.0f);
+}
+
+TEST(DatasetTest, ValidatePassesOnWellFormed) {
+  TinyValid().Validate();  // must not abort
+}
+
+TEST(DatasetDeathTest, ValidateCatchesOutOfRangeRating) {
+  Dataset ds = TinyValid();
+  ds.ratings.push_back({0, 2, 9.0f});
+  EXPECT_DEATH(ds.Validate(), "Check failed");
+}
+
+TEST(DatasetDeathTest, ValidateCatchesBadItemId) {
+  Dataset ds = TinyValid();
+  ds.ratings.push_back({0, 99, 3.0f});
+  EXPECT_DEATH(ds.Validate(), "Check failed");
+}
+
+TEST(DatasetDeathTest, ValidateCatchesUnsortedSlots) {
+  Dataset ds = TinyValid();
+  ds.item_attrs[0] = {2, 0};
+  EXPECT_DEATH(ds.Validate(), "Check failed");
+}
+
+TEST(DatasetDeathTest, ValidateCatchesDuplicateSlots) {
+  Dataset ds = TinyValid();
+  ds.item_attrs[0] = {2, 2};
+  EXPECT_DEATH(ds.Validate(), "duplicate");
+}
+
+TEST(DatasetDeathTest, ValidateCatchesSelfLoopSocial) {
+  Dataset ds = TinyValid();
+  ds.social_links = {{0}, {}};
+  EXPECT_DEATH(ds.Validate(), "Check failed");
+}
+
+TEST(DatasetTest, DenseItemAttributesLayout) {
+  Matrix dense = TinyValid().DenseItemAttributes();
+  EXPECT_EQ(dense.rows(), 3u);
+  EXPECT_EQ(dense.cols(), 4u);
+  EXPECT_FLOAT_EQ(dense.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(dense.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(dense.At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(dense.At(2, 3), 1.0f);
+}
+
+TEST(SlotsToDenseRowTest, ActivatesGivenSlots) {
+  Matrix row = SlotsToDenseRow({1, 3}, 5);
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.cols(), 5u);
+  EXPECT_FLOAT_EQ(row.Sum(), 2.0f);
+  EXPECT_FLOAT_EQ(row.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(row.At(0, 3), 1.0f);
+}
+
+TEST(DatasetTest, HasSocialReflectsLinks) {
+  Dataset ds = TinyValid();
+  EXPECT_FALSE(ds.has_social());
+  ds.social_links = {{1}, {0}};
+  EXPECT_TRUE(ds.has_social());
+}
+
+}  // namespace
+}  // namespace agnn::data

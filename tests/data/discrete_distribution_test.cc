@@ -1,0 +1,44 @@
+#include "agnn/data/discrete_distribution.h"
+
+#include <gtest/gtest.h>
+
+namespace agnn::data {
+namespace {
+
+TEST(DiscreteDistributionTest, MatchesWeights) {
+  DiscreteDistribution dist({1.0, 0.0, 3.0});
+  Rng rng(1);
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Sample(&rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(DiscreteDistributionTest, SingleOutcome) {
+  DiscreteDistribution dist({5.0});
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dist.Sample(&rng), 0u);
+}
+
+TEST(DiscreteDistributionTest, TotalWeight) {
+  DiscreteDistribution dist({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(dist.total_weight(), 6.0);
+  EXPECT_EQ(dist.size(), 3u);
+}
+
+TEST(PowerLawWeightsTest, MonotoneDecreasing) {
+  auto w = PowerLawWeights(10, 0.8);
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(PowerLawWeightsTest, ZeroExponentIsUniform) {
+  auto w = PowerLawWeights(5, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+}  // namespace
+}  // namespace agnn::data

@@ -1,0 +1,150 @@
+#include "agnn/data/split.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "agnn/data/synthetic.h"
+
+namespace agnn::data {
+namespace {
+
+const Dataset& TestDataset() {
+  static const Dataset* ds =
+      new Dataset(GenerateSynthetic(SyntheticConfig::Ml100k(Scale::kSmall), 3));
+  return *ds;
+}
+
+TEST(SplitTest, WarmStartFractionRespected) {
+  Rng rng(1);
+  Split split = MakeSplit(TestDataset(), Scenario::kWarmStart, 0.2, &rng);
+  const double frac = static_cast<double>(split.test.size()) /
+                      static_cast<double>(TestDataset().ratings.size());
+  EXPECT_NEAR(frac, 0.2, 0.01);
+  EXPECT_EQ(split.NumColdUsers(), 0u);
+  EXPECT_EQ(split.NumColdItems(), 0u);
+  CheckSplitInvariants(TestDataset(), split);
+}
+
+TEST(SplitTest, WarmStartPartitionsAllRatings) {
+  Rng rng(2);
+  Split split = MakeSplit(TestDataset(), Scenario::kWarmStart, 0.2, &rng);
+  EXPECT_EQ(split.train.size() + split.test.size(),
+            TestDataset().ratings.size());
+}
+
+TEST(SplitTest, ItemColdStartHoldsOutWholeItems) {
+  Rng rng(3);
+  Split split = MakeSplit(TestDataset(), Scenario::kItemColdStart, 0.2, &rng);
+  EXPECT_NEAR(static_cast<double>(split.NumColdItems()),
+              0.2 * static_cast<double>(TestDataset().num_items), 1.0);
+  EXPECT_EQ(split.NumColdUsers(), 0u);
+  // Strictness: no cold item appears in any training interaction.
+  std::set<size_t> train_items;
+  for (const Rating& r : split.train) train_items.insert(r.item);
+  for (size_t i = 0; i < TestDataset().num_items; ++i) {
+    if (split.cold_item[i]) EXPECT_EQ(train_items.count(i), 0u);
+  }
+  // Every test interaction touches a cold item.
+  for (const Rating& r : split.test) EXPECT_TRUE(split.cold_item[r.item]);
+  CheckSplitInvariants(TestDataset(), split);
+}
+
+TEST(SplitTest, UserColdStartHoldsOutWholeUsers) {
+  Rng rng(4);
+  Split split = MakeSplit(TestDataset(), Scenario::kUserColdStart, 0.2, &rng);
+  EXPECT_NEAR(static_cast<double>(split.NumColdUsers()),
+              0.2 * static_cast<double>(TestDataset().num_users), 1.0);
+  std::set<size_t> train_users;
+  for (const Rating& r : split.train) train_users.insert(r.user);
+  for (size_t u = 0; u < TestDataset().num_users; ++u) {
+    if (split.cold_user[u]) EXPECT_EQ(train_users.count(u), 0u);
+  }
+  CheckSplitInvariants(TestDataset(), split);
+}
+
+TEST(SplitTest, ColdRatioScalesWithFraction) {
+  for (double frac : {0.1, 0.3, 0.5}) {
+    Rng rng(5);
+    Split split =
+        MakeSplit(TestDataset(), Scenario::kItemColdStart, frac, &rng);
+    EXPECT_NEAR(
+        static_cast<double>(split.NumColdItems()) /
+            static_cast<double>(TestDataset().num_items),
+        frac, 0.01);
+    CheckSplitInvariants(TestDataset(), split);
+  }
+}
+
+TEST(SplitTest, ScenarioNames) {
+  EXPECT_EQ(ScenarioName(Scenario::kWarmStart), "WS");
+  EXPECT_EQ(ScenarioName(Scenario::kItemColdStart), "ICS");
+  EXPECT_EQ(ScenarioName(Scenario::kUserColdStart), "UCS");
+}
+
+TEST(NormalColdStartTest, SupportMovesIntoTraining) {
+  Rng rng(8);
+  data::Split strict =
+      MakeSplit(TestDataset(), Scenario::kItemColdStart, 0.2, &rng);
+  Rng rng2(8);
+  data::Split normal = MakeNormalColdStartSplit(
+      TestDataset(), Scenario::kItemColdStart, 0.2, /*support_per_node=*/3,
+      &rng2);
+  // Same node holdout (same rng seed), but the normal split keeps up to 3
+  // interactions per held-out item in training.
+  EXPECT_GT(normal.train.size(), strict.train.size());
+  EXPECT_LT(normal.test.size(), strict.test.size());
+  EXPECT_EQ(normal.train.size() + normal.test.size(),
+            TestDataset().ratings.size());
+  // No node is strictly cold anymore.
+  EXPECT_EQ(normal.NumColdItems(), 0u);
+
+  // Per-node support cap respected.
+  std::vector<size_t> strict_train_count(TestDataset().num_items, 0);
+  for (const Rating& r : strict.train) ++strict_train_count[r.item];
+  std::vector<size_t> normal_train_count(TestDataset().num_items, 0);
+  for (const Rating& r : normal.train) ++normal_train_count[r.item];
+  for (size_t i = 0; i < TestDataset().num_items; ++i) {
+    if (strict.cold_item[i]) {
+      EXPECT_EQ(strict_train_count[i], 0u);
+      EXPECT_LE(normal_train_count[i], 3u);
+      EXPECT_GE(normal_train_count[i], 1u);  // every cold item had ratings
+    }
+  }
+}
+
+TEST(NormalColdStartTest, ZeroSupportEqualsStrict) {
+  Rng a(9);
+  Rng b(9);
+  data::Split strict =
+      MakeSplit(TestDataset(), Scenario::kUserColdStart, 0.2, &a);
+  data::Split normal = MakeNormalColdStartSplit(
+      TestDataset(), Scenario::kUserColdStart, 0.2, 0, &b);
+  EXPECT_EQ(strict.train.size(), normal.train.size());
+  EXPECT_EQ(normal.NumColdUsers(), strict.NumColdUsers());
+}
+
+TEST(MakeBatchesTest, CoversAllIndicesOnce) {
+  Rng rng(6);
+  auto batches = MakeBatches(103, 16, &rng);
+  EXPECT_EQ(batches.size(), 7u);  // ceil(103/16)
+  std::set<size_t> seen;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 16u);
+    for (size_t idx : b) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+      EXPECT_LT(idx, 103u);
+    }
+  }
+  EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(MakeBatchesTest, ShufflesBetweenCalls) {
+  Rng rng(7);
+  auto a = MakeBatches(64, 64, &rng);
+  auto b = MakeBatches(64, 64, &rng);
+  EXPECT_NE(a[0], b[0]);
+}
+
+}  // namespace
+}  // namespace agnn::data

@@ -1,0 +1,218 @@
+#include "agnn/data/synthetic.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace agnn::data {
+namespace {
+
+// Generating a preset is moderately expensive; share instances per suite.
+const Dataset& SmallMl100k() {
+  static const Dataset* ds =
+      new Dataset(GenerateSynthetic(SyntheticConfig::Ml100k(Scale::kSmall), 7));
+  return *ds;
+}
+
+const Dataset& SmallYelp() {
+  static const Dataset* ds =
+      new Dataset(GenerateSynthetic(SyntheticConfig::Yelp(Scale::kSmall), 7));
+  return *ds;
+}
+
+TEST(SyntheticTest, Ml100kMatchesConfiguredSizes) {
+  const Dataset& ds = SmallMl100k();
+  EXPECT_EQ(ds.num_users, 300u);
+  EXPECT_EQ(ds.num_items, 500u);
+  EXPECT_GE(ds.ratings.size(), 20000u * 9 / 10);
+  EXPECT_FALSE(ds.has_social());
+}
+
+TEST(SyntheticTest, RatingsAreIntegersInRange) {
+  const Dataset& ds = SmallMl100k();
+  for (const Rating& r : ds.ratings) {
+    EXPECT_GE(r.value, 1.0f);
+    EXPECT_LE(r.value, 5.0f);
+    EXPECT_FLOAT_EQ(r.value, std::round(r.value));
+  }
+}
+
+TEST(SyntheticTest, EveryUserAndItemHasARating) {
+  const Dataset& ds = SmallMl100k();
+  std::set<size_t> users;
+  std::set<size_t> items;
+  for (const Rating& r : ds.ratings) {
+    users.insert(r.user);
+    items.insert(r.item);
+  }
+  EXPECT_EQ(users.size(), ds.num_users);
+  EXPECT_EQ(items.size(), ds.num_items);
+}
+
+TEST(SyntheticTest, NoDuplicateInteractions) {
+  const Dataset& ds = SmallMl100k();
+  std::set<std::pair<size_t, size_t>> pairs;
+  for (const Rating& r : ds.ratings) {
+    EXPECT_TRUE(pairs.insert({r.user, r.item}).second)
+        << "duplicate " << r.user << "," << r.item;
+  }
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  Dataset a = GenerateSynthetic(SyntheticConfig::Ml100k(Scale::kSmall), 42);
+  Dataset b = GenerateSynthetic(SyntheticConfig::Ml100k(Scale::kSmall), 42);
+  ASSERT_EQ(a.ratings.size(), b.ratings.size());
+  for (size_t i = 0; i < a.ratings.size(); ++i) {
+    EXPECT_EQ(a.ratings[i].user, b.ratings[i].user);
+    EXPECT_EQ(a.ratings[i].item, b.ratings[i].item);
+    EXPECT_FLOAT_EQ(a.ratings[i].value, b.ratings[i].value);
+  }
+  Dataset c = GenerateSynthetic(SyntheticConfig::Ml100k(Scale::kSmall), 43);
+  // A different seed changes at least some ratings.
+  bool any_diff = c.ratings.size() != a.ratings.size();
+  for (size_t i = 0; !any_diff && i < a.ratings.size(); ++i) {
+    any_diff = a.ratings[i].user != c.ratings[i].user ||
+               a.ratings[i].item != c.ratings[i].item;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, UserAttributesRespectSchema) {
+  const Dataset& ds = SmallMl100k();
+  // Single-valued gender/age/occupation: exactly 3 active slots, one per
+  // field.
+  for (const auto& slots : ds.user_attrs) {
+    ASSERT_EQ(slots.size(), 3u);
+    std::set<size_t> fields;
+    for (size_t slot : slots) fields.insert(ds.user_schema.FieldOfSlot(slot));
+    EXPECT_EQ(fields.size(), 3u);
+  }
+}
+
+TEST(SyntheticTest, ItemCategoryIsMultiValued) {
+  const Dataset& ds = SmallMl100k();
+  bool saw_multi = false;
+  for (const auto& slots : ds.item_attrs) {
+    size_t categories = 0;
+    for (size_t slot : slots) {
+      if (ds.item_schema.FieldOfSlot(slot) == 0) ++categories;
+    }
+    EXPECT_GE(categories, 1u);
+    EXPECT_LE(categories, 3u);
+    if (categories > 1) saw_multi = true;
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(SyntheticTest, MeanRatingNearConfiguredMu) {
+  const Dataset& ds = SmallMl100k();
+  EXPECT_NEAR(ds.GlobalMeanRating(), 3.6f, 0.25f);
+}
+
+TEST(SyntheticTest, RatingsUseFullScale) {
+  const Dataset& ds = SmallMl100k();
+  std::set<float> values;
+  for (const Rating& r : ds.ratings) values.insert(r.value);
+  EXPECT_EQ(values.size(), 5u);
+}
+
+TEST(SyntheticTest, AttributesCarryPreferenceSignal) {
+  // Users sharing all attribute slots must agree more on items than random
+  // user pairs do — the causal link AGNN exploits. Compare mean absolute
+  // rating difference on co-rated items.
+  const Dataset& ds = SmallMl100k();
+  // item -> list of (user, rating)
+  std::vector<std::vector<std::pair<size_t, float>>> by_item(ds.num_items);
+  for (const Rating& r : ds.ratings) by_item[r.item].push_back({r.user, r.value});
+
+  double same_attr_diff = 0.0;
+  double diff_attr_diff = 0.0;
+  size_t same_n = 0;
+  size_t diff_n = 0;
+  for (const auto& raters : by_item) {
+    for (size_t i = 0; i < raters.size(); ++i) {
+      for (size_t j = i + 1; j < raters.size() && j < i + 6; ++j) {
+        const auto& [u, ru] = raters[i];
+        const auto& [v, rv] = raters[j];
+        const double d = std::fabs(ru - rv);
+        if (ds.user_attrs[u] == ds.user_attrs[v]) {
+          same_attr_diff += d;
+          ++same_n;
+        } else {
+          diff_attr_diff += d;
+          ++diff_n;
+        }
+      }
+    }
+  }
+  ASSERT_GT(same_n, 50u);
+  ASSERT_GT(diff_n, 50u);
+  EXPECT_LT(same_attr_diff / same_n, diff_attr_diff / diff_n);
+}
+
+TEST(SyntheticTest, YelpHasSocialLinksAsAttributes) {
+  const Dataset& ds = SmallYelp();
+  ASSERT_TRUE(ds.has_social());
+  EXPECT_EQ(ds.social_links.size(), ds.num_users);
+  EXPECT_EQ(ds.user_schema.total_slots(), ds.num_users);
+  // Social rows double as attribute encodings (the paper's Yelp protocol).
+  EXPECT_EQ(ds.user_attrs, ds.social_links);
+}
+
+TEST(SyntheticTest, YelpSocialGraphIsSymmetric) {
+  const Dataset& ds = SmallYelp();
+  for (size_t u = 0; u < ds.num_users; ++u) {
+    for (size_t v : ds.social_links[u]) {
+      const auto& back = ds.social_links[v];
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), u))
+          << u << " -> " << v << " not reciprocated";
+    }
+  }
+}
+
+TEST(SyntheticTest, YelpIsSparserThanMovieLens) {
+  EXPECT_GT(SmallYelp().Stats().sparsity, SmallMl100k().Stats().sparsity);
+}
+
+TEST(SyntheticTest, StatsMatchTable1Shape) {
+  DatasetStats stats = SmallMl100k().Stats();
+  EXPECT_EQ(stats.num_users, 300u);
+  EXPECT_EQ(stats.num_items, 500u);
+  EXPECT_GT(stats.sparsity, 0.8);
+  EXPECT_LT(stats.sparsity, 1.0);
+}
+
+TEST(SyntheticTest, ByNameResolvesPresets) {
+  EXPECT_EQ(SyntheticConfig::ByName("ml100k", Scale::kSmall).name, "ml100k");
+  EXPECT_EQ(SyntheticConfig::ByName("ml1m", Scale::kSmall).name, "ml1m");
+  EXPECT_EQ(SyntheticConfig::ByName("yelp", Scale::kSmall).name, "yelp");
+  EXPECT_TRUE(SyntheticConfig::ByName("yelp", Scale::kSmall).social);
+}
+
+TEST(SyntheticTest, PopularitySkewExists) {
+  const Dataset& ds = SmallMl100k();
+  std::vector<size_t> item_counts(ds.num_items, 0);
+  for (const Rating& r : ds.ratings) ++item_counts[r.item];
+  auto [min_it, max_it] =
+      std::minmax_element(item_counts.begin(), item_counts.end());
+  EXPECT_GT(*max_it, *min_it * 5) << "expected a popularity long tail";
+}
+
+TEST(SyntheticTest, DenseAttributeMatricesMatchSparse) {
+  const Dataset& ds = SmallMl100k();
+  Matrix dense = ds.DenseUserAttributes();
+  ASSERT_EQ(dense.rows(), ds.num_users);
+  ASSERT_EQ(dense.cols(), ds.user_schema.total_slots());
+  for (size_t u = 0; u < ds.num_users; ++u) {
+    float row_sum = 0.0f;
+    for (size_t c = 0; c < dense.cols(); ++c) row_sum += dense.At(u, c);
+    EXPECT_FLOAT_EQ(row_sum, static_cast<float>(ds.user_attrs[u].size()));
+    for (size_t slot : ds.user_attrs[u]) {
+      EXPECT_FLOAT_EQ(dense.At(u, slot), 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agnn::data

@@ -1,0 +1,81 @@
+#include "agnn/eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace agnn::eval {
+namespace {
+
+TEST(ComputeRmseMaeTest, PerfectPredictionsScoreZero) {
+  RmseMae m = ComputeRmseMae({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+}
+
+TEST(ComputeRmseMaeTest, HandComputedValues) {
+  // Errors: 1, -2 -> RMSE = sqrt(5/2), MAE = 1.5.
+  RmseMae m = ComputeRmseMae({2, 1}, {1, 3});
+  EXPECT_NEAR(m.rmse, std::sqrt(2.5), 1e-9);
+  EXPECT_NEAR(m.mae, 1.5, 1e-9);
+}
+
+TEST(ComputeRmseMaeTest, RmseAtLeastMae) {
+  RmseMae m = ComputeRmseMae({1, 5, 3, 2}, {2, 2, 2, 2});
+  EXPECT_GE(m.rmse, m.mae);
+}
+
+TEST(ClampPredictionsTest, ClampsToRange) {
+  std::vector<float> p = {-3.0f, 0.5f, 3.0f, 9.0f};
+  ClampPredictions(&p, 1.0f, 5.0f);
+  EXPECT_FLOAT_EQ(p[0], 1.0f);
+  EXPECT_FLOAT_EQ(p[1], 1.0f);
+  EXPECT_FLOAT_EQ(p[2], 3.0f);
+  EXPECT_FLOAT_EQ(p[3], 5.0f);
+}
+
+TEST(PairedTTestTest, IdenticalPredictionsNotSignificant) {
+  std::vector<float> preds = {1, 2, 3, 4, 5};
+  std::vector<float> targets = {2, 2, 2, 2, 2};
+  PairedTTest t = PairedSquaredErrorTTest(preds, preds, targets);
+  EXPECT_NEAR(t.p_value, 1.0, 1e-9);
+}
+
+TEST(PairedTTestTest, ClearlyBetterModelIsSignificant) {
+  // Model A is near-perfect; model B is off by ~1 with small noise, over a
+  // large sample: the squared-error difference should be significant.
+  std::vector<float> targets(2000);
+  std::vector<float> a(2000);
+  std::vector<float> b(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    const float t = 3.0f + 0.001f * static_cast<float>(i % 7);
+    targets[i] = t;
+    a[i] = t + 0.01f * static_cast<float>((i % 3) - 1);
+    b[i] = t + 1.0f + 0.05f * static_cast<float>((i % 5) - 2);
+  }
+  PairedTTest t = PairedSquaredErrorTTest(a, b, targets);
+  EXPECT_LT(t.p_value, 0.01);
+  EXPECT_LT(t.t_statistic, 0.0);  // a has smaller squared error
+}
+
+TEST(PairedTTestTest, SignFollowsWorseModel) {
+  std::vector<float> targets(100, 3.0f);
+  std::vector<float> good(100, 3.05f);
+  std::vector<float> bad(100);
+  for (size_t i = 0; i < 100; ++i) {
+    bad[i] = 3.0f + 0.5f + 0.01f * static_cast<float>(i % 4);
+  }
+  PairedTTest ab = PairedSquaredErrorTTest(good, bad, targets);
+  PairedTTest ba = PairedSquaredErrorTTest(bad, good, targets);
+  EXPECT_LT(ab.t_statistic, 0.0);
+  EXPECT_GT(ba.t_statistic, 0.0);
+}
+
+TEST(PairedTTestTest, DegreesOfFreedom) {
+  std::vector<float> t = {1, 2, 3};
+  PairedTTest r = PairedSquaredErrorTTest({1, 2, 3}, {3, 2, 1}, t);
+  EXPECT_EQ(r.degrees_of_freedom, 2u);
+}
+
+}  // namespace
+}  // namespace agnn::eval

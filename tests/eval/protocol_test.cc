@@ -1,0 +1,86 @@
+#include "agnn/eval/protocol.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agnn/data/synthetic.h"
+
+namespace agnn::eval {
+namespace {
+
+using data::Dataset;
+
+const Dataset& Ds() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+    config.num_users = 80;
+    config.num_items = 120;
+    config.num_ratings = 2500;
+    return new Dataset(GenerateSynthetic(config, 41));
+  }();
+  return *ds;
+}
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.agnn.embedding_dim = 8;
+  config.agnn.num_neighbors = 4;
+  config.agnn.vae_hidden_dim = 8;
+  config.agnn.prediction_hidden_dim = 8;
+  config.agnn.epochs = 2;
+  config.baseline_options.embedding_dim = 8;
+  config.baseline_options.epochs = 2;
+  config.baseline_options.num_neighbors = 4;
+  return config;
+}
+
+TEST(ExperimentRunnerTest, RunsAgnnAndBaselineOnSameSplit) {
+  ExperimentRunner runner(Ds(), data::Scenario::kItemColdStart, FastConfig());
+  ModelResult agnn = runner.Run("AGNN");
+  ModelResult nfm = runner.Run("NFM");
+  EXPECT_EQ(agnn.predictions.size(), runner.test_targets().size());
+  EXPECT_EQ(nfm.predictions.size(), runner.test_targets().size());
+  EXPECT_TRUE(std::isfinite(agnn.metrics.rmse));
+  EXPECT_TRUE(std::isfinite(nfm.metrics.rmse));
+  EXPECT_GT(agnn.train_seconds, 0.0);
+}
+
+TEST(ExperimentRunnerTest, PredictionsAreClamped) {
+  ExperimentRunner runner(Ds(), data::Scenario::kWarmStart, FastConfig());
+  ModelResult result = runner.Run("LLAE");
+  for (float p : result.predictions) {
+    EXPECT_GE(p, 1.0f);
+    EXPECT_LE(p, 5.0f);
+  }
+}
+
+TEST(ExperimentRunnerTest, RunsAgnnVariants) {
+  ExperimentRunner runner(Ds(), data::Scenario::kUserColdStart, FastConfig());
+  ModelResult v = runner.Run("AGNN_-eVAE");
+  EXPECT_EQ(v.model, "AGNN_-eVAE");
+  EXPECT_TRUE(std::isfinite(v.metrics.rmse));
+}
+
+TEST(ExperimentRunnerTest, CompareComputesPairedTest) {
+  ExperimentRunner runner(Ds(), data::Scenario::kWarmStart, FastConfig());
+  ModelResult a = runner.Run("MF");
+  PairedTTest self = runner.Compare(a, a);
+  EXPECT_NEAR(self.p_value, 1.0, 1e-9);
+  ModelResult llae = runner.Run("LLAE");
+  PairedTTest vs = runner.Compare(a, llae);
+  EXPECT_LT(vs.p_value, 0.01);  // MF crushes LLAE
+  EXPECT_LT(vs.t_statistic, 0.0);
+}
+
+TEST(ExperimentRunnerTest, SplitIsSharedAcrossRuns) {
+  ExperimentRunner runner(Ds(), data::Scenario::kItemColdStart, FastConfig());
+  const auto& pairs_before = runner.test_pairs();
+  runner.Run("MF");
+  EXPECT_EQ(runner.test_pairs().size(), pairs_before.size());
+  EXPECT_GT(runner.split().NumColdItems(), 0u);
+}
+
+}  // namespace
+}  // namespace agnn::eval

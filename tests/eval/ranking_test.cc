@@ -1,0 +1,78 @@
+#include "agnn/eval/ranking.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace agnn::eval {
+namespace {
+
+const std::vector<float> kScores = {0.1f, 0.9f, 0.5f, 0.7f, 0.3f};
+// Descending ranking: 1, 3, 2, 4, 0.
+
+TEST(TopKTest, OrdersByScoreDescending) {
+  auto top = TopK(kScores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(TopKTest, KLargerThanListReturnsAll) {
+  auto top = TopK(kScores, 99);
+  EXPECT_EQ(top.size(), kScores.size());
+}
+
+TEST(TopKTest, TiesBrokenByLowerIndex) {
+  auto top = TopK({0.5f, 0.5f, 0.5f}, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(RecallTest, FullRecallWhenAllRelevantRanked) {
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, {1, 3}, 2), 1.0);
+}
+
+TEST(RecallTest, PartialRecall) {
+  // top-2 = {1, 3}; relevant = {1, 0} -> one hit of min(2,2).
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, {1, 0}, 2), 0.5);
+}
+
+TEST(RecallTest, EmptyRelevantIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, {}, 3), 0.0);
+}
+
+TEST(RecallTest, DenominatorCappedAtK) {
+  // k=1, three relevant items, top-1 = {1} hits -> 1 / min(1,3) = 1.
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, {1, 2, 3}, 1), 1.0);
+}
+
+TEST(PrecisionTest, CountsHitsOverK) {
+  // top-3 = {1, 3, 2}; relevant = {2, 0} -> 1/3.
+  EXPECT_NEAR(PrecisionAtK(kScores, {2, 0}, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  EXPECT_NEAR(NdcgAtK(kScores, {1, 3}, 2), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, LateHitDiscounted) {
+  // relevant item 0 is ranked last (position 4); NDCG@5 = (1/log2(6)) / 1.
+  const double expected = (1.0 / std::log2(6.0)) / 1.0;
+  EXPECT_NEAR(NdcgAtK(kScores, {0}, 5), expected, 1e-12);
+}
+
+TEST(NdcgTest, MissedItemScoresZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(kScores, {0}, 2), 0.0);
+}
+
+TEST(NdcgTest, BetweenZeroAndOne) {
+  for (size_t k = 1; k <= 5; ++k) {
+    const double v = NdcgAtK(kScores, {0, 2, 4}, k);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace agnn::eval

@@ -1,0 +1,160 @@
+#include "agnn/graph/attribute_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "agnn/data/split.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/graph/interaction_graph.h"
+
+namespace agnn::graph {
+namespace {
+
+using data::Dataset;
+using data::GenerateSynthetic;
+using data::Scale;
+using data::SyntheticConfig;
+
+const Dataset& Ds() {
+  static const Dataset* ds =
+      new Dataset(GenerateSynthetic(SyntheticConfig::Ml100k(Scale::kSmall), 9));
+  return *ds;
+}
+
+TEST(BuildCandidatePoolTest, PoolSizeIsTopPercent) {
+  auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
+                                        Ds().item_schema.total_slots());
+  WeightedGraph pool = BuildCandidatePool(attr_sims, {},
+                                          ProximityMode::kAttributeOnly, 5.0);
+  const size_t expected = static_cast<size_t>(0.05 * Ds().num_items);
+  size_t at_cap = 0;
+  for (size_t n = 0; n < pool.num_nodes; ++n) {
+    EXPECT_LE(pool.Degree(n), expected);
+    if (pool.Degree(n) == expected) ++at_cap;
+  }
+  // Attribute overlap is dense enough that most items hit the cap.
+  EXPECT_GT(at_cap, Ds().num_items / 2);
+}
+
+TEST(BuildCandidatePoolTest, WeightsArePositive) {
+  auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
+                                        Ds().item_schema.total_slots());
+  WeightedGraph pool = BuildCandidatePool(attr_sims, {},
+                                          ProximityMode::kAttributeOnly, 5.0);
+  for (const auto& w : pool.weights) {
+    for (double x : w) EXPECT_GT(x, 0.0);
+  }
+}
+
+TEST(BuildCandidatePoolTest, CombinedModeUsesBothProximities) {
+  Rng rng(1);
+  data::Split split =
+      MakeSplit(Ds(), data::Scenario::kItemColdStart, 0.2, &rng);
+  InteractionGraph ig(Ds().num_users, Ds().num_items, split.train);
+  auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
+                                        Ds().item_schema.total_slots());
+  auto pref_sims = PairwiseSparseCosine(ig.AllItemRatings(), Ds().num_users);
+  WeightedGraph both =
+      BuildCandidatePool(attr_sims, pref_sims, ProximityMode::kBoth, 5.0);
+  WeightedGraph attr_only = BuildCandidatePool(
+      attr_sims, pref_sims, ProximityMode::kAttributeOnly, 5.0);
+  // The two constructions must differ for at least some node.
+  bool any_diff = false;
+  for (size_t n = 0; n < both.num_nodes && !any_diff; ++n) {
+    any_diff = both.neighbors[n] != attr_only.neighbors[n];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BuildCandidatePoolTest, ColdItemsStillGetAttributeNeighbors) {
+  // The core claim of the paper: strict cold items have attribute-graph
+  // neighbors even though they have no interactions.
+  Rng rng(2);
+  data::Split split =
+      MakeSplit(Ds(), data::Scenario::kItemColdStart, 0.2, &rng);
+  InteractionGraph ig(Ds().num_users, Ds().num_items, split.train);
+  auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
+                                        Ds().item_schema.total_slots());
+  auto pref_sims = PairwiseSparseCosine(ig.AllItemRatings(), Ds().num_users);
+  WeightedGraph pool =
+      BuildCandidatePool(attr_sims, pref_sims, ProximityMode::kBoth, 5.0);
+  size_t cold_with_neighbors = 0;
+  size_t cold_total = 0;
+  for (size_t i = 0; i < Ds().num_items; ++i) {
+    if (!split.cold_item[i]) continue;
+    ++cold_total;
+    if (pool.Degree(i) > 0) ++cold_with_neighbors;
+  }
+  ASSERT_GT(cold_total, 0u);
+  EXPECT_EQ(cold_with_neighbors, cold_total);
+}
+
+TEST(BuildKnnGraphTest, DegreeCappedAtK) {
+  auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
+                                        Ds().item_schema.total_slots());
+  WeightedGraph knn = BuildKnnGraph(attr_sims, 10);
+  for (size_t n = 0; n < knn.num_nodes; ++n) EXPECT_LE(knn.Degree(n), 10u);
+}
+
+TEST(BuildKnnGraphTest, KeepsMostSimilarNeighbors) {
+  SimilarityLists sims(3);
+  sims[0] = {{1, 0.9f}, {2, 0.1f}};
+  sims[1] = {{0, 0.9f}};
+  sims[2] = {{0, 0.1f}};
+  WeightedGraph knn = BuildKnnGraph(sims, 1);
+  ASSERT_EQ(knn.Degree(0), 1u);
+  EXPECT_EQ(knn.neighbors[0][0], 1u);
+}
+
+TEST(BuildCoPurchaseGraphTest, ColdItemsAreIsolated) {
+  // Items with no interactions have no co-purchase neighbors — this is why
+  // AGNN_cop collapses on strict item cold start (Table 4).
+  Rng rng(3);
+  data::Split split =
+      MakeSplit(Ds(), data::Scenario::kItemColdStart, 0.2, &rng);
+  InteractionGraph ig(Ds().num_users, Ds().num_items, split.train);
+  WeightedGraph cop =
+      BuildCoPurchaseGraph(ig.AllItemRatings(), Ds().num_users, 10);
+  for (size_t i = 0; i < Ds().num_items; ++i) {
+    if (split.cold_item[i]) {
+      EXPECT_EQ(cop.Degree(i), 0u) << "cold item " << i;
+    }
+  }
+}
+
+TEST(BuildCoPurchaseGraphTest, CountsCommonRaters) {
+  std::vector<SparseVec> ratings = {
+      {{0, 5.0f}, {1, 3.0f}},  // item 0 rated by users 0, 1
+      {{1, 4.0f}, {2, 2.0f}},  // item 1 rated by users 1, 2
+      {{3, 1.0f}},             // item 2 rated by user 3
+  };
+  WeightedGraph cop = BuildCoPurchaseGraph(ratings, 4, 10);
+  ASSERT_EQ(cop.Degree(0), 1u);
+  EXPECT_EQ(cop.neighbors[0][0], 1u);
+  EXPECT_DOUBLE_EQ(cop.weights[0][0], 1.0);  // one common rater (user 1)
+  EXPECT_EQ(cop.Degree(2), 0u);
+}
+
+TEST(BuildSocialGraphTest, MirrorsAdjacency) {
+  std::vector<std::vector<size_t>> links = {{1, 2}, {0}, {0}};
+  WeightedGraph social = BuildSocialGraph(links);
+  EXPECT_EQ(social.Degree(0), 2u);
+  EXPECT_EQ(social.Degree(1), 1u);
+  EXPECT_DOUBLE_EQ(social.weights[0][0], 1.0);
+}
+
+TEST(InteractionGraphTest, AdjacencyMatchesRatings) {
+  std::vector<data::Rating> ratings = {
+      {0, 1, 5.0f}, {0, 2, 3.0f}, {1, 1, 4.0f}};
+  InteractionGraph ig(2, 3, ratings);
+  EXPECT_EQ(ig.UserDegree(0), 2u);
+  EXPECT_EQ(ig.UserDegree(1), 1u);
+  EXPECT_EQ(ig.ItemDegree(1), 2u);
+  EXPECT_EQ(ig.ItemDegree(0), 0u);
+  EXPECT_FLOAT_EQ(ig.global_mean(), 4.0f);
+  ASSERT_EQ(ig.UserRatings(0).size(), 2u);
+  EXPECT_EQ(ig.UserRatings(0)[0].first, 1u);
+  EXPECT_FLOAT_EQ(ig.UserRatings(0)[0].second, 5.0f);
+}
+
+}  // namespace
+}  // namespace agnn::graph

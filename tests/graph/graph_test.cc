@@ -1,0 +1,104 @@
+#include "agnn/graph/graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace agnn::graph {
+namespace {
+
+WeightedGraph Triangle() {
+  WeightedGraph g;
+  g.Resize(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 2.0);
+  g.AddEdge(1, 0, 1.0);
+  g.AddEdge(2, 0, 2.0);
+  return g;
+}
+
+TEST(WeightedGraphTest, DegreeAndEdgeCounts) {
+  WeightedGraph g = Triangle();
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_NEAR(g.AverageDegree(), 4.0 / 3.0, 1e-9);
+  g.Validate();
+}
+
+TEST(WeightedGraphTest, TruncateTopKKeepsHeaviest) {
+  WeightedGraph g;
+  g.Resize(2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 5.0);
+  g.AddEdge(0, 1, 3.0);
+  g.TruncateTopK(2);
+  ASSERT_EQ(g.Degree(0), 2u);
+  std::multiset<double> kept(g.weights[0].begin(), g.weights[0].end());
+  EXPECT_EQ(kept.count(5.0), 1u);
+  EXPECT_EQ(kept.count(3.0), 1u);
+}
+
+TEST(WeightedGraphTest, TruncateNoopWhenSmall) {
+  WeightedGraph g = Triangle();
+  g.TruncateTopK(10);
+  EXPECT_EQ(g.NumEdges(), 4u);
+}
+
+TEST(SampleNeighborsTest, ReturnsExactCount) {
+  WeightedGraph g = Triangle();
+  Rng rng(1);
+  auto sample = SampleNeighbors(g, 0, 7, &rng);
+  EXPECT_EQ(sample.size(), 7u);
+  for (size_t v : sample) EXPECT_TRUE(v == 1 || v == 2);
+}
+
+TEST(SampleNeighborsTest, IncludesWholeSmallNeighborhood) {
+  WeightedGraph g = Triangle();
+  Rng rng(2);
+  auto sample = SampleNeighbors(g, 0, 5, &rng);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_TRUE(unique.count(1));
+  EXPECT_TRUE(unique.count(2));
+}
+
+TEST(SampleNeighborsTest, IsolatedNodeFallsBackToSelf) {
+  WeightedGraph g;
+  g.Resize(4);
+  Rng rng(3);
+  auto sample = SampleNeighbors(g, 2, 3, &rng);
+  ASSERT_EQ(sample.size(), 3u);
+  for (size_t v : sample) EXPECT_EQ(v, 2u);
+}
+
+TEST(SampleNeighborsTest, WeightsBiasSelection) {
+  WeightedGraph g;
+  g.Resize(3);
+  g.AddEdge(0, 1, 9.0);
+  g.AddEdge(0, 2, 1.0);
+  Rng rng(4);
+  size_t picked_heavy = 0;
+  const size_t trials = 3000;
+  for (size_t t = 0; t < trials; ++t) {
+    // Ask for 1 so the whole-neighborhood shortcut doesn't trigger.
+    auto sample = SampleNeighbors(g, 0, 1, &rng);
+    if (sample[0] == 1) ++picked_heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(picked_heavy) / trials, 0.9, 0.03);
+}
+
+TEST(SampleNeighborsTest, LargeNeighborhoodSamplesSubset) {
+  WeightedGraph g;
+  g.Resize(30);
+  for (size_t v = 1; v < 30; ++v) g.AddEdge(0, v, 1.0);
+  Rng rng(5);
+  auto sample = SampleNeighbors(g, 0, 10, &rng);
+  EXPECT_EQ(sample.size(), 10u);
+  for (size_t v : sample) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LT(v, 30u);
+  }
+}
+
+}  // namespace
+}  // namespace agnn::graph

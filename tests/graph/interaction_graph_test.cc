@@ -1,0 +1,89 @@
+#include "agnn/graph/interaction_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "agnn/data/split.h"
+#include "agnn/data/synthetic.h"
+
+namespace agnn::graph {
+namespace {
+
+TEST(InteractionGraphTest, EmptyRatingsYieldEmptyAdjacency) {
+  InteractionGraph ig(3, 4, {});
+  EXPECT_EQ(ig.UserDegree(0), 0u);
+  EXPECT_EQ(ig.ItemDegree(3), 0u);
+  EXPECT_FLOAT_EQ(ig.global_mean(), 0.0f);
+}
+
+TEST(InteractionGraphTest, AdjacencySortedByCounterpart) {
+  std::vector<data::Rating> ratings = {
+      {0, 5, 3.0f}, {0, 1, 4.0f}, {0, 3, 2.0f}};
+  InteractionGraph ig(1, 6, ratings);
+  const SparseVec& row = ig.UserRatings(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].first, 1u);
+  EXPECT_EQ(row[1].first, 3u);
+  EXPECT_EQ(row[2].first, 5u);
+  EXPECT_FLOAT_EQ(row[0].second, 4.0f);
+}
+
+TEST(InteractionGraphTest, UserAndItemViewsAreConsistent) {
+  data::Dataset ds = data::GenerateSynthetic(
+      [] {
+        data::SyntheticConfig config =
+            data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+        config.num_users = 40;
+        config.num_items = 50;
+        config.num_ratings = 500;
+        return config;
+      }(),
+      81);
+  InteractionGraph ig(ds.num_users, ds.num_items, ds.ratings);
+  size_t user_edges = 0;
+  size_t item_edges = 0;
+  for (size_t u = 0; u < ds.num_users; ++u) user_edges += ig.UserDegree(u);
+  for (size_t i = 0; i < ds.num_items; ++i) item_edges += ig.ItemDegree(i);
+  EXPECT_EQ(user_edges, ds.ratings.size());
+  EXPECT_EQ(item_edges, ds.ratings.size());
+  // Spot-check reciprocity of the first rating.
+  const data::Rating& r = ds.ratings.front();
+  bool found = false;
+  for (const auto& [user, value] : ig.ItemRatings(r.item)) {
+    if (user == r.user) {
+      found = true;
+      EXPECT_FLOAT_EQ(value, r.value);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InteractionGraphTest, TrainOnlyGraphExcludesColdNodes) {
+  data::Dataset ds = data::GenerateSynthetic(
+      [] {
+        data::SyntheticConfig config =
+            data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+        config.num_users = 40;
+        config.num_items = 50;
+        config.num_ratings = 500;
+        return config;
+      }(),
+      82);
+  Rng rng(1);
+  data::Split split =
+      MakeSplit(ds, data::Scenario::kItemColdStart, 0.2, &rng);
+  InteractionGraph ig(ds.num_users, ds.num_items, split.train);
+  for (size_t i = 0; i < ds.num_items; ++i) {
+    if (split.cold_item[i]) {
+      EXPECT_EQ(ig.ItemDegree(i), 0u) << "cold item " << i;
+    }
+  }
+}
+
+TEST(InteractionGraphTest, GlobalMeanMatchesArithmeticMean) {
+  std::vector<data::Rating> ratings = {{0, 0, 1.0f}, {0, 1, 5.0f}};
+  InteractionGraph ig(1, 2, ratings);
+  EXPECT_FLOAT_EQ(ig.global_mean(), 3.0f);
+}
+
+}  // namespace
+}  // namespace agnn::graph

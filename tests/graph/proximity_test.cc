@@ -1,0 +1,133 @@
+#include "agnn/graph/proximity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace agnn::graph {
+namespace {
+
+TEST(CosineSimilarityTest, IdenticalVectorsScoreOne) {
+  SparseVec v = {{0, 1.0f}, {3, 2.0f}, {7, -1.0f}};
+  EXPECT_NEAR(CosineSimilarity(v, v), 1.0f, 1e-6f);
+}
+
+TEST(CosineSimilarityTest, OrthogonalVectorsScoreZero) {
+  SparseVec a = {{0, 1.0f}, {1, 1.0f}};
+  SparseVec b = {{2, 5.0f}, {3, -2.0f}};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, b), 0.0f);
+}
+
+TEST(CosineSimilarityTest, HandComputedOverlap) {
+  SparseVec a = {{0, 3.0f}, {1, 4.0f}};
+  SparseVec b = {{1, 4.0f}, {2, 3.0f}};
+  // dot = 16, |a| = 5, |b| = 5 -> 0.64.
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.64f, 1e-6f);
+}
+
+TEST(CosineSimilarityTest, EmptyVectorScoresZero) {
+  SparseVec a = {{0, 1.0f}};
+  SparseVec empty;
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, empty), 0.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(empty, empty), 0.0f);
+}
+
+TEST(CosineSimilarityTest, SymmetricInArguments) {
+  SparseVec a = {{0, 1.5f}, {4, 2.0f}, {9, 0.5f}};
+  SparseVec b = {{4, 1.0f}, {9, 3.0f}, {12, 1.0f}};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, b), CosineSimilarity(b, a));
+}
+
+TEST(BinaryCosineTest, MatchesFormula) {
+  std::vector<size_t> a = {1, 3, 5, 7};
+  std::vector<size_t> b = {3, 7, 9};
+  // |intersection| = 2, sqrt(4*3) = 3.4641.
+  EXPECT_NEAR(BinaryCosineSimilarity(a, b), 2.0f / std::sqrt(12.0f), 1e-6f);
+}
+
+TEST(BinaryCosineTest, DisjointSetsScoreZero) {
+  EXPECT_FLOAT_EQ(BinaryCosineSimilarity({1, 2}, {3, 4}), 0.0f);
+}
+
+TEST(PairwiseBinaryCosineTest, MatchesDirectComputation) {
+  std::vector<std::vector<size_t>> slots = {
+      {0, 2, 4}, {0, 2, 5}, {1, 3}, {0, 1, 3}, {6}};
+  SimilarityLists sims = PairwiseBinaryCosine(slots, 7);
+  ASSERT_EQ(sims.size(), 5u);
+  // Verify every reported pair against the direct formula and that zero
+  // pairs are omitted.
+  for (size_t u = 0; u < slots.size(); ++u) {
+    for (const auto& [v, sim] : sims[u]) {
+      EXPECT_NEAR(sim, BinaryCosineSimilarity(slots[u], slots[v]), 1e-6f);
+      EXPECT_GT(sim, 0.0f);
+    }
+  }
+  // Node 4 shares no slot with anyone.
+  EXPECT_TRUE(sims[4].empty());
+  // Node 0 and 1 share slots {0,2}.
+  bool found = false;
+  for (const auto& [v, sim] : sims[0]) {
+    if (v == 1) {
+      found = true;
+      EXPECT_NEAR(sim, 2.0f / 3.0f, 1e-6f);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PairwiseBinaryCosineTest, SymmetricLists) {
+  std::vector<std::vector<size_t>> slots = {{0, 1}, {1, 2}, {0, 2}};
+  SimilarityLists sims = PairwiseBinaryCosine(slots, 3);
+  for (size_t u = 0; u < slots.size(); ++u) {
+    for (const auto& [v, sim] : sims[u]) {
+      bool reciprocal = false;
+      for (const auto& [w, sim2] : sims[v]) {
+        if (w == u) {
+          reciprocal = true;
+          EXPECT_FLOAT_EQ(sim, sim2);
+        }
+      }
+      EXPECT_TRUE(reciprocal) << u << "->" << v;
+    }
+  }
+}
+
+TEST(PairwiseSparseCosineTest, MatchesDirectComputation) {
+  std::vector<SparseVec> vecs = {
+      {{0, 5.0f}, {1, 3.0f}},
+      {{0, 4.0f}, {2, 2.0f}},
+      {{3, 1.0f}},
+  };
+  SimilarityLists sims = PairwiseSparseCosine(vecs, 4);
+  for (size_t u = 0; u < vecs.size(); ++u) {
+    for (const auto& [v, sim] : sims[u]) {
+      EXPECT_NEAR(sim, CosineSimilarity(vecs[u], vecs[v]), 1e-6f);
+    }
+  }
+  EXPECT_TRUE(sims[2].empty());
+  ASSERT_EQ(sims[0].size(), 1u);
+  EXPECT_EQ(sims[0][0].first, 1u);
+}
+
+TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
+  std::vector<float> v = {2.0f, 4.0f, 6.0f};
+  MinMaxNormalize(&v);
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+  EXPECT_FLOAT_EQ(v[1], 0.5f);
+  EXPECT_FLOAT_EQ(v[2], 1.0f);
+}
+
+TEST(MinMaxNormalizeTest, ConstantInputMapsToHalf) {
+  std::vector<float> v = {3.0f, 3.0f, 3.0f};
+  MinMaxNormalize(&v);
+  for (float x : v) EXPECT_FLOAT_EQ(x, 0.5f);
+}
+
+TEST(MinMaxNormalizeTest, EmptyIsNoop) {
+  std::vector<float> v;
+  MinMaxNormalize(&v);
+  EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace agnn::graph

@@ -1,0 +1,118 @@
+#include "agnn/nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agnn/nn/init.h"
+
+namespace agnn::nn {
+namespace {
+
+TEST(LinearTest, OutputShapeAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  ag::Var x = ag::MakeConst(Matrix::Ones(5, 4));
+  ag::Var y = layer.Forward(x);
+  EXPECT_EQ(y->value().rows(), 5u);
+  EXPECT_EQ(y->value().cols(), 3u);
+  EXPECT_EQ(layer.Parameters().size(), 2u);  // weight + bias
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  ag::Var zero = ag::MakeConst(Matrix::Zeros(2, 4));
+  EXPECT_FLOAT_EQ(layer.Forward(zero)->value().SquaredL2Norm(), 0.0f);
+}
+
+TEST(LinearTest, GradientsFlowToWeightAndBias) {
+  Rng rng(2);
+  Linear layer(3, 2, &rng);
+  ag::Var x = ag::MakeConst(Matrix::Ones(4, 3));
+  ag::Var loss = ag::MeanAll(ag::Square(layer.Forward(x)));
+  ag::Backward(loss);
+  for (const auto& p : layer.Parameters()) {
+    EXPECT_TRUE(p.var->has_grad()) << p.name;
+    EXPECT_GT(p.var->grad().SquaredL2Norm(), 0.0f) << p.name;
+  }
+}
+
+TEST(EmbeddingTest, LookupReturnsTableRows) {
+  Rng rng(3);
+  Embedding emb(10, 4, &rng);
+  ag::Var out = emb.Forward({7, 2, 7});
+  EXPECT_EQ(out->value().rows(), 3u);
+  EXPECT_EQ(out->value().cols(), 4u);
+  // Rows 0 and 2 are the same table row.
+  EXPECT_FLOAT_EQ(
+      out->value().SliceRows(0, 1).MaxAbsDiff(out->value().SliceRows(2, 3)),
+      0.0f);
+}
+
+TEST(EmbeddingTest, GradientScattersIntoLookedUpRowsOnly) {
+  Rng rng(4);
+  Embedding emb(6, 3, &rng);
+  ag::Var loss = ag::SumAll(emb.Forward({1, 4}));
+  ag::Backward(loss);
+  const Matrix& g = emb.table()->grad();
+  for (size_t r = 0; r < 6; ++r) {
+    const float row_norm = g.SliceRows(r, r + 1).SquaredL2Norm();
+    if (r == 1 || r == 4) {
+      EXPECT_GT(row_norm, 0.0f) << r;
+    } else {
+      EXPECT_FLOAT_EQ(row_norm, 0.0f) << r;
+    }
+  }
+}
+
+TEST(MlpTest, HiddenStackShapes) {
+  Rng rng(5);
+  Mlp mlp({8, 16, 4, 1}, &rng);
+  ag::Var y = mlp.Forward(ag::MakeConst(Matrix::Ones(3, 8)));
+  EXPECT_EQ(y->value().rows(), 3u);
+  EXPECT_EQ(y->value().cols(), 1u);
+  EXPECT_EQ(mlp.Parameters().size(), 6u);  // 3 layers x (W, b)
+}
+
+TEST(MlpTest, SigmoidOutputBounded) {
+  Rng rng(6);
+  Mlp mlp({4, 4, 2}, &rng, Activation::kLeakyRelu, Activation::kSigmoid);
+  Matrix big = Matrix::Ones(2, 4).Scale(100.0f);
+  Matrix out = mlp.Forward(ag::MakeConst(big))->value();
+  EXPECT_GE(out.Min(), 0.0f);
+  EXPECT_LE(out.Max(), 1.0f);
+}
+
+TEST(ActivateTest, AllActivationsEvaluate) {
+  ag::Var x = ag::MakeConst(Matrix(1, 2, {-1.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(Activate(x, Activation::kNone)->value().At(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(Activate(x, Activation::kRelu)->value().At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Activate(x, Activation::kLeakyRelu)->value().At(0, 0),
+                  -0.01f);
+  EXPECT_NEAR(Activate(x, Activation::kTanh)->value().At(0, 1),
+              std::tanh(2.0f), 1e-6f);
+  EXPECT_NEAR(Activate(x, Activation::kSigmoid)->value().At(0, 1),
+              1.0f / (1.0f + std::exp(-2.0f)), 1e-6f);
+}
+
+TEST(InitTest, XavierBoundsAndShape) {
+  Rng rng(7);
+  Matrix w = XavierUniform(100, 50, &rng);
+  EXPECT_EQ(w.rows(), 100u);
+  EXPECT_EQ(w.cols(), 50u);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  EXPECT_GE(w.Min(), -bound);
+  EXPECT_LE(w.Max(), bound);
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(8);
+  Matrix w = HeNormal(200, 200, &rng);
+  const float var = w.SquaredL2Norm() / static_cast<float>(w.size());
+  EXPECT_NEAR(var, 2.0f / 200.0f, 2e-3f);
+}
+
+}  // namespace
+}  // namespace agnn::nn

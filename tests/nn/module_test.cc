@@ -1,0 +1,96 @@
+#include "agnn/nn/module.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "agnn/nn/layers.h"
+
+namespace agnn::nn {
+namespace {
+
+// Two-layer composite exercising parameter and submodule registration.
+class SmallNet : public Module {
+ public:
+  explicit SmallNet(Rng* rng) : fc1_(4, 8, rng), fc2_(8, 1, rng) {
+    bias_ = RegisterParameter("global_bias", Matrix::Zeros(1, 1));
+    RegisterSubmodule("fc1", &fc1_);
+    RegisterSubmodule("fc2", &fc2_);
+  }
+
+  ag::Var Forward(const ag::Var& x) const {
+    return ag::AddRowBroadcast(fc2_.Forward(ag::Tanh(fc1_.Forward(x))), bias_);
+  }
+
+ private:
+  ag::Var bias_;
+  Linear fc1_;
+  Linear fc2_;
+};
+
+TEST(ModuleTest, ParameterNamesAreQualified) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  auto params = net.Parameters();
+  ASSERT_EQ(params.size(), 5u);  // bias + 2x(W,b)
+  EXPECT_EQ(params[0].name, "global_bias");
+  EXPECT_EQ(params[1].name, "fc1/weight");
+  EXPECT_EQ(params[2].name, "fc1/bias");
+  EXPECT_EQ(params[3].name, "fc2/weight");
+  EXPECT_EQ(params[4].name, "fc2/bias");
+}
+
+TEST(ModuleTest, ParameterCountSumsScalars) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  EXPECT_EQ(net.ParameterCount(), 1u + (4 * 8 + 8) + (8 * 1 + 1));
+}
+
+TEST(ModuleTest, ZeroGradResetsAll) {
+  Rng rng(2);
+  SmallNet net(&rng);
+  ag::Backward(ag::MeanAll(
+      ag::Square(net.Forward(ag::MakeConst(Matrix::Ones(3, 4))))));
+  net.ZeroGrad();
+  for (const auto& p : net.Parameters()) {
+    if (p.var->has_grad()) {
+      EXPECT_FLOAT_EQ(p.var->grad().SquaredL2Norm(), 0.0f) << p.name;
+    }
+  }
+}
+
+TEST(ModuleTest, SaveLoadRoundTripRestoresOutputs) {
+  Rng rng1(3);
+  SmallNet net1(&rng1);
+  std::stringstream buffer;
+  net1.Save(&buffer);
+
+  Rng rng2(99);  // different init
+  SmallNet net2(&rng2);
+  ag::Var x = ag::MakeConst(Matrix::Ones(2, 4));
+  Matrix before = net2.Forward(x)->value();
+  ASSERT_TRUE(net2.Load(&buffer).ok());
+  Matrix after = net2.Forward(x)->value();
+  Matrix expected = net1.Forward(x)->value();
+  EXPECT_GT(before.MaxAbsDiff(expected), 0.0f);  // loads actually changed it
+  EXPECT_FLOAT_EQ(after.MaxAbsDiff(expected), 0.0f);
+}
+
+TEST(ModuleTest, LoadRejectsWrongParameterCount) {
+  Rng rng(4);
+  Linear small(2, 2, &rng);
+  std::stringstream buffer;
+  small.Save(&buffer);
+  SmallNet net(&rng);
+  EXPECT_FALSE(net.Load(&buffer).ok());
+}
+
+TEST(ModuleTest, LoadRejectsTruncatedStream) {
+  Rng rng(5);
+  SmallNet net(&rng);
+  std::stringstream empty;
+  EXPECT_FALSE(net.Load(&empty).ok());
+}
+
+}  // namespace
+}  // namespace agnn::nn

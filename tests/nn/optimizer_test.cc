@@ -1,0 +1,118 @@
+#include "agnn/nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agnn/autograd/ops.h"
+#include "agnn/nn/layers.h"
+
+namespace agnn::nn {
+namespace {
+
+// Minimal module exposing one registered parameter.
+class OneParam : public Module {
+ public:
+  explicit OneParam(Matrix init) {
+    param_ = RegisterParameter("w", std::move(init));
+  }
+  const ag::Var& param() const { return param_; }
+
+ private:
+  ag::Var param_;
+};
+
+// Loss (w - target)^2 summed over elements; unique minimum at w == target.
+ag::Var QuadraticLoss(const ag::Var& w, const Matrix& target) {
+  return ag::SumAll(ag::Square(ag::Sub(w, ag::MakeConst(target))));
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  OneParam m(Matrix(1, 3, {5.0f, -4.0f, 2.0f}));
+  Matrix target(1, 3, {1.0f, 2.0f, 3.0f});
+  Sgd opt(m.Parameters(), /*learning_rate=*/0.1f);
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    ag::Backward(QuadraticLoss(m.param(), target));
+    opt.Step();
+  }
+  EXPECT_LT(m.param()->value().MaxAbsDiff(target), 1e-3f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  OneParam m(Matrix(1, 1, {1.0f}));
+  Sgd opt(m.Parameters(), 0.1f, /*weight_decay=*/0.5f);
+  // Zero loss gradient: only decay acts.
+  ag::Backward(ag::Scale(ag::SumAll(m.param()), 0.0f));
+  opt.Step();
+  EXPECT_NEAR(m.param()->value().At(0, 0), 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  OneParam m(Matrix(1, 3, {5.0f, -4.0f, 2.0f}));
+  Matrix target(1, 3, {1.0f, 2.0f, 3.0f});
+  Adam opt(m.Parameters(), /*learning_rate=*/0.05f);
+  for (int step = 0; step < 600; ++step) {
+    opt.ZeroGrad();
+    ag::Backward(QuadraticLoss(m.param(), target));
+    opt.Step();
+  }
+  EXPECT_LT(m.param()->value().MaxAbsDiff(target), 5e-3f);
+}
+
+TEST(AdamTest, ConvergesFasterThanSgdOnIllConditionedProblem) {
+  // Loss: 100*(w0-1)^2 + 0.01*(w1-1)^2 — pathological curvature ratio.
+  auto build_loss = [](const ag::Var& w) {
+    Matrix scale_mat(1, 2, {10.0f, 0.1f});
+    ag::Var diff = ag::Sub(w, ag::MakeConst(Matrix::Ones(1, 2)));
+    return ag::SumAll(ag::Square(ag::Mul(diff, ag::MakeConst(scale_mat))));
+  };
+  OneParam adam_m(Matrix(1, 2, {0.0f, 0.0f}));
+  OneParam sgd_m(Matrix(1, 2, {0.0f, 0.0f}));
+  Adam adam(adam_m.Parameters(), 0.05f);
+  Sgd sgd(sgd_m.Parameters(), 0.004f);  // larger LR diverges on w0
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    ag::Backward(build_loss(adam_m.param()));
+    adam.Step();
+    sgd.ZeroGrad();
+    ag::Backward(build_loss(sgd_m.param()));
+    sgd.Step();
+  }
+  const float adam_err =
+      adam_m.param()->value().MaxAbsDiff(Matrix::Ones(1, 2));
+  const float sgd_err = sgd_m.param()->value().MaxAbsDiff(Matrix::Ones(1, 2));
+  EXPECT_LT(adam_err, sgd_err);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  OneParam m(Matrix(1, 2, {1.0f, 1.0f}));
+  m.param()->mutable_grad().At(0, 0) = 0.3f;
+  m.param()->mutable_grad().At(0, 1) = 0.4f;  // norm 0.5
+  const float norm = ClipGradNorm(m.Parameters(), 1.0f);
+  EXPECT_NEAR(norm, 0.5f, 1e-6f);
+  EXPECT_NEAR(m.param()->grad().At(0, 0), 0.3f, 1e-6f);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  OneParam m(Matrix(1, 2, {1.0f, 1.0f}));
+  m.param()->mutable_grad().At(0, 0) = 3.0f;
+  m.param()->mutable_grad().At(0, 1) = 4.0f;  // norm 5
+  const float norm = ClipGradNorm(m.Parameters(), 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  const float clipped_norm =
+      std::sqrt(m.param()->grad().SquaredL2Norm());
+  EXPECT_NEAR(clipped_norm, 1.0f, 1e-5f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  OneParam m(Matrix(1, 2, {1.0f, 1.0f}));
+  Sgd opt(m.Parameters(), 0.1f);
+  ag::Backward(ag::SumAll(m.param()));
+  EXPECT_GT(m.param()->grad().SquaredL2Norm(), 0.0f);
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(m.param()->grad().SquaredL2Norm(), 0.0f);
+}
+
+}  // namespace
+}  // namespace agnn::nn

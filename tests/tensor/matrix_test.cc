@@ -1,0 +1,189 @@
+#include "agnn/tensor/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace agnn {
+namespace {
+
+Matrix Make23() { return Matrix(2, 3, {1, 2, 3, 4, 5, 6}); }
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m = Make23();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 6.0f);
+  m.At(1, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(m.At(1, 2), 9.0f);
+}
+
+TEST(MatrixTest, FactoriesProduceExpectedValues) {
+  EXPECT_FLOAT_EQ(Matrix::Zeros(2, 2).Sum(), 0.0f);
+  EXPECT_FLOAT_EQ(Matrix::Ones(2, 2).Sum(), 4.0f);
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_FLOAT_EQ(eye.Sum(), 3.0f);
+  EXPECT_FLOAT_EQ(eye.At(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(eye.At(0, 1), 0.0f);
+  Matrix rv = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(rv.rows(), 1u);
+  EXPECT_EQ(rv.cols(), 3u);
+}
+
+TEST(MatrixTest, RandomFactoriesRespectBounds) {
+  Rng rng(5);
+  Matrix u = Matrix::RandomUniform(10, 10, -2.0f, 3.0f, &rng);
+  EXPECT_GE(u.Min(), -2.0f);
+  EXPECT_LT(u.Max(), 3.0f);
+  Matrix n = Matrix::RandomNormal(50, 50, 1.0f, 0.5f, &rng);
+  EXPECT_NEAR(n.Mean(), 1.0f, 0.05f);
+}
+
+TEST(MatrixTest, ElementwiseArithmetic) {
+  Matrix a = Make23();
+  Matrix b = Matrix(2, 3, {6, 5, 4, 3, 2, 1});
+  Matrix sum = a.Add(b);
+  for (size_t i = 0; i < sum.size(); ++i) EXPECT_FLOAT_EQ(sum.data()[i], 7.0f);
+  Matrix diff = a.Sub(a);
+  EXPECT_FLOAT_EQ(diff.SquaredL2Norm(), 0.0f);
+  Matrix prod = a.Mul(b);
+  EXPECT_FLOAT_EQ(prod.At(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(prod.At(1, 2), 6.0f);
+  Matrix quot = a.Div(a);
+  EXPECT_FLOAT_EQ(quot.Sum(), 6.0f);
+  EXPECT_FLOAT_EQ(a.Scale(2.0f).At(1, 0), 8.0f);
+  EXPECT_FLOAT_EQ(a.AddScalar(1.0f).At(0, 0), 2.0f);
+}
+
+TEST(MatrixTest, RowBroadcasts) {
+  Matrix a = Make23();
+  Matrix bias = Matrix::RowVector({10, 20, 30});
+  Matrix shifted = a.AddRowBroadcast(bias);
+  EXPECT_FLOAT_EQ(shifted.At(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(shifted.At(1, 2), 36.0f);
+  Matrix scaled = a.MulRowBroadcast(Matrix::RowVector({1, 0, 2}));
+  EXPECT_FLOAT_EQ(scaled.At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(scaled.At(1, 2), 12.0f);
+}
+
+TEST(MatrixTest, MatMulMatchesHandComputation) {
+  Matrix a = Make23();                       // 2x3
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});     // 3x2
+  Matrix c = a.MatMul(b);                    // 2x2
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatrixTest, TransposedMatMulVariantsAgree) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomNormal(4, 5, 0, 1, &rng);
+  Matrix b = Matrix::RandomNormal(4, 6, 0, 1, &rng);
+  // a^T b via helper vs explicit transpose.
+  Matrix direct = a.TransposedMatMul(b);
+  Matrix reference = a.Transposed().MatMul(b);
+  EXPECT_LT(direct.MaxAbsDiff(reference), 1e-5f);
+
+  Matrix c = Matrix::RandomNormal(7, 5, 0, 1, &rng);
+  Matrix d = Matrix::RandomNormal(9, 5, 0, 1, &rng);
+  Matrix direct2 = c.MatMulTransposed(d);
+  Matrix reference2 = c.MatMul(d.Transposed());
+  EXPECT_LT(direct2.MaxAbsDiff(reference2), 1e-5f);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix a = Make23();
+  EXPECT_FLOAT_EQ(a.Sum(), 21.0f);
+  EXPECT_FLOAT_EQ(a.Mean(), 3.5f);
+  EXPECT_FLOAT_EQ(a.Min(), 1.0f);
+  EXPECT_FLOAT_EQ(a.Max(), 6.0f);
+  Matrix rs = a.RowSums();
+  EXPECT_EQ(rs.rows(), 2u);
+  EXPECT_FLOAT_EQ(rs.At(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(rs.At(1, 0), 15.0f);
+  Matrix cs = a.ColSums();
+  EXPECT_EQ(cs.cols(), 3u);
+  EXPECT_FLOAT_EQ(cs.At(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(cs.At(0, 2), 9.0f);
+  Matrix cm = a.ColMeans();
+  EXPECT_FLOAT_EQ(cm.At(0, 1), 3.5f);
+}
+
+TEST(MatrixTest, DotAndNorm) {
+  Matrix a = Make23();
+  EXPECT_FLOAT_EQ(a.Dot(a), 91.0f);
+  EXPECT_FLOAT_EQ(a.SquaredL2Norm(), 91.0f);
+}
+
+TEST(MatrixTest, GatherAndScatter) {
+  Matrix table(4, 2, {0, 1, 10, 11, 20, 21, 30, 31});
+  Matrix gathered = table.GatherRows({3, 0, 3});
+  EXPECT_EQ(gathered.rows(), 3u);
+  EXPECT_FLOAT_EQ(gathered.At(0, 0), 30.0f);
+  EXPECT_FLOAT_EQ(gathered.At(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gathered.At(2, 1), 31.0f);
+
+  Matrix acc = Matrix::Zeros(4, 2);
+  acc.ScatterAddRows({3, 0, 3}, gathered);
+  EXPECT_FLOAT_EQ(acc.At(3, 0), 60.0f);  // two scatters into row 3
+  EXPECT_FLOAT_EQ(acc.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(acc.At(1, 0), 0.0f);
+}
+
+TEST(MatrixTest, ConcatAndSlice) {
+  Matrix a = Make23();
+  Matrix b(2, 2, {9, 8, 7, 6});
+  Matrix cat = a.ConcatCols(b);
+  EXPECT_EQ(cat.cols(), 5u);
+  EXPECT_FLOAT_EQ(cat.At(0, 3), 9.0f);
+  EXPECT_FLOAT_EQ(cat.At(1, 4), 6.0f);
+  Matrix back = cat.SliceCols(0, 3);
+  EXPECT_LT(back.MaxAbsDiff(a), 1e-6f);
+  Matrix rows = cat.SliceRows(1, 2);
+  EXPECT_EQ(rows.rows(), 1u);
+  EXPECT_FLOAT_EQ(rows.At(0, 0), 4.0f);
+}
+
+TEST(MatrixTest, MapAppliesFunction) {
+  Matrix a = Make23();
+  Matrix sq = a.Map([](float v) { return v * v; });
+  EXPECT_FLOAT_EQ(sq.At(1, 2), 36.0f);
+}
+
+TEST(MatrixTest, AllFiniteDetectsNan) {
+  Matrix a = Make23();
+  EXPECT_TRUE(a.AllFinite());
+  a.At(0, 0) = std::nanf("");
+  EXPECT_FALSE(a.AllFinite());
+}
+
+TEST(MatrixTest, SerializeRoundTrip) {
+  Rng rng(9);
+  Matrix a = Matrix::RandomNormal(5, 7, 0, 1, &rng);
+  std::stringstream ss;
+  a.Serialize(&ss);
+  Matrix b = Matrix::Deserialize(&ss);
+  EXPECT_EQ(b.rows(), 5u);
+  EXPECT_EQ(b.cols(), 7u);
+  EXPECT_FLOAT_EQ(a.MaxAbsDiff(b), 0.0f);
+}
+
+TEST(MatrixTest, DebugStringTruncates) {
+  Matrix big = Matrix::Ones(10, 20);
+  std::string s = big.DebugString(2, 3);
+  EXPECT_NE(s.find("Matrix(10x20)"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(MatrixTest, EmptyMatrixBehaves) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+}
+
+}  // namespace
+}  // namespace agnn
