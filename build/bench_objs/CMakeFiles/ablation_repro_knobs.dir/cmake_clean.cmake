@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_repro_knobs"
+  "../bench/ablation_repro_knobs.pdb"
+  "CMakeFiles/ablation_repro_knobs.dir/ablation_repro_knobs.cc.o"
+  "CMakeFiles/ablation_repro_knobs.dir/ablation_repro_knobs.cc.o.d"
+  "CMakeFiles/ablation_repro_knobs.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_repro_knobs.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repro_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

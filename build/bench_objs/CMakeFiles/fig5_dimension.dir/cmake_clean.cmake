@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_dimension"
+  "../bench/fig5_dimension.pdb"
+  "CMakeFiles/fig5_dimension.dir/bench_util.cc.o"
+  "CMakeFiles/fig5_dimension.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig5_dimension.dir/fig5_dimension.cc.o"
+  "CMakeFiles/fig5_dimension.dir/fig5_dimension.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_lambda"
+  "../bench/fig6_lambda.pdb"
+  "CMakeFiles/fig6_lambda.dir/bench_util.cc.o"
+  "CMakeFiles/fig6_lambda.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig6_lambda.dir/fig6_lambda.cc.o"
+  "CMakeFiles/fig6_lambda.dir/fig6_lambda.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

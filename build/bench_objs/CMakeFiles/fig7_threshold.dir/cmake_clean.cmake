@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_threshold"
+  "../bench/fig7_threshold.pdb"
+  "CMakeFiles/fig7_threshold.dir/bench_util.cc.o"
+  "CMakeFiles/fig7_threshold.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig7_threshold.dir/fig7_threshold.cc.o"
+  "CMakeFiles/fig7_threshold.dir/fig7_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

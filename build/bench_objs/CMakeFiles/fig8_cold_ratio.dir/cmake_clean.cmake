@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_cold_ratio"
+  "../bench/fig8_cold_ratio.pdb"
+  "CMakeFiles/fig8_cold_ratio.dir/bench_util.cc.o"
+  "CMakeFiles/fig8_cold_ratio.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig8_cold_ratio.dir/fig8_cold_ratio.cc.o"
+  "CMakeFiles/fig8_cold_ratio.dir/fig8_cold_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cold_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench_objs/CMakeFiles/fig9_training_curves.dir/bench_util.cc.o" "gcc" "bench_objs/CMakeFiles/fig9_training_curves.dir/bench_util.cc.o.d"
+  "/root/repo/bench/fig9_training_curves.cc" "bench_objs/CMakeFiles/fig9_training_curves.dir/fig9_training_curves.cc.o" "gcc" "bench_objs/CMakeFiles/fig9_training_curves.dir/fig9_training_curves.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agnn/eval/CMakeFiles/agnn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/core/CMakeFiles/agnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/baselines/CMakeFiles/agnn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/nn/CMakeFiles/agnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/autograd/CMakeFiles/agnn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/graph/CMakeFiles/agnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/data/CMakeFiles/agnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/tensor/CMakeFiles/agnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/eval/CMakeFiles/agnn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/common/CMakeFiles/agnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_training_curves"
+  "../bench/fig9_training_curves.pdb"
+  "CMakeFiles/fig9_training_curves.dir/bench_util.cc.o"
+  "CMakeFiles/fig9_training_curves.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig9_training_curves.dir/fig9_training_curves.cc.o"
+  "CMakeFiles/fig9_training_curves.dir/fig9_training_curves.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_training_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table2_main"
+  "../bench/table2_main.pdb"
+  "CMakeFiles/table2_main.dir/bench_util.cc.o"
+  "CMakeFiles/table2_main.dir/bench_util.cc.o.d"
+  "CMakeFiles/table2_main.dir/table2_main.cc.o"
+  "CMakeFiles/table2_main.dir/table2_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table4_replacement"
+  "../bench/table4_replacement.pdb"
+  "CMakeFiles/table4_replacement.dir/bench_util.cc.o"
+  "CMakeFiles/table4_replacement.dir/bench_util.cc.o.d"
+  "CMakeFiles/table4_replacement.dir/table4_replacement.cc.o"
+  "CMakeFiles/table4_replacement.dir/table4_replacement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

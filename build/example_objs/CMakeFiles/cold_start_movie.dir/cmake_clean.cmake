@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cold_start_movie"
+  "../examples/cold_start_movie.pdb"
+  "CMakeFiles/cold_start_movie.dir/cold_start_movie.cc.o"
+  "CMakeFiles/cold_start_movie.dir/cold_start_movie.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_start_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/model_zoo"
+  "../examples/model_zoo.pdb"
+  "CMakeFiles/model_zoo.dir/model_zoo.cc.o"
+  "CMakeFiles/model_zoo.dir/model_zoo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/normal_vs_strict"
+  "../examples/normal_vs_strict.pdb"
+  "CMakeFiles/normal_vs_strict.dir/normal_vs_strict.cc.o"
+  "CMakeFiles/normal_vs_strict.dir/normal_vs_strict.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normal_vs_strict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

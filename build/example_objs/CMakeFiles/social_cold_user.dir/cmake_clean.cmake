@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/social_cold_user"
+  "../examples/social_cold_user.pdb"
+  "CMakeFiles/social_cold_user.dir/social_cold_user.cc.o"
+  "CMakeFiles/social_cold_user.dir/social_cold_user.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_cold_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/train_cli"
+  "../examples/train_cli.pdb"
+  "CMakeFiles/train_cli.dir/train_cli.cc.o"
+  "CMakeFiles/train_cli.dir/train_cli.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("agnn/common")
+subdirs("agnn/tensor")
+subdirs("agnn/autograd")
+subdirs("agnn/nn")
+subdirs("agnn/data")
+subdirs("agnn/graph")
+subdirs("agnn/core")
+subdirs("agnn/baselines")
+subdirs("agnn/eval")

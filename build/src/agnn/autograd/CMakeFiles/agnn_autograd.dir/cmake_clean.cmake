@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_autograd.dir/ops.cc.o"
+  "CMakeFiles/agnn_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/agnn_autograd.dir/variable.cc.o"
+  "CMakeFiles/agnn_autograd.dir/variable.cc.o.d"
+  "libagnn_autograd.a"
+  "libagnn_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

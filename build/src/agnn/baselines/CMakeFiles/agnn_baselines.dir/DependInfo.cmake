@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agnn/baselines/common.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/common.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/common.cc.o.d"
+  "/root/repo/src/agnn/baselines/danser.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/danser.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/danser.cc.o.d"
+  "/root/repo/src/agnn/baselines/diffnet.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/diffnet.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/diffnet.cc.o.d"
+  "/root/repo/src/agnn/baselines/dropoutnet.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/dropoutnet.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/dropoutnet.cc.o.d"
+  "/root/repo/src/agnn/baselines/factory.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/factory.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/factory.cc.o.d"
+  "/root/repo/src/agnn/baselines/gcmc.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/gcmc.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/gcmc.cc.o.d"
+  "/root/repo/src/agnn/baselines/graph_rec_base.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/graph_rec_base.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/graph_rec_base.cc.o.d"
+  "/root/repo/src/agnn/baselines/hers.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/hers.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/hers.cc.o.d"
+  "/root/repo/src/agnn/baselines/igmc.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/igmc.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/igmc.cc.o.d"
+  "/root/repo/src/agnn/baselines/llae.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/llae.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/llae.cc.o.d"
+  "/root/repo/src/agnn/baselines/metaemb.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/metaemb.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/metaemb.cc.o.d"
+  "/root/repo/src/agnn/baselines/metahin.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/metahin.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/metahin.cc.o.d"
+  "/root/repo/src/agnn/baselines/mf.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/mf.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/mf.cc.o.d"
+  "/root/repo/src/agnn/baselines/nfm.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/nfm.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/nfm.cc.o.d"
+  "/root/repo/src/agnn/baselines/rating_model.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/rating_model.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/rating_model.cc.o.d"
+  "/root/repo/src/agnn/baselines/srmgcnn.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/srmgcnn.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/srmgcnn.cc.o.d"
+  "/root/repo/src/agnn/baselines/stargcn.cc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/stargcn.cc.o" "gcc" "src/agnn/baselines/CMakeFiles/agnn_baselines.dir/stargcn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agnn/nn/CMakeFiles/agnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/graph/CMakeFiles/agnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/autograd/CMakeFiles/agnn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/data/CMakeFiles/agnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/tensor/CMakeFiles/agnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/common/CMakeFiles/agnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agnn/common/flags.cc" "src/agnn/common/CMakeFiles/agnn_common.dir/flags.cc.o" "gcc" "src/agnn/common/CMakeFiles/agnn_common.dir/flags.cc.o.d"
+  "/root/repo/src/agnn/common/rng.cc" "src/agnn/common/CMakeFiles/agnn_common.dir/rng.cc.o" "gcc" "src/agnn/common/CMakeFiles/agnn_common.dir/rng.cc.o.d"
+  "/root/repo/src/agnn/common/string_util.cc" "src/agnn/common/CMakeFiles/agnn_common.dir/string_util.cc.o" "gcc" "src/agnn/common/CMakeFiles/agnn_common.dir/string_util.cc.o.d"
+  "/root/repo/src/agnn/common/table.cc" "src/agnn/common/CMakeFiles/agnn_common.dir/table.cc.o" "gcc" "src/agnn/common/CMakeFiles/agnn_common.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

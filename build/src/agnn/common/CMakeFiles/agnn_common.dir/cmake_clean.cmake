@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_common.dir/flags.cc.o"
+  "CMakeFiles/agnn_common.dir/flags.cc.o.d"
+  "CMakeFiles/agnn_common.dir/rng.cc.o"
+  "CMakeFiles/agnn_common.dir/rng.cc.o.d"
+  "CMakeFiles/agnn_common.dir/string_util.cc.o"
+  "CMakeFiles/agnn_common.dir/string_util.cc.o.d"
+  "CMakeFiles/agnn_common.dir/table.cc.o"
+  "CMakeFiles/agnn_common.dir/table.cc.o.d"
+  "libagnn_common.a"
+  "libagnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

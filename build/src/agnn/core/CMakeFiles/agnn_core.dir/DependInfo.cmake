@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agnn/core/agnn_model.cc" "src/agnn/core/CMakeFiles/agnn_core.dir/agnn_model.cc.o" "gcc" "src/agnn/core/CMakeFiles/agnn_core.dir/agnn_model.cc.o.d"
+  "/root/repo/src/agnn/core/evae.cc" "src/agnn/core/CMakeFiles/agnn_core.dir/evae.cc.o" "gcc" "src/agnn/core/CMakeFiles/agnn_core.dir/evae.cc.o.d"
+  "/root/repo/src/agnn/core/gated_gnn.cc" "src/agnn/core/CMakeFiles/agnn_core.dir/gated_gnn.cc.o" "gcc" "src/agnn/core/CMakeFiles/agnn_core.dir/gated_gnn.cc.o.d"
+  "/root/repo/src/agnn/core/interaction_layer.cc" "src/agnn/core/CMakeFiles/agnn_core.dir/interaction_layer.cc.o" "gcc" "src/agnn/core/CMakeFiles/agnn_core.dir/interaction_layer.cc.o.d"
+  "/root/repo/src/agnn/core/prediction_layer.cc" "src/agnn/core/CMakeFiles/agnn_core.dir/prediction_layer.cc.o" "gcc" "src/agnn/core/CMakeFiles/agnn_core.dir/prediction_layer.cc.o.d"
+  "/root/repo/src/agnn/core/trainer.cc" "src/agnn/core/CMakeFiles/agnn_core.dir/trainer.cc.o" "gcc" "src/agnn/core/CMakeFiles/agnn_core.dir/trainer.cc.o.d"
+  "/root/repo/src/agnn/core/variants.cc" "src/agnn/core/CMakeFiles/agnn_core.dir/variants.cc.o" "gcc" "src/agnn/core/CMakeFiles/agnn_core.dir/variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agnn/nn/CMakeFiles/agnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/graph/CMakeFiles/agnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/eval/CMakeFiles/agnn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/autograd/CMakeFiles/agnn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/data/CMakeFiles/agnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/tensor/CMakeFiles/agnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/common/CMakeFiles/agnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

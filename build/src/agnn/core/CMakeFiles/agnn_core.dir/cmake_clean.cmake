@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_core.dir/agnn_model.cc.o"
+  "CMakeFiles/agnn_core.dir/agnn_model.cc.o.d"
+  "CMakeFiles/agnn_core.dir/evae.cc.o"
+  "CMakeFiles/agnn_core.dir/evae.cc.o.d"
+  "CMakeFiles/agnn_core.dir/gated_gnn.cc.o"
+  "CMakeFiles/agnn_core.dir/gated_gnn.cc.o.d"
+  "CMakeFiles/agnn_core.dir/interaction_layer.cc.o"
+  "CMakeFiles/agnn_core.dir/interaction_layer.cc.o.d"
+  "CMakeFiles/agnn_core.dir/prediction_layer.cc.o"
+  "CMakeFiles/agnn_core.dir/prediction_layer.cc.o.d"
+  "CMakeFiles/agnn_core.dir/trainer.cc.o"
+  "CMakeFiles/agnn_core.dir/trainer.cc.o.d"
+  "CMakeFiles/agnn_core.dir/variants.cc.o"
+  "CMakeFiles/agnn_core.dir/variants.cc.o.d"
+  "libagnn_core.a"
+  "libagnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

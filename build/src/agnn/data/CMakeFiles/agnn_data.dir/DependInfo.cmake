@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agnn/data/attribute_schema.cc" "src/agnn/data/CMakeFiles/agnn_data.dir/attribute_schema.cc.o" "gcc" "src/agnn/data/CMakeFiles/agnn_data.dir/attribute_schema.cc.o.d"
+  "/root/repo/src/agnn/data/csv_loader.cc" "src/agnn/data/CMakeFiles/agnn_data.dir/csv_loader.cc.o" "gcc" "src/agnn/data/CMakeFiles/agnn_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/agnn/data/dataset.cc" "src/agnn/data/CMakeFiles/agnn_data.dir/dataset.cc.o" "gcc" "src/agnn/data/CMakeFiles/agnn_data.dir/dataset.cc.o.d"
+  "/root/repo/src/agnn/data/discrete_distribution.cc" "src/agnn/data/CMakeFiles/agnn_data.dir/discrete_distribution.cc.o" "gcc" "src/agnn/data/CMakeFiles/agnn_data.dir/discrete_distribution.cc.o.d"
+  "/root/repo/src/agnn/data/split.cc" "src/agnn/data/CMakeFiles/agnn_data.dir/split.cc.o" "gcc" "src/agnn/data/CMakeFiles/agnn_data.dir/split.cc.o.d"
+  "/root/repo/src/agnn/data/synthetic.cc" "src/agnn/data/CMakeFiles/agnn_data.dir/synthetic.cc.o" "gcc" "src/agnn/data/CMakeFiles/agnn_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agnn/tensor/CMakeFiles/agnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/common/CMakeFiles/agnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_data.dir/attribute_schema.cc.o"
+  "CMakeFiles/agnn_data.dir/attribute_schema.cc.o.d"
+  "CMakeFiles/agnn_data.dir/csv_loader.cc.o"
+  "CMakeFiles/agnn_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/agnn_data.dir/dataset.cc.o"
+  "CMakeFiles/agnn_data.dir/dataset.cc.o.d"
+  "CMakeFiles/agnn_data.dir/discrete_distribution.cc.o"
+  "CMakeFiles/agnn_data.dir/discrete_distribution.cc.o.d"
+  "CMakeFiles/agnn_data.dir/split.cc.o"
+  "CMakeFiles/agnn_data.dir/split.cc.o.d"
+  "CMakeFiles/agnn_data.dir/synthetic.cc.o"
+  "CMakeFiles/agnn_data.dir/synthetic.cc.o.d"
+  "libagnn_data.a"
+  "libagnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_eval.dir/protocol.cc.o"
+  "CMakeFiles/agnn_eval.dir/protocol.cc.o.d"
+  "libagnn_eval.a"
+  "libagnn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

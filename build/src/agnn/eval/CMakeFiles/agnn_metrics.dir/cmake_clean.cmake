@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_metrics.dir/metrics.cc.o"
+  "CMakeFiles/agnn_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/agnn_metrics.dir/ranking.cc.o"
+  "CMakeFiles/agnn_metrics.dir/ranking.cc.o.d"
+  "libagnn_metrics.a"
+  "libagnn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

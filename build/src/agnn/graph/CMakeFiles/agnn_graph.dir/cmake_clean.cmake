@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_graph.dir/attribute_graph.cc.o"
+  "CMakeFiles/agnn_graph.dir/attribute_graph.cc.o.d"
+  "CMakeFiles/agnn_graph.dir/graph.cc.o"
+  "CMakeFiles/agnn_graph.dir/graph.cc.o.d"
+  "CMakeFiles/agnn_graph.dir/interaction_graph.cc.o"
+  "CMakeFiles/agnn_graph.dir/interaction_graph.cc.o.d"
+  "CMakeFiles/agnn_graph.dir/proximity.cc.o"
+  "CMakeFiles/agnn_graph.dir/proximity.cc.o.d"
+  "libagnn_graph.a"
+  "libagnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

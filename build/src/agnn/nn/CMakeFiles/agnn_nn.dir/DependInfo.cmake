@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agnn/nn/init.cc" "src/agnn/nn/CMakeFiles/agnn_nn.dir/init.cc.o" "gcc" "src/agnn/nn/CMakeFiles/agnn_nn.dir/init.cc.o.d"
+  "/root/repo/src/agnn/nn/layers.cc" "src/agnn/nn/CMakeFiles/agnn_nn.dir/layers.cc.o" "gcc" "src/agnn/nn/CMakeFiles/agnn_nn.dir/layers.cc.o.d"
+  "/root/repo/src/agnn/nn/module.cc" "src/agnn/nn/CMakeFiles/agnn_nn.dir/module.cc.o" "gcc" "src/agnn/nn/CMakeFiles/agnn_nn.dir/module.cc.o.d"
+  "/root/repo/src/agnn/nn/optimizer.cc" "src/agnn/nn/CMakeFiles/agnn_nn.dir/optimizer.cc.o" "gcc" "src/agnn/nn/CMakeFiles/agnn_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agnn/autograd/CMakeFiles/agnn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/tensor/CMakeFiles/agnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/agnn/common/CMakeFiles/agnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_nn.dir/init.cc.o"
+  "CMakeFiles/agnn_nn.dir/init.cc.o.d"
+  "CMakeFiles/agnn_nn.dir/layers.cc.o"
+  "CMakeFiles/agnn_nn.dir/layers.cc.o.d"
+  "CMakeFiles/agnn_nn.dir/module.cc.o"
+  "CMakeFiles/agnn_nn.dir/module.cc.o.d"
+  "CMakeFiles/agnn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/agnn_nn.dir/optimizer.cc.o.d"
+  "libagnn_nn.a"
+  "libagnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

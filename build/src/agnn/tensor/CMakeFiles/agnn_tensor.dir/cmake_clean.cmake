@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_tensor.dir/matrix.cc.o"
+  "CMakeFiles/agnn_tensor.dir/matrix.cc.o.d"
+  "libagnn_tensor.a"
+  "libagnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

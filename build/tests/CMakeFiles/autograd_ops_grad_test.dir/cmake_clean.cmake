@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_ops_grad_test.dir/autograd/ops_grad_test.cc.o"
+  "CMakeFiles/autograd_ops_grad_test.dir/autograd/ops_grad_test.cc.o.d"
+  "autograd_ops_grad_test"
+  "autograd_ops_grad_test.pdb"
+  "autograd_ops_grad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_ops_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_variable_test.dir/autograd/variable_test.cc.o"
+  "CMakeFiles/autograd_variable_test.dir/autograd/variable_test.cc.o.d"
+  "autograd_variable_test"
+  "autograd_variable_test.pdb"
+  "autograd_variable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_variable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

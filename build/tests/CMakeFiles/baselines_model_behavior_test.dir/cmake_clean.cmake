@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_model_behavior_test.dir/baselines/model_behavior_test.cc.o"
+  "CMakeFiles/baselines_model_behavior_test.dir/baselines/model_behavior_test.cc.o.d"
+  "baselines_model_behavior_test"
+  "baselines_model_behavior_test.pdb"
+  "baselines_model_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_model_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_agnn_gradient_test.dir/core/agnn_gradient_test.cc.o"
+  "CMakeFiles/core_agnn_gradient_test.dir/core/agnn_gradient_test.cc.o.d"
+  "core_agnn_gradient_test"
+  "core_agnn_gradient_test.pdb"
+  "core_agnn_gradient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_agnn_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_evae_test.dir/core/evae_test.cc.o"
+  "CMakeFiles/core_evae_test.dir/core/evae_test.cc.o.d"
+  "core_evae_test"
+  "core_evae_test.pdb"
+  "core_evae_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_evae_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gated_gnn_test.dir/core/gated_gnn_test.cc.o"
+  "CMakeFiles/core_gated_gnn_test.dir/core/gated_gnn_test.cc.o.d"
+  "core_gated_gnn_test"
+  "core_gated_gnn_test.pdb"
+  "core_gated_gnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gated_gnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

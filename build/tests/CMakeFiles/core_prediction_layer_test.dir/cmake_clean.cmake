@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_prediction_layer_test.dir/core/prediction_layer_test.cc.o"
+  "CMakeFiles/core_prediction_layer_test.dir/core/prediction_layer_test.cc.o.d"
+  "core_prediction_layer_test"
+  "core_prediction_layer_test.pdb"
+  "core_prediction_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_prediction_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

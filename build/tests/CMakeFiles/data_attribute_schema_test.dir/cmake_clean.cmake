@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_attribute_schema_test.dir/data/attribute_schema_test.cc.o"
+  "CMakeFiles/data_attribute_schema_test.dir/data/attribute_schema_test.cc.o.d"
+  "data_attribute_schema_test"
+  "data_attribute_schema_test.pdb"
+  "data_attribute_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_attribute_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_attribute_graph_test.dir/graph/attribute_graph_test.cc.o"
+  "CMakeFiles/graph_attribute_graph_test.dir/graph/attribute_graph_test.cc.o.d"
+  "graph_attribute_graph_test"
+  "graph_attribute_graph_test.pdb"
+  "graph_attribute_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_attribute_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_proximity_test.dir/graph/proximity_test.cc.o"
+  "CMakeFiles/graph_proximity_test.dir/graph/proximity_test.cc.o.d"
+  "graph_proximity_test"
+  "graph_proximity_test.pdb"
+  "graph_proximity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_proximity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
