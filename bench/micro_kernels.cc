@@ -4,12 +4,17 @@
 // dimension D — O(|R+| |N_u| |N_i| D) overall. Also covers the other hot
 // kernels: GEMM, attribute-graph construction, and neighbor sampling.
 
+#include <cmath>
+#include <functional>
+
 #include <benchmark/benchmark.h>
 
 #include "agnn/core/gated_gnn.h"
+#include "agnn/core/trainer.h"
 #include "agnn/data/synthetic.h"
 #include "agnn/graph/attribute_graph.h"
 #include "agnn/graph/interaction_graph.h"
+#include "agnn/tensor/workspace.h"
 
 namespace agnn {
 namespace {
@@ -25,7 +30,181 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetComplexityN(static_cast<int64_t>(n));
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+BENCHMARK(BM_MatMul)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+// Destination-passing gemm: the trainer-hot form (no allocation per call).
+void BM_MatMulInto(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix b = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    a.MatMulInto(b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatMulInto)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The a^T b form used by every matmul dW backward.
+void BM_TransposedMatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  Matrix a = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix b = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    a.TransposedMatMulInto(b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_TransposedMatMul)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The a b^T form used by every matmul dX backward.
+void BM_MatMulTransposed(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  Matrix a = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix b = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    a.MatMulTransposedInto(b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatMulTransposed)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Transpose(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Matrix a = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    a.TransposedInto(&out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Activation forward: inlined-functor kernel vs. the legacy std::function
+// Map path (kept as the explicit before/after comparison for the
+// kernel-layer refactor).
+void BM_SigmoidKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  Matrix x = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    kernels::SigmoidForward(x.data(), out.data(), x.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SigmoidKernel)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SigmoidStdFunctionMap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  Matrix x = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  const std::function<float(float)> fn = [](float v) {
+    return 1.0f / (1.0f + std::exp(-v));
+  };
+  for (auto _ : state) {
+    Matrix out = x.Map(fn);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SigmoidStdFunctionMap)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LeakyReluKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Matrix x = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    kernels::LeakyReluForward(x.data(), out.data(), x.size(), 0.01f);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LeakyReluKernel)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LeakyReluStdFunctionMap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Matrix x = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  const std::function<float(float)> fn = [](float v) {
+    return v > 0.0f ? v : 0.01f * v;
+  };
+  for (auto _ : state) {
+    Matrix out = x.Map(fn);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LeakyReluStdFunctionMap)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SquareKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(10);
+  Matrix x = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    kernels::SquareForward(x.data(), out.data(), x.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SquareKernel)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SquareStdFunctionMap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(10);
+  Matrix x = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  const std::function<float(float)> fn = [](float v) { return v * v; };
+  for (auto _ : state) {
+    Matrix out = x.Map(fn);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SquareStdFunctionMap)->Arg(16)->Arg(64)->Arg(256);
+
+// Zero-skipping vs dense gemm on a 90%-sparse multi-hot lhs (the LLAE and
+// attribute-encoding shape).
+void BM_MatMulSparseLhs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Matrix a = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (rng.Bernoulli(0.9)) a.data()[i] = 0.0f;
+  }
+  Matrix b = Matrix::RandomNormal(n, n, 0, 1, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    a.MatMulSparseInto(b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatMulSparseLhs)->Arg(64)->Arg(256);
+
+// One full training epoch of the AGNN trainer on a small synthetic dataset:
+// the end-to-end number the kernel+workspace layer is meant to move.
+void BM_AgnnTrainerEpoch(benchmark::State& state) {
+  data::Dataset ds = data::GenerateSynthetic(
+      data::SyntheticConfig::Ml100k(data::Scale::kSmall), 9);
+  Rng rng(9);
+  data::Split split =
+      data::MakeSplit(ds, data::Scenario::kItemColdStart, 0.2, &rng);
+  core::AgnnConfig config;
+  config.epochs = 1;
+  core::AgnnTrainer trainer(ds, split, config);
+  for (auto _ : state) {
+    trainer.Train();  // one epoch per iteration (epochs = 1)
+    benchmark::DoNotOptimize(&trainer);
+  }
+  state.counters["ws_hit_rate"] = benchmark::Counter(
+      static_cast<double>(GlobalWorkspace()->hits()) /
+      static_cast<double>(GlobalWorkspace()->hits() +
+                          GlobalWorkspace()->misses() + 1));
+}
+BENCHMARK(BM_AgnnTrainerEpoch);
 
 // Gated-GNN forward+backward as a function of the neighborhood size |N|.
 void BM_GatedGnnNeighbors(benchmark::State& state) {

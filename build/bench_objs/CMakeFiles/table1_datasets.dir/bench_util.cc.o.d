@@ -183,7 +183,7 @@ bench_objs/CMakeFiles/table1_datasets.dir/bench_util.cc.o: \
  /root/repo/src/agnn/data/synthetic.h /root/repo/src/agnn/data/dataset.h \
  /root/repo/src/agnn/data/attribute_schema.h /usr/include/c++/12/cstddef \
  /root/repo/src/agnn/tensor/matrix.h /root/repo/src/agnn/common/rng.h \
- /root/repo/src/agnn/eval/protocol.h \
+ /root/repo/src/agnn/tensor/kernels.h /root/repo/src/agnn/eval/protocol.h \
  /root/repo/src/agnn/baselines/factory.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

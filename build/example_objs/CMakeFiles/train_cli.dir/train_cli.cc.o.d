@@ -228,6 +228,7 @@ example_objs/CMakeFiles/train_cli.dir/train_cli.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/agnn/tensor/kernels.h \
  /root/repo/src/agnn/graph/proximity.h /root/repo/src/agnn/core/evae.h \
  /root/repo/src/agnn/nn/layers.h /root/repo/src/agnn/autograd/ops.h \
  /root/repo/src/agnn/autograd/variable.h /root/repo/src/agnn/nn/module.h \

@@ -216,12 +216,13 @@ src/agnn/baselines/CMakeFiles/agnn_baselines.dir/danser.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/agnn/nn/layers.h /root/repo/src/agnn/autograd/ops.h \
- /root/repo/src/agnn/autograd/variable.h /root/repo/src/agnn/nn/module.h \
- /root/repo/src/agnn/common/status.h /usr/include/c++/12/optional \
  /root/repo/src/agnn/common/logging.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/agnn/tensor/kernels.h /root/repo/src/agnn/nn/layers.h \
+ /root/repo/src/agnn/autograd/ops.h \
+ /root/repo/src/agnn/autograd/variable.h /root/repo/src/agnn/nn/module.h \
+ /root/repo/src/agnn/common/status.h /usr/include/c++/12/optional \
  /root/repo/src/agnn/baselines/rating_model.h \
  /root/repo/src/agnn/graph/attribute_graph.h \
  /root/repo/src/agnn/graph/graph.h \

@@ -213,10 +213,11 @@ src/agnn/core/CMakeFiles/agnn_core.dir/interaction_layer.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/agnn/tensor/matrix.h /usr/include/c++/12/cstddef \
- /root/repo/src/agnn/common/rng.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/agnn/nn/module.h \
- /root/repo/src/agnn/common/status.h /usr/include/c++/12/optional \
  /root/repo/src/agnn/common/logging.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/agnn/nn/init.h
+ /root/repo/src/agnn/common/rng.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/agnn/tensor/kernels.h /root/repo/src/agnn/nn/module.h \
+ /root/repo/src/agnn/common/status.h /usr/include/c++/12/optional \
+ /root/repo/src/agnn/nn/init.h /root/repo/src/agnn/tensor/workspace.h

@@ -146,7 +146,6 @@ src/agnn/core/CMakeFiles/agnn_core.dir/variants.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/agnn/graph/proximity.h \
  /root/repo/src/agnn/common/logging.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
@@ -184,4 +183,6 @@ src/agnn/core/CMakeFiles/agnn_core.dir/variants.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/agnn/tensor/kernels.h \
+ /root/repo/src/agnn/graph/proximity.h

@@ -216,8 +216,11 @@ src/agnn/eval/CMakeFiles/agnn_eval.dir/protocol.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/agnn/core/trainer.h /root/repo/src/agnn/core/agnn_model.h \
- /root/repo/src/agnn/core/config.h \
+ /root/repo/src/agnn/common/logging.h /usr/include/c++/12/iostream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/agnn/tensor/kernels.h /root/repo/src/agnn/core/trainer.h \
+ /root/repo/src/agnn/core/agnn_model.h /root/repo/src/agnn/core/config.h \
  /root/repo/src/agnn/graph/attribute_graph.h \
  /root/repo/src/agnn/graph/graph.h \
  /root/repo/src/agnn/graph/interaction_graph.h \
@@ -225,9 +228,6 @@ src/agnn/eval/CMakeFiles/agnn_eval.dir/protocol.cc.o: \
  /root/repo/src/agnn/nn/layers.h /root/repo/src/agnn/autograd/ops.h \
  /root/repo/src/agnn/autograd/variable.h /root/repo/src/agnn/nn/module.h \
  /root/repo/src/agnn/common/status.h /usr/include/c++/12/optional \
- /root/repo/src/agnn/common/logging.h /usr/include/c++/12/iostream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/agnn/core/gated_gnn.h \
  /root/repo/src/agnn/core/interaction_layer.h \
  /root/repo/src/agnn/core/prediction_layer.h \

@@ -8,7 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agnn/tensor/kernels.cc" "src/agnn/tensor/CMakeFiles/agnn_tensor.dir/kernels.cc.o" "gcc" "src/agnn/tensor/CMakeFiles/agnn_tensor.dir/kernels.cc.o.d"
   "/root/repo/src/agnn/tensor/matrix.cc" "src/agnn/tensor/CMakeFiles/agnn_tensor.dir/matrix.cc.o" "gcc" "src/agnn/tensor/CMakeFiles/agnn_tensor.dir/matrix.cc.o.d"
+  "/root/repo/src/agnn/tensor/workspace.cc" "src/agnn/tensor/CMakeFiles/agnn_tensor.dir/workspace.cc.o" "gcc" "src/agnn/tensor/CMakeFiles/agnn_tensor.dir/workspace.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/agnn_tensor.dir/kernels.cc.o"
+  "CMakeFiles/agnn_tensor.dir/kernels.cc.o.d"
   "CMakeFiles/agnn_tensor.dir/matrix.cc.o"
   "CMakeFiles/agnn_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/agnn_tensor.dir/workspace.cc.o"
+  "CMakeFiles/agnn_tensor.dir/workspace.cc.o.d"
   "libagnn_tensor.a"
   "libagnn_tensor.pdb"
 )

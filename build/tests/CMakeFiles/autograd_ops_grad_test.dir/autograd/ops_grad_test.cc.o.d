@@ -317,4 +317,5 @@ tests/CMakeFiles/autograd_ops_grad_test.dir/autograd/ops_grad_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/agnn/autograd/ops.h \
  /root/repo/src/agnn/autograd/variable.h \
- /root/repo/src/agnn/tensor/matrix.h /root/repo/src/agnn/common/rng.h
+ /root/repo/src/agnn/tensor/matrix.h /root/repo/src/agnn/common/logging.h \
+ /root/repo/src/agnn/common/rng.h /root/repo/src/agnn/tensor/kernels.h

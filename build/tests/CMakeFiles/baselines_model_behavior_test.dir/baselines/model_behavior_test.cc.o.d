@@ -321,10 +321,11 @@ tests/CMakeFiles/baselines_model_behavior_test.dir/baselines/model_behavior_test
  /root/repo/src/agnn/baselines/common.h /root/repo/src/agnn/data/split.h \
  /root/repo/src/agnn/common/rng.h /root/repo/src/agnn/data/dataset.h \
  /root/repo/src/agnn/data/attribute_schema.h \
- /root/repo/src/agnn/tensor/matrix.h /root/repo/src/agnn/nn/layers.h \
+ /root/repo/src/agnn/tensor/matrix.h /root/repo/src/agnn/common/logging.h \
+ /root/repo/src/agnn/tensor/kernels.h /root/repo/src/agnn/nn/layers.h \
  /root/repo/src/agnn/autograd/ops.h \
  /root/repo/src/agnn/autograd/variable.h /root/repo/src/agnn/nn/module.h \
- /root/repo/src/agnn/common/status.h /root/repo/src/agnn/common/logging.h \
+ /root/repo/src/agnn/common/status.h \
  /root/repo/src/agnn/baselines/rating_model.h \
  /root/repo/src/agnn/graph/attribute_graph.h \
  /root/repo/src/agnn/graph/graph.h \

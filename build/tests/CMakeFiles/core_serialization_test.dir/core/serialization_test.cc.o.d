@@ -300,12 +300,12 @@ tests/CMakeFiles/core_serialization_test.dir/core/serialization_test.cc.o: \
  /root/repo/src/agnn/graph/interaction_graph.h \
  /root/repo/src/agnn/data/dataset.h \
  /root/repo/src/agnn/data/attribute_schema.h \
- /root/repo/src/agnn/tensor/matrix.h \
+ /root/repo/src/agnn/tensor/matrix.h /root/repo/src/agnn/common/logging.h \
+ /root/repo/src/agnn/tensor/kernels.h \
  /root/repo/src/agnn/graph/proximity.h /root/repo/src/agnn/core/evae.h \
  /root/repo/src/agnn/nn/layers.h /root/repo/src/agnn/autograd/ops.h \
  /root/repo/src/agnn/autograd/variable.h /root/repo/src/agnn/nn/module.h \
- /root/repo/src/agnn/common/status.h /root/repo/src/agnn/common/logging.h \
- /root/repo/src/agnn/core/gated_gnn.h \
+ /root/repo/src/agnn/common/status.h /root/repo/src/agnn/core/gated_gnn.h \
  /root/repo/src/agnn/core/interaction_layer.h \
  /root/repo/src/agnn/core/prediction_layer.h \
  /root/repo/src/agnn/data/split.h /root/repo/src/agnn/eval/metrics.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_kernels_test.dir/tensor/kernels_test.cc.o"
+  "CMakeFiles/tensor_kernels_test.dir/tensor/kernels_test.cc.o.d"
+  "tensor_kernels_test"
+  "tensor_kernels_test.pdb"
+  "tensor_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

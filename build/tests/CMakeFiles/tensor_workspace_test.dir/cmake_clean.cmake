@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_workspace_test.dir/tensor/workspace_test.cc.o"
+  "CMakeFiles/tensor_workspace_test.dir/tensor/workspace_test.cc.o.d"
+  "tensor_workspace_test"
+  "tensor_workspace_test.pdb"
+  "tensor_workspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_workspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,9 +1,12 @@
 #include "agnn/autograd/ops.h"
 
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "agnn/common/logging.h"
+#include "agnn/tensor/kernels.h"
+#include "agnn/tensor/workspace.h"
 
 namespace agnn::ag {
 namespace {
@@ -22,137 +25,185 @@ Var MakeOp(Matrix value, std::vector<Var> parents,
   return node;
 }
 
+// Allocation discipline (see DESIGN.md "Kernel + workspace layer"):
+// forward values and backward scratch are Taken from the global Workspace;
+// node buffers return to it in ~Node, scratch via the Give calls below.
+// Steady-state training steps therefore run without heap allocation.
+Workspace* Ws() { return GlobalWorkspace(); }
+
 }  // namespace
 
 Var Add(const Var& a, const Var& b) {
-  return MakeOp(a->value().Add(b->value()), {a, b}, [](Node* n) {
+  Matrix out = Ws()->Take(a->value().rows(), a->value().cols());
+  a->value().AddInto(b->value(), &out);
+  return MakeOp(std::move(out), {a, b}, [](Node* n) {
     n->parents()[0]->AccumulateGrad(n->grad());
     n->parents()[1]->AccumulateGrad(n->grad());
   });
 }
 
 Var Sub(const Var& a, const Var& b) {
-  return MakeOp(a->value().Sub(b->value()), {a, b}, [](Node* n) {
+  Matrix out = Ws()->Take(a->value().rows(), a->value().cols());
+  a->value().SubInto(b->value(), &out);
+  return MakeOp(std::move(out), {a, b}, [](Node* n) {
     n->parents()[0]->AccumulateGrad(n->grad());
-    n->parents()[1]->AccumulateGrad(n->grad().Scale(-1.0f));
+    n->parents()[1]->AccumulateGradScaled(n->grad(), -1.0f);
   });
 }
 
 Var Mul(const Var& a, const Var& b) {
-  return MakeOp(a->value().Mul(b->value()), {a, b}, [](Node* n) {
-    n->parents()[0]->AccumulateGrad(n->grad().Mul(n->parents()[1]->value()));
-    n->parents()[1]->AccumulateGrad(n->grad().Mul(n->parents()[0]->value()));
+  Matrix out = Ws()->Take(a->value().rows(), a->value().cols());
+  a->value().MulInto(b->value(), &out);
+  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+    const Matrix& g = n->grad();
+    Node* pa = n->parents()[0].get();
+    Node* pb = n->parents()[1].get();
+    kernels::MulAcc(pa->EnsureGrad().data(), g.data(), pb->value().data(),
+                    g.size());
+    kernels::MulAcc(pb->EnsureGrad().data(), g.data(), pa->value().data(),
+                    g.size());
   });
 }
 
 Var Neg(const Var& x) { return Scale(x, -1.0f); }
 
 Var Scale(const Var& x, float s) {
-  return MakeOp(x->value().Scale(s), {x}, [s](Node* n) {
-    n->parents()[0]->AccumulateGrad(n->grad().Scale(s));
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  x->value().ScaleInto(s, &out);
+  return MakeOp(std::move(out), {x}, [s](Node* n) {
+    n->parents()[0]->AccumulateGradScaled(n->grad(), s);
   });
 }
 
 Var AddScalar(const Var& x, float s) {
-  return MakeOp(x->value().AddScalar(s), {x}, [](Node* n) {
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  x->value().MapInto([s](float v) { return v + s; }, &out);
+  return MakeOp(std::move(out), {x}, [](Node* n) {
     n->parents()[0]->AccumulateGrad(n->grad());
   });
 }
 
 Var Sigmoid(const Var& x) {
-  Matrix out = x->value().Map(
-      [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  kernels::SigmoidForward(x->value().data(), out.data(), out.size());
   return MakeOp(std::move(out), {x}, [](Node* n) {
-    Matrix g = n->grad();
-    const Matrix& s = n->value();
-    for (size_t i = 0; i < g.size(); ++i) {
-      const float sv = s.data()[i];
-      g.data()[i] *= sv * (1.0f - sv);
-    }
-    n->parents()[0]->AccumulateGrad(g);
+    Node* p = n->parents()[0].get();
+    kernels::SigmoidGradAcc(p->EnsureGrad().data(), n->grad().data(),
+                            n->value().data(), n->value().size());
   });
 }
 
 Var Tanh(const Var& x) {
-  Matrix out = x->value().Map([](float v) { return std::tanh(v); });
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  kernels::TanhForward(x->value().data(), out.data(), out.size());
   return MakeOp(std::move(out), {x}, [](Node* n) {
-    Matrix g = n->grad();
-    const Matrix& t = n->value();
-    for (size_t i = 0; i < g.size(); ++i) {
-      const float tv = t.data()[i];
-      g.data()[i] *= 1.0f - tv * tv;
-    }
-    n->parents()[0]->AccumulateGrad(g);
+    Node* p = n->parents()[0].get();
+    kernels::TanhGradAcc(p->EnsureGrad().data(), n->grad().data(),
+                         n->value().data(), n->value().size());
   });
 }
 
 Var Relu(const Var& x) { return LeakyRelu(x, 0.0f); }
 
 Var LeakyRelu(const Var& x, float slope) {
-  Matrix out = x->value().Map(
-      [slope](float v) { return v > 0.0f ? v : slope * v; });
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  kernels::LeakyReluForward(x->value().data(), out.data(), out.size(), slope);
   return MakeOp(std::move(out), {x}, [slope](Node* n) {
-    Matrix g = n->grad();
-    const Matrix& in = n->parents()[0]->value();
-    for (size_t i = 0; i < g.size(); ++i) {
-      if (in.data()[i] <= 0.0f) g.data()[i] *= slope;
-    }
-    n->parents()[0]->AccumulateGrad(g);
+    Node* p = n->parents()[0].get();
+    kernels::LeakyReluGradAcc(p->EnsureGrad().data(), n->grad().data(),
+                              p->value().data(), n->value().size(), slope);
   });
 }
 
 Var Exp(const Var& x) {
-  Matrix out = x->value().Map([](float v) { return std::exp(v); });
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  kernels::ExpForward(x->value().data(), out.data(), out.size());
   return MakeOp(std::move(out), {x}, [](Node* n) {
-    n->parents()[0]->AccumulateGrad(n->grad().Mul(n->value()));
+    Node* p = n->parents()[0].get();
+    kernels::ExpGradAcc(p->EnsureGrad().data(), n->grad().data(),
+                        n->value().data(), n->value().size());
   });
 }
 
 Var Log(const Var& x) {
-  Matrix out = x->value().Map([](float v) {
-    AGNN_DCHECK(v > 0.0f);
-    return std::log(v);
-  });
+#ifndef NDEBUG
+  for (size_t i = 0; i < x->value().size(); ++i) {
+    AGNN_DCHECK(x->value().data()[i] > 0.0f);
+  }
+#endif
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  kernels::LogForward(x->value().data(), out.data(), out.size());
   return MakeOp(std::move(out), {x}, [](Node* n) {
-    Matrix g = n->grad();
-    const Matrix& in = n->parents()[0]->value();
-    for (size_t i = 0; i < g.size(); ++i) g.data()[i] /= in.data()[i];
-    n->parents()[0]->AccumulateGrad(g);
+    Node* p = n->parents()[0].get();
+    kernels::LogGradAcc(p->EnsureGrad().data(), n->grad().data(),
+                        p->value().data(), n->value().size());
   });
 }
 
 Var Square(const Var& x) {
-  Matrix out = x->value().Map([](float v) { return v * v; });
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  kernels::SquareForward(x->value().data(), out.data(), out.size());
   return MakeOp(std::move(out), {x}, [](Node* n) {
-    Matrix g = n->grad().Mul(n->parents()[0]->value());
-    g.ScaleInPlace(2.0f);
-    n->parents()[0]->AccumulateGrad(g);
+    Node* p = n->parents()[0].get();
+    kernels::SquareGradAcc(p->EnsureGrad().data(), n->grad().data(),
+                           p->value().data(), n->value().size());
   });
 }
 
 Var Softplus(const Var& x) {
-  Matrix out = x->value().Map([](float v) {
-    // Numerically stable log(1 + e^v).
-    return v > 20.0f ? v : std::log1p(std::exp(v));
-  });
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  kernels::SoftplusForward(x->value().data(), out.data(), out.size());
   return MakeOp(std::move(out), {x}, [](Node* n) {
-    Matrix g = n->grad();
-    const Matrix& in = n->parents()[0]->value();
-    for (size_t i = 0; i < g.size(); ++i) {
-      g.data()[i] *= 1.0f / (1.0f + std::exp(-in.data()[i]));
-    }
-    n->parents()[0]->AccumulateGrad(g);
+    Node* p = n->parents()[0].get();
+    kernels::SoftplusGradAcc(p->EnsureGrad().data(), n->grad().data(),
+                             p->value().data(), n->value().size());
   });
 }
 
 Var MatMul(const Var& a, const Var& b) {
-  return MakeOp(a->value().MatMul(b->value()), {a, b}, [](Node* n) {
+  Matrix out = Ws()->Take(a->value().rows(), b->value().cols());
+  a->value().MatMulInto(b->value(), &out);
+  return MakeOp(std::move(out), {a, b}, [](Node* n) {
     const Matrix& g = n->grad();
-    // dA = g * B^T ; dB = A^T * g.
-    n->parents()[0]->AccumulateGrad(
-        g.MatMulTransposed(n->parents()[1]->value()));
-    n->parents()[1]->AccumulateGrad(
-        n->parents()[0]->value().TransposedMatMul(g));
+    const Matrix& av = n->parents()[0]->value();
+    const Matrix& bv = n->parents()[1]->value();
+    // dA = g * B^T ; dB = A^T * g. Computed into workspace scratch and
+    // accumulated with one Axpy pass: accumulating inside the gemm would
+    // interleave the running sum with the stored gradient and change the
+    // fp rounding order relative to the reference implementation.
+    Matrix da = Ws()->Take(av.rows(), av.cols());
+    g.MatMulTransposedInto(bv, &da);
+    n->parents()[0]->AccumulateGrad(da);
+    Ws()->Give(std::move(da));
+    Matrix db = Ws()->Take(bv.rows(), bv.cols());
+    av.TransposedMatMulInto(g, &db);
+    n->parents()[1]->AccumulateGrad(db);
+    Ws()->Give(std::move(db));
+  });
+}
+
+Var MatMulSparse(const Var& a, const Var& b) {
+  Matrix out = Ws()->Take(a->value().rows(), b->value().cols());
+  a->value().MatMulSparseInto(b->value(), &out);
+  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+    const Matrix& g = n->grad();
+    const Matrix& av = n->parents()[0]->value();
+    const Matrix& bv = n->parents()[1]->value();
+    // The sparse operand is almost always a constant encoding; only pay
+    // for its gradient when something can consume it.
+    Node* pa = n->parents()[0].get();
+    if (pa->requires_grad() || !pa->is_leaf()) {
+      Matrix da = Ws()->Take(av.rows(), av.cols());
+      g.MatMulTransposedInto(bv, &da);
+      n->parents()[0]->AccumulateGrad(da);
+      Ws()->Give(std::move(da));
+    }
+    // dB = A^T * g reuses A's sparsity: zero rows of A contribute nothing.
+    Matrix db = Ws()->Take(bv.rows(), bv.cols());
+    kernels::GemmTNSparseA(av.data(), g.data(), db.data(), av.cols(),
+                           av.rows(), g.cols(), /*accumulate=*/false);
+    n->parents()[1]->AccumulateGrad(db);
+    Ws()->Give(std::move(db));
   });
 }
 
@@ -160,7 +211,10 @@ Var AddRowBroadcast(const Var& x, const Var& bias) {
   return MakeOp(x->value().AddRowBroadcast(bias->value()), {x, bias},
                 [](Node* n) {
                   n->parents()[0]->AccumulateGrad(n->grad());
-                  n->parents()[1]->AccumulateGrad(n->grad().ColSums());
+                  Matrix col = Ws()->Take(1, n->grad().cols());
+                  n->grad().ColSumsInto(&col);
+                  n->parents()[1]->AccumulateGrad(col);
+                  Ws()->Give(std::move(col));
                 });
 }
 
@@ -169,18 +223,19 @@ Var MulColBroadcast(const Var& x, const Var& s) {
   const Matrix& sv = s->value();
   AGNN_CHECK_EQ(sv.cols(), 1u);
   AGNN_CHECK_EQ(sv.rows(), xv.rows());
-  Matrix out = xv;
+  Matrix out = Ws()->Take(xv.rows(), xv.cols());
   for (size_t r = 0; r < out.rows(); ++r) {
     const float scale = sv.At(r, 0);
+    const float* src = xv.Row(r);
     float* row = out.Row(r);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= scale;
+    for (size_t c = 0; c < out.cols(); ++c) row[c] = src[c] * scale;
   }
   return MakeOp(std::move(out), {x, s}, [](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
     const Matrix& sv = n->parents()[1]->value();
-    Matrix dx = g;
-    Matrix ds(sv.rows(), 1);
+    Matrix dx = Ws()->Take(xv.rows(), xv.cols());
+    Matrix ds = Ws()->Take(sv.rows(), 1);
     for (size_t r = 0; r < g.rows(); ++r) {
       const float scale = sv.At(r, 0);
       float acc = 0.0f;
@@ -189,12 +244,14 @@ Var MulColBroadcast(const Var& x, const Var& s) {
       const float* xr = xv.Row(r);
       for (size_t c = 0; c < g.cols(); ++c) {
         acc += gr[c] * xr[c];
-        dxr[c] *= scale;
+        dxr[c] = gr[c] * scale;
       }
       ds.At(r, 0) = acc;
     }
     n->parents()[0]->AccumulateGrad(dx);
     n->parents()[1]->AccumulateGrad(ds);
+    Ws()->Give(std::move(dx));
+    Ws()->Give(std::move(ds));
   });
 }
 
@@ -202,20 +259,16 @@ Var RowwiseDot(const Var& a, const Var& b) {
   const Matrix& av = a->value();
   const Matrix& bv = b->value();
   AGNN_CHECK(av.SameShape(bv));
-  Matrix out(av.rows(), 1);
+  Matrix out = Ws()->Take(av.rows(), 1);
   for (size_t r = 0; r < av.rows(); ++r) {
-    const float* ar = av.Row(r);
-    const float* br = bv.Row(r);
-    float acc = 0.0f;
-    for (size_t c = 0; c < av.cols(); ++c) acc += ar[c] * br[c];
-    out.At(r, 0) = acc;
+    out.At(r, 0) = kernels::Dot(av.Row(r), bv.Row(r), av.cols());
   }
   return MakeOp(std::move(out), {a, b}, [](Node* n) {
     const Matrix& g = n->grad();  // [B,1]
     const Matrix& av = n->parents()[0]->value();
     const Matrix& bv = n->parents()[1]->value();
-    Matrix da(av.rows(), av.cols());
-    Matrix db(bv.rows(), bv.cols());
+    Matrix da = Ws()->Take(av.rows(), av.cols());
+    Matrix db = Ws()->Take(bv.rows(), bv.cols());
     for (size_t r = 0; r < av.rows(); ++r) {
       const float gr = g.At(r, 0);
       const float* ar = av.Row(r);
@@ -229,53 +282,66 @@ Var RowwiseDot(const Var& a, const Var& b) {
     }
     n->parents()[0]->AccumulateGrad(da);
     n->parents()[1]->AccumulateGrad(db);
+    Ws()->Give(std::move(da));
+    Ws()->Give(std::move(db));
   });
 }
 
 Var ConcatCols(const Var& a, const Var& b) {
   const size_t split = a->value().cols();
-  return MakeOp(a->value().ConcatCols(b->value()), {a, b}, [split](Node* n) {
+  Matrix out =
+      Ws()->Take(a->value().rows(), a->value().cols() + b->value().cols());
+  a->value().ConcatColsInto(b->value(), &out);
+  return MakeOp(std::move(out), {a, b}, [split](Node* n) {
     const Matrix& g = n->grad();
-    n->parents()[0]->AccumulateGrad(g.SliceCols(0, split));
-    n->parents()[1]->AccumulateGrad(g.SliceCols(split, g.cols()));
+    Matrix left = Ws()->Take(g.rows(), split);
+    g.SliceColsInto(0, split, &left);
+    n->parents()[0]->AccumulateGrad(left);
+    Ws()->Give(std::move(left));
+    Matrix right = Ws()->Take(g.rows(), g.cols() - split);
+    g.SliceColsInto(split, g.cols(), &right);
+    n->parents()[1]->AccumulateGrad(right);
+    Ws()->Give(std::move(right));
   });
 }
 
 Var SliceCols(const Var& x, size_t begin, size_t end) {
-  return MakeOp(x->value().SliceCols(begin, end), {x}, [begin, end](Node* n) {
+  Matrix out = Ws()->Take(x->value().rows(), end - begin);
+  x->value().SliceColsInto(begin, end, &out);
+  return MakeOp(std::move(out), {x}, [begin, end](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
-    Matrix dx(xv.rows(), xv.cols());
+    Matrix dx = Ws()->TakeZeroed(xv.rows(), xv.cols());
     for (size_t r = 0; r < g.rows(); ++r) {
-      for (size_t c = begin; c < end; ++c) {
-        dx.At(r, c) = g.At(r, c - begin);
-      }
+      std::memcpy(dx.Row(r) + begin, g.Row(r), (end - begin) * sizeof(float));
     }
     n->parents()[0]->AccumulateGrad(dx);
+    Ws()->Give(std::move(dx));
   });
 }
 
 Var RepeatRows(const Var& x, size_t times) {
   AGNN_CHECK_GT(times, 0u);
   const Matrix& xv = x->value();
-  Matrix out(xv.rows() * times, xv.cols());
+  Matrix out = Ws()->Take(xv.rows() * times, xv.cols());
   for (size_t r = 0; r < xv.rows(); ++r) {
     for (size_t k = 0; k < times; ++k) {
-      std::copy(xv.Row(r), xv.Row(r) + xv.cols(), out.Row(r * times + k));
+      std::memcpy(out.Row(r * times + k), xv.Row(r),
+                  xv.cols() * sizeof(float));
     }
   }
   return MakeOp(std::move(out), {x}, [times](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
-    Matrix dx(xv.rows(), xv.cols());
+    Matrix dx = Ws()->TakeZeroed(xv.rows(), xv.cols());
     for (size_t r = 0; r < xv.rows(); ++r) {
       float* dst = dx.Row(r);
       for (size_t k = 0; k < times; ++k) {
-        const float* src = g.Row(r * times + k);
-        for (size_t c = 0; c < xv.cols(); ++c) dst[c] += src[c];
+        kernels::Axpy(xv.cols(), 1.0f, g.Row(r * times + k), dst);
       }
     }
     n->parents()[0]->AccumulateGrad(dx);
+    Ws()->Give(std::move(dx));
   });
 }
 
@@ -287,19 +353,18 @@ Var RowBlockReduce(const Var& x, size_t block, bool mean) {
   AGNN_CHECK_EQ(xv.rows() % block, 0u);
   const size_t groups = xv.rows() / block;
   const float scale = mean ? 1.0f / static_cast<float>(block) : 1.0f;
-  Matrix out(groups, xv.cols());
+  Matrix out = Ws()->TakeZeroed(groups, xv.cols());
   for (size_t g = 0; g < groups; ++g) {
     float* dst = out.Row(g);
     for (size_t k = 0; k < block; ++k) {
-      const float* src = xv.Row(g * block + k);
-      for (size_t c = 0; c < xv.cols(); ++c) dst[c] += src[c];
+      kernels::Axpy(xv.cols(), 1.0f, xv.Row(g * block + k), dst);
     }
     for (size_t c = 0; c < xv.cols(); ++c) dst[c] *= scale;
   }
   return MakeOp(std::move(out), {x}, [block, scale](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
-    Matrix dx(xv.rows(), xv.cols());
+    Matrix dx = Ws()->Take(xv.rows(), xv.cols());
     for (size_t grp = 0; grp < g.rows(); ++grp) {
       const float* src = g.Row(grp);
       for (size_t k = 0; k < block; ++k) {
@@ -308,6 +373,7 @@ Var RowBlockReduce(const Var& x, size_t block, bool mean) {
       }
     }
     n->parents()[0]->AccumulateGrad(dx);
+    Ws()->Give(std::move(dx));
   });
 }
 
@@ -322,46 +388,48 @@ Var RowBlockSum(const Var& x, size_t block) {
 }
 
 Var GatherRows(const Var& table, const std::vector<size_t>& indices) {
-  return MakeOp(table->value().GatherRows(indices), {table},
-                [indices](Node* n) {
-                  const Matrix& tv = n->parents()[0]->value();
-                  Matrix dt(tv.rows(), tv.cols());
-                  dt.ScatterAddRows(indices, n->grad());
-                  n->parents()[0]->AccumulateGrad(dt);
-                });
+  Matrix out = Ws()->Take(indices.size(), table->value().cols());
+  table->value().GatherRowsInto(indices, &out);
+  return MakeOp(std::move(out), {table}, [indices](Node* n) {
+    const Matrix& tv = n->parents()[0]->value();
+    Matrix dt = Ws()->TakeZeroed(tv.rows(), tv.cols());
+    dt.ScatterAddRows(indices, n->grad());
+    n->parents()[0]->AccumulateGrad(dt);
+    Ws()->Give(std::move(dt));
+  });
 }
 
 Var SegmentSum(const Var& x, const std::vector<size_t>& segments,
                size_t num_segments) {
   const Matrix& xv = x->value();
   AGNN_CHECK_EQ(segments.size(), xv.rows());
-  Matrix out(num_segments, xv.cols());
+  Matrix out = Ws()->TakeZeroed(num_segments, xv.cols());
   for (size_t t = 0; t < segments.size(); ++t) {
     AGNN_CHECK_LT(segments[t], num_segments);
-    float* dst = out.Row(segments[t]);
-    const float* src = xv.Row(t);
-    for (size_t c = 0; c < xv.cols(); ++c) dst[c] += src[c];
+    kernels::Axpy(xv.cols(), 1.0f, xv.Row(t), out.Row(segments[t]));
   }
   return MakeOp(std::move(out), {x}, [segments](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
-    Matrix dx(xv.rows(), xv.cols());
+    Matrix dx = Ws()->Take(xv.rows(), xv.cols());
     for (size_t t = 0; t < segments.size(); ++t) {
-      const float* src = g.Row(segments[t]);
-      float* dst = dx.Row(t);
-      for (size_t c = 0; c < g.cols(); ++c) dst[c] = src[c];
+      std::memcpy(dx.Row(t), g.Row(segments[t]), g.cols() * sizeof(float));
     }
     n->parents()[0]->AccumulateGrad(dx);
+    Ws()->Give(std::move(dx));
   });
 }
 
 Var SumAll(const Var& x) {
-  Matrix out(1, 1);
-  out.At(0, 0) = x->value().Sum();
+  Matrix out = Ws()->Take(1, 1);
+  out.At(0, 0) = kernels::Sum(x->value().data(), x->value().size());
   return MakeOp(std::move(out), {x}, [](Node* n) {
     const float g = n->grad().At(0, 0);
     const Matrix& xv = n->parents()[0]->value();
-    n->parents()[0]->AccumulateGrad(Matrix(xv.rows(), xv.cols(), g));
+    Matrix dx = Ws()->Take(xv.rows(), xv.cols());
+    dx.Fill(g);
+    n->parents()[0]->AccumulateGrad(dx);
+    Ws()->Give(std::move(dx));
   });
 }
 
@@ -372,7 +440,7 @@ Var MeanAll(const Var& x) {
 
 Var MseLoss(const Var& pred, const Matrix& target) {
   AGNN_CHECK(pred->value().SameShape(target));
-  return MeanAll(Square(Sub(pred, MakeConst(target))));
+  return MeanAll(Square(Sub(pred, MakeConst(Ws()->TakeCopy(target)))));
 }
 
 Var GaussianKlMean(const Var& mu, const Var& logvar) {
@@ -380,7 +448,7 @@ Var GaussianKlMean(const Var& mu, const Var& logvar) {
   const Matrix& lvv = logvar->value();
   AGNN_CHECK(muv.SameShape(lvv));
   const float inv_batch = 1.0f / static_cast<float>(muv.rows());
-  Matrix out(1, 1);
+  Matrix out = Ws()->Take(1, 1);
   float acc = 0.0f;
   for (size_t i = 0; i < muv.size(); ++i) {
     const float m = muv.data()[i];
@@ -392,14 +460,16 @@ Var GaussianKlMean(const Var& mu, const Var& logvar) {
     const float g = n->grad().At(0, 0) * inv_batch;
     const Matrix& muv = n->parents()[0]->value();
     const Matrix& lvv = n->parents()[1]->value();
-    Matrix dmu(muv.rows(), muv.cols());
-    Matrix dlv(lvv.rows(), lvv.cols());
+    Matrix dmu = Ws()->Take(muv.rows(), muv.cols());
+    Matrix dlv = Ws()->Take(lvv.rows(), lvv.cols());
     for (size_t i = 0; i < muv.size(); ++i) {
       dmu.data()[i] = g * muv.data()[i];
       dlv.data()[i] = g * -0.5f * (1.0f - std::exp(lvv.data()[i]));
     }
     n->parents()[0]->AccumulateGrad(dmu);
     n->parents()[1]->AccumulateGrad(dlv);
+    Ws()->Give(std::move(dmu));
+    Ws()->Give(std::move(dlv));
   });
 }
 
@@ -408,7 +478,7 @@ Var SoftmaxBlocks(const Var& x, size_t block) {
   const Matrix& xv = x->value();
   AGNN_CHECK_EQ(xv.cols(), 1u);
   AGNN_CHECK_EQ(xv.rows() % block, 0u);
-  Matrix out(xv.rows(), 1);
+  Matrix out = Ws()->Take(xv.rows(), 1);
   for (size_t g = 0; g < xv.rows() / block; ++g) {
     float max_v = xv.At(g * block, 0);
     for (size_t k = 1; k < block; ++k) {
@@ -425,7 +495,7 @@ Var SoftmaxBlocks(const Var& x, size_t block) {
   return MakeOp(std::move(out), {x}, [block](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& s = n->value();
-    Matrix dx(s.rows(), 1);
+    Matrix dx = Ws()->Take(s.rows(), 1);
     for (size_t grp = 0; grp < s.rows() / block; ++grp) {
       float weighted = 0.0f;
       for (size_t k = 0; k < block; ++k) {
@@ -438,6 +508,7 @@ Var SoftmaxBlocks(const Var& x, size_t block) {
       }
     }
     n->parents()[0]->AccumulateGrad(dx);
+    Ws()->Give(std::move(dx));
   });
 }
 
@@ -446,7 +517,7 @@ Var Dropout(const Var& x, float p, Rng* rng, bool training) {
   AGNN_CHECK_LT(p, 1.0f);
   AGNN_CHECK(rng != nullptr);
   const Matrix& xv = x->value();
-  Matrix mask(xv.rows(), xv.cols());
+  Matrix mask = Ws()->Take(xv.rows(), xv.cols());
   const float keep_scale = 1.0f / (1.0f - p);
   for (size_t i = 0; i < mask.size(); ++i) {
     mask.data()[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
@@ -457,7 +528,7 @@ Var Dropout(const Var& x, float p, Rng* rng, bool training) {
 Var Reparameterize(const Var& mu, const Var& logvar, Rng* rng) {
   AGNN_CHECK(rng != nullptr);
   const Matrix& muv = mu->value();
-  Matrix eps(muv.rows(), muv.cols());
+  Matrix eps = Ws()->Take(muv.rows(), muv.cols());
   for (size_t i = 0; i < eps.size(); ++i) {
     eps.data()[i] = static_cast<float>(rng->Normal());
   }

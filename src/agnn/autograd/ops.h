@@ -39,6 +39,11 @@ Var Softplus(const Var& x);
 
 /// a [m,k] x b [k,n] -> [m,n].
 Var MatMul(const Var& a, const Var& b);
+/// MatMul for a sparse `a` (multi-hot encodings): zero entries of `a` skip
+/// their row of `b` in both the forward and the dB backward. `a` is almost
+/// always a constant; its own gradient is only computed when `a` is a
+/// parameter or an interior node.
+Var MatMulSparse(const Var& a, const Var& b);
 /// Adds a 1xD bias row to every row of x [B,D].
 Var AddRowBroadcast(const Var& x, const Var& bias);
 /// Multiplies each row r of x [B,D] by scalar s[r] from s [B,1].

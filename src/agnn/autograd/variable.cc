@@ -3,12 +3,19 @@
 #include <unordered_set>
 
 #include "agnn/common/logging.h"
+#include "agnn/tensor/kernels.h"
+#include "agnn/tensor/workspace.h"
 
 namespace agnn::ag {
 
+Node::~Node() {
+  GlobalWorkspace()->Give(std::move(value_));
+  if (grad_allocated_) GlobalWorkspace()->Give(std::move(grad_));
+}
+
 const Matrix& Node::grad() const {
   if (!grad_allocated_) {
-    grad_ = Matrix::Zeros(value_.rows(), value_.cols());
+    grad_ = GlobalWorkspace()->TakeZeroed(value_.rows(), value_.cols());
     grad_allocated_ = true;
   }
   return grad_;
@@ -29,6 +36,14 @@ void Node::AccumulateGrad(const Matrix& g) {
       << " does not match value shape " << value_.rows() << "x"
       << value_.cols();
   mutable_grad().AddInPlace(g);
+}
+
+void Node::AccumulateGradScaled(const Matrix& g, float scale) {
+  AGNN_CHECK(g.rows() == value_.rows() && g.cols() == value_.cols())
+      << "gradient shape " << g.rows() << "x" << g.cols()
+      << " does not match value shape " << value_.rows() << "x"
+      << value_.cols();
+  kernels::Axpy(g.size(), scale, g.data(), mutable_grad().data());
 }
 
 Var MakeParam(Matrix value) {

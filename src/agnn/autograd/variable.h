@@ -25,6 +25,10 @@ class Node {
   explicit Node(Matrix value, bool requires_grad = false)
       : value_(std::move(value)), requires_grad_(requires_grad) {}
 
+  /// Recycles the value and gradient buffers into the global Workspace, so
+  /// the next training step's tape reuses this step's allocations.
+  ~Node();
+
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -50,6 +54,13 @@ class Node {
 
   /// Accumulates `g` into this node's gradient if it requires one.
   void AccumulateGrad(const Matrix& g);
+
+  /// Accumulates `scale * g` without materializing the scaled temporary.
+  void AccumulateGradScaled(const Matrix& g, float scale);
+
+  /// Zero-allocated (lazily) gradient buffer for backward kernels that
+  /// accumulate in place; same as mutable_grad but named for intent.
+  Matrix& EnsureGrad() { return mutable_grad(); }
 
   /// Runs this node's local backward step (no-op for leaves).
   void RunBackward() {

@@ -36,7 +36,10 @@ void Llae::Fit(const data::Dataset& dataset, const data::Split& split) {
         for (size_t item : behavior[u]) y.At(b, item) = 1.0f;
       }
       opt.ZeroGrad();
-      ag::Var recon = ag::MatMul(ag::MakeConst(std::move(a)), w_);
+      // `a` is a multi-hot attribute encoding: mostly zeros, so the
+      // zero-skipping matmul avoids touching w_ rows for absent attributes
+      // in both the forward and the dW backward.
+      ag::Var recon = ag::MatMulSparse(ag::MakeConst(std::move(a)), w_);
       ag::Backward(ag::MseLoss(recon, y));
       opt.Step();
     }

@@ -4,6 +4,7 @@
 
 #include "agnn/common/logging.h"
 #include "agnn/nn/init.h"
+#include "agnn/tensor/workspace.h"
 
 namespace agnn::core {
 namespace {
@@ -35,7 +36,8 @@ Matrix SelectorColumn(const std::vector<bool>& selected) {
 ag::Var BlendRows(const ag::Var& base, const ag::Var& replacement,
                   const std::vector<bool>& selector) {
   Matrix sel = SelectorColumn(selector);
-  Matrix keep = sel.Map([](float v) { return 1.0f - v; });
+  Matrix keep = GlobalWorkspace()->Take(sel.rows(), 1);
+  sel.MapInto([](float v) { return 1.0f - v; }, &keep);
   return ag::Add(ag::MulColBroadcast(base, ag::MakeConst(std::move(keep))),
                  ag::MulColBroadcast(replacement,
                                      ag::MakeConst(std::move(sel))));
@@ -186,8 +188,8 @@ AgnnModel::SideResult AgnnModel::ComputeNodes(
       // No generator: cold nodes fall back to a zero preference embedding;
       // only the attribute embedding carries signal.
       if (AnySelected(missing)) {
-        ag::Var zeros =
-            ag::MakeConst(Matrix::Zeros(batch, config_.embedding_dim));
+        ag::Var zeros = ag::MakeConst(
+            GlobalWorkspace()->TakeZeroed(batch, config_.embedding_dim));
         m = BlendRows(m_warm, zeros, missing);
       }
       break;
@@ -205,8 +207,8 @@ AgnnModel::SideResult AgnnModel::ComputeNodes(
         }
       }
       if (AnySelected(hidden)) {
-        ag::Var zeros =
-            ag::MakeConst(Matrix::Zeros(batch, config_.embedding_dim));
+        ag::Var zeros = ag::MakeConst(
+            GlobalWorkspace()->TakeZeroed(batch, config_.embedding_dim));
         m = BlendRows(m_warm, zeros, hidden);
       }
       if (config_.cold_start == ColdStartModule::kMask && compute_recon) {
@@ -227,8 +229,9 @@ AgnnModel::SideResult AgnnModel::ComputeNodes(
         m = BlendRows(m_warm, m_hat, missing);
       }
       if (compute_recon) {
-        result.recon_loss = ag::MeanAll(
-            ag::Square(ag::Sub(m_hat, ag::MakeConst(m_warm->value()))));
+        result.recon_loss = ag::MeanAll(ag::Square(ag::Sub(
+            m_hat,
+            ag::MakeConst(GlobalWorkspace()->TakeCopy(m_warm->value())))));
       }
       break;
     }
@@ -243,8 +246,9 @@ ag::Var AgnnModel::MaskDecoderLoss(const Side& side, const SideResult& result,
                                    const ag::Var& final_embeddings) const {
   if (!result.mask_selector) return nullptr;
   ag::Var decoded = side.decoder->Forward(final_embeddings);
-  ag::Var diff =
-      ag::Sub(decoded, ag::MakeConst(result.masked_preference));
+  ag::Var diff = ag::Sub(
+      decoded,
+      ag::MakeConst(GlobalWorkspace()->TakeCopy(result.masked_preference)));
   // Only masked rows contribute.
   ag::Var masked_diff = ag::MulColBroadcast(diff, result.mask_selector);
   return ag::MeanAll(ag::Square(masked_diff));

@@ -1,6 +1,7 @@
 #include "agnn/core/evae.h"
 
 #include "agnn/common/logging.h"
+#include "agnn/tensor/workspace.h"
 
 namespace agnn::core {
 
@@ -46,13 +47,16 @@ ag::Var Evae::Loss(const EvaeOutput& out, const ag::Var& x,
   // embedding, but the reconstruction objective must not shrink the
   // interaction layer's embeddings toward whatever the decoder can produce
   // (gradients still reach x through the encoder input).
-  loss = ag::Add(loss, ag::MeanAll(ag::Square(ag::Sub(
-                           out.reconstructed, ag::MakeConst(x->value())))));
+  loss = ag::Add(
+      loss, ag::MeanAll(ag::Square(ag::Sub(
+                out.reconstructed,
+                ag::MakeConst(GlobalWorkspace()->TakeCopy(x->value()))))));
   if (with_approximation) {
     // ||x' − m||²: the extension that maps attribute space to preference
     // space. Gradients must shape the *generator*, not drag the preference
     // table toward x', so m enters as a constant.
-    ag::Var target = ag::MakeConst(preference->value());
+    ag::Var target =
+        ag::MakeConst(GlobalWorkspace()->TakeCopy(preference->value()));
     loss = ag::Add(
         loss, ag::MeanAll(ag::Square(ag::Sub(out.reconstructed, target))));
   }

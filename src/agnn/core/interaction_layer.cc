@@ -2,6 +2,7 @@
 
 #include "agnn/common/logging.h"
 #include "agnn/nn/init.h"
+#include "agnn/tensor/workspace.h"
 
 namespace agnn::core {
 
@@ -35,7 +36,7 @@ ag::Var AttributeInteractionLayer::Forward(
   ag::Var sum_v;
   ag::Var sum_v_sq;
   if (flat_slots.empty()) {
-    sum_v = ag::MakeConst(Matrix::Zeros(batch, dim_));
+    sum_v = ag::MakeConst(GlobalWorkspace()->TakeZeroed(batch, dim_));
     sum_v_sq = sum_v;
   } else {
     ag::Var v = value_embeddings_.Forward(flat_slots);  // [T, D]

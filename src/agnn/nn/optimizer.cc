@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "agnn/common/logging.h"
+#include "agnn/tensor/kernels.h"
 
 namespace agnn::nn {
 
@@ -36,11 +37,8 @@ void Sgd::Step() {
   for (const NamedParameter& p : params_) {
     if (!p.var->has_grad()) continue;
     Matrix& w = p.var->mutable_value();
-    const Matrix& g = p.var->grad();
-    for (size_t i = 0; i < w.size(); ++i) {
-      float grad = g.data()[i] + weight_decay_ * w.data()[i];
-      w.data()[i] -= learning_rate_ * grad;
-    }
+    kernels::SgdStep(w.data(), p.var->grad().data(), w.size(),
+                     learning_rate_, weight_decay_);
   }
 }
 
@@ -68,17 +66,9 @@ void Adam::Step() {
     const NamedParameter& p = params_[pi];
     if (!p.var->has_grad()) continue;
     Matrix& w = p.var->mutable_value();
-    const Matrix& g = p.var->grad();
-    Matrix& m = m_[pi];
-    Matrix& v = v_[pi];
-    for (size_t i = 0; i < w.size(); ++i) {
-      const float grad = g.data()[i] + weight_decay_ * w.data()[i];
-      m.data()[i] = beta1_ * m.data()[i] + (1.0f - beta1_) * grad;
-      v.data()[i] = beta2_ * v.data()[i] + (1.0f - beta2_) * grad * grad;
-      const float m_hat = m.data()[i] / bias1;
-      const float v_hat = v.data()[i] / bias2;
-      w.data()[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-    }
+    kernels::AdamStep(w.data(), p.var->grad().data(), m_[pi].data(),
+                      v_[pi].data(), w.size(), learning_rate_, beta1_, beta2_,
+                      epsilon_, weight_decay_, bias1, bias2);
   }
 }
 

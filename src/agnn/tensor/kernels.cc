@@ -1,0 +1,399 @@
+#include "agnn/tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace agnn::kernels {
+namespace {
+
+// Micro-tile shape for the rank-1 gemm kernels: a kMr x kNr block of the
+// output is held in registers across the whole k loop, so the inner loop
+// does one row-load of b and kMr scalar loads of a per rank-1 update — no
+// output traffic until the block is done. kMr*kNr = 32 floats fits the 16
+// xmm registers of baseline x86-64 with room for the b row and broadcasts.
+constexpr size_t kMr = 4;
+constexpr size_t kNr = 8;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AGNN_KERNELS_HAVE_V4 1
+// Four j-lanes per op. Each output element lives in one lane for the whole
+// k loop, so per-element accumulation order (ascending p) is exactly the
+// scalar loop's — vectorizing across j is bitwise-neutral, unlike
+// vectorizing across p. Spelled out with vector extensions because the
+// auto-vectorizer picks the i axis for the non-transposed gemm (strided a
+// loads -> a shuffle chain per iteration, ~5x slower than this form).
+typedef float V4 __attribute__((vector_size(16), aligned(4), may_alias));
+
+inline V4 LoadV4(const float* p) { return *reinterpret_cast<const V4*>(p); }
+inline void StoreV4(float* p, V4 v) { *reinterpret_cast<V4*>(p) = v; }
+#endif
+
+// A(i,p): element i,p of the logical [m,k] left operand. When kTransA the
+// storage is [k,m] (we read a^T without materializing it).
+template <bool kTransA>
+inline float AElem(const float* a, size_t m, size_t k, size_t i, size_t p) {
+  return kTransA ? a[p * m + i] : a[i * k + p];
+}
+
+// Shared implementation of GemmNN / GemmTN. Every output element
+// accumulates its k products in ascending-p order — the same order as the
+// naive ikj loops this replaces — so the refactor is bitwise-neutral.
+template <bool kTransA>
+void GemmRank1(const float* a, const float* b, float* out, size_t m, size_t k,
+               size_t n, bool accumulate) {
+  for (size_t ib = 0; ib < m; ib += kMr) {
+    const size_t mr = std::min(kMr, m - ib);
+    for (size_t jb = 0; jb < n; jb += kNr) {
+      const size_t nr = std::min(kNr, n - jb);
+      if (mr == kMr && nr == kNr) {
+#if AGNN_KERNELS_HAVE_V4
+        V4 acc[kMr][kNr / 4];
+        for (size_t i = 0; i < kMr; ++i) {
+          float* o = out + (ib + i) * n + jb;
+          for (size_t v = 0; v < kNr / 4; ++v) {
+            acc[i][v] = accumulate ? LoadV4(o + 4 * v) : V4{};
+          }
+        }
+        for (size_t p = 0; p < k; ++p) {
+          const float* bp = b + p * n + jb;
+          const V4 b0 = LoadV4(bp);
+          const V4 b1 = LoadV4(bp + 4);
+          for (size_t i = 0; i < kMr; ++i) {
+            const float ai = AElem<kTransA>(a, m, k, ib + i, p);
+            const V4 va = {ai, ai, ai, ai};
+            acc[i][0] += va * b0;
+            acc[i][1] += va * b1;
+          }
+        }
+        for (size_t i = 0; i < kMr; ++i) {
+          float* o = out + (ib + i) * n + jb;
+          StoreV4(o, acc[i][0]);
+          StoreV4(o + 4, acc[i][1]);
+        }
+#else
+        float acc[kMr][kNr];
+        for (size_t i = 0; i < kMr; ++i) {
+          float* o = out + (ib + i) * n + jb;
+          for (size_t j = 0; j < kNr; ++j) {
+            acc[i][j] = accumulate ? o[j] : 0.0f;
+          }
+        }
+        for (size_t p = 0; p < k; ++p) {
+          const float* bp = b + p * n + jb;
+          for (size_t i = 0; i < kMr; ++i) {
+            const float ai = AElem<kTransA>(a, m, k, ib + i, p);
+            for (size_t j = 0; j < kNr; ++j) acc[i][j] += ai * bp[j];
+          }
+        }
+        for (size_t i = 0; i < kMr; ++i) {
+          float* o = out + (ib + i) * n + jb;
+          for (size_t j = 0; j < kNr; ++j) o[j] = acc[i][j];
+        }
+#endif
+      } else {
+        // Edge tile: plain per-element dot, still ascending p.
+        for (size_t i = 0; i < mr; ++i) {
+          float* o = out + (ib + i) * n + jb;
+          for (size_t j = 0; j < nr; ++j) {
+            float acc = accumulate ? o[j] : 0.0f;
+            for (size_t p = 0; p < k; ++p) {
+              acc += AElem<kTransA>(a, m, k, ib + i, p) * b[p * n + jb + j];
+            }
+            o[j] = acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* out, size_t m, size_t k,
+            size_t n, bool accumulate) {
+  GemmRank1<false>(a, b, out, m, k, n, accumulate);
+}
+
+void GemmTN(const float* a, const float* b, float* out, size_t m, size_t k,
+            size_t n, bool accumulate) {
+  GemmRank1<true>(a, b, out, m, k, n, accumulate);
+}
+
+void GemmNT(const float* a, const float* b, float* out, size_t m, size_t k,
+            size_t n, bool accumulate) {
+#if AGNN_KERNELS_HAVE_V4
+  // out[i,j] = dot(a row i, b row j). Pack 4 b rows into an interleaved
+  // [kKc][4] panel so a LoadV4 yields 4 j-lanes at one p; each output element
+  // then lives in a single lane with its partial sum accumulating in
+  // ascending-p order, exactly like the sequential dot. Partial sums round-
+  // trip through out between panels — a float store/load is exact, so the
+  // per-element accumulation order is unchanged.
+  constexpr size_t kJb = 4;
+  constexpr size_t kKc = 256;  // panel depth: 4 KB stack buffer
+  float panel[kKc * kJb];
+  size_t j = 0;
+  for (; j + kJb <= n; j += kJb) {
+    for (size_t kc = 0; kc < k; kc += kKc) {
+      const size_t kl = std::min(kKc, k - kc);
+      for (size_t p = 0; p < kl; ++p) {
+        for (size_t jj = 0; jj < kJb; ++jj) {
+          panel[p * kJb + jj] = b[(j + jj) * k + kc + p];
+        }
+      }
+      const bool seed_from_out = accumulate || kc > 0;
+      size_t i = 0;
+      for (; i + 4 <= m; i += 4) {
+        V4 acc[4];
+        for (size_t ii = 0; ii < 4; ++ii) {
+          acc[ii] = seed_from_out ? LoadV4(out + (i + ii) * n + j) : V4{};
+        }
+        for (size_t p = 0; p < kl; ++p) {
+          const V4 vb = LoadV4(panel + p * kJb);
+          for (size_t ii = 0; ii < 4; ++ii) {
+            const float ai = a[(i + ii) * k + kc + p];
+            const V4 va = {ai, ai, ai, ai};
+            acc[ii] += va * vb;
+          }
+        }
+        for (size_t ii = 0; ii < 4; ++ii) {
+          StoreV4(out + (i + ii) * n + j, acc[ii]);
+        }
+      }
+      for (; i < m; ++i) {
+        const float* ai = a + i * k + kc;
+        for (size_t jj = 0; jj < kJb; ++jj) {
+          float s = seed_from_out ? out[i * n + j + jj] : 0.0f;
+          for (size_t p = 0; p < kl; ++p) s += ai[p] * panel[p * kJb + jj];
+          out[i * n + j + jj] = s;
+        }
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    const float* bj = b + j * k;
+    for (size_t i = 0; i < m; ++i) {
+      const float* ai = a + i * k;
+      float s = accumulate ? out[i * n + j] : 0.0f;
+      for (size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      out[i * n + j] = s;
+    }
+  }
+#else
+  // out[i,j] = dot(a row i, b row j). Register-block 2x4 output elements so
+  // each a/b row load is reused across the block; each element's partial
+  // sum stays a single sequential accumulator (bitwise-stable).
+  constexpr size_t kIb = 2;
+  constexpr size_t kJb = 4;
+  size_t i = 0;
+  for (; i + kIb <= m; i += kIb) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    size_t j = 0;
+    for (; j + kJb <= n; j += kJb) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float acc[kIb][kJb] = {{0, 0, 0, 0}, {0, 0, 0, 0}};
+      for (size_t p = 0; p < k; ++p) {
+        const float x0 = a0[p];
+        const float x1 = a1[p];
+        acc[0][0] += x0 * b0[p];
+        acc[0][1] += x0 * b1[p];
+        acc[0][2] += x0 * b2[p];
+        acc[0][3] += x0 * b3[p];
+        acc[1][0] += x1 * b0[p];
+        acc[1][1] += x1 * b1[p];
+        acc[1][2] += x1 * b2[p];
+        acc[1][3] += x1 * b3[p];
+      }
+      for (size_t ii = 0; ii < kIb; ++ii) {
+        float* o = out + (i + ii) * n + j;
+        for (size_t jj = 0; jj < kJb; ++jj) {
+          o[jj] = accumulate ? o[jj] + acc[ii][jj] : acc[ii][jj];
+        }
+      }
+    }
+    for (; j < n; ++j) {
+      const float* bj = b + j * k;
+      float s0 = 0.0f;
+      float s1 = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        s0 += a0[p] * bj[p];
+        s1 += a1[p] * bj[p];
+      }
+      out[i * n + j] = accumulate ? out[i * n + j] + s0 : s0;
+      out[(i + 1) * n + j] = accumulate ? out[(i + 1) * n + j] + s1 : s1;
+    }
+  }
+  for (; i < m; ++i) {
+    const float* ai = a + i * k;
+    for (size_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float s = 0.0f;
+      for (size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      out[i * n + j] = accumulate ? out[i * n + j] + s : s;
+    }
+  }
+#endif  // AGNN_KERNELS_HAVE_V4
+}
+
+void GemmNNSparseA(const float* a, const float* b, float* out, size_t m,
+                   size_t k, size_t n, bool accumulate) {
+  if (!accumulate) std::memset(out, 0, m * n * sizeof(float));
+  for (size_t i = 0; i < m; ++i) {
+    const float* ar = a + i * k;
+    float* o = out + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float aip = ar[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (size_t j = 0; j < n; ++j) o[j] += aip * bp[j];
+    }
+  }
+}
+
+void GemmTNSparseA(const float* a, const float* b, float* out, size_t m,
+                   size_t k, size_t n, bool accumulate) {
+  if (!accumulate) std::memset(out, 0, m * n * sizeof(float));
+  for (size_t p = 0; p < k; ++p) {
+    const float* ap = a + p * m;
+    const float* bp = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float api = ap[i];
+      if (api == 0.0f) continue;
+      float* o = out + i * n;
+      for (size_t j = 0; j < n; ++j) o[j] += api * bp[j];
+    }
+  }
+}
+
+void Transpose(const float* in, float* out, size_t rows, size_t cols) {
+  // 32x32 tiles: a tile of the source and its transposed destination are
+  // ~4 KiB each, so both stay cache-resident while the tile is walked with
+  // raw row pointers (no per-element index math beyond the tile).
+  constexpr size_t kBlock = 32;
+  for (size_t rb = 0; rb < rows; rb += kBlock) {
+    const size_t re = std::min(rows, rb + kBlock);
+    for (size_t cb = 0; cb < cols; cb += kBlock) {
+      const size_t ce = std::min(cols, cb + kBlock);
+      for (size_t r = rb; r < re; ++r) {
+        const float* src = in + r * cols;
+        for (size_t c = cb; c < ce; ++c) {
+          out[c * rows + r] = src[c];
+        }
+      }
+    }
+  }
+}
+
+void Axpy(size_t n, float alpha, const float* x, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Axpby(size_t n, float alpha, const float* x, float beta, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void MulAcc(float* dst, const float* a, const float* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+float Sum(const float* x, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+float Dot(const float* x, const float* y, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void SigmoidForward(const float* x, float* out, size_t n) {
+  Map(x, out, n, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+void TanhForward(const float* x, float* out, size_t n) {
+  Map(x, out, n, [](float v) { return std::tanh(v); });
+}
+
+void LeakyReluForward(const float* x, float* out, size_t n, float slope) {
+  Map(x, out, n, [slope](float v) { return v > 0.0f ? v : slope * v; });
+}
+
+void ExpForward(const float* x, float* out, size_t n) {
+  Map(x, out, n, [](float v) { return std::exp(v); });
+}
+
+void LogForward(const float* x, float* out, size_t n) {
+  Map(x, out, n, [](float v) { return std::log(v); });
+}
+
+void SquareForward(const float* x, float* out, size_t n) {
+  Map(x, out, n, [](float v) { return v * v; });
+}
+
+void SoftplusForward(const float* x, float* out, size_t n) {
+  // Numerically stable log(1 + e^v).
+  Map(x, out, n,
+      [](float v) { return v > 20.0f ? v : std::log1p(std::exp(v)); });
+}
+
+void SigmoidGradAcc(float* dst, const float* g, const float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += g[i] * (y[i] * (1.0f - y[i]));
+}
+
+void TanhGradAcc(float* dst, const float* g, const float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += g[i] * (1.0f - y[i] * y[i]);
+}
+
+void LeakyReluGradAcc(float* dst, const float* g, const float* x, size_t n,
+                      float slope) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] += x[i] > 0.0f ? g[i] : g[i] * slope;
+  }
+}
+
+void ExpGradAcc(float* dst, const float* g, const float* y, size_t n) {
+  MulAcc(dst, g, y, n);
+}
+
+void LogGradAcc(float* dst, const float* g, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += g[i] / x[i];
+}
+
+void SquareGradAcc(float* dst, const float* g, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += 2.0f * (g[i] * x[i]);
+}
+
+void SoftplusGradAcc(float* dst, const float* g, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] += g[i] * (1.0f / (1.0f + std::exp(-x[i])));
+  }
+}
+
+void SgdStep(float* w, const float* g, size_t n, float lr,
+             float weight_decay) {
+  for (size_t i = 0; i < n; ++i) {
+    const float grad = g[i] + weight_decay * w[i];
+    w[i] -= lr * grad;
+  }
+}
+
+void AdamStep(float* w, const float* g, float* m, float* v, size_t n,
+              float lr, float beta1, float beta2, float epsilon,
+              float weight_decay, float bias1, float bias2) {
+  for (size_t i = 0; i < n; ++i) {
+    const float grad = g[i] + weight_decay * w[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * grad;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * grad * grad;
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    w[i] -= lr * m_hat / (std::sqrt(v_hat) + epsilon);
+  }
+}
+
+}  // namespace agnn::kernels

@@ -1,0 +1,125 @@
+#ifndef AGNN_TENSOR_KERNELS_H_
+#define AGNN_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+namespace agnn::kernels {
+
+/// Raw float* kernels underneath Matrix. Shared contracts:
+///  - matrices are dense row-major with stride == cols (no leading-dim
+///    parameter; every Matrix buffer is contiguous);
+///  - `out` must not alias the inputs for the gemm/transpose kernels;
+///    elementwise kernels allow out == in (in-place);
+///  - every kernel accumulates each output element in a fixed order
+///    (k ascending), so refactoring a call site from the naive loops onto
+///    these kernels is bitwise-neutral — required to keep the paper-table
+///    orderings reproducible across tensor-layer rewrites;
+///  - no allocation, no bounds checks: shape checking is the caller's job
+///    (Matrix::*Into wrappers carry the AGNN_CHECKs).
+
+// -- GEMM ------------------------------------------------------------------
+
+/// out[m,n] (+)= a[m,k] * b[k,n]. Register-blocked rank-1 micro-kernel.
+void GemmNN(const float* a, const float* b, float* out, size_t m, size_t k,
+            size_t n, bool accumulate);
+
+/// out[m,n] (+)= a^T * b where a is [k,m] and b is [k,n] (no transpose is
+/// materialized).
+void GemmTN(const float* a, const float* b, float* out, size_t m, size_t k,
+            size_t n, bool accumulate);
+
+/// out[m,n] (+)= a * b^T where a is [m,k] and b is [n,k].
+void GemmNT(const float* a, const float* b, float* out, size_t m, size_t k,
+            size_t n, bool accumulate);
+
+/// Zero-skipping variant of GemmNN for sparse `a` (multi-hot attribute
+/// encodings, selector matrices): rows of `b` are only touched for nonzero
+/// a[i,k]. Dense inputs should use GemmNN, which does not pay the branch.
+void GemmNNSparseA(const float* a, const float* b, float* out, size_t m,
+                   size_t k, size_t n, bool accumulate);
+
+/// Zero-skipping variant of GemmTN for sparse `a` ([k,m], transposed
+/// access). Used for the dW = a^T g backward of sparse matmuls.
+void GemmTNSparseA(const float* a, const float* b, float* out, size_t m,
+                   size_t k, size_t n, bool accumulate);
+
+// -- Transpose -------------------------------------------------------------
+
+/// out[c,r] = in[r,c]; cache-blocked, raw row pointers.
+void Transpose(const float* in, float* out, size_t rows, size_t cols);
+
+// -- Vector ops and reductions --------------------------------------------
+
+/// y[i] += alpha * x[i].
+void Axpy(size_t n, float alpha, const float* x, float* y);
+
+/// y[i] = alpha * x[i] + beta * y[i].
+void Axpby(size_t n, float alpha, const float* x, float beta, float* y);
+
+/// dst[i] += a[i] * b[i] (Hadamard-accumulate; the backward of Mul).
+void MulAcc(float* dst, const float* a, const float* b, size_t n);
+
+/// Sequential sum (k ascending; not pairwise — bitwise-stable).
+float Sum(const float* x, size_t n);
+
+/// Sequential dot product.
+float Dot(const float* x, const float* y, size_t n);
+
+// -- Templated map kernels -------------------------------------------------
+//
+// The functor is a template parameter (inlined at -O2), not a
+// std::function: per-element indirect calls are what made Matrix::Map the
+// hottest line of every activation.
+
+/// out[i] = f(in[i]).
+template <typename F>
+inline void Map(const float* in, float* out, size_t n, F f) {
+  for (size_t i = 0; i < n; ++i) out[i] = f(in[i]);
+}
+
+/// dst[i] += g[i] * dfdx(x[i]) — fused activation-backward accumulate.
+template <typename F>
+inline void MapGradAcc(float* dst, const float* g, const float* x, size_t n,
+                       F dfdx) {
+  for (size_t i = 0; i < n; ++i) dst[i] += g[i] * dfdx(x[i]);
+}
+
+// -- Activation forward kernels (compiled in kernels.cc) -------------------
+
+void SigmoidForward(const float* x, float* out, size_t n);
+void TanhForward(const float* x, float* out, size_t n);
+void LeakyReluForward(const float* x, float* out, size_t n, float slope);
+void ExpForward(const float* x, float* out, size_t n);
+void LogForward(const float* x, float* out, size_t n);
+void SquareForward(const float* x, float* out, size_t n);
+void SoftplusForward(const float* x, float* out, size_t n);
+
+// -- Fused activation backward: dst += g ⊙ f'(·) ---------------------------
+//
+// `y`-flavored kernels take the op's *output* (cheaper derivative);
+// `x`-flavored ones take the op's input.
+
+void SigmoidGradAcc(float* dst, const float* g, const float* y, size_t n);
+void TanhGradAcc(float* dst, const float* g, const float* y, size_t n);
+void LeakyReluGradAcc(float* dst, const float* g, const float* x, size_t n,
+                      float slope);
+void ExpGradAcc(float* dst, const float* g, const float* y, size_t n);
+void LogGradAcc(float* dst, const float* g, const float* x, size_t n);
+void SquareGradAcc(float* dst, const float* g, const float* x, size_t n);
+void SoftplusGradAcc(float* dst, const float* g, const float* x, size_t n);
+
+// -- Fused optimizer steps -------------------------------------------------
+
+/// w -= lr * (g + weight_decay * w), elementwise.
+void SgdStep(float* w, const float* g, size_t n, float lr,
+             float weight_decay);
+
+/// One Adam update with bias corrections `bias1`/`bias2` precomputed by the
+/// caller (they depend only on the step count).
+void AdamStep(float* w, const float* g, float* m, float* v, size_t n,
+              float lr, float beta1, float beta2, float epsilon,
+              float weight_decay, float bias1, float bias2);
+
+}  // namespace agnn::kernels
+
+#endif  // AGNN_TENSOR_KERNELS_H_

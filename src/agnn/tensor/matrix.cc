@@ -73,6 +73,12 @@ const float* Matrix::Row(size_t r) const {
   return data_.data() + r * cols_;
 }
 
+std::vector<float> Matrix::ReleaseStorage() && {
+  rows_ = 0;
+  cols_ = 0;
+  return std::move(data_);
+}
+
 Matrix& Matrix::AddInPlace(const Matrix& other) {
   AGNN_CHECK(SameShape(other));
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
@@ -166,62 +172,115 @@ Matrix Matrix::Map(const std::function<float(float)>& fn) const {
   return out;
 }
 
+void Matrix::AddInto(const Matrix& other, Matrix* out) const {
+  AGNN_CHECK(SameShape(other));
+  AGNN_CHECK(SameShape(*out));
+  const float* a = data();
+  const float* b = other.data();
+  float* o = out->data();
+  for (size_t i = 0; i < size(); ++i) o[i] = a[i] + b[i];
+}
+
+void Matrix::SubInto(const Matrix& other, Matrix* out) const {
+  AGNN_CHECK(SameShape(other));
+  AGNN_CHECK(SameShape(*out));
+  const float* a = data();
+  const float* b = other.data();
+  float* o = out->data();
+  for (size_t i = 0; i < size(); ++i) o[i] = a[i] - b[i];
+}
+
+void Matrix::MulInto(const Matrix& other, Matrix* out) const {
+  AGNN_CHECK(SameShape(other));
+  AGNN_CHECK(SameShape(*out));
+  const float* a = data();
+  const float* b = other.data();
+  float* o = out->data();
+  for (size_t i = 0; i < size(); ++i) o[i] = a[i] * b[i];
+}
+
+void Matrix::ScaleInto(float s, Matrix* out) const {
+  AGNN_CHECK(SameShape(*out));
+  const float* a = data();
+  float* o = out->data();
+  for (size_t i = 0; i < size(); ++i) o[i] = a[i] * s;
+}
+
+void Matrix::MatMulInto(const Matrix& other, Matrix* out,
+                        bool accumulate) const {
+  AGNN_CHECK_EQ(cols_, other.rows_);
+  AGNN_CHECK_EQ(out->rows(), rows_);
+  AGNN_CHECK_EQ(out->cols(), other.cols_);
+  kernels::GemmNN(data(), other.data(), out->data(), rows_, cols_,
+                  other.cols_, accumulate);
+}
+
+void Matrix::TransposedMatMulInto(const Matrix& other, Matrix* out,
+                                  bool accumulate) const {
+  // (this^T) x other, where this is [k, m] and other is [k, n].
+  AGNN_CHECK_EQ(rows_, other.rows_);
+  AGNN_CHECK_EQ(out->rows(), cols_);
+  AGNN_CHECK_EQ(out->cols(), other.cols_);
+  kernels::GemmTN(data(), other.data(), out->data(), cols_, rows_,
+                  other.cols_, accumulate);
+}
+
+void Matrix::MatMulTransposedInto(const Matrix& other, Matrix* out,
+                                  bool accumulate) const {
+  // this x (other^T), where this is [m, k] and other is [n, k].
+  AGNN_CHECK_EQ(cols_, other.cols_);
+  AGNN_CHECK_EQ(out->rows(), rows_);
+  AGNN_CHECK_EQ(out->cols(), other.rows_);
+  kernels::GemmNT(data(), other.data(), out->data(), rows_, cols_,
+                  other.rows_, accumulate);
+}
+
+void Matrix::MatMulSparseInto(const Matrix& other, Matrix* out,
+                              bool accumulate) const {
+  AGNN_CHECK_EQ(cols_, other.rows_);
+  AGNN_CHECK_EQ(out->rows(), rows_);
+  AGNN_CHECK_EQ(out->cols(), other.cols_);
+  kernels::GemmNNSparseA(data(), other.data(), out->data(), rows_, cols_,
+                         other.cols_, accumulate);
+}
+
+void Matrix::TransposedInto(Matrix* out) const {
+  AGNN_CHECK_EQ(out->rows(), cols_);
+  AGNN_CHECK_EQ(out->cols(), rows_);
+  kernels::Transpose(data(), out->data(), rows_, cols_);
+}
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   AGNN_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  // ikj loop order: streams through `other` and `out` rows contiguously.
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* a = Row(i);
-    float* o = out.Row(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      const float aik = a[k];
-      if (aik == 0.0f) continue;
-      const float* b = other.Row(k);
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
-    }
-  }
+  MatMulInto(other, &out);
+  return out;
+}
+
+Matrix Matrix::MatMulSparse(const Matrix& other) const {
+  AGNN_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  MatMulSparseInto(other, &out);
   return out;
 }
 
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
-  // (this^T) x other, where this is [k, m] and other is [k, n].
   AGNN_CHECK_EQ(rows_, other.rows_);
   Matrix out(cols_, other.cols_);
-  for (size_t k = 0; k < rows_; ++k) {
-    const float* a = Row(k);
-    const float* b = other.Row(k);
-    for (size_t i = 0; i < cols_; ++i) {
-      const float aki = a[i];
-      if (aki == 0.0f) continue;
-      float* o = out.Row(i);
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
-    }
-  }
+  TransposedMatMulInto(other, &out);
   return out;
 }
 
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
-  // this x (other^T), where this is [m, k] and other is [n, k].
   AGNN_CHECK_EQ(cols_, other.cols_);
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* a = Row(i);
-    float* o = out.Row(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const float* b = other.Row(j);
-      float acc = 0.0f;
-      for (size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
-      o[j] = acc;
-    }
-  }
+  MatMulTransposedInto(other, &out);
   return out;
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
-  }
+  TransposedInto(&out);
   return out;
 }
 
@@ -266,13 +325,20 @@ Matrix Matrix::RowSums() const {
   return out;
 }
 
-Matrix Matrix::ColSums() const {
-  Matrix out(1, cols_);
+void Matrix::ColSumsInto(Matrix* out) const {
+  AGNN_CHECK_EQ(out->rows(), 1u);
+  AGNN_CHECK_EQ(out->cols(), cols_);
+  float* o = out->Row(0);
+  std::fill(o, o + cols_, 0.0f);
   for (size_t r = 0; r < rows_; ++r) {
     const float* row = Row(r);
-    float* o = out.Row(0);
     for (size_t c = 0; c < cols_; ++c) o[c] += row[c];
   }
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_);
+  ColSumsInto(&out);
   return out;
 }
 
@@ -281,12 +347,19 @@ Matrix Matrix::ColMeans() const {
   return ColSums().Scale(1.0f / static_cast<float>(rows_));
 }
 
-Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
-  Matrix out(indices.size(), cols_);
+void Matrix::GatherRowsInto(const std::vector<size_t>& indices,
+                            Matrix* out) const {
+  AGNN_CHECK_EQ(out->rows(), indices.size());
+  AGNN_CHECK_EQ(out->cols(), cols_);
   for (size_t r = 0; r < indices.size(); ++r) {
     AGNN_CHECK_LT(indices[r], rows_);
-    std::memcpy(out.Row(r), Row(indices[r]), cols_ * sizeof(float));
+    std::memcpy(out->Row(r), Row(indices[r]), cols_ * sizeof(float));
   }
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  GatherRowsInto(indices, &out);
   return out;
 }
 
@@ -302,23 +375,38 @@ void Matrix::ScatterAddRows(const std::vector<size_t>& indices,
   }
 }
 
-Matrix Matrix::ConcatCols(const Matrix& other) const {
+void Matrix::ConcatColsInto(const Matrix& other, Matrix* out) const {
   AGNN_CHECK_EQ(rows_, other.rows_);
-  Matrix out(rows_, cols_ + other.cols_);
+  AGNN_CHECK_EQ(out->rows(), rows_);
+  AGNN_CHECK_EQ(out->cols(), cols_ + other.cols_);
   for (size_t r = 0; r < rows_; ++r) {
-    std::memcpy(out.Row(r), Row(r), cols_ * sizeof(float));
-    std::memcpy(out.Row(r) + cols_, other.Row(r), other.cols_ * sizeof(float));
+    std::memcpy(out->Row(r), Row(r), cols_ * sizeof(float));
+    std::memcpy(out->Row(r) + cols_, other.Row(r),
+                other.cols_ * sizeof(float));
   }
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  Matrix out(rows_, cols_ + other.cols_);
+  ConcatColsInto(other, &out);
   return out;
+}
+
+void Matrix::SliceColsInto(size_t begin, size_t end, Matrix* out) const {
+  AGNN_CHECK_LE(begin, end);
+  AGNN_CHECK_LE(end, cols_);
+  AGNN_CHECK_EQ(out->rows(), rows_);
+  AGNN_CHECK_EQ(out->cols(), end - begin);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::memcpy(out->Row(r), Row(r) + begin, (end - begin) * sizeof(float));
+  }
 }
 
 Matrix Matrix::SliceCols(size_t begin, size_t end) const {
   AGNN_CHECK_LE(begin, end);
   AGNN_CHECK_LE(end, cols_);
   Matrix out(rows_, end - begin);
-  for (size_t r = 0; r < rows_; ++r) {
-    std::memcpy(out.Row(r), Row(r) + begin, (end - begin) * sizeof(float));
-  }
+  SliceColsInto(begin, end, &out);
   return out;
 }
 

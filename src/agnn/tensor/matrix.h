@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "agnn/common/logging.h"
 #include "agnn/common/rng.h"
+#include "agnn/tensor/kernels.h"
 
 namespace agnn {
 
@@ -56,6 +58,10 @@ class Matrix {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
+  /// Destructive: moves out the underlying storage (size rows*cols),
+  /// leaving this matrix 0x0. Lets Workspace recycle buffers.
+  std::vector<float> ReleaseStorage() &&;
+
   // -- Elementwise arithmetic (shape-checked) ----------------------------
 
   Matrix& AddInPlace(const Matrix& other);
@@ -76,13 +82,55 @@ class Matrix {
   /// Hadamard-multiplies every row by `row` (1 x cols).
   Matrix MulRowBroadcast(const Matrix& row) const;
 
-  /// Applies `fn` to every element.
+  /// Applies `fn` to every element. Dispatches through std::function per
+  /// element — fine off the hot path; hot loops use MapInto with a functor.
   Matrix Map(const std::function<float(float)>& fn) const;
+
+  // -- Destination-passing forms ------------------------------------------
+  //
+  // Each *Into writes into a caller-provided, pre-shaped `out` (checked),
+  // normally a Workspace buffer, so hot loops allocate nothing. `out` must
+  // not alias the inputs except where noted. The gemm forms take
+  // `accumulate`: false overwrites `out`, true adds onto it.
+
+  /// out = this + other. `out` may alias either input.
+  void AddInto(const Matrix& other, Matrix* out) const;
+  /// out = this - other. `out` may alias either input.
+  void SubInto(const Matrix& other, Matrix* out) const;
+  /// out = this ⊙ other. `out` may alias either input.
+  void MulInto(const Matrix& other, Matrix* out) const;
+  /// out = s * this. `out` may alias this.
+  void ScaleInto(float s, Matrix* out) const;
+  /// out[i] = fn(this[i]) with an inlined functor. `out` may alias this.
+  template <typename F>
+  void MapInto(F fn, Matrix* out) const {
+    AGNN_CHECK(SameShape(*out));
+    kernels::Map(data(), out->data(), size(), fn);
+  }
+
+  void MatMulInto(const Matrix& other, Matrix* out,
+                  bool accumulate = false) const;
+  void TransposedMatMulInto(const Matrix& other, Matrix* out,
+                            bool accumulate = false) const;
+  void MatMulTransposedInto(const Matrix& other, Matrix* out,
+                            bool accumulate = false) const;
+  /// Zero-skipping matmul for a sparse `this` (multi-hot encodings,
+  /// selector matrices). Dense inputs should use MatMulInto.
+  void MatMulSparseInto(const Matrix& other, Matrix* out,
+                        bool accumulate = false) const;
+
+  void TransposedInto(Matrix* out) const;
+  void GatherRowsInto(const std::vector<size_t>& indices, Matrix* out) const;
+  void ConcatColsInto(const Matrix& other, Matrix* out) const;
+  void SliceColsInto(size_t begin, size_t end, Matrix* out) const;
+  void ColSumsInto(Matrix* out) const;
 
   // -- Linear algebra -----------------------------------------------------
 
   /// this [m,k] x other [k,n] -> [m,n].
   Matrix MatMul(const Matrix& other) const;
+  /// Allocating form of MatMulSparseInto.
+  Matrix MatMulSparse(const Matrix& other) const;
   /// this^T [k,m]^T x other [k,n] -> [m,n]; avoids materializing transpose.
   Matrix TransposedMatMul(const Matrix& other) const;
   /// this [m,k] x other^T [n,k]^T -> [m,n].

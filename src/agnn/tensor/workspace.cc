@@ -1,0 +1,71 @@
+#include "agnn/tensor/workspace.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace agnn {
+
+Workspace::Workspace(size_t max_pooled_bytes)
+    : max_pooled_bytes_(max_pooled_bytes) {}
+
+std::vector<float> Workspace::TakeBuffer(size_t n) {
+  // Best fit: the smallest pooled buffer whose capacity covers n.
+  auto it = std::lower_bound(
+      pool_.begin(), pool_.end(), n,
+      [](const std::vector<float>& buf, size_t need) {
+        return buf.capacity() < need;
+      });
+  if (it == pool_.end()) {
+    ++misses_;
+    std::vector<float> fresh;
+    fresh.resize(n);
+    return fresh;
+  }
+  ++hits_;
+  std::vector<float> buf = std::move(*it);
+  pool_.erase(it);
+  pooled_bytes_ -= buf.capacity() * sizeof(float);
+  buf.resize(n);  // never reallocates: capacity >= n by construction
+  return buf;
+}
+
+Matrix Workspace::Take(size_t rows, size_t cols) {
+  return Matrix(rows, cols, TakeBuffer(rows * cols));
+}
+
+Matrix Workspace::TakeZeroed(size_t rows, size_t cols) {
+  std::vector<float> buf = TakeBuffer(rows * cols);
+  std::memset(buf.data(), 0, buf.size() * sizeof(float));
+  return Matrix(rows, cols, std::move(buf));
+}
+
+Matrix Workspace::TakeCopy(const Matrix& src) {
+  std::vector<float> buf = TakeBuffer(src.size());
+  std::memcpy(buf.data(), src.data(), src.size() * sizeof(float));
+  return Matrix(src.rows(), src.cols(), std::move(buf));
+}
+
+void Workspace::Give(Matrix&& m) {
+  std::vector<float> buf = std::move(m).ReleaseStorage();
+  const size_t bytes = buf.capacity() * sizeof(float);
+  if (bytes == 0 || pooled_bytes_ + bytes > max_pooled_bytes_) return;
+  auto it = std::lower_bound(
+      pool_.begin(), pool_.end(), buf.capacity(),
+      [](const std::vector<float>& b, size_t cap) {
+        return b.capacity() < cap;
+      });
+  pool_.insert(it, std::move(buf));
+  pooled_bytes_ += bytes;
+}
+
+void Workspace::Clear() {
+  pool_.clear();
+  pooled_bytes_ = 0;
+}
+
+Workspace* GlobalWorkspace() {
+  static Workspace* ws = new Workspace();  // leaked by design, see header
+  return ws;
+}
+
+}  // namespace agnn

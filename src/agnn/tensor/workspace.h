@@ -1,0 +1,69 @@
+#ifndef AGNN_TENSOR_WORKSPACE_H_
+#define AGNN_TENSOR_WORKSPACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "agnn/tensor/matrix.h"
+
+namespace agnn {
+
+/// A size-bucketed pool of float buffers backing Matrix temporaries on the
+/// hot training path. Take() hands out a Matrix whose storage comes from
+/// the pool when a large-enough buffer is available (contents unspecified);
+/// Give() returns storage for reuse. Because every training step builds and
+/// tears down a tape of the same shape, routing tape values, gradients, and
+/// backward scratch through one workspace makes steady-state steps
+/// allocation-free.
+///
+/// Not thread-safe: the whole library is single-threaded by design (see
+/// CLAUDE.md); callers on new threads must create their own Workspace.
+class Workspace {
+ public:
+  /// `max_pooled_bytes` caps memory retained while idle; Give() beyond the
+  /// cap frees the buffer instead of pooling it.
+  explicit Workspace(size_t max_pooled_bytes = 64u << 20);
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// rows x cols matrix with **unspecified contents** (callers must fully
+  /// overwrite). Pool hit if any pooled buffer has sufficient capacity.
+  Matrix Take(size_t rows, size_t cols);
+
+  /// Like Take but zero-filled (for accumulation destinations).
+  Matrix TakeZeroed(size_t rows, size_t cols);
+
+  /// Pool-backed deep copy of `src` (stop-gradient snapshots etc.).
+  Matrix TakeCopy(const Matrix& src);
+
+  /// Recycles the matrix's storage (no-op for empty/moved-from matrices).
+  void Give(Matrix&& m);
+
+  /// Frees all pooled buffers.
+  void Clear();
+
+  size_t pooled_buffers() const { return pool_.size(); }
+  size_t pooled_bytes() const { return pooled_bytes_; }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  std::vector<float> TakeBuffer(size_t n);
+
+  // Sorted by capacity ascending so Take can best-fit via binary search.
+  std::vector<std::vector<float>> pool_;
+  size_t pooled_bytes_ = 0;
+  size_t max_pooled_bytes_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+/// Process-wide workspace used by the autograd tape and the ops layer.
+/// Intentionally leaked (never destroyed) so Node destructors may Give()
+/// during static teardown without ordering hazards.
+Workspace* GlobalWorkspace();
+
+}  // namespace agnn
+
+#endif  // AGNN_TENSOR_WORKSPACE_H_

@@ -220,6 +220,56 @@ std::vector<GradCase> MakeCases() {
                      Var g = Sigmoid(MatMul(h, p[1]));
                      return MeanAll(Square(Mul(h, g)));
                    }});
+  cases.push_back({"matmul_sparse_multi_hot",
+                   {M(3, 4, {1, 0, 0, 1,  //
+                             0, 0, 1, 0,  //
+                             0, 1, 0, 1}),
+                    randn(4, 2)},
+                   [](const std::vector<Var>& p) {
+                     return SumAll(Square(MatMulSparse(p[0], p[1])));
+                   }});
+  cases.push_back({"matmul_sparse_interior_lhs",
+                   {randn(3, 4), randn(4, 2)},
+                   [](const std::vector<Var>& p) {
+                     // Sparse lhs is itself an interior node: its gradient
+                     // path must not be skipped.
+                     return SumAll(Square(MatMulSparse(Relu(p[0]), p[1])));
+                   }});
+  cases.push_back({"shared_parent_accumulates",
+                   {randn(3, 3)},
+                   [](const std::vector<Var>& p) {
+                     // One leaf feeding four consumers: every backward
+                     // kernel must accumulate (+=) into the shared grad,
+                     // never overwrite it.
+                     Var a = Sigmoid(p[0]);
+                     Var b = MatMul(p[0], p[0]);
+                     Var c = Mul(p[0], Tanh(p[0]));
+                     return Add(SumAll(a), Add(SumAll(b), SumAll(c)));
+                   }});
+  cases.push_back({"concat_slice_spanning_boundary",
+                   {randn(3, 2), randn(3, 3)},
+                   [](const std::vector<Var>& p) {
+                     // The slice [1,4) straddles the concat seam, so both
+                     // parents see partial-column gradients.
+                     Var cat = ConcatCols(p[0], p[1]);
+                     return SumAll(Square(SliceCols(cat, 1, 4)));
+                   }});
+  cases.push_back({"gather_then_segment_pool",
+                   {randn(4, 3)},
+                   [](const std::vector<Var>& p) {
+                     // Embedding-style chain: gather (with repeats) then
+                     // pool back; grads scatter-add through both hops.
+                     Var g = GatherRows(p[0], {3, 0, 0, 1, 3, 2});
+                     return SumAll(Square(SegmentSum(g, {0, 1, 0, 2, 2, 1},
+                                                     3)));
+                   }});
+  cases.push_back({"scale_sub_fused_axpy",
+                   {randn(3, 3), randn(3, 3)},
+                   [](const std::vector<Var>& p) {
+                     // Exercises AccumulateGradScaled on both Sub and Scale.
+                     return SumAll(Square(Sub(Scale(p[0], -2.5f),
+                                              Scale(p[1], 0.5f))));
+                   }});
 
   return cases;
 }
@@ -284,6 +334,40 @@ TEST(OpsForwardTest, DropoutPreservesExpectation) {
   Var out = Dropout(x, 0.3f, &rng, /*training=*/true);
   // Inverted dropout: E[out] == x. 10k samples -> mean within ~3%.
   EXPECT_NEAR(out->value().Mean(), 1.0f, 0.03f);
+}
+
+TEST(OpsForwardTest, MatMulSparseMatchesDense) {
+  Rng rng(17);
+  Matrix a = Matrix::RandomUniform(5, 7, 0.0f, 1.0f, &rng);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (rng.Bernoulli(0.7)) a.data()[i] = 0.0f;
+  }
+  Matrix b = Matrix::RandomNormal(7, 4, 0.0f, 1.0f, &rng);
+  Matrix dense = MatMul(MakeConst(a), MakeConst(b))->value();
+  Matrix sparse = MatMulSparse(MakeConst(a), MakeConst(b))->value();
+  EXPECT_LT(sparse.MaxAbsDiff(dense), 1e-6f);
+}
+
+TEST(OpsWorkspaceTest, RepeatedTapesAreDeterministic) {
+  // Tape buffers are recycled through the global Workspace between
+  // iterations; results and gradients must be bitwise identical every time.
+  Matrix w_init = Matrix(2, 2, {0.3f, -0.8f, 1.1f, 0.25f});
+  Matrix x_init = Matrix(3, 2, {1.0f, 2.0f, -0.5f, 0.75f, 0.0f, -1.25f});
+  Matrix first_loss;
+  Matrix first_grad;
+  for (int iter = 0; iter < 4; ++iter) {
+    Var w = MakeParam(w_init);
+    Var x = MakeConst(x_init);
+    Var loss = MeanAll(Square(Tanh(MatMul(x, w))));
+    Backward(loss);
+    if (iter == 0) {
+      first_loss = loss->value();
+      first_grad = w->grad();
+    } else {
+      EXPECT_EQ(loss->value().MaxAbsDiff(first_loss), 0.0f);
+      EXPECT_EQ(w->grad().MaxAbsDiff(first_grad), 0.0f);
+    }
+  }
 }
 
 TEST(OpsForwardTest, ReparameterizeMatchesMuForTinyVariance) {

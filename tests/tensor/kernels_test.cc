@@ -1,0 +1,353 @@
+#include "agnn/tensor/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include "agnn/common/rng.h"
+#include "gtest/gtest.h"
+
+// Every kernel is checked against a naive reference implementation on
+// random inputs, including accumulate modes, sparse variants, and edge
+// shapes that don't divide the register-block sizes.
+
+namespace agnn::kernels {
+namespace {
+
+std::vector<float> RandomVec(size_t n, Rng* rng, float sparsity = 0.0f) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (sparsity > 0.0f && rng->Bernoulli(sparsity)) {
+      v[i] = 0.0f;
+    } else {
+      v[i] = static_cast<float>(rng->Uniform(-1.0, 1.0));
+    }
+  }
+  return v;
+}
+
+// Reference gemm: out[m,n] (+)= op_a(a) * b, op_a selected by trans_a.
+std::vector<float> RefGemm(const std::vector<float>& a,
+                           const std::vector<float>& b,
+                           const std::vector<float>& init, size_t m, size_t k,
+                           size_t n, bool trans_a, bool trans_b,
+                           bool accumulate) {
+  std::vector<float> out(m * n, 0.0f);
+  if (accumulate) out = init;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = out[i * n + j];
+      for (size_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += av * bv;
+      }
+      out[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+void ExpectNear(const std::vector<float>& got, const std::vector<float>& want,
+                float tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], tol) << "at index " << i;
+  }
+}
+
+// Shapes chosen to exercise full tiles, edge rows/cols, and degenerate
+// sizes (1xN, Nx1) around the 4x8 register block.
+struct Shape {
+  size_t m, k, n;
+};
+const Shape kShapes[] = {{1, 1, 1},  {3, 2, 5},   {4, 7, 8},   {5, 3, 9},
+                         {8, 8, 8},  {13, 11, 7}, {16, 5, 32}, {17, 9, 33},
+                         {2, 64, 3}, {1, 16, 40}, {40, 16, 1}};
+
+TEST(KernelsGemmTest, GemmNNMatchesReference) {
+  Rng rng(123);
+  for (const Shape& s : kShapes) {
+    for (bool accumulate : {false, true}) {
+      auto a = RandomVec(s.m * s.k, &rng);
+      auto b = RandomVec(s.k * s.n, &rng);
+      auto init = RandomVec(s.m * s.n, &rng);
+      auto out = init;
+      GemmNN(a.data(), b.data(), out.data(), s.m, s.k, s.n, accumulate);
+      ExpectNear(out, RefGemm(a, b, init, s.m, s.k, s.n, false, false,
+                              accumulate),
+                 1e-4f);
+    }
+  }
+}
+
+TEST(KernelsGemmTest, GemmTNMatchesReference) {
+  Rng rng(456);
+  for (const Shape& s : kShapes) {
+    for (bool accumulate : {false, true}) {
+      auto a = RandomVec(s.k * s.m, &rng);  // stored [k,m]
+      auto b = RandomVec(s.k * s.n, &rng);
+      auto init = RandomVec(s.m * s.n, &rng);
+      auto out = init;
+      GemmTN(a.data(), b.data(), out.data(), s.m, s.k, s.n, accumulate);
+      ExpectNear(out, RefGemm(a, b, init, s.m, s.k, s.n, true, false,
+                              accumulate),
+                 1e-4f);
+    }
+  }
+}
+
+TEST(KernelsGemmTest, GemmNTMatchesReference) {
+  Rng rng(789);
+  for (const Shape& s : kShapes) {
+    for (bool accumulate : {false, true}) {
+      auto a = RandomVec(s.m * s.k, &rng);
+      auto b = RandomVec(s.n * s.k, &rng);  // stored [n,k]
+      auto init = RandomVec(s.m * s.n, &rng);
+      auto out = init;
+      GemmNT(a.data(), b.data(), out.data(), s.m, s.k, s.n, accumulate);
+      ExpectNear(out, RefGemm(a, b, init, s.m, s.k, s.n, false, true,
+                              accumulate),
+                 1e-4f);
+    }
+  }
+}
+
+TEST(KernelsGemmTest, SparseVariantsMatchDenseOnSparseInput) {
+  Rng rng(321);
+  for (const Shape& s : kShapes) {
+    for (bool accumulate : {false, true}) {
+      auto a = RandomVec(s.m * s.k, &rng, /*sparsity=*/0.8f);
+      auto b = RandomVec(s.k * s.n, &rng);
+      auto init = RandomVec(s.m * s.n, &rng);
+
+      auto out = init;
+      GemmNNSparseA(a.data(), b.data(), out.data(), s.m, s.k, s.n,
+                    accumulate);
+      ExpectNear(out, RefGemm(a, b, init, s.m, s.k, s.n, false, false,
+                              accumulate),
+                 1e-4f);
+
+      auto at = RandomVec(s.k * s.m, &rng, /*sparsity=*/0.8f);
+      out = init;
+      GemmTNSparseA(at.data(), b.data(), out.data(), s.m, s.k, s.n,
+                    accumulate);
+      ExpectNear(out, RefGemm(at, b, init, s.m, s.k, s.n, true, false,
+                              accumulate),
+                 1e-4f);
+    }
+  }
+}
+
+TEST(KernelsTest, TransposeMatchesReference) {
+  Rng rng(11);
+  for (auto [r, c] : {std::pair<size_t, size_t>{1, 1},
+                      {3, 5},
+                      {32, 32},
+                      {33, 31},
+                      {64, 7},
+                      {7, 64},
+                      {100, 100}}) {
+    auto in = RandomVec(r * c, &rng);
+    std::vector<float> out(r * c, -1.0f);
+    Transpose(in.data(), out.data(), r, c);
+    for (size_t i = 0; i < r; ++i) {
+      for (size_t j = 0; j < c; ++j) {
+        ASSERT_EQ(out[j * r + i], in[i * c + j]) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, AxpyAxpbyMulAcc) {
+  Rng rng(22);
+  const size_t n = 103;
+  auto x = RandomVec(n, &rng);
+  auto y0 = RandomVec(n, &rng);
+
+  auto y = y0;
+  Axpy(n, 2.5f, x.data(), y.data());
+  for (size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(y[i], y0[i] + 2.5f * x[i]);
+
+  y = y0;
+  Axpby(n, 2.0f, x.data(), -0.5f, y.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(y[i], 2.0f * x[i] + -0.5f * y0[i]);
+  }
+
+  auto b = RandomVec(n, &rng);
+  y = y0;
+  MulAcc(y.data(), x.data(), b.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(y[i], y0[i] + x[i] * b[i]);
+}
+
+TEST(KernelsTest, SumAndDotAreSequential) {
+  Rng rng(33);
+  const size_t n = 257;
+  auto x = RandomVec(n, &rng);
+  auto y = RandomVec(n, &rng);
+  float ref_sum = 0.0f;
+  float ref_dot = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    ref_sum += x[i];
+    ref_dot += x[i] * y[i];
+  }
+  // Bitwise equality: the kernels promise the same accumulation order.
+  EXPECT_EQ(Sum(x.data(), n), ref_sum);
+  EXPECT_EQ(Dot(x.data(), y.data(), n), ref_dot);
+}
+
+TEST(KernelsTest, ActivationForwardsMatchScalarMath) {
+  Rng rng(44);
+  const size_t n = 97;
+  auto x = RandomVec(n, &rng);
+  std::vector<float> out(n);
+
+  SigmoidForward(x.data(), out.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(out[i], 1.0f / (1.0f + std::exp(-x[i])));
+  }
+  TanhForward(x.data(), out.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(out[i], std::tanh(x[i]));
+  LeakyReluForward(x.data(), out.data(), n, 0.01f);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(out[i], x[i] > 0.0f ? x[i] : 0.01f * x[i]);
+  }
+  ExpForward(x.data(), out.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(out[i], std::exp(x[i]));
+  SquareForward(x.data(), out.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(out[i], x[i] * x[i]);
+  SoftplusForward(x.data(), out.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(out[i],
+                    x[i] > 20.0f ? x[i] : std::log1p(std::exp(x[i])));
+  }
+
+  // Log needs positive inputs.
+  for (size_t i = 0; i < n; ++i) x[i] = std::abs(x[i]) + 0.1f;
+  LogForward(x.data(), out.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(out[i], std::log(x[i]));
+}
+
+TEST(KernelsTest, ActivationForwardsAllowInPlace) {
+  Rng rng(55);
+  const size_t n = 64;
+  auto x = RandomVec(n, &rng);
+  auto expected = x;
+  SigmoidForward(expected.data(), expected.data(), n);
+  auto in_place = x;
+  SigmoidForward(in_place.data(), in_place.data(), n);
+  EXPECT_EQ(in_place, expected);
+}
+
+TEST(KernelsTest, GradAccKernelsAccumulate) {
+  Rng rng(66);
+  const size_t n = 81;
+  auto g = RandomVec(n, &rng);
+  auto x = RandomVec(n, &rng);
+  auto dst0 = RandomVec(n, &rng);
+
+  std::vector<float> y(n);
+  SigmoidForward(x.data(), y.data(), n);
+  auto dst = dst0;
+  SigmoidGradAcc(dst.data(), g.data(), y.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(dst[i], dst0[i] + g[i] * (y[i] * (1.0f - y[i])));
+  }
+
+  TanhForward(x.data(), y.data(), n);
+  dst = dst0;
+  TanhGradAcc(dst.data(), g.data(), y.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(dst[i], dst0[i] + g[i] * (1.0f - y[i] * y[i]));
+  }
+
+  dst = dst0;
+  LeakyReluGradAcc(dst.data(), g.data(), x.data(), n, 0.01f);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(dst[i],
+                    dst0[i] + (x[i] <= 0.0f ? g[i] * 0.01f : g[i]));
+  }
+
+  ExpForward(x.data(), y.data(), n);
+  dst = dst0;
+  ExpGradAcc(dst.data(), g.data(), y.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(dst[i], dst0[i] + g[i] * y[i]);
+  }
+
+  dst = dst0;
+  SquareGradAcc(dst.data(), g.data(), x.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(dst[i], dst0[i] + 2.0f * (g[i] * x[i]));
+  }
+
+  dst = dst0;
+  SoftplusGradAcc(dst.data(), g.data(), x.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(dst[i],
+                    dst0[i] + g[i] * (1.0f / (1.0f + std::exp(-x[i]))));
+  }
+
+  std::vector<float> pos(n);
+  for (size_t i = 0; i < n; ++i) pos[i] = std::abs(x[i]) + 0.1f;
+  dst = dst0;
+  LogGradAcc(dst.data(), g.data(), pos.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(dst[i], dst0[i] + g[i] / pos[i]);
+  }
+}
+
+TEST(KernelsTest, OptimizerStepsMatchReference) {
+  Rng rng(77);
+  const size_t n = 53;
+  auto w0 = RandomVec(n, &rng);
+  auto g = RandomVec(n, &rng);
+
+  auto w = w0;
+  SgdStep(w.data(), g.data(), n, 0.1f, 0.01f);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(w[i], w0[i] - 0.1f * (g[i] + 0.01f * w0[i]));
+  }
+
+  auto m0 = RandomVec(n, &rng);
+  auto v0 = RandomVec(n, &rng);
+  for (size_t i = 0; i < n; ++i) v0[i] = std::abs(v0[i]);
+  w = w0;
+  auto m = m0;
+  auto v = v0;
+  const float lr = 0.001f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f, wd = 0.02f;
+  const float bias1 = 1.0f - std::pow(b1, 3.0f);
+  const float bias2 = 1.0f - std::pow(b2, 3.0f);
+  AdamStep(w.data(), g.data(), m.data(), v.data(), n, lr, b1, b2, eps, wd,
+           bias1, bias2);
+  for (size_t i = 0; i < n; ++i) {
+    const float grad = g[i] + wd * w0[i];
+    const float mi = b1 * m0[i] + (1.0f - b1) * grad;
+    const float vi = b2 * v0[i] + (1.0f - b2) * grad * grad;
+    EXPECT_FLOAT_EQ(m[i], mi);
+    EXPECT_FLOAT_EQ(v[i], vi);
+    EXPECT_FLOAT_EQ(w[i], w0[i] - lr * (mi / bias1) /
+                              (std::sqrt(vi / bias2) + eps));
+  }
+}
+
+TEST(KernelsTest, MapAndMapGradAccInlineFunctors) {
+  Rng rng(88);
+  const size_t n = 40;
+  auto x = RandomVec(n, &rng);
+  std::vector<float> out(n);
+  Map(x.data(), out.data(), n, [](float v) { return 3.0f * v - 1.0f; });
+  for (size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(out[i], 3.0f * x[i] - 1.0f);
+
+  auto g = RandomVec(n, &rng);
+  auto dst0 = RandomVec(n, &rng);
+  auto dst = dst0;
+  MapGradAcc(dst.data(), g.data(), x.data(), n,
+             [](float v) { return 2.0f * v; });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(dst[i], dst0[i] + g[i] * (2.0f * x[i]));
+  }
+}
+
+}  // namespace
+}  // namespace agnn::kernels

@@ -154,6 +154,94 @@ TEST(MatrixTest, MapAppliesFunction) {
   EXPECT_FLOAT_EQ(sq.At(1, 2), 36.0f);
 }
 
+TEST(MatrixTest, IntoFormsMatchAllocatingForms) {
+  Matrix a(3, 4, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  Matrix b(4, 2, {1, 0, -1, 2, 0.5f, 1, 2, -2});
+  Matrix c(3, 4, {2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4});
+
+  Matrix out(3, 2);
+  a.MatMulInto(b, &out);
+  EXPECT_EQ(out.MaxAbsDiff(a.MatMul(b)), 0.0f);
+
+  Matrix sum(3, 4);
+  a.AddInto(c, &sum);
+  EXPECT_EQ(sum.MaxAbsDiff(a.Add(c)), 0.0f);
+  a.SubInto(c, &sum);
+  EXPECT_EQ(sum.MaxAbsDiff(a.Sub(c)), 0.0f);
+  a.MulInto(c, &sum);
+  EXPECT_EQ(sum.MaxAbsDiff(a.Mul(c)), 0.0f);
+  a.ScaleInto(-1.5f, &sum);
+  EXPECT_EQ(sum.MaxAbsDiff(a.Scale(-1.5f)), 0.0f);
+  a.MapInto([](float v) { return v * v + 1.0f; }, &sum);
+  EXPECT_EQ(sum.MaxAbsDiff(a.Map([](float v) { return v * v + 1.0f; })),
+            0.0f);
+}
+
+TEST(MatrixTest, IntoFormsAllowAliasedElementwise) {
+  Matrix a = Make23();
+  Matrix expected = a.Scale(2.0f);
+  a.ScaleInto(2.0f, &a);
+  EXPECT_EQ(a.MaxAbsDiff(expected), 0.0f);
+}
+
+TEST(MatrixTest, MatMulIntoAccumulates) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {1, 0, 0, 1, 1, 1});
+  Matrix out(2, 2, 10.0f);
+  Matrix expected = a.MatMul(b);
+  a.MatMulInto(b, &out, /*accumulate=*/true);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], expected.data()[i] + 10.0f);
+  }
+}
+
+TEST(MatrixTest, MatMulSparseMatchesDense) {
+  Matrix a(2, 4, {1, 0, 0, 2, 0, 0, 3, 0});
+  Matrix b(4, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  EXPECT_EQ(a.MatMulSparse(b).MaxAbsDiff(a.MatMul(b)), 0.0f);
+}
+
+TEST(MatrixTest, TransposedHandlesNonSquareAndBlockEdges) {
+  // 33x31 straddles the 32x32 cache tile in both dimensions.
+  Matrix m(33, 31);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      m.At(r, c) = static_cast<float>(r * 100 + c);
+    }
+  }
+  Matrix t = m.Transposed();
+  ASSERT_EQ(t.rows(), 31u);
+  ASSERT_EQ(t.cols(), 33u);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      ASSERT_EQ(t.At(c, r), m.At(r, c)) << r << "," << c;
+    }
+  }
+  // Double transpose is the identity.
+  EXPECT_EQ(t.Transposed().MaxAbsDiff(m), 0.0f);
+}
+
+TEST(MatrixTest, GatherConcatSliceColSumsIntoForms) {
+  Matrix a = Make23();
+  Matrix b(2, 2, {10, 20, 30, 40});
+
+  Matrix gathered(3, 3);
+  a.GatherRowsInto({1, 0, 1}, &gathered);
+  EXPECT_EQ(gathered.MaxAbsDiff(a.GatherRows({1, 0, 1})), 0.0f);
+
+  Matrix cat(2, 5);
+  a.ConcatColsInto(b, &cat);
+  EXPECT_EQ(cat.MaxAbsDiff(a.ConcatCols(b)), 0.0f);
+
+  Matrix slice(2, 2);
+  a.SliceColsInto(1, 3, &slice);
+  EXPECT_EQ(slice.MaxAbsDiff(a.SliceCols(1, 3)), 0.0f);
+
+  Matrix col_sums(1, 3);
+  a.ColSumsInto(&col_sums);
+  EXPECT_EQ(col_sums.MaxAbsDiff(a.ColSums()), 0.0f);
+}
+
 TEST(MatrixTest, AllFiniteDetectsNan) {
   Matrix a = Make23();
   EXPECT_TRUE(a.AllFinite());

@@ -1,0 +1,115 @@
+#include "agnn/tensor/workspace.h"
+
+#include <utility>
+
+#include "gtest/gtest.h"
+
+namespace agnn {
+namespace {
+
+TEST(WorkspaceTest, TakeReturnsRequestedShape) {
+  Workspace ws;
+  Matrix m = ws.Take(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+}
+
+TEST(WorkspaceTest, TakeZeroedIsZero) {
+  Workspace ws;
+  // Dirty a buffer, return it, and re-take zeroed: recycled storage must
+  // not leak stale values.
+  Matrix dirty = ws.Take(4, 4);
+  dirty.Fill(7.0f);
+  ws.Give(std::move(dirty));
+  Matrix z = ws.TakeZeroed(4, 4);
+  for (size_t i = 0; i < z.size(); ++i) EXPECT_EQ(z.data()[i], 0.0f);
+}
+
+TEST(WorkspaceTest, TakeCopyCopies) {
+  Workspace ws;
+  Matrix src(2, 3);
+  src.At(0, 0) = 1.5f;
+  src.At(1, 2) = -2.0f;
+  Matrix copy = ws.TakeCopy(src);
+  EXPECT_EQ(copy.rows(), 2u);
+  EXPECT_EQ(copy.cols(), 3u);
+  EXPECT_EQ(copy.MaxAbsDiff(src), 0.0f);
+  copy.At(0, 0) = 9.0f;  // must not alias
+  EXPECT_EQ(src.At(0, 0), 1.5f);
+}
+
+TEST(WorkspaceTest, GiveThenTakeReusesBuffer) {
+  Workspace ws;
+  Matrix m = ws.Take(8, 8);
+  const float* buf = m.data();
+  ws.Give(std::move(m));
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+  // Same-size request must hit the pooled buffer.
+  Matrix again = ws.Take(8, 8);
+  EXPECT_EQ(again.data(), buf);
+  EXPECT_EQ(ws.hits(), 1u);
+}
+
+TEST(WorkspaceTest, BestFitPrefersSmallestSufficientBuffer) {
+  Workspace ws;
+  Matrix small = ws.Take(2, 2);
+  Matrix large = ws.Take(16, 16);
+  const float* small_buf = small.data();
+  const float* large_buf = large.data();
+  ws.Give(std::move(large));
+  ws.Give(std::move(small));
+  // A 2x2 request should get the 2x2 buffer, not the 16x16 one.
+  Matrix taken = ws.Take(2, 2);
+  EXPECT_EQ(taken.data(), small_buf);
+  // The next request larger than 2x2 gets the big buffer.
+  Matrix taken2 = ws.Take(3, 3);
+  EXPECT_EQ(taken2.data(), large_buf);
+}
+
+TEST(WorkspaceTest, MissAllocatesFresh) {
+  Workspace ws;
+  Matrix m = ws.Take(4, 4);
+  EXPECT_EQ(ws.misses(), 1u);
+  EXPECT_EQ(ws.hits(), 0u);
+  ws.Give(std::move(m));
+  Matrix bigger = ws.Take(32, 32);  // nothing pooled is big enough
+  EXPECT_EQ(ws.misses(), 2u);
+}
+
+TEST(WorkspaceTest, ClearEmptiesPool) {
+  Workspace ws;
+  ws.Give(ws.Take(4, 4));
+  EXPECT_GT(ws.pooled_buffers(), 0u);
+  ws.Clear();
+  EXPECT_EQ(ws.pooled_buffers(), 0u);
+}
+
+TEST(WorkspaceTest, CapDropsOversizedReturns) {
+  Workspace ws(/*max_pooled_bytes=*/64);  // room for 16 floats
+  ws.Give(ws.Take(2, 4));                 // 32 bytes: kept
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+  ws.Give(ws.Take(10, 10));  // 400 bytes: would exceed the cap, dropped
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+}
+
+TEST(WorkspaceTest, GiveEmptyMatrixIsNoOp) {
+  Workspace ws;
+  ws.Give(Matrix());
+  EXPECT_EQ(ws.pooled_buffers(), 0u);
+}
+
+TEST(WorkspaceTest, GlobalWorkspaceIsSingleton) {
+  EXPECT_EQ(GlobalWorkspace(), GlobalWorkspace());
+  EXPECT_NE(GlobalWorkspace(), nullptr);
+}
+
+TEST(WorkspaceTest, ReleaseStorageLeavesMatrixEmpty) {
+  Matrix m(3, 4, 2.0f);
+  std::vector<float> storage = std::move(m).ReleaseStorage();
+  EXPECT_EQ(storage.size(), 12u);
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+}  // namespace
+}  // namespace agnn
