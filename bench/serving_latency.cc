@@ -1,0 +1,193 @@
+// Serving-path benchmark (DESIGN.md §9): single-request latency and batch
+// throughput of the tape-free InferenceSession against running the full
+// autograd forward in eval mode. The session serves steady-state requests
+// from cached per-node embeddings with zero tape and zero heap allocation,
+// so the single-request p50 must come out well ahead (the PR gate is >= 3x)
+// of the tape path, which rebuilds the graph-node closures per request.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "agnn/common/table.h"
+#include "agnn/core/inference_session.h"
+#include "agnn/graph/graph.h"
+#include "bench_util.h"
+
+namespace agnn::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double PercentileUs(std::vector<double>* samples, double pct) {
+  std::sort(samples->begin(), samples->end());
+  const size_t idx = std::min(
+      samples->size() - 1,
+      static_cast<size_t>(pct * static_cast<double>(samples->size())));
+  return (*samples)[idx];
+}
+
+// One request = a (user, item) pair plus presampled neighbor lists, so both
+// paths time pure model math (neighbor sampling is identical for both and
+// excluded).
+struct Request {
+  size_t user;
+  size_t item;
+  std::vector<size_t> user_neighbors;
+  std::vector<size_t> item_neighbors;
+};
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromFlags(argc, argv);
+  // Serving cost does not depend on model quality; a couple of epochs give
+  // realistic (non-degenerate) weights without dominating the bench.
+  if (!options.epochs_explicit) options.epochs = 2;
+  PrintHeader("Serving latency — tape vs. tape-free InferenceSession",
+              "systems extension; not a paper table", options);
+
+  constexpr size_t kSingleRequests = 512;
+  constexpr size_t kBatchSize = 256;
+  constexpr size_t kBatchRounds = 20;
+
+  for (const std::string& dataset_name : options.datasets) {
+    const data::Dataset& dataset =
+        LoadDataset(dataset_name, options.scale, options.seed);
+    eval::ExperimentConfig config = options.MakeExperimentConfig();
+    eval::ExperimentRunner runner(dataset, data::Scenario::kItemColdStart,
+                                  config);
+    core::AgnnTrainer trainer(dataset, runner.split(), config.agnn);
+    trainer.Train();
+    const core::AgnnModel& model = trainer.model();
+    const data::Split& split = runner.split();
+    const size_t s = model.neighbors_per_node();
+
+    // Presample requests by cycling over the test pairs (includes strict
+    // cold items by construction).
+    Rng rng(options.seed ^ 0xbadc0ffeULL);
+    std::vector<Request> requests(kSingleRequests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const data::Rating& r = split.test[i % split.test.size()];
+      requests[i].user = r.user;
+      requests[i].item = r.item;
+      graph::SampleNeighborsInto(trainer.user_graph(), r.user, s, &rng,
+                                 &requests[i].user_neighbors);
+      graph::SampleNeighborsInto(trainer.item_graph(), r.item, s, &rng,
+                                 &requests[i].item_neighbors);
+    }
+
+    // --- Tape path: full eval-mode Forward per request. ---
+    auto tape_single = [&](const Request& req) {
+      core::Batch batch;
+      batch.user_ids.assign(1, req.user);
+      batch.item_ids.assign(1, req.item);
+      batch.user_neighbor_ids = req.user_neighbors;
+      batch.item_neighbor_ids = req.item_neighbors;
+      batch.cold_users = &split.cold_user;
+      batch.cold_items = &split.cold_item;
+      Rng fwd_rng(1);
+      return model.Forward(batch, &fwd_rng, /*training=*/false)
+          .predictions->value()
+          .At(0, 0);
+    };
+    std::vector<double> tape_us;
+    tape_us.reserve(requests.size());
+    float sink = 0.0f;
+    for (const Request& req : requests) {
+      const auto t0 = Clock::now();
+      sink += tape_single(req);
+      const auto t1 = Clock::now();
+      tape_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+
+    // --- Session path: snapshot once, then cached gather + head. ---
+    const auto build0 = Clock::now();
+    core::InferenceSession session(model, &split.cold_user, &split.cold_item);
+    const auto build1 = Clock::now();
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(build1 - build0).count();
+
+    for (size_t i = 0; i < 16; ++i) {  // warm the workspace pool
+      const Request& req = requests[i % requests.size()];
+      sink += session.Predict(req.user, req.item, req.user_neighbors,
+                              req.item_neighbors);
+    }
+    std::vector<double> session_us;
+    session_us.reserve(requests.size());
+    for (const Request& req : requests) {
+      const auto t0 = Clock::now();
+      sink += session.Predict(req.user, req.item, req.user_neighbors,
+                              req.item_neighbors);
+      const auto t1 = Clock::now();
+      session_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+
+    // --- Batch throughput, both paths on the identical batch. ---
+    core::Batch big;
+    big.cold_users = &split.cold_user;
+    big.cold_items = &split.cold_item;
+    for (size_t i = 0; i < kBatchSize; ++i) {
+      const Request& req = requests[i % requests.size()];
+      big.user_ids.push_back(req.user);
+      big.item_ids.push_back(req.item);
+      big.user_neighbor_ids.insert(big.user_neighbor_ids.end(),
+                                   req.user_neighbors.begin(),
+                                   req.user_neighbors.end());
+      big.item_neighbor_ids.insert(big.item_neighbor_ids.end(),
+                                   req.item_neighbors.begin(),
+                                   req.item_neighbors.end());
+    }
+    const auto tb0 = Clock::now();
+    for (size_t round = 0; round < kBatchRounds; ++round) {
+      Rng fwd_rng(1);
+      sink += model.Forward(big, &fwd_rng, /*training=*/false)
+                  .predictions->value()
+                  .At(0, 0);
+    }
+    const auto tb1 = Clock::now();
+    std::vector<float> served;
+    session.PredictBatch(big.user_ids, big.item_ids, big.user_neighbor_ids,
+                         big.item_neighbor_ids, &served);  // warm shapes
+    const auto sb0 = Clock::now();
+    for (size_t round = 0; round < kBatchRounds; ++round) {
+      session.PredictBatch(big.user_ids, big.item_ids, big.user_neighbor_ids,
+                           big.item_neighbor_ids, &served);
+      sink += served[0];
+    }
+    const auto sb1 = Clock::now();
+    const double tape_batch_s =
+        std::chrono::duration<double>(tb1 - tb0).count();
+    const double session_batch_s =
+        std::chrono::duration<double>(sb1 - sb0).count();
+    const double pairs = static_cast<double>(kBatchSize * kBatchRounds);
+
+    const double tape_p50 = PercentileUs(&tape_us, 0.5);
+    const double session_p50 = PercentileUs(&session_us, 0.5);
+    Table table({"Path", "p50 us/request", "p95 us/request",
+                 "batch pairs/s"});
+    table.AddRow({"tape Forward(eval)", Table::Cell(tape_p50),
+                  Table::Cell(PercentileUs(&tape_us, 0.95)),
+                  Table::Cell(pairs / tape_batch_s)});
+    table.AddRow({"InferenceSession", Table::Cell(session_p50),
+                  Table::Cell(PercentileUs(&session_us, 0.95)),
+                  Table::Cell(pairs / session_batch_s)});
+    std::printf(
+        "--- %s (session build: %.2f ms, single-request speedup: %.1fx, "
+        "checksum %.3f) ---\n%s\n",
+        dataset_name.c_str(), build_ms, tape_p50 / session_p50,
+        static_cast<double>(sink), table.ToString().c_str());
+  }
+  std::printf(
+      "Gate: the InferenceSession single-request p50 must be >= 3x faster "
+      "than the tape path (identical predictions are enforced by "
+      "tests/core/inference_session_test).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn::bench
+
+int main(int argc, char** argv) { return agnn::bench::Main(argc, argv); }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "agnn/common/logging.h"
+#include "agnn/tensor/functional.h"
 #include "agnn/tensor/kernels.h"
 #include "agnn/tensor/workspace.h"
 
@@ -29,6 +30,10 @@ Var MakeOp(Matrix value, std::vector<Var> parents,
 // forward values and backward scratch are Taken from the global Workspace;
 // node buffers return to it in ~Node, scratch via the Give calls below.
 // Steady-state training steps therefore run without heap allocation.
+//
+// Forward math lives in fn:: (tensor/functional.h), shared with the
+// tape-free serving path (DESIGN.md §9): each op here only Takes the
+// destination, calls the fn:: forward, and wires parents + backward.
 Workspace* Ws() { return GlobalWorkspace(); }
 
 }  // namespace
@@ -77,7 +82,7 @@ Var Scale(const Var& x, float s) {
 
 Var AddScalar(const Var& x, float s) {
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
-  x->value().MapInto([s](float v) { return v + s; }, &out);
+  fn::AddScalarInto(x->value(), s, &out);
   return MakeOp(std::move(out), {x}, [](Node* n) {
     n->parents()[0]->AccumulateGrad(n->grad());
   });
@@ -85,7 +90,7 @@ Var AddScalar(const Var& x, float s) {
 
 Var Sigmoid(const Var& x) {
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
-  kernels::SigmoidForward(x->value().data(), out.data(), out.size());
+  fn::SigmoidInto(x->value(), &out);
   return MakeOp(std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::SigmoidGradAcc(p->EnsureGrad().data(), n->grad().data(),
@@ -95,7 +100,7 @@ Var Sigmoid(const Var& x) {
 
 Var Tanh(const Var& x) {
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
-  kernels::TanhForward(x->value().data(), out.data(), out.size());
+  fn::TanhInto(x->value(), &out);
   return MakeOp(std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::TanhGradAcc(p->EnsureGrad().data(), n->grad().data(),
@@ -107,7 +112,7 @@ Var Relu(const Var& x) { return LeakyRelu(x, 0.0f); }
 
 Var LeakyRelu(const Var& x, float slope) {
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
-  kernels::LeakyReluForward(x->value().data(), out.data(), out.size(), slope);
+  fn::LeakyReluInto(x->value(), slope, &out);
   return MakeOp(std::move(out), {x}, [slope](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::LeakyReluGradAcc(p->EnsureGrad().data(), n->grad().data(),
@@ -142,7 +147,7 @@ Var Log(const Var& x) {
 
 Var Square(const Var& x) {
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
-  kernels::SquareForward(x->value().data(), out.data(), out.size());
+  fn::SquareInto(x->value(), &out);
   return MakeOp(std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::SquareGradAcc(p->EnsureGrad().data(), n->grad().data(),
@@ -208,7 +213,9 @@ Var MatMulSparse(const Var& a, const Var& b) {
 }
 
 Var AddRowBroadcast(const Var& x, const Var& bias) {
-  return MakeOp(x->value().AddRowBroadcast(bias->value()), {x, bias},
+  Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
+  fn::AddRowBroadcastInto(x->value(), bias->value(), &out);
+  return MakeOp(std::move(out), {x, bias},
                 [](Node* n) {
                   n->parents()[0]->AccumulateGrad(n->grad());
                   Matrix col = Ws()->Take(1, n->grad().cols());
@@ -220,16 +227,8 @@ Var AddRowBroadcast(const Var& x, const Var& bias) {
 
 Var MulColBroadcast(const Var& x, const Var& s) {
   const Matrix& xv = x->value();
-  const Matrix& sv = s->value();
-  AGNN_CHECK_EQ(sv.cols(), 1u);
-  AGNN_CHECK_EQ(sv.rows(), xv.rows());
   Matrix out = Ws()->Take(xv.rows(), xv.cols());
-  for (size_t r = 0; r < out.rows(); ++r) {
-    const float scale = sv.At(r, 0);
-    const float* src = xv.Row(r);
-    float* row = out.Row(r);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] = src[c] * scale;
-  }
+  fn::MulColBroadcastInto(xv, s->value(), &out);
   return MakeOp(std::move(out), {x, s}, [](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
@@ -257,12 +256,8 @@ Var MulColBroadcast(const Var& x, const Var& s) {
 
 Var RowwiseDot(const Var& a, const Var& b) {
   const Matrix& av = a->value();
-  const Matrix& bv = b->value();
-  AGNN_CHECK(av.SameShape(bv));
   Matrix out = Ws()->Take(av.rows(), 1);
-  for (size_t r = 0; r < av.rows(); ++r) {
-    out.At(r, 0) = kernels::Dot(av.Row(r), bv.Row(r), av.cols());
-  }
+  fn::RowwiseDotInto(av, b->value(), &out);
   return MakeOp(std::move(out), {a, b}, [](Node* n) {
     const Matrix& g = n->grad();  // [B,1]
     const Matrix& av = n->parents()[0]->value();
@@ -321,15 +316,9 @@ Var SliceCols(const Var& x, size_t begin, size_t end) {
 }
 
 Var RepeatRows(const Var& x, size_t times) {
-  AGNN_CHECK_GT(times, 0u);
   const Matrix& xv = x->value();
   Matrix out = Ws()->Take(xv.rows() * times, xv.cols());
-  for (size_t r = 0; r < xv.rows(); ++r) {
-    for (size_t k = 0; k < times; ++k) {
-      std::memcpy(out.Row(r * times + k), xv.Row(r),
-                  xv.cols() * sizeof(float));
-    }
-  }
+  fn::RepeatRowsInto(xv, times, &out);
   return MakeOp(std::move(out), {x}, [times](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
@@ -351,15 +340,12 @@ Var RowBlockReduce(const Var& x, size_t block, bool mean) {
   AGNN_CHECK_GT(block, 0u);
   const Matrix& xv = x->value();
   AGNN_CHECK_EQ(xv.rows() % block, 0u);
-  const size_t groups = xv.rows() / block;
   const float scale = mean ? 1.0f / static_cast<float>(block) : 1.0f;
-  Matrix out = Ws()->TakeZeroed(groups, xv.cols());
-  for (size_t g = 0; g < groups; ++g) {
-    float* dst = out.Row(g);
-    for (size_t k = 0; k < block; ++k) {
-      kernels::Axpy(xv.cols(), 1.0f, xv.Row(g * block + k), dst);
-    }
-    for (size_t c = 0; c < xv.cols(); ++c) dst[c] *= scale;
+  Matrix out = Ws()->Take(xv.rows() / block, xv.cols());
+  if (mean) {
+    fn::RowBlockMeanInto(xv, block, &out);
+  } else {
+    fn::RowBlockSumInto(xv, block, &out);
   }
   return MakeOp(std::move(out), {x}, [block, scale](Node* n) {
     const Matrix& g = n->grad();
@@ -402,12 +388,8 @@ Var GatherRows(const Var& table, const std::vector<size_t>& indices) {
 Var SegmentSum(const Var& x, const std::vector<size_t>& segments,
                size_t num_segments) {
   const Matrix& xv = x->value();
-  AGNN_CHECK_EQ(segments.size(), xv.rows());
-  Matrix out = Ws()->TakeZeroed(num_segments, xv.cols());
-  for (size_t t = 0; t < segments.size(); ++t) {
-    AGNN_CHECK_LT(segments[t], num_segments);
-    kernels::Axpy(xv.cols(), 1.0f, xv.Row(t), out.Row(segments[t]));
-  }
+  Matrix out = Ws()->Take(num_segments, xv.cols());
+  fn::SegmentSumInto(xv, segments, &out);
   return MakeOp(std::move(out), {x}, [segments](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
@@ -474,24 +456,9 @@ Var GaussianKlMean(const Var& mu, const Var& logvar) {
 }
 
 Var SoftmaxBlocks(const Var& x, size_t block) {
-  AGNN_CHECK_GT(block, 0u);
   const Matrix& xv = x->value();
-  AGNN_CHECK_EQ(xv.cols(), 1u);
-  AGNN_CHECK_EQ(xv.rows() % block, 0u);
   Matrix out = Ws()->Take(xv.rows(), 1);
-  for (size_t g = 0; g < xv.rows() / block; ++g) {
-    float max_v = xv.At(g * block, 0);
-    for (size_t k = 1; k < block; ++k) {
-      max_v = std::max(max_v, xv.At(g * block + k, 0));
-    }
-    float denom = 0.0f;
-    for (size_t k = 0; k < block; ++k) {
-      const float e = std::exp(xv.At(g * block + k, 0) - max_v);
-      out.At(g * block + k, 0) = e;
-      denom += e;
-    }
-    for (size_t k = 0; k < block; ++k) out.At(g * block + k, 0) /= denom;
-  }
+  fn::SoftmaxBlocksInto(xv, block, &out);
   return MakeOp(std::move(out), {x}, [block](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& s = n->value();

@@ -4,6 +4,7 @@
 
 #include "agnn/common/logging.h"
 #include "agnn/nn/init.h"
+#include "agnn/tensor/functional.h"
 #include "agnn/tensor/workspace.h"
 
 namespace agnn::core {
@@ -48,6 +49,27 @@ bool AnySelected(const std::vector<bool>& selector) {
     if (b) return true;
   }
   return false;
+}
+
+// Tape-free BlendRows: mirrors the value of
+// Add(MulColBroadcast(base, keep), MulColBroadcast(replacement, sel)).
+Matrix BlendRowsInference(const Matrix& base, const Matrix& replacement,
+                          const std::vector<bool>& selector, Workspace* ws) {
+  Matrix sel = ws->Take(selector.size(), 1);
+  Matrix keep = ws->Take(selector.size(), 1);
+  for (size_t i = 0; i < selector.size(); ++i) {
+    sel.At(i, 0) = selector[i] ? 1.0f : 0.0f;
+    keep.At(i, 0) = 1.0f - sel.At(i, 0);
+  }
+  Matrix out = ws->Take(base.rows(), base.cols());
+  fn::MulColBroadcastInto(base, keep, &out);
+  Matrix scaled = ws->Take(replacement.rows(), replacement.cols());
+  fn::MulColBroadcastInto(replacement, sel, &scaled);
+  out.AddInto(scaled, &out);
+  ws->Give(std::move(sel));
+  ws->Give(std::move(keep));
+  ws->Give(std::move(scaled));
+  return out;
 }
 
 }  // namespace
@@ -240,6 +262,59 @@ AgnnModel::SideResult AgnnModel::ComputeNodes(
   // Fusion (Eq. 5): p = W [m ; x] + b.
   result.node_embeddings = side.fusion->Forward(ag::ConcatCols(m, x));
   return result;
+}
+
+Matrix AgnnModel::ComputeNodesInference(bool user_side,
+                                        const std::vector<size_t>& ids,
+                                        const std::vector<bool>* cold,
+                                        Workspace* ws) const {
+  const Side& side = user_side ? user_side_ : item_side_;
+  const size_t batch = ids.size();
+
+  // Attribute embedding x (Eq. 4) and trained preference lookup.
+  Matrix x = side.interaction->ForwardInference(GatherAttrs(*side.attrs, ids),
+                                                ws);
+  Matrix m = side.preference->ForwardInference(ids, ws);
+
+  std::vector<bool> missing(batch, false);
+  if (cold != nullptr) {
+    for (size_t i = 0; i < batch; ++i) missing[i] = (*cold)[ids[i]];
+  }
+
+  // Eval mode: no cold simulation, no random mask/dropout hiding, no
+  // reconstruction loss — the cold-start module only fills missing rows.
+  if (AnySelected(missing)) {
+    Matrix replacement;
+    switch (config_.cold_start) {
+      case ColdStartModule::kEvae:
+      case ColdStartModule::kPlainVae:
+        replacement = side.evae->GenerateInference(x, ws);
+        break;
+      case ColdStartModule::kNone:
+      case ColdStartModule::kMask:
+      case ColdStartModule::kDropout:
+        replacement = ws->TakeZeroed(batch, config_.embedding_dim);
+        break;
+      case ColdStartModule::kLlae:
+      case ColdStartModule::kLlaePlus:
+        // Eval-mode Dropout is the identity, so the DAE consumes x directly.
+        replacement = side.dae->ForwardInference(x, ws);
+        break;
+    }
+    Matrix blended = BlendRowsInference(m, replacement, missing, ws);
+    ws->Give(std::move(m));
+    ws->Give(std::move(replacement));
+    m = std::move(blended);
+  }
+
+  // Fusion (Eq. 5): p = W [m ; x] + b.
+  Matrix concat = ws->Take(batch, 2 * config_.embedding_dim);
+  m.ConcatColsInto(x, &concat);
+  Matrix p = side.fusion->ForwardInference(concat, ws);
+  ws->Give(std::move(x));
+  ws->Give(std::move(m));
+  ws->Give(std::move(concat));
+  return p;
 }
 
 ag::Var AgnnModel::MaskDecoderLoss(const Side& side, const SideResult& result,

@@ -14,6 +14,8 @@
 
 namespace agnn::core {
 
+class InferenceSession;
+
 /// One training/evaluation batch of (user, item) pairs together with the
 /// per-round sampled attribute-graph neighbors of both sides.
 struct Batch {
@@ -63,7 +65,18 @@ class AgnnModel : public nn::Module {
     return config_.aggregator == Aggregator::kNone ? 0 : config_.num_neighbors;
   }
 
+  /// Tape-free eval-mode fused node embeddings p (Eq. 5) for `ids` on one
+  /// side (DESIGN.md §9). Bitwise-identical, row for row, to the
+  /// node_embeddings ComputeNodes produces with training=false — eval-mode
+  /// forward is RNG-free and row-independent, so any batch grouping yields
+  /// the same rows. The [B, D] result is Taken from `ws`.
+  Matrix ComputeNodesInference(bool user_side, const std::vector<size_t>& ids,
+                               const std::vector<bool>* cold,
+                               Workspace* ws) const;
+
  private:
+  friend class InferenceSession;
+
   /// Everything one side (users or items) owns.
   struct Side {
     std::unique_ptr<AttributeInteractionLayer> interaction;

@@ -33,6 +33,16 @@ EvaeOutput Evae::Forward(const ag::Var& x, Rng* rng, bool training) const {
   return out;
 }
 
+Matrix Evae::GenerateInference(const Matrix& x, Workspace* ws) const {
+  Matrix h = inference_hidden_.ForwardInference(x, ws);
+  nn::ActivateInPlace(&h, nn::Activation::kTanh);
+  Matrix mu = mu_head_.ForwardInference(h, ws);
+  ws->Give(std::move(h));
+  Matrix reconstructed = generator_.ForwardInference(mu, ws);
+  ws->Give(std::move(mu));
+  return reconstructed;
+}
+
 ag::Var Evae::Loss(const EvaeOutput& out, const ag::Var& x,
                    const ag::Var& preference, bool with_approximation) const {
   // All three terms are normalized per element (mean over batch AND

@@ -35,6 +35,11 @@ class Evae : public nn::Module {
   /// deterministic decode).
   EvaeOutput Forward(const ag::Var& x, Rng* rng, bool training) const;
 
+  /// Tape-free eval-mode generation (DESIGN.md §9): x -> mu -> x'. Bitwise
+  /// identical to Forward(x, nullptr-safe rng, training=false).reconstructed;
+  /// the result is Taken from `ws`.
+  Matrix GenerateInference(const Matrix& x, Workspace* ws) const;
+
   /// Reconstruction loss (Eq. 8). `preference` is the batch's trained
   /// preference embedding m (the approximation target). When
   /// `with_approximation` is false the loss degrades to a standard VAE

@@ -1,7 +1,10 @@
 #include "agnn/core/gated_gnn.h"
 
+#include <cstring>
+
 #include "agnn/common/logging.h"
 #include "agnn/nn/init.h"
+#include "agnn/tensor/functional.h"
 
 namespace agnn::core {
 
@@ -87,6 +90,108 @@ ag::Var GatedGnn::Forward(const ag::Var& self, const ag::Var& neighbors,
 
   // Eq. 13.
   return ag::LeakyRelu(ag::Add(remaining, aggregated), leaky_slope_);
+}
+
+Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
+                                  size_t num_neighbors, Workspace* ws) const {
+  if (aggregator_ == Aggregator::kNone) return ws->TakeCopy(self);
+
+  const size_t batch = self.rows();
+  const size_t dim = self.cols();
+  AGNN_CHECK_EQ(neighbors.rows(), batch * num_neighbors);
+  AGNN_CHECK_EQ(neighbors.cols(), dim);
+
+  Matrix out = ws->Take(batch, dim);
+
+  switch (aggregator_) {
+    case Aggregator::kGcn: {
+      Matrix neighbor_mean = ws->Take(batch, dim);
+      fn::RowBlockMeanInto(neighbors, num_neighbors, &neighbor_mean);
+      Matrix conv = ws->Take(batch, dim);
+      neighbor_mean.MatMulInto(w_gcn_->value(), &conv);
+      fn::AddRowBroadcastInto(conv, b_gcn_->value(), &conv);
+      self.AddInto(conv, &out);
+      fn::LeakyReluInto(out, leaky_slope_, &out);
+      ws->Give(std::move(neighbor_mean));
+      ws->Give(std::move(conv));
+      return out;
+    }
+    case Aggregator::kGat: {
+      Matrix self_rep = ws->Take(batch * num_neighbors, dim);
+      fn::RepeatRowsInto(self, num_neighbors, &self_rep);
+      Matrix proj_self = ws->Take(self_rep.rows(), dim);
+      self_rep.MatMulInto(w_gat_->value(), &proj_self);
+      Matrix proj_neigh = ws->Take(neighbors.rows(), dim);
+      neighbors.MatMulInto(w_gat_->value(), &proj_neigh);
+      Matrix concat = ws->Take(proj_self.rows(), 2 * dim);
+      proj_self.ConcatColsInto(proj_neigh, &concat);
+      Matrix alpha = ws->Take(concat.rows(), 1);
+      concat.MatMulInto(attn_->value(), &alpha);
+      fn::LeakyReluInto(alpha, 0.2f, &alpha);
+      fn::SoftmaxBlocksInto(alpha, num_neighbors, &alpha);
+      fn::MulColBroadcastInto(proj_neigh, alpha, &proj_neigh);
+      Matrix agg = ws->Take(batch, dim);
+      fn::RowBlockSumInto(proj_neigh, num_neighbors, &agg);
+      self.AddInto(agg, &out);
+      fn::LeakyReluInto(out, leaky_slope_, &out);
+      ws->Give(std::move(self_rep));
+      ws->Give(std::move(proj_self));
+      ws->Give(std::move(proj_neigh));
+      ws->Give(std::move(concat));
+      ws->Give(std::move(alpha));
+      ws->Give(std::move(agg));
+      return out;
+    }
+    default:
+      break;
+  }
+
+  // Gated-GNN family. Aggregate side (Eq. 9-10):
+  Matrix aggregated = ws->Take(batch, dim);
+  if (aggregator_ == Aggregator::kNoAggregateGate) {
+    fn::RowBlockMeanInto(neighbors, num_neighbors, &aggregated);
+  } else {
+    Matrix self_rep = ws->Take(batch * num_neighbors, dim);
+    fn::RepeatRowsInto(self, num_neighbors, &self_rep);
+    Matrix concat = ws->Take(self_rep.rows(), 2 * dim);
+    self_rep.ConcatColsInto(neighbors, &concat);
+    Matrix a_gate = ws->Take(concat.rows(), dim);
+    concat.MatMulInto(w_aggregate_->value(), &a_gate);
+    fn::AddRowBroadcastInto(a_gate, b_aggregate_->value(), &a_gate);
+    fn::SigmoidInto(a_gate, &a_gate);
+    neighbors.MulInto(a_gate, &a_gate);
+    fn::RowBlockMeanInto(a_gate, num_neighbors, &aggregated);
+    ws->Give(std::move(self_rep));
+    ws->Give(std::move(concat));
+    ws->Give(std::move(a_gate));
+  }
+
+  // Filter side (Eq. 11-12); `out` doubles as the `remaining` buffer.
+  if (aggregator_ == Aggregator::kNoFilterGate) {
+    std::memcpy(out.data(), self.data(), self.size() * sizeof(float));
+  } else {
+    Matrix neighbor_mean = ws->Take(batch, dim);
+    fn::RowBlockMeanInto(neighbors, num_neighbors, &neighbor_mean);
+    Matrix concat = ws->Take(batch, 2 * dim);
+    self.ConcatColsInto(neighbor_mean, &concat);
+    Matrix f_gate = ws->Take(batch, dim);
+    concat.MatMulInto(w_filter_->value(), &f_gate);
+    fn::AddRowBroadcastInto(f_gate, b_filter_->value(), &f_gate);
+    fn::SigmoidInto(f_gate, &f_gate);
+    // p_u ⊙ (1 − f_gate), phrased as the tape's AddScalar(Neg(·), 1).
+    f_gate.ScaleInto(-1.0f, &f_gate);
+    fn::AddScalarInto(f_gate, 1.0f, &f_gate);
+    self.MulInto(f_gate, &out);
+    ws->Give(std::move(neighbor_mean));
+    ws->Give(std::move(concat));
+    ws->Give(std::move(f_gate));
+  }
+
+  // Eq. 13.
+  out.AddInto(aggregated, &out);
+  fn::LeakyReluInto(out, leaky_slope_, &out);
+  ws->Give(std::move(aggregated));
+  return out;
 }
 
 }  // namespace agnn::core

@@ -30,6 +30,11 @@ class GatedGnn : public nn::Module {
   ag::Var Forward(const ag::Var& self, const ag::Var& neighbors,
                   size_t num_neighbors) const;
 
+  /// Tape-free eval forward (DESIGN.md §9), bitwise-identical to Forward's
+  /// value; the result is Taken from `ws` (a copy of `self` for kNone).
+  Matrix ForwardInference(const Matrix& self, const Matrix& neighbors,
+                          size_t num_neighbors, Workspace* ws) const;
+
   Aggregator aggregator() const { return aggregator_; }
 
  private:

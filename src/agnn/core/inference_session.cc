@@ -1,0 +1,98 @@
+#include "agnn/core/inference_session.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::core {
+
+InferenceSession::InferenceSession(const AgnnModel& model,
+                                   const std::vector<bool>* cold_users,
+                                   const std::vector<bool>* cold_items)
+    : model_(model) {
+  PrecomputeSide(/*user_side=*/true, cold_users, &user_embeddings_);
+  PrecomputeSide(/*user_side=*/false, cold_items, &item_embeddings_);
+}
+
+void InferenceSession::PrecomputeSide(bool user_side,
+                                      const std::vector<bool>* cold,
+                                      Matrix* cache) {
+  const size_t num_nodes = user_side ? model_.user_side_.attrs->size()
+                                     : model_.item_side_.attrs->size();
+  const size_t dim = model_.config().embedding_dim;
+  *cache = Matrix(num_nodes, dim);
+
+  // Chunked so the workspace high-water mark stays bounded by the chunk
+  // size, not the node count. Any grouping yields the same rows (the
+  // eval-mode forward is row-independent).
+  constexpr size_t kChunk = 256;
+  std::vector<size_t> ids;
+  for (size_t start = 0; start < num_nodes; start += kChunk) {
+    const size_t end = std::min(num_nodes, start + kChunk);
+    ids.resize(end - start);
+    std::iota(ids.begin(), ids.end(), start);
+    Matrix p = model_.ComputeNodesInference(user_side, ids, cold, &ws_);
+    std::memcpy(cache->data() + start * dim, p.data(),
+                p.size() * sizeof(float));
+    ws_.Give(std::move(p));
+  }
+}
+
+float InferenceSession::Predict(size_t user_id, size_t item_id,
+                                const std::vector<size_t>& user_neighbor_ids,
+                                const std::vector<size_t>& item_neighbor_ids) {
+  one_user_.assign(1, user_id);
+  one_item_.assign(1, item_id);
+  PredictBatch(one_user_, one_item_, user_neighbor_ids, item_neighbor_ids,
+               &one_out_);
+  return one_out_[0];
+}
+
+void InferenceSession::PredictBatch(
+    const std::vector<size_t>& user_ids, const std::vector<size_t>& item_ids,
+    const std::vector<size_t>& user_neighbor_ids,
+    const std::vector<size_t>& item_neighbor_ids, std::vector<float>* out) {
+  const size_t batch = user_ids.size();
+  AGNN_CHECK_EQ(item_ids.size(), batch);
+  out->resize(batch);
+  if (batch == 0) return;
+
+  const size_t dim = model_.config().embedding_dim;
+  const size_t neighbors = model_.neighbors_per_node();
+
+  Matrix user_final = ws_.Take(batch, dim);
+  user_embeddings_.GatherRowsInto(user_ids, &user_final);
+  Matrix item_final = ws_.Take(batch, dim);
+  item_embeddings_.GatherRowsInto(item_ids, &item_final);
+
+  if (neighbors > 0) {
+    AGNN_CHECK_EQ(user_neighbor_ids.size(), batch * neighbors);
+    AGNN_CHECK_EQ(item_neighbor_ids.size(), batch * neighbors);
+    Matrix user_neigh = ws_.Take(batch * neighbors, dim);
+    user_embeddings_.GatherRowsInto(user_neighbor_ids, &user_neigh);
+    Matrix item_neigh = ws_.Take(batch * neighbors, dim);
+    item_embeddings_.GatherRowsInto(item_neighbor_ids, &item_neigh);
+
+    Matrix user_agg = model_.user_side_.gnn->ForwardInference(
+        user_final, user_neigh, neighbors, &ws_);
+    Matrix item_agg = model_.item_side_.gnn->ForwardInference(
+        item_final, item_neigh, neighbors, &ws_);
+    ws_.Give(std::move(user_final));
+    ws_.Give(std::move(item_final));
+    ws_.Give(std::move(user_neigh));
+    ws_.Give(std::move(item_neigh));
+    user_final = std::move(user_agg);
+    item_final = std::move(item_agg);
+  }
+
+  Matrix predictions = model_.prediction_->ForwardInference(
+      user_final, item_final, user_ids, item_ids, &ws_);
+  for (size_t i = 0; i < batch; ++i) (*out)[i] = predictions.At(i, 0);
+  ws_.Give(std::move(user_final));
+  ws_.Give(std::move(item_final));
+  ws_.Give(std::move(predictions));
+}
+
+}  // namespace agnn::core

@@ -1,0 +1,74 @@
+#ifndef AGNN_CORE_INFERENCE_SESSION_H_
+#define AGNN_CORE_INFERENCE_SESSION_H_
+
+#include <vector>
+
+#include "agnn/core/agnn_model.h"
+#include "agnn/tensor/workspace.h"
+
+namespace agnn::core {
+
+/// Tape-free serving view of a trained AgnnModel (DESIGN.md §9).
+///
+/// Construction snapshots the model by precomputing the fused node
+/// embedding p (Eq. 5) for every user and item under the given strict-cold
+/// flags — warm nodes from their trained preference embedding, cold nodes
+/// through the configured cold-start module (eVAE-generated x', zeros,
+/// DAE output). A steady-state Predict is then a cache gather + gated-GNN
+/// aggregation + prediction head with no autograd tape and, once the
+/// session workspace is warm, no heap allocation.
+///
+/// Predictions are bitwise-identical to AgnnModel::Forward(batch, rng,
+/// /*training=*/false) on the same ids / neighbor ids / cold flags: the
+/// eval-mode forward consumes no randomness and every op is
+/// row/block-independent, and the session mirrors the tape's exact
+/// per-element operation order (enforced by inference_session_test).
+///
+/// The model and the cold-flag vectors must outlive the session; parameter
+/// updates after construction are not reflected. Not thread-safe (owns one
+/// Workspace).
+class InferenceSession {
+ public:
+  InferenceSession(const AgnnModel& model, const std::vector<bool>* cold_users,
+                   const std::vector<bool>* cold_items);
+
+  /// Single (user, item) request. Each neighbor list must hold
+  /// model.neighbors_per_node() ids sampled from the attribute graph
+  /// (ignored when the aggregator is off).
+  float Predict(size_t user_id, size_t item_id,
+                const std::vector<size_t>& user_neighbor_ids,
+                const std::vector<size_t>& item_neighbor_ids);
+
+  /// Batched requests: neighbor lists are [B*S], grouped per target exactly
+  /// as in Batch. `out` is resized to B.
+  void PredictBatch(const std::vector<size_t>& user_ids,
+                    const std::vector<size_t>& item_ids,
+                    const std::vector<size_t>& user_neighbor_ids,
+                    const std::vector<size_t>& item_neighbor_ids,
+                    std::vector<float>* out);
+
+  /// Cached fused embeddings ([num_users, D] / [num_items, D]).
+  const Matrix& user_embeddings() const { return user_embeddings_; }
+  const Matrix& item_embeddings() const { return item_embeddings_; }
+
+  /// The session-owned buffer pool; hits()/misses() expose whether the
+  /// steady state allocates (see the no-allocation test).
+  Workspace* workspace() { return &ws_; }
+
+ private:
+  void PrecomputeSide(bool user_side, const std::vector<bool>* cold,
+                      Matrix* cache);
+
+  const AgnnModel& model_;
+  Matrix user_embeddings_;
+  Matrix item_embeddings_;
+  Workspace ws_;
+  // Reused by Predict so the single-request path stays allocation-free.
+  std::vector<size_t> one_user_;
+  std::vector<size_t> one_item_;
+  std::vector<float> one_out_;
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_INFERENCE_SESSION_H_

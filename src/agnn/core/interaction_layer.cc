@@ -2,6 +2,7 @@
 
 #include "agnn/common/logging.h"
 #include "agnn/nn/init.h"
+#include "agnn/tensor/functional.h"
 #include "agnn/tensor/workspace.h"
 
 namespace agnn::core {
@@ -49,6 +50,49 @@ ag::Var AttributeInteractionLayer::Forward(
   ag::Var pre = ag::AddRowBroadcast(
       ag::Add(ag::MatMul(f_bi, w_bi_), ag::MatMul(sum_v, w_linear_)), bias_);
   return ag::LeakyRelu(pre, leaky_slope_);
+}
+
+Matrix AttributeInteractionLayer::ForwardInference(
+    const std::vector<std::vector<size_t>>& node_slots, Workspace* ws) const {
+  const size_t batch = node_slots.size();
+  AGNN_CHECK_GT(batch, 0u);
+
+  std::vector<size_t> flat_slots;
+  std::vector<size_t> segments;
+  for (size_t n = 0; n < batch; ++n) {
+    for (size_t slot : node_slots[n]) {
+      flat_slots.push_back(slot);
+      segments.push_back(n);
+    }
+  }
+
+  Matrix sum_v = ws->Take(batch, dim_);
+  Matrix sum_v_sq = ws->Take(batch, dim_);
+  if (flat_slots.empty()) {
+    sum_v.Fill(0.0f);
+    sum_v_sq.Fill(0.0f);
+  } else {
+    Matrix v = value_embeddings_.ForwardInference(flat_slots, ws);  // [T, D]
+    fn::SegmentSumInto(v, segments, &sum_v);
+    fn::SquareInto(v, &v);
+    fn::SegmentSumInto(v, segments, &sum_v_sq);
+    ws->Give(std::move(v));
+  }
+
+  Matrix f_bi = ws->Take(batch, dim_);
+  fn::SquareInto(sum_v, &f_bi);
+  f_bi.SubInto(sum_v_sq, &f_bi);
+  f_bi.ScaleInto(0.5f, &f_bi);
+  Matrix out = ws->Take(batch, dim_);
+  f_bi.MatMulInto(w_bi_->value(), &out);
+  sum_v.MatMulInto(w_linear_->value(), &sum_v_sq);  // reuse as scratch
+  out.AddInto(sum_v_sq, &out);
+  fn::AddRowBroadcastInto(out, bias_->value(), &out);
+  fn::LeakyReluInto(out, leaky_slope_, &out);
+  ws->Give(std::move(sum_v));
+  ws->Give(std::move(sum_v_sq));
+  ws->Give(std::move(f_bi));
+  return out;
 }
 
 }  // namespace agnn::core

@@ -27,6 +27,11 @@ class AttributeInteractionLayer : public nn::Module {
   /// driven purely by the bias.
   ag::Var Forward(const std::vector<std::vector<size_t>>& node_slots) const;
 
+  /// Tape-free eval forward (DESIGN.md §9), bitwise-identical to Forward's
+  /// value; the result is Taken from `ws`.
+  Matrix ForwardInference(const std::vector<std::vector<size_t>>& node_slots,
+                          Workspace* ws) const;
+
   size_t dim() const { return dim_; }
 
  private:

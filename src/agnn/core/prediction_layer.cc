@@ -1,6 +1,7 @@
 #include "agnn/core/prediction_layer.h"
 
 #include "agnn/common/logging.h"
+#include "agnn/tensor/functional.h"
 
 namespace agnn::core {
 
@@ -31,6 +32,36 @@ ag::Var PredictionLayer::Forward(const ag::Var& user_final,
                            ag::Add(user_bias_.Forward(user_ids),
                                    item_bias_.Forward(item_ids)));
   return ag::AddRowBroadcast(biased, global_bias_);
+}
+
+Matrix PredictionLayer::ForwardInference(
+    const Matrix& user_final, const Matrix& item_final,
+    const std::vector<size_t>& user_ids, const std::vector<size_t>& item_ids,
+    Workspace* ws) const {
+  AGNN_CHECK_EQ(user_final.rows(), user_ids.size());
+  AGNN_CHECK_EQ(item_final.rows(), item_ids.size());
+  const size_t batch = user_final.rows();
+
+  Matrix concat = ws->Take(batch, user_final.cols() + item_final.cols());
+  user_final.ConcatColsInto(item_final, &concat);
+  Matrix out = mlp_.ForwardInference(concat, ws);  // [B, 1]
+  ws->Give(std::move(concat));
+
+  Matrix dot = ws->Take(batch, 1);
+  fn::RowwiseDotInto(user_final, item_final, &dot);
+  out.AddInto(dot, &out);
+
+  // Bias sum mirrors the tape's Add(user_bias, item_bias) before the
+  // (nonlinear + dot) accumulation.
+  Matrix u_bias = user_bias_.ForwardInference(user_ids, ws);
+  Matrix i_bias = item_bias_.ForwardInference(item_ids, ws);
+  u_bias.AddInto(i_bias, &u_bias);
+  out.AddInto(u_bias, &out);
+  fn::AddRowBroadcastInto(out, global_bias_->value(), &out);
+  ws->Give(std::move(dot));
+  ws->Give(std::move(u_bias));
+  ws->Give(std::move(i_bias));
+  return out;
 }
 
 }  // namespace agnn::core

@@ -23,6 +23,13 @@ class PredictionLayer : public nn::Module {
                   const std::vector<size_t>& user_ids,
                   const std::vector<size_t>& item_ids) const;
 
+  /// Tape-free eval forward (DESIGN.md §9), bitwise-identical to Forward's
+  /// value; the [B, 1] result is Taken from `ws`.
+  Matrix ForwardInference(const Matrix& user_final, const Matrix& item_final,
+                          const std::vector<size_t>& user_ids,
+                          const std::vector<size_t>& item_ids,
+                          Workspace* ws) const;
+
  private:
   nn::Mlp mlp_;
   nn::Embedding user_bias_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "agnn/common/logging.h"
+#include "agnn/core/inference_session.h"
 #include "agnn/graph/interaction_graph.h"
 
 namespace agnn::core {
@@ -67,14 +68,13 @@ void AgnnTrainer::BuildGraphs() {
 }
 
 std::vector<size_t> AgnnTrainer::SampleBatchNeighbors(
-    const graph::WeightedGraph& graph, const std::vector<size_t>& ids) {
+    const graph::WeightedGraph& graph, const std::vector<size_t>& ids,
+    Rng* rng) const {
   std::vector<size_t> out;
-  const size_t s = model_ ? model_->neighbors_per_node()
-                          : config_.num_neighbors;
+  const size_t s = model_->neighbors_per_node();
   out.reserve(ids.size() * s);
   for (size_t id : ids) {
-    auto sample = graph::SampleNeighbors(graph, id, s, &rng_);
-    out.insert(out.end(), sample.begin(), sample.end());
+    graph::SampleNeighborsInto(graph, id, s, rng, &out);
   }
   return out;
 }
@@ -92,8 +92,10 @@ Batch AgnnTrainer::MakeBatch(const std::vector<size_t>& rating_indices,
     if (targets != nullptr) targets->push_back(r.value);
   }
   if (model_->neighbors_per_node() > 0) {
-    batch.user_neighbor_ids = SampleBatchNeighbors(user_graph_, batch.user_ids);
-    batch.item_neighbor_ids = SampleBatchNeighbors(item_graph_, batch.item_ids);
+    batch.user_neighbor_ids =
+        SampleBatchNeighbors(user_graph_, batch.user_ids, &rng_);
+    batch.item_neighbor_ids =
+        SampleBatchNeighbors(item_graph_, batch.item_ids, &rng_);
   }
   return batch;
 }
@@ -128,27 +130,34 @@ std::vector<float> AgnnTrainer::Predict(
     const std::vector<std::pair<size_t, size_t>>& pairs) {
   std::vector<float> predictions;
   predictions.reserve(pairs.size());
+  // Evaluation must not perturb (or depend on) the training RNG stream:
+  // neighbor sampling runs on a per-call generator with a fixed
+  // seed-derived state, so identical calls produce identical predictions.
+  Rng eval_rng(config_.seed ^ 0x9e3779b97f4a7c15ull);
+  // The session snapshots the model once per call; chunks below only pay
+  // for gather + aggregation + head (tape-free, DESIGN.md §9).
+  InferenceSession session(*model_, &split_.cold_user, &split_.cold_item);
   const size_t chunk = std::max<size_t>(config_.batch_size, 256);
+  std::vector<float> chunk_out;
   for (size_t start = 0; start < pairs.size(); start += chunk) {
     const size_t end = std::min(pairs.size(), start + chunk);
-    Batch batch;
+    std::vector<size_t> user_ids;
+    std::vector<size_t> item_ids;
+    user_ids.reserve(end - start);
+    item_ids.reserve(end - start);
     for (size_t i = start; i < end; ++i) {
-      batch.user_ids.push_back(pairs[i].first);
-      batch.item_ids.push_back(pairs[i].second);
+      user_ids.push_back(pairs[i].first);
+      item_ids.push_back(pairs[i].second);
     }
-    batch.cold_users = &split_.cold_user;
-    batch.cold_items = &split_.cold_item;
+    std::vector<size_t> user_neighbors;
+    std::vector<size_t> item_neighbors;
     if (model_->neighbors_per_node() > 0) {
-      batch.user_neighbor_ids =
-          SampleBatchNeighbors(user_graph_, batch.user_ids);
-      batch.item_neighbor_ids =
-          SampleBatchNeighbors(item_graph_, batch.item_ids);
+      user_neighbors = SampleBatchNeighbors(user_graph_, user_ids, &eval_rng);
+      item_neighbors = SampleBatchNeighbors(item_graph_, item_ids, &eval_rng);
     }
-    auto forward = model_->Forward(batch, &rng_, /*training=*/false);
-    const Matrix& preds = forward.predictions->value();
-    for (size_t r = 0; r < preds.rows(); ++r) {
-      predictions.push_back(preds.At(r, 0));
-    }
+    session.PredictBatch(user_ids, item_ids, user_neighbors, item_neighbors,
+                         &chunk_out);
+    predictions.insert(predictions.end(), chunk_out.begin(), chunk_out.end());
   }
   eval::ClampPredictions(&predictions, dataset_.rating_min,
                          dataset_.rating_max);

@@ -38,9 +38,13 @@ class AgnnTrainer {
 
   /// RMSE/MAE on the split's test interactions (predictions clamped to the
   /// rating scale; strict cold nodes handled by the cold-start module).
+  /// Idempotent: repeated calls return identical numbers (evaluation runs
+  /// on a per-call RNG derived from the seed, not the training stream).
   eval::RmseMae EvaluateTest();
 
   /// Raw (clamped) predictions for arbitrary pairs under test conditions.
+  /// Served tape-free through an InferenceSession (DESIGN.md §9); neighbor
+  /// sampling is deterministic per call.
   std::vector<float> Predict(
       const std::vector<std::pair<size_t, size_t>>& pairs);
 
@@ -54,9 +58,11 @@ class AgnnTrainer {
   void BuildGraphs();
   Batch MakeBatch(const std::vector<size_t>& rating_indices,
                   std::vector<float>* targets);
-  /// Samples S neighbors per id from `graph` into a flat [B*S] list.
+  /// Samples S neighbors per id from `graph` into a flat [B*S] list,
+  /// consuming `rng` (the training stream or a per-call eval stream).
   std::vector<size_t> SampleBatchNeighbors(const graph::WeightedGraph& graph,
-                                           const std::vector<size_t>& ids);
+                                           const std::vector<size_t>& ids,
+                                           Rng* rng) const;
 
   const data::Dataset& dataset_;
   const data::Split& split_;

@@ -67,23 +67,33 @@ void WeightedGraph::Validate() const {
 
 std::vector<size_t> SampleNeighbors(const WeightedGraph& graph, size_t node,
                                     size_t count, Rng* rng) {
+  std::vector<size_t> out;
+  out.reserve(count);
+  SampleNeighborsInto(graph, node, count, rng, &out);
+  return out;
+}
+
+void SampleNeighborsInto(const WeightedGraph& graph, size_t node, size_t count,
+                         Rng* rng, std::vector<size_t>* out) {
   AGNN_CHECK_LT(node, graph.num_nodes);
   AGNN_CHECK(rng != nullptr);
   const auto& adj = graph.neighbors[node];
   const auto& w = graph.weights[node];
-  if (adj.empty()) return std::vector<size_t>(count, node);
+  const size_t target_size = out->size() + count;
+  if (adj.empty()) {
+    out->insert(out->end(), count, node);
+    return;
+  }
 
-  std::vector<size_t> out;
-  out.reserve(count);
   if (adj.size() <= count) {
     // Take the whole neighborhood, then top up with weighted replacement.
-    out = adj;
+    out->insert(out->end(), adj.begin(), adj.end());
   }
   double total = 0.0;
   for (double x : w) total += std::max(x, 0.0);
-  while (out.size() < count) {
+  while (out->size() < target_size) {
     if (total <= 0.0) {
-      out.push_back(adj[rng->UniformInt(adj.size())]);
+      out->push_back(adj[rng->UniformInt(adj.size())]);
       continue;
     }
     double target = rng->Uniform() * total;
@@ -95,10 +105,8 @@ std::vector<size_t> SampleNeighbors(const WeightedGraph& graph, size_t node,
         break;
       }
     }
-    out.push_back(adj[pick]);
+    out->push_back(adj[pick]);
   }
-  if (out.size() > count) out.resize(count);
-  return out;
 }
 
 }  // namespace agnn::graph

@@ -50,6 +50,12 @@ struct WeightedGraph {
 std::vector<size_t> SampleNeighbors(const WeightedGraph& graph, size_t node,
                                     size_t count, Rng* rng);
 
+/// Appending form of SampleNeighbors: pushes the `count` sampled ids onto
+/// `out` without clearing it, so batched callers fill one flat [B*S] list
+/// with no per-node vector. Identical RNG consumption and results.
+void SampleNeighborsInto(const WeightedGraph& graph, size_t node, size_t count,
+                         Rng* rng, std::vector<size_t>* out);
+
 }  // namespace agnn::graph
 
 #endif  // AGNN_GRAPH_GRAPH_H_

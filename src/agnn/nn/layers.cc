@@ -5,6 +5,7 @@
 
 #include "agnn/common/logging.h"
 #include "agnn/nn/init.h"
+#include "agnn/tensor/functional.h"
 
 namespace agnn::nn {
 
@@ -25,6 +26,26 @@ ag::Var Activate(const ag::Var& x, Activation activation, float leaky_slope) {
   return x;
 }
 
+void ActivateInPlace(Matrix* x, Activation activation, float leaky_slope) {
+  switch (activation) {
+    case Activation::kNone:
+      return;
+    case Activation::kLeakyRelu:
+      fn::LeakyReluInto(*x, leaky_slope, x);
+      return;
+    case Activation::kRelu:
+      fn::LeakyReluInto(*x, 0.0f, x);
+      return;
+    case Activation::kSigmoid:
+      fn::SigmoidInto(*x, x);
+      return;
+    case Activation::kTanh:
+      fn::TanhInto(*x, x);
+      return;
+  }
+  AGNN_LOG(Fatal) << "unknown activation";
+}
+
 Linear::Linear(size_t in_features, size_t out_features, Rng* rng,
                bool use_bias)
     : in_features_(in_features), out_features_(out_features) {
@@ -42,6 +63,14 @@ ag::Var Linear::Forward(const ag::Var& x) const {
   return out;
 }
 
+Matrix Linear::ForwardInference(const Matrix& x, Workspace* ws) const {
+  AGNN_CHECK_EQ(x.cols(), in_features_);
+  Matrix out = ws->Take(x.rows(), out_features_);
+  x.MatMulInto(weight_->value(), &out);
+  if (bias_) fn::AddRowBroadcastInto(out, bias_->value(), &out);
+  return out;
+}
+
 Embedding::Embedding(size_t count, size_t dim, Rng* rng, float init_scale)
     : count_(count), dim_(dim) {
   table_ =
@@ -50,6 +79,13 @@ Embedding::Embedding(size_t count, size_t dim, Rng* rng, float init_scale)
 
 ag::Var Embedding::Forward(const std::vector<size_t>& indices) const {
   return ag::GatherRows(table_, indices);
+}
+
+Matrix Embedding::ForwardInference(const std::vector<size_t>& indices,
+                                   Workspace* ws) const {
+  Matrix out = ws->Take(indices.size(), dim_);
+  table_->value().GatherRowsInto(indices, &out);
+  return out;
 }
 
 Mlp::Mlp(const std::vector<size_t>& dims, Rng* rng,
@@ -69,6 +105,20 @@ ag::Var Mlp::Forward(const ag::Var& x) const {
     h = layers_[i]->Forward(h);
     const bool is_last = (i + 1 == layers_.size());
     h = Activate(h, is_last ? output_activation_ : hidden_activation_);
+  }
+  return h;
+}
+
+Matrix Mlp::ForwardInference(const Matrix& x, Workspace* ws) const {
+  Matrix h = layers_[0]->ForwardInference(x, ws);
+  ActivateInPlace(&h, layers_.size() == 1 ? output_activation_
+                                          : hidden_activation_);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    Matrix next = layers_[i]->ForwardInference(h, ws);
+    ws->Give(std::move(h));
+    h = std::move(next);
+    const bool is_last = (i + 1 == layers_.size());
+    ActivateInPlace(&h, is_last ? output_activation_ : hidden_activation_);
   }
   return h;
 }

@@ -5,6 +5,7 @@
 
 #include "agnn/autograd/ops.h"
 #include "agnn/nn/module.h"
+#include "agnn/tensor/workspace.h"
 
 namespace agnn::nn {
 
@@ -15,6 +16,11 @@ enum class Activation { kNone, kLeakyRelu, kRelu, kSigmoid, kTanh };
 ag::Var Activate(const ag::Var& x, Activation activation,
                  float leaky_slope = 0.01f);
 
+/// Tape-free counterpart of Activate (same fn:: kernels, DESIGN.md §9);
+/// overwrites `x` in place. No-op for kNone.
+void ActivateInPlace(Matrix* x, Activation activation,
+                     float leaky_slope = 0.01f);
+
 /// Affine map y = x W + b with W [in, out], optional bias.
 class Linear : public Module {
  public:
@@ -23,6 +29,10 @@ class Linear : public Module {
 
   /// x [B, in] -> [B, out].
   ag::Var Forward(const ag::Var& x) const;
+
+  /// Tape-free eval forward, bitwise-identical to Forward's value. The
+  /// result is Taken from `ws`; the caller Gives it back when done.
+  Matrix ForwardInference(const Matrix& x, Workspace* ws) const;
 
   size_t in_features() const { return in_features_; }
   size_t out_features() const { return out_features_; }
@@ -41,6 +51,10 @@ class Embedding : public Module {
 
   /// indices -> [indices.size(), dim].
   ag::Var Forward(const std::vector<size_t>& indices) const;
+
+  /// Tape-free lookup into a `ws`-Taken matrix.
+  Matrix ForwardInference(const std::vector<size_t>& indices,
+                          Workspace* ws) const;
 
   /// Direct access to the full table leaf (e.g., for whole-table ops).
   const ag::Var& table() const { return table_; }
@@ -64,6 +78,9 @@ class Mlp : public Module {
       Activation output_activation = Activation::kNone);
 
   ag::Var Forward(const ag::Var& x) const;
+
+  /// Tape-free eval forward, bitwise-identical to Forward's value.
+  Matrix ForwardInference(const Matrix& x, Workspace* ws) const;
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;

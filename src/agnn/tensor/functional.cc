@@ -1,0 +1,149 @@
+#include "agnn/tensor/functional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "agnn/common/logging.h"
+#include "agnn/tensor/kernels.h"
+
+namespace agnn::fn {
+namespace {
+
+void CheckSameShape(const Matrix& x, const Matrix* out) {
+  AGNN_CHECK_EQ(x.rows(), out->rows());
+  AGNN_CHECK_EQ(x.cols(), out->cols());
+}
+
+// Shared body of RowBlockMeanInto / RowBlockSumInto. Accumulation order
+// (block rows k ascending via Axpy, then one scale multiply — scale 1.0 for
+// sums is exact) matches the seed autograd forward bit for bit.
+void RowBlockReduceInto(const Matrix& x, size_t block, bool mean,
+                        Matrix* out) {
+  AGNN_CHECK_GT(block, 0u);
+  AGNN_CHECK_EQ(x.rows() % block, 0u);
+  AGNN_CHECK_EQ(out->rows(), x.rows() / block);
+  AGNN_CHECK_EQ(out->cols(), x.cols());
+  const size_t groups = x.rows() / block;
+  const float scale = mean ? 1.0f / static_cast<float>(block) : 1.0f;
+  out->Fill(0.0f);
+  for (size_t g = 0; g < groups; ++g) {
+    float* dst = out->Row(g);
+    for (size_t k = 0; k < block; ++k) {
+      kernels::Axpy(x.cols(), 1.0f, x.Row(g * block + k), dst);
+    }
+    for (size_t c = 0; c < x.cols(); ++c) dst[c] *= scale;
+  }
+}
+
+}  // namespace
+
+void SigmoidInto(const Matrix& x, Matrix* out) {
+  CheckSameShape(x, out);
+  kernels::SigmoidForward(x.data(), out->data(), out->size());
+}
+
+void TanhInto(const Matrix& x, Matrix* out) {
+  CheckSameShape(x, out);
+  kernels::TanhForward(x.data(), out->data(), out->size());
+}
+
+void LeakyReluInto(const Matrix& x, float slope, Matrix* out) {
+  CheckSameShape(x, out);
+  kernels::LeakyReluForward(x.data(), out->data(), out->size(), slope);
+}
+
+void SquareInto(const Matrix& x, Matrix* out) {
+  CheckSameShape(x, out);
+  kernels::SquareForward(x.data(), out->data(), out->size());
+}
+
+void AddScalarInto(const Matrix& x, float s, Matrix* out) {
+  x.MapInto([s](float v) { return v + s; }, out);
+}
+
+void AddRowBroadcastInto(const Matrix& x, const Matrix& row, Matrix* out) {
+  CheckSameShape(x, out);
+  AGNN_CHECK_EQ(row.rows(), 1u);
+  AGNN_CHECK_EQ(row.cols(), x.cols());
+  const float* bias = row.Row(0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* src = x.Row(r);
+    float* dst = out->Row(r);
+    for (size_t c = 0; c < x.cols(); ++c) dst[c] = src[c] + bias[c];
+  }
+}
+
+void MulColBroadcastInto(const Matrix& x, const Matrix& s, Matrix* out) {
+  CheckSameShape(x, out);
+  AGNN_CHECK_EQ(s.cols(), 1u);
+  AGNN_CHECK_EQ(s.rows(), x.rows());
+  for (size_t r = 0; r < out->rows(); ++r) {
+    const float scale = s.At(r, 0);
+    const float* src = x.Row(r);
+    float* row = out->Row(r);
+    for (size_t c = 0; c < out->cols(); ++c) row[c] = src[c] * scale;
+  }
+}
+
+void RowwiseDotInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  AGNN_CHECK(a.SameShape(b));
+  AGNN_CHECK_EQ(out->rows(), a.rows());
+  AGNN_CHECK_EQ(out->cols(), 1u);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    out->At(r, 0) = kernels::Dot(a.Row(r), b.Row(r), a.cols());
+  }
+}
+
+void RepeatRowsInto(const Matrix& x, size_t times, Matrix* out) {
+  AGNN_CHECK_GT(times, 0u);
+  AGNN_CHECK_EQ(out->rows(), x.rows() * times);
+  AGNN_CHECK_EQ(out->cols(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t k = 0; k < times; ++k) {
+      std::memcpy(out->Row(r * times + k), x.Row(r),
+                  x.cols() * sizeof(float));
+    }
+  }
+}
+
+void RowBlockMeanInto(const Matrix& x, size_t block, Matrix* out) {
+  RowBlockReduceInto(x, block, /*mean=*/true, out);
+}
+
+void RowBlockSumInto(const Matrix& x, size_t block, Matrix* out) {
+  RowBlockReduceInto(x, block, /*mean=*/false, out);
+}
+
+void SegmentSumInto(const Matrix& x, const std::vector<size_t>& segments,
+                    Matrix* out) {
+  AGNN_CHECK_EQ(segments.size(), x.rows());
+  AGNN_CHECK_EQ(out->cols(), x.cols());
+  out->Fill(0.0f);
+  for (size_t t = 0; t < segments.size(); ++t) {
+    AGNN_CHECK_LT(segments[t], out->rows());
+    kernels::Axpy(x.cols(), 1.0f, x.Row(t), out->Row(segments[t]));
+  }
+}
+
+void SoftmaxBlocksInto(const Matrix& x, size_t block, Matrix* out) {
+  AGNN_CHECK_GT(block, 0u);
+  AGNN_CHECK_EQ(x.cols(), 1u);
+  AGNN_CHECK_EQ(x.rows() % block, 0u);
+  CheckSameShape(x, out);
+  for (size_t g = 0; g < x.rows() / block; ++g) {
+    float max_v = x.At(g * block, 0);
+    for (size_t k = 1; k < block; ++k) {
+      max_v = std::max(max_v, x.At(g * block + k, 0));
+    }
+    float denom = 0.0f;
+    for (size_t k = 0; k < block; ++k) {
+      const float e = std::exp(x.At(g * block + k, 0) - max_v);
+      out->At(g * block + k, 0) = e;
+      denom += e;
+    }
+    for (size_t k = 0; k < block; ++k) out->At(g * block + k, 0) /= denom;
+  }
+}
+
+}  // namespace agnn::fn

@@ -1,0 +1,54 @@
+#ifndef AGNN_TENSOR_FUNCTIONAL_H_
+#define AGNN_TENSOR_FUNCTIONAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::fn {
+
+/// Tape-free forward math shared by the autograd ops and the serving path
+/// (DESIGN.md §9): ops.cc wraps each function with parent wiring plus a
+/// backward closure, while core::InferenceSession composes the same
+/// functions directly on workspace matrices. Each function fully overwrites
+/// a caller-pre-shaped `out` (shapes are AGNN_CHECKed) and keeps the
+/// per-output-element accumulation order of the reference loops, so tape
+/// and tape-free callers produce bitwise-identical values.
+
+// -- Elementwise (out may alias x) -----------------------------------------
+
+void SigmoidInto(const Matrix& x, Matrix* out);
+void TanhInto(const Matrix& x, Matrix* out);
+void LeakyReluInto(const Matrix& x, float slope, Matrix* out);
+void SquareInto(const Matrix& x, Matrix* out);
+/// out = x + s.
+void AddScalarInto(const Matrix& x, float s, Matrix* out);
+
+// -- Broadcasts and row-wise products --------------------------------------
+
+/// out[r][c] = x[r][c] + row[0][c]; `out` may alias x.
+void AddRowBroadcastInto(const Matrix& x, const Matrix& row, Matrix* out);
+/// out[r][c] = x[r][c] * s[r][0] with s [rows,1]; `out` may alias x.
+void MulColBroadcastInto(const Matrix& x, const Matrix& s, Matrix* out);
+/// Per-row inner products: a,b [B,D] -> out [B,1].
+void RowwiseDotInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+// -- Shape / reduction ------------------------------------------------------
+
+/// Each row of x [B,D] repeated `times` consecutive times -> [B*times,D].
+void RepeatRowsInto(const Matrix& x, size_t times, Matrix* out);
+/// Means of consecutive row blocks of size `block`: [B*block,D] -> [B,D].
+void RowBlockMeanInto(const Matrix& x, size_t block, Matrix* out);
+/// Sums of consecutive row blocks of size `block`: [B*block,D] -> [B,D].
+void RowBlockSumInto(const Matrix& x, size_t block, Matrix* out);
+/// Sums rows of x [T,D] into out rows by `segments` (out is zeroed first;
+/// segments[t] < out->rows(), segments may be empty / non-contiguous).
+void SegmentSumInto(const Matrix& x, const std::vector<size_t>& segments,
+                    Matrix* out);
+/// Softmax within each consecutive block of `block` rows of x [B*block,1].
+void SoftmaxBlocksInto(const Matrix& x, size_t block, Matrix* out);
+
+}  // namespace agnn::fn
+
+#endif  // AGNN_TENSOR_FUNCTIONAL_H_

@@ -1,0 +1,201 @@
+#include "agnn/core/inference_session.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/core/variants.h"
+#include "agnn/data/synthetic.h"
+
+namespace agnn::core {
+namespace {
+
+using data::Dataset;
+
+const Dataset& TinyDataset() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+    config.num_users = 40;
+    config.num_items = 60;
+    config.num_ratings = 600;
+    return new Dataset(GenerateSynthetic(config, 11));
+  }();
+  return *ds;
+}
+
+AgnnConfig TinyConfig() {
+  AgnnConfig config;
+  config.embedding_dim = 8;
+  config.num_neighbors = 4;
+  config.vae_hidden_dim = 8;
+  config.prediction_hidden_dim = 8;
+  return config;
+}
+
+struct ColdFlags {
+  std::vector<bool> users;
+  std::vector<bool> items;
+};
+
+// Users 1 and 3 and item 6 are strict cold, so the test pairs below cover
+// warm/warm, cold-user/warm, warm/cold-item, and cold/cold requests.
+ColdFlags MakeColdFlags() {
+  ColdFlags flags;
+  flags.users.assign(TinyDataset().num_users, false);
+  flags.items.assign(TinyDataset().num_items, false);
+  flags.users[1] = true;
+  flags.users[3] = true;
+  flags.items[6] = true;
+  return flags;
+}
+
+const std::vector<size_t> kUserIds = {0, 1, 2, 3, 4};
+const std::vector<size_t> kItemIds = {5, 7, 6, 6, 8};
+
+// Neighbor lists cycle through all node ids, so both warm and cold nodes
+// appear as neighbors (exercising cold handling inside the cached
+// embeddings, not just for targets).
+Batch MakeEvalBatch(const AgnnModel& model, const ColdFlags& flags) {
+  Batch batch;
+  batch.user_ids = kUserIds;
+  batch.item_ids = kItemIds;
+  batch.cold_users = &flags.users;
+  batch.cold_items = &flags.items;
+  const size_t s = model.neighbors_per_node();
+  for (size_t i = 0; i < kUserIds.size() * s; ++i) {
+    batch.user_neighbor_ids.push_back(i % TinyDataset().num_users);
+    batch.item_neighbor_ids.push_back(i % TinyDataset().num_items);
+  }
+  return batch;
+}
+
+class InferenceSessionVariantTest
+    : public ::testing::TestWithParam<std::string> {};
+
+// The serving path must be BITWISE identical to the tape's eval forward —
+// EXPECT_EQ on floats, no tolerance (DESIGN.md §9).
+TEST_P(InferenceSessionVariantTest, BitwiseMatchesTapeForward) {
+  Rng rng(1);
+  AgnnConfig config = MakeVariant(TinyConfig(), GetParam());
+  AgnnModel model(config, TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  Batch batch = MakeEvalBatch(model, flags);
+
+  Rng fwd_rng(42);  // eval forward consumes no randomness
+  Matrix tape =
+      model.Forward(batch, &fwd_rng, /*training=*/false).predictions->value();
+
+  InferenceSession session(model, &flags.users, &flags.items);
+  std::vector<float> served;
+  session.PredictBatch(batch.user_ids, batch.item_ids, batch.user_neighbor_ids,
+                       batch.item_neighbor_ids, &served);
+
+  ASSERT_EQ(served.size(), batch.user_ids.size());
+  for (size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(tape.At(i, 0), served[i]) << GetParam() << " row " << i;
+  }
+}
+
+TEST_P(InferenceSessionVariantTest, SingleRequestMatchesBatch) {
+  Rng rng(2);
+  AgnnConfig config = MakeVariant(TinyConfig(), GetParam());
+  AgnnModel model(config, TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  Batch batch = MakeEvalBatch(model, flags);
+
+  InferenceSession session(model, &flags.users, &flags.items);
+  std::vector<float> served;
+  session.PredictBatch(batch.user_ids, batch.item_ids, batch.user_neighbor_ids,
+                       batch.item_neighbor_ids, &served);
+
+  const size_t s = model.neighbors_per_node();
+  for (size_t i = 0; i < batch.user_ids.size(); ++i) {
+    std::vector<size_t> user_neigh(
+        batch.user_neighbor_ids.begin() + i * s,
+        batch.user_neighbor_ids.begin() + (i + 1) * s);
+    std::vector<size_t> item_neigh(
+        batch.item_neighbor_ids.begin() + i * s,
+        batch.item_neighbor_ids.begin() + (i + 1) * s);
+    EXPECT_EQ(session.Predict(batch.user_ids[i], batch.item_ids[i], user_neigh,
+                              item_neigh),
+              served[i])
+        << GetParam() << " row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllServedVariants, InferenceSessionVariantTest,
+    ::testing::Values("AGNN", "AGNN_knn", "AGNN_cop", "AGNN_GCN", "AGNN_GAT",
+                      "AGNN_mask", "AGNN_drop", "AGNN_LLAE", "AGNN_LLAE+"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(InferenceSessionTest, TableFourListCoveredByParameterization) {
+  // Guard: if Table 4 grows a replacement variant, the bitwise suite above
+  // must be extended with it.
+  EXPECT_EQ(ReplacementVariantNames(),
+            (std::vector<std::string>{"AGNN_knn", "AGNN_cop", "AGNN_GCN",
+                                      "AGNN_GAT", "AGNN_mask", "AGNN_drop",
+                                      "AGNN_LLAE", "AGNN_LLAE+"}));
+}
+
+TEST(InferenceSessionTest, SteadyStatePredictBatchDoesNotAllocate) {
+  Rng rng(3);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  Batch batch = MakeEvalBatch(model, flags);
+  InferenceSession session(model, &flags.users, &flags.items);
+
+  // First call may grow the workspace pool; after that every Take must be
+  // served from the pool (misses stay flat => no heap allocation).
+  std::vector<float> out;
+  session.PredictBatch(batch.user_ids, batch.item_ids, batch.user_neighbor_ids,
+                       batch.item_neighbor_ids, &out);
+  const size_t warm_misses = session.workspace()->misses();
+  const size_t warm_hits = session.workspace()->hits();
+  for (int round = 0; round < 5; ++round) {
+    session.PredictBatch(batch.user_ids, batch.item_ids,
+                         batch.user_neighbor_ids, batch.item_neighbor_ids,
+                         &out);
+  }
+  EXPECT_EQ(session.workspace()->misses(), warm_misses);
+  EXPECT_GT(session.workspace()->hits(), warm_hits);
+}
+
+TEST(InferenceSessionTest, SteadyStateSingleRequestDoesNotAllocate) {
+  Rng rng(4);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  InferenceSession session(model, &flags.users, &flags.items);
+
+  const size_t s = model.neighbors_per_node();
+  std::vector<size_t> user_neigh(s, 2);
+  std::vector<size_t> item_neigh(s, 9);
+  session.Predict(0, 5, user_neigh, item_neigh);
+  const size_t warm_misses = session.workspace()->misses();
+  for (int round = 0; round < 5; ++round) {
+    session.Predict(1, 6, user_neigh, item_neigh);
+  }
+  EXPECT_EQ(session.workspace()->misses(), warm_misses);
+}
+
+TEST(InferenceSessionTest, CachedEmbeddingShapes) {
+  Rng rng(5);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  InferenceSession session(model, nullptr, nullptr);
+  EXPECT_EQ(session.user_embeddings().rows(), TinyDataset().num_users);
+  EXPECT_EQ(session.item_embeddings().rows(), TinyDataset().num_items);
+  EXPECT_EQ(session.user_embeddings().cols(),
+            model.config().embedding_dim);
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -131,6 +131,26 @@ TEST(AgnnTrainerTest, GraphConstructionVariantsBuildDifferentGraphs) {
   EXPECT_NE(knn.item_graph().neighbors, cop.item_graph().neighbors);
 }
 
+TEST(AgnnTrainerTest, EvaluateTestIsIdempotent) {
+  // Evaluation runs on a per-call RNG forked from the config seed, so
+  // re-evaluating (or predicting) must not drift with the trainer's
+  // internal RNG state — repeated calls are bitwise-identical.
+  Rng rng(9);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kItemColdStart, 0.2, &rng);
+  AgnnConfig config = FastConfig();
+  config.epochs = 1;
+  AgnnTrainer trainer(TrainerDataset(), split, config);
+  trainer.Train();
+  auto first = trainer.EvaluateTest();
+  std::vector<std::pair<size_t, size_t>> pairs = {{0, 0}, {1, 5}, {7, 11}};
+  auto preds_between = trainer.Predict(pairs);
+  auto second = trainer.EvaluateTest();
+  EXPECT_EQ(first.rmse, second.rmse);
+  EXPECT_EQ(first.mae, second.mae);
+  EXPECT_EQ(preds_between, trainer.Predict(pairs));
+}
+
 TEST(AgnnTrainerTest, DeterministicGivenSeed) {
   Rng rng(8);
   data::Split split =
