@@ -45,11 +45,13 @@ int Main(int argc, char** argv) {
   };
   BenchOptions one_dataset = options;
   one_dataset.datasets = {"ml100k"};
-  RunAgnnSweep(one_dataset, "knob", settings);
+  BenchReporter reporter("ablation_repro_knobs", one_dataset);
+  RunAgnnSweep(one_dataset, "knob", settings, &reporter);
   std::printf(
       "Reading: each row retrains AGNN with one deviation reverted; the "
       "gap to 'defaults' is that adaptation's contribution at this "
       "scale.\n");
+  reporter.WriteJson();
   return 0;
 }
 

@@ -6,6 +6,7 @@
 
 #include "agnn/common/string_util.h"
 #include "agnn/common/table.h"
+#include "agnn/obs/json.h"
 
 namespace agnn::bench {
 
@@ -41,6 +42,7 @@ BenchOptions BenchOptions::FromFlags(int argc, char** argv) {
   options.seed = static_cast<uint64_t>(parser.GetInt("seed", 7));
   options.test_fraction =
       parser.GetDouble("test_fraction", options.test_fraction);
+  options.metrics_json = parser.GetString("metrics_json", "");
   return options;
 }
 
@@ -96,8 +98,63 @@ void PrintHeader(const std::string& title, const std::string& paper_ref,
   std::printf("================================================================\n\n");
 }
 
+BenchReporter::BenchReporter(std::string name, const BenchOptions& options)
+    : name_(std::move(name)), options_(options) {}
+
+void BenchReporter::Add(const std::string& key, double value) {
+  for (auto& [existing_key, existing_value] : values_) {
+    if (existing_key == key) {
+      existing_value = value;
+      return;
+    }
+  }
+  values_.emplace_back(key, value);
+}
+
+std::string BenchReporter::WriteJson() {
+  if (options_.metrics_json == "off") return "";
+  const std::string path = options_.metrics_json.empty()
+                               ? "BENCH_" + name_ + ".json"
+                               : options_.metrics_json;
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("name").Value(name_);
+  writer.Key("seed").Value(static_cast<uint64_t>(options_.seed));
+  writer.Key("wall_ms").Value(watch_.ElapsedMillis());
+  writer.Key("config").BeginObject();
+  writer.Key("scale").Value(options_.scale == data::Scale::kPaper ? "paper"
+                                                                  : "small");
+  writer.Key("datasets").BeginArray();
+  for (const std::string& dataset : options_.datasets) writer.Value(dataset);
+  writer.EndArray();
+  writer.Key("epochs").Value(static_cast<uint64_t>(options_.epochs));
+  writer.Key("dim").Value(static_cast<uint64_t>(options_.embedding_dim));
+  writer.Key("neighbors").Value(
+      static_cast<uint64_t>(options_.num_neighbors));
+  writer.Key("test_fraction").Value(options_.test_fraction);
+  writer.EndObject();
+  writer.Key("metrics").BeginObject();
+  for (const auto& [key, value] : values_) writer.Key(key).Value(value);
+  writer.EndObject();
+  writer.Key("registry");
+  registry_.AppendJson(&writer);
+  writer.EndObject();
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return "";
+  }
+  std::fputs(writer.str().c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("Metrics: wrote %s\n", path.c_str());
+  return path;
+}
+
 void RunAgnnSweep(const BenchOptions& options, const std::string& param_name,
-                  const std::vector<SweepSetting>& settings) {
+                  const std::vector<SweepSetting>& settings,
+                  BenchReporter* reporter) {
   for (const std::string& dataset_name : options.datasets) {
     const data::Dataset& dataset =
         LoadDataset(dataset_name, options.scale, options.seed);
@@ -122,6 +179,14 @@ void RunAgnnSweep(const BenchOptions& options, const std::string& param_name,
       table.AddRow({setting.label, Table::Cell(ics_result.rmse),
                     Table::Cell(ucs_result.rmse), Table::Cell(ics_result.mae),
                     Table::Cell(ucs_result.mae)});
+      if (reporter != nullptr) {
+        const std::string prefix =
+            dataset_name + "/" + param_name + "=" + setting.label + "/";
+        reporter->Add(prefix + "ics_rmse", ics_result.rmse);
+        reporter->Add(prefix + "ucs_rmse", ucs_result.rmse);
+        reporter->Add(prefix + "ics_mae", ics_result.mae);
+        reporter->Add(prefix + "ucs_mae", ucs_result.mae);
+      }
     }
     std::printf("--- %s ---\n%s\n", dataset_name.c_str(),
                 table.ToString().c_str());

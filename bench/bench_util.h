@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "agnn/common/flags.h"
+#include "agnn/common/stopwatch.h"
 #include "agnn/data/synthetic.h"
 #include "agnn/eval/protocol.h"
+#include "agnn/obs/metrics.h"
 
 // Shared plumbing for the table/figure reproduction binaries: flag parsing,
 // dataset caching, and header printing. Compiled into each bench executable
@@ -25,9 +27,14 @@ struct BenchOptions {
   size_t num_neighbors = 8;
   uint64_t seed = 7;
   double test_fraction = 0.2;
+  /// Where the structured BENCH_<name>.json artifact goes: "" (default)
+  /// means ./BENCH_<name>.json next to the printed tables, "off" disables
+  /// emission, anything else is used as the output path.
+  std::string metrics_json;
 
   /// Parses --scale=small|paper --datasets=a,b --epochs --dim --neighbors
-  /// --seed --test_fraction. Exits with a message on bad flags.
+  /// --seed --test_fraction --metrics_json=path|off. Exits with a message
+  /// on bad flags.
   static BenchOptions FromFlags(int argc, char** argv);
 
   /// Experiment configuration with these options applied uniformly to AGNN
@@ -56,11 +63,44 @@ struct SweepSetting {
   std::function<void(core::AgnnConfig*)> apply;
 };
 
+/// Collects one bench run's structured results and writes the
+/// `BENCH_<name>.json` artifact the perf trajectory is built from
+/// (DESIGN.md §10). Scalar results go in via Add() under hierarchical keys
+/// ("ml100k/ics/AGNN/rmse"); runtime metrics (trainer phase timings,
+/// serving latency histograms) ride along by pointing the instrumented
+/// component at registry(). WriteJson() emits
+///   {name, seed, wall_ms, config{...}, metrics{...}, registry{...}}
+/// where wall_ms covers construction to WriteJson().
+class BenchReporter {
+ public:
+  BenchReporter(std::string name, const BenchOptions& options);
+
+  /// Records one scalar under `key` (insertion order preserved in the
+  /// artifact). Keys are repeatable; the last value wins.
+  void Add(const std::string& key, double value);
+
+  /// Registry for instrumenting trainers/sessions inside the bench.
+  obs::MetricsRegistry* registry() { return &registry_; }
+
+  /// Writes the artifact (unless --metrics_json=off) and prints the path.
+  /// Returns the path, or "" when disabled.
+  std::string WriteJson();
+
+ private:
+  std::string name_;
+  BenchOptions options_;
+  Stopwatch watch_;
+  std::vector<std::pair<std::string, double>> values_;
+  obs::MetricsRegistry registry_;
+};
+
 /// Runs AGNN for every setting on ICS and UCS across the configured
 /// datasets and prints one table per dataset (rows = settings, columns =
-/// scenario RMSE) — the data behind one sweep figure.
+/// scenario RMSE) — the data behind one sweep figure. With a reporter,
+/// records "<dataset>/<param>=<label>/{ics,ucs}_{rmse,mae}".
 void RunAgnnSweep(const BenchOptions& options, const std::string& param_name,
-                  const std::vector<SweepSetting>& settings);
+                  const std::vector<SweepSetting>& settings,
+                  BenchReporter* reporter = nullptr);
 
 }  // namespace agnn::bench
 

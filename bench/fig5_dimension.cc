@@ -27,11 +27,13 @@ int Main(int argc, char** argv) {
                           config->prediction_hidden_dim = 2 * d;
                         }});
   }
-  RunAgnnSweep(options, "D", settings);
+  BenchReporter reporter("fig5_dimension", options);
+  RunAgnnSweep(options, "D", settings, &reporter);
   std::printf(
       "Expected shape (paper 4.3): RMSE improves as D grows on the "
       "MovieLens replicas; on the sparser Yelp replica large D overfits "
       "and the curve turns back up.\n");
+  reporter.WriteJson();
   return 0;
 }
 

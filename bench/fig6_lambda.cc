@@ -28,11 +28,13 @@ int Main(int argc, char** argv) {
                           config->lambda = lambda;
                         }});
   }
-  RunAgnnSweep(options, "lambda", settings);
+  BenchReporter reporter("fig6_lambda", options);
+  RunAgnnSweep(options, "lambda", settings, &reporter);
   std::printf(
       "Expected shape (paper 4.3): U-shaped curves with the optimum near "
       "lambda=1; lambda=0 loses the attribute-to-preference mapping, "
       "lambda=10 biases training toward reconstruction.\n");
+  reporter.WriteJson();
   return 0;
 }
 

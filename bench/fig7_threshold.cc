@@ -28,11 +28,13 @@ int Main(int argc, char** argv) {
                           config->candidate_percent = p;
                         }});
   }
-  RunAgnnSweep(options, "p", settings);
+  BenchReporter reporter("fig7_threshold", options);
+  RunAgnnSweep(options, "p", settings, &reporter);
   std::printf(
       "Expected shape (paper 4.3): nearly flat curves — proximity-weighted "
       "sampling keeps favoring top-ranked candidates regardless of pool "
       "size.\n");
+  reporter.WriteJson();
   return 0;
 }
 

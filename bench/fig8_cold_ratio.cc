@@ -27,6 +27,7 @@ int Main(int argc, char** argv) {
       "Fig. 8 — Performance vs strict cold start ratio",
       "Fig. 8 of the AGNN paper (RMSE at 10/30/50% cold nodes, ICS & UCS)",
       options);
+  BenchReporter reporter("fig8_cold_ratio", options);
 
   for (const std::string& dataset_name : options.datasets) {
     const data::Dataset& dataset =
@@ -48,6 +49,10 @@ int Main(int argc, char** argv) {
                        ScenarioName(scenario).c_str(), ratio * 100.0, model,
                        r.train_seconds);
           row.push_back(Table::Cell(r.metrics.rmse));
+          reporter.Add(dataset_name + "/" + ScenarioName(scenario) +
+                           "/ratio=" + FormatDouble(ratio, 1) + "/" + model +
+                           "/rmse",
+                       r.metrics.rmse);
         }
         table.AddRow(row);
       }
@@ -60,6 +65,7 @@ int Main(int argc, char** argv) {
       "grows; DiffNet and STAR-GCN (interaction-bound) degrade fastest; "
       "MetaEmb holds up better at 50%% but stays behind AGNN "
       "everywhere.\n");
+  reporter.WriteJson();
   return 0;
 }
 

@@ -46,6 +46,7 @@ int Main(int argc, char** argv) {
   if (!options.epochs_explicit) options.epochs = 2;
   PrintHeader("Serving latency — tape vs. tape-free InferenceSession",
               "systems extension; not a paper table", options);
+  BenchReporter reporter("serving_latency", options);
 
   constexpr size_t kSingleRequests = 512;
   constexpr size_t kBatchSize = 256;
@@ -103,8 +104,12 @@ int Main(int argc, char** argv) {
     }
 
     // --- Session path: snapshot once, then cached gather + head. ---
+    // The registry captures session/request_ms + workspace gauges so the
+    // emitted JSON carries the session's own view next to the bench's
+    // external timing.
     const auto build0 = Clock::now();
-    core::InferenceSession session(model, &split.cold_user, &split.cold_item);
+    core::InferenceSession session(model, &split.cold_user, &split.cold_item,
+                                   reporter.registry());
     const auto build1 = Clock::now();
     const double build_ms =
         std::chrono::duration<double, std::milli>(build1 - build0).count();
@@ -166,6 +171,18 @@ int Main(int argc, char** argv) {
 
     const double tape_p50 = PercentileUs(&tape_us, 0.5);
     const double session_p50 = PercentileUs(&session_us, 0.5);
+    reporter.Add(dataset_name + "/tape/p50_us", tape_p50);
+    reporter.Add(dataset_name + "/tape/p95_us", PercentileUs(&tape_us, 0.95));
+    reporter.Add(dataset_name + "/tape/batch_pairs_per_s",
+                 pairs / tape_batch_s);
+    reporter.Add(dataset_name + "/session/p50_us", session_p50);
+    reporter.Add(dataset_name + "/session/p95_us",
+                 PercentileUs(&session_us, 0.95));
+    reporter.Add(dataset_name + "/session/batch_pairs_per_s",
+                 pairs / session_batch_s);
+    reporter.Add(dataset_name + "/session/build_ms", build_ms);
+    reporter.Add(dataset_name + "/session/speedup_p50",
+                 tape_p50 / session_p50);
     Table table({"Path", "p50 us/request", "p95 us/request",
                  "batch pairs/s"});
     table.AddRow({"tape Forward(eval)", Table::Cell(tape_p50),
@@ -184,6 +201,7 @@ int Main(int argc, char** argv) {
       "Gate: the InferenceSession single-request p50 must be >= 3x faster "
       "than the tape path (identical predictions are enforced by "
       "tests/core/inference_session_test).\n");
+  reporter.WriteJson();
   return 0;
 }
 

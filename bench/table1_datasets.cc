@@ -29,6 +29,7 @@ int Main(int argc, char** argv) {
   BenchOptions options = BenchOptions::FromFlags(argc, argv);
   PrintHeader("Table 1 — Statistics of the datasets",
               "Table 1 of the AGNN paper", options);
+  BenchReporter reporter("table1_datasets", options);
 
   Table table({"Dataset", "#Users", "#Items", "#Ratings", "Sparsity",
                "Paper #Users", "Paper #Items", "Paper #Ratings",
@@ -40,6 +41,10 @@ int Main(int argc, char** argv) {
     for (const PaperStats& p : kPaperTable1) {
       if (name == p.name) paper = &p;
     }
+    reporter.Add(name + "/users", static_cast<double>(stats.num_users));
+    reporter.Add(name + "/items", static_cast<double>(stats.num_items));
+    reporter.Add(name + "/ratings", static_cast<double>(stats.num_ratings));
+    reporter.Add(name + "/sparsity", stats.sparsity);
     table.AddRow({name, std::to_string(stats.num_users),
                   std::to_string(stats.num_items),
                   std::to_string(stats.num_ratings),
@@ -54,6 +59,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "Shape check: ml100k < ml1m in scale, yelp sparsest — matching the "
       "paper's ordering.\n");
+  reporter.WriteJson();
   return 0;
 }
 

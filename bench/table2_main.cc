@@ -27,6 +27,7 @@ int Main(int argc, char** argv) {
   PrintHeader("Table 2 — Main comparison vs twelve baselines",
               "Table 2 of the AGNN paper (RMSE and MAE, ICS/UCS/WS)",
               options);
+  BenchReporter reporter("table2_main", options);
 
   const auto baselines = baselines::Table2BaselineNames();
   for (const std::string& dataset_name : options.datasets) {
@@ -59,9 +60,14 @@ int Main(int argc, char** argv) {
         if (r.metrics.rmse < best->metrics.rmse) best = &r;
       }
 
+      const std::string key_prefix =
+          dataset_name + "/" + ScenarioName(scenario) + "/";
       Table table({"Model", "RMSE", "MAE", "Paper RMSE", "Paper MAE",
                    "Train s"});
       for (const auto& r : results) {
+        reporter.Add(key_prefix + r.model + "/rmse", r.metrics.rmse);
+        reporter.Add(key_prefix + r.model + "/mae", r.metrics.mae);
+        reporter.Add(key_prefix + r.model + "/train_s", r.train_seconds);
         const double paper_rmse =
             PaperTable2Rmse(r.model, dataset_name, scenario_idx);
         const double paper_mae =
@@ -72,7 +78,11 @@ int Main(int argc, char** argv) {
                       paper_mae < 0 ? "-" : Table::Cell(paper_mae),
                       Table::Cell(r.train_seconds, 1)});
       }
+      reporter.Add(key_prefix + "AGNN/rmse", agnn.metrics.rmse);
+      reporter.Add(key_prefix + "AGNN/mae", agnn.metrics.mae);
+      reporter.Add(key_prefix + "AGNN/train_s", agnn.train_seconds);
       const eval::PairedTTest ttest = runner.Compare(agnn, *best);
+      reporter.Add(key_prefix + "AGNN/p_value_vs_best", ttest.p_value);
       const char* marker = ttest.t_statistic < 0 && ttest.p_value < 0.01
                                ? "*"
                                : (ttest.t_statistic < 0 && ttest.p_value < 0.05
@@ -98,6 +108,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "Markers on the AGNN row: * significant at p<0.01, + at p<0.05 "
       "(paired t-test vs the best baseline, as in the paper).\n");
+  reporter.WriteJson();
   return 0;
 }
 

@@ -16,6 +16,7 @@ int Main(int argc, char** argv) {
   PrintHeader("Table 3 — Ablation study",
               "Table 3 of the AGNN paper (component removals, ICS & UCS)",
               options);
+  BenchReporter reporter("table3_ablation", options);
 
   std::vector<std::string> variants = {"AGNN"};
   for (const std::string& name : core::AblationVariantNames()) {
@@ -38,6 +39,10 @@ int Main(int argc, char** argv) {
         eval::ModelResult r = runner.Run(variant);
         std::fprintf(stderr, "  trained %-12s (%.1fs)\n", variant.c_str(),
                      r.train_seconds);
+        const std::string key_prefix = dataset_name + "/" +
+                                       ScenarioName(scenario) + "/" + variant;
+        reporter.Add(key_prefix + "/rmse", r.metrics.rmse);
+        reporter.Add(key_prefix + "/mae", r.metrics.mae);
         const double paper =
             PaperAblationRmse(variant, dataset_name, scenario_idx);
         table.AddRow({variant, Table::Cell(r.metrics.rmse),
@@ -52,6 +57,7 @@ int Main(int argc, char** argv) {
       "Expected shape (paper Section 5.1.1): every ablation is worse than "
       "full AGNN; AP-only beats PP-only; removing agate hurts more than "
       "fgate; removing eVAE hurts most on sparse Yelp ICS.\n");
+  reporter.WriteJson();
   return 0;
 }
 

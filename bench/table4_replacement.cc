@@ -18,6 +18,7 @@ int Main(int argc, char** argv) {
       "Table 4 — Replacement study",
       "Table 4 of the AGNN paper (component swaps from baselines, ICS & UCS)",
       options);
+  BenchReporter reporter("table4_replacement", options);
 
   std::vector<std::string> variants = {"AGNN"};
   for (const std::string& name : core::ReplacementVariantNames()) {
@@ -40,6 +41,10 @@ int Main(int argc, char** argv) {
         eval::ModelResult r = runner.Run(variant);
         std::fprintf(stderr, "  trained %-12s (%.1fs)\n", variant.c_str(),
                      r.train_seconds);
+        const std::string key_prefix = dataset_name + "/" +
+                                       ScenarioName(scenario) + "/" + variant;
+        reporter.Add(key_prefix + "/rmse", r.metrics.rmse);
+        reporter.Add(key_prefix + "/mae", r.metrics.mae);
         const double paper =
             PaperAblationRmse(variant, dataset_name, scenario_idx);
         table.AddRow({variant, Table::Cell(r.metrics.rmse),
@@ -55,6 +60,7 @@ int Main(int argc, char** argv) {
       "AGNN_cop collapses on MovieLens ICS (no co-purchase neighbors for "
       "cold items); gated-GNN > GAT > GCN; eVAE > mask > drop > LLAE "
       "variants; AGNN_LLAE (no GNN) is the worst cold-start module.\n");
+  reporter.WriteJson();
   return 0;
 }
 

@@ -5,15 +5,31 @@
 #include <numeric>
 
 #include "agnn/common/logging.h"
+#include "agnn/common/stopwatch.h"
+#include "agnn/obs/scoped_timer.h"
 
 namespace agnn::core {
 
 InferenceSession::InferenceSession(const AgnnModel& model,
                                    const std::vector<bool>* cold_users,
-                                   const std::vector<bool>* cold_items)
-    : model_(model) {
+                                   const std::vector<bool>* cold_items,
+                                   obs::MetricsRegistry* metrics)
+    : model_(model), metrics_(metrics) {
+  Stopwatch build_watch;
   PrecomputeSide(/*user_side=*/true, cold_users, &user_embeddings_);
   PrecomputeSide(/*user_side=*/false, cold_items, &item_embeddings_);
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("session/build_ms")->Set(build_watch.ElapsedMillis());
+    instruments_.request_ms = metrics_->GetHistogram("session/request_ms");
+    instruments_.requests = metrics_->GetCounter("session/requests");
+    instruments_.pairs = metrics_->GetCounter("session/pairs");
+    instruments_.cache_rows = metrics_->GetCounter("session/cache_rows");
+    instruments_.workspace_hits = metrics_->GetGauge("session/workspace_hits");
+    instruments_.workspace_misses =
+        metrics_->GetGauge("session/workspace_misses");
+    instruments_.workspace_allocated_bytes =
+        metrics_->GetGauge("session/workspace_allocated_bytes");
+  }
 }
 
 void InferenceSession::PrecomputeSide(bool user_side,
@@ -58,6 +74,10 @@ void InferenceSession::PredictBatch(
   AGNN_CHECK_EQ(item_ids.size(), batch);
   out->resize(batch);
   if (batch == 0) return;
+  // Observation only — the timer reads no clocks and nothing is recorded
+  // when the session has no registry, and the math below is untouched
+  // either way (bitwise contract, DESIGN.md §9/§10).
+  obs::ScopedTimer request_timer(instruments_.request_ms);
 
   const size_t dim = model_.config().embedding_dim;
   const size_t neighbors = model_.neighbors_per_node();
@@ -93,6 +113,21 @@ void InferenceSession::PredictBatch(
   ws_.Give(std::move(user_final));
   ws_.Give(std::move(item_final));
   ws_.Give(std::move(predictions));
+
+  if (metrics_ != nullptr) {
+    instruments_.requests->Increment();
+    instruments_.pairs->Increment(batch);
+    // Every served row is a hit on the precomputed embedding cache:
+    // 2 target rows per pair plus both sides' gathered neighbor rows.
+    const size_t neighbor_rows =
+        neighbors > 0 ? user_neighbor_ids.size() + item_neighbor_ids.size()
+                      : 0;
+    instruments_.cache_rows->Increment(2 * batch + neighbor_rows);
+    instruments_.workspace_hits->Set(static_cast<double>(ws_.hits()));
+    instruments_.workspace_misses->Set(static_cast<double>(ws_.misses()));
+    instruments_.workspace_allocated_bytes->Set(
+        static_cast<double>(ws_.allocated_bytes()));
+  }
 }
 
 }  // namespace agnn::core

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "agnn/core/agnn_model.h"
+#include "agnn/obs/metrics.h"
 #include "agnn/tensor/workspace.h"
 
 namespace agnn::core {
@@ -29,8 +30,14 @@ namespace agnn::core {
 /// Workspace).
 class InferenceSession {
  public:
+  /// `metrics` (optional, must outlive the session) enables serving
+  /// instrumentation (DESIGN.md §10): the session/build_ms gauge, the
+  /// session/request_ms latency histogram, request/pair/cache-row counters,
+  /// and workspace hit/miss/byte gauges. Null compiles the hot path down to
+  /// one branch per request and changes no prediction bits either way.
   InferenceSession(const AgnnModel& model, const std::vector<bool>* cold_users,
-                   const std::vector<bool>* cold_items);
+                   const std::vector<bool>* cold_items,
+                   obs::MetricsRegistry* metrics = nullptr);
 
   /// Single (user, item) request. Each neighbor list must hold
   /// model.neighbors_per_node() ids sampled from the attribute graph
@@ -59,7 +66,20 @@ class InferenceSession {
   void PrecomputeSide(bool user_side, const std::vector<bool>* cold,
                       Matrix* cache);
 
+  /// Handles resolved once at construction; all null without a registry.
+  struct Instruments {
+    obs::Histogram* request_ms = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* pairs = nullptr;
+    obs::Counter* cache_rows = nullptr;
+    obs::Gauge* workspace_hits = nullptr;
+    obs::Gauge* workspace_misses = nullptr;
+    obs::Gauge* workspace_allocated_bytes = nullptr;
+  };
+
   const AgnnModel& model_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments instruments_;
   Matrix user_embeddings_;
   Matrix item_embeddings_;
   Workspace ws_;

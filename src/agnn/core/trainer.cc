@@ -5,6 +5,7 @@
 #include "agnn/common/logging.h"
 #include "agnn/core/inference_session.h"
 #include "agnn/graph/interaction_graph.h"
+#include "agnn/obs/scoped_timer.h"
 
 namespace agnn::core {
 
@@ -19,6 +20,24 @@ AgnnTrainer::AgnnTrainer(const data::Dataset& dataset,
                                        train_graph.global_mean(), &init_rng);
   optimizer_ = std::make_unique<nn::Adam>(model_->Parameters(),
                                           config_.learning_rate);
+}
+
+void AgnnTrainer::SetMetrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  instruments_ = Instruments();
+  if (metrics_ == nullptr) return;
+  instruments_.sampling_ms = metrics_->GetHistogram("trainer/sampling_ms");
+  instruments_.forward_ms = metrics_->GetHistogram("trainer/forward_ms");
+  instruments_.backward_ms = metrics_->GetHistogram("trainer/backward_ms");
+  instruments_.optimizer_ms = metrics_->GetHistogram("trainer/optimizer_ms");
+  instruments_.epoch_ms = metrics_->GetHistogram("trainer/epoch_ms");
+  instruments_.grad_norm = metrics_->GetHistogram("trainer/grad_norm");
+  instruments_.epochs = metrics_->GetCounter("trainer/epochs");
+  instruments_.batches = metrics_->GetCounter("trainer/batches");
+  instruments_.examples = metrics_->GetCounter("trainer/examples");
+  instruments_.prediction_loss = metrics_->GetGauge("trainer/prediction_loss");
+  instruments_.reconstruction_loss =
+      metrics_->GetGauge("trainer/reconstruction_loss");
 }
 
 void AgnnTrainer::BuildGraphs() {
@@ -103,25 +122,49 @@ Batch AgnnTrainer::MakeBatch(const std::vector<size_t>& rating_indices,
 const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
   AGNN_CHECK(!split_.train.empty());
   curves_.clear();
+  // Metrics observe but never steer: with or without a registry the exact
+  // same operations run in the same order (the bitwise test in
+  // tests/core/trainer_test.cc holds both paths to identical results), and
+  // with a null registry the phase timer reads no clocks at all.
+  obs::PhaseTimer phase(metrics_ != nullptr);
+  obs::PhaseTimer epoch_timer(metrics_ != nullptr);
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    epoch_timer.Start();
     auto batches =
         data::MakeBatches(split_.train.size(), config_.batch_size, &rng_);
     EpochStats stats;
     for (const auto& indices : batches) {
+      phase.Start();
       std::vector<float> targets;
       Batch batch = MakeBatch(indices, &targets);
+      phase.Lap(instruments_.sampling_ms);
       optimizer_->ZeroGrad();
       auto forward = model_->Forward(batch, &rng_, /*training=*/true);
       auto loss = model_->Loss(forward, targets);
+      phase.Lap(instruments_.forward_ms);
       ag::Backward(loss.total);
-      nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
+      phase.Lap(instruments_.backward_ms);
+      const float grad_norm =
+          nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
       optimizer_->Step();
+      phase.Lap(instruments_.optimizer_ms);
+      if (metrics_ != nullptr) {
+        instruments_.grad_norm->Observe(grad_norm);
+        instruments_.batches->Increment();
+        instruments_.examples->Increment(indices.size());
+      }
       const double weight = static_cast<double>(indices.size()) /
                             static_cast<double>(split_.train.size());
       stats.prediction_loss += weight * loss.prediction_loss;
       stats.reconstruction_loss += weight * loss.reconstruction_loss;
     }
     curves_.push_back(stats);
+    if (metrics_ != nullptr) {
+      epoch_timer.Lap(instruments_.epoch_ms);
+      instruments_.epochs->Increment();
+      instruments_.prediction_loss->Set(stats.prediction_loss);
+      instruments_.reconstruction_loss->Set(stats.reconstruction_loss);
+    }
   }
   return curves_;
 }
@@ -136,7 +179,8 @@ std::vector<float> AgnnTrainer::Predict(
   Rng eval_rng(config_.seed ^ 0x9e3779b97f4a7c15ull);
   // The session snapshots the model once per call; chunks below only pay
   // for gather + aggregation + head (tape-free, DESIGN.md §9).
-  InferenceSession session(*model_, &split_.cold_user, &split_.cold_item);
+  InferenceSession session(*model_, &split_.cold_user, &split_.cold_item,
+                           metrics_);
   const size_t chunk = std::max<size_t>(config_.batch_size, 256);
   std::vector<float> chunk_out;
   for (size_t start = 0; start < pairs.size(); start += chunk) {

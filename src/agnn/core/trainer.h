@@ -10,6 +10,7 @@
 #include "agnn/eval/metrics.h"
 #include "agnn/graph/attribute_graph.h"
 #include "agnn/nn/optimizer.h"
+#include "agnn/obs/metrics.h"
 
 namespace agnn::core {
 
@@ -35,6 +36,16 @@ class AgnnTrainer {
 
   /// Runs config.epochs of Adam training; returns the loss curves.
   const std::vector<EpochStats>& Train();
+
+  /// Attaches a metrics registry (DESIGN.md §10): Train() then records
+  /// per-batch phase timings (trainer/{sampling,forward,backward,
+  /// optimizer}_ms), per-step gradient norms, epoch wall times, batch/epoch
+  /// counters, and the loss-component gauges; evaluation threads the
+  /// registry into its InferenceSession. Null (the default) disables all
+  /// instrumentation at the cost of one branch per site — no clock reads,
+  /// no metric writes — and results are bitwise-identical either way. The
+  /// registry must outlive the trainer.
+  void SetMetrics(obs::MetricsRegistry* metrics);
 
   /// RMSE/MAE on the split's test interactions (predictions clamped to the
   /// rating scale; strict cold nodes handled by the cold-start module).
@@ -64,10 +75,28 @@ class AgnnTrainer {
                                            const std::vector<size_t>& ids,
                                            Rng* rng) const;
 
+  /// Metric handles resolved once in SetMetrics so the hot loop never does
+  /// name lookups. All null when metrics are disabled.
+  struct Instruments {
+    obs::Histogram* sampling_ms = nullptr;
+    obs::Histogram* forward_ms = nullptr;
+    obs::Histogram* backward_ms = nullptr;
+    obs::Histogram* optimizer_ms = nullptr;
+    obs::Histogram* epoch_ms = nullptr;
+    obs::Histogram* grad_norm = nullptr;
+    obs::Counter* epochs = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* examples = nullptr;
+    obs::Gauge* prediction_loss = nullptr;
+    obs::Gauge* reconstruction_loss = nullptr;
+  };
+
   const data::Dataset& dataset_;
   const data::Split& split_;
   AgnnConfig config_;
   Rng rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments instruments_;
   graph::WeightedGraph user_graph_;
   graph::WeightedGraph item_graph_;
   std::unique_ptr<AgnnModel> model_;

@@ -1,0 +1,82 @@
+#ifndef AGNN_OBS_JSON_H_
+#define AGNN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "agnn/common/status.h"
+
+namespace agnn::obs {
+
+/// Streaming JSON writer: builds one document into an internal string with
+/// correct escaping, comma placement, and shortest-round-trip number
+/// formatting. Usage errors (a value where a key is required, unbalanced
+/// End*) are programming errors and AGNN_CHECK.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Object member key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view name);
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+  JsonWriter& Value(double value);  ///< non-finite values emit null
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<uint64_t>(value)); }
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  /// The finished document. Must be balanced (every Begin* ended).
+  const std::string& str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_elements_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+std::string JsonEscape(std::string_view s);
+/// Shortest decimal form that round-trips through strtod ("0.1", not
+/// "0.10000000000000001"); integers print without a fraction.
+std::string JsonNumber(double value);
+
+/// Parsed JSON document node. A deliberately small tree — enough for the
+/// bench artifacts and tests, not a general-purpose library.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion order preserved; duplicate keys keep the last occurrence.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Strict parse of one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).
+StatusOr<JsonValue> JsonParse(std::string_view text);
+
+}  // namespace agnn::obs
+
+#endif  // AGNN_OBS_JSON_H_

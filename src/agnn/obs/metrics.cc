@@ -1,0 +1,140 @@
+#include "agnn/obs/metrics.h"
+
+#include <algorithm>
+
+#include "agnn/common/logging.h"
+#include "agnn/common/string_util.h"
+#include "agnn/common/table.h"
+#include "agnn/obs/json.h"
+
+namespace agnn::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  AGNN_CHECK(!bounds_.empty()) << "Histogram needs at least one bucket edge";
+  AGNN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "Histogram bucket edges must be ascending";
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  size_t count) {
+  AGNN_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds(count);
+  double edge = start;
+  for (size_t i = 0; i < count; ++i, edge *= factor) bounds[i] = edge;
+  return bounds;
+}
+
+std::vector<double> Histogram::DefaultLatencyBucketsMs() {
+  // 0.001 ms (1 µs) .. ~134 s in powers of two: covers a single cached
+  // serving request through a full multi-minute training run.
+  return ExponentialBuckets(0.001, 2.0, 28);
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target || counts_[i] == 0) continue;
+    if (i == counts_.size() - 1) return max_;  // overflow bucket
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double rank_in_bucket =
+        target - static_cast<double>(cumulative - counts_[i]);
+    const double fraction = rank_in_bucket / static_cast<double>(counts_[i]);
+    return std::clamp(lower + fraction * (upper - lower), min_, max_);
+  }
+  return max_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBucketsMs();
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return &it->second;
+}
+
+std::string MetricsRegistry::ToTextTable() const {
+  Table table({"Metric", "Type", "Value"});
+  for (const auto& [name, counter] : counters_) {
+    table.AddRow({name, "counter", std::to_string(counter.value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    table.AddRow({name, "gauge", FormatDouble(gauge.value(), 4)});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    table.AddRow({name, "histogram",
+                  "n=" + std::to_string(hist.count()) +
+                      " mean=" + FormatDouble(hist.mean(), 4) +
+                      " p50=" + FormatDouble(hist.Quantile(0.5), 4) +
+                      " p95=" + FormatDouble(hist.Quantile(0.95), 4) +
+                      " p99=" + FormatDouble(hist.Quantile(0.99), 4)});
+  }
+  return table.ToString();
+}
+
+void MetricsRegistry::AppendJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer->Key(name).Value(counter.value());
+  }
+  writer->EndObject();
+  writer->Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer->Key(name).Value(gauge.value());
+  }
+  writer->EndObject();
+  writer->Key("histograms").BeginObject();
+  for (const auto& [name, hist] : histograms_) {
+    writer->Key(name).BeginObject();
+    writer->Key("count").Value(hist.count());
+    writer->Key("sum").Value(hist.sum());
+    writer->Key("min").Value(hist.min());
+    writer->Key("max").Value(hist.max());
+    writer->Key("mean").Value(hist.mean());
+    writer->Key("p50").Value(hist.Quantile(0.5));
+    writer->Key("p95").Value(hist.Quantile(0.95));
+    writer->Key("p99").Value(hist.Quantile(0.99));
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter writer;
+  AppendJson(&writer);
+  return writer.str();
+}
+
+}  // namespace agnn::obs

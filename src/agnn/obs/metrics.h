@@ -1,0 +1,119 @@
+#ifndef AGNN_OBS_METRICS_H_
+#define AGNN_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace agnn::obs {
+
+class JsonWriter;
+
+/// Monotonically increasing event count (requests served, batches trained).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-written point-in-time value (current loss, pooled bytes).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram for non-negative samples (latencies, gradient
+/// norms). `bounds` are ascending bucket upper edges; samples above the last
+/// edge land in an implicit overflow bucket. Quantiles are estimated by
+/// linear interpolation inside the owning bucket and clamped to the exact
+/// observed [min, max], so they are exact at the bucket resolution and the
+/// tails never over-report.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// `count` edges starting at `start`, each `factor` times the previous —
+  /// the usual latency-style bucketing.
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                size_t count);
+  /// 1 µs .. ~134 s in powers of two, expressed in milliseconds.
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// q in [0, 1]; returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics for one run, grouped and explicitly passed like agnn::Rng —
+/// no globals. Get* creates on first use and returns stable pointers (the
+/// registry must outlive them); instrumented code resolves its handles once
+/// and checks a single `registry == nullptr` branch on the hot path — with a
+/// null registry instrumentation performs no clock reads and no writes, so
+/// instrumented and uninstrumented runs are bitwise-identical (DESIGN.md
+/// §10).
+///
+/// Naming convention: "<subsystem>/<metric>[_<unit>]", e.g.
+/// "trainer/forward_ms", "session/requests".
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies on first creation only; later calls return the
+  /// existing histogram. Defaults to DefaultLatencyBucketsMs().
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Markdown table of every metric (histograms as count/mean/p50/p95/p99).
+  std::string ToTextTable() const;
+
+  /// Appends the registry as one JSON object:
+  /// {"counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {count, sum, min, max, mean, p50, p95, p99}}}.
+  void AppendJson(JsonWriter* writer) const;
+  std::string ToJson() const;
+
+ private:
+  // std::map: node-stable, deterministic emission order.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace agnn::obs
+
+#endif  // AGNN_OBS_METRICS_H_

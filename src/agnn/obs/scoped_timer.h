@@ -1,0 +1,63 @@
+#ifndef AGNN_OBS_SCOPED_TIMER_H_
+#define AGNN_OBS_SCOPED_TIMER_H_
+
+#include "agnn/common/stopwatch.h"
+#include "agnn/obs/metrics.h"
+
+namespace agnn::obs {
+
+/// RAII wall-clock timer over common/stopwatch.h: records elapsed
+/// milliseconds into `histogram` when it goes out of scope (or at an
+/// explicit Record()). Null-safe: with a null histogram nothing is recorded
+/// and the destructor does not read the clock, so instrumented code paths
+/// cost one branch when metrics are disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+  ~ScopedTimer() { Record(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now instead of at scope exit; later calls (and the destructor)
+  /// are no-ops. Returns the elapsed milliseconds (0 when disabled).
+  double Record() {
+    if (histogram_ == nullptr) return 0.0;
+    const double ms = watch_.ElapsedMillis();
+    histogram_->Observe(ms);
+    histogram_ = nullptr;
+    return ms;
+  }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+/// Sequential phase timing sharing one clock: Start() then Lap(h) at each
+/// phase boundary records the time since the previous boundary. When
+/// constructed disabled, Start/Lap read no clocks at all — this is what the
+/// trainer's null-registry zero-overhead contract (DESIGN.md §10) rests on.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(bool enabled) : enabled_(enabled) {}
+
+  void Start() {
+    if (enabled_) watch_.Reset();
+  }
+
+  /// Records the lap into `histogram` and restarts the clock.
+  void Lap(Histogram* histogram) {
+    if (!enabled_) return;
+    histogram->Observe(watch_.ElapsedMillis());
+    watch_.Reset();
+  }
+
+ private:
+  bool enabled_;
+  Stopwatch watch_;
+};
+
+}  // namespace agnn::obs
+
+#endif  // AGNN_OBS_SCOPED_TIMER_H_

@@ -17,6 +17,7 @@ std::vector<float> Workspace::TakeBuffer(size_t n) {
       });
   if (it == pool_.end()) {
     ++misses_;
+    allocated_bytes_ += n * sizeof(float);
     std::vector<float> fresh;
     fresh.resize(n);
     return fresh;

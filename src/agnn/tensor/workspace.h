@@ -47,6 +47,9 @@ class Workspace {
   size_t pooled_bytes() const { return pooled_bytes_; }
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
+  /// Cumulative bytes of fresh heap allocations (i.e., the cost of all
+  /// misses so far). Read-only observability — a warm pool stops growing it.
+  size_t allocated_bytes() const { return allocated_bytes_; }
 
  private:
   std::vector<float> TakeBuffer(size_t n);
@@ -57,6 +60,7 @@ class Workspace {
   size_t max_pooled_bytes_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t allocated_bytes_ = 0;
 };
 
 /// Process-wide workspace used by the autograd tape and the ops layer.

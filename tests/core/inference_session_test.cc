@@ -8,6 +8,7 @@
 
 #include "agnn/core/variants.h"
 #include "agnn/data/synthetic.h"
+#include "agnn/obs/metrics.h"
 
 namespace agnn::core {
 namespace {
@@ -185,6 +186,46 @@ TEST(InferenceSessionTest, SteadyStateSingleRequestDoesNotAllocate) {
     session.Predict(1, 6, user_neigh, item_neigh);
   }
   EXPECT_EQ(session.workspace()->misses(), warm_misses);
+}
+
+TEST(InferenceSessionTest, MetricsRegistryChangesNoBits) {
+  // Serving with a registry attached must return bitwise-identical
+  // predictions (instrumentation observes, never steers) while populating
+  // request latency and counter metrics (DESIGN.md §10).
+  Rng rng(6);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  Batch batch = MakeEvalBatch(model, flags);
+
+  InferenceSession plain(model, &flags.users, &flags.items);
+  obs::MetricsRegistry registry;
+  InferenceSession metered(model, &flags.users, &flags.items, &registry);
+
+  std::vector<float> plain_out;
+  std::vector<float> metered_out;
+  plain.PredictBatch(batch.user_ids, batch.item_ids, batch.user_neighbor_ids,
+                     batch.item_neighbor_ids, &plain_out);
+  metered.PredictBatch(batch.user_ids, batch.item_ids, batch.user_neighbor_ids,
+                       batch.item_neighbor_ids, &metered_out);
+  EXPECT_EQ(plain_out, metered_out);
+
+  // Building the session records its one-time cost; each PredictBatch call
+  // is one request covering batch-many pairs.
+  EXPECT_GE(registry.GetGauge("session/build_ms")->value(), 0.0);
+  EXPECT_EQ(registry.GetCounter("session/requests")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("session/pairs")->value(),
+            batch.user_ids.size());
+  EXPECT_EQ(registry.GetHistogram("session/request_ms")->count(), 1u);
+  EXPECT_GT(registry.GetCounter("session/cache_rows")->value(), 0u);
+
+  const size_t s = model.neighbors_per_node();
+  std::vector<size_t> user_neigh(s, 2);
+  std::vector<size_t> item_neigh(s, 9);
+  EXPECT_EQ(metered.Predict(0, 5, user_neigh, item_neigh),
+            plain.Predict(0, 5, user_neigh, item_neigh));
+  EXPECT_EQ(registry.GetCounter("session/requests")->value(), 2u);
+  EXPECT_EQ(registry.GetCounter("session/pairs")->value(),
+            batch.user_ids.size() + 1);
 }
 
 TEST(InferenceSessionTest, CachedEmbeddingShapes) {

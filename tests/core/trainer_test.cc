@@ -6,6 +6,7 @@
 
 #include "agnn/core/variants.h"
 #include "agnn/data/synthetic.h"
+#include "agnn/obs/metrics.h"
 
 namespace agnn::core {
 namespace {
@@ -149,6 +150,70 @@ TEST(AgnnTrainerTest, EvaluateTestIsIdempotent) {
   EXPECT_EQ(first.rmse, second.rmse);
   EXPECT_EQ(first.mae, second.mae);
   EXPECT_EQ(preds_between, trainer.Predict(pairs));
+}
+
+TEST(AgnnTrainerTest, MetricsRegistryChangesNoBits) {
+  // The observability contract (DESIGN.md §10): attaching a MetricsRegistry
+  // observes the run but never steers it. Training with metrics enabled must
+  // be BITWISE identical to training without — EXPECT_EQ on floats, no
+  // tolerance — while still populating the registry.
+  Rng rng(10);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kItemColdStart, 0.2, &rng);
+  AgnnConfig config = FastConfig();
+  config.epochs = 2;
+
+  AgnnTrainer plain(TrainerDataset(), split, config);
+  AgnnTrainer instrumented(TrainerDataset(), split, config);
+  obs::MetricsRegistry registry;
+  instrumented.SetMetrics(&registry);
+
+  const auto& plain_curves = plain.Train();
+  const auto& metered_curves = instrumented.Train();
+  ASSERT_EQ(plain_curves.size(), metered_curves.size());
+  for (size_t i = 0; i < plain_curves.size(); ++i) {
+    EXPECT_EQ(plain_curves[i].prediction_loss,
+              metered_curves[i].prediction_loss)
+        << "epoch " << i;
+    EXPECT_EQ(plain_curves[i].reconstruction_loss,
+              metered_curves[i].reconstruction_loss)
+        << "epoch " << i;
+  }
+
+  auto plain_eval = plain.EvaluateTest();
+  auto metered_eval = instrumented.EvaluateTest();
+  EXPECT_EQ(plain_eval.rmse, metered_eval.rmse);
+  EXPECT_EQ(plain_eval.mae, metered_eval.mae);
+
+  std::vector<std::pair<size_t, size_t>> pairs = {{0, 0}, {1, 5}, {7, 11}};
+  EXPECT_EQ(plain.Predict(pairs), instrumented.Predict(pairs));
+
+  // The registry really was driven: every phase histogram saw one sample
+  // per batch and the counters reflect the run.
+  EXPECT_EQ(registry.GetCounter("trainer/epochs")->value(), 2u);
+  const uint64_t batches = registry.GetCounter("trainer/batches")->value();
+  EXPECT_GT(batches, 0u);
+  for (const char* name :
+       {"trainer/sampling_ms", "trainer/forward_ms", "trainer/backward_ms",
+        "trainer/optimizer_ms", "trainer/grad_norm"}) {
+    EXPECT_EQ(registry.GetHistogram(name)->count(), batches) << name;
+  }
+  EXPECT_EQ(registry.GetHistogram("trainer/epoch_ms")->count(), 2u);
+  EXPECT_GT(registry.GetGauge("trainer/prediction_loss")->value(), 0.0);
+}
+
+TEST(AgnnTrainerTest, DetachingMetricsStopsRecording) {
+  Rng rng(11);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kWarmStart, 0.2, &rng);
+  AgnnConfig config = FastConfig();
+  config.epochs = 1;
+  AgnnTrainer trainer(TrainerDataset(), split, config);
+  obs::MetricsRegistry registry;
+  trainer.SetMetrics(&registry);
+  trainer.SetMetrics(nullptr);  // must clear the resolved handles too
+  trainer.Train();
+  EXPECT_EQ(registry.GetCounter("trainer/epochs")->value(), 0u);
 }
 
 TEST(AgnnTrainerTest, DeterministicGivenSeed) {

@@ -1,0 +1,128 @@
+#include "agnn/obs/json.h"
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace agnn::obs {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter object;
+  object.BeginObject().EndObject();
+  EXPECT_EQ(object.str(), "{}");
+  JsonWriter array;
+  array.BeginArray().EndArray();
+  EXPECT_EQ(array.str(), "[]");
+}
+
+TEST(JsonWriterTest, CommasAndNesting) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .Value("bench")
+      .Key("seed")
+      .Value(uint64_t{17})
+      .Key("metrics")
+      .BeginObject()
+      .Key("rmse")
+      .Value(0.5)
+      .EndObject()
+      .Key("tags")
+      .BeginArray()
+      .Value("a")
+      .Value("b")
+      .EndArray()
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"bench\",\"seed\":17,\"metrics\":{\"rmse\":0.5},"
+            "\"tags\":[\"a\",\"b\"]}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(std::numeric_limits<double>::infinity())
+      .Value(std::numeric_limits<double>::quiet_NaN())
+      .EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonNumberTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+}
+
+TEST(JsonNumberTest, ShortestFormRoundTrips) {
+  for (double v : {0.1, 0.9494, 1e-3, 123.456, 6.02214076e23}) {
+    const std::string text = JsonNumber(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+  EXPECT_EQ(JsonNumber(0.1), "0.1");  // not 0.10000000000000001
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_EQ(JsonParse("null")->type, JsonValue::Type::kNull);
+  EXPECT_TRUE(JsonParse("true")->boolean);
+  EXPECT_FALSE(JsonParse("false")->boolean);
+  EXPECT_DOUBLE_EQ(JsonParse("-12.5e2")->number, -1250.0);
+  EXPECT_EQ(JsonParse("\"hi\\nthere\"")->string, "hi\nthere");
+}
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  auto parsed = JsonParse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+  const JsonValue* b = a->array[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string, "c");
+  EXPECT_EQ(parsed->Find("d")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonParse("").ok());
+  EXPECT_FALSE(JsonParse("{").ok());
+  EXPECT_FALSE(JsonParse("[1,]").ok());
+  EXPECT_FALSE(JsonParse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonParse("\"unterminated").ok());
+  EXPECT_FALSE(JsonParse("12 34").ok());  // trailing garbage
+  EXPECT_FALSE(JsonParse("nul").ok());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonParse(deep).ok());
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesBackIdentically) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("wall_ms")
+      .Value(1234.5)
+      .Key("name")
+      .Value("table1_datasets")
+      .Key("ok")
+      .Value(true)
+      .EndObject();
+  auto parsed = JsonParse(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_DOUBLE_EQ(parsed->Find("wall_ms")->number, 1234.5);
+  EXPECT_EQ(parsed->Find("name")->string, "table1_datasets");
+  EXPECT_TRUE(parsed->Find("ok")->boolean);
+}
+
+}  // namespace
+}  // namespace agnn::obs

@@ -1,0 +1,213 @@
+#include "agnn/obs/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include "agnn/obs/json.h"
+#include "agnn/obs/scoped_timer.h"
+#include "gtest/gtest.h"
+
+namespace agnn::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, KeepsLastWrittenValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4.0);
+  const std::vector<uint64_t> expected = {1, 1, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), expected);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideOwningBucket) {
+  // 100 samples spread uniformly through the (0, 100] bucket: the quantile
+  // estimate interpolates linearly across the bucket.
+  Histogram h({100.0});
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  // p50 targets sample 50 of 100 -> halfway through the only bucket.
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileClampsToObservedRange) {
+  // One sample in a huge bucket: naive interpolation would report a large
+  // fraction of the bucket width; the clamp pins both tails to the sample.
+  Histogram h({1000.0});
+  h.Observe(3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 3.0);
+}
+
+TEST(HistogramTest, QuantileOverflowBucketReturnsMax) {
+  Histogram h({1.0});
+  h.Observe(70.0);
+  h.Observe(90.0);
+  // Both samples overflow; any upper quantile must report the true max,
+  // not an extrapolation past the last edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 90.0);
+}
+
+TEST(HistogramTest, ExponentialBuckets) {
+  const std::vector<double> bounds = Histogram::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreAscending) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBucketsMs();
+  ASSERT_GT(bounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.001);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndSharedByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x/events");
+  a->Increment();
+  // Creating more metrics must not invalidate earlier handles (std::map
+  // node stability), and the same name must resolve to the same metric.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("fill/" + std::to_string(i));
+  }
+  Counter* b = registry.GetCounter("x/events");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsApplyOnFirstCreationOnly) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t/ms", {1.0, 2.0});
+  EXPECT_EQ(h->bounds().size(), 2u);
+  Histogram* same = registry.GetHistogram("t/ms", {99.0});
+  EXPECT_EQ(h, same);
+  EXPECT_EQ(same->bounds().size(), 2u);
+  // Default bounds when none are given.
+  Histogram* latency = registry.GetHistogram("u/ms");
+  EXPECT_EQ(latency->bounds(), Histogram::DefaultLatencyBucketsMs());
+}
+
+TEST(MetricsRegistryTest, ToJsonParsesAndHasExpectedShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("session/requests")->Increment(3);
+  registry.GetGauge("trainer/prediction_loss")->Set(0.75);
+  Histogram* h = registry.GetHistogram("session/request_ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+
+  auto parsed = JsonParse(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* requests = counters->Find("session/requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_DOUBLE_EQ(requests->number, 3.0);
+
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* loss = gauges->Find("trainer/prediction_loss");
+  ASSERT_NE(loss, nullptr);
+  EXPECT_DOUBLE_EQ(loss->number, 0.75);
+
+  const JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* request_ms = histograms->Find("session/request_ms");
+  ASSERT_NE(request_ms, nullptr);
+  for (const char* key :
+       {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}) {
+    const JsonValue* field = request_ms->Find(key);
+    ASSERT_NE(field, nullptr) << key;
+    EXPECT_TRUE(field->is_number()) << key;
+  }
+  EXPECT_DOUBLE_EQ(request_ms->Find("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(request_ms->Find("sum")->number, 5.5);
+}
+
+TEST(MetricsRegistryTest, ToTextTableMentionsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("a/count")->Increment();
+  registry.GetGauge("b/value")->Set(1.0);
+  registry.GetHistogram("c/ms")->Observe(2.0);
+  const std::string table = registry.ToTextTable();
+  EXPECT_NE(table.find("a/count"), std::string::npos);
+  EXPECT_NE(table.find("b/value"), std::string::npos);
+  EXPECT_NE(table.find("c/ms"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsSafeAndRecordsNothing) {
+  {
+    ScopedTimer timer(nullptr);
+    EXPECT_EQ(timer.Record(), 0.0);
+  }  // destructor must also be a no-op
+}
+
+TEST(ScopedTimerTest, RecordsExactlyOnce) {
+  Histogram h({1e9});
+  {
+    ScopedTimer timer(&h);
+    timer.Record();
+    timer.Record();  // no-op
+  }  // destructor: no-op after explicit Record()
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(PhaseTimerTest, DisabledTimerRecordsNothing) {
+  Histogram h({1e9});
+  PhaseTimer timer(/*enabled=*/false);
+  timer.Start();
+  timer.Lap(&h);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(PhaseTimerTest, EnabledTimerRecordsOneLapPerBoundary) {
+  Histogram h({1e9});
+  PhaseTimer timer(/*enabled=*/true);
+  timer.Start();
+  timer.Lap(&h);
+  timer.Lap(&h);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace agnn::obs

@@ -1,0 +1,83 @@
+// Validates a BENCH_<name>.json artifact emitted by a bench binary
+// (bench/bench_util.h): the file must parse as JSON and carry the required
+// top-level keys. Registered in ctest behind a fixture that runs one fast
+// bench with --metrics_json, so the emission path is exercised end-to-end
+// on every test run.
+//
+// Usage: validate_bench_json <path> [<path>...]; exits non-zero with a
+// message on the first invalid artifact.
+
+#include <cstdio>
+#include <string>
+
+#include "agnn/common/status.h"
+#include "agnn/obs/json.h"
+
+namespace agnn {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  AGNN_CHECK(f != nullptr) << "cannot open " << path;
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+int Validate(const std::string& path) {
+  StatusOr<obs::JsonValue> parsed = obs::JsonParse(ReadFile(path));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: does not parse: %s\n", path.c_str(),
+                 std::string(parsed.status().message()).c_str());
+    return 1;
+  }
+  const obs::JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+    return 1;
+  }
+  const obs::JsonValue* name = root.Find("name");
+  if (name == nullptr || !name->is_string() || name->string.empty()) {
+    std::fprintf(stderr, "%s: missing string key \"name\"\n", path.c_str());
+    return 1;
+  }
+  for (const char* key : {"seed", "wall_ms"}) {
+    const obs::JsonValue* v = root.Find(key);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr, "%s: missing numeric key \"%s\"\n", path.c_str(),
+                   key);
+      return 1;
+    }
+  }
+  for (const char* key : {"config", "metrics", "registry"}) {
+    const obs::JsonValue* v = root.Find(key);
+    if (v == nullptr || !v->is_object()) {
+      std::fprintf(stderr, "%s: missing object key \"%s\"\n", path.c_str(),
+                   key);
+      return 1;
+    }
+  }
+  std::printf("%s: ok (name=%s, %zu metrics)\n", path.c_str(),
+              name->string.c_str(), root.Find("metrics")->object.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_*.json>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const int rc = agnn::Validate(argv[i]);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
