@@ -43,6 +43,7 @@ BenchOptions BenchOptions::FromFlags(int argc, char** argv) {
   options.test_fraction =
       parser.GetDouble("test_fraction", options.test_fraction);
   options.metrics_json = parser.GetString("metrics_json", "");
+  options.trace_json = parser.GetString("trace_json", "off");
   return options;
 }
 
@@ -111,7 +112,34 @@ void BenchReporter::Add(const std::string& key, double value) {
   values_.emplace_back(key, value);
 }
 
+std::string BenchReporter::WriteTraceJson() {
+  if (trace() == nullptr || trace_written_) return "";
+  trace_written_ = true;
+  const std::string path = options_.trace_json == "on"
+                               ? "TRACE_" + name_ + ".json"
+                               : options_.trace_json;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return "";
+  }
+  const std::string json = trace_recorder_.ToChromeJson();
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf(
+      "Trace: wrote %s (%llu spans, %llu dropped) — open in "
+      "chrome://tracing or https://ui.perfetto.dev\n",
+      path.c_str(),
+      static_cast<unsigned long long>(trace_recorder_.total_recorded()),
+      static_cast<unsigned long long>(trace_recorder_.dropped()));
+  std::printf("Top spans by exclusive time:\n%s\n",
+              trace_recorder_.SummaryTable(10).c_str());
+  return path;
+}
+
 std::string BenchReporter::WriteJson() {
+  WriteTraceJson();
   if (options_.metrics_json == "off") return "";
   const std::string path = options_.metrics_json.empty()
                                ? "BENCH_" + name_ + ".json"

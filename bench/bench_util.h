@@ -10,6 +10,7 @@
 #include "agnn/data/synthetic.h"
 #include "agnn/eval/protocol.h"
 #include "agnn/obs/metrics.h"
+#include "agnn/obs/trace.h"
 
 // Shared plumbing for the table/figure reproduction binaries: flag parsing,
 // dataset caching, and header printing. Compiled into each bench executable
@@ -31,10 +32,14 @@ struct BenchOptions {
   /// means ./BENCH_<name>.json next to the printed tables, "off" disables
   /// emission, anything else is used as the output path.
   std::string metrics_json;
+  /// Chrome trace-event artifact (DESIGN.md §11): "" or "off" (default)
+  /// disables tracing entirely (the reporter hands out a null recorder),
+  /// "on" writes ./TRACE_<name>.json, anything else is the output path.
+  std::string trace_json;
 
   /// Parses --scale=small|paper --datasets=a,b --epochs --dim --neighbors
-  /// --seed --test_fraction --metrics_json=path|off. Exits with a message
-  /// on bad flags.
+  /// --seed --test_fraction --metrics_json=path|off --trace_json=path|on|off.
+  /// Exits with a message on bad flags.
   static BenchOptions FromFlags(int argc, char** argv);
 
   /// Experiment configuration with these options applied uniformly to AGNN
@@ -82,9 +87,23 @@ class BenchReporter {
   /// Registry for instrumenting trainers/sessions inside the bench.
   obs::MetricsRegistry* registry() { return &registry_; }
 
+  /// Recorder for tracing trainers/sessions inside the bench, or null when
+  /// --trace_json is off — callers pass it straight to SetTrace / the
+  /// InferenceSession ctor and inherit the null contract (DESIGN.md §11).
+  obs::TraceRecorder* trace() {
+    return options_.trace_json.empty() || options_.trace_json == "off"
+               ? nullptr
+               : &trace_recorder_;
+  }
+
   /// Writes the artifact (unless --metrics_json=off) and prints the path.
-  /// Returns the path, or "" when disabled.
+  /// Returns the path, or "" when disabled. Also writes TRACE_<name>.json
+  /// and prints the span self-summary when tracing is on.
   std::string WriteJson();
+
+  /// Writes the Chrome trace artifact when tracing is on (called by
+  /// WriteJson; idempotent). Returns the path, or "" when disabled.
+  std::string WriteTraceJson();
 
  private:
   std::string name_;
@@ -92,6 +111,8 @@ class BenchReporter {
   Stopwatch watch_;
   std::vector<std::pair<std::string, double>> values_;
   obs::MetricsRegistry registry_;
+  obs::TraceRecorder trace_recorder_;
+  bool trace_written_ = false;
 };
 
 /// Runs AGNN for every setting on ICS and UCS across the configured

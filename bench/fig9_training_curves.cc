@@ -34,6 +34,9 @@ int Main(int argc, char** argv) {
       // in the emitted BENCH_fig9_training_curves.json alongside the
       // per-epoch loss curves recorded below.
       trainer.SetMetrics(reporter.registry());
+      // With --trace_json the same run also lands in the Chrome trace:
+      // epoch → resample/forward/backward/step → per-op spans (§11).
+      trainer.SetTrace(reporter.trace());
       const auto& curves = trainer.Train();
       const std::string key_prefix =
           dataset_name + "/" + ScenarioName(scenario) + "/";

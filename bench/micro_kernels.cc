@@ -15,6 +15,7 @@
 #include "agnn/graph/attribute_graph.h"
 #include "agnn/graph/interaction_graph.h"
 #include "agnn/tensor/workspace.h"
+#include "bench_util.h"
 
 namespace agnn {
 namespace {
@@ -292,6 +293,45 @@ void BM_SampleNeighbors(benchmark::State& state) {
 BENCHMARK(BM_SampleNeighbors);
 
 }  // namespace
+
+namespace bench_main {
+
+// Bridges google-benchmark's per-run results into the repo's BenchReporter
+// so micro_kernels emits the same BENCH_<name>.json artifact as the table
+// benches (console output is unchanged — this subclass only observes).
+class ReporterBridge : public benchmark::ConsoleReporter {
+ public:
+  explicit ReporterBridge(bench::BenchReporter* reporter)
+      : reporter_(reporter) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      reporter_->Add(run.benchmark_name() + "/real_time_ns",
+                     run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReporter* reporter_;
+};
+
+int Main(int argc, char** argv) {
+  // benchmark::Initialize consumes the --benchmark_* flags; the repo's
+  // FlagParser tolerates the remainder being its own flags only.
+  benchmark::Initialize(&argc, argv);
+  bench::BenchOptions options = bench::BenchOptions::FromFlags(argc, argv);
+  bench::BenchReporter reporter("micro_kernels", options);
+  ReporterBridge bridge(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&bridge);
+  reporter.WriteJson();
+  return 0;
+}
+
+}  // namespace bench_main
 }  // namespace agnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return agnn::bench_main::Main(argc, argv);
+}

@@ -196,6 +196,25 @@ int Main(int argc, char** argv) {
         "checksum %.3f) ---\n%s\n",
         dataset_name.c_str(), build_ms, tape_p50 / session_p50,
         static_cast<double>(sink), table.ToString().c_str());
+
+    // --- Traced deep-dive (--trace_json only): a fresh session with the
+    // recorder attached serves a slice of the request stream, so the
+    // artifact shows build → request → gather/gnn/head → gemm spans with
+    // flop/byte args. Runs after (and outside) the timed loops above —
+    // tracing overhead never touches the reported numbers.
+    if (reporter.trace() != nullptr) {
+      reporter.trace()->SetTrack(1);  // serving lane; trainer spans ride 0
+      core::InferenceSession traced(model, &split.cold_user, &split.cold_item,
+                                    /*metrics=*/nullptr, reporter.trace());
+      for (size_t i = 0; i < std::min<size_t>(32, requests.size()); ++i) {
+        const Request& req = requests[i];
+        sink += traced.Predict(req.user, req.item, req.user_neighbors,
+                               req.item_neighbors);
+      }
+      traced.PredictBatch(big.user_ids, big.item_ids, big.user_neighbor_ids,
+                          big.item_neighbor_ids, &served);
+      sink += served[0];
+    }
   }
   std::printf(
       "Gate: the InferenceSession single-request p50 must be >= 3x faster "

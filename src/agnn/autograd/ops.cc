@@ -18,13 +18,24 @@ namespace {
 // gradients. We propagate unconditionally: leaves that don't require grad
 // simply receive accumulations that the optimizers ignore; this keeps the
 // closures simple and is cheap at this library's scales.
-Var MakeOp(Matrix value, std::vector<Var> parents,
+//
+// `name` must be a string literal; it names this node's backward span and
+// the per-op profile rows (DESIGN.md §11).
+Var MakeOp(const char* name, Matrix value, std::vector<Var> parents,
            std::function<void(Node*)> backward) {
   auto node = std::make_shared<Node>(std::move(value));
+  node->SetOpName(name);
   node->SetParents(std::move(parents));
   node->SetBackward(std::move(backward));
   return node;
 }
+
+// Opens the forward span for one op when a recorder is installed via
+// ScopedOpTrace (one branch otherwise — the null-recorder zero-overhead
+// contract). Declared first in each op so the span closes after the node
+// is wired, covering forward compute + graph bookkeeping.
+#define AGNN_OP_SPAN(op_name) \
+  obs::TraceSpan op_span(OpTraceRecorder(), op_name, "op")
 
 // Allocation discipline (see DESIGN.md "Kernel + workspace layer"):
 // forward values and backward scratch are Taken from the global Workspace;
@@ -39,27 +50,30 @@ Workspace* Ws() { return GlobalWorkspace(); }
 }  // namespace
 
 Var Add(const Var& a, const Var& b) {
+  AGNN_OP_SPAN("Add");
   Matrix out = Ws()->Take(a->value().rows(), a->value().cols());
   a->value().AddInto(b->value(), &out);
-  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+  return MakeOp("Add", std::move(out), {a, b}, [](Node* n) {
     n->parents()[0]->AccumulateGrad(n->grad());
     n->parents()[1]->AccumulateGrad(n->grad());
   });
 }
 
 Var Sub(const Var& a, const Var& b) {
+  AGNN_OP_SPAN("Sub");
   Matrix out = Ws()->Take(a->value().rows(), a->value().cols());
   a->value().SubInto(b->value(), &out);
-  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+  return MakeOp("Sub", std::move(out), {a, b}, [](Node* n) {
     n->parents()[0]->AccumulateGrad(n->grad());
     n->parents()[1]->AccumulateGradScaled(n->grad(), -1.0f);
   });
 }
 
 Var Mul(const Var& a, const Var& b) {
+  AGNN_OP_SPAN("Mul");
   Matrix out = Ws()->Take(a->value().rows(), a->value().cols());
   a->value().MulInto(b->value(), &out);
-  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+  return MakeOp("Mul", std::move(out), {a, b}, [](Node* n) {
     const Matrix& g = n->grad();
     Node* pa = n->parents()[0].get();
     Node* pb = n->parents()[1].get();
@@ -73,25 +87,28 @@ Var Mul(const Var& a, const Var& b) {
 Var Neg(const Var& x) { return Scale(x, -1.0f); }
 
 Var Scale(const Var& x, float s) {
+  AGNN_OP_SPAN("Scale");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   x->value().ScaleInto(s, &out);
-  return MakeOp(std::move(out), {x}, [s](Node* n) {
+  return MakeOp("Scale", std::move(out), {x}, [s](Node* n) {
     n->parents()[0]->AccumulateGradScaled(n->grad(), s);
   });
 }
 
 Var AddScalar(const Var& x, float s) {
+  AGNN_OP_SPAN("AddScalar");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   fn::AddScalarInto(x->value(), s, &out);
-  return MakeOp(std::move(out), {x}, [](Node* n) {
+  return MakeOp("AddScalar", std::move(out), {x}, [](Node* n) {
     n->parents()[0]->AccumulateGrad(n->grad());
   });
 }
 
 Var Sigmoid(const Var& x) {
+  AGNN_OP_SPAN("Sigmoid");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   fn::SigmoidInto(x->value(), &out);
-  return MakeOp(std::move(out), {x}, [](Node* n) {
+  return MakeOp("Sigmoid", std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::SigmoidGradAcc(p->EnsureGrad().data(), n->grad().data(),
                             n->value().data(), n->value().size());
@@ -99,9 +116,10 @@ Var Sigmoid(const Var& x) {
 }
 
 Var Tanh(const Var& x) {
+  AGNN_OP_SPAN("Tanh");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   fn::TanhInto(x->value(), &out);
-  return MakeOp(std::move(out), {x}, [](Node* n) {
+  return MakeOp("Tanh", std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::TanhGradAcc(p->EnsureGrad().data(), n->grad().data(),
                          n->value().data(), n->value().size());
@@ -111,9 +129,10 @@ Var Tanh(const Var& x) {
 Var Relu(const Var& x) { return LeakyRelu(x, 0.0f); }
 
 Var LeakyRelu(const Var& x, float slope) {
+  AGNN_OP_SPAN("LeakyRelu");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   fn::LeakyReluInto(x->value(), slope, &out);
-  return MakeOp(std::move(out), {x}, [slope](Node* n) {
+  return MakeOp("LeakyRelu", std::move(out), {x}, [slope](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::LeakyReluGradAcc(p->EnsureGrad().data(), n->grad().data(),
                               p->value().data(), n->value().size(), slope);
@@ -121,9 +140,10 @@ Var LeakyRelu(const Var& x, float slope) {
 }
 
 Var Exp(const Var& x) {
+  AGNN_OP_SPAN("Exp");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   kernels::ExpForward(x->value().data(), out.data(), out.size());
-  return MakeOp(std::move(out), {x}, [](Node* n) {
+  return MakeOp("Exp", std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::ExpGradAcc(p->EnsureGrad().data(), n->grad().data(),
                         n->value().data(), n->value().size());
@@ -131,6 +151,7 @@ Var Exp(const Var& x) {
 }
 
 Var Log(const Var& x) {
+  AGNN_OP_SPAN("Log");
 #ifndef NDEBUG
   for (size_t i = 0; i < x->value().size(); ++i) {
     AGNN_DCHECK(x->value().data()[i] > 0.0f);
@@ -138,7 +159,7 @@ Var Log(const Var& x) {
 #endif
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   kernels::LogForward(x->value().data(), out.data(), out.size());
-  return MakeOp(std::move(out), {x}, [](Node* n) {
+  return MakeOp("Log", std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::LogGradAcc(p->EnsureGrad().data(), n->grad().data(),
                         p->value().data(), n->value().size());
@@ -146,9 +167,10 @@ Var Log(const Var& x) {
 }
 
 Var Square(const Var& x) {
+  AGNN_OP_SPAN("Square");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   fn::SquareInto(x->value(), &out);
-  return MakeOp(std::move(out), {x}, [](Node* n) {
+  return MakeOp("Square", std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::SquareGradAcc(p->EnsureGrad().data(), n->grad().data(),
                            p->value().data(), n->value().size());
@@ -156,9 +178,10 @@ Var Square(const Var& x) {
 }
 
 Var Softplus(const Var& x) {
+  AGNN_OP_SPAN("Softplus");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   kernels::SoftplusForward(x->value().data(), out.data(), out.size());
-  return MakeOp(std::move(out), {x}, [](Node* n) {
+  return MakeOp("Softplus", std::move(out), {x}, [](Node* n) {
     Node* p = n->parents()[0].get();
     kernels::SoftplusGradAcc(p->EnsureGrad().data(), n->grad().data(),
                              p->value().data(), n->value().size());
@@ -166,9 +189,13 @@ Var Softplus(const Var& x) {
 }
 
 Var MatMul(const Var& a, const Var& b) {
-  Matrix out = Ws()->Take(a->value().rows(), b->value().cols());
+  AGNN_OP_SPAN("MatMul");
+  const size_t m = a->value().rows();
+  const size_t k = a->value().cols();
+  const size_t n_cols = b->value().cols();
+  Matrix out = Ws()->Take(m, n_cols);
   a->value().MatMulInto(b->value(), &out);
-  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+  Var node = MakeOp("MatMul", std::move(out), {a, b}, [](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& av = n->parents()[0]->value();
     const Matrix& bv = n->parents()[1]->value();
@@ -185,12 +212,28 @@ Var MatMul(const Var& a, const Var& b) {
     n->parents()[1]->AccumulateGrad(db);
     Ws()->Give(std::move(db));
   });
+  if (op_span.enabled()) {
+    // Forward is one m x k x n gemm; backward is the NT gemm for dA plus
+    // the TN gemm for dB (same flop count each, different operand sets).
+    op_span.AddArg("rows", static_cast<double>(m));
+    op_span.AddArg("cols", static_cast<double>(n_cols));
+    op_span.AddArg("flops", obs::GemmFlops(m, k, n_cols));
+    op_span.AddArg("bytes", obs::GemmBytes(m, k, n_cols));
+    node->SetBackwardCost(2.0 * obs::GemmFlops(m, k, n_cols),
+                          obs::GemmBytes(m, n_cols, k) +
+                              obs::GemmBytes(k, m, n_cols));
+  }
+  return node;
 }
 
 Var MatMulSparse(const Var& a, const Var& b) {
-  Matrix out = Ws()->Take(a->value().rows(), b->value().cols());
+  AGNN_OP_SPAN("MatMulSparse");
+  const size_t m = a->value().rows();
+  const size_t k = a->value().cols();
+  const size_t n_cols = b->value().cols();
+  Matrix out = Ws()->Take(m, n_cols);
   a->value().MatMulSparseInto(b->value(), &out);
-  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+  Var node = MakeOp("MatMulSparse", std::move(out), {a, b}, [](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& av = n->parents()[0]->value();
     const Matrix& bv = n->parents()[1]->value();
@@ -210,12 +253,26 @@ Var MatMulSparse(const Var& a, const Var& b) {
     n->parents()[1]->AccumulateGrad(db);
     Ws()->Give(std::move(db));
   });
+  if (op_span.enabled()) {
+    // Dense upper bound: the sparse kernels skip zero rows of A, so the
+    // true cost is (nnz-row fraction) x these figures. Reported dense to
+    // keep the model shape-only, as documented in DESIGN.md §11.
+    op_span.AddArg("rows", static_cast<double>(m));
+    op_span.AddArg("cols", static_cast<double>(n_cols));
+    op_span.AddArg("flops", obs::GemmFlops(m, k, n_cols));
+    op_span.AddArg("bytes", obs::GemmBytes(m, k, n_cols));
+    node->SetBackwardCost(2.0 * obs::GemmFlops(m, k, n_cols),
+                          obs::GemmBytes(m, n_cols, k) +
+                              obs::GemmBytes(k, m, n_cols));
+  }
+  return node;
 }
 
 Var AddRowBroadcast(const Var& x, const Var& bias) {
+  AGNN_OP_SPAN("AddRowBroadcast");
   Matrix out = Ws()->Take(x->value().rows(), x->value().cols());
   fn::AddRowBroadcastInto(x->value(), bias->value(), &out);
-  return MakeOp(std::move(out), {x, bias},
+  return MakeOp("AddRowBroadcast", std::move(out), {x, bias},
                 [](Node* n) {
                   n->parents()[0]->AccumulateGrad(n->grad());
                   Matrix col = Ws()->Take(1, n->grad().cols());
@@ -226,10 +283,11 @@ Var AddRowBroadcast(const Var& x, const Var& bias) {
 }
 
 Var MulColBroadcast(const Var& x, const Var& s) {
+  AGNN_OP_SPAN("MulColBroadcast");
   const Matrix& xv = x->value();
   Matrix out = Ws()->Take(xv.rows(), xv.cols());
   fn::MulColBroadcastInto(xv, s->value(), &out);
-  return MakeOp(std::move(out), {x, s}, [](Node* n) {
+  return MakeOp("MulColBroadcast", std::move(out), {x, s}, [](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
     const Matrix& sv = n->parents()[1]->value();
@@ -255,10 +313,11 @@ Var MulColBroadcast(const Var& x, const Var& s) {
 }
 
 Var RowwiseDot(const Var& a, const Var& b) {
+  AGNN_OP_SPAN("RowwiseDot");
   const Matrix& av = a->value();
   Matrix out = Ws()->Take(av.rows(), 1);
   fn::RowwiseDotInto(av, b->value(), &out);
-  return MakeOp(std::move(out), {a, b}, [](Node* n) {
+  return MakeOp("RowwiseDot", std::move(out), {a, b}, [](Node* n) {
     const Matrix& g = n->grad();  // [B,1]
     const Matrix& av = n->parents()[0]->value();
     const Matrix& bv = n->parents()[1]->value();
@@ -283,11 +342,12 @@ Var RowwiseDot(const Var& a, const Var& b) {
 }
 
 Var ConcatCols(const Var& a, const Var& b) {
+  AGNN_OP_SPAN("ConcatCols");
   const size_t split = a->value().cols();
   Matrix out =
       Ws()->Take(a->value().rows(), a->value().cols() + b->value().cols());
   a->value().ConcatColsInto(b->value(), &out);
-  return MakeOp(std::move(out), {a, b}, [split](Node* n) {
+  return MakeOp("ConcatCols", std::move(out), {a, b}, [split](Node* n) {
     const Matrix& g = n->grad();
     Matrix left = Ws()->Take(g.rows(), split);
     g.SliceColsInto(0, split, &left);
@@ -301,9 +361,10 @@ Var ConcatCols(const Var& a, const Var& b) {
 }
 
 Var SliceCols(const Var& x, size_t begin, size_t end) {
+  AGNN_OP_SPAN("SliceCols");
   Matrix out = Ws()->Take(x->value().rows(), end - begin);
   x->value().SliceColsInto(begin, end, &out);
-  return MakeOp(std::move(out), {x}, [begin, end](Node* n) {
+  return MakeOp("SliceCols", std::move(out), {x}, [begin, end](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
     Matrix dx = Ws()->TakeZeroed(xv.rows(), xv.cols());
@@ -316,10 +377,11 @@ Var SliceCols(const Var& x, size_t begin, size_t end) {
 }
 
 Var RepeatRows(const Var& x, size_t times) {
+  AGNN_OP_SPAN("RepeatRows");
   const Matrix& xv = x->value();
   Matrix out = Ws()->Take(xv.rows() * times, xv.cols());
   fn::RepeatRowsInto(xv, times, &out);
-  return MakeOp(std::move(out), {x}, [times](Node* n) {
+  return MakeOp("RepeatRows", std::move(out), {x}, [times](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
     Matrix dx = Ws()->TakeZeroed(xv.rows(), xv.cols());
@@ -337,6 +399,7 @@ Var RepeatRows(const Var& x, size_t times) {
 namespace {
 
 Var RowBlockReduce(const Var& x, size_t block, bool mean) {
+  AGNN_OP_SPAN(mean ? "RowBlockMean" : "RowBlockSum");
   AGNN_CHECK_GT(block, 0u);
   const Matrix& xv = x->value();
   AGNN_CHECK_EQ(xv.rows() % block, 0u);
@@ -347,7 +410,8 @@ Var RowBlockReduce(const Var& x, size_t block, bool mean) {
   } else {
     fn::RowBlockSumInto(xv, block, &out);
   }
-  return MakeOp(std::move(out), {x}, [block, scale](Node* n) {
+  return MakeOp(mean ? "RowBlockMean" : "RowBlockSum", std::move(out), {x},
+                [block, scale](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
     Matrix dx = Ws()->Take(xv.rows(), xv.cols());
@@ -374,9 +438,10 @@ Var RowBlockSum(const Var& x, size_t block) {
 }
 
 Var GatherRows(const Var& table, const std::vector<size_t>& indices) {
+  AGNN_OP_SPAN("GatherRows");
   Matrix out = Ws()->Take(indices.size(), table->value().cols());
   table->value().GatherRowsInto(indices, &out);
-  return MakeOp(std::move(out), {table}, [indices](Node* n) {
+  return MakeOp("GatherRows", std::move(out), {table}, [indices](Node* n) {
     const Matrix& tv = n->parents()[0]->value();
     Matrix dt = Ws()->TakeZeroed(tv.rows(), tv.cols());
     dt.ScatterAddRows(indices, n->grad());
@@ -387,10 +452,11 @@ Var GatherRows(const Var& table, const std::vector<size_t>& indices) {
 
 Var SegmentSum(const Var& x, const std::vector<size_t>& segments,
                size_t num_segments) {
+  AGNN_OP_SPAN("SegmentSum");
   const Matrix& xv = x->value();
   Matrix out = Ws()->Take(num_segments, xv.cols());
   fn::SegmentSumInto(xv, segments, &out);
-  return MakeOp(std::move(out), {x}, [segments](Node* n) {
+  return MakeOp("SegmentSum", std::move(out), {x}, [segments](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& xv = n->parents()[0]->value();
     Matrix dx = Ws()->Take(xv.rows(), xv.cols());
@@ -403,9 +469,10 @@ Var SegmentSum(const Var& x, const std::vector<size_t>& segments,
 }
 
 Var SumAll(const Var& x) {
+  AGNN_OP_SPAN("SumAll");
   Matrix out = Ws()->Take(1, 1);
   out.At(0, 0) = kernels::Sum(x->value().data(), x->value().size());
-  return MakeOp(std::move(out), {x}, [](Node* n) {
+  return MakeOp("SumAll", std::move(out), {x}, [](Node* n) {
     const float g = n->grad().At(0, 0);
     const Matrix& xv = n->parents()[0]->value();
     Matrix dx = Ws()->Take(xv.rows(), xv.cols());
@@ -426,6 +493,7 @@ Var MseLoss(const Var& pred, const Matrix& target) {
 }
 
 Var GaussianKlMean(const Var& mu, const Var& logvar) {
+  AGNN_OP_SPAN("GaussianKlMean");
   const Matrix& muv = mu->value();
   const Matrix& lvv = logvar->value();
   AGNN_CHECK(muv.SameShape(lvv));
@@ -438,7 +506,7 @@ Var GaussianKlMean(const Var& mu, const Var& logvar) {
     acc += -0.5f * (1.0f + lv - m * m - std::exp(lv));
   }
   out.At(0, 0) = acc * inv_batch;
-  return MakeOp(std::move(out), {mu, logvar}, [inv_batch](Node* n) {
+  return MakeOp("GaussianKlMean", std::move(out), {mu, logvar}, [inv_batch](Node* n) {
     const float g = n->grad().At(0, 0) * inv_batch;
     const Matrix& muv = n->parents()[0]->value();
     const Matrix& lvv = n->parents()[1]->value();
@@ -456,10 +524,11 @@ Var GaussianKlMean(const Var& mu, const Var& logvar) {
 }
 
 Var SoftmaxBlocks(const Var& x, size_t block) {
+  AGNN_OP_SPAN("SoftmaxBlocks");
   const Matrix& xv = x->value();
   Matrix out = Ws()->Take(xv.rows(), 1);
   fn::SoftmaxBlocksInto(xv, block, &out);
-  return MakeOp(std::move(out), {x}, [block](Node* n) {
+  return MakeOp("SoftmaxBlocks", std::move(out), {x}, [block](Node* n) {
     const Matrix& g = n->grad();
     const Matrix& s = n->value();
     Matrix dx = Ws()->Take(s.rows(), 1);

@@ -47,12 +47,31 @@ void Node::AccumulateGradScaled(const Matrix& g, float scale) {
 }
 
 Var MakeParam(Matrix value) {
-  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+  auto node = std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+  node->SetOpName("param");
+  return node;
 }
 
 Var MakeConst(Matrix value) {
-  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+  auto node =
+      std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+  node->SetOpName("const");
+  return node;
 }
+
+namespace {
+// Not thread-local: the library is single-threaded by design (CLAUDE.md).
+obs::TraceRecorder* g_op_trace = nullptr;
+}  // namespace
+
+obs::TraceRecorder* OpTraceRecorder() { return g_op_trace; }
+
+ScopedOpTrace::ScopedOpTrace(obs::TraceRecorder* recorder)
+    : previous_(g_op_trace) {
+  g_op_trace = recorder;
+}
+
+ScopedOpTrace::~ScopedOpTrace() { g_op_trace = previous_; }
 
 namespace {
 
@@ -93,9 +112,28 @@ void Backward(const Var& root) {
   TopoOrder(root, &order);
   root->mutable_grad().At(0, 0) = 1.0f;
   // Post-order puts the root last; walk backwards so every node's gradient
-  // is complete before it propagates to its parents.
+  // is complete before it propagates to its parents. With a recorder
+  // attached every interior node's local backward runs inside a span named
+  // after the op that built it (category "bwd") so backward time is
+  // attributable per op; with no recorder this is one branch per node and
+  // zero clock reads (DESIGN.md §11).
+  obs::TraceRecorder* trace = OpTraceRecorder();
+  obs::TraceSpan backward_span(trace, "Backward", "autograd");
+  backward_span.AddArg("nodes", static_cast<double>(order.size()));
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    (*it)->RunBackward();
+    Node* node = *it;
+    if (trace != nullptr && !node->is_leaf()) {
+      obs::TraceSpan span(trace, node->op_name(), "bwd");
+      span.AddArg("rows", static_cast<double>(node->value().rows()));
+      span.AddArg("cols", static_cast<double>(node->value().cols()));
+      if (node->backward_flops() > 0.0) {
+        span.AddArg("flops", node->backward_flops());
+        span.AddArg("bytes", node->backward_bytes());
+      }
+      node->RunBackward();
+    } else {
+      node->RunBackward();
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "agnn/obs/trace.h"
 #include "agnn/tensor/matrix.h"
 
 namespace agnn::ag {
@@ -52,6 +53,23 @@ class Node {
   }
   const std::vector<Var>& parents() const { return parents_; }
 
+  /// The op that produced this node ("MatMul", "Sigmoid", ...; "leaf" for
+  /// MakeParam/MakeConst leaves). Together with value()'s shape this is the
+  /// per-op profile the tracer renders (DESIGN.md §11). Must be a string
+  /// literal.
+  void SetOpName(const char* name) { op_name_ = name; }
+  const char* op_name() const { return op_name_; }
+
+  /// Analytic cost of this node's backward step, attached as flops/bytes
+  /// args to its backward span. Only the gemm-family ops set it (and only
+  /// while a recorder is attached); 0 means "not modeled".
+  void SetBackwardCost(double flops, double bytes) {
+    bwd_flops_ = flops;
+    bwd_bytes_ = bytes;
+  }
+  double backward_flops() const { return bwd_flops_; }
+  double backward_bytes() const { return bwd_bytes_; }
+
   /// Accumulates `g` into this node's gradient if it requires one.
   void AccumulateGrad(const Matrix& g);
 
@@ -74,8 +92,34 @@ class Node {
   mutable Matrix grad_;
   mutable bool grad_allocated_ = false;
   bool requires_grad_;
+  const char* op_name_ = "leaf";
+  double bwd_flops_ = 0.0;
+  double bwd_bytes_ = 0.0;
   std::vector<Var> parents_;
   std::function<void(Node*)> backward_fn_;
+};
+
+/// The recorder the ops layer and Backward() currently emit per-op spans
+/// into; null (the default) means tracing is off and instrumented sites
+/// cost one branch. The tape is built by free functions, so the recorder
+/// rides alongside GlobalWorkspace() rather than being a parameter on
+/// every op; the only writers are the scoped guards below, which the
+/// trainer installs for exactly the duration of its own traced run — the
+/// explicit-handle convention one level up is preserved (DESIGN.md §11).
+obs::TraceRecorder* OpTraceRecorder();
+
+/// Installs `recorder` as the op-trace recorder for the current scope and
+/// restores the previous one on destruction (nesting-safe).
+class ScopedOpTrace {
+ public:
+  explicit ScopedOpTrace(obs::TraceRecorder* recorder);
+  ~ScopedOpTrace();
+
+  ScopedOpTrace(const ScopedOpTrace&) = delete;
+  ScopedOpTrace& operator=(const ScopedOpTrace&) = delete;
+
+ private:
+  obs::TraceRecorder* previous_;
 };
 
 /// Creates a trainable leaf (gradient will be accumulated).

@@ -7,6 +7,23 @@
 #include "agnn/tensor/functional.h"
 
 namespace agnn::core {
+namespace {
+
+// a.MatMulInto(b, out) wrapped in an op span carrying the analytic gemm
+// cost (DESIGN.md §11); one branch and no clock reads when `trace` is null.
+void TracedGemm(obs::TraceRecorder* trace, const char* name, const Matrix& a,
+                const Matrix& b, Matrix* out) {
+  obs::TraceSpan span(trace, name, "op");
+  a.MatMulInto(b, out);
+  if (span.enabled()) {
+    span.AddArg("rows", static_cast<double>(a.rows()));
+    span.AddArg("cols", static_cast<double>(b.cols()));
+    span.AddArg("flops", obs::GemmFlops(a.rows(), a.cols(), b.cols()));
+    span.AddArg("bytes", obs::GemmBytes(a.rows(), a.cols(), b.cols()));
+  }
+}
+
+}  // namespace
 
 GatedGnn::GatedGnn(size_t dim, Aggregator aggregator, Rng* rng,
                    float leaky_slope)
@@ -93,7 +110,8 @@ ag::Var GatedGnn::Forward(const ag::Var& self, const ag::Var& neighbors,
 }
 
 Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
-                                  size_t num_neighbors, Workspace* ws) const {
+                                  size_t num_neighbors, Workspace* ws,
+                                  obs::TraceRecorder* trace) const {
   if (aggregator_ == Aggregator::kNone) return ws->TakeCopy(self);
 
   const size_t batch = self.rows();
@@ -108,7 +126,7 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
       Matrix neighbor_mean = ws->Take(batch, dim);
       fn::RowBlockMeanInto(neighbors, num_neighbors, &neighbor_mean);
       Matrix conv = ws->Take(batch, dim);
-      neighbor_mean.MatMulInto(w_gcn_->value(), &conv);
+      TracedGemm(trace, "gemm:w_gcn", neighbor_mean, w_gcn_->value(), &conv);
       fn::AddRowBroadcastInto(conv, b_gcn_->value(), &conv);
       self.AddInto(conv, &out);
       fn::LeakyReluInto(out, leaky_slope_, &out);
@@ -120,13 +138,13 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
       Matrix self_rep = ws->Take(batch * num_neighbors, dim);
       fn::RepeatRowsInto(self, num_neighbors, &self_rep);
       Matrix proj_self = ws->Take(self_rep.rows(), dim);
-      self_rep.MatMulInto(w_gat_->value(), &proj_self);
+      TracedGemm(trace, "gemm:w_gat", self_rep, w_gat_->value(), &proj_self);
       Matrix proj_neigh = ws->Take(neighbors.rows(), dim);
-      neighbors.MatMulInto(w_gat_->value(), &proj_neigh);
+      TracedGemm(trace, "gemm:w_gat", neighbors, w_gat_->value(), &proj_neigh);
       Matrix concat = ws->Take(proj_self.rows(), 2 * dim);
       proj_self.ConcatColsInto(proj_neigh, &concat);
       Matrix alpha = ws->Take(concat.rows(), 1);
-      concat.MatMulInto(attn_->value(), &alpha);
+      TracedGemm(trace, "gemm:attn", concat, attn_->value(), &alpha);
       fn::LeakyReluInto(alpha, 0.2f, &alpha);
       fn::SoftmaxBlocksInto(alpha, num_neighbors, &alpha);
       fn::MulColBroadcastInto(proj_neigh, alpha, &proj_neigh);
@@ -156,7 +174,8 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
     Matrix concat = ws->Take(self_rep.rows(), 2 * dim);
     self_rep.ConcatColsInto(neighbors, &concat);
     Matrix a_gate = ws->Take(concat.rows(), dim);
-    concat.MatMulInto(w_aggregate_->value(), &a_gate);
+    TracedGemm(trace, "gemm:w_aggregate", concat, w_aggregate_->value(),
+               &a_gate);
     fn::AddRowBroadcastInto(a_gate, b_aggregate_->value(), &a_gate);
     fn::SigmoidInto(a_gate, &a_gate);
     neighbors.MulInto(a_gate, &a_gate);
@@ -175,7 +194,7 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
     Matrix concat = ws->Take(batch, 2 * dim);
     self.ConcatColsInto(neighbor_mean, &concat);
     Matrix f_gate = ws->Take(batch, dim);
-    concat.MatMulInto(w_filter_->value(), &f_gate);
+    TracedGemm(trace, "gemm:w_filter", concat, w_filter_->value(), &f_gate);
     fn::AddRowBroadcastInto(f_gate, b_filter_->value(), &f_gate);
     fn::SigmoidInto(f_gate, &f_gate);
     // p_u ⊙ (1 − f_gate), phrased as the tape's AddScalar(Neg(·), 1).

@@ -3,6 +3,7 @@
 
 #include "agnn/core/config.h"
 #include "agnn/nn/layers.h"
+#include "agnn/obs/trace.h"
 
 namespace agnn::core {
 
@@ -32,8 +33,12 @@ class GatedGnn : public nn::Module {
 
   /// Tape-free eval forward (DESIGN.md §9), bitwise-identical to Forward's
   /// value; the result is Taken from `ws` (a copy of `self` for kNone).
+  /// `trace` (optional) wraps each gemm in an op span carrying its analytic
+  /// flop/byte cost (DESIGN.md §11); null reads no clocks and changes no
+  /// bits.
   Matrix ForwardInference(const Matrix& self, const Matrix& neighbors,
-                          size_t num_neighbors, Workspace* ws) const;
+                          size_t num_neighbors, Workspace* ws,
+                          obs::TraceRecorder* trace = nullptr) const;
 
   Aggregator aggregator() const { return aggregator_; }
 

@@ -13,11 +13,22 @@ namespace agnn::core {
 InferenceSession::InferenceSession(const AgnnModel& model,
                                    const std::vector<bool>* cold_users,
                                    const std::vector<bool>* cold_items,
-                                   obs::MetricsRegistry* metrics)
-    : model_(model), metrics_(metrics) {
+                                   obs::MetricsRegistry* metrics,
+                                   obs::TraceRecorder* trace)
+    : model_(model),
+      metrics_(metrics),
+      trace_(trace),
+      cold_users_(cold_users),
+      cold_items_(cold_items) {
   Stopwatch build_watch;
+  obs::TraceSpan build_span(trace_, "build", "session");
   PrecomputeSide(/*user_side=*/true, cold_users, &user_embeddings_);
   PrecomputeSide(/*user_side=*/false, cold_items, &item_embeddings_);
+  if (build_span.enabled()) {
+    build_span.AddArg("users", static_cast<double>(user_embeddings_.rows()));
+    build_span.AddArg("items", static_cast<double>(item_embeddings_.rows()));
+  }
+  build_span.End();
   if (metrics_ != nullptr) {
     metrics_->GetGauge("session/build_ms")->Set(build_watch.ElapsedMillis());
     instruments_.request_ms = metrics_->GetHistogram("session/request_ms");
@@ -74,31 +85,51 @@ void InferenceSession::PredictBatch(
   AGNN_CHECK_EQ(item_ids.size(), batch);
   out->resize(batch);
   if (batch == 0) return;
-  // Observation only — the timer reads no clocks and nothing is recorded
-  // when the session has no registry, and the math below is untouched
-  // either way (bitwise contract, DESIGN.md §9/§10).
+  // Observation only — the timer and the spans read no clocks and nothing
+  // is recorded when the session has no registry/recorder, and the math
+  // below is untouched either way (bitwise contract, DESIGN.md §9-§11).
   obs::ScopedTimer request_timer(instruments_.request_ms);
+  obs::TraceSpan request_span(trace_, "request", "session");
+  if (request_span.enabled()) {
+    request_span.AddArg("batch", static_cast<double>(batch));
+    // Cold/warm annotation: how many served pairs touch a strict-cold user
+    // or item. Counted only while tracing — not on the untraced hot path.
+    double cold_pairs = 0.0;
+    for (size_t i = 0; i < batch; ++i) {
+      const bool cold_u =
+          cold_users_ != nullptr && (*cold_users_)[user_ids[i]];
+      const bool cold_i =
+          cold_items_ != nullptr && (*cold_items_)[item_ids[i]];
+      if (cold_u || cold_i) cold_pairs += 1.0;
+    }
+    request_span.AddArg("cold_pairs", cold_pairs);
+  }
 
   const size_t dim = model_.config().embedding_dim;
   const size_t neighbors = model_.neighbors_per_node();
 
   Matrix user_final = ws_.Take(batch, dim);
-  user_embeddings_.GatherRowsInto(user_ids, &user_final);
   Matrix item_final = ws_.Take(batch, dim);
-  item_embeddings_.GatherRowsInto(item_ids, &item_final);
+  {
+    obs::TraceSpan span(trace_, "gather", "session");
+    user_embeddings_.GatherRowsInto(user_ids, &user_final);
+    item_embeddings_.GatherRowsInto(item_ids, &item_final);
+    span.AddArg("rows", static_cast<double>(2 * batch));
+  }
 
   if (neighbors > 0) {
     AGNN_CHECK_EQ(user_neighbor_ids.size(), batch * neighbors);
     AGNN_CHECK_EQ(item_neighbor_ids.size(), batch * neighbors);
+    obs::TraceSpan span(trace_, "gnn", "session");
     Matrix user_neigh = ws_.Take(batch * neighbors, dim);
     user_embeddings_.GatherRowsInto(user_neighbor_ids, &user_neigh);
     Matrix item_neigh = ws_.Take(batch * neighbors, dim);
     item_embeddings_.GatherRowsInto(item_neighbor_ids, &item_neigh);
 
     Matrix user_agg = model_.user_side_.gnn->ForwardInference(
-        user_final, user_neigh, neighbors, &ws_);
+        user_final, user_neigh, neighbors, &ws_, trace_);
     Matrix item_agg = model_.item_side_.gnn->ForwardInference(
-        item_final, item_neigh, neighbors, &ws_);
+        item_final, item_neigh, neighbors, &ws_, trace_);
     ws_.Give(std::move(user_final));
     ws_.Give(std::move(item_final));
     ws_.Give(std::move(user_neigh));
@@ -107,12 +138,19 @@ void InferenceSession::PredictBatch(
     item_final = std::move(item_agg);
   }
 
-  Matrix predictions = model_.prediction_->ForwardInference(
-      user_final, item_final, user_ids, item_ids, &ws_);
+  Matrix predictions;
+  {
+    obs::TraceSpan span(trace_, "head", "session");
+    predictions = model_.prediction_->ForwardInference(
+        user_final, item_final, user_ids, item_ids, &ws_, trace_);
+  }
   for (size_t i = 0; i < batch; ++i) (*out)[i] = predictions.At(i, 0);
   ws_.Give(std::move(user_final));
   ws_.Give(std::move(item_final));
   ws_.Give(std::move(predictions));
+  // Workspace high-water mark after the request's buffers are returned.
+  request_span.AddArg("workspace_bytes",
+                      static_cast<double>(ws_.allocated_bytes()));
 
   if (metrics_ != nullptr) {
     instruments_.requests->Increment();

@@ -5,6 +5,7 @@
 
 #include "agnn/core/agnn_model.h"
 #include "agnn/obs/metrics.h"
+#include "agnn/obs/trace.h"
 #include "agnn/tensor/workspace.h"
 
 namespace agnn::core {
@@ -35,9 +36,15 @@ class InferenceSession {
   /// session/request_ms latency histogram, request/pair/cache-row counters,
   /// and workspace hit/miss/byte gauges. Null compiles the hot path down to
   /// one branch per request and changes no prediction bits either way.
+  ///
+  /// `trace` (optional, must outlive the session) additionally wraps the
+  /// cache build and every request in spans (DESIGN.md §11): request →
+  /// gather/gnn/head components → per-gemm ops, with batch size and
+  /// cold-pair counts as args. Same null contract as `metrics`.
   InferenceSession(const AgnnModel& model, const std::vector<bool>* cold_users,
                    const std::vector<bool>* cold_items,
-                   obs::MetricsRegistry* metrics = nullptr);
+                   obs::MetricsRegistry* metrics = nullptr,
+                   obs::TraceRecorder* trace = nullptr);
 
   /// Single (user, item) request. Each neighbor list must hold
   /// model.neighbors_per_node() ids sampled from the attribute graph
@@ -79,6 +86,10 @@ class InferenceSession {
 
   const AgnnModel& model_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  // Kept only for the tracer's cold/warm request annotation.
+  const std::vector<bool>* cold_users_ = nullptr;
+  const std::vector<bool>* cold_items_ = nullptr;
   Instruments instruments_;
   Matrix user_embeddings_;
   Matrix item_embeddings_;

@@ -8,7 +8,8 @@ namespace agnn::core {
 PredictionLayer::PredictionLayer(size_t dim, size_t hidden_dim,
                                  size_t num_users, size_t num_items,
                                  float global_mean, Rng* rng)
-    : mlp_({2 * dim, hidden_dim, 1}, rng, nn::Activation::kLeakyRelu,
+    : hidden_dim_(hidden_dim),
+      mlp_({2 * dim, hidden_dim, 1}, rng, nn::Activation::kLeakyRelu,
            nn::Activation::kNone),
       user_bias_(num_users, 1, rng, /*init_scale=*/0.01f),
       item_bias_(num_items, 1, rng, /*init_scale=*/0.01f) {
@@ -37,18 +38,39 @@ ag::Var PredictionLayer::Forward(const ag::Var& user_final,
 Matrix PredictionLayer::ForwardInference(
     const Matrix& user_final, const Matrix& item_final,
     const std::vector<size_t>& user_ids, const std::vector<size_t>& item_ids,
-    Workspace* ws) const {
+    Workspace* ws, obs::TraceRecorder* trace) const {
   AGNN_CHECK_EQ(user_final.rows(), user_ids.size());
   AGNN_CHECK_EQ(item_final.rows(), item_ids.size());
   const size_t batch = user_final.rows();
 
   Matrix concat = ws->Take(batch, user_final.cols() + item_final.cols());
   user_final.ConcatColsInto(item_final, &concat);
-  Matrix out = mlp_.ForwardInference(concat, ws);  // [B, 1]
+  Matrix out;
+  {
+    obs::TraceSpan span(trace, "mlp", "op");
+    out = mlp_.ForwardInference(concat, ws);  // [B, 1]
+    if (span.enabled()) {
+      // Two dense layers: [B,2D]x[2D,H] then [B,H]x[H,1].
+      span.AddArg("rows", static_cast<double>(batch));
+      span.AddArg("flops", obs::GemmFlops(batch, concat.cols(), hidden_dim_) +
+                               obs::GemmFlops(batch, hidden_dim_, 1));
+      span.AddArg("bytes", obs::GemmBytes(batch, concat.cols(), hidden_dim_) +
+                               obs::GemmBytes(batch, hidden_dim_, 1));
+    }
+  }
   ws->Give(std::move(concat));
 
   Matrix dot = ws->Take(batch, 1);
-  fn::RowwiseDotInto(user_final, item_final, &dot);
+  {
+    obs::TraceSpan span(trace, "RowwiseDot", "op");
+    fn::RowwiseDotInto(user_final, item_final, &dot);
+    if (span.enabled()) {
+      span.AddArg("rows", static_cast<double>(batch));
+      span.AddArg("flops",
+                  2.0 * static_cast<double>(batch) *
+                      static_cast<double>(user_final.cols()));
+    }
+  }
   out.AddInto(dot, &out);
 
   // Bias sum mirrors the tape's Add(user_bias, item_bias) before the

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "agnn/nn/layers.h"
+#include "agnn/obs/trace.h"
 
 namespace agnn::core {
 
@@ -24,13 +25,16 @@ class PredictionLayer : public nn::Module {
                   const std::vector<size_t>& item_ids) const;
 
   /// Tape-free eval forward (DESIGN.md §9), bitwise-identical to Forward's
-  /// value; the [B, 1] result is Taken from `ws`.
+  /// value; the [B, 1] result is Taken from `ws`. `trace` (optional) wraps
+  /// the MLP and the rowwise dot in op spans with analytic flop costs
+  /// (DESIGN.md §11); null reads no clocks and changes no bits.
   Matrix ForwardInference(const Matrix& user_final, const Matrix& item_final,
                           const std::vector<size_t>& user_ids,
-                          const std::vector<size_t>& item_ids,
-                          Workspace* ws) const;
+                          const std::vector<size_t>& item_ids, Workspace* ws,
+                          obs::TraceRecorder* trace = nullptr) const;
 
  private:
+  size_t hidden_dim_;  // MLP hidden width, kept for the trace flop model
   nn::Mlp mlp_;
   nn::Embedding user_bias_;
   nn::Embedding item_bias_;

@@ -40,6 +40,8 @@ void AgnnTrainer::SetMetrics(obs::MetricsRegistry* metrics) {
       metrics_->GetGauge("trainer/reconstruction_loss");
 }
 
+void AgnnTrainer::SetTrace(obs::TraceRecorder* trace) { trace_ = trace; }
+
 void AgnnTrainer::BuildGraphs() {
   const graph::InteractionGraph train_graph(dataset_.num_users,
                                             dataset_.num_items, split_.train);
@@ -128,7 +130,13 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
   // with a null registry the phase timer reads no clocks at all.
   obs::PhaseTimer phase(metrics_ != nullptr);
   obs::PhaseTimer epoch_timer(metrics_ != nullptr);
+  // Same contract for the tracer (DESIGN.md §11): the guard makes trace_
+  // visible to the autograd ops for exactly this call, and every TraceSpan
+  // below is a single branch when trace_ is null.
+  ag::ScopedOpTrace op_trace(trace_);
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span(trace_, "epoch", "trainer");
+    epoch_span.AddArg("epoch", static_cast<double>(epoch));
     epoch_timer.Start();
     auto batches =
         data::MakeBatches(split_.train.size(), config_.batch_size, &rng_);
@@ -136,17 +144,33 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
     for (const auto& indices : batches) {
       phase.Start();
       std::vector<float> targets;
-      Batch batch = MakeBatch(indices, &targets);
+      Batch batch;
+      {
+        obs::TraceSpan span(trace_, "resample", "trainer");
+        span.AddArg("batch", static_cast<double>(indices.size()));
+        batch = MakeBatch(indices, &targets);
+      }
       phase.Lap(instruments_.sampling_ms);
       optimizer_->ZeroGrad();
-      auto forward = model_->Forward(batch, &rng_, /*training=*/true);
-      auto loss = model_->Loss(forward, targets);
+      AgnnModel::ForwardResult forward;
+      AgnnModel::LossResult loss;
+      {
+        obs::TraceSpan span(trace_, "forward", "trainer");
+        forward = model_->Forward(batch, &rng_, /*training=*/true);
+        loss = model_->Loss(forward, targets);
+      }
       phase.Lap(instruments_.forward_ms);
-      ag::Backward(loss.total);
+      {
+        obs::TraceSpan span(trace_, "backward", "trainer");
+        ag::Backward(loss.total);
+      }
       phase.Lap(instruments_.backward_ms);
-      const float grad_norm =
-          nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
-      optimizer_->Step();
+      float grad_norm = 0.0f;
+      {
+        obs::TraceSpan span(trace_, "step", "trainer");
+        grad_norm = nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
+        optimizer_->Step();
+      }
       phase.Lap(instruments_.optimizer_ms);
       if (metrics_ != nullptr) {
         instruments_.grad_norm->Observe(grad_norm);
@@ -180,7 +204,7 @@ std::vector<float> AgnnTrainer::Predict(
   // The session snapshots the model once per call; chunks below only pay
   // for gather + aggregation + head (tape-free, DESIGN.md §9).
   InferenceSession session(*model_, &split_.cold_user, &split_.cold_item,
-                           metrics_);
+                           metrics_, trace_);
   const size_t chunk = std::max<size_t>(config_.batch_size, 256);
   std::vector<float> chunk_out;
   for (size_t start = 0; start < pairs.size(); start += chunk) {
@@ -210,6 +234,8 @@ std::vector<float> AgnnTrainer::Predict(
 
 eval::RmseMae AgnnTrainer::EvaluateTest() {
   AGNN_CHECK(!split_.test.empty());
+  obs::TraceSpan eval_span(trace_, "eval", "trainer");
+  eval_span.AddArg("pairs", static_cast<double>(split_.test.size()));
   std::vector<std::pair<size_t, size_t>> pairs;
   std::vector<float> targets;
   pairs.reserve(split_.test.size());

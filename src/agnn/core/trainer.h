@@ -11,6 +11,7 @@
 #include "agnn/graph/attribute_graph.h"
 #include "agnn/nn/optimizer.h"
 #include "agnn/obs/metrics.h"
+#include "agnn/obs/trace.h"
 
 namespace agnn::core {
 
@@ -46,6 +47,15 @@ class AgnnTrainer {
   /// no metric writes — and results are bitwise-identical either way. The
   /// registry must outlive the trainer.
   void SetMetrics(obs::MetricsRegistry* metrics);
+
+  /// Attaches a span tracer (DESIGN.md §11): Train() then wraps each epoch,
+  /// each batch phase (resample/forward/backward/step), and — through the
+  /// autograd layer — every tape op and its backward step in spans;
+  /// evaluation threads the recorder into its InferenceSession so serving
+  /// requests appear on the same timeline. Same contract as SetMetrics:
+  /// null (the default) means zero clock reads and bitwise-identical
+  /// results. The recorder must outlive the trainer.
+  void SetTrace(obs::TraceRecorder* trace);
 
   /// RMSE/MAE on the split's test interactions (predictions clamped to the
   /// rating scale; strict cold nodes handled by the cold-start module).
@@ -96,6 +106,7 @@ class AgnnTrainer {
   AgnnConfig config_;
   Rng rng_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   Instruments instruments_;
   graph::WeightedGraph user_graph_;
   graph::WeightedGraph item_graph_;

@@ -46,10 +46,12 @@ class PhaseTimer {
     if (enabled_) watch_.Reset();
   }
 
-  /// Records the lap into `histogram` and restarts the clock.
+  /// Records the lap into `histogram` and restarts the clock. Null-safe
+  /// like ScopedTimer: with a null histogram nothing is recorded, but the
+  /// clock still restarts so the next lap covers only its own phase.
   void Lap(Histogram* histogram) {
     if (!enabled_) return;
-    histogram->Observe(watch_.ElapsedMillis());
+    if (histogram != nullptr) histogram->Observe(watch_.ElapsedMillis());
     watch_.Reset();
   }
 

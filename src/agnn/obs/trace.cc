@@ -1,0 +1,179 @@
+#include "agnn/obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "agnn/common/logging.h"
+#include "agnn/common/table.h"
+#include "agnn/obs/json.h"
+
+namespace agnn::obs {
+
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
+  AGNN_CHECK_GT(capacity_, 0u);
+  events_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  ++total_recorded_;
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  // Ring full: overwrite the oldest slot. Spans record at End(), so the
+  // oldest events are the earliest-*finishing* ones — a long-lived parent
+  // span survives its dropped early children.
+  events_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  next_ = 0;
+  total_recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::ChronologicalEvents() const {
+  std::vector<TraceEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;  // parent before child
+                   });
+  return sorted;
+}
+
+void TraceRecorder::AppendChromeJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("displayTimeUnit").Value("ms");
+  writer->Key("traceEvents").BeginArray();
+  for (const TraceEvent& e : ChronologicalEvents()) {
+    writer->BeginObject();
+    writer->Key("name").Value(e.name);
+    writer->Key("cat").Value(*e.category ? e.category : "default");
+    writer->Key("ph").Value("X");  // complete event: ts + dur
+    writer->Key("ts").Value(e.ts_us);
+    writer->Key("dur").Value(e.dur_us);
+    writer->Key("pid").Value(1);
+    writer->Key("tid").Value(static_cast<uint64_t>(e.track));
+    if (e.num_args > 0) {
+      writer->Key("args").BeginObject();
+      for (size_t i = 0; i < e.num_args; ++i) {
+        writer->Key(e.args[i].key).Value(e.args[i].value);
+      }
+      writer->EndObject();
+    }
+    writer->EndObject();
+  }
+  writer->EndArray();
+  writer->Key("otherData").BeginObject();
+  writer->Key("total_recorded").Value(total_recorded_);
+  writer->Key("dropped_events").Value(dropped_);
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  JsonWriter writer;
+  AppendChromeJson(&writer);
+  return writer.str();
+}
+
+namespace {
+
+double ArgValue(const TraceEvent& e, const char* key) {
+  for (size_t i = 0; i < e.num_args; ++i) {
+    if (std::strcmp(e.args[i].key, key) == 0) return e.args[i].value;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<TraceRecorder::SummaryRow> TraceRecorder::Summary(
+    size_t top_n) const {
+  const std::vector<TraceEvent> sorted = ChronologicalEvents();
+  // Exclusive time: walk chronologically keeping one enclosing-span stack
+  // per track; each span's duration is subtracted from its innermost
+  // enclosing span once.
+  std::vector<double> exclusive(sorted.size());
+  struct Open {
+    size_t index;
+    double end_us;
+  };
+  std::map<uint32_t, std::vector<Open>> stacks;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const TraceEvent& e = sorted[i];
+    exclusive[i] = e.dur_us;
+    std::vector<Open>& stack = stacks[e.track];
+    while (!stack.empty() && stack.back().end_us <= e.ts_us) {
+      stack.pop_back();
+    }
+    if (!stack.empty() && e.ts_us + e.dur_us <= stack.back().end_us) {
+      exclusive[stack.back().index] -= e.dur_us;
+    }
+    stack.push_back({i, e.ts_us + e.dur_us});
+  }
+
+  // Aggregate by (category, name). std::map keys on the string contents so
+  // identical labels from different literals (e.g. across translation
+  // units) still merge; deterministic order before the sort below.
+  std::map<std::pair<std::string, std::string>, SummaryRow> groups;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const TraceEvent& e = sorted[i];
+    SummaryRow& row = groups[{e.category, e.name}];
+    row.name = e.name;
+    row.category = e.category;
+    ++row.count;
+    row.inclusive_us += e.dur_us;
+    row.exclusive_us += exclusive[i];
+    row.flops += ArgValue(e, "flops");
+    row.bytes += ArgValue(e, "bytes");
+  }
+  std::vector<SummaryRow> rows;
+  rows.reserve(groups.size());
+  for (const auto& [key, row] : groups) rows.push_back(row);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const SummaryRow& a, const SummaryRow& b) {
+                     return a.exclusive_us > b.exclusive_us;
+                   });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+std::string TraceRecorder::SummaryTable(size_t top_n) const {
+  Table table({"Span", "Count", "Inclusive ms", "Exclusive ms", "GFLOP",
+               "MB touched"});
+  for (const SummaryRow& row : Summary(top_n)) {
+    table.AddRow({std::string(row.category) + "/" + row.name,
+                  std::to_string(row.count),
+                  Table::Cell(row.inclusive_us / 1e3, 3),
+                  Table::Cell(row.exclusive_us / 1e3, 3),
+                  Table::Cell(row.flops / 1e9, 3),
+                  Table::Cell(row.bytes / 1e6, 3)});
+  }
+  return table.ToString();
+}
+
+void TraceRecorder::AppendSummaryJson(JsonWriter* writer,
+                                      size_t top_n) const {
+  writer->BeginArray();
+  for (const SummaryRow& row : Summary(top_n)) {
+    writer->BeginObject();
+    writer->Key("name").Value(row.name);
+    writer->Key("category").Value(row.category);
+    writer->Key("count").Value(row.count);
+    writer->Key("inclusive_us").Value(row.inclusive_us);
+    writer->Key("exclusive_us").Value(row.exclusive_us);
+    writer->Key("flops").Value(row.flops);
+    writer->Key("bytes").Value(row.bytes);
+    writer->EndObject();
+  }
+  writer->EndArray();
+}
+
+}  // namespace agnn::obs

@@ -1,0 +1,191 @@
+#ifndef AGNN_OBS_TRACE_H_
+#define AGNN_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agnn/common/stopwatch.h"
+
+namespace agnn::obs {
+
+class JsonWriter;
+
+/// Analytic cost of a dense [m,k] x [k,n] gemm. All three layout variants
+/// (NN, TN, NT) perform the same arithmetic — transposition changes the
+/// walk order, not the operation count — so one model covers the forward
+/// matmul and both backward gemms (dA = g Bᵀ is an NT gemm, dB = Aᵀ g a TN
+/// gemm). Flops count one multiply + one add per k-step; bytes assume each
+/// operand element is read once and each output element written once
+/// (float32). These are attribution estimates for trace spans, not
+/// measurements (DESIGN.md §11).
+constexpr double GemmFlops(size_t m, size_t k, size_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+constexpr double GemmBytes(size_t m, size_t k, size_t n) {
+  return 4.0 * (static_cast<double>(m) * static_cast<double>(k) +
+                static_cast<double>(k) * static_cast<double>(n) +
+                static_cast<double>(m) * static_cast<double>(n));
+}
+
+/// One completed span. `name`, `category`, and arg keys must be string
+/// literals (or otherwise outlive the recorder) — spans are recorded on hot
+/// paths and must not allocate.
+struct TraceEvent {
+  static constexpr size_t kMaxArgs = 6;
+  struct Arg {
+    const char* key;
+    double value;
+  };
+
+  const char* name = "";
+  const char* category = "";
+  uint32_t track = 0;
+  double ts_us = 0.0;   ///< start, microseconds since recorder creation
+  double dur_us = 0.0;  ///< inclusive duration, microseconds
+  Arg args[kMaxArgs];
+  size_t num_args = 0;
+};
+
+/// Ring buffer of nested spans with explicit capacity: when full, the
+/// oldest events are overwritten (and counted in dropped()) so a trace of a
+/// long run keeps its tail, bounded in memory. Spans are written by the
+/// RAII TraceSpan below; nesting is implicit in the timestamps (a span
+/// contains every span that starts and ends inside it on the same track).
+///
+/// Passed explicitly like MetricsRegistry and Rng — no globals, and the
+/// same observe-but-never-steer contract (DESIGN.md §11): with a null
+/// recorder TraceSpan performs no clock reads and no writes, so traced and
+/// untraced runs are bitwise-identical.
+///
+/// Not thread-safe (the library is single-threaded by design); `track` is a
+/// logical lane for the exporters (trainer vs. serving), not a thread id.
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 16;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Test seam: replaces the wall clock with `clock` (returns microseconds,
+  /// must be non-decreasing). Production code never calls this.
+  void SetClock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Microseconds since construction (or whatever the injected clock says).
+  double NowMicros() const {
+    return clock_ ? clock_() : watch_.ElapsedSeconds() * 1e6;
+  }
+
+  /// Logical lane stamped on subsequently recorded spans (exported as the
+  /// Chrome `tid`). Defaults to 0.
+  void SetTrack(uint32_t track) { track_ = track; }
+  uint32_t track() const { return track_; }
+
+  /// Appends one completed event (called by TraceSpan::End).
+  void Record(const TraceEvent& event);
+
+  size_t size() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t dropped() const { return dropped_; }
+  void Clear();
+
+  /// Events sorted by start time (ties: longer span first, so a parent
+  /// precedes its children) — the order every exporter uses, and the order
+  /// the schema validator requires (non-negative monotone ts).
+  std::vector<TraceEvent> ChronologicalEvents() const;
+
+  /// Chrome trace-event JSON (the chrome://tracing / Perfetto format):
+  ///   {"displayTimeUnit":"ms","traceEvents":[
+  ///     {"name":..,"cat":..,"ph":"X","ts":..,"dur":..,"pid":1,"tid":..,
+  ///      "args":{..}}, ...],
+  ///    "otherData":{"total_recorded":..,"dropped_events":..}}
+  void AppendChromeJson(JsonWriter* writer) const;
+  std::string ToChromeJson() const;
+
+  /// One aggregated line of the self-summary. Inclusive time counts the
+  /// whole span; exclusive subtracts directly nested child spans on the
+  /// same track, so a phase that only wraps ops reports ~zero exclusive.
+  struct SummaryRow {
+    const char* name;
+    const char* category;
+    uint64_t count = 0;
+    double inclusive_us = 0.0;
+    double exclusive_us = 0.0;
+    double flops = 0.0;  ///< summed "flops" args, 0 when never attached
+    double bytes = 0.0;  ///< summed "bytes" args
+  };
+
+  /// Top `top_n` (category, name) groups by exclusive time, descending.
+  std::vector<SummaryRow> Summary(size_t top_n) const;
+
+  /// Markdown table of Summary(top_n) — count, inclusive/exclusive ms,
+  /// GFLOP totals where attributed.
+  std::string SummaryTable(size_t top_n) const;
+
+  /// Summary(top_n) as a JSON array of row objects.
+  void AppendSummaryJson(JsonWriter* writer, size_t top_n) const;
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;  // ring storage, insertion order
+  size_t next_ = 0;                 // ring write position once full
+  uint64_t total_recorded_ = 0;
+  uint64_t dropped_ = 0;
+  uint32_t track_ = 0;
+  std::function<double()> clock_;
+  Stopwatch watch_;
+};
+
+/// RAII span: reads the clock at construction and again at End() (or scope
+/// exit) and records the completed event. Null-safe like ScopedTimer: with
+/// a null recorder the constructor, AddArg, and destructor read no clocks
+/// and write nothing — one branch on the hot path when tracing is off.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name, const char* category)
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    event_.name = name;
+    event_.category = category;
+    event_.track = recorder_->track();
+    event_.ts_us = recorder_->NowMicros();
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a counter arg (rows/cols/flops/bytes/...). Silently drops
+  /// args beyond TraceEvent::kMaxArgs; no-op when disabled.
+  void AddArg(const char* key, double value) {
+    if (recorder_ == nullptr || event_.num_args >= TraceEvent::kMaxArgs) {
+      return;
+    }
+    event_.args[event_.num_args++] = {key, value};
+  }
+
+  bool enabled() const { return recorder_ != nullptr; }
+
+  /// Records now instead of at scope exit; later calls (and the
+  /// destructor) are no-ops.
+  void End() {
+    if (recorder_ == nullptr) return;
+    event_.dur_us = recorder_->NowMicros() - event_.ts_us;
+    recorder_->Record(event_);
+    recorder_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  TraceEvent event_;
+};
+
+}  // namespace agnn::obs
+
+#endif  // AGNN_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "agnn/autograd/variable.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "agnn/autograd/ops.h"
@@ -70,6 +72,96 @@ TEST(VariableTest, NumericGradientOfQuadratic) {
   Matrix g = NumericGradient(loss_fn, &w);
   EXPECT_NEAR(g.At(0, 0), 3.0f, 1e-2);  // d/dw0 w0^2 = 2*1.5
   EXPECT_NEAR(g.At(0, 1), 3.0f, 1e-2);
+}
+
+// --- Per-op tracer (DESIGN.md §11) ---
+
+// Finds the summed value of arg `key` over every recorded event named
+// `name` in `category`, or -1 when no such event carries it.
+double SumArg(const obs::TraceRecorder& recorder, const char* category,
+              const char* name, const char* key) {
+  double total = -1.0;
+  for (const obs::TraceEvent& e : recorder.ChronologicalEvents()) {
+    if (std::string(e.name) != name || std::string(e.category) != category) {
+      continue;
+    }
+    for (size_t i = 0; i < e.num_args; ++i) {
+      if (std::string(e.args[i].key) == key) {
+        total = (total < 0.0 ? 0.0 : total) + e.args[i].value;
+      }
+    }
+  }
+  return total;
+}
+
+TEST(OpTraceTest, ScopedGuardInstallsAndRestores) {
+  EXPECT_EQ(OpTraceRecorder(), nullptr);
+  obs::TraceRecorder outer_recorder;
+  {
+    ScopedOpTrace outer(&outer_recorder);
+    EXPECT_EQ(OpTraceRecorder(), &outer_recorder);
+    {
+      ScopedOpTrace inner(nullptr);
+      EXPECT_EQ(OpTraceRecorder(), nullptr);
+    }
+    EXPECT_EQ(OpTraceRecorder(), &outer_recorder);
+  }
+  EXPECT_EQ(OpTraceRecorder(), nullptr);
+}
+
+TEST(OpTraceTest, OpsRecordForwardAndBackwardSpans) {
+  obs::TraceRecorder recorder;
+  ScopedOpTrace guard(&recorder);
+  Var a = MakeParam(Matrix::Ones(2, 3));
+  Var b = MakeParam(Matrix::Ones(3, 4));
+  Var loss = MeanAll(Square(MatMul(a, b)));
+  Backward(loss);
+
+  // Forward spans, named after the op; MatMul carries the analytic cost.
+  EXPECT_EQ(SumArg(recorder, "op", "MatMul", "flops"),
+            obs::GemmFlops(2, 3, 4));
+  EXPECT_EQ(SumArg(recorder, "op", "MatMul", "bytes"),
+            obs::GemmBytes(2, 3, 4));
+  // Backward: one "Backward" span plus per-node spans in category "bwd";
+  // MatMul's backward is the dA (NT) + dB (TN) gemm pair — same flop count
+  // each as the forward.
+  size_t backward_spans = 0;
+  double matmul_bwd_flops = -1.0;
+  for (const obs::TraceEvent& e : recorder.ChronologicalEvents()) {
+    if (std::string(e.category) != "bwd") continue;
+    ++backward_spans;
+    if (std::string(e.name) == "MatMul") {
+      for (size_t i = 0; i < e.num_args; ++i) {
+        if (std::string(e.args[i].key) == "flops") {
+          matmul_bwd_flops = e.args[i].value;
+        }
+      }
+    }
+  }
+  // MeanAll delegates to SumAll+Scale: interior nodes are MatMul, Square,
+  // SumAll, Scale.
+  EXPECT_EQ(backward_spans, 4u);
+  EXPECT_EQ(matmul_bwd_flops, 2.0 * obs::GemmFlops(2, 3, 4));
+}
+
+TEST(OpTraceTest, NodesCarryOpNames) {
+  Var a = MakeParam(Matrix::Ones(2, 2));
+  EXPECT_STREQ(a->op_name(), "param");
+  EXPECT_STREQ(MakeConst(Matrix::Ones(1, 1))->op_name(), "const");
+  EXPECT_STREQ(Add(a, a)->op_name(), "Add");
+  EXPECT_STREQ(Sigmoid(a)->op_name(), "Sigmoid");
+  EXPECT_STREQ(MatMul(a, a)->op_name(), "MatMul");
+}
+
+TEST(OpTraceTest, NoRecorderMeansNoSpansAndNoCosts) {
+  ASSERT_EQ(OpTraceRecorder(), nullptr);
+  Var a = MakeParam(Matrix::Ones(2, 3));
+  Var b = MakeParam(Matrix::Ones(3, 2));
+  Var node = MatMul(a, b);
+  // Costs are only attached while a recorder is installed.
+  EXPECT_EQ(node->backward_flops(), 0.0);
+  EXPECT_EQ(node->backward_bytes(), 0.0);
+  Backward(MeanAll(node));  // must run clean with no recorder
 }
 
 }  // namespace

@@ -228,6 +228,57 @@ TEST(InferenceSessionTest, MetricsRegistryChangesNoBits) {
             batch.user_ids.size() + 1);
 }
 
+TEST(InferenceSessionTest, TraceRecorderChangesNoBits) {
+  // Same contract for the span tracer (DESIGN.md §11): serving with a
+  // recorder attached must return bitwise-identical predictions while
+  // recording build → request → component → op spans with cold/warm and
+  // flop annotations.
+  Rng rng(6);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  Batch batch = MakeEvalBatch(model, flags);
+
+  InferenceSession plain(model, &flags.users, &flags.items);
+  obs::TraceRecorder recorder;
+  InferenceSession traced(model, &flags.users, &flags.items,
+                          /*metrics=*/nullptr, &recorder);
+
+  std::vector<float> plain_out;
+  std::vector<float> traced_out;
+  plain.PredictBatch(batch.user_ids, batch.item_ids, batch.user_neighbor_ids,
+                     batch.item_neighbor_ids, &plain_out);
+  traced.PredictBatch(batch.user_ids, batch.item_ids, batch.user_neighbor_ids,
+                      batch.item_neighbor_ids, &traced_out);
+  EXPECT_EQ(plain_out, traced_out);
+
+  // One build span, one request span annotated with the batch size and the
+  // number of pairs touching a strict-cold node (users 1 and 3, item 6 →
+  // pairs 1, 2, and 3 of kUserIds/kItemIds), and nested component + gemm
+  // spans below it.
+  size_t builds = 0, requests = 0, components = 0;
+  double flops = 0.0;
+  for (const obs::TraceEvent& e : recorder.ChronologicalEvents()) {
+    const std::string name = e.name;
+    if (name == "build") ++builds;
+    if (name == "gather" || name == "gnn" || name == "head") ++components;
+    if (name == "request") {
+      ++requests;
+      for (size_t i = 0; i < e.num_args; ++i) {
+        const std::string key = e.args[i].key;
+        if (key == "batch") EXPECT_EQ(e.args[i].value, 5.0);
+        if (key == "cold_pairs") EXPECT_EQ(e.args[i].value, 3.0);
+      }
+    }
+    for (size_t i = 0; i < e.num_args; ++i) {
+      if (std::string(e.args[i].key) == "flops") flops += e.args[i].value;
+    }
+  }
+  EXPECT_EQ(builds, 1u);
+  EXPECT_EQ(requests, 1u);
+  EXPECT_EQ(components, 3u);
+  EXPECT_GT(flops, 0.0);
+}
+
 TEST(InferenceSessionTest, CachedEmbeddingShapes) {
   Rng rng(5);
   AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);

@@ -202,6 +202,57 @@ TEST(AgnnTrainerTest, MetricsRegistryChangesNoBits) {
   EXPECT_GT(registry.GetGauge("trainer/prediction_loss")->value(), 0.0);
 }
 
+TEST(AgnnTrainerTest, TraceRecorderChangesNoBits) {
+  // Same observe-but-never-steer contract for the span tracer (DESIGN.md
+  // §11): training and evaluating with a TraceRecorder attached must be
+  // BITWISE identical to running without one — EXPECT_EQ on floats, no
+  // tolerance — while still recording epoch, phase, and per-op spans.
+  Rng rng(10);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kItemColdStart, 0.2, &rng);
+  AgnnConfig config = FastConfig();
+  config.epochs = 2;
+
+  AgnnTrainer plain(TrainerDataset(), split, config);
+  AgnnTrainer traced(TrainerDataset(), split, config);
+  obs::TraceRecorder recorder;
+  traced.SetTrace(&recorder);
+
+  const auto& plain_curves = plain.Train();
+  const auto& traced_curves = traced.Train();
+  ASSERT_EQ(plain_curves.size(), traced_curves.size());
+  for (size_t i = 0; i < plain_curves.size(); ++i) {
+    EXPECT_EQ(plain_curves[i].prediction_loss,
+              traced_curves[i].prediction_loss)
+        << "epoch " << i;
+    EXPECT_EQ(plain_curves[i].reconstruction_loss,
+              traced_curves[i].reconstruction_loss)
+        << "epoch " << i;
+  }
+
+  auto plain_eval = plain.EvaluateTest();
+  auto traced_eval = traced.EvaluateTest();
+  EXPECT_EQ(plain_eval.rmse, traced_eval.rmse);
+  EXPECT_EQ(plain_eval.mae, traced_eval.mae);
+
+  std::vector<std::pair<size_t, size_t>> pairs = {{0, 0}, {1, 5}, {7, 11}};
+  EXPECT_EQ(plain.Predict(pairs), traced.Predict(pairs));
+
+  // The recorder really was driven: epoch and phase spans on the trainer
+  // lane, per-op spans from the tape, and serving spans from evaluation.
+  EXPECT_GT(recorder.total_recorded(), 0u);
+  size_t epochs = 0, ops = 0, requests = 0;
+  for (const obs::TraceEvent& e : recorder.ChronologicalEvents()) {
+    const std::string name = e.name;
+    if (name == "epoch") ++epochs;
+    if (std::string(e.category) == "op") ++ops;
+    if (name == "request") ++requests;
+  }
+  EXPECT_EQ(epochs, 2u);
+  EXPECT_GT(ops, 0u);
+  EXPECT_GT(requests, 0u);
+}
+
 TEST(AgnnTrainerTest, DetachingMetricsStopsRecording) {
   Rng rng(11);
   data::Split split =

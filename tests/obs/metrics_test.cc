@@ -209,5 +209,17 @@ TEST(PhaseTimerTest, EnabledTimerRecordsOneLapPerBoundary) {
   EXPECT_GE(h.min(), 0.0);
 }
 
+// Regression: an enabled timer must tolerate a null histogram (a caller
+// with a partially-populated Instruments struct) — no crash, nothing
+// recorded, and the clock still restarts so the next lap is its own phase.
+TEST(PhaseTimerTest, EnabledTimerSkipsNullHistogramButRestartsClock) {
+  Histogram h({1e9});
+  PhaseTimer timer(/*enabled=*/true);
+  timer.Start();
+  timer.Lap(nullptr);
+  timer.Lap(&h);
+  EXPECT_EQ(h.count(), 1u);
+}
+
 }  // namespace
 }  // namespace agnn::obs

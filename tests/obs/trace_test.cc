@@ -1,0 +1,265 @@
+#include "agnn/obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/obs/json.h"
+
+namespace agnn::obs {
+namespace {
+
+// Deterministic clock: every NowMicros() call returns the next scripted
+// tick. Span construction and End() each consume one tick.
+class FakeClock {
+ public:
+  void Install(TraceRecorder* recorder) {
+    recorder->SetClock([this] { return Next(); });
+  }
+  void Schedule(std::vector<double> ticks) {
+    ticks_ = std::move(ticks);
+    next_ = 0;
+  }
+
+ private:
+  double Next() {
+    EXPECT_LT(next_, ticks_.size()) << "clock read past the scripted ticks";
+    return next_ < ticks_.size() ? ticks_[next_++] : 0.0;
+  }
+  std::vector<double> ticks_;
+  size_t next_ = 0;
+};
+
+TEST(GemmCostModelTest, FlopAndByteFormulas) {
+  // 2*m*k*n multiply-adds; 4 bytes per element of A, B, and C.
+  EXPECT_EQ(GemmFlops(2, 3, 4), 2.0 * 2 * 3 * 4);
+  EXPECT_EQ(GemmBytes(2, 3, 4), 4.0 * (2 * 3 + 3 * 4 + 2 * 4));
+  // Layout variants do the same arithmetic: the backward NT gemm
+  // ([m,n]x[n,k] walk) and TN gemm ([k,m]x[m,n] walk) of an [m,k]x[k,n]
+  // forward all share one count.
+  EXPECT_EQ(GemmFlops(2, 4, 3), GemmFlops(2, 3, 4));  // NT: dA = g B^T
+  EXPECT_EQ(GemmFlops(3, 2, 4), GemmFlops(2, 3, 4));  // TN: dB = A^T g
+}
+
+TEST(TraceSpanTest, NullRecorderIsInert) {
+  TraceSpan span(nullptr, "noop", "test");
+  EXPECT_FALSE(span.enabled());
+  span.AddArg("rows", 1.0);  // must not crash
+  span.End();
+}
+
+TEST(TraceSpanTest, RecordsNameCategoryTrackAndArgs) {
+  TraceRecorder recorder;
+  FakeClock clock;
+  clock.Install(&recorder);
+  clock.Schedule({10.0, 35.0});
+  recorder.SetTrack(3);
+  {
+    TraceSpan span(&recorder, "gemm", "op");
+    span.AddArg("rows", 8.0);
+    span.AddArg("flops", 1024.0);
+  }
+  ASSERT_EQ(recorder.size(), 1u);
+  const TraceEvent e = recorder.ChronologicalEvents()[0];
+  EXPECT_STREQ(e.name, "gemm");
+  EXPECT_STREQ(e.category, "op");
+  EXPECT_EQ(e.track, 3u);
+  EXPECT_EQ(e.ts_us, 10.0);
+  EXPECT_EQ(e.dur_us, 25.0);
+  ASSERT_EQ(e.num_args, 2u);
+  EXPECT_STREQ(e.args[0].key, "rows");
+  EXPECT_EQ(e.args[0].value, 8.0);
+  EXPECT_EQ(e.args[1].value, 1024.0);
+}
+
+TEST(TraceSpanTest, EndIsIdempotent) {
+  TraceRecorder recorder;
+  FakeClock clock;
+  clock.Install(&recorder);
+  clock.Schedule({1.0, 2.0});
+  {
+    TraceSpan span(&recorder, "once", "test");
+    span.End();
+    span.End();           // no-op
+    span.AddArg("x", 1);  // after End: dropped, no crash
+  }                       // destructor: no-op
+  EXPECT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.total_recorded(), 1u);
+}
+
+TEST(TraceSpanTest, ArgsBeyondCapacityAreDropped) {
+  TraceRecorder recorder;
+  FakeClock clock;
+  clock.Install(&recorder);
+  clock.Schedule({0.0, 1.0});
+  {
+    TraceSpan span(&recorder, "many", "test");
+    for (int i = 0; i < 10; ++i) span.AddArg("k", i);
+  }
+  EXPECT_EQ(recorder.ChronologicalEvents()[0].num_args, TraceEvent::kMaxArgs);
+}
+
+TEST(TraceRecorderTest, NestedSpansSortParentFirst) {
+  TraceRecorder recorder;
+  FakeClock clock;
+  clock.Install(&recorder);
+  // outer opens at 0; inner spans [5,15] and [20,30]; outer closes at 40.
+  clock.Schedule({0.0, 5.0, 15.0, 20.0, 30.0, 40.0});
+  {
+    TraceSpan outer(&recorder, "outer", "test");
+    { TraceSpan inner(&recorder, "inner1", "test"); }
+    { TraceSpan inner(&recorder, "inner2", "test"); }
+  }
+  // Recorded in completion order (inner1, inner2, outer); chronological
+  // export re-sorts by start with longer-first ties so the parent precedes
+  // its children — the order the Chrome JSON requires.
+  auto events = recorder.ChronologicalEvents();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner1");
+  EXPECT_STREQ(events[2].name, "inner2");
+  EXPECT_EQ(events[0].ts_us, 0.0);
+  EXPECT_EQ(events[0].dur_us, 40.0);
+}
+
+TEST(TraceRecorderTest, RingOverflowKeepsTailAndCountsDrops) {
+  TraceRecorder recorder(/*capacity=*/4);
+  FakeClock clock;
+  clock.Install(&recorder);
+  std::vector<double> ticks;
+  for (int i = 0; i < 20; ++i) ticks.push_back(static_cast<double>(i));
+  clock.Schedule(ticks);
+  const char* names[10] = {"s0", "s1", "s2", "s3", "s4",
+                           "s5", "s6", "s7", "s8", "s9"};
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(&recorder, names[i], "test");
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  // The tail survives: the last four spans, in chronological order.
+  auto events = recorder.ChronologicalEvents();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "s6");
+  EXPECT_STREQ(events[3].name, "s9");
+}
+
+TEST(TraceRecorderTest, ClearResetsEverything) {
+  TraceRecorder recorder(/*capacity=*/2);
+  FakeClock clock;
+  clock.Install(&recorder);
+  clock.Schedule({0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0});
+  for (int i = 0; i < 3; ++i) TraceSpan span(&recorder, "s", "t");
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  { TraceSpan span(&recorder, "after", "t"); }
+  EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(TraceRecorderTest, ChromeJsonParsesWithRequiredKeys) {
+  TraceRecorder recorder;
+  FakeClock clock;
+  clock.Install(&recorder);
+  clock.Schedule({0.0, 10.0, 2.0, 4.0});
+  recorder.SetTrack(1);
+  {
+    TraceSpan span(&recorder, "request", "session");
+    span.AddArg("batch", 2.0);
+  }
+  { TraceSpan span(&recorder, "op", "op"); }
+
+  StatusOr<JsonValue> parsed = JsonParse(recorder.ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("displayTimeUnit")->string, "ms");
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  double last_ts = 0.0;
+  for (const JsonValue& e : events->array) {
+    for (const char* key : {"name", "ph", "cat"}) {
+      ASSERT_NE(e.Find(key), nullptr);
+      EXPECT_TRUE(e.Find(key)->is_string());
+    }
+    EXPECT_EQ(e.Find("ph")->string, "X");
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      ASSERT_NE(e.Find(key), nullptr);
+      EXPECT_TRUE(e.Find(key)->is_number());
+    }
+    EXPECT_GE(e.Find("ts")->number, last_ts);
+    last_ts = e.Find("ts")->number;
+  }
+  EXPECT_EQ(events->array[0].Find("tid")->number, 1.0);
+  EXPECT_EQ(events->array[0].Find("args")->Find("batch")->number, 2.0);
+  const JsonValue* other = root.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->Find("total_recorded")->number, 2.0);
+  EXPECT_EQ(other->Find("dropped_events")->number, 0.0);
+}
+
+TEST(TraceRecorderTest, SummarySeparatesInclusiveAndExclusive) {
+  TraceRecorder recorder;
+  FakeClock clock;
+  clock.Install(&recorder);
+  // phase [0,100] wrapping op [10,40] and op [50,90]: phase exclusive is
+  // 100 - 30 - 40 = 30.
+  clock.Schedule({0.0, 10.0, 40.0, 50.0, 90.0, 100.0});
+  {
+    TraceSpan phase(&recorder, "phase", "trainer");
+    {
+      TraceSpan op(&recorder, "MatMul", "op");
+      op.AddArg("flops", 100.0);
+    }
+    {
+      TraceSpan op(&recorder, "MatMul", "op");
+      op.AddArg("flops", 200.0);
+    }
+  }
+  auto rows = recorder.Summary(10);
+  ASSERT_EQ(rows.size(), 2u);
+  // Sorted by exclusive time descending: the two MatMuls (70us) lead.
+  EXPECT_STREQ(rows[0].name, "MatMul");
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_EQ(rows[0].inclusive_us, 70.0);
+  EXPECT_EQ(rows[0].exclusive_us, 70.0);
+  EXPECT_EQ(rows[0].flops, 300.0);
+  EXPECT_STREQ(rows[1].name, "phase");
+  EXPECT_EQ(rows[1].inclusive_us, 100.0);
+  EXPECT_EQ(rows[1].exclusive_us, 30.0);
+
+  // top_n truncates.
+  EXPECT_EQ(recorder.Summary(1).size(), 1u);
+  // The table mentions every surviving row.
+  const std::string table = recorder.SummaryTable(10);
+  EXPECT_NE(table.find("MatMul"), std::string::npos);
+  EXPECT_NE(table.find("phase"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, SummaryTracksAreIndependent) {
+  TraceRecorder recorder;
+  FakeClock clock;
+  clock.Install(&recorder);
+  // Track 0: outer [0,50]. Track 1: span [10,30] — overlaps outer in time
+  // but must NOT be subtracted from its exclusive (different lane).
+  clock.Schedule({0.0, 10.0, 30.0, 50.0});
+  TraceSpan outer(&recorder, "outer", "t");
+  recorder.SetTrack(1);
+  { TraceSpan other(&recorder, "other", "t"); }
+  recorder.SetTrack(0);
+  outer.End();
+  auto rows = recorder.Summary(10);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    if (std::string(row.name) == "outer") {
+      EXPECT_EQ(row.exclusive_us, 50.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agnn::obs

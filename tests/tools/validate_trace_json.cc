@@ -1,0 +1,122 @@
+// Validates a TRACE_<name>.json artifact emitted by a bench binary run with
+// --trace_json (bench/bench_util.h, DESIGN.md §11): the file must parse as
+// JSON, be a Chrome trace-event document ({"traceEvents": [...]}), and every
+// event must be a complete event (ph "X") carrying name/ph/ts/dur/pid/tid
+// with non-negative, monotonically non-decreasing timestamps — the contract
+// chrome://tracing and Perfetto rely on. Registered in ctest behind a
+// fixture that runs one fast bench with --trace_json, so the span-recording
+// and export path is exercised end-to-end on every test run.
+//
+// Usage: validate_trace_json <path> [<path>...]; exits non-zero with a
+// message on the first invalid artifact.
+
+#include <cstdio>
+#include <string>
+
+#include "agnn/common/status.h"
+#include "agnn/obs/json.h"
+
+namespace agnn {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  AGNN_CHECK(f != nullptr) << "cannot open " << path;
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+int Validate(const std::string& path) {
+  StatusOr<obs::JsonValue> parsed = obs::JsonParse(ReadFile(path));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: does not parse: %s\n", path.c_str(),
+                 std::string(parsed.status().message()).c_str());
+    return 1;
+  }
+  const obs::JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+    return 1;
+  }
+  const obs::JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != obs::JsonValue::Type::kArray) {
+    std::fprintf(stderr, "%s: missing array key \"traceEvents\"\n",
+                 path.c_str());
+    return 1;
+  }
+  if (events->array.empty()) {
+    std::fprintf(stderr, "%s: traceEvents is empty — tracing recorded no "
+                 "spans\n", path.c_str());
+    return 1;
+  }
+  double last_ts = 0.0;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const obs::JsonValue& e = events->array[i];
+    if (!e.is_object()) {
+      std::fprintf(stderr, "%s: traceEvents[%zu] is not an object\n",
+                   path.c_str(), i);
+      return 1;
+    }
+    for (const char* key : {"name", "ph"}) {
+      const obs::JsonValue* v = e.Find(key);
+      if (v == nullptr || !v->is_string() || v->string.empty()) {
+        std::fprintf(stderr, "%s: traceEvents[%zu] missing string \"%s\"\n",
+                     path.c_str(), i, key);
+        return 1;
+      }
+    }
+    if (e.Find("ph")->string != "X") {
+      std::fprintf(stderr,
+                   "%s: traceEvents[%zu] ph=\"%s\" (only complete events "
+                   "\"X\" are emitted)\n",
+                   path.c_str(), i, e.Find("ph")->string.c_str());
+      return 1;
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      const obs::JsonValue* v = e.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        std::fprintf(stderr, "%s: traceEvents[%zu] missing numeric \"%s\"\n",
+                     path.c_str(), i, key);
+        return 1;
+      }
+    }
+    const double ts = e.Find("ts")->number;
+    const double dur = e.Find("dur")->number;
+    if (ts < 0.0 || dur < 0.0) {
+      std::fprintf(stderr, "%s: traceEvents[%zu] negative ts/dur\n",
+                   path.c_str(), i);
+      return 1;
+    }
+    if (ts < last_ts) {
+      std::fprintf(stderr,
+                   "%s: traceEvents[%zu] ts %.3f precedes previous %.3f "
+                   "(must be chronologically sorted)\n",
+                   path.c_str(), i, ts, last_ts);
+      return 1;
+    }
+    last_ts = ts;
+  }
+  std::printf("%s: ok (%zu events)\n", path.c_str(), events->array.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <TRACE_*.json>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const int rc = agnn::Validate(argv[i]);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
