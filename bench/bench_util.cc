@@ -44,7 +44,27 @@ BenchOptions BenchOptions::FromFlags(int argc, char** argv) {
       parser.GetDouble("test_fraction", options.test_fraction);
   options.metrics_json = parser.GetString("metrics_json", "");
   options.trace_json = parser.GetString("trace_json", "off");
+  options.checkpoint_dir = parser.GetString("checkpoint_dir", "");
+  options.checkpoint_every = static_cast<size_t>(
+      parser.GetInt("checkpoint_every",
+                    static_cast<int>(options.checkpoint_every)));
   return options;
+}
+
+void MaybeEnableCheckpointing(const BenchOptions& options,
+                              const std::string& bench_name,
+                              const std::string& tag,
+                              core::AgnnTrainer* trainer) {
+  if (options.checkpoint_dir.empty()) return;
+  std::string safe_tag;
+  for (char c : bench_name + "_" + tag) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    safe_tag.push_back(ok ? c : '_');
+  }
+  trainer->SetCheckpointing(
+      options.checkpoint_dir + "/CKPT_" + safe_tag + ".ckpt",
+      options.checkpoint_every);
 }
 
 eval::ExperimentConfig BenchOptions::MakeExperimentConfig() const {
@@ -196,10 +216,14 @@ void RunAgnnSweep(const BenchOptions& options, const std::string& param_name,
     for (const SweepSetting& setting : settings) {
       eval::ExperimentConfig config = options.MakeExperimentConfig();
       setting.apply(&config.agnn);
+      const std::string tag =
+          dataset_name + "_" + param_name + "=" + setting.label;
       core::AgnnTrainer ics_trainer(dataset, ics.split(), config.agnn);
+      MaybeEnableCheckpointing(options, "sweep", tag + "_ics", &ics_trainer);
       ics_trainer.Train();
       eval::RmseMae ics_result = ics_trainer.EvaluateTest();
       core::AgnnTrainer ucs_trainer(dataset, ucs.split(), config.agnn);
+      MaybeEnableCheckpointing(options, "sweep", tag + "_ucs", &ucs_trainer);
       ucs_trainer.Train();
       eval::RmseMae ucs_result = ucs_trainer.EvaluateTest();
       std::fprintf(stderr, "  %s %s=%s done\n", dataset_name.c_str(),

@@ -36,10 +36,17 @@ struct BenchOptions {
   /// disables tracing entirely (the reporter hands out a null recorder),
   /// "on" writes ./TRACE_<name>.json, anything else is the output path.
   std::string trace_json;
+  /// Periodic training checkpoints (DESIGN.md §12): when non-empty, every
+  /// AGNN trainer a bench helper runs writes CKPT_<bench>_<tag>.ckpt into
+  /// this directory ("." for the cwd) every `checkpoint_every` epochs, so
+  /// a killed long sweep can be inspected or resumed. Default: off.
+  std::string checkpoint_dir;
+  size_t checkpoint_every = 1;
 
   /// Parses --scale=small|paper --datasets=a,b --epochs --dim --neighbors
-  /// --seed --test_fraction --metrics_json=path|off --trace_json=path|on|off.
-  /// Exits with a message on bad flags.
+  /// --seed --test_fraction --metrics_json=path|off --trace_json=path|on|off
+  /// --checkpoint_dir=dir --checkpoint_every=K. Exits with a message on bad
+  /// flags.
   static BenchOptions FromFlags(int argc, char** argv);
 
   /// Experiment configuration with these options applied uniformly to AGNN
@@ -122,6 +129,15 @@ class BenchReporter {
 void RunAgnnSweep(const BenchOptions& options, const std::string& param_name,
                   const std::vector<SweepSetting>& settings,
                   BenchReporter* reporter = nullptr);
+
+/// With --checkpoint_dir set, points `trainer` at
+/// <dir>/CKPT_<bench>_<tag>.ckpt every --checkpoint_every epochs (tag is
+/// sanitized to [A-Za-z0-9._-]); no-op otherwise. Checkpointing observes
+/// but never steers: bench results are identical either way.
+void MaybeEnableCheckpointing(const BenchOptions& options,
+                              const std::string& bench_name,
+                              const std::string& tag,
+                              core::AgnnTrainer* trainer);
 
 }  // namespace agnn::bench
 

@@ -37,6 +37,11 @@ int Main(int argc, char** argv) {
       // With --trace_json the same run also lands in the Chrome trace:
       // epoch → resample/forward/backward/step → per-op spans (§11).
       trainer.SetTrace(reporter.trace());
+      // With --checkpoint_dir the run periodically persists its full
+      // training state (§12), so these longer curve runs survive a kill.
+      MaybeEnableCheckpointing(options, "fig9",
+                               dataset_name + "_" + ScenarioName(scenario),
+                               &trainer);
       const auto& curves = trainer.Train();
       const std::string key_prefix =
           dataset_name + "/" + ScenarioName(scenario) + "/";

@@ -1,22 +1,30 @@
 // A small training CLI over the public API: train any AGNN variant (or a
 // synthetic preset) from CSV files or a built-in replica, evaluate in any
-// scenario, and optionally save/load the trained parameters.
+// scenario, and checkpoint/resume/serve the trained state.
 //
 //   ./build/examples/train_cli --dataset=ml100k --scenario=ics --epochs=6
-//   ./build/examples/train_cli --ratings=r.csv --user_attrs=u.csv \
+//   ./build/examples/train_cli --ratings=r.csv --user_attrs=u.csv
 //       --item_attrs=i.csv --scenario=ucs --variant=AGNN_-eVAE
-//   ./build/examples/train_cli --dataset=yelp --save=model.bin
-//   ./build/examples/train_cli --dataset=yelp --load=model.bin   # eval only
+//   # checkpoint every 2 epochs; kill it, then add --resume to continue —
+//   # the finished run is bitwise-identical to an uninterrupted one:
+//   ./build/examples/train_cli --dataset=yelp --epochs=8
+//       --checkpoint=run.ckpt --checkpoint_every=2
+//   ./build/examples/train_cli --dataset=yelp --epochs=8
+//       --checkpoint=run.ckpt --resume
+//   ./build/examples/train_cli --dataset=yelp --load=run.ckpt   # eval only
 
 #include <cstdio>
 #include <fstream>
 
 #include "agnn/common/flags.h"
+#include "agnn/core/inference_session.h"
 #include "agnn/core/trainer.h"
 #include "agnn/core/variants.h"
 #include "agnn/data/csv_loader.h"
 #include "agnn/data/split.h"
 #include "agnn/data/synthetic.h"
+#include "agnn/graph/graph.h"
+#include "agnn/io/checkpoint.h"
 
 namespace {
 
@@ -30,8 +38,32 @@ int Usage(const char* message) {
       "--item_attrs=... (--user_attrs=...|--social=...)]\n"
       "                 [--scenario=ics|ucs|ws] [--variant=AGNN...]\n"
       "                 [--epochs=N] [--dim=D] [--seed=N]\n"
+      "                 [--checkpoint=path [--checkpoint_every=K] "
+      "[--resume]]\n"
       "                 [--save=path | --load=path]\n");
   return 2;
+}
+
+/// Loads model parameters from `path`: an AGNN checkpoint (DESIGN.md §12)
+/// when the file carries the magic, else the legacy positional
+/// Module::Save blob (deprecated — resave via --checkpoint).
+Status LoadParams(const std::string& path, core::AgnnTrainer* trainer) {
+  StatusOr<io::CheckpointReader> reader = io::CheckpointReader::ReadFile(path);
+  if (reader.ok()) {
+    StatusOr<std::string_view> params =
+        reader->GetSection(io::kSectionModelParams);
+    if (!params.ok()) return params.status();
+    return trainer->mutable_model()->LoadState(*params);
+  }
+  if (reader.status().code() == StatusCode::kNotFound) return reader.status();
+  std::fprintf(stderr,
+               "%s is not a checkpoint (%s); falling back to the legacy "
+               "positional blob. The legacy format is DEPRECATED — it is "
+               "unversioned and has no checksums; resave with "
+               "--checkpoint.\n",
+               path.c_str(), reader.status().message().c_str());
+  std::ifstream in(path, std::ios::binary);
+  return trainer->mutable_model()->Load(&in);
 }
 
 }  // namespace
@@ -87,19 +119,40 @@ int main(int argc, char** argv) {
   config = core::MakeVariant(config, flags.GetString("variant", "AGNN"));
 
   core::AgnnTrainer trainer(dataset, split, config);
+  const std::string checkpoint = flags.GetString("checkpoint", "");
   if (flags.Has("load")) {
-    std::ifstream in(flags.GetString("load", ""), std::ios::binary);
-    if (Status s = trainer.mutable_model()->Load(&in); !s.ok()) {
+    if (Status s = LoadParams(flags.GetString("load", ""), &trainer);
+        !s.ok()) {
       return Usage(s.ToString().c_str());
     }
     std::printf("loaded parameters from %s\n",
                 flags.GetString("load", "").c_str());
   } else {
+    if (flags.GetBool("resume", false)) {
+      if (checkpoint.empty()) return Usage("--resume needs --checkpoint");
+      if (Status s = trainer.ResumeFromCheckpoint(checkpoint); !s.ok()) {
+        return Usage(s.ToString().c_str());
+      }
+      std::printf("resuming %s at epoch %zu from %s\n", config.name.c_str(),
+                  trainer.completed_epochs(), checkpoint.c_str());
+    }
+    if (!checkpoint.empty()) {
+      trainer.SetCheckpointing(
+          checkpoint,
+          static_cast<size_t>(flags.GetInt("checkpoint_every", 1)));
+    }
     std::printf("training %s for %zu epochs...\n", config.name.c_str(),
                 config.epochs);
     for (const auto& epoch : trainer.Train()) {
       std::printf("  pred %.4f | recon %.4f\n", epoch.prediction_loss,
                   epoch.reconstruction_loss);
+    }
+    if (!checkpoint.empty()) {
+      if (Status s = trainer.SaveCheckpoint(checkpoint); !s.ok()) {
+        return Usage(s.ToString().c_str());
+      }
+      std::printf("checkpointed %zu epochs to %s\n",
+                  trainer.completed_epochs(), checkpoint.c_str());
     }
   }
 
@@ -108,10 +161,38 @@ int main(int argc, char** argv) {
               config.name.c_str(), scenario_name.c_str(), result.rmse,
               result.mae, split.test.size());
 
+  // Serving check: the same artifact a training run leaves behind loads
+  // straight into a tape-free session (DESIGN.md §9/§12).
+  if (!checkpoint.empty() && !flags.Has("load")) {
+    auto session = core::InferenceSession::FromCheckpoint(
+        checkpoint, trainer.mutable_model(), &split.cold_user,
+        &split.cold_item);
+    if (!session.ok()) return Usage(session.status().ToString().c_str());
+    Rng serve_rng(config.seed ^ 0x5e21ce7ull);
+    std::vector<size_t> user_neighbors;
+    std::vector<size_t> item_neighbors;
+    const size_t s = trainer.model().neighbors_per_node();
+    if (s > 0) {
+      graph::SampleNeighborsInto(trainer.user_graph(), 0, s, &serve_rng,
+                                 &user_neighbors);
+      graph::SampleNeighborsInto(trainer.item_graph(), 0, s, &serve_rng,
+                                 &item_neighbors);
+    }
+    const float pred =
+        (*session)->Predict(0, 0, user_neighbors, item_neighbors);
+    std::printf("serving check: InferenceSession::FromCheckpoint(%s) "
+                "predicts %.4f for pair (0,0)\n",
+                checkpoint.c_str(), pred);
+  }
+
   if (flags.Has("save")) {
-    std::ofstream out(flags.GetString("save", ""), std::ios::binary);
-    trainer.model().Save(&out);
-    std::printf("saved parameters to %s\n",
+    // --save now writes the versioned checkpoint format too; the legacy
+    // positional blob is write-retired (still readable via --load).
+    if (Status s = trainer.SaveCheckpoint(flags.GetString("save", ""));
+        !s.ok()) {
+      return Usage(s.ToString().c_str());
+    }
+    std::printf("saved checkpoint to %s\n",
                 flags.GetString("save", "").c_str());
   }
   return 0;

@@ -57,6 +57,18 @@ class Rng {
   /// component its own stream from one experiment seed.
   Rng Fork();
 
+  /// Complete generator state: the four xoshiro256** words plus the
+  /// Box-Muller cache. Capturing and restoring it resumes the stream
+  /// exactly — draw for draw — which is what makes checkpointed training
+  /// bitwise-identical to an uninterrupted run (DESIGN.md §12).
+  struct State {
+    uint64_t s[4];
+    bool has_cached_normal;
+    double cached_normal;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

@@ -6,6 +6,7 @@
 
 #include "agnn/common/logging.h"
 #include "agnn/common/stopwatch.h"
+#include "agnn/io/checkpoint.h"
 #include "agnn/obs/scoped_timer.h"
 
 namespace agnn::core {
@@ -41,6 +42,21 @@ InferenceSession::InferenceSession(const AgnnModel& model,
     instruments_.workspace_allocated_bytes =
         metrics_->GetGauge("session/workspace_allocated_bytes");
   }
+}
+
+StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::FromCheckpoint(
+    const std::string& path, AgnnModel* model,
+    const std::vector<bool>* cold_users, const std::vector<bool>* cold_items,
+    obs::MetricsRegistry* metrics, obs::TraceRecorder* trace) {
+  AGNN_CHECK(model != nullptr);
+  StatusOr<io::CheckpointReader> reader = io::CheckpointReader::ReadFile(path);
+  if (!reader.ok()) return reader.status();
+  StatusOr<std::string_view> params =
+      reader->GetSection(io::kSectionModelParams);
+  if (!params.ok()) return params.status();
+  if (Status s = model->LoadState(*params); !s.ok()) return s;
+  return std::make_unique<InferenceSession>(*model, cold_users, cold_items,
+                                            metrics, trace);
 }
 
 void InferenceSession::PrecomputeSide(bool user_side,

@@ -1,8 +1,11 @@
 #ifndef AGNN_CORE_INFERENCE_SESSION_H_
 #define AGNN_CORE_INFERENCE_SESSION_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "agnn/common/status.h"
 #include "agnn/core/agnn_model.h"
 #include "agnn/obs/metrics.h"
 #include "agnn/obs/trace.h"
@@ -45,6 +48,18 @@ class InferenceSession {
                    const std::vector<bool>* cold_items,
                    obs::MetricsRegistry* metrics = nullptr,
                    obs::TraceRecorder* trace = nullptr);
+
+  /// Serves a training artifact directly: loads the checkpoint's named
+  /// "model/params" section into `model` (Status on any corruption or
+  /// architecture mismatch, DESIGN.md §12), then snapshots it into a
+  /// session exactly like the constructor. `model` carries the loaded
+  /// parameters afterwards and must outlive the session, like the other
+  /// borrowed arguments.
+  static StatusOr<std::unique_ptr<InferenceSession>> FromCheckpoint(
+      const std::string& path, AgnnModel* model,
+      const std::vector<bool>* cold_users, const std::vector<bool>* cold_items,
+      obs::MetricsRegistry* metrics = nullptr,
+      obs::TraceRecorder* trace = nullptr);
 
   /// Single (user, item) request. Each neighbor list must hold
   /// model.neighbors_per_node() ids sampled from the attribute graph

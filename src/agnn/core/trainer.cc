@@ -1,10 +1,12 @@
 #include "agnn/core/trainer.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "agnn/common/logging.h"
 #include "agnn/core/inference_session.h"
 #include "agnn/graph/interaction_graph.h"
+#include "agnn/io/checkpoint.h"
 #include "agnn/obs/scoped_timer.h"
 
 namespace agnn::core {
@@ -123,7 +125,12 @@ Batch AgnnTrainer::MakeBatch(const std::vector<size_t>& rating_indices,
 
 const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
   AGNN_CHECK(!split_.train.empty());
-  curves_.clear();
+  // A fresh Train() starts over; after ResumeFromCheckpoint it continues
+  // at the restored epoch with the restored curves (and a further Train()
+  // call behaves like before).
+  const size_t first_epoch = start_epoch_;
+  start_epoch_ = 0;
+  if (first_epoch == 0) curves_.clear();
   // Metrics observe but never steer: with or without a registry the exact
   // same operations run in the same order (the bitwise test in
   // tests/core/trainer_test.cc holds both paths to identical results), and
@@ -134,7 +141,7 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
   // visible to the autograd ops for exactly this call, and every TraceSpan
   // below is a single branch when trace_ is null.
   ag::ScopedOpTrace op_trace(trace_);
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (size_t epoch = first_epoch; epoch < config_.epochs; ++epoch) {
     obs::TraceSpan epoch_span(trace_, "epoch", "trainer");
     epoch_span.AddArg("epoch", static_cast<double>(epoch));
     epoch_timer.Start();
@@ -189,8 +196,150 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
       instruments_.prediction_loss->Set(stats.prediction_loss);
       instruments_.reconstruction_loss->Set(stats.reconstruction_loss);
     }
+    // Periodic checkpoint at the epoch boundary. Pure observation: it only
+    // reads state, so the training stream is untouched either way.
+    if (checkpoint_every_ != 0 && (epoch + 1) % checkpoint_every_ == 0) {
+      if (Status s = SaveCheckpoint(checkpoint_path_); !s.ok()) {
+        AGNN_LOG(Warning) << "checkpoint write failed: " << s.ToString();
+      }
+    }
   }
   return curves_;
+}
+
+void AgnnTrainer::SetCheckpointing(std::string path, size_t every_epochs) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_every_ = checkpoint_path_.empty() ? 0 : every_epochs;
+}
+
+Status AgnnTrainer::SaveCheckpoint(const std::string& path) const {
+  io::CheckpointWriter writer;
+  // Config fingerprint: enough to catch resuming into the wrong
+  // architecture/experiment; the full config is owned by code, not data.
+  {
+    io::ByteWriter meta;
+    meta.Str(config_.name);
+    meta.U64(config_.seed);
+    meta.U64(config_.embedding_dim);
+    meta.U64(config_.num_neighbors);
+    meta.U64(config_.batch_size);
+    writer.AddSection(io::kSectionMeta, std::move(meta).Release());
+  }
+  writer.AddSection(io::kSectionModelParams, model_->SaveState());
+  writer.AddSection(io::kSectionOptimizer, optimizer_->SaveState());
+  {
+    const Rng::State state = rng_.SaveState();
+    io::ByteWriter rng;
+    for (uint64_t word : state.s) rng.U64(word);
+    rng.U8(state.has_cached_normal ? 1 : 0);
+    rng.F64(state.cached_normal);
+    writer.AddSection(io::kSectionRng, std::move(rng).Release());
+  }
+  {
+    io::ByteWriter progress;
+    progress.U64(curves_.size());
+    for (const EpochStats& stats : curves_) {
+      progress.F64(stats.prediction_loss);
+      progress.F64(stats.reconstruction_loss);
+    }
+    writer.AddSection(io::kSectionProgress, std::move(progress).Release());
+  }
+  return writer.WriteFile(path);
+}
+
+Status AgnnTrainer::ResumeFromCheckpoint(const std::string& path) {
+  StatusOr<io::CheckpointReader> reader = io::CheckpointReader::ReadFile(path);
+  if (!reader.ok()) return reader.status();
+
+  // Verify the config fingerprint before touching anything.
+  StatusOr<std::string_view> meta = reader->GetSection(io::kSectionMeta);
+  if (!meta.ok()) return meta.status();
+  {
+    io::ByteReader r(*meta);
+    std::string name;
+    uint64_t seed = 0;
+    uint64_t dim = 0;
+    uint64_t neighbors = 0;
+    uint64_t batch = 0;
+    Status s = r.Str(&name);
+    if (s.ok()) s = r.U64(&seed);
+    if (s.ok()) s = r.U64(&dim);
+    if (s.ok()) s = r.U64(&neighbors);
+    if (s.ok()) s = r.U64(&batch);
+    if (!s.ok()) {
+      return Status::InvalidArgument("truncated meta section: " + s.message());
+    }
+    if (name != config_.name || seed != config_.seed ||
+        dim != config_.embedding_dim || neighbors != config_.num_neighbors ||
+        batch != config_.batch_size) {
+      return Status::FailedPrecondition(
+          "checkpoint was written by config '" + name + "' (seed " +
+          std::to_string(seed) + ", dim " + std::to_string(dim) +
+          "), trainer runs '" + config_.name + "' (seed " +
+          std::to_string(config_.seed) + ", dim " +
+          std::to_string(config_.embedding_dim) + ")");
+    }
+  }
+
+  // Decode every section into staging before mutating the trainer, so a
+  // corrupt checkpoint leaves it untouched.
+  StatusOr<std::string_view> progress =
+      reader->GetSection(io::kSectionProgress);
+  if (!progress.ok()) return progress.status();
+  std::vector<EpochStats> staged_curves;
+  {
+    io::ByteReader r(*progress);
+    uint64_t epochs = 0;
+    if (Status s = r.U64(&epochs); !s.ok()) return s;
+    for (uint64_t i = 0; i < epochs; ++i) {
+      EpochStats stats;
+      Status s = r.F64(&stats.prediction_loss);
+      if (s.ok()) s = r.F64(&stats.reconstruction_loss);
+      if (!s.ok()) {
+        return Status::InvalidArgument("truncated progress section: " +
+                                       s.message());
+      }
+      staged_curves.push_back(stats);
+    }
+  }
+  if (staged_curves.size() > config_.epochs) {
+    return Status::FailedPrecondition(
+        "checkpoint is at epoch " + std::to_string(staged_curves.size()) +
+        ", beyond this trainer's " + std::to_string(config_.epochs));
+  }
+
+  StatusOr<std::string_view> rng_section = reader->GetSection(io::kSectionRng);
+  if (!rng_section.ok()) return rng_section.status();
+  Rng::State rng_state;
+  {
+    io::ByteReader r(*rng_section);
+    Status s;
+    for (uint64_t& word : rng_state.s) {
+      if (s.ok()) s = r.U64(&word);
+    }
+    uint8_t has_cached = 0;
+    if (s.ok()) s = r.U8(&has_cached);
+    if (s.ok()) s = r.F64(&rng_state.cached_normal);
+    if (!s.ok()) {
+      return Status::InvalidArgument("truncated rng section: " + s.message());
+    }
+    rng_state.has_cached_normal = has_cached != 0;
+  }
+
+  StatusOr<std::string_view> params =
+      reader->GetSection(io::kSectionModelParams);
+  if (!params.ok()) return params.status();
+  StatusOr<std::string_view> optimizer =
+      reader->GetSection(io::kSectionOptimizer);
+  if (!optimizer.ok()) return optimizer.status();
+  // Model and optimizer loads validate fully before mutating themselves.
+  if (Status s = model_->LoadState(*params); !s.ok()) return s;
+  if (Status s = optimizer_->LoadState(*optimizer); !s.ok()) return s;
+
+  rng_.RestoreState(rng_state);
+  curves_ = std::move(staged_curves);
+  start_epoch_ = curves_.size();
+  return Status::Ok();
 }
 
 std::vector<float> AgnnTrainer::Predict(

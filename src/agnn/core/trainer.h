@@ -35,8 +35,35 @@ class AgnnTrainer {
     double reconstruction_loss = 0.0;
   };
 
-  /// Runs config.epochs of Adam training; returns the loss curves.
+  /// Runs config.epochs of Adam training; returns the loss curves. After
+  /// ResumeFromCheckpoint, continues from the checkpointed epoch instead
+  /// of starting over, and the completed run is bitwise-identical to one
+  /// that never stopped (DESIGN.md §12).
   const std::vector<EpochStats>& Train();
+
+  /// Writes the full training state to `path` as a versioned checkpoint
+  /// (DESIGN.md §12): config fingerprint, model parameters (named),
+  /// optimizer moments + step count, the training RNG state, and the
+  /// epoch/loss-curve cursor. Callable at any epoch boundary (including
+  /// before/after Train).
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a SaveCheckpoint file into this trainer. The trainer must
+  /// have been constructed over the same dataset/split/config (the config
+  /// fingerprint is verified); on success the next Train() continues at
+  /// the checkpointed epoch and — kill at epoch k, resume, train to N —
+  /// finishes bitwise-identical to an uninterrupted N-epoch run (enforced
+  /// by tests/core/checkpoint_resume_test.cc). On failure the trainer is
+  /// unchanged.
+  Status ResumeFromCheckpoint(const std::string& path);
+
+  /// Enables periodic checkpointing: Train() writes `path` after every
+  /// `every_epochs` completed epochs (0 disables). The write itself never
+  /// perturbs training (it only reads state).
+  void SetCheckpointing(std::string path, size_t every_epochs);
+
+  /// Epochs completed so far (the resume cursor).
+  size_t completed_epochs() const { return curves_.size(); }
 
   /// Attaches a metrics registry (DESIGN.md §10): Train() then records
   /// per-batch phase timings (trainer/{sampling,forward,backward,
@@ -105,6 +132,11 @@ class AgnnTrainer {
   const data::Split& split_;
   AgnnConfig config_;
   Rng rng_;
+  /// First epoch the next Train() call runs; non-zero only after
+  /// ResumeFromCheckpoint.
+  size_t start_epoch_ = 0;
+  std::string checkpoint_path_;
+  size_t checkpoint_every_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   Instruments instruments_;

@@ -1,0 +1,90 @@
+#include "agnn/io/bytes.h"
+
+#include <bit>
+#include <cstring>
+
+namespace agnn::io {
+
+// The on-disk format is defined as little-endian (DESIGN.md §12); the
+// writers/readers below memcpy native representations, which is only
+// correct on a little-endian host.
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint I/O assumes a little-endian host");
+
+void ByteWriter::U8(uint8_t v) { Bytes(&v, sizeof(v)); }
+void ByteWriter::U32(uint32_t v) { Bytes(&v, sizeof(v)); }
+void ByteWriter::U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+void ByteWriter::F32(float v) { Bytes(&v, sizeof(v)); }
+void ByteWriter::F64(double v) { Bytes(&v, sizeof(v)); }
+
+void ByteWriter::Bytes(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  Bytes(s.data(), s.size());
+}
+
+void ByteWriter::MatrixData(const Matrix& m) {
+  U64(m.rows());
+  U64(m.cols());
+  Bytes(m.data(), m.size() * sizeof(float));
+}
+
+Status ByteReader::Bytes(void* out, size_t size) {
+  if (size > remaining()) {
+    return Status::OutOfRange("truncated record: need " +
+                              std::to_string(size) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  std::memcpy(out, data_.data() + pos_, size);
+  pos_ += size;
+  return Status::Ok();
+}
+
+Status ByteReader::U8(uint8_t* v) { return Bytes(v, sizeof(*v)); }
+Status ByteReader::U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
+Status ByteReader::U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
+Status ByteReader::F32(float* v) { return Bytes(v, sizeof(*v)); }
+Status ByteReader::F64(double* v) { return Bytes(v, sizeof(*v)); }
+
+Status ByteReader::Str(std::string* s) {
+  uint32_t size = 0;
+  if (Status status = U32(&size); !status.ok()) return status;
+  if (size > remaining()) {
+    return Status::OutOfRange("truncated string: length " +
+                              std::to_string(size) + " exceeds remaining " +
+                              std::to_string(remaining()));
+  }
+  s->assign(data_.data() + pos_, size);
+  pos_ += size;
+  return Status::Ok();
+}
+
+Status ByteReader::MatrixData(Matrix* m) {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  if (Status status = U64(&rows); !status.ok()) return status;
+  if (Status status = U64(&cols); !status.ok()) return status;
+  // A corrupted header must not trigger a huge allocation: the payload has
+  // to fit in what is actually left of the buffer (overflow-safe).
+  if (rows != 0 && cols != 0) {
+    const uint64_t max_elements = remaining() / sizeof(float);
+    if (cols > max_elements || rows > max_elements / cols) {
+      return Status::OutOfRange(
+          "matrix header " + std::to_string(rows) + "x" +
+          std::to_string(cols) + " exceeds remaining " +
+          std::to_string(remaining()) + " bytes");
+    }
+  }
+  Matrix result(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  if (Status status = Bytes(result.data(), result.size() * sizeof(float));
+      !status.ok()) {
+    return status;
+  }
+  *m = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace agnn::io

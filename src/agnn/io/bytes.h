@@ -1,0 +1,65 @@
+#ifndef AGNN_IO_BYTES_H_
+#define AGNN_IO_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "agnn/common/status.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::io {
+
+/// Appends fixed-width little-endian records to a byte buffer. Paired with
+/// ByteReader; together they define the payload encodings of the checkpoint
+/// format (DESIGN.md §12). All multi-byte integers are little-endian,
+/// floats are IEEE-754 binary32/64.
+class ByteWriter {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F32(float v);
+  void F64(double v);
+  void Bytes(const void* data, size_t size);
+  /// Length-prefixed string: u32 byte count, then the bytes (no NUL).
+  void Str(std::string_view s);
+  /// Matrix payload: u64 rows, u64 cols, rows*cols f32 row-major.
+  void MatrixData(const Matrix& m);
+
+  const std::string& str() const { return buffer_; }
+  std::string Release() && { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked cursor over a byte buffer written by ByteWriter. Every
+/// read returns Status::OutOfRange on truncation instead of reading
+/// garbage; the buffer is borrowed and must outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status F32(float* v);
+  Status F64(double* v);
+  Status Bytes(void* out, size_t size);
+  Status Str(std::string* s);
+  /// Rejects headers whose element count is absurd for the remaining bytes
+  /// (so a corrupted length cannot trigger a huge allocation).
+  Status MatrixData(Matrix* m);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace agnn::io
+
+#endif  // AGNN_IO_BYTES_H_

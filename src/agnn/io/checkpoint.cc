@@ -1,0 +1,284 @@
+#include "agnn/io/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "agnn/io/crc32.h"
+
+namespace agnn::io {
+namespace {
+
+constexpr size_t kHeaderSize = 20;  // magic(8) + version(4) + count(4) + crc(4)
+
+std::string ReadWholeFile(const std::string& path, Status* status) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *status = Status::NotFound("cannot open checkpoint file " + path);
+    return std::string();
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    *status = Status::Internal("read error on checkpoint file " + path);
+    return std::string();
+  }
+  *status = Status::Ok();
+  return bytes;
+}
+
+}  // namespace
+
+void CheckpointWriter::AddSection(std::string name, std::string payload) {
+  for (const auto& [existing, unused] : sections_) {
+    AGNN_CHECK(existing != name) << "duplicate checkpoint section " << name;
+  }
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string CheckpointWriter::Serialize() const {
+  ByteWriter header;
+  header.Bytes(kCheckpointMagic, sizeof(kCheckpointMagic));
+  header.U32(kCheckpointVersion);
+  header.U32(static_cast<uint32_t>(sections_.size()));
+  header.U32(Crc32(header.str()));
+
+  ByteWriter table;
+  for (const auto& [name, payload] : sections_) {
+    table.Str(name);
+    table.U64(payload.size());
+    table.U32(Crc32(payload));
+  }
+
+  std::string out = header.str();
+  out += table.str();
+  ByteWriter table_crc;
+  table_crc.U32(Crc32(table.str()));
+  out += table_crc.str();
+  for (const auto& [unused, payload] : sections_) out += payload;
+  return out;
+}
+
+Status CheckpointWriter::WriteFile(const std::string& path) const {
+  const std::string bytes = Serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument(
+        "truncated checkpoint header: " + std::to_string(bytes.size()) +
+        " bytes, need " + std::to_string(kHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    return Status::InvalidArgument(
+        "bad magic: not an AGNN checkpoint file (legacy Module::Save blobs "
+        "have no magic; see DESIGN.md §12)");
+  }
+  const uint32_t computed_header_crc =
+      Crc32(std::string_view(bytes.data(), kHeaderSize - 4));
+  ByteReader header(
+      std::string_view(bytes).substr(sizeof(kCheckpointMagic)));
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  uint32_t header_crc = 0;
+  // The header is long enough (checked above); these cannot fail.
+  AGNN_CHECK(header.U32(&version).ok());
+  AGNN_CHECK(header.U32(&section_count).ok());
+  AGNN_CHECK(header.U32(&header_crc).ok());
+  if (header_crc != computed_header_crc) {
+    return Status::InvalidArgument("checkpoint header CRC mismatch");
+  }
+  if (version > kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "checkpoint format version " + std::to_string(version) +
+        " is newer than the supported version " +
+        std::to_string(kCheckpointVersion));
+  }
+  if (version == 0) {
+    return Status::InvalidArgument("checkpoint format version 0 is invalid");
+  }
+
+  // Section table: names + payload lengths + payload CRCs, then its own CRC.
+  const size_t table_begin = kHeaderSize;
+  ByteReader table(std::string_view(bytes).substr(table_begin));
+  struct Entry {
+    std::string name;
+    uint64_t length;
+    uint32_t crc;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    Entry entry;
+    if (Status s = table.Str(&entry.name); !s.ok()) {
+      return Status::InvalidArgument("truncated section table: " +
+                                     s.message());
+    }
+    Status s = table.U64(&entry.length);
+    if (s.ok()) s = table.U32(&entry.crc);
+    if (!s.ok()) {
+      return Status::InvalidArgument("truncated section table: " +
+                                     s.message());
+    }
+    entries.push_back(std::move(entry));
+  }
+  const size_t table_size =
+      bytes.size() - table_begin - table.remaining();
+  const uint32_t computed_table_crc =
+      Crc32(std::string_view(bytes).substr(table_begin, table_size));
+  uint32_t table_crc = 0;
+  if (Status s = table.U32(&table_crc); !s.ok()) {
+    return Status::InvalidArgument("truncated section table CRC: " +
+                                   s.message());
+  }
+  if (table_crc != computed_table_crc) {
+    return Status::InvalidArgument("checkpoint section table CRC mismatch");
+  }
+
+  // Payloads, back to back, in table order.
+  CheckpointReader reader;
+  reader.version_ = version;
+  size_t offset = bytes.size() - table.remaining();
+  for (const Entry& entry : entries) {
+    if (entry.length > bytes.size() - offset) {
+      return Status::InvalidArgument(
+          "section '" + entry.name + "' truncated: expected " +
+          std::to_string(entry.length) + " bytes, have " +
+          std::to_string(bytes.size() - offset));
+    }
+    const std::string_view payload(bytes.data() + offset,
+                                   static_cast<size_t>(entry.length));
+    if (Crc32(payload) != entry.crc) {
+      return Status::InvalidArgument("section '" + entry.name +
+                                     "' CRC mismatch (corrupted payload)");
+    }
+    for (const auto& [existing, unused] : reader.sections_) {
+      if (existing == entry.name) {
+        return Status::InvalidArgument("duplicate section '" + entry.name +
+                                       "'");
+      }
+    }
+    reader.sections_.emplace_back(
+        entry.name,
+        std::make_pair(offset, offset + static_cast<size_t>(entry.length)));
+    offset += static_cast<size_t>(entry.length);
+  }
+  if (offset != bytes.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(bytes.size() - offset) +
+        " trailing bytes after the last section");
+  }
+  reader.bytes_ = std::move(bytes);
+  return reader;
+}
+
+StatusOr<CheckpointReader> CheckpointReader::ReadFile(
+    const std::string& path) {
+  Status status;
+  std::string bytes = ReadWholeFile(path, &status);
+  if (!status.ok()) return status;
+  StatusOr<CheckpointReader> reader = Parse(std::move(bytes));
+  if (!reader.ok()) {
+    return Status(reader.status().code(),
+                  path + ": " + reader.status().message());
+  }
+  return reader;
+}
+
+bool CheckpointReader::HasSection(std::string_view name) const {
+  for (const auto& [existing, unused] : sections_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+StatusOr<std::string_view> CheckpointReader::GetSection(
+    std::string_view name) const {
+  for (const auto& [existing, range] : sections_) {
+    if (existing == name) {
+      return std::string_view(bytes_.data() + range.first,
+                              range.second - range.first);
+    }
+  }
+  return Status::NotFound("checkpoint has no section '" + std::string(name) +
+                          "'");
+}
+
+std::vector<std::string> CheckpointReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, unused] : sections_) names.push_back(name);
+  return names;
+}
+
+std::string EncodeNamedMatrices(const std::vector<NamedMatrix>& records) {
+  ByteWriter writer;
+  writer.U64(records.size());
+  for (const NamedMatrix& record : records) {
+    writer.Str(record.name);
+    writer.U8(kDtypeFloat32);
+    writer.MatrixData(record.value);
+  }
+  return std::move(writer).Release();
+}
+
+Status DecodeNamedMatrices(std::string_view payload,
+                           std::vector<NamedMatrix>* out) {
+  out->clear();
+  ByteReader reader(payload);
+  uint64_t count = 0;
+  if (Status s = reader.U64(&count); !s.ok()) return s;
+  for (uint64_t i = 0; i < count; ++i) {
+    NamedMatrix record;
+    if (Status s = reader.Str(&record.name); !s.ok()) {
+      return Status::InvalidArgument("truncated parameter record " +
+                                     std::to_string(i) + ": " + s.message());
+    }
+    uint8_t dtype = 0;
+    if (Status s = reader.U8(&dtype); !s.ok()) {
+      return Status::InvalidArgument("truncated parameter '" + record.name +
+                                     "': " + s.message());
+    }
+    if (dtype != kDtypeFloat32) {
+      return Status::InvalidArgument("parameter '" + record.name +
+                                     "' has unknown dtype " +
+                                     std::to_string(dtype));
+    }
+    if (Status s = reader.MatrixData(&record.value); !s.ok()) {
+      return Status::InvalidArgument("truncated parameter '" + record.name +
+                                     "': " + s.message());
+    }
+    for (const NamedMatrix& existing : *out) {
+      if (existing.name == record.name) {
+        return Status::InvalidArgument("duplicate parameter '" + record.name +
+                                       "'");
+      }
+    }
+    out->push_back(std::move(record));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "parameter payload has " + std::to_string(reader.remaining()) +
+        " trailing bytes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace agnn::io

@@ -1,0 +1,115 @@
+#ifndef AGNN_IO_CHECKPOINT_H_
+#define AGNN_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "agnn/common/status.h"
+#include "agnn/io/bytes.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::io {
+
+// Single-file, versioned, sectioned checkpoint container (DESIGN.md §12).
+// Layout (all integers little-endian):
+//
+//   [0,  8)  magic "AGNNCKPT"
+//   [8, 12)  u32 format version (current: 1)
+//   [12,16)  u32 section count
+//   [16,20)  u32 header CRC-32 of bytes [0,16)
+//   section table: per section
+//            u32 name length | name bytes | u64 payload length
+//            | u32 payload CRC-32
+//   u32 table CRC-32 of the section-table bytes
+//   payloads, back to back, in table order
+//
+// Every region is CRC-guarded: the fixed header by the header CRC, the
+// table by the table CRC, each payload by its table entry. Readers accept
+// any version <= kCheckpointVersion and reject newer files with a clear
+// Status; every failure mode (truncation anywhere, bit flip anywhere, bad
+// magic, future version, duplicate section, missing section) is a Status,
+// never a crash.
+
+inline constexpr char kCheckpointMagic[8] = {'A', 'G', 'N', 'N',
+                                             'C', 'K', 'P', 'T'};
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Section names used by the training stack (keep DESIGN.md §12 in sync).
+inline constexpr char kSectionMeta[] = "meta";
+inline constexpr char kSectionModelParams[] = "model/params";
+inline constexpr char kSectionOptimizer[] = "optimizer/state";
+inline constexpr char kSectionRng[] = "rng/train";
+inline constexpr char kSectionProgress[] = "trainer/progress";
+
+/// Accumulates named sections in memory, then writes the whole container.
+class CheckpointWriter {
+ public:
+  /// Adds one section; names must be unique (AGNN_CHECK — a duplicate is a
+  /// caller bug, not an I/O failure).
+  void AddSection(std::string name, std::string payload);
+
+  /// The full container as bytes.
+  std::string Serialize() const;
+
+  /// Serializes and atomically-ish writes to `path` (write then flush;
+  /// returns Status on any filesystem error).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Parses and validates a container; section payloads are then available
+/// by name. Holds its own copy of the bytes.
+class CheckpointReader {
+ public:
+  /// Validates magic, version, all three CRC layers, and the section
+  /// table's internal consistency. Returns the first problem found.
+  static StatusOr<CheckpointReader> Parse(std::string bytes);
+  static StatusOr<CheckpointReader> ReadFile(const std::string& path);
+
+  bool HasSection(std::string_view name) const;
+  /// The payload of `name`, or NotFound naming the missing section.
+  StatusOr<std::string_view> GetSection(std::string_view name) const;
+  /// Section names in file order.
+  std::vector<std::string> SectionNames() const;
+  uint32_t version() const { return version_; }
+
+ private:
+  CheckpointReader() = default;
+
+  uint32_t version_ = 0;
+  std::string bytes_;
+  /// name -> [offset, offset+length) into bytes_, in file order.
+  std::vector<std::pair<std::string, std::pair<size_t, size_t>>> sections_;
+};
+
+// -- Named parameter records (the "model/params" payload) -----------------
+//
+// payload := u64 record count, then per record:
+//   str name | u8 dtype (0 = float32) | u64 rows | u64 cols
+//   | rows*cols f32 row-major
+// Loads match records by NAME, not position, so a mismatch reports which
+// tensor is wrong.
+
+inline constexpr uint8_t kDtypeFloat32 = 0;
+
+struct NamedMatrix {
+  std::string name;
+  Matrix value;
+};
+
+/// Serializes `records` as a named-parameter payload.
+std::string EncodeNamedMatrices(const std::vector<NamedMatrix>& records);
+
+/// Parses a named-parameter payload; rejects truncation, unknown dtypes,
+/// oversized headers, and duplicate names.
+Status DecodeNamedMatrices(std::string_view payload,
+                           std::vector<NamedMatrix>* out);
+
+}  // namespace agnn::io
+
+#endif  // AGNN_IO_CHECKPOINT_H_

@@ -1,0 +1,20 @@
+#ifndef AGNN_IO_CRC32_H_
+#define AGNN_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace agnn::io {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum used
+/// by zlib/PNG/gzip — Crc32("123456789") == 0xCBF43926. Guards every region
+/// of the checkpoint format (DESIGN.md §12).
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace agnn::io
+
+#endif  // AGNN_IO_CRC32_H_

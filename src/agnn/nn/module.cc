@@ -2,8 +2,10 @@
 
 #include <istream>
 #include <ostream>
+#include <utility>
 
 #include "agnn/common/logging.h"
+#include "agnn/io/checkpoint.h"
 
 namespace agnn::nn {
 
@@ -48,11 +50,67 @@ Status Module::Load(std::istream* in) const {
         ", module has " + std::to_string(params.size()));
   }
   for (const NamedParameter& p : params) {
-    Matrix m = Matrix::Deserialize(in);
-    if (!m.SameShape(p.var->value())) {
+    StatusOr<Matrix> m = Matrix::Deserialize(in);
+    if (!m.ok()) {
+      return Status::InvalidArgument("parameter " + p.name + ": " +
+                                     m.status().message());
+    }
+    if (!m->SameShape(p.var->value())) {
       return Status::InvalidArgument("shape mismatch for parameter " + p.name);
     }
-    p.var->mutable_value() = std::move(m);
+    p.var->mutable_value() = std::move(m).value();
+  }
+  return Status::Ok();
+}
+
+std::string Module::SaveState() const {
+  std::vector<io::NamedMatrix> records;
+  for (const NamedParameter& p : Parameters()) {
+    records.push_back({p.name, p.var->value()});
+  }
+  return io::EncodeNamedMatrices(records);
+}
+
+Status Module::LoadState(std::string_view payload) const {
+  std::vector<io::NamedMatrix> records;
+  if (Status s = io::DecodeNamedMatrices(payload, &records); !s.ok()) {
+    return s;
+  }
+  const auto params = Parameters();
+  // Validate the whole payload against the module before touching any
+  // parameter, so a failed load leaves the module unchanged.
+  std::vector<io::NamedMatrix*> matched(params.size(), nullptr);
+  for (io::NamedMatrix& record : records) {
+    size_t index = params.size();
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (params[i].name == record.name) {
+        index = i;
+        break;
+      }
+    }
+    if (index == params.size()) {
+      return Status::InvalidArgument("unknown parameter '" + record.name +
+                                     "' in checkpoint (module has no such "
+                                     "tensor)");
+    }
+    if (!record.value.SameShape(params[index].var->value())) {
+      return Status::InvalidArgument(
+          "shape mismatch for parameter '" + record.name + "': checkpoint " +
+          std::to_string(record.value.rows()) + "x" +
+          std::to_string(record.value.cols()) + ", module " +
+          std::to_string(params[index].var->value().rows()) + "x" +
+          std::to_string(params[index].var->value().cols()));
+    }
+    matched[index] = &record;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (matched[i] == nullptr) {
+      return Status::InvalidArgument("checkpoint is missing parameter '" +
+                                     params[i].name + "'");
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].var->mutable_value() = std::move(matched[i]->value);
   }
   return Status::Ok();
 }

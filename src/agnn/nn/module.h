@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "agnn/autograd/variable.h"
@@ -37,11 +38,24 @@ class Module {
   /// Total number of scalar parameters.
   size_t ParameterCount() const;
 
-  /// Writes all parameter matrices in Parameters() order.
+  /// DEPRECATED legacy blob (positional, unversioned, no checksum): writes
+  /// all parameter matrices in Parameters() order. Use SaveState() inside
+  /// an io::CheckpointWriter section for anything new (DESIGN.md §12).
   void Save(std::ostream* out) const;
 
-  /// Reads parameters written by Save; shapes must match exactly.
+  /// Reads parameters written by Save; shapes must match exactly. Returns
+  /// Status (never crashes) on truncated or corrupt streams.
   Status Load(std::istream* in) const;
+
+  /// Serializes all parameters as NAMED records — the checkpoint
+  /// "model/params" payload (io::EncodeNamedMatrices, DESIGN.md §12).
+  std::string SaveState() const;
+
+  /// Restores parameters by name from a SaveState payload. Every module
+  /// parameter must appear with its exact shape; the Status names the
+  /// first unknown, missing, or shape-mismatched tensor. No parameter is
+  /// modified unless the whole payload validates.
+  Status LoadState(std::string_view payload) const;
 
  protected:
   Module() = default;

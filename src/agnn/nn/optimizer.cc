@@ -1,8 +1,10 @@
 #include "agnn/nn/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "agnn/common/logging.h"
+#include "agnn/io/bytes.h"
 #include "agnn/tensor/kernels.h"
 
 namespace agnn::nn {
@@ -25,6 +27,15 @@ float ClipGradNorm(const std::vector<NamedParameter>& params, float max_norm) {
 
 void Optimizer::ZeroGrad() {
   for (const NamedParameter& p : params_) p.var->ZeroGrad();
+}
+
+Status Optimizer::LoadState(std::string_view payload) {
+  if (!payload.empty()) {
+    return Status::InvalidArgument(
+        "optimizer state payload is " + std::to_string(payload.size()) +
+        " bytes, but this optimizer is stateless");
+  }
+  return Status::Ok();
 }
 
 Sgd::Sgd(std::vector<NamedParameter> params, float learning_rate,
@@ -70,6 +81,76 @@ void Adam::Step() {
                       v_[pi].data(), w.size(), learning_rate_, beta1_, beta2_,
                       epsilon_, weight_decay_, bias1, bias2);
   }
+}
+
+std::string Adam::SaveState() const {
+  io::ByteWriter writer;
+  writer.U64(static_cast<uint64_t>(t_));
+  writer.U64(params_.size());
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    writer.Str(params_[pi].name);
+    writer.MatrixData(m_[pi]);
+    writer.MatrixData(v_[pi]);
+  }
+  return std::move(writer).Release();
+}
+
+Status Adam::LoadState(std::string_view payload) {
+  io::ByteReader reader(payload);
+  uint64_t step = 0;
+  uint64_t count = 0;
+  if (Status s = reader.U64(&step); !s.ok()) return s;
+  if (Status s = reader.U64(&count); !s.ok()) return s;
+  if (count != params_.size()) {
+    return Status::InvalidArgument(
+        "Adam state has " + std::to_string(count) + " parameters, optimizer "
+        "has " + std::to_string(params_.size()));
+  }
+  // Stage everything, matching by name, before committing any moment so a
+  // corrupt payload leaves the optimizer unchanged.
+  std::vector<Matrix> staged_m(params_.size());
+  std::vector<Matrix> staged_v(params_.size());
+  std::vector<bool> seen(params_.size(), false);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    if (Status s = reader.Str(&name); !s.ok()) return s;
+    size_t index = params_.size();
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+      if (params_[pi].name == name) {
+        index = pi;
+        break;
+      }
+    }
+    if (index == params_.size()) {
+      return Status::InvalidArgument("Adam state has unknown parameter '" +
+                                     name + "'");
+    }
+    if (seen[index]) {
+      return Status::InvalidArgument("Adam state repeats parameter '" + name +
+                                     "'");
+    }
+    seen[index] = true;
+    Matrix m;
+    Matrix v;
+    if (Status s = reader.MatrixData(&m); !s.ok()) return s;
+    if (Status s = reader.MatrixData(&v); !s.ok()) return s;
+    const Matrix& value = params_[index].var->value();
+    if (!m.SameShape(value) || !v.SameShape(value)) {
+      return Status::InvalidArgument(
+          "Adam moment shape mismatch for parameter '" + name + "'");
+    }
+    staged_m[index] = std::move(m);
+    staged_v[index] = std::move(v);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "Adam state payload has " + std::to_string(reader.remaining()) +
+        " trailing bytes");
+  }
+  t_ = static_cast<int64_t>(step);
+  m_ = std::move(staged_m);
+  v_ = std::move(staged_v);
+  return Status::Ok();
 }
 
 }  // namespace agnn::nn

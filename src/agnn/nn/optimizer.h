@@ -1,6 +1,8 @@
 #ifndef AGNN_NN_OPTIMIZER_H_
 #define AGNN_NN_OPTIMIZER_H_
 
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +26,18 @@ class Optimizer {
 
   /// Applies one update from the currently accumulated gradients.
   virtual void Step() = 0;
+
+  /// Serializes the optimizer's internal state (step counts, moment
+  /// estimates) as a checkpoint section payload — named by parameter, so
+  /// loads report which tensor is wrong (DESIGN.md §12). Stateless
+  /// optimizers return an empty payload.
+  virtual std::string SaveState() const { return std::string(); }
+
+  /// Restores a SaveState payload onto the same parameter set; Status on
+  /// truncation, unknown/missing parameters, or shape mismatches. After a
+  /// successful load, continued training is bitwise-identical to never
+  /// having serialized.
+  virtual Status LoadState(std::string_view payload);
 
   /// Zeroes all parameter gradients.
   void ZeroGrad();
@@ -56,6 +70,13 @@ class Adam : public Optimizer {
        float weight_decay = 0.0f);
 
   void Step() override;
+
+  /// Payload: u64 step count, u64 record count, then per parameter a named
+  /// first-moment and second-moment pair.
+  std::string SaveState() const override;
+  Status LoadState(std::string_view payload) override;
+
+  int64_t step_count() const { return t_; }
 
  private:
   float beta1_;

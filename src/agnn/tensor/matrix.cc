@@ -450,17 +450,30 @@ void Matrix::Serialize(std::ostream* out) const {
              static_cast<std::streamsize>(data_.size() * sizeof(float)));
 }
 
-Matrix Matrix::Deserialize(std::istream* in) {
+StatusOr<Matrix> Matrix::Deserialize(std::istream* in) {
   AGNN_CHECK(in != nullptr);
   uint64_t r = 0;
   uint64_t c = 0;
   in->read(reinterpret_cast<char*>(&r), sizeof(r));
   in->read(reinterpret_cast<char*>(&c), sizeof(c));
-  AGNN_CHECK(in->good()) << "truncated matrix header";
+  if (!in->good()) return Status::InvalidArgument("truncated matrix header");
+  // A corrupted header must not trigger a huge allocation before the
+  // payload read fails: cap the element count (overflow-safe) well above
+  // any real model tensor.
+  constexpr uint64_t kMaxElements = uint64_t{1} << 31;
+  if (r != 0 && c != 0 && (c > kMaxElements || r > kMaxElements / c)) {
+    return Status::InvalidArgument("implausible matrix header " +
+                                   std::to_string(r) + "x" +
+                                   std::to_string(c));
+  }
   Matrix m(static_cast<size_t>(r), static_cast<size_t>(c));
   in->read(reinterpret_cast<char*>(m.data()),
            static_cast<std::streamsize>(m.size() * sizeof(float)));
-  AGNN_CHECK(!in->fail()) << "truncated matrix payload";
+  if (in->fail() ||
+      in->gcount() !=
+          static_cast<std::streamsize>(m.size() * sizeof(float))) {
+    return Status::InvalidArgument("truncated matrix payload");
+  }
   return m;
 }
 

@@ -9,6 +9,7 @@
 
 #include "agnn/common/logging.h"
 #include "agnn/common/rng.h"
+#include "agnn/common/status.h"
 #include "agnn/tensor/kernels.h"
 
 namespace agnn {
@@ -178,10 +179,17 @@ class Matrix {
   float MaxAbsDiff(const Matrix& other) const;
 
   // -- Serialization --------------------------------------------------------
+  //
+  // Legacy raw stream format (unversioned, no checksum): uint64 rows,
+  // uint64 cols, rows*cols float32. Kept for Module::Save/Load blob
+  // compatibility; new code should write io::CheckpointWriter files
+  // (DESIGN.md §12) instead.
 
-  /// Binary format: uint64 rows, uint64 cols, rows*cols float32.
   void Serialize(std::ostream* out) const;
-  static Matrix Deserialize(std::istream* in);
+  /// Returns InvalidArgument on a truncated header/payload or an absurd
+  /// header (dimensions whose product cannot fit in memory) instead of
+  /// crashing or reading garbage.
+  static StatusOr<Matrix> Deserialize(std::istream* in);
 
   std::string DebugString(size_t max_rows = 6, size_t max_cols = 8) const;
 

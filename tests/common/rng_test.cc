@@ -132,6 +132,34 @@ TEST(RngTest, ShufflePreservesElements) {
   EXPECT_EQ(v, original);
 }
 
+TEST(RngTest, SaveRestoreStateReplaysStreamExactly) {
+  Rng rng(42);
+  // Consume a mix so the saved state is mid-stream.
+  for (int i = 0; i < 17; ++i) rng.Next();
+  rng.Normal();  // leaves a cached Box-Muller value behind
+  const Rng::State state = rng.SaveState();
+
+  std::vector<uint64_t> ints;
+  std::vector<double> normals;
+  for (int i = 0; i < 8; ++i) ints.push_back(rng.Next());
+  for (int i = 0; i < 8; ++i) normals.push_back(rng.Normal());
+
+  rng.RestoreState(state);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rng.Next(), ints[i]);
+  // Exact equality including the first Normal, which must come from the
+  // restored Box-Muller cache, not a fresh pair.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rng.Normal(), normals[i]);
+}
+
+TEST(RngTest, StateTransfersAcrossInstances) {
+  Rng a(7);
+  a.Normal();
+  Rng b(99999);  // unrelated seed and position
+  b.RestoreState(a.SaveState());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Normal(), b.Normal());
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng a(42);
   Rng child = a.Fork();

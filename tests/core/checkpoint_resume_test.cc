@@ -1,0 +1,243 @@
+// The bitwise-resume contract (DESIGN.md §12): kill a training run at
+// epoch k, resume from its checkpoint, train to N — the result must be
+// bitwise-identical to an uninterrupted N-epoch run. Exercised end to end
+// through AgnnTrainer::SetCheckpointing / ResumeFromCheckpoint /
+// SaveCheckpoint and InferenceSession::FromCheckpoint.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/core/inference_session.h"
+#include "agnn/core/trainer.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/graph/graph.h"
+#include "agnn/io/checkpoint.h"
+
+namespace agnn::core {
+namespace {
+
+using data::Dataset;
+
+const Dataset& Ds() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+    config.num_users = 60;
+    config.num_items = 90;
+    config.num_ratings = 1500;
+    return new Dataset(GenerateSynthetic(config, 51));
+  }();
+  return *ds;
+}
+
+AgnnConfig FastConfig() {
+  AgnnConfig config;
+  config.embedding_dim = 8;
+  config.num_neighbors = 4;
+  config.vae_hidden_dim = 8;
+  config.prediction_hidden_dim = 8;
+  config.epochs = 4;
+  return config;
+}
+
+data::Split MakeIcsSplit() {
+  Rng rng(1);
+  return MakeSplit(Ds(), data::Scenario::kItemColdStart, 0.2, &rng);
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CheckpointResumeTest, KillAndResumeIsBitwiseIdenticalToStraightRun) {
+  const data::Split split = MakeIcsSplit();
+  const std::string full_path = TempPath("full.ckpt");
+  const std::string mid_path = TempPath("mid.ckpt");
+  const std::string resumed_path = TempPath("resumed.ckpt");
+
+  // Uninterrupted run: 4 epochs straight through.
+  AgnnTrainer full(Ds(), split, FastConfig());
+  full.Train();
+  ASSERT_TRUE(full.SaveCheckpoint(full_path).ok());
+
+  // "Killed" run: SetCheckpointing leaves the epoch-3 state behind
+  // (checkpoint_every=3 fires once during 4 epochs). The trainer object is
+  // then discarded — only the file survives, as after a real kill.
+  {
+    AgnnTrainer killed(Ds(), split, FastConfig());
+    killed.SetCheckpointing(mid_path, 3);
+    killed.Train();
+  }
+
+  // A fresh trainer resumes from the mid-run file and finishes epoch 4.
+  AgnnTrainer resumed(Ds(), split, FastConfig());
+  ASSERT_TRUE(resumed.ResumeFromCheckpoint(mid_path).ok());
+  EXPECT_EQ(resumed.completed_epochs(), 3u);
+  const auto& curves = resumed.Train();
+  ASSERT_EQ(curves.size(), 4u);
+  ASSERT_TRUE(resumed.SaveCheckpoint(resumed_path).ok());
+
+  // Bitwise: the serialized state (parameters, Adam moments, RNG, loss
+  // curves) of the resumed run equals the uninterrupted run byte for byte.
+  const std::string full_bytes = ReadAll(full_path);
+  ASSERT_FALSE(full_bytes.empty());
+  EXPECT_EQ(full_bytes, ReadAll(resumed_path));
+
+  // And exact-equality on evaluation, which consumes the restored RNG.
+  const eval::RmseMae a = full.EvaluateTest();
+  const eval::RmseMae b = resumed.EvaluateTest();
+  EXPECT_EQ(a.rmse, b.rmse);
+  EXPECT_EQ(a.mae, b.mae);
+
+  std::remove(full_path.c_str());
+  std::remove(mid_path.c_str());
+  std::remove(resumed_path.c_str());
+}
+
+TEST(CheckpointResumeTest, CheckpointCarriesAllTrainingSections) {
+  const data::Split split = MakeIcsSplit();
+  const std::string path = TempPath("sections.ckpt");
+  AgnnConfig config = FastConfig();
+  config.epochs = 1;
+  AgnnTrainer trainer(Ds(), split, config);
+  trainer.Train();
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  StatusOr<io::CheckpointReader> reader = io::CheckpointReader::ReadFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->version(), io::kCheckpointVersion);
+  for (const char* name :
+       {io::kSectionMeta, io::kSectionModelParams, io::kSectionOptimizer,
+        io::kSectionRng, io::kSectionProgress}) {
+    EXPECT_TRUE(reader->HasSection(name)) << name;
+  }
+  // The named-parameter payload decodes and covers the whole model.
+  std::vector<io::NamedMatrix> params;
+  ASSERT_TRUE(io::DecodeNamedMatrices(*reader->GetSection(
+                                          io::kSectionModelParams),
+                                      &params)
+                  .ok());
+  EXPECT_EQ(params.size(), trainer.model().Parameters().size());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, ResumeRejectsMismatchedConfig) {
+  const data::Split split = MakeIcsSplit();
+  const std::string path = TempPath("dim8.ckpt");
+  AgnnConfig small = FastConfig();
+  small.epochs = 1;
+  AgnnTrainer trainer(Ds(), split, small);
+  trainer.Train();
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  AgnnConfig big = FastConfig();
+  big.embedding_dim = 16;
+  big.vae_hidden_dim = 16;
+  big.prediction_hidden_dim = 16;
+  AgnnTrainer other(Ds(), split, big);
+  Status s = other.ResumeFromCheckpoint(path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, ResumeRejectsMoreEpochsThanConfigured) {
+  const data::Split split = MakeIcsSplit();
+  const std::string path = TempPath("epochs2.ckpt");
+  AgnnConfig two = FastConfig();
+  two.epochs = 2;
+  AgnnTrainer trainer(Ds(), split, two);
+  trainer.Train();
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  AgnnConfig one = FastConfig();
+  one.epochs = 1;
+  AgnnTrainer other(Ds(), split, one);
+  EXPECT_FALSE(other.ResumeFromCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, CorruptFileNeverCrashesAndLeavesTrainerUsable) {
+  const data::Split split = MakeIcsSplit();
+  const std::string path = TempPath("corrupt.ckpt");
+  AgnnConfig config = FastConfig();
+  config.epochs = 1;
+  AgnnTrainer trainer(Ds(), split, config);
+  trainer.Train();
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  std::string bytes = ReadAll(path);
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  AgnnTrainer victim(Ds(), split, config);
+  Status s = victim.ResumeFromCheckpoint(path);
+  ASSERT_FALSE(s.ok());
+  // The failed resume staged nothing: the trainer still trains from epoch 0
+  // exactly like a fresh one.
+  EXPECT_EQ(victim.completed_epochs(), 0u);
+  EXPECT_EQ(victim.Train().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, InferenceSessionFromCheckpointMatchesTrainer) {
+  const data::Split split = MakeIcsSplit();
+  const std::string path = TempPath("serve.ckpt");
+  AgnnConfig config = FastConfig();
+  config.epochs = 2;
+  AgnnTrainer trained(Ds(), split, config);
+  trained.Train();
+  ASSERT_TRUE(trained.SaveCheckpoint(path).ok());
+
+  // Load the artifact into a fresh, differently-initialized trainer's model.
+  AgnnConfig other_init = config;
+  other_init.seed = 99;
+  AgnnTrainer fresh(Ds(), split, other_init);
+  StatusOr<std::unique_ptr<InferenceSession>> session =
+      InferenceSession::FromCheckpoint(path, fresh.mutable_model(),
+                                       &split.cold_user, &split.cold_item);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  InferenceSession direct(trained.model(), &split.cold_user,
+                          &split.cold_item);
+  const size_t s = trained.model().neighbors_per_node();
+  for (const auto& [u, i] : std::vector<std::pair<size_t, size_t>>{
+           {0, 1}, {3, 7}, {11, 20}}) {
+    // Both sessions see identically-sampled neighbors.
+    Rng rng_a(123), rng_b(123);
+    std::vector<size_t> un_a, in_a, un_b, in_b;
+    if (s > 0) {
+      graph::SampleNeighborsInto(trained.user_graph(), u, s, &rng_a, &un_a);
+      graph::SampleNeighborsInto(trained.item_graph(), i, s, &rng_a, &in_a);
+      graph::SampleNeighborsInto(fresh.user_graph(), u, s, &rng_b, &un_b);
+      graph::SampleNeighborsInto(fresh.item_graph(), i, s, &rng_b, &in_b);
+    }
+    EXPECT_EQ((*session)->Predict(u, i, un_b, in_b),
+              direct.Predict(u, i, un_a, in_a));
+  }
+
+  // A corrupt artifact is a Status, and the target model is untouched.
+  std::string bytes = ReadAll(path);
+  bytes[20] ^= 0x01;
+  std::ofstream(path, std::ios::binary) << bytes;
+  EXPECT_FALSE(InferenceSession::FromCheckpoint(path, fresh.mutable_model(),
+                                                &split.cold_user,
+                                                &split.cold_item)
+                   .ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -1,0 +1,348 @@
+// Byte-level tests of the checkpoint container (DESIGN.md §12): CRC-32
+// known answers, ByteWriter/ByteReader bounds checking, container
+// round-trips, and the corruption matrix — truncation at every byte,
+// bit flips in every region, bad magic, future versions, duplicate and
+// missing sections. Every failure mode must come back as a Status with a
+// descriptive message; nothing here may crash.
+
+#include "agnn/io/checkpoint.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/io/bytes.h"
+#include "agnn/io/crc32.h"
+
+namespace agnn::io {
+namespace {
+
+// -- CRC-32 ---------------------------------------------------------------
+
+TEST(Crc32Test, MatchesIeeeKnownAnswer) {
+  // The standard check value for CRC-32/ISO-HDLC (zlib, PNG, gzip).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32(""), 0u); }
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::string data(64, 'x');
+  const uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(Crc32(flipped), clean) << "flip at byte " << i;
+  }
+}
+
+// -- ByteWriter / ByteReader ----------------------------------------------
+
+TEST(BytesTest, RoundTripsEveryRecordType) {
+  ByteWriter writer;
+  writer.U8(0xAB);
+  writer.U32(0xDEADBEEFu);
+  writer.U64(0x0123456789ABCDEFull);
+  writer.F32(3.25f);
+  writer.F64(-1.0 / 3.0);
+  writer.Str("hello");
+  writer.MatrixData(Matrix(2, 3, {1, 2, 3, 4, 5, 6}));
+
+  ByteReader reader(writer.str());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string str;
+  Matrix m;
+  ASSERT_TRUE(reader.U8(&u8).ok());
+  ASSERT_TRUE(reader.U32(&u32).ok());
+  ASSERT_TRUE(reader.U64(&u64).ok());
+  ASSERT_TRUE(reader.F32(&f32).ok());
+  ASSERT_TRUE(reader.F64(&f64).ok());
+  ASSERT_TRUE(reader.Str(&str).ok());
+  ASSERT_TRUE(reader.MatrixData(&m).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_FLOAT_EQ(f32, 3.25f);
+  EXPECT_DOUBLE_EQ(f64, -1.0 / 3.0);
+  EXPECT_EQ(str, "hello");
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 6.0f);
+}
+
+TEST(BytesTest, EveryTruncationReturnsOutOfRange) {
+  ByteWriter writer;
+  writer.U64(7);
+  writer.Str("abc");
+  writer.MatrixData(Matrix::Ones(2, 2));
+  const std::string full = writer.str();
+  // For every proper prefix, reading the full record sequence must fail
+  // cleanly somewhere — never read past the end.
+  for (size_t n = 0; n < full.size(); ++n) {
+    ByteReader reader(std::string_view(full).substr(0, n));
+    uint64_t u64 = 0;
+    std::string str;
+    Matrix m;
+    Status s = reader.U64(&u64);
+    if (s.ok()) s = reader.Str(&str);
+    if (s.ok()) s = reader.MatrixData(&m);
+    EXPECT_FALSE(s.ok()) << "prefix of " << n << " bytes parsed fully";
+    EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(BytesTest, MatrixHeaderWithAbsurdDimsIsRejectedWithoutAllocating) {
+  // A corrupted header claiming 2^60 x 8 must be caught by the plausibility
+  // check (the data cannot possibly fit in the remaining bytes), not by an
+  // attempted 32-exabyte allocation.
+  ByteWriter writer;
+  writer.U64(uint64_t{1} << 60);
+  writer.U64(8);
+  writer.F32(1.0f);
+  ByteReader reader(writer.str());
+  Matrix m;
+  Status s = reader.MatrixData(&m);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("exceeds remaining"), std::string::npos)
+      << s.message();
+}
+
+TEST(BytesTest, MatrixOverflowingElementCountIsRejected) {
+  // rows * cols wraps uint64; the guard must not be fooled by the wrap.
+  ByteWriter writer;
+  writer.U64(uint64_t{1} << 33);
+  writer.U64(uint64_t{1} << 33);  // product == 2^66 == 4 (mod 2^64)
+  writer.F32(1.0f);
+  writer.F32(1.0f);
+  writer.F32(1.0f);
+  writer.F32(1.0f);
+  ByteReader reader(writer.str());
+  Matrix m;
+  EXPECT_FALSE(reader.MatrixData(&m).ok());
+}
+
+// -- Container round trip -------------------------------------------------
+
+std::string TwoSectionContainer() {
+  CheckpointWriter writer;
+  writer.AddSection("alpha", "payload-a");
+  writer.AddSection("beta/nested", std::string("\x00\x01\x02", 3));
+  return writer.Serialize();
+}
+
+TEST(CheckpointTest, RoundTripPreservesSectionsAndOrder) {
+  StatusOr<CheckpointReader> reader = CheckpointReader::Parse(
+      TwoSectionContainer());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->version(), kCheckpointVersion);
+  EXPECT_EQ(reader->SectionNames(),
+            (std::vector<std::string>{"alpha", "beta/nested"}));
+  EXPECT_TRUE(reader->HasSection("alpha"));
+  EXPECT_FALSE(reader->HasSection("gamma"));
+  StatusOr<std::string_view> alpha = reader->GetSection("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(*alpha, "payload-a");
+  StatusOr<std::string_view> beta = reader->GetSection("beta/nested");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(*beta, std::string_view("\x00\x01\x02", 3));
+}
+
+TEST(CheckpointTest, EmptyContainerAndEmptyPayloadAreValid) {
+  CheckpointWriter empty;
+  ASSERT_TRUE(CheckpointReader::Parse(empty.Serialize()).ok());
+  CheckpointWriter one;
+  one.AddSection("empty", "");
+  StatusOr<CheckpointReader> reader = CheckpointReader::Parse(one.Serialize());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->GetSection("empty")->size(), 0u);
+}
+
+TEST(CheckpointTest, MissingSectionLookupIsNotFound) {
+  StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(TwoSectionContainer());
+  ASSERT_TRUE(reader.ok());
+  StatusOr<std::string_view> missing = reader->GetSection("gamma");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("gamma"), std::string::npos);
+}
+
+TEST(CheckpointTest, WriteFileReadFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ckpt_roundtrip.ckpt";
+  CheckpointWriter writer;
+  writer.AddSection("alpha", "payload-a");
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  StatusOr<CheckpointReader> reader = CheckpointReader::ReadFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(*reader->GetSection("alpha"), "payload-a");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ReadFileOnMissingPathIsNotFound) {
+  StatusOr<CheckpointReader> reader =
+      CheckpointReader::ReadFile("/nonexistent/dir/nope.ckpt");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+// -- Corruption matrix ----------------------------------------------------
+
+TEST(CheckpointCorruptionTest, TruncationAtEveryByteFailsCleanly) {
+  const std::string full = TwoSectionContainer();
+  for (size_t n = 0; n < full.size(); ++n) {
+    StatusOr<CheckpointReader> reader =
+        CheckpointReader::Parse(full.substr(0, n));
+    EXPECT_FALSE(reader.ok()) << "prefix of " << n << " bytes parsed";
+  }
+}
+
+TEST(CheckpointCorruptionTest, BitFlipAtEveryByteFailsCleanly) {
+  // Every byte of the container is covered by one of the three CRC layers
+  // (and the CRC fields are self-guarding), so any single-bit corruption
+  // must be detected.
+  const std::string full = TwoSectionContainer();
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::string corrupt = full;
+    corrupt[i] ^= 0x01;
+    StatusOr<CheckpointReader> reader = CheckpointReader::Parse(corrupt);
+    EXPECT_FALSE(reader.ok()) << "bit flip at byte " << i << " undetected";
+  }
+}
+
+TEST(CheckpointCorruptionTest, BadMagicNamesTheProblem) {
+  std::string corrupt = TwoSectionContainer();
+  corrupt[0] = 'Z';
+  StatusOr<CheckpointReader> reader = CheckpointReader::Parse(corrupt);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reader.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST(CheckpointCorruptionTest, LegacyModuleBlobIsRejectedAsBadMagic) {
+  // A legacy Module::Save stream starts with a u64 parameter count — no
+  // magic. The reader must identify it as a non-checkpoint, which is what
+  // lets train_cli fall back to the deprecated loader.
+  ByteWriter legacy;
+  legacy.U64(5);
+  legacy.MatrixData(Matrix::Ones(2, 2));
+  StatusOr<CheckpointReader> reader = CheckpointReader::Parse(legacy.str());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos);
+}
+
+// Rewrites the version field and recomputes the header CRC so only the
+// version check can object.
+std::string WithVersion(std::string bytes, uint32_t version) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[8 + i] = static_cast<char>((version >> (8 * i)) & 0xFF);
+  }
+  const uint32_t crc = Crc32(bytes.data(), 16);
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  return bytes;
+}
+
+TEST(CheckpointCorruptionTest, FutureVersionIsRejectedWithClearMessage) {
+  StatusOr<CheckpointReader> reader = CheckpointReader::Parse(
+      WithVersion(TwoSectionContainer(), kCheckpointVersion + 1));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("newer than the supported"),
+            std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(CheckpointCorruptionTest, VersionZeroIsRejected) {
+  StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(WithVersion(TwoSectionContainer(), 0));
+  ASSERT_FALSE(reader.ok());
+}
+
+TEST(CheckpointCorruptionTest, PayloadBitFlipIsReportedAsSectionCrc) {
+  std::string corrupt = TwoSectionContainer();
+  corrupt[corrupt.size() - 1] ^= 0x40;  // last payload byte
+  StatusOr<CheckpointReader> reader = CheckpointReader::Parse(corrupt);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("CRC mismatch"), std::string::npos);
+  EXPECT_NE(reader.status().message().find("beta/nested"), std::string::npos);
+}
+
+TEST(CheckpointCorruptionTest, TrailingBytesAreRejected) {
+  StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(TwoSectionContainer() + "junk");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("trailing"), std::string::npos);
+}
+
+// -- Named parameter records ----------------------------------------------
+
+std::vector<NamedMatrix> SampleParams() {
+  std::vector<NamedMatrix> records;
+  records.push_back({"fc1/weight", Matrix(2, 3, {1, 2, 3, 4, 5, 6})});
+  records.push_back({"fc1/bias", Matrix(1, 3, {7, 8, 9})});
+  return records;
+}
+
+TEST(NamedMatricesTest, RoundTripPreservesNamesShapesValues) {
+  std::vector<NamedMatrix> out;
+  ASSERT_TRUE(DecodeNamedMatrices(EncodeNamedMatrices(SampleParams()), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].name, "fc1/weight");
+  EXPECT_EQ(out[1].name, "fc1/bias");
+  EXPECT_EQ(out[0].value.rows(), 2u);
+  EXPECT_EQ(out[0].value.cols(), 3u);
+  EXPECT_FLOAT_EQ(out[0].value.At(1, 2), 6.0f);
+  EXPECT_FLOAT_EQ(out[1].value.At(0, 0), 7.0f);
+}
+
+TEST(NamedMatricesTest, TruncationAtEveryByteFailsCleanly) {
+  const std::string full = EncodeNamedMatrices(SampleParams());
+  for (size_t n = 0; n < full.size(); ++n) {
+    std::vector<NamedMatrix> out;
+    EXPECT_FALSE(DecodeNamedMatrices(full.substr(0, n), &out).ok())
+        << "prefix of " << n << " bytes decoded";
+  }
+}
+
+TEST(NamedMatricesTest, UnknownDtypeNamesTheParameter) {
+  ByteWriter writer;
+  writer.U64(1);
+  writer.Str("fc1/weight");
+  writer.U8(42);  // not kDtypeFloat32
+  writer.U64(1);
+  writer.U64(1);
+  writer.F32(0.0f);
+  std::vector<NamedMatrix> out;
+  Status s = DecodeNamedMatrices(writer.str(), &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown dtype"), std::string::npos);
+  EXPECT_NE(s.message().find("fc1/weight"), std::string::npos);
+}
+
+TEST(NamedMatricesTest, DuplicateNamesAreRejected) {
+  std::vector<NamedMatrix> records = SampleParams();
+  records.push_back({"fc1/weight", Matrix::Ones(1, 1)});
+  std::vector<NamedMatrix> out;
+  Status s = DecodeNamedMatrices(EncodeNamedMatrices(records), &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(NamedMatricesTest, TrailingBytesAreRejected) {
+  std::vector<NamedMatrix> out;
+  Status s = DecodeNamedMatrices(EncodeNamedMatrices(SampleParams()) + "x",
+                                 &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("trailing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agnn::io

@@ -1,9 +1,12 @@
 #include "agnn/nn/module.h"
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "agnn/io/checkpoint.h"
 #include "agnn/nn/layers.h"
 
 namespace agnn::nn {
@@ -90,6 +93,103 @@ TEST(ModuleTest, LoadRejectsTruncatedStream) {
   SmallNet net(&rng);
   std::stringstream empty;
   EXPECT_FALSE(net.Load(&empty).ok());
+}
+
+// -- Named-state API (SaveState/LoadState, DESIGN.md §12) ------------------
+
+TEST(ModuleStateTest, SaveStateLoadStateRoundTripRestoresOutputs) {
+  Rng rng1(3);
+  SmallNet net1(&rng1);
+  const std::string state = net1.SaveState();
+
+  Rng rng2(99);  // different init
+  SmallNet net2(&rng2);
+  ag::Var x = ag::MakeConst(Matrix::Ones(2, 4));
+  Matrix before = net2.Forward(x)->value();
+  ASSERT_TRUE(net2.LoadState(state).ok());
+  Matrix after = net2.Forward(x)->value();
+  Matrix expected = net1.Forward(x)->value();
+  EXPECT_GT(before.MaxAbsDiff(expected), 0.0f);
+  EXPECT_FLOAT_EQ(after.MaxAbsDiff(expected), 0.0f);
+}
+
+// Decodes `state`, applies `edit`, and re-encodes — for manufacturing
+// payloads that disagree with the module in one specific way.
+std::string EditState(const std::string& state,
+                      void (*edit)(std::vector<io::NamedMatrix>*)) {
+  std::vector<io::NamedMatrix> records;
+  EXPECT_TRUE(io::DecodeNamedMatrices(state, &records).ok());
+  edit(&records);
+  return io::EncodeNamedMatrices(records);
+}
+
+TEST(ModuleStateTest, LoadStateNamesUnknownParameter) {
+  Rng rng(6);
+  SmallNet net(&rng);
+  const std::string renamed =
+      EditState(net.SaveState(), [](std::vector<io::NamedMatrix>* records) {
+        (*records)[1].name = "fc1/weights";  // typo'd tensor name
+      });
+  Status s = net.LoadState(renamed);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown parameter 'fc1/weights'"),
+            std::string::npos)
+      << s.message();
+}
+
+TEST(ModuleStateTest, LoadStateNamesMissingParameter) {
+  Rng rng(7);
+  SmallNet net(&rng);
+  const std::string dropped =
+      EditState(net.SaveState(), [](std::vector<io::NamedMatrix>* records) {
+        records->erase(records->begin() + 2);  // fc1/bias
+      });
+  Status s = net.LoadState(dropped);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("missing parameter 'fc1/bias'"),
+            std::string::npos)
+      << s.message();
+}
+
+TEST(ModuleStateTest, LoadStateNamesShapeMismatchWithBothShapes) {
+  Rng rng(8);
+  SmallNet net(&rng);
+  const std::string reshaped =
+      EditState(net.SaveState(), [](std::vector<io::NamedMatrix>* records) {
+        (*records)[1].value = Matrix::Ones(4, 9);  // fc1/weight is 4x8
+      });
+  Status s = net.LoadState(reshaped);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("shape mismatch for parameter 'fc1/weight'"),
+            std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("4x9"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("4x8"), std::string::npos) << s.message();
+}
+
+TEST(ModuleStateTest, FailedLoadStateLeavesModuleUnchanged) {
+  Rng rng1(9);
+  SmallNet donor(&rng1);
+  Rng rng2(10);
+  SmallNet net(&rng2);
+  ag::Var x = ag::MakeConst(Matrix::Ones(2, 4));
+  const Matrix before = net.Forward(x)->value();
+  // The payload's first records are valid and different from net's values;
+  // a non-staged load would clobber them before hitting the bad record.
+  const std::string bad =
+      EditState(donor.SaveState(), [](std::vector<io::NamedMatrix>* records) {
+        records->back().name = "fc2/oops";
+      });
+  ASSERT_FALSE(net.LoadState(bad).ok());
+  EXPECT_FLOAT_EQ(net.Forward(x)->value().MaxAbsDiff(before), 0.0f);
+}
+
+TEST(ModuleStateTest, LoadStateRejectsCorruptPayload) {
+  Rng rng(11);
+  SmallNet net(&rng);
+  std::string state = net.SaveState();
+  EXPECT_FALSE(net.LoadState(state.substr(0, state.size() / 2)).ok());
+  EXPECT_FALSE(net.LoadState("").ok());
 }
 
 }  // namespace

@@ -254,10 +254,45 @@ TEST(MatrixTest, SerializeRoundTrip) {
   Matrix a = Matrix::RandomNormal(5, 7, 0, 1, &rng);
   std::stringstream ss;
   a.Serialize(&ss);
-  Matrix b = Matrix::Deserialize(&ss);
-  EXPECT_EQ(b.rows(), 5u);
-  EXPECT_EQ(b.cols(), 7u);
-  EXPECT_FLOAT_EQ(a.MaxAbsDiff(b), 0.0f);
+  StatusOr<Matrix> b = Matrix::Deserialize(&ss);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->rows(), 5u);
+  EXPECT_EQ(b->cols(), 7u);
+  EXPECT_FLOAT_EQ(a.MaxAbsDiff(*b), 0.0f);
+}
+
+TEST(MatrixTest, DeserializeTruncatedHeaderReturnsStatus) {
+  std::stringstream ss;
+  ss.write("\x05\x00\x00", 3);  // not even one uint64 of header
+  StatusOr<Matrix> m = Matrix::Deserialize(&ss);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("header"), std::string::npos);
+}
+
+TEST(MatrixTest, DeserializeTruncatedPayloadReturnsStatus) {
+  Rng rng(10);
+  Matrix a = Matrix::RandomNormal(4, 4, 0, 1, &rng);
+  std::stringstream full;
+  a.Serialize(&full);
+  const std::string bytes = full.str();
+  // Drop the last 5 bytes of the payload.
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 5));
+  StatusOr<Matrix> m = Matrix::Deserialize(&truncated);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("payload"), std::string::npos);
+}
+
+TEST(MatrixTest, DeserializeImplausibleHeaderReturnsStatus) {
+  // A bit-flipped header claiming a ~10^18-element matrix must fail
+  // cleanly instead of attempting the allocation.
+  std::stringstream ss;
+  const uint64_t rows = uint64_t{1} << 60;
+  const uint64_t cols = 8;
+  ss.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  ss.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  StatusOr<Matrix> m = Matrix::Deserialize(&ss);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("implausible"), std::string::npos);
 }
 
 TEST(MatrixTest, DebugStringTruncates) {

@@ -1,0 +1,82 @@
+// Validates a CKPT_* / *.ckpt artifact written by CheckpointWriter
+// (DESIGN.md §12): the container must parse — magic, version, all three
+// CRC layers — and, when a model/params section is present, its
+// named-parameter payload must decode. Prints a human-readable audit of
+// the sections and parameter shapes. Registered in ctest behind a fixture
+// that has train_cli emit a real checkpoint, so the training emission path
+// is exercised end-to-end on every test run.
+//
+// Usage: validate_checkpoint <path> [<path>...]; exits non-zero with a
+// message on the first invalid artifact.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agnn/io/checkpoint.h"
+
+namespace agnn::io {
+namespace {
+
+int Validate(const std::string& path) {
+  StatusOr<CheckpointReader> reader = CheckpointReader::ReadFile(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: format version %u\n", path.c_str(), reader->version());
+  for (const std::string& name : reader->SectionNames()) {
+    StatusOr<std::string_view> payload = reader->GetSection(name);
+    if (!payload.ok()) {
+      std::fprintf(stderr, "%s: section '%s' unreadable: %s\n", path.c_str(),
+                   name.c_str(), payload.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  section %-16s %zu bytes\n", name.c_str(), payload->size());
+  }
+  if (reader->HasSection(kSectionModelParams)) {
+    std::vector<NamedMatrix> params;
+    Status s = DecodeNamedMatrices(*reader->GetSection(kSectionModelParams),
+                                   &params);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: model/params does not decode: %s\n",
+                   path.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    if (params.empty()) {
+      std::fprintf(stderr, "%s: model/params holds no parameters\n",
+                   path.c_str());
+      return 1;
+    }
+    size_t scalars = 0;
+    for (const NamedMatrix& p : params) {
+      std::printf("    %-40s %zux%zu\n", p.name.c_str(), p.value.rows(),
+                  p.value.cols());
+      scalars += p.value.rows() * p.value.cols();
+    }
+    std::printf("  model/params: %zu tensors, %zu scalars\n", params.size(),
+                scalars);
+  } else {
+    std::fprintf(stderr, "%s: missing section '%s'\n", path.c_str(),
+                 kSectionModelParams);
+    return 1;
+  }
+  std::printf("%s: ok\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn::io
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <CKPT_*.ckpt>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const int rc = agnn::io::Validate(argv[i]);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
