@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "agnn/common/string_util.h"
@@ -9,6 +10,42 @@
 #include "agnn/obs/json.h"
 
 namespace agnn::bench {
+
+namespace {
+
+const char* ScaleName(data::Scale scale) {
+  switch (scale) {
+    case data::Scale::kSmall:
+      return "small";
+    case data::Scale::kPaper:
+      return "paper";
+    case data::Scale::kMillion:
+      return "million";
+  }
+  return "unknown";
+}
+
+size_t ReadProcStatusKb(const char* field) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      kb = static_cast<size_t>(std::strtoull(line + field_len, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(file);
+  return kb;
+}
+
+}  // namespace
+
+size_t CurrentRssKb() { return ReadProcStatusKb("VmRSS:"); }
+
+size_t PeakRssKb() { return ReadProcStatusKb("VmHWM:"); }
 
 BenchOptions BenchOptions::FromFlags(int argc, char** argv) {
   FlagParser parser;
@@ -21,8 +58,10 @@ BenchOptions BenchOptions::FromFlags(int argc, char** argv) {
   const std::string scale = parser.GetString("scale", "small");
   if (scale == "paper") {
     options.scale = data::Scale::kPaper;
+  } else if (scale == "million") {
+    options.scale = data::Scale::kMillion;
   } else if (scale != "small") {
-    std::fprintf(stderr, "--scale must be small or paper\n");
+    std::fprintf(stderr, "--scale must be small, paper, or million\n");
     std::exit(2);
   }
   if (parser.Has("datasets")) {
@@ -88,9 +127,8 @@ const data::Dataset& LoadDataset(const std::string& name, data::Scale scale,
                                  uint64_t seed) {
   static std::map<std::string, data::Dataset>* cache =
       new std::map<std::string, data::Dataset>();
-  const std::string key =
-      name + (scale == data::Scale::kPaper ? "/paper/" : "/small/") +
-      std::to_string(seed);
+  const std::string key = name + "/" + ScaleName(scale) + "/" +
+                          std::to_string(seed);
   auto it = cache->find(key);
   if (it == cache->end()) {
     it = cache
@@ -110,8 +148,8 @@ void PrintHeader(const std::string& title, const std::string& paper_ref,
   std::printf(
       "Config: scale=%s dim=%zu neighbors=%zu epochs=%zu seed=%llu "
       "test_fraction=%.2f\n",
-      options.scale == data::Scale::kPaper ? "paper" : "small",
-      options.embedding_dim, options.num_neighbors, options.epochs,
+      ScaleName(options.scale), options.embedding_dim, options.num_neighbors,
+      options.epochs,
       static_cast<unsigned long long>(options.seed), options.test_fraction);
   std::printf(
       "Data: synthetic replicas of the paper's datasets (see DESIGN.md); "
@@ -169,9 +207,9 @@ std::string BenchReporter::WriteJson() {
   writer.Key("name").Value(name_);
   writer.Key("seed").Value(static_cast<uint64_t>(options_.seed));
   writer.Key("wall_ms").Value(watch_.ElapsedMillis());
+  writer.Key("peak_rss_kb").Value(static_cast<uint64_t>(PeakRssKb()));
   writer.Key("config").BeginObject();
-  writer.Key("scale").Value(options_.scale == data::Scale::kPaper ? "paper"
-                                                                  : "small");
+  writer.Key("scale").Value(ScaleName(options_.scale));
   writer.Key("datasets").BeginArray();
   for (const std::string& dataset : options_.datasets) writer.Value(dataset);
   writer.EndArray();

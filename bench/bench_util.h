@@ -43,7 +43,8 @@ struct BenchOptions {
   std::string checkpoint_dir;
   size_t checkpoint_every = 1;
 
-  /// Parses --scale=small|paper --datasets=a,b --epochs --dim --neighbors
+  /// Parses --scale=small|paper|million --datasets=a,b --epochs --dim
+  /// --neighbors
   /// --seed --test_fraction --metrics_json=path|off --trace_json=path|on|off
   /// --checkpoint_dir=dir --checkpoint_every=K. Exits with a message on bad
   /// flags.
@@ -53,6 +54,16 @@ struct BenchOptions {
   /// and the baselines.
   eval::ExperimentConfig MakeExperimentConfig() const;
 };
+
+/// Resident-set size of this process right now, in KiB (Linux /proc
+/// VmRSS; 0 where unavailable). Benches report deltas around a build step
+/// to attribute memory to it.
+size_t CurrentRssKb();
+
+/// Peak resident-set size of this process, in KiB (Linux /proc VmHWM; 0
+/// where unavailable). Every BENCH_*.json records it as "peak_rss_kb" so
+/// the perf trajectory tracks memory next to wall time.
+size_t PeakRssKb();
 
 /// Loads (and caches) a synthetic preset; repeated calls with the same
 /// (name, scale) return the same dataset so every model in a bench sees

@@ -255,7 +255,7 @@ void BM_BuildCandidatePool(benchmark::State& state) {
   auto sims = graph::PairwiseBinaryCosine(ds.item_attrs,
                                           ds.item_schema.total_slots());
   for (auto _ : state) {
-    graph::WeightedGraph pool = graph::BuildCandidatePool(
+    graph::CsrGraph pool = graph::BuildCandidatePool(
         sims, {}, graph::ProximityMode::kAttributeOnly, 5.0);
     benchmark::DoNotOptimize(pool.NumEdges());
   }
@@ -280,7 +280,7 @@ void BM_SampleNeighbors(benchmark::State& state) {
       data::SyntheticConfig::Ml100k(data::Scale::kSmall), 7);
   auto sims = graph::PairwiseBinaryCosine(ds.item_attrs,
                                           ds.item_schema.total_slots());
-  graph::WeightedGraph pool = graph::BuildCandidatePool(
+  graph::CsrGraph pool = graph::BuildCandidatePool(
       sims, {}, graph::ProximityMode::kAttributeOnly, 5.0);
   Rng rng(8);
   size_t node = 0;

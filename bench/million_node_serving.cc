@@ -1,0 +1,318 @@
+// Million-node serving benchmark (DESIGN.md §13): the storage-spine
+// round trip at catalog scale. A streamed synthetic world (--scale=million:
+// 600k users + 420k items > 1M nodes, generated chunk by chunk at O(chunk)
+// memory) is sampled-trained through its warm prefix, exported as a serving
+// checkpoint with mmap-able embedding shards, and then served twice — lazy
+// (mmap + bounded LRU row cache) and resident (shards copied into RAM) —
+// over the identical request stream. Reports generation/train/export cost,
+// the resident-memory delta of each serving mode (the lazy mode's point:
+// O(cache), not O(catalog)), request latency for both, and a bitwise
+// equality gate between the two modes.
+//
+// The default --scale=small runs the same pipeline on a toy world in
+// seconds (used as the smoke configuration); --scale=million is the
+// headline measurement and stays within a small epoch budget so it
+// completes on one core.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agnn/common/table.h"
+#include "agnn/core/inference_session.h"
+#include "agnn/core/serving_checkpoint.h"
+#include "agnn/core/trainer.h"
+#include "agnn/data/split.h"
+#include "agnn/data/synthetic_stream.h"
+#include "bench_util.h"
+
+namespace agnn::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double PercentileUs(std::vector<double>* samples, double pct) {
+  std::sort(samples->begin(), samples->end());
+  const size_t idx = std::min(
+      samples->size() - 1,
+      static_cast<size_t>(pct * static_cast<double>(samples->size())));
+  return (*samples)[idx];
+}
+
+double FileSizeMb(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return 0.0;
+  std::fseek(file, 0, SEEK_END);
+  const long bytes = std::ftell(file);
+  std::fclose(file);
+  return bytes <= 0 ? 0.0 : static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+struct Request {
+  size_t user;
+  size_t item;
+  std::vector<size_t> user_neighbors;
+  std::vector<size_t> item_neighbors;
+};
+
+/// Serves every request once and returns the predictions; latency samples
+/// (one per request) go into `us` when non-null.
+std::vector<float> ServeAll(core::InferenceSession* session,
+                            const std::vector<Request>& requests,
+                            std::vector<double>* us) {
+  std::vector<float> out;
+  out.reserve(requests.size());
+  for (const Request& req : requests) {
+    const auto t0 = Clock::now();
+    const float p = session->Predict(req.user, req.item, req.user_neighbors,
+                                     req.item_neighbors);
+    const auto t1 = Clock::now();
+    if (us != nullptr) {
+      us->push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromFlags(argc, argv);
+  // The warm prefix is tiny; a couple of epochs give realistic weights
+  // without dominating the million-node run on one core.
+  if (!options.epochs_explicit) options.epochs = 2;
+  PrintHeader(
+      "Million-node serving — streamed world, shard export, lazy vs resident",
+      "systems extension; not a paper table", options);
+  BenchReporter reporter("million_node_serving", options);
+
+  const bool million = options.scale == data::Scale::kMillion;
+  const data::SyntheticConfig world_config =
+      data::SyntheticConfig::Ml100k(options.scale);
+  data::StreamOptions stream_options;
+  stream_options.chunk_size = million ? 8192 : 128;
+  stream_options.warm_users = std::min<size_t>(world_config.num_users, 1024);
+  stream_options.warm_items = std::min<size_t>(world_config.num_items, 1024);
+  stream_options.ratings_per_warm_user =
+      std::min<size_t>(stream_options.warm_items, 24);
+  const data::SyntheticStream stream(world_config, stream_options,
+                                     options.seed);
+  const size_t num_users = stream.num_users();
+  const size_t num_items = stream.num_items();
+  reporter.Add("world/users", static_cast<double>(num_users));
+  reporter.Add("world/items", static_cast<double>(num_items));
+  reporter.Add("world/nodes", static_cast<double>(num_users + num_items));
+
+  // --- Phase 1: streamed generation. Touch every chunk once; resident
+  // memory stays O(chunk) no matter the world size.
+  const size_t rss_before_gen = CurrentRssKb();
+  const auto gen0 = Clock::now();
+  size_t total_slots = 0;
+  for (size_t c = 0; c < stream.NumUserChunks(); ++c) {
+    const data::NodeChunk chunk = stream.UserChunk(c);
+    for (const auto& slots : chunk.attrs) total_slots += slots.size();
+  }
+  for (size_t c = 0; c < stream.NumItemChunks(); ++c) {
+    const data::NodeChunk chunk = stream.ItemChunk(c);
+    for (const auto& slots : chunk.attrs) total_slots += slots.size();
+  }
+  const double gen_ms = MsSince(gen0);
+  const size_t gen_rss_delta =
+      CurrentRssKb() > rss_before_gen ? CurrentRssKb() - rss_before_gen : 0;
+  reporter.Add("generate/ms", gen_ms);
+  reporter.Add("generate/rss_delta_kb", static_cast<double>(gen_rss_delta));
+  std::printf("generated %zu nodes (%zu attribute slots) in %.0f ms, "
+              "+%zu KiB resident\n",
+              num_users + num_items, total_slots, gen_ms, gen_rss_delta);
+
+  // --- Phase 2: sampled training on the warm prefix.
+  const auto train0 = Clock::now();
+  const data::Dataset replica = stream.MaterializeWarmReplica();
+  core::AgnnConfig agnn_config = options.MakeExperimentConfig().agnn;
+  Rng split_rng(options.seed);
+  const data::Split split = data::MakeSplit(
+      replica, data::Scenario::kWarmStart, options.test_fraction, &split_rng);
+  core::AgnnTrainer trainer(replica, split, agnn_config);
+  trainer.Train();
+  const double train_ms = MsSince(train0);
+  reporter.Add("train/ms", train_ms);
+  reporter.Add("train/warm_users",
+               static_cast<double>(stream_options.warm_users));
+  reporter.Add("train/warm_items",
+               static_cast<double>(stream_options.warm_items));
+  std::printf("trained %s on the %zux%zu warm prefix in %.0f ms\n",
+              agnn_config.name.c_str(), stream_options.warm_users,
+              stream_options.warm_items, train_ms);
+
+  // --- Phase 3: export the whole catalog as a serving checkpoint. The
+  // attrs callback re-streams chunks on demand (one cached per side), so
+  // the export itself also runs at O(chunk) resident memory.
+  const std::string path = "CKPT_million_node_serving.ckpt";
+  core::ServingCatalog catalog;
+  catalog.num_users = num_users;
+  catalog.num_items = num_items;
+  std::vector<bool> cold_users(num_users, false);
+  std::vector<bool> cold_items(num_items, false);
+  for (size_t u = stream_options.warm_users; u < num_users; ++u) {
+    cold_users[u] = true;
+  }
+  for (size_t i = stream_options.warm_items; i < num_items; ++i) {
+    cold_items[i] = true;
+  }
+  catalog.cold_users = &cold_users;
+  catalog.cold_items = &cold_items;
+  struct ChunkCache {
+    size_t chunk = static_cast<size_t>(-1);
+    data::NodeChunk data;
+  };
+  ChunkCache user_cache, item_cache;
+  catalog.attrs = [&](bool user_side, size_t begin, size_t count) {
+    ChunkCache* cache = user_side ? &user_cache : &item_cache;
+    std::vector<std::vector<size_t>> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t id = begin + i;
+      const size_t chunk = id / stream_options.chunk_size;
+      if (cache->chunk != chunk) {
+        cache->data = user_side ? stream.UserChunk(chunk)
+                                : stream.ItemChunk(chunk);
+        cache->chunk = chunk;
+      }
+      out.push_back(cache->data.attrs[id - cache->data.begin]);
+    }
+    return out;
+  };
+  const auto export0 = Clock::now();
+  if (Status s = core::ExportServingCheckpoint(trainer.model(), catalog, path);
+      !s.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double export_ms = MsSince(export0);
+  const double file_mb = FileSizeMb(path);
+  reporter.Add("export/ms", export_ms);
+  reporter.Add("export/file_mb", file_mb);
+  std::printf("exported %s (%.1f MiB) in %.0f ms\n", path.c_str(), file_mb,
+              export_ms);
+
+  // --- Request stream: uniform random pairs + neighbor lists over the FULL
+  // catalog, shared verbatim by both serving modes.
+  constexpr size_t kRequests = 256;
+  const size_t neighbors = trainer.model().neighbors_per_node();
+  Rng request_rng(options.seed ^ 0xbadc0ffeULL);
+  std::vector<Request> requests(kRequests);
+  for (Request& req : requests) {
+    req.user = request_rng.UniformInt(static_cast<uint32_t>(num_users));
+    req.item = request_rng.UniformInt(static_cast<uint32_t>(num_items));
+    for (size_t k = 0; k < neighbors; ++k) {
+      req.user_neighbors.push_back(
+          request_rng.UniformInt(static_cast<uint32_t>(num_users)));
+      req.item_neighbors.push_back(
+          request_rng.UniformInt(static_cast<uint32_t>(num_items)));
+    }
+  }
+
+  // --- Phase 4: lazy serving FIRST (so the resident path's full-shard read
+  // cannot pre-fault pages the lazy measurement would then miss).
+  const size_t rss_before_lazy = CurrentRssKb();
+  core::InferenceSession::ServingOptions lazy_options;
+  lazy_options.lazy = true;
+  lazy_options.cache_rows = 4096;
+  const auto lazy_open0 = Clock::now();
+  auto lazy = core::InferenceSession::FromServingCheckpoint(
+      path, lazy_options, reporter.registry());
+  if (!lazy.ok()) {
+    std::fprintf(stderr, "lazy open failed: %s\n",
+                 lazy.status().ToString().c_str());
+    return 1;
+  }
+  const double lazy_open_ms = MsSince(lazy_open0);
+  ServeAll(lazy->get(), requests, nullptr);  // warm workspace + fault pages
+  std::vector<double> lazy_us;
+  const std::vector<float> lazy_pred = ServeAll(lazy->get(), requests,
+                                                &lazy_us);
+  const size_t rss_after_lazy = CurrentRssKb();
+  const size_t lazy_rss_delta =
+      rss_after_lazy > rss_before_lazy ? rss_after_lazy - rss_before_lazy : 0;
+  const core::LazyEmbeddingStore* user_store = (*lazy)->lazy_user_store();
+  reporter.Add("lazy/open_ms", lazy_open_ms);
+  reporter.Add("lazy/rss_delta_kb", static_cast<double>(lazy_rss_delta));
+  reporter.Add("lazy/p50_us", PercentileUs(&lazy_us, 0.5));
+  reporter.Add("lazy/p95_us", PercentileUs(&lazy_us, 0.95));
+  reporter.Add("lazy/cache_hits", static_cast<double>(user_store->hits()));
+  reporter.Add("lazy/cache_misses",
+               static_cast<double>(user_store->misses()));
+
+  // --- Phase 5: resident serving of the same checkpoint.
+  const size_t rss_before_resident = CurrentRssKb();
+  const auto resident_open0 = Clock::now();
+  core::InferenceSession::ServingOptions resident_options;
+  auto resident = core::InferenceSession::FromServingCheckpoint(
+      path, resident_options);
+  if (!resident.ok()) {
+    std::fprintf(stderr, "resident open failed: %s\n",
+                 resident.status().ToString().c_str());
+    return 1;
+  }
+  const double resident_open_ms = MsSince(resident_open0);
+  ServeAll(resident->get(), requests, nullptr);
+  std::vector<double> resident_us;
+  const std::vector<float> resident_pred =
+      ServeAll(resident->get(), requests, &resident_us);
+  const size_t rss_after_resident = CurrentRssKb();
+  const size_t resident_rss_delta =
+      rss_after_resident > rss_before_resident
+          ? rss_after_resident - rss_before_resident
+          : 0;
+  reporter.Add("resident/open_ms", resident_open_ms);
+  reporter.Add("resident/rss_delta_kb",
+               static_cast<double>(resident_rss_delta));
+  reporter.Add("resident/p50_us", PercentileUs(&resident_us, 0.5));
+  reporter.Add("resident/p95_us", PercentileUs(&resident_us, 0.95));
+
+  // --- Gate: the two modes must agree bit for bit.
+  size_t mismatches = 0;
+  for (size_t i = 0; i < kRequests; ++i) {
+    if (lazy_pred[i] != resident_pred[i]) ++mismatches;
+  }
+  reporter.Add("serve/bitwise_equal", mismatches == 0 ? 1.0 : 0.0);
+  const double reduction =
+      lazy_rss_delta > 0 ? static_cast<double>(resident_rss_delta) /
+                               static_cast<double>(lazy_rss_delta)
+                         : 0.0;
+  reporter.Add("serve/resident_over_lazy_rss", reduction);
+
+  Table table({"Mode", "open ms", "RSS delta KiB", "p50 us", "p95 us"});
+  table.AddRow({"lazy (mmap+LRU)", Table::Cell(lazy_open_ms),
+                Table::Cell(static_cast<double>(lazy_rss_delta)),
+                Table::Cell(PercentileUs(&lazy_us, 0.5)),
+                Table::Cell(PercentileUs(&lazy_us, 0.95))});
+  table.AddRow({"resident", Table::Cell(resident_open_ms),
+                Table::Cell(static_cast<double>(resident_rss_delta)),
+                Table::Cell(PercentileUs(&resident_us, 0.5)),
+                Table::Cell(PercentileUs(&resident_us, 0.95))});
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("bitwise gate: %zu/%zu mismatches; resident uses %.1fx the "
+              "lazy mode's serving memory\n",
+              mismatches, kRequests, reduction);
+  reporter.WriteJson();
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: lazy and resident serving disagree — the mmap/LRU "
+                 "path is not bitwise-safe\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn::bench
+
+int main(int argc, char** argv) { return agnn::bench::Main(argc, argv); }

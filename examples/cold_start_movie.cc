@@ -56,14 +56,14 @@ int main() {
 
   // The attribute graph gives the cold movie a neighborhood to borrow
   // preference information from — the mechanism of Fig. 1.
-  const graph::WeightedGraph& item_graph = trainer.item_graph();
+  const graph::CsrGraph& item_graph = trainer.item_graph();
   std::printf("Its attribute-graph candidate pool (%zu movies), strongest "
               "first:\n",
               item_graph.Degree(avengers));
   std::vector<std::pair<double, size_t>> pool;
   for (size_t k = 0; k < item_graph.Degree(avengers); ++k) {
-    pool.push_back({item_graph.weights[avengers][k],
-                    item_graph.neighbors[avengers][k]});
+    pool.push_back({item_graph.Weights(avengers)[k],
+                    item_graph.Neighbors(avengers)[k]});
   }
   std::sort(pool.rbegin(), pool.rend());
   for (size_t k = 0; k < std::min<size_t>(5, pool.size()); ++k) {

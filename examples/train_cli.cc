@@ -18,6 +18,7 @@
 
 #include "agnn/common/flags.h"
 #include "agnn/core/inference_session.h"
+#include "agnn/core/serving_checkpoint.h"
 #include "agnn/core/trainer.h"
 #include "agnn/core/variants.h"
 #include "agnn/data/csv_loader.h"
@@ -40,7 +41,8 @@ int Usage(const char* message) {
       "                 [--epochs=N] [--dim=D] [--seed=N]\n"
       "                 [--checkpoint=path [--checkpoint_every=K] "
       "[--resume]]\n"
-      "                 [--save=path | --load=path]\n");
+      "                 [--save=path | --load=path]\n"
+      "                 [--export_serving=path]\n");
   return 2;
 }
 
@@ -183,6 +185,73 @@ int main(int argc, char** argv) {
     std::printf("serving check: InferenceSession::FromCheckpoint(%s) "
                 "predicts %.4f for pair (0,0)\n",
                 checkpoint.c_str(), pred);
+  }
+
+  // Self-contained serving export (DESIGN.md §13): the whole catalog's
+  // fused embeddings go into mmap-able shards, then a lazy session over the
+  // exported file is spot-checked bitwise against the in-memory model
+  // session before the CLI reports success.
+  const std::string serving_path = flags.GetString("export_serving", "");
+  if (!serving_path.empty()) {
+    core::ServingCatalog catalog;
+    catalog.num_users = dataset.num_users;
+    catalog.num_items = dataset.num_items;
+    catalog.cold_users = &split.cold_user;
+    catalog.cold_items = &split.cold_item;
+    catalog.attrs = [&dataset](bool user_side, size_t begin, size_t count) {
+      const auto& table = user_side ? dataset.user_attrs : dataset.item_attrs;
+      return std::vector<std::vector<size_t>>(
+          table.begin() + static_cast<ptrdiff_t>(begin),
+          table.begin() + static_cast<ptrdiff_t>(begin + count));
+    };
+    if (Status s = core::ExportServingCheckpoint(trainer.model(), catalog,
+                                                 serving_path);
+        !s.ok()) {
+      return Usage(s.ToString().c_str());
+    }
+
+    core::InferenceSession model_session(trainer.model(), &split.cold_user,
+                                         &split.cold_item);
+    core::InferenceSession::ServingOptions options;
+    options.lazy = true;
+    options.cache_rows = 256;
+    auto lazy = core::InferenceSession::FromServingCheckpoint(serving_path,
+                                                              options);
+    if (!lazy.ok()) return Usage(lazy.status().ToString().c_str());
+
+    Rng verify_rng(config.seed ^ 0xc01dca7a10ull);
+    const size_t neighbors = trainer.model().neighbors_per_node();
+    std::vector<size_t> user_neighbors;
+    std::vector<size_t> item_neighbors;
+    size_t mismatches = 0;
+    constexpr size_t kVerifyPairs = 32;
+    for (size_t t = 0; t < kVerifyPairs; ++t) {
+      const size_t user = verify_rng.UniformInt(dataset.num_users);
+      const size_t item = verify_rng.UniformInt(dataset.num_items);
+      user_neighbors.clear();
+      item_neighbors.clear();
+      if (neighbors > 0) {
+        graph::SampleNeighborsInto(trainer.user_graph(), user, neighbors,
+                                   &verify_rng, &user_neighbors);
+        graph::SampleNeighborsInto(trainer.item_graph(), item, neighbors,
+                                   &verify_rng, &item_neighbors);
+      }
+      const float expected =
+          model_session.Predict(user, item, user_neighbors, item_neighbors);
+      const float served =
+          (*lazy)->Predict(user, item, user_neighbors, item_neighbors);
+      if (expected != served) ++mismatches;
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "export_serving: %zu/%zu lazy predictions differ from the "
+                   "model session — %s is NOT safe to serve\n",
+                   mismatches, kVerifyPairs, serving_path.c_str());
+      return 1;
+    }
+    std::printf("exported serving checkpoint to %s "
+                "(%zu lazy predictions verified bitwise against the model)\n",
+                serving_path.c_str(), kVerifyPairs);
   }
 
   if (flags.Has("save")) {

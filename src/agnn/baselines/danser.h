@@ -34,8 +34,8 @@ class Danser : public GraphRecBase {
                  const std::vector<bool>& isolated, size_t count,
                  const nn::Linear& proj, const ag::Var& attn) const;
 
-  graph::WeightedGraph user_graph_;
-  graph::WeightedGraph item_graph_;
+  graph::CsrGraph user_graph_;
+  graph::CsrGraph item_graph_;
   std::unique_ptr<nn::Embedding> user_id_;
   std::unique_ptr<nn::Embedding> item_id_;
   std::unique_ptr<AttrEmbedder> user_attr_;

@@ -32,7 +32,7 @@ class DiffNet : public GraphRecBase {
  private:
   ag::Var UserBase(const std::vector<size_t>& ids) const;
 
-  graph::WeightedGraph user_graph_;
+  graph::CsrGraph user_graph_;
   std::unique_ptr<nn::Embedding> user_id_;
   std::unique_ptr<nn::Embedding> item_id_;
   std::unique_ptr<AttrEmbedder> user_attr_;

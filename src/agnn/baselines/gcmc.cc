@@ -17,6 +17,8 @@ void BuildBipartite(const data::Dataset& dataset,
     user_to_items->AddCrossEdge(r.user, r.item, r.value);
     item_to_users->AddCrossEdge(r.item, r.user, r.value);
   }
+  user_to_items->ValidateCross(dataset.num_items);
+  item_to_users->ValidateCross(dataset.num_users);
 }
 
 }  // namespace

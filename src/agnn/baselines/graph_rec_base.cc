@@ -4,14 +4,17 @@
 
 namespace agnn::baselines {
 
-NeighborSample SampleOrIsolate(const graph::WeightedGraph& graph,
-                               const std::vector<size_t>& ids, size_t count,
-                               Rng* rng) {
+namespace {
+
+template <typename Graph>
+NeighborSample SampleOrIsolateImpl(const Graph& graph,
+                                   const std::vector<size_t>& ids,
+                                   size_t count, Rng* rng) {
   NeighborSample sample;
   sample.flat.reserve(ids.size() * count);
   sample.isolated.reserve(ids.size());
   for (size_t id : ids) {
-    if (graph.neighbors[id].empty()) {
+    if (graph.Degree(id) == 0) {
       sample.isolated.push_back(true);
       sample.flat.insert(sample.flat.end(), count, 0);
     } else {
@@ -21,6 +24,20 @@ NeighborSample SampleOrIsolate(const graph::WeightedGraph& graph,
     }
   }
   return sample;
+}
+
+}  // namespace
+
+NeighborSample SampleOrIsolate(const graph::WeightedGraph& graph,
+                               const std::vector<size_t>& ids, size_t count,
+                               Rng* rng) {
+  return SampleOrIsolateImpl(graph, ids, count, rng);
+}
+
+NeighborSample SampleOrIsolate(const graph::CsrGraph& graph,
+                               const std::vector<size_t>& ids, size_t count,
+                               Rng* rng) {
+  return SampleOrIsolateImpl(graph, ids, count, rng);
 }
 
 ag::Var ZeroIsolatedRows(const ag::Var& aggregated,

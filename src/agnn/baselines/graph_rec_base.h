@@ -20,8 +20,14 @@ struct NeighborSample {
 
 /// Samples `count` neighbors per id; unlike graph::SampleNeighbors this
 /// reports isolated nodes instead of self-looping, since cross-side
-/// (bipartite) aggregation cannot substitute the node itself.
+/// (bipartite) aggregation cannot substitute the node itself. The two
+/// overloads consume the RNG identically on the same adjacency (the CSR
+/// one serves the same-side graphs, now built as CsrGraph; the
+/// WeightedGraph one the bipartite AddCrossEdge graphs).
 NeighborSample SampleOrIsolate(const graph::WeightedGraph& graph,
+                               const std::vector<size_t>& ids, size_t count,
+                               Rng* rng);
+NeighborSample SampleOrIsolate(const graph::CsrGraph& graph,
                                const std::vector<size_t>& ids, size_t count,
                                Rng* rng);
 

@@ -31,7 +31,7 @@ void Hers::Prepare(const data::Dataset& dataset, const data::Split& split,
 }
 
 ag::Var Hers::Aggregate(const nn::Embedding& ids, const nn::Linear& relate,
-                        const graph::WeightedGraph& graph,
+                        const graph::CsrGraph& graph,
                         const std::vector<size_t>& batch_ids,
                         Rng* rng) const {
   const size_t s = options_.num_neighbors;

@@ -31,11 +31,11 @@ class Hers : public GraphRecBase {
 
  private:
   ag::Var Aggregate(const nn::Embedding& ids, const nn::Linear& relate,
-                    const graph::WeightedGraph& graph,
+                    const graph::CsrGraph& graph,
                     const std::vector<size_t>& batch_ids, Rng* rng) const;
 
-  graph::WeightedGraph user_graph_;
-  graph::WeightedGraph item_graph_;
+  graph::CsrGraph user_graph_;
+  graph::CsrGraph item_graph_;
   std::unique_ptr<nn::Embedding> user_id_;
   std::unique_ptr<nn::Embedding> item_id_;
   std::unique_ptr<nn::Linear> user_relate_;

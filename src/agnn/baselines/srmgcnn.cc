@@ -24,7 +24,7 @@ void Srmgcnn::Prepare(const data::Dataset& dataset, const data::Split& split,
 }
 
 ag::Var Srmgcnn::Convolve(const nn::Embedding& ids, const nn::Linear& conv,
-                          const graph::WeightedGraph& graph,
+                          const graph::CsrGraph& graph,
                           const std::vector<size_t>& batch_ids,
                           Rng* rng) const {
   const size_t s = options_.num_neighbors;

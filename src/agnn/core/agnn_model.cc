@@ -269,17 +269,39 @@ Matrix AgnnModel::ComputeNodesInference(bool user_side,
                                         const std::vector<bool>* cold,
                                         Workspace* ws) const {
   const Side& side = user_side ? user_side_ : item_side_;
-  const size_t batch = ids.size();
-
-  // Attribute embedding x (Eq. 4) and trained preference lookup.
-  Matrix x = side.interaction->ForwardInference(GatherAttrs(*side.attrs, ids),
-                                                ws);
-  Matrix m = side.preference->ForwardInference(ids, ws);
-
-  std::vector<bool> missing(batch, false);
+  std::vector<bool> missing(ids.size(), false);
   if (cold != nullptr) {
-    for (size_t i = 0; i < batch; ++i) missing[i] = (*cold)[ids[i]];
+    for (size_t i = 0; i < ids.size(); ++i) missing[i] = (*cold)[ids[i]];
   }
+  return ComputeNodesInference(user_side, ids, GatherAttrs(*side.attrs, ids),
+                               missing, ws);
+}
+
+Matrix AgnnModel::ComputeNodesInference(
+    bool user_side, const std::vector<size_t>& ids,
+    const std::vector<std::vector<size_t>>& attrs,
+    const std::vector<bool>& missing, Workspace* ws) const {
+  const Side& side = user_side ? user_side_ : item_side_;
+  const size_t batch = ids.size();
+  AGNN_CHECK_EQ(attrs.size(), batch);
+  AGNN_CHECK_EQ(missing.size(), batch);
+
+  // Attribute embedding x (Eq. 4) and trained preference lookup. Catalog
+  // ids beyond the trained table must be missing — their preference row is
+  // fully replaced below, so the lookup substitutes row 0 (any in-range id
+  // yields the same output bits).
+  Matrix x = side.interaction->ForwardInference(attrs, ws);
+  const size_t table_rows = side.preference->count();
+  std::vector<size_t> lookup = ids;
+  for (size_t i = 0; i < batch; ++i) {
+    if (lookup[i] >= table_rows) {
+      AGNN_CHECK(missing[i])
+          << "catalog id " << lookup[i] << " is beyond the trained table ("
+          << table_rows << " rows) but not flagged missing";
+      lookup[i] = 0;
+    }
+  }
+  Matrix m = side.preference->ForwardInference(lookup, ws);
 
   // Eval mode: no cold simulation, no random mask/dropout hiding, no
   // reconstruction loss — the cold-start module only fills missing rows.

@@ -74,6 +74,19 @@ class AgnnModel : public nn::Module {
                                const std::vector<bool>* cold,
                                Workspace* ws) const;
 
+  /// Catalog form of the above (DESIGN.md §13): attribute slots are passed
+  /// explicitly instead of looked up in the construction dataset, and
+  /// `missing` is batch-local. This is how serving-checkpoint export scores
+  /// streamed nodes the dataset never contained: any id at or beyond the
+  /// trained preference table must have missing[i] set (its preference row
+  /// is fully replaced by the cold-start module, exactly the paper's
+  /// strict-cold regime). For in-table ids with the same attrs/flags the
+  /// result is bitwise-identical to the dataset-backed overload.
+  Matrix ComputeNodesInference(bool user_side, const std::vector<size_t>& ids,
+                               const std::vector<std::vector<size_t>>& attrs,
+                               const std::vector<bool>& missing,
+                               Workspace* ws) const;
+
  private:
   friend class InferenceSession;
 

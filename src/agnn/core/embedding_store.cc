@@ -1,0 +1,87 @@
+#include "agnn/core/embedding_store.h"
+
+#include <cstring>
+#include <limits>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::core {
+
+namespace {
+constexpr size_t kNil = std::numeric_limits<size_t>::max();
+}  // namespace
+
+LazyEmbeddingStore::LazyEmbeddingStore(io::EmbeddingShardReader reader,
+                                       size_t capacity)
+    : reader_(reader),
+      capacity_(capacity),
+      cache_(capacity, reader.cols()),
+      id_of_slot_(capacity, kNil),
+      prev_(capacity, kNil),
+      next_(capacity, kNil),
+      head_(kNil),
+      tail_(kNil) {
+  AGNN_CHECK_GT(capacity, 0u);
+  AGNN_CHECK_GT(reader_.cols(), 0u);
+  slot_of_.reserve(capacity);
+}
+
+void LazyEmbeddingStore::Unlink(size_t slot) {
+  const size_t p = prev_[slot];
+  const size_t n = next_[slot];
+  if (p != kNil) next_[p] = n; else head_ = n;
+  if (n != kNil) prev_[n] = p; else tail_ = p;
+  prev_[slot] = kNil;
+  next_[slot] = kNil;
+}
+
+void LazyEmbeddingStore::PushFront(size_t slot) {
+  prev_[slot] = kNil;
+  next_[slot] = head_;
+  if (head_ != kNil) prev_[head_] = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+size_t LazyEmbeddingStore::Touch(size_t id) {
+  AGNN_CHECK_LT(id, reader_.rows());
+  if (auto it = slot_of_.find(id); it != slot_of_.end()) {
+    ++hits_;
+    const size_t slot = it->second;
+    if (head_ != slot) {
+      Unlink(slot);
+      PushFront(slot);
+    }
+    return slot;
+  }
+  ++misses_;
+  size_t slot;
+  if (used_ < capacity_) {
+    slot = used_++;
+  } else {
+    slot = tail_;  // evict the least-recently-used row
+    Unlink(slot);
+    slot_of_.erase(id_of_slot_[slot]);
+  }
+  reader_.CopyRowTo(id, cache_.Row(slot));
+  id_of_slot_[slot] = id;
+  slot_of_.emplace(id, slot);
+  PushFront(slot);
+  return slot;
+}
+
+void LazyEmbeddingStore::CopyRowTo(size_t id, float* out) {
+  const size_t slot = Touch(id);
+  std::memcpy(out, cache_.Row(slot), reader_.cols() * sizeof(float));
+}
+
+void LazyEmbeddingStore::GatherRowsInto(const std::vector<size_t>& ids,
+                                        Matrix* out) {
+  AGNN_CHECK_EQ(out->rows(), ids.size());
+  AGNN_CHECK_EQ(out->cols(), reader_.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    CopyRowTo(ids[i], out->Row(i));
+  }
+}
+
+}  // namespace agnn::core

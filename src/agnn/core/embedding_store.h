@@ -1,0 +1,68 @@
+#ifndef AGNN_CORE_EMBEDDING_STORE_H_
+#define AGNN_CORE_EMBEDDING_STORE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "agnn/io/embedding_shard.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::core {
+
+/// Bounded LRU row cache over a memory-mapped embedding shard
+/// (DESIGN.md §13). Serves GatherRowsInto at O(cache) resident memory: a
+/// hit is a memcpy from the cache matrix, a miss copies the row out of the
+/// mapping (faulting in only its pages) into the least-recently-used slot.
+///
+/// Returned bytes are identical to the shard's — and therefore to the
+/// resident ReadAll() matrix — regardless of capacity, access order, or
+/// evictions; only hits()/misses() differ. That is what keeps lazy serving
+/// bitwise-equal to the resident path.
+///
+/// The mapping behind `reader` must outlive the store. Not thread-safe.
+class LazyEmbeddingStore {
+ public:
+  /// `capacity` > 0 is the maximum number of cached rows.
+  LazyEmbeddingStore(io::EmbeddingShardReader reader, size_t capacity);
+
+  size_t rows() const { return reader_.rows(); }
+  size_t cols() const { return reader_.cols(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Copies row `id` (cols floats) into `out`.
+  void CopyRowTo(size_t id, float* out);
+
+  /// Row-gather with the same contract as Matrix::GatherRowsInto: `out`
+  /// must be [ids.size(), cols].
+  void GatherRowsInto(const std::vector<size_t>& ids, Matrix* out);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t cached_rows() const { return slot_of_.size(); }
+
+ private:
+  /// Returns the cache slot holding row `id`, loading and evicting as
+  /// needed, and marks it most-recently-used.
+  size_t Touch(size_t id);
+  void Unlink(size_t slot);
+  void PushFront(size_t slot);
+
+  io::EmbeddingShardReader reader_;
+  size_t capacity_ = 0;
+  Matrix cache_;                              // [capacity, cols]
+  std::unordered_map<size_t, size_t> slot_of_;  // row id -> slot
+  std::vector<size_t> id_of_slot_;
+  // Intrusive doubly-linked LRU list over slot indices; kNil terminated.
+  std::vector<size_t> prev_;
+  std::vector<size_t> next_;
+  size_t head_;  // most recently used
+  size_t tail_;  // least recently used
+  size_t used_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_EMBEDDING_STORE_H_

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <utility>
 
 #include "agnn/common/logging.h"
 #include "agnn/common/stopwatch.h"
 #include "agnn/io/checkpoint.h"
+#include "agnn/io/crc32.h"
+#include "agnn/io/embedding_shard.h"
 #include "agnn/obs/scoped_timer.h"
 
 namespace agnn::core {
@@ -16,7 +19,12 @@ InferenceSession::InferenceSession(const AgnnModel& model,
                                    const std::vector<bool>* cold_items,
                                    obs::MetricsRegistry* metrics,
                                    obs::TraceRecorder* trace)
-    : model_(model),
+    : model_(&model),
+      user_gnn_(model.user_side_.gnn.get()),
+      item_gnn_(model.item_side_.gnn.get()),
+      prediction_(model.prediction_.get()),
+      dim_(model.config().embedding_dim),
+      neighbors_(model.neighbors_per_node()),
       metrics_(metrics),
       trace_(trace),
       cold_users_(cold_users),
@@ -30,17 +38,54 @@ InferenceSession::InferenceSession(const AgnnModel& model,
     build_span.AddArg("items", static_cast<double>(item_embeddings_.rows()));
   }
   build_span.End();
-  if (metrics_ != nullptr) {
-    metrics_->GetGauge("session/build_ms")->Set(build_watch.ElapsedMillis());
-    instruments_.request_ms = metrics_->GetHistogram("session/request_ms");
-    instruments_.requests = metrics_->GetCounter("session/requests");
-    instruments_.pairs = metrics_->GetCounter("session/pairs");
-    instruments_.cache_rows = metrics_->GetCounter("session/cache_rows");
-    instruments_.workspace_hits = metrics_->GetGauge("session/workspace_hits");
-    instruments_.workspace_misses =
-        metrics_->GetGauge("session/workspace_misses");
-    instruments_.workspace_allocated_bytes =
-        metrics_->GetGauge("session/workspace_allocated_bytes");
+  ResolveInstruments(build_watch.ElapsedMillis());
+}
+
+InferenceSession::InferenceSession(io::MappedFile mapped,
+                                   std::unique_ptr<ServingHead> head,
+                                   const ServingMeta& meta,
+                                   std::unique_ptr<LazyEmbeddingStore> lazy_users,
+                                   std::unique_ptr<LazyEmbeddingStore> lazy_items,
+                                   Matrix user_embeddings, Matrix item_embeddings,
+                                   double build_ms, obs::MetricsRegistry* metrics,
+                                   obs::TraceRecorder* trace)
+    : user_gnn_(&head->user_gnn()),
+      item_gnn_(&head->item_gnn()),
+      prediction_(&head->prediction()),
+      dim_(meta.embedding_dim),
+      neighbors_(meta.num_neighbors),
+      metrics_(metrics),
+      trace_(trace),
+      mapped_(std::move(mapped)),
+      head_(std::move(head)),
+      lazy_users_(std::move(lazy_users)),
+      lazy_items_(std::move(lazy_items)),
+      user_embeddings_(std::move(user_embeddings)),
+      item_embeddings_(std::move(item_embeddings)) {
+  ResolveInstruments(build_ms);
+}
+
+void InferenceSession::ResolveInstruments(double build_ms) {
+  if (metrics_ == nullptr) return;
+  metrics_->GetGauge("session/build_ms")->Set(build_ms);
+  instruments_.request_ms = metrics_->GetHistogram("session/request_ms");
+  instruments_.requests = metrics_->GetCounter("session/requests");
+  instruments_.pairs = metrics_->GetCounter("session/pairs");
+  instruments_.cache_rows = metrics_->GetCounter("session/cache_rows");
+  instruments_.workspace_hits = metrics_->GetGauge("session/workspace_hits");
+  instruments_.workspace_misses =
+      metrics_->GetGauge("session/workspace_misses");
+  instruments_.workspace_allocated_bytes =
+      metrics_->GetGauge("session/workspace_allocated_bytes");
+  if (lazy_users_ != nullptr) {
+    instruments_.lazy_user_hits = metrics_->GetGauge("session/lazy_user_hits");
+    instruments_.lazy_user_misses =
+        metrics_->GetGauge("session/lazy_user_misses");
+  }
+  if (lazy_items_ != nullptr) {
+    instruments_.lazy_item_hits = metrics_->GetGauge("session/lazy_item_hits");
+    instruments_.lazy_item_misses =
+        metrics_->GetGauge("session/lazy_item_misses");
   }
 }
 
@@ -59,12 +104,127 @@ StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::FromCheckpoint(
                                             metrics, trace);
 }
 
+namespace {
+
+/// A section's bytes out of the mapped container, optionally CRC-verified
+/// (always for the small meta/params sections; for a multi-hundred-MB shard
+/// verification faults in every page, so the lazy path skips it).
+StatusOr<std::string_view> IndexedSection(const io::MappedFile& mapped,
+                                          const io::CheckpointIndex& index,
+                                          std::string_view name,
+                                          bool verify_crc) {
+  const io::SectionIndexEntry* entry = index.Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("serving checkpoint has no \"" +
+                            std::string(name) + "\" section");
+  }
+  const std::string_view payload =
+      mapped.view().substr(entry->offset, entry->length);
+  if (verify_crc && io::Crc32(payload) != entry->crc) {
+    return Status::InvalidArgument("section '" + std::string(name) +
+                                   "' CRC mismatch (corrupted payload)");
+  }
+  return payload;
+}
+
+StatusOr<io::EmbeddingShardReader> OpenShard(const io::MappedFile& mapped,
+                                             const io::CheckpointIndex& index,
+                                             std::string_view name,
+                                             size_t expected_rows,
+                                             size_t expected_cols,
+                                             bool verify_crc) {
+  StatusOr<std::string_view> payload =
+      IndexedSection(mapped, index, name, /*verify_crc=*/false);
+  if (!payload.ok()) return payload.status();
+  if (verify_crc) {
+    if (Status s = io::VerifyShardCrc(*payload, index.Find(name)->crc);
+        !s.ok()) {
+      return s;
+    }
+  }
+  StatusOr<io::EmbeddingShardReader> reader =
+      io::EmbeddingShardReader::Open(*payload);
+  if (!reader.ok()) return reader.status();
+  if (reader->rows() != expected_rows || reader->cols() != expected_cols) {
+    return Status::InvalidArgument(
+        "shard \"" + std::string(name) + "\" is [" +
+        std::to_string(reader->rows()) + ", " + std::to_string(reader->cols()) +
+        "], serving/meta says [" + std::to_string(expected_rows) + ", " +
+        std::to_string(expected_cols) + "]");
+  }
+  return reader;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<InferenceSession>>
+InferenceSession::FromServingCheckpoint(const std::string& path,
+                                        const ServingOptions& options,
+                                        obs::MetricsRegistry* metrics,
+                                        obs::TraceRecorder* trace) {
+  Stopwatch build_watch;
+  StatusOr<io::MappedFile> mapped = io::MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  StatusOr<io::CheckpointIndex> index =
+      io::ParseCheckpointIndex(mapped->view());
+  if (!index.ok()) return index.status();
+
+  StatusOr<std::string_view> meta_bytes = IndexedSection(
+      *mapped, *index, io::kSectionServingMeta, /*verify_crc=*/true);
+  if (!meta_bytes.ok()) return meta_bytes.status();
+  StatusOr<ServingMeta> meta = ServingMeta::Decode(*meta_bytes);
+  if (!meta.ok()) return meta.status();
+
+  StatusOr<std::string_view> params = IndexedSection(
+      *mapped, *index, io::kSectionServingParams, /*verify_crc=*/true);
+  if (!params.ok()) return params.status();
+  auto head = std::make_unique<ServingHead>(*meta);
+  if (Status s = head->LoadState(*params); !s.ok()) return s;
+
+  StatusOr<io::EmbeddingShardReader> users =
+      OpenShard(*mapped, *index, io::kSectionUserEmbeddings, meta->num_users,
+                meta->embedding_dim, /*verify_crc=*/!options.lazy);
+  if (!users.ok()) return users.status();
+  StatusOr<io::EmbeddingShardReader> items =
+      OpenShard(*mapped, *index, io::kSectionItemEmbeddings, meta->num_items,
+                meta->embedding_dim, /*verify_crc=*/!options.lazy);
+  if (!items.ok()) return items.status();
+
+  std::unique_ptr<LazyEmbeddingStore> lazy_users;
+  std::unique_ptr<LazyEmbeddingStore> lazy_items;
+  Matrix user_embeddings;
+  Matrix item_embeddings;
+  if (options.lazy) {
+    const size_t floor = std::max<size_t>(options.cache_rows, 1);
+    lazy_users = std::make_unique<LazyEmbeddingStore>(
+        *users, std::min(floor, users->rows()));
+    lazy_items = std::make_unique<LazyEmbeddingStore>(
+        *items, std::min(floor, items->rows()));
+  } else {
+    user_embeddings = users->ReadAll();
+    item_embeddings = items->ReadAll();
+  }
+  return std::unique_ptr<InferenceSession>(new InferenceSession(
+      std::move(mapped).value(), std::move(head), *meta, std::move(lazy_users),
+      std::move(lazy_items), std::move(user_embeddings),
+      std::move(item_embeddings), build_watch.ElapsedMillis(), metrics,
+      trace));
+}
+
+size_t InferenceSession::num_users() const {
+  return lazy_users_ != nullptr ? lazy_users_->rows() : user_embeddings_.rows();
+}
+
+size_t InferenceSession::num_items() const {
+  return lazy_items_ != nullptr ? lazy_items_->rows() : item_embeddings_.rows();
+}
+
 void InferenceSession::PrecomputeSide(bool user_side,
                                       const std::vector<bool>* cold,
                                       Matrix* cache) {
-  const size_t num_nodes = user_side ? model_.user_side_.attrs->size()
-                                     : model_.item_side_.attrs->size();
-  const size_t dim = model_.config().embedding_dim;
+  const size_t num_nodes = user_side ? model_->user_side_.attrs->size()
+                                     : model_->item_side_.attrs->size();
+  const size_t dim = dim_;
   *cache = Matrix(num_nodes, dim);
 
   // Chunked so the workspace high-water mark stays bounded by the chunk
@@ -76,10 +236,28 @@ void InferenceSession::PrecomputeSide(bool user_side,
     const size_t end = std::min(num_nodes, start + kChunk);
     ids.resize(end - start);
     std::iota(ids.begin(), ids.end(), start);
-    Matrix p = model_.ComputeNodesInference(user_side, ids, cold, &ws_);
+    Matrix p = model_->ComputeNodesInference(user_side, ids, cold, &ws_);
     std::memcpy(cache->data() + start * dim, p.data(),
                 p.size() * sizeof(float));
     ws_.Give(std::move(p));
+  }
+}
+
+void InferenceSession::GatherEmbeddingRows(bool user_side,
+                                           const std::vector<size_t>& ids,
+                                           Matrix* out) {
+  if (user_side) {
+    if (lazy_users_ != nullptr) {
+      lazy_users_->GatherRowsInto(ids, out);
+    } else {
+      user_embeddings_.GatherRowsInto(ids, out);
+    }
+  } else {
+    if (lazy_items_ != nullptr) {
+      lazy_items_->GatherRowsInto(ids, out);
+    } else {
+      item_embeddings_.GatherRowsInto(ids, out);
+    }
   }
 }
 
@@ -121,15 +299,15 @@ void InferenceSession::PredictBatch(
     request_span.AddArg("cold_pairs", cold_pairs);
   }
 
-  const size_t dim = model_.config().embedding_dim;
-  const size_t neighbors = model_.neighbors_per_node();
+  const size_t dim = dim_;
+  const size_t neighbors = neighbors_;
 
   Matrix user_final = ws_.Take(batch, dim);
   Matrix item_final = ws_.Take(batch, dim);
   {
     obs::TraceSpan span(trace_, "gather", "session");
-    user_embeddings_.GatherRowsInto(user_ids, &user_final);
-    item_embeddings_.GatherRowsInto(item_ids, &item_final);
+    GatherEmbeddingRows(/*user_side=*/true, user_ids, &user_final);
+    GatherEmbeddingRows(/*user_side=*/false, item_ids, &item_final);
     span.AddArg("rows", static_cast<double>(2 * batch));
   }
 
@@ -138,14 +316,14 @@ void InferenceSession::PredictBatch(
     AGNN_CHECK_EQ(item_neighbor_ids.size(), batch * neighbors);
     obs::TraceSpan span(trace_, "gnn", "session");
     Matrix user_neigh = ws_.Take(batch * neighbors, dim);
-    user_embeddings_.GatherRowsInto(user_neighbor_ids, &user_neigh);
+    GatherEmbeddingRows(/*user_side=*/true, user_neighbor_ids, &user_neigh);
     Matrix item_neigh = ws_.Take(batch * neighbors, dim);
-    item_embeddings_.GatherRowsInto(item_neighbor_ids, &item_neigh);
+    GatherEmbeddingRows(/*user_side=*/false, item_neighbor_ids, &item_neigh);
 
-    Matrix user_agg = model_.user_side_.gnn->ForwardInference(
-        user_final, user_neigh, neighbors, &ws_, trace_);
-    Matrix item_agg = model_.item_side_.gnn->ForwardInference(
-        item_final, item_neigh, neighbors, &ws_, trace_);
+    Matrix user_agg = user_gnn_->ForwardInference(user_final, user_neigh,
+                                                  neighbors, &ws_, trace_);
+    Matrix item_agg = item_gnn_->ForwardInference(item_final, item_neigh,
+                                                  neighbors, &ws_, trace_);
     ws_.Give(std::move(user_final));
     ws_.Give(std::move(item_final));
     ws_.Give(std::move(user_neigh));
@@ -157,8 +335,9 @@ void InferenceSession::PredictBatch(
   Matrix predictions;
   {
     obs::TraceSpan span(trace_, "head", "session");
-    predictions = model_.prediction_->ForwardInference(
-        user_final, item_final, user_ids, item_ids, &ws_, trace_);
+    predictions = prediction_->ForwardInference(user_final, item_final,
+                                                user_ids, item_ids, &ws_,
+                                                trace_);
   }
   for (size_t i = 0; i < batch; ++i) (*out)[i] = predictions.At(i, 0);
   ws_.Give(std::move(user_final));
@@ -171,8 +350,9 @@ void InferenceSession::PredictBatch(
   if (metrics_ != nullptr) {
     instruments_.requests->Increment();
     instruments_.pairs->Increment(batch);
-    // Every served row is a hit on the precomputed embedding cache:
-    // 2 target rows per pair plus both sides' gathered neighbor rows.
+    // Every served row is a read against the embedding store (precomputed
+    // matrix or LRU cache): 2 target rows per pair plus both sides'
+    // gathered neighbor rows.
     const size_t neighbor_rows =
         neighbors > 0 ? user_neighbor_ids.size() + item_neighbor_ids.size()
                       : 0;
@@ -181,6 +361,18 @@ void InferenceSession::PredictBatch(
     instruments_.workspace_misses->Set(static_cast<double>(ws_.misses()));
     instruments_.workspace_allocated_bytes->Set(
         static_cast<double>(ws_.allocated_bytes()));
+    if (instruments_.lazy_user_hits != nullptr) {
+      instruments_.lazy_user_hits->Set(
+          static_cast<double>(lazy_users_->hits()));
+      instruments_.lazy_user_misses->Set(
+          static_cast<double>(lazy_users_->misses()));
+    }
+    if (instruments_.lazy_item_hits != nullptr) {
+      instruments_.lazy_item_hits->Set(
+          static_cast<double>(lazy_items_->hits()));
+      instruments_.lazy_item_misses->Set(
+          static_cast<double>(lazy_items_->misses()));
+    }
   }
 }
 

@@ -7,6 +7,9 @@
 
 #include "agnn/common/status.h"
 #include "agnn/core/agnn_model.h"
+#include "agnn/core/embedding_store.h"
+#include "agnn/core/serving_checkpoint.h"
+#include "agnn/io/mapped_file.h"
 #include "agnn/obs/metrics.h"
 #include "agnn/obs/trace.h"
 #include "agnn/tensor/workspace.h"
@@ -29,11 +32,32 @@ namespace agnn::core {
 /// row/block-independent, and the session mirrors the tape's exact
 /// per-element operation order (enforced by inference_session_test).
 ///
+/// Besides the model-backed snapshot there is a second construction path,
+/// FromServingCheckpoint (DESIGN.md §13): the precomputed embeddings come
+/// from the checkpoint's fixed-stride shards and the per-request compute
+/// from its serving head, with no AgnnModel or dataset in memory at all. In
+/// lazy mode the shards stay memory-mapped and rows are served through a
+/// bounded LRU cache, so resident memory is O(cache + head), not
+/// O(catalog) — and every prediction is still bitwise-identical to the
+/// resident path (the cache is a pure memcpy layer).
+///
 /// The model and the cold-flag vectors must outlive the session; parameter
 /// updates after construction are not reflected. Not thread-safe (owns one
 /// Workspace).
 class InferenceSession {
  public:
+  /// How FromServingCheckpoint materializes the embedding shards.
+  struct ServingOptions {
+    /// false: copy both shards into resident matrices (verifying their
+    /// CRCs). true: keep the file mapped and serve rows through a bounded
+    /// LRU cache; only the meta/params sections are CRC-verified, so open
+    /// cost and resident memory are O(head + cache), independent of the
+    /// catalog size.
+    bool lazy = false;
+    /// Lazy mode: max cached rows per side (clamped to [1, shard rows]).
+    size_t cache_rows = 4096;
+  };
+
   /// `metrics` (optional, must outlive the session) enables serving
   /// instrumentation (DESIGN.md §10): the session/build_ms gauge, the
   /// session/request_ms latency histogram, request/pair/cache-row counters,
@@ -61,8 +85,19 @@ class InferenceSession {
       obs::MetricsRegistry* metrics = nullptr,
       obs::TraceRecorder* trace = nullptr);
 
+  /// Serves a self-contained serving checkpoint (ExportServingCheckpoint,
+  /// DESIGN.md §13) with no model or dataset: rebuilds the head from
+  /// serving/meta + serving/params and reads the embedding shards per
+  /// `options`. Cold-start handling is already baked into the shard rows,
+  /// so there are no cold flags here. Lazy and resident sessions over the
+  /// same file return bitwise-identical predictions.
+  static StatusOr<std::unique_ptr<InferenceSession>> FromServingCheckpoint(
+      const std::string& path, const ServingOptions& options,
+      obs::MetricsRegistry* metrics = nullptr,
+      obs::TraceRecorder* trace = nullptr);
+
   /// Single (user, item) request. Each neighbor list must hold
-  /// model.neighbors_per_node() ids sampled from the attribute graph
+  /// neighbors_per_node() ids sampled from the attribute graph
   /// (ignored when the aggregator is off).
   float Predict(size_t user_id, size_t item_id,
                 const std::vector<size_t>& user_neighbor_ids,
@@ -76,17 +111,50 @@ class InferenceSession {
                     const std::vector<size_t>& item_neighbor_ids,
                     std::vector<float>* out);
 
-  /// Cached fused embeddings ([num_users, D] / [num_items, D]).
+  size_t num_users() const;
+  size_t num_items() const;
+  size_t embedding_dim() const { return dim_; }
+  size_t neighbors_per_node() const { return neighbors_; }
+
+  /// Cached fused embeddings ([num_users, D] / [num_items, D]). Empty in a
+  /// lazy serving session — rows live in the mapped shards there.
   const Matrix& user_embeddings() const { return user_embeddings_; }
   const Matrix& item_embeddings() const { return item_embeddings_; }
+
+  /// Lazy serving session's row caches; null on the model-backed and
+  /// resident paths.
+  const LazyEmbeddingStore* lazy_user_store() const {
+    return lazy_users_.get();
+  }
+  const LazyEmbeddingStore* lazy_item_store() const {
+    return lazy_items_.get();
+  }
 
   /// The session-owned buffer pool; hits()/misses() expose whether the
   /// steady state allocates (see the no-allocation test).
   Workspace* workspace() { return &ws_; }
 
  private:
+  /// Serving-checkpoint path: exactly one of (lazy stores) / (resident
+  /// matrices) is populated per side.
+  InferenceSession(io::MappedFile mapped, std::unique_ptr<ServingHead> head,
+                   const ServingMeta& meta,
+                   std::unique_ptr<LazyEmbeddingStore> lazy_users,
+                   std::unique_ptr<LazyEmbeddingStore> lazy_items,
+                   Matrix user_embeddings, Matrix item_embeddings,
+                   double build_ms, obs::MetricsRegistry* metrics,
+                   obs::TraceRecorder* trace);
+
   void PrecomputeSide(bool user_side, const std::vector<bool>* cold,
                       Matrix* cache);
+
+  /// The one seam between resident and lazy embedding storage: gathers
+  /// `ids` rows of one side into `out` ([ids.size(), D]). Both backends
+  /// copy the same bytes (DESIGN.md §13 bitwise contract).
+  void GatherEmbeddingRows(bool user_side, const std::vector<size_t>& ids,
+                           Matrix* out);
+
+  void ResolveInstruments(double build_ms);
 
   /// Handles resolved once at construction; all null without a registry.
   struct Instruments {
@@ -97,15 +165,35 @@ class InferenceSession {
     obs::Gauge* workspace_hits = nullptr;
     obs::Gauge* workspace_misses = nullptr;
     obs::Gauge* workspace_allocated_bytes = nullptr;
+    // Lazy serving only: LRU cache effectiveness per side.
+    obs::Gauge* lazy_user_hits = nullptr;
+    obs::Gauge* lazy_user_misses = nullptr;
+    obs::Gauge* lazy_item_hits = nullptr;
+    obs::Gauge* lazy_item_misses = nullptr;
   };
 
-  const AgnnModel& model_;
+  /// Null in a serving-checkpoint session; kept for the tracer's cold/warm
+  /// request annotation and the model-backed precompute.
+  const AgnnModel* model_ = nullptr;
+  /// Per-request compute, resolved once: either the model's modules or the
+  /// serving head's.
+  const GatedGnn* user_gnn_ = nullptr;
+  const GatedGnn* item_gnn_ = nullptr;
+  const PredictionLayer* prediction_ = nullptr;
+  size_t dim_ = 0;
+  size_t neighbors_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   // Kept only for the tracer's cold/warm request annotation.
   const std::vector<bool>* cold_users_ = nullptr;
   const std::vector<bool>* cold_items_ = nullptr;
   Instruments instruments_;
+  // Serving-checkpoint state: the mapping must outlive the shard-backed
+  // stores, and the head owns the parameters the compute pointers alias.
+  io::MappedFile mapped_;
+  std::unique_ptr<ServingHead> head_;
+  std::unique_ptr<LazyEmbeddingStore> lazy_users_;
+  std::unique_ptr<LazyEmbeddingStore> lazy_items_;
   Matrix user_embeddings_;
   Matrix item_embeddings_;
   Workspace ws_;

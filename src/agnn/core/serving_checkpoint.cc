@@ -1,0 +1,198 @@
+#include "agnn/core/serving_checkpoint.h"
+
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "agnn/common/logging.h"
+#include "agnn/io/bytes.h"
+#include "agnn/io/checkpoint.h"
+#include "agnn/io/embedding_shard.h"
+#include "agnn/tensor/workspace.h"
+
+namespace agnn::core {
+
+std::string ServingMeta::Encode() const {
+  io::ByteWriter w;
+  w.Str(name);
+  w.U64(embedding_dim);
+  w.U64(prediction_hidden_dim);
+  w.U64(num_users);
+  w.U64(num_items);
+  w.U64(num_neighbors);
+  w.U8(static_cast<uint8_t>(aggregator));
+  w.F32(gnn_output_slope);
+  return std::move(w).Release();
+}
+
+StatusOr<ServingMeta> ServingMeta::Decode(std::string_view payload) {
+  io::ByteReader r(payload);
+  ServingMeta meta;
+  uint64_t dim = 0, hidden = 0, users = 0, items = 0, neighbors = 0;
+  uint8_t aggregator = 0;
+  Status s = r.Str(&meta.name);
+  if (s.ok()) s = r.U64(&dim);
+  if (s.ok()) s = r.U64(&hidden);
+  if (s.ok()) s = r.U64(&users);
+  if (s.ok()) s = r.U64(&items);
+  if (s.ok()) s = r.U64(&neighbors);
+  if (s.ok()) s = r.U8(&aggregator);
+  if (s.ok()) s = r.F32(&meta.gnn_output_slope);
+  if (!s.ok()) {
+    return Status::InvalidArgument("truncated serving/meta section: " +
+                                   s.message());
+  }
+  if (dim == 0 || users == 0 || items == 0) {
+    return Status::InvalidArgument("serving/meta has empty dimensions");
+  }
+  if (aggregator > static_cast<uint8_t>(Aggregator::kGat)) {
+    return Status::InvalidArgument("serving/meta has unknown aggregator " +
+                                   std::to_string(aggregator));
+  }
+  meta.embedding_dim = dim;
+  meta.prediction_hidden_dim = hidden;
+  meta.num_users = users;
+  meta.num_items = items;
+  meta.num_neighbors = neighbors;
+  meta.aggregator = static_cast<Aggregator>(aggregator);
+  return meta;
+}
+
+ServingHead::ServingHead(const ServingMeta& meta)
+    : ServingHead(meta, Rng(0)) {}
+
+ServingHead::ServingHead(const ServingMeta& meta, Rng rng)
+    : user_gnn_(meta.embedding_dim, meta.aggregator, &rng,
+                meta.gnn_output_slope),
+      item_gnn_(meta.embedding_dim, meta.aggregator, &rng,
+                meta.gnn_output_slope),
+      prediction_(meta.embedding_dim, meta.prediction_hidden_dim,
+                  meta.num_users, meta.num_items, /*global_mean=*/0.0f,
+                  &rng) {
+  RegisterSubmodule("user_gnn", &user_gnn_);
+  RegisterSubmodule("item_gnn", &item_gnn_);
+  RegisterSubmodule("prediction", &prediction_);
+}
+
+namespace {
+
+bool HasPrefix(const std::string& name, std::string_view prefix) {
+  return name.size() >= prefix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0;
+}
+
+// Zero-extends a per-node table from the trained prefix to `rows` catalog
+// rows: trained nodes keep their values, catalog-cold nodes get zeros (a
+// zero bias is the natural prior for a node no training example touched).
+Status ExtendRows(const std::string& name, size_t rows, Matrix* table) {
+  if (table->rows() == rows) return Status::Ok();
+  if (table->rows() > rows) {
+    return Status::InvalidArgument(
+        name + " has " + std::to_string(table->rows()) +
+        " trained rows, more than the catalog's " + std::to_string(rows));
+  }
+  Matrix bigger = Matrix::Zeros(rows, table->cols());
+  std::memcpy(bigger.data(), table->data(), table->size() * sizeof(float));
+  *table = std::move(bigger);
+  return Status::Ok();
+}
+
+// The head parameters a serving checkpoint carries, with the bias tables
+// sized to the catalog.
+StatusOr<std::string> BuildServingParams(const AgnnModel& model,
+                                         const ServingCatalog& catalog) {
+  std::vector<io::NamedMatrix> all;
+  if (Status s = io::DecodeNamedMatrices(model.SaveState(), &all); !s.ok()) {
+    return s;
+  }
+  std::vector<io::NamedMatrix> head;
+  for (io::NamedMatrix& record : all) {
+    if (!HasPrefix(record.name, "user_gnn/") &&
+        !HasPrefix(record.name, "item_gnn/") &&
+        !HasPrefix(record.name, "prediction/")) {
+      continue;
+    }
+    if (record.name == "prediction/user_bias/table") {
+      if (Status s = ExtendRows(record.name, catalog.num_users, &record.value);
+          !s.ok()) {
+        return s;
+      }
+    } else if (record.name == "prediction/item_bias/table") {
+      if (Status s = ExtendRows(record.name, catalog.num_items, &record.value);
+          !s.ok()) {
+        return s;
+      }
+    }
+    head.push_back(std::move(record));
+  }
+  return io::EncodeNamedMatrices(head);
+}
+
+// Computes every catalog node's fused embedding p chunk by chunk and packs
+// the rows into a fixed-stride shard payload.
+std::string BuildShard(const AgnnModel& model, const ServingCatalog& catalog,
+                       bool user_side, Workspace* ws) {
+  const size_t total = user_side ? catalog.num_users : catalog.num_items;
+  const std::vector<bool>* cold =
+      user_side ? catalog.cold_users : catalog.cold_items;
+  AGNN_CHECK(cold == nullptr || cold->size() == total);
+  const size_t dim = model.config().embedding_dim;
+  io::EmbeddingShardWriter writer(total, dim);
+
+  constexpr size_t kChunk = 1024;
+  std::vector<size_t> ids;
+  std::vector<bool> missing;
+  for (size_t begin = 0; begin < total; begin += kChunk) {
+    const size_t count = std::min(total - begin, kChunk);
+    ids.resize(count);
+    std::iota(ids.begin(), ids.end(), begin);
+    missing.assign(count, false);
+    if (cold != nullptr) {
+      for (size_t i = 0; i < count; ++i) missing[i] = (*cold)[begin + i];
+    }
+    std::vector<std::vector<size_t>> attrs =
+        catalog.attrs(user_side, begin, count);
+    AGNN_CHECK_EQ(attrs.size(), count);
+    Matrix p = model.ComputeNodesInference(user_side, ids, attrs, missing, ws);
+    writer.AppendRows(p);
+    ws->Give(std::move(p));
+  }
+  return std::move(writer).Finish();
+}
+
+}  // namespace
+
+Status ExportServingCheckpoint(const AgnnModel& model,
+                               const ServingCatalog& catalog,
+                               const std::string& path) {
+  AGNN_CHECK(catalog.attrs != nullptr);
+  AGNN_CHECK_GT(catalog.num_users, 0u);
+  AGNN_CHECK_GT(catalog.num_items, 0u);
+
+  ServingMeta meta;
+  meta.name = model.config().name;
+  meta.embedding_dim = model.config().embedding_dim;
+  meta.prediction_hidden_dim = model.config().prediction_hidden_dim;
+  meta.num_users = catalog.num_users;
+  meta.num_items = catalog.num_items;
+  meta.num_neighbors = model.neighbors_per_node();
+  meta.aggregator = model.config().aggregator;
+  meta.gnn_output_slope = model.config().gnn_output_slope;
+
+  StatusOr<std::string> params = BuildServingParams(model, catalog);
+  if (!params.ok()) return params.status();
+
+  Workspace ws;
+  io::CheckpointWriter writer;
+  writer.AddSection(io::kSectionServingMeta, meta.Encode());
+  writer.AddSection(io::kSectionServingParams, std::move(params).value());
+  writer.AddAlignedSection(io::kSectionUserEmbeddings,
+                           BuildShard(model, catalog, /*user_side=*/true, &ws),
+                           io::kShardAlignment);
+  writer.AddAlignedSection(io::kSectionItemEmbeddings,
+                           BuildShard(model, catalog, /*user_side=*/false, &ws),
+                           io::kShardAlignment);
+  return writer.WriteFile(path);
+}
+
+}  // namespace agnn::core

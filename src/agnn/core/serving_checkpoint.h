@@ -1,0 +1,87 @@
+#ifndef AGNN_CORE_SERVING_CHECKPOINT_H_
+#define AGNN_CORE_SERVING_CHECKPOINT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agnn/common/status.h"
+#include "agnn/core/agnn_model.h"
+#include "agnn/core/gated_gnn.h"
+#include "agnn/core/prediction_layer.h"
+
+namespace agnn::core {
+
+/// Architecture fingerprint of a serving checkpoint — everything needed to
+/// rebuild the serving head (two gated-GNNs + prediction layer) without the
+/// training dataset. Stored as the "serving/meta" section.
+struct ServingMeta {
+  std::string name;
+  size_t embedding_dim = 0;
+  size_t prediction_hidden_dim = 0;
+  size_t num_users = 0;  ///< catalog size == user shard rows
+  size_t num_items = 0;
+  size_t num_neighbors = 0;  ///< effective S (0 when the aggregator is off)
+  Aggregator aggregator = Aggregator::kGatedGnn;
+  float gnn_output_slope = 0.5f;
+
+  std::string Encode() const;
+  static StatusOr<ServingMeta> Decode(std::string_view payload);
+};
+
+/// The per-request compute of a serving checkpoint: the model's two
+/// gated-GNNs and prediction layer, reconstructed from ServingMeta and
+/// loaded from the "serving/params" section. Submodule names mirror the
+/// AgnnModel registration ("user_gnn", "item_gnn", "prediction"), so the
+/// exported parameter names round-trip unchanged.
+class ServingHead : public nn::Module {
+ public:
+  explicit ServingHead(const ServingMeta& meta);
+
+  const GatedGnn& user_gnn() const { return user_gnn_; }
+  const GatedGnn& item_gnn() const { return item_gnn_; }
+  const PredictionLayer& prediction() const { return prediction_; }
+
+ private:
+  /// Delegate target: modules need an Rng at construction even though every
+  /// parameter is overwritten by LoadState.
+  ServingHead(const ServingMeta& meta, Rng rng);
+
+  GatedGnn user_gnn_;
+  GatedGnn item_gnn_;
+  PredictionLayer prediction_;
+};
+
+/// Describes the (possibly streamed) catalog a serving checkpoint covers.
+/// `attrs(user_side, begin, count)` returns the attribute slot lists of
+/// nodes [begin, begin+count) on one side; the export calls it chunk by
+/// chunk so a million-node catalog never materializes at once.
+///
+/// `cold_users`/`cold_items` (nullable => all warm) flag strict-cold nodes
+/// over the WHOLE catalog; every id at or beyond the trained model's tables
+/// must be flagged cold (enforced), since only the cold-start module can
+/// embed a node with no trained preference row.
+struct ServingCatalog {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  std::function<std::vector<std::vector<size_t>>(bool user_side, size_t begin,
+                                                 size_t count)>
+      attrs;
+  const std::vector<bool>* cold_users = nullptr;
+  const std::vector<bool>* cold_items = nullptr;
+};
+
+/// Writes `model` as a self-contained serving checkpoint (DESIGN.md §13):
+/// serving/meta, serving/params (head parameters; the per-node bias tables
+/// zero-extended from the trained prefix to the catalog size), and the two
+/// 64-byte-aligned embedding shards holding every catalog node's fused
+/// embedding p (computed chunk-wise through the cold-start module for cold
+/// nodes). The result serves through InferenceSession::FromServingCheckpoint
+/// in resident or lazy (mmap + LRU) mode with bitwise-identical predictions.
+Status ExportServingCheckpoint(const AgnnModel& model,
+                               const ServingCatalog& catalog,
+                               const std::string& path);
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_SERVING_CHECKPOINT_H_

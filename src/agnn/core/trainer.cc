@@ -91,7 +91,7 @@ void AgnnTrainer::BuildGraphs() {
 }
 
 std::vector<size_t> AgnnTrainer::SampleBatchNeighbors(
-    const graph::WeightedGraph& graph, const std::vector<size_t>& ids,
+    const graph::CsrGraph& graph, const std::vector<size_t>& ids,
     Rng* rng) const {
   std::vector<size_t> out;
   const size_t s = model_->neighbors_per_node();

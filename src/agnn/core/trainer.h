@@ -98,8 +98,8 @@ class AgnnTrainer {
 
   const AgnnModel& model() const { return *model_; }
   AgnnModel* mutable_model() { return model_.get(); }
-  const graph::WeightedGraph& user_graph() const { return user_graph_; }
-  const graph::WeightedGraph& item_graph() const { return item_graph_; }
+  const graph::CsrGraph& user_graph() const { return user_graph_; }
+  const graph::CsrGraph& item_graph() const { return item_graph_; }
   const std::vector<EpochStats>& curves() const { return curves_; }
 
  private:
@@ -108,7 +108,7 @@ class AgnnTrainer {
                   std::vector<float>* targets);
   /// Samples S neighbors per id from `graph` into a flat [B*S] list,
   /// consuming `rng` (the training stream or a per-call eval stream).
-  std::vector<size_t> SampleBatchNeighbors(const graph::WeightedGraph& graph,
+  std::vector<size_t> SampleBatchNeighbors(const graph::CsrGraph& graph,
                                            const std::vector<size_t>& ids,
                                            Rng* rng) const;
 
@@ -140,8 +140,8 @@ class AgnnTrainer {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   Instruments instruments_;
-  graph::WeightedGraph user_graph_;
-  graph::WeightedGraph item_graph_;
+  graph::CsrGraph user_graph_;
+  graph::CsrGraph item_graph_;
   std::unique_ptr<AgnnModel> model_;
   std::unique_ptr<nn::Adam> optimizer_;
   std::vector<EpochStats> curves_;

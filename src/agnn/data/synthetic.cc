@@ -344,7 +344,13 @@ FieldSpec Multi(const std::string& name, size_t cardinality, size_t min_active,
 SyntheticConfig SyntheticConfig::Ml100k(Scale scale) {
   SyntheticConfig config;
   config.name = "ml100k";
-  if (scale == Scale::kPaper) {
+  if (scale == Scale::kMillion) {
+    // Catalog-scale world for the streaming generator (DESIGN.md §13):
+    // 600k users + 420k items > 1M nodes.
+    config.num_users = 600000;
+    config.num_items = 420000;
+    config.num_ratings = 1200000;
+  } else if (scale == Scale::kPaper) {
     config.num_users = 943;
     config.num_items = 1682;
     config.num_ratings = 100000;
@@ -355,15 +361,19 @@ SyntheticConfig SyntheticConfig::Ml100k(Scale scale) {
   }
   config.user_fields = {Single("gender", 2), Single("age", 7),
                         Single("occupation", 21)};
-  const bool paper = scale == Scale::kPaper;
+  const bool small = scale == Scale::kSmall;
   config.item_fields = {Multi("category", 18, 1, 3),
-                        Single("director", paper ? 160 : 50),
-                        Single("star", paper ? 250 : 80),
+                        Single("director", small ? 50
+                               : scale == Scale::kMillion ? 2000 : 160),
+                        Single("star", small ? 80
+                               : scale == Scale::kMillion ? 3000 : 250),
                         Single("country", 12), Single("year", 8)};
   return config;
 }
 
 SyntheticConfig SyntheticConfig::Ml1m(Scale scale) {
+  AGNN_CHECK(scale != Scale::kMillion)
+      << "the million-node streaming preset is Ml100k(Scale::kMillion)";
   SyntheticConfig config;
   config.name = "ml1m";
   if (scale == Scale::kPaper) {
@@ -386,6 +396,8 @@ SyntheticConfig SyntheticConfig::Ml1m(Scale scale) {
 }
 
 SyntheticConfig SyntheticConfig::Yelp(Scale scale) {
+  AGNN_CHECK(scale != Scale::kMillion)
+      << "the million-node streaming preset is Ml100k(Scale::kMillion)";
   SyntheticConfig config;
   config.name = "yelp";
   if (scale == Scale::kPaper) {

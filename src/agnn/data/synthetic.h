@@ -10,8 +10,11 @@
 namespace agnn::data {
 
 /// How large to make a synthetic preset. kSmall is scaled for single-core
-/// benchmark runtime; kPaper matches the real datasets' Table 1 sizes.
-enum class Scale { kSmall, kPaper };
+/// benchmark runtime; kPaper matches the real datasets' Table 1 sizes;
+/// kMillion is a catalog-scale world (>= 1M total nodes) meant for the
+/// streaming generator (SyntheticStream) — materializing it eagerly via
+/// GenerateSynthetic works but costs O(world) memory.
+enum class Scale { kSmall, kPaper, kMillion };
 
 /// One attribute field plus how many of its values a node activates.
 struct FieldSpec {

@@ -1,0 +1,262 @@
+#include "agnn/data/synthetic_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::data {
+namespace {
+
+// Stream tags: each (side, purpose) gets a disjoint seed family so chunk
+// streams never collide with each other or with the slot/rating streams.
+constexpr uint64_t kUserChunkTag = 0x5553455243480000ULL;  // "USERCH"
+constexpr uint64_t kItemChunkTag = 0x4954454d43480000ULL;  // "ITEMCH"
+constexpr uint64_t kUserSlotTag = 0x55534552534c4f54ULL;   // "USERSLOT"
+constexpr uint64_t kItemSlotTag = 0x4954454d534c4f54ULL;   // "ITEMSLOT"
+constexpr uint64_t kRatingTag = 0x524154494e475353ULL;     // "RATINGSS"
+
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Independent per-chunk seed: a two-round splitmix64 mix of (seed, tag,
+// index). Chunks are pure functions of their derived seed, which is what
+// makes the stream order-independent.
+uint64_t DeriveSeed(uint64_t seed, uint64_t tag, uint64_t index) {
+  return Mix(Mix(seed ^ tag) ^ index);
+}
+
+AttributeSchema SchemaFrom(const std::vector<FieldSpec>& specs) {
+  std::vector<AttributeField> fields;
+  fields.reserve(specs.size());
+  for (const FieldSpec& spec : specs) fields.push_back(spec.field);
+  return AttributeSchema(std::move(fields));
+}
+
+// Same per-node draw order as synthetic.cc's PickFieldSlots.
+std::vector<size_t> DrawNodeAttrs(const AttributeSchema& schema,
+                                  const std::vector<FieldSpec>& specs,
+                                  Rng* rng) {
+  std::vector<size_t> attrs;
+  for (size_t f = 0; f < specs.size(); ++f) {
+    const FieldSpec& spec = specs[f];
+    const size_t count =
+        spec.min_active +
+        (spec.max_active > spec.min_active
+             ? static_cast<size_t>(
+                   rng->UniformInt(spec.max_active - spec.min_active + 1))
+             : 0);
+    auto values = rng->SampleWithoutReplacement(spec.field.cardinality, count);
+    for (size_t v : values) attrs.push_back(schema.SlotOf(f, v));
+  }
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
+}  // namespace
+
+SyntheticStream::SyntheticStream(const SyntheticConfig& config,
+                                 const StreamOptions& options, uint64_t seed)
+    : config_(config), options_(options), seed_(seed) {
+  AGNN_CHECK(!config.social)
+      << "streamed worlds do not support the social protocol";
+  AGNN_CHECK_GT(config.num_users, 0u);
+  AGNN_CHECK_GT(config.num_items, 0u);
+  AGNN_CHECK_GT(options.chunk_size, 0u);
+  AGNN_CHECK_LE(options.warm_users, config.num_users);
+  AGNN_CHECK_LE(options.warm_items, config.num_items);
+  AGNN_CHECK_GT(options.warm_users, 0u);
+  AGNN_CHECK_GT(options.warm_items, 0u);
+  AGNN_CHECK_LE(options.ratings_per_warm_user, options.warm_items);
+
+  user_schema_ = SchemaFrom(config.user_fields);
+  item_schema_ = SchemaFrom(config.item_fields);
+
+  const size_t dim = config.latent_dim;
+  {
+    Rng rng(DeriveSeed(seed_, kUserSlotTag, 0));
+    user_slot_latents_ =
+        Matrix::RandomNormal(user_schema_.total_slots(), dim, 0.0f, 1.0f, &rng);
+    user_slot_biases_.resize(user_schema_.total_slots());
+    for (auto& b : user_slot_biases_) b = static_cast<float>(rng.Normal());
+  }
+  {
+    Rng rng(DeriveSeed(seed_, kItemSlotTag, 0));
+    item_slot_latents_ =
+        Matrix::RandomNormal(item_schema_.total_slots(), dim, 0.0f, 1.0f, &rng);
+    item_slot_biases_.resize(item_schema_.total_slots());
+    for (auto& b : item_slot_biases_) b = static_cast<float>(rng.Normal());
+  }
+
+  // Cache the warm prefix's factors so rating draws are O(1) lookups.
+  auto cache_warm = [this](bool user_side, size_t warm, Matrix* latents,
+                           std::vector<float>* biases) {
+    *latents = Matrix(warm, config_.latent_dim);
+    biases->resize(warm);
+    for (size_t begin = 0; begin < warm; begin += options_.chunk_size) {
+      const NodeChunk chunk =
+          MakeChunk(user_side, begin / options_.chunk_size);
+      const size_t take = std::min(warm - begin, chunk.count);
+      for (size_t n = 0; n < take; ++n) {
+        const float* src = chunk.latents.Row(n);
+        std::copy(src, src + config_.latent_dim, latents->Row(begin + n));
+        (*biases)[begin + n] = chunk.biases[n];
+      }
+    }
+  };
+  cache_warm(true, options_.warm_users, &warm_user_latents_,
+             &warm_user_biases_);
+  cache_warm(false, options_.warm_items, &warm_item_latents_,
+             &warm_item_biases_);
+}
+
+size_t SyntheticStream::NumUserChunks() const {
+  return (config_.num_users + options_.chunk_size - 1) / options_.chunk_size;
+}
+
+size_t SyntheticStream::NumItemChunks() const {
+  return (config_.num_items + options_.chunk_size - 1) / options_.chunk_size;
+}
+
+NodeChunk SyntheticStream::MakeChunk(bool user_side, size_t chunk) const {
+  const size_t total = user_side ? config_.num_users : config_.num_items;
+  const size_t begin = chunk * options_.chunk_size;
+  AGNN_CHECK_LT(begin, total) << "chunk index out of range";
+  const AttributeSchema& schema = user_side ? user_schema_ : item_schema_;
+  const std::vector<FieldSpec>& specs =
+      user_side ? config_.user_fields : config_.item_fields;
+  const Matrix& slot_latents =
+      user_side ? user_slot_latents_ : item_slot_latents_;
+  const std::vector<float>& slot_biases =
+      user_side ? user_slot_biases_ : item_slot_biases_;
+
+  NodeChunk out;
+  out.begin = begin;
+  out.count = std::min(options_.chunk_size, total - begin);
+  out.attrs.resize(out.count);
+  out.latents = Matrix(out.count, config_.latent_dim);
+  out.biases.resize(out.count);
+
+  Rng rng(DeriveSeed(seed_, user_side ? kUserChunkTag : kItemChunkTag, chunk));
+  const size_t dim = config_.latent_dim;
+  for (size_t n = 0; n < out.count; ++n) {
+    out.attrs[n] = DrawNodeAttrs(schema, specs, &rng);
+    float* row = out.latents.Row(n);
+    float bias_attr = 0.0f;
+    if (!out.attrs[n].empty()) {
+      const float inv_sqrt_k =
+          1.0f / std::sqrt(static_cast<float>(out.attrs[n].size()));
+      for (size_t slot : out.attrs[n]) {
+        const float* sl = slot_latents.Row(slot);
+        for (size_t d = 0; d < dim; ++d) row[d] += sl[d];
+        bias_attr += slot_biases[slot];
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        row[d] *= config_.attr_strength * inv_sqrt_k;
+      }
+      bias_attr *= inv_sqrt_k;
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] += config_.personal_strength * static_cast<float>(rng.Normal());
+    }
+    out.biases[n] =
+        config_.bias_attr_strength * bias_attr +
+        config_.bias_personal_strength * static_cast<float>(rng.Normal());
+  }
+  return out;
+}
+
+NodeChunk SyntheticStream::UserChunk(size_t chunk) const {
+  return MakeChunk(true, chunk);
+}
+
+NodeChunk SyntheticStream::ItemChunk(size_t chunk) const {
+  return MakeChunk(false, chunk);
+}
+
+std::vector<Rating> SyntheticStream::WarmUserRatings(size_t user) const {
+  AGNN_CHECK_LT(user, options_.warm_users);
+  Rng rng(DeriveSeed(seed_, kRatingTag, user));
+  auto items = rng.SampleWithoutReplacement(options_.warm_items,
+                                            options_.ratings_per_warm_user);
+  std::vector<Rating> out;
+  out.reserve(items.size());
+  const float* u = warm_user_latents_.Row(user);
+  for (size_t item : items) {
+    const float* v = warm_item_latents_.Row(item);
+    float dot = 0.0f;
+    for (size_t d = 0; d < config_.latent_dim; ++d) dot += u[d] * v[d];
+    const float raw = config_.mu + warm_user_biases_[user] +
+                      warm_item_biases_[item] + config_.dot_scale * dot +
+                      config_.noise * static_cast<float>(rng.Normal());
+    out.push_back({user, item, std::clamp(std::round(raw), 1.0f, 5.0f)});
+  }
+  return out;
+}
+
+Dataset SyntheticStream::MaterializeWarmReplica() const {
+  Dataset ds;
+  ds.name = config_.name + "-warm";
+  ds.num_users = options_.warm_users;
+  ds.num_items = options_.warm_items;
+  ds.user_schema = user_schema_;
+  ds.item_schema = item_schema_;
+
+  auto collect = [this](bool user_side, size_t limit,
+                        std::vector<std::vector<size_t>>* attrs) {
+    attrs->reserve(limit);
+    for (size_t begin = 0; begin < limit; begin += options_.chunk_size) {
+      NodeChunk chunk = MakeChunk(user_side, begin / options_.chunk_size);
+      const size_t take = std::min(limit - begin, chunk.count);
+      for (size_t n = 0; n < take; ++n) {
+        attrs->push_back(std::move(chunk.attrs[n]));
+      }
+    }
+  };
+  collect(true, options_.warm_users, &ds.user_attrs);
+  collect(false, options_.warm_items, &ds.item_attrs);
+
+  ds.ratings.reserve(options_.warm_users * options_.ratings_per_warm_user);
+  for (size_t u = 0; u < options_.warm_users; ++u) {
+    auto rated = WarmUserRatings(u);
+    ds.ratings.insert(ds.ratings.end(), rated.begin(), rated.end());
+  }
+  ds.Validate();
+  return ds;
+}
+
+Dataset SyntheticStream::Materialize() const {
+  Dataset ds;
+  ds.name = config_.name;
+  ds.num_users = config_.num_users;
+  ds.num_items = config_.num_items;
+  ds.user_schema = user_schema_;
+  ds.item_schema = item_schema_;
+
+  auto collect = [this](bool user_side, size_t total, size_t num_chunks,
+                        std::vector<std::vector<size_t>>* attrs) {
+    attrs->reserve(total);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      NodeChunk chunk = MakeChunk(user_side, c);
+      for (size_t n = 0; n < chunk.count; ++n) {
+        attrs->push_back(std::move(chunk.attrs[n]));
+      }
+    }
+  };
+  collect(true, config_.num_users, NumUserChunks(), &ds.user_attrs);
+  collect(false, config_.num_items, NumItemChunks(), &ds.item_attrs);
+
+  ds.ratings.reserve(options_.warm_users * options_.ratings_per_warm_user);
+  for (size_t u = 0; u < options_.warm_users; ++u) {
+    auto rated = WarmUserRatings(u);
+    ds.ratings.insert(ds.ratings.end(), rated.begin(), rated.end());
+  }
+  ds.Validate();
+  return ds;
+}
+
+}  // namespace agnn::data

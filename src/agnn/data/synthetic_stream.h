@@ -1,0 +1,110 @@
+#ifndef AGNN_DATA_SYNTHETIC_STREAM_H_
+#define AGNN_DATA_SYNTHETIC_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agnn/data/dataset.h"
+#include "agnn/data/synthetic.h"
+
+namespace agnn::data {
+
+/// Chunking and warm-prefix layout of a streamed synthetic world
+/// (DESIGN.md §13).
+///
+/// The stream keeps the world's node ids in one global space but only ever
+/// materializes `chunk_size` nodes at a time. Nodes [0, warm_users) /
+/// [0, warm_items) form the *warm prefix*: the only nodes that carry
+/// ratings, sized so a trainer can fit them in memory while the remaining
+/// hundreds of thousands of nodes are strict cold — exactly the serving
+/// regime the paper's eVAE targets (generate embeddings from attributes
+/// alone).
+struct StreamOptions {
+  size_t chunk_size = 8192;
+  size_t warm_users = 1024;
+  size_t warm_items = 1024;
+  size_t ratings_per_warm_user = 24;
+};
+
+/// One contiguous block of generated nodes: global ids
+/// [begin, begin + count), their attribute slots, true latents, and biases.
+struct NodeChunk {
+  size_t begin = 0;
+  size_t count = 0;
+  std::vector<std::vector<size_t>> attrs;  ///< [count], sorted slot lists
+  Matrix latents;                          ///< [count, latent_dim]
+  std::vector<float> biases;               ///< [count]
+};
+
+/// Streaming counterpart of GenerateSynthetic: the same attribute-driven
+/// causal model, emitted in fixed-size chunks at O(chunk) memory.
+///
+/// Determinism contract: every chunk is generated from its own RNG stream,
+/// derived from (seed, side, chunk index) by a splitmix64-style mix. The
+/// same (config, options, seed) therefore produces the same world whether
+/// chunks are visited in order, out of order, repeatedly, or assembled
+/// whole via Materialize() — there is no generator state to advance.
+///
+/// Documented deviation from the eager generator: streamed worlds skip the
+/// global kNN latent smoothing (synthetic.cc's neighbor_smooth_scale),
+/// which needs all-pairs attribute similarity and is therefore O(world).
+/// Streamed worlds are for storage/serving-scale experiments, not for the
+/// paper's model-ordering tables, which keep using GenerateSynthetic.
+/// The social (Yelp) protocol is likewise unsupported.
+class SyntheticStream {
+ public:
+  SyntheticStream(const SyntheticConfig& config, const StreamOptions& options,
+                  uint64_t seed);
+
+  size_t num_users() const { return config_.num_users; }
+  size_t num_items() const { return config_.num_items; }
+  size_t NumUserChunks() const;
+  size_t NumItemChunks() const;
+  const AttributeSchema& user_schema() const { return user_schema_; }
+  const AttributeSchema& item_schema() const { return item_schema_; }
+  const StreamOptions& options() const { return options_; }
+
+  /// Generates one chunk from its derived stream. Pure: same arguments,
+  /// same bytes, independent of any other call.
+  NodeChunk UserChunk(size_t chunk) const;
+  NodeChunk ItemChunk(size_t chunk) const;
+
+  /// The ratings of one warm user (id < warm_users): distinct warm items,
+  /// values from the causal model. Deterministic per (seed, user).
+  std::vector<Rating> WarmUserRatings(size_t user) const;
+
+  /// Self-contained trainable dataset over the warm prefix (warm_users x
+  /// warm_items plus all warm ratings). Its attribute encodings are exactly
+  /// the full world's warm rows, so a model trained on the replica scores
+  /// streamed cold nodes consistently.
+  Dataset MaterializeWarmReplica() const;
+
+  /// The whole world as an eager Dataset. O(world) memory — test sizes
+  /// only; the bitwise reference for the chunked accessors.
+  Dataset Materialize() const;
+
+ private:
+  NodeChunk MakeChunk(bool user_side, size_t chunk) const;
+
+  SyntheticConfig config_;
+  StreamOptions options_;
+  uint64_t seed_;
+  AttributeSchema user_schema_;
+  AttributeSchema item_schema_;
+  /// Per-slot latent vectors/biases (the attribute-determined component)
+  /// are world-global but only O(total_slots) — generated once.
+  Matrix user_slot_latents_;
+  Matrix item_slot_latents_;
+  std::vector<float> user_slot_biases_;
+  std::vector<float> item_slot_biases_;
+  /// Warm-prefix factors cached at construction so rating draws never
+  /// regenerate chunks: O(warm prefix) floats.
+  Matrix warm_user_latents_;
+  Matrix warm_item_latents_;
+  std::vector<float> warm_user_biases_;
+  std::vector<float> warm_item_biases_;
+};
+
+}  // namespace agnn::data
+
+#endif  // AGNN_DATA_SYNTHETIC_STREAM_H_

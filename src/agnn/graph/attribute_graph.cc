@@ -8,9 +8,9 @@
 
 namespace agnn::graph {
 
-WeightedGraph BuildCandidatePool(const SimilarityLists& attribute_sims,
-                                 const SimilarityLists& preference_sims,
-                                 ProximityMode mode, double top_percent) {
+CsrGraph BuildCandidatePool(const SimilarityLists& attribute_sims,
+                            const SimilarityLists& preference_sims,
+                            ProximityMode mode, double top_percent) {
   AGNN_CHECK_GT(top_percent, 0.0);
   const size_t num_nodes = attribute_sims.size();
   AGNN_CHECK(preference_sims.empty() ||
@@ -24,8 +24,7 @@ WeightedGraph BuildCandidatePool(const SimilarityLists& attribute_sims,
       1, static_cast<size_t>(top_percent / 100.0 *
                              static_cast<double>(num_nodes)));
 
-  WeightedGraph pool;
-  pool.Resize(num_nodes);
+  CsrBuilder pool(num_nodes);
   std::unordered_map<size_t, std::pair<float, float>> merged;  // v -> (a, p)
   for (size_t u = 0; u < num_nodes; ++u) {
     merged.clear();
@@ -68,26 +67,27 @@ WeightedGraph BuildCandidatePool(const SimilarityLists& attribute_sims,
       pool.AddEdge(u, ranked[i].second, ranked[i].first + 1e-3);
     }
   }
-  pool.Validate();
-  return pool;
+  CsrGraph graph = std::move(pool).Finish();
+  graph.Validate();
+  return graph;
 }
 
-WeightedGraph BuildKnnGraph(const SimilarityLists& attribute_sims, size_t k) {
+CsrGraph BuildKnnGraph(const SimilarityLists& attribute_sims, size_t k) {
   const size_t num_nodes = attribute_sims.size();
-  WeightedGraph graph;
-  graph.Resize(num_nodes);
+  CsrBuilder builder(num_nodes);
   for (size_t u = 0; u < num_nodes; ++u) {
     for (const auto& [v, sim] : attribute_sims[u]) {
-      graph.AddEdge(u, v, sim);
+      builder.AddEdge(u, v, sim);
     }
   }
+  CsrGraph graph = std::move(builder).Finish();
   graph.TruncateTopK(k);
   graph.Validate();
   return graph;
 }
 
-WeightedGraph BuildCoPurchaseGraph(const std::vector<SparseVec>& ratings,
-                                   size_t dim, size_t top_k) {
+CsrGraph BuildCoPurchaseGraph(const std::vector<SparseView>& ratings,
+                              size_t dim, size_t top_k) {
   const size_t num_nodes = ratings.size();
   // Inverted index: counterpart id -> nodes interacting with it.
   std::vector<std::vector<size_t>> by_counterpart(dim);
@@ -98,8 +98,7 @@ WeightedGraph BuildCoPurchaseGraph(const std::vector<SparseVec>& ratings,
       by_counterpart[idx].push_back(n);
     }
   }
-  WeightedGraph graph;
-  graph.Resize(num_nodes);
+  CsrBuilder builder(num_nodes);
   std::unordered_map<size_t, size_t> common;
   for (size_t u = 0; u < num_nodes; ++u) {
     common.clear();
@@ -110,21 +109,28 @@ WeightedGraph BuildCoPurchaseGraph(const std::vector<SparseVec>& ratings,
       }
     }
     for (const auto& [v, count] : common) {
-      graph.AddEdge(u, v, static_cast<double>(count));
+      builder.AddEdge(u, v, static_cast<double>(count));
     }
   }
+  CsrGraph graph = std::move(builder).Finish();
   graph.TruncateTopK(top_k);
   graph.Validate();
   return graph;
 }
 
-WeightedGraph BuildSocialGraph(
+CsrGraph BuildCoPurchaseGraph(const std::vector<SparseVec>& ratings,
+                              size_t dim, size_t top_k) {
+  return BuildCoPurchaseGraph(
+      std::vector<SparseView>(ratings.begin(), ratings.end()), dim, top_k);
+}
+
+CsrGraph BuildSocialGraph(
     const std::vector<std::vector<size_t>>& social_links) {
-  WeightedGraph graph;
-  graph.Resize(social_links.size());
+  CsrBuilder builder(social_links.size());
   for (size_t u = 0; u < social_links.size(); ++u) {
-    for (size_t v : social_links[u]) graph.AddEdge(u, v, 1.0);
+    for (size_t v : social_links[u]) builder.AddEdge(u, v, 1.0);
   }
+  CsrGraph graph = std::move(builder).Finish();
   graph.Validate();
   return graph;
 }

@@ -13,6 +13,12 @@ namespace agnn::graph {
 /// ablations use a single proximity).
 enum class ProximityMode { kBoth, kPreferenceOnly, kAttributeOnly };
 
+// All builders return CSR adjacency (DESIGN.md §13): three flat arrays
+// instead of per-node vectors, built in one pass since every builder emits
+// edges grouped by ascending source node. Edge order per node — and hence
+// every downstream weighted sample — is identical to the vector-of-vectors
+// representation these builders previously returned.
+
 /// Section 3.3.1: for every node, the candidate pool N^C contains the nodes
 /// with top p% combined proximity; edge weights are the combined scores
 /// (per-node min-max normalized attribute + preference similarity). During
@@ -22,24 +28,27 @@ enum class ProximityMode { kBoth, kPreferenceOnly, kAttributeOnly };
 /// `attribute_sims` / `preference_sims` come from PairwiseBinaryCosine /
 /// PairwiseSparseCosine; either may be empty lists for cold nodes (no
 /// preference) — such nodes' pools fall back to the available proximity.
-WeightedGraph BuildCandidatePool(const SimilarityLists& attribute_sims,
-                                 const SimilarityLists& preference_sims,
-                                 ProximityMode mode, double top_percent);
+CsrGraph BuildCandidatePool(const SimilarityLists& attribute_sims,
+                            const SimilarityLists& preference_sims,
+                            ProximityMode mode, double top_percent);
 
 /// Replacement study (AGNN_knn): static k-nearest-neighbor graph in
 /// attribute space, as in sRMGCNN.
-WeightedGraph BuildKnnGraph(const SimilarityLists& attribute_sims, size_t k);
+CsrGraph BuildKnnGraph(const SimilarityLists& attribute_sims, size_t k);
 
 /// Replacement study (AGNN_cop): item-item (or user-user) graph weighted by
 /// the number of common raters (co-click/co-purchase), as in DANSER.
 /// `preference_vectors` are the node's interaction lists; a strict cold
 /// node has an empty list and hence no co-purchase neighbors at all — the
-/// degradation the paper reports.
-WeightedGraph BuildCoPurchaseGraph(const std::vector<SparseVec>& ratings,
-                                   size_t dim, size_t top_k);
+/// degradation the paper reports. The view form consumes
+/// InteractionGraph::AllItemRatings directly.
+CsrGraph BuildCoPurchaseGraph(const std::vector<SparseView>& ratings,
+                              size_t dim, size_t top_k);
+CsrGraph BuildCoPurchaseGraph(const std::vector<SparseVec>& ratings,
+                              size_t dim, size_t top_k);
 
 /// User-user graph directly from social links (Yelp protocol), unit weight.
-WeightedGraph BuildSocialGraph(
+CsrGraph BuildSocialGraph(
     const std::vector<std::vector<size_t>>& social_links);
 
 }  // namespace agnn::graph

@@ -5,36 +5,66 @@
 #include "agnn/common/logging.h"
 
 namespace agnn::graph {
+namespace {
+
+// Builds one side's CSR arrays: counting pass, prefix offsets, fill pass,
+// then a per-row sort by id. The fill preserves rating order within a row,
+// and the sort matches the vector-of-vectors implementation this replaces,
+// so row contents are unchanged.
+void BuildSide(size_t num_nodes, const std::vector<data::Rating>& ratings,
+               bool by_user, std::vector<size_t>* offsets,
+               std::vector<std::pair<size_t, float>>* entries,
+               std::vector<SparseView>* views) {
+  offsets->assign(num_nodes + 1, 0);
+  for (const data::Rating& r : ratings) {
+    ++(*offsets)[(by_user ? r.user : r.item) + 1];
+  }
+  for (size_t n = 0; n < num_nodes; ++n) (*offsets)[n + 1] += (*offsets)[n];
+  entries->resize(ratings.size());
+  std::vector<size_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (const data::Rating& r : ratings) {
+    const size_t node = by_user ? r.user : r.item;
+    (*entries)[cursor[node]++] = {by_user ? r.item : r.user, r.value};
+  }
+  views->reserve(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    const auto begin = entries->begin() + (*offsets)[n];
+    const auto end = entries->begin() + (*offsets)[n + 1];
+    std::sort(begin, end);
+    views->push_back(SparseView(entries->data() + (*offsets)[n],
+                                (*offsets)[n + 1] - (*offsets)[n]));
+  }
+}
+
+}  // namespace
 
 InteractionGraph::InteractionGraph(size_t num_users, size_t num_items,
                                    const std::vector<data::Rating>& ratings)
     : num_users_(num_users), num_items_(num_items) {
-  by_user_.resize(num_users);
-  by_item_.resize(num_items);
   double sum = 0.0;
   for (const data::Rating& r : ratings) {
     AGNN_CHECK_LT(r.user, num_users);
     AGNN_CHECK_LT(r.item, num_items);
-    by_user_[r.user].push_back({r.item, r.value});
-    by_item_[r.item].push_back({r.user, r.value});
     sum += r.value;
   }
-  for (auto& vec : by_user_) std::sort(vec.begin(), vec.end());
-  for (auto& vec : by_item_) std::sort(vec.begin(), vec.end());
+  BuildSide(num_users, ratings, /*by_user=*/true, &user_offsets_,
+            &user_entries_, &user_views_);
+  BuildSide(num_items, ratings, /*by_user=*/false, &item_offsets_,
+            &item_entries_, &item_views_);
   global_mean_ = ratings.empty()
                      ? 0.0f
                      : static_cast<float>(sum / static_cast<double>(
                                                     ratings.size()));
 }
 
-const SparseVec& InteractionGraph::UserRatings(size_t user) const {
+SparseView InteractionGraph::UserRatings(size_t user) const {
   AGNN_CHECK_LT(user, num_users_);
-  return by_user_[user];
+  return user_views_[user];
 }
 
-const SparseVec& InteractionGraph::ItemRatings(size_t item) const {
+SparseView InteractionGraph::ItemRatings(size_t item) const {
   AGNN_CHECK_LT(item, num_items_);
-  return by_item_[item];
+  return item_views_[item];
 }
 
 }  // namespace agnn::graph

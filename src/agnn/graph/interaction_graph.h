@@ -12,6 +12,10 @@ namespace agnn::graph {
 /// ratings. This is the structure the interaction-graph baselines (GC-MC,
 /// STAR-GCN, IGMC, ...) operate on, and also the source of the "preference
 /// vectors" used by AGNN's preference proximity.
+///
+/// Storage is CSR-style (DESIGN.md §13): one flat (id, rating) array plus
+/// offsets per side — two allocations per side regardless of node count —
+/// and row accessors return non-owning views into it.
 class InteractionGraph {
  public:
   InteractionGraph(size_t num_users, size_t num_items,
@@ -21,25 +25,39 @@ class InteractionGraph {
   size_t num_items() const { return num_items_; }
 
   /// Items rated by `user` as (item, rating) sorted by item.
-  const SparseVec& UserRatings(size_t user) const;
+  SparseView UserRatings(size_t user) const;
   /// Users who rated `item` as (user, rating) sorted by user.
-  const SparseVec& ItemRatings(size_t item) const;
+  SparseView ItemRatings(size_t item) const;
 
   /// All users' rating vectors (the user preference vectors of Eq. 1).
-  const std::vector<SparseVec>& AllUserRatings() const { return by_user_; }
+  const std::vector<SparseView>& AllUserRatings() const {
+    return user_views_;
+  }
   /// All items' rated-by vectors (the item preference vectors of Eq. 1).
-  const std::vector<SparseVec>& AllItemRatings() const { return by_item_; }
+  const std::vector<SparseView>& AllItemRatings() const {
+    return item_views_;
+  }
 
-  size_t UserDegree(size_t user) const { return by_user_[user].size(); }
-  size_t ItemDegree(size_t item) const { return by_item_[item].size(); }
+  size_t UserDegree(size_t user) const {
+    return user_offsets_[user + 1] - user_offsets_[user];
+  }
+  size_t ItemDegree(size_t item) const {
+    return item_offsets_[item + 1] - item_offsets_[item];
+  }
 
   float global_mean() const { return global_mean_; }
 
  private:
   size_t num_users_;
   size_t num_items_;
-  std::vector<SparseVec> by_user_;
-  std::vector<SparseVec> by_item_;
+  std::vector<size_t> user_offsets_;  // size num_users + 1
+  std::vector<size_t> item_offsets_;  // size num_items + 1
+  std::vector<std::pair<size_t, float>> user_entries_;
+  std::vector<std::pair<size_t, float>> item_entries_;
+  // Per-row views into the flat entries, precomputed so AllUserRatings can
+  // hand PairwiseSparseCosine a vector without copying any entry.
+  std::vector<SparseView> user_views_;
+  std::vector<SparseView> item_views_;
   float global_mean_ = 0.0f;
 };
 

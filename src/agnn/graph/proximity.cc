@@ -8,7 +8,7 @@
 
 namespace agnn::graph {
 
-float CosineSimilarity(const SparseVec& a, const SparseVec& b) {
+float CosineSimilarity(SparseView a, SparseView b) {
   if (a.empty() || b.empty()) return 0.0f;
   float dot = 0.0f;
   float norm_a = 0.0f;
@@ -67,7 +67,7 @@ namespace {
 // co-occurring node into a scratch map. Memory stays O(max co-occurrence
 // neighborhood) instead of O(all non-zero pairs).
 SimilarityLists AccumulatePairwise(
-    const std::vector<SparseVec>& vectors,
+    const std::vector<SparseView>& vectors,
     const std::vector<std::vector<std::pair<size_t, float>>>& by_index,
     const std::vector<float>& norms) {
   const size_t num_nodes = vectors.size();
@@ -108,6 +108,12 @@ SimilarityLists PairwiseBinaryCosine(
 }
 
 SimilarityLists PairwiseSparseCosine(const std::vector<SparseVec>& vectors,
+                                     size_t dim) {
+  return PairwiseSparseCosine(
+      std::vector<SparseView>(vectors.begin(), vectors.end()), dim);
+}
+
+SimilarityLists PairwiseSparseCosine(const std::vector<SparseView>& vectors,
                                      size_t dim) {
   const size_t num_nodes = vectors.size();
   std::vector<std::vector<std::pair<size_t, float>>> by_index(dim);

@@ -2,6 +2,7 @@
 #define AGNN_GRAPH_PROXIMITY_H_
 
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -9,6 +10,10 @@ namespace agnn::graph {
 
 /// Sparse vector as (index, value) pairs sorted by index.
 using SparseVec = std::vector<std::pair<size_t, float>>;
+
+/// Non-owning view of a sparse vector — the row type of the CSR-backed
+/// InteractionGraph (DESIGN.md §13). A SparseVec converts implicitly.
+using SparseView = std::span<const std::pair<size_t, float>>;
 
 /// Per-node similarity lists: sims[u] = {(v, similarity), ...} for every v
 /// with non-zero similarity to u (u itself excluded).
@@ -20,7 +25,7 @@ using SimilarityLists = std::vector<std::vector<std::pair<size_t, float>>>;
 /// 1 - cos(w, v) but then selects "top p% proximity" neighbors, i.e., the
 /// most similar nodes. We therefore work directly with cosine similarity;
 /// ranking by similarity is identical to ranking by ascending Eq. (1).
-float CosineSimilarity(const SparseVec& a, const SparseVec& b);
+float CosineSimilarity(SparseView a, SparseView b);
 
 /// Cosine similarity of two binary slot sets: |a ∩ b| / sqrt(|a| |b|).
 /// Inputs sorted ascending.
@@ -35,6 +40,10 @@ SimilarityLists PairwiseBinaryCosine(
 
 /// All-pairs preference proximity over sparse real-valued vectors (e.g.,
 /// users' rating vectors over items) via an inverted index over indices.
+/// The view form consumes InteractionGraph::AllUserRatings directly; the
+/// owning-vector overload delegates to it.
+SimilarityLists PairwiseSparseCosine(const std::vector<SparseView>& vectors,
+                                     size_t dim);
 SimilarityLists PairwiseSparseCosine(const std::vector<SparseVec>& vectors,
                                      size_t dim);
 

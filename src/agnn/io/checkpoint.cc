@@ -35,51 +35,130 @@ std::string ReadWholeFile(const std::string& path, Status* status) {
 }  // namespace
 
 void CheckpointWriter::AddSection(std::string name, std::string payload) {
-  for (const auto& [existing, unused] : sections_) {
-    AGNN_CHECK(existing != name) << "duplicate checkpoint section " << name;
-  }
-  sections_.emplace_back(std::move(name), std::move(payload));
+  AddAlignedSection(std::move(name), std::move(payload), 1);
 }
 
-std::string CheckpointWriter::Serialize() const {
+void CheckpointWriter::AddAlignedSection(std::string name,
+                                         std::string payload,
+                                         size_t alignment) {
+  AGNN_CHECK_GT(alignment, 0u);
+  AGNN_CHECK_EQ(alignment & (alignment - 1), 0u)
+      << "section alignment must be a power of two, got " << alignment;
+  for (const PendingSection& existing : sections_) {
+    AGNN_CHECK(existing.name != name)
+        << "duplicate checkpoint section " << name;
+  }
+  sections_.push_back({std::move(name), std::move(payload), alignment});
+}
+
+CheckpointWriter::Layout CheckpointWriter::ComputeLayout() const {
+  // Expand aligned sections into (pad, section) pairs. A pad's table entry
+  // has a fixed byte size once its name is chosen, so the payload start
+  // offset is known before any pad length is: one forward pass suffices.
+  struct Expanded {
+    const std::string* name;
+    size_t payload_size;
+    size_t alignment;       // of the NEXT real payload; 1 for real sections
+    const PendingSection* section;  // null for pads
+  };
+  Layout layout;
+  std::vector<std::string> pad_names;
+  std::vector<Expanded> expanded;
+  size_t pad_count = 0;
+  for (const PendingSection& section : sections_) {
+    if (section.alignment > 1) {
+      pad_names.push_back("pad/" + std::to_string(pad_count++));
+      expanded.push_back({nullptr, 0, section.alignment, nullptr});
+    }
+    expanded.push_back(
+        {&section.name, section.payload.size(), 1, &section});
+  }
+  size_t pad_index = 0;
+  for (Expanded& e : expanded) {
+    if (e.section == nullptr) e.name = &pad_names[pad_index++];
+  }
+
+  // Table size is independent of the pad payload lengths (u64 fixed width).
+  size_t table_size = 0;
+  for (const Expanded& e : expanded) {
+    table_size += 4 + e.name->size() + 8 + 4;  // Str | u64 len | u32 crc
+  }
+  const size_t payload_start = kHeaderSize + table_size + 4;  // + table CRC
+
+  // Assign pad lengths so each aligned payload starts on its boundary.
+  size_t offset = payload_start;
+  for (Expanded& e : expanded) {
+    if (e.section == nullptr) {
+      const size_t next = offset % e.alignment == 0
+                              ? 0
+                              : e.alignment - offset % e.alignment;
+      e.payload_size = next;
+      layout.pads.emplace_back(next, '\0');
+    }
+    offset += e.payload_size;
+  }
+
   ByteWriter header;
   header.Bytes(kCheckpointMagic, sizeof(kCheckpointMagic));
   header.U32(kCheckpointVersion);
-  header.U32(static_cast<uint32_t>(sections_.size()));
+  header.U32(static_cast<uint32_t>(expanded.size()));
   header.U32(Crc32(header.str()));
 
   ByteWriter table;
-  for (const auto& [name, payload] : sections_) {
-    table.Str(name);
-    table.U64(payload.size());
-    table.U32(Crc32(payload));
+  pad_index = 0;
+  for (const Expanded& e : expanded) {
+    const std::string* payload =
+        e.section != nullptr ? &e.section->payload : &layout.pads[pad_index++];
+    table.Str(*e.name);
+    table.U64(payload->size());
+    table.U32(Crc32(*payload));
+    layout.payloads.push_back(*payload);
   }
+  AGNN_CHECK_EQ(table.str().size(), table_size);
 
-  std::string out = header.str();
-  out += table.str();
+  layout.preamble = header.str();
+  layout.preamble += table.str();
   ByteWriter table_crc;
   table_crc.U32(Crc32(table.str()));
-  out += table_crc.str();
-  for (const auto& [unused, payload] : sections_) out += payload;
+  layout.preamble += table_crc.str();
+  return layout;
+}
+
+std::string CheckpointWriter::Serialize() const {
+  Layout layout = ComputeLayout();
+  std::string out = std::move(layout.preamble);
+  for (std::string_view payload : layout.payloads) out += payload;
   return out;
 }
 
 Status CheckpointWriter::WriteFile(const std::string& path) const {
-  const std::string bytes = Serialize();
+  const Layout layout = ComputeLayout();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot open " + path + " for writing");
   }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = std::fwrite(layout.preamble.data(), 1, layout.preamble.size(),
+                        f) == layout.preamble.size();
+  for (std::string_view payload : layout.payloads) {
+    if (!ok) break;
+    ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  }
   const bool flushed = std::fflush(f) == 0;
   const bool closed = std::fclose(f) == 0;
-  if (written != bytes.size() || !flushed || !closed) {
+  if (!ok || !flushed || !closed) {
     return Status::Internal("short write to " + path);
   }
   return Status::Ok();
 }
 
-StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
+const SectionIndexEntry* CheckpointIndex::Find(std::string_view name) const {
+  for (const SectionIndexEntry& entry : sections) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+StatusOr<CheckpointIndex> ParseCheckpointIndex(std::string_view bytes) {
   if (bytes.size() < kHeaderSize) {
     return Status::InvalidArgument(
         "truncated checkpoint header: " + std::to_string(bytes.size()) +
@@ -93,8 +172,7 @@ StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
   }
   const uint32_t computed_header_crc =
       Crc32(std::string_view(bytes.data(), kHeaderSize - 4));
-  ByteReader header(
-      std::string_view(bytes).substr(sizeof(kCheckpointMagic)));
+  ByteReader header(bytes.substr(sizeof(kCheckpointMagic)));
   uint32_t version = 0;
   uint32_t section_count = 0;
   uint32_t header_crc = 0;
@@ -117,32 +195,29 @@ StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
 
   // Section table: names + payload lengths + payload CRCs, then its own CRC.
   const size_t table_begin = kHeaderSize;
-  ByteReader table(std::string_view(bytes).substr(table_begin));
-  struct Entry {
-    std::string name;
-    uint64_t length;
-    uint32_t crc;
-  };
-  std::vector<Entry> entries;
-  entries.reserve(section_count);
+  ByteReader table(bytes.substr(table_begin));
+  CheckpointIndex index;
+  index.version = version;
+  index.sections.reserve(section_count);
   for (uint32_t i = 0; i < section_count; ++i) {
-    Entry entry;
+    SectionIndexEntry entry;
     if (Status s = table.Str(&entry.name); !s.ok()) {
       return Status::InvalidArgument("truncated section table: " +
                                      s.message());
     }
-    Status s = table.U64(&entry.length);
+    uint64_t length = 0;
+    Status s = table.U64(&length);
     if (s.ok()) s = table.U32(&entry.crc);
     if (!s.ok()) {
       return Status::InvalidArgument("truncated section table: " +
                                      s.message());
     }
-    entries.push_back(std::move(entry));
+    entry.length = static_cast<size_t>(length);
+    index.sections.push_back(std::move(entry));
   }
-  const size_t table_size =
-      bytes.size() - table_begin - table.remaining();
+  const size_t table_size = bytes.size() - table_begin - table.remaining();
   const uint32_t computed_table_crc =
-      Crc32(std::string_view(bytes).substr(table_begin, table_size));
+      Crc32(bytes.substr(table_begin, table_size));
   uint32_t table_crc = 0;
   if (Status s = table.U32(&table_crc); !s.ok()) {
     return Status::InvalidArgument("truncated section table CRC: " +
@@ -152,38 +227,47 @@ StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
     return Status::InvalidArgument("checkpoint section table CRC mismatch");
   }
 
-  // Payloads, back to back, in table order.
-  CheckpointReader reader;
-  reader.version_ = version;
+  // Assign payload offsets, back to back, in table order; structural checks
+  // only — no payload byte is read.
   size_t offset = bytes.size() - table.remaining();
-  for (const Entry& entry : entries) {
+  for (size_t i = 0; i < index.sections.size(); ++i) {
+    SectionIndexEntry& entry = index.sections[i];
     if (entry.length > bytes.size() - offset) {
       return Status::InvalidArgument(
           "section '" + entry.name + "' truncated: expected " +
           std::to_string(entry.length) + " bytes, have " +
           std::to_string(bytes.size() - offset));
     }
-    const std::string_view payload(bytes.data() + offset,
-                                   static_cast<size_t>(entry.length));
-    if (Crc32(payload) != entry.crc) {
-      return Status::InvalidArgument("section '" + entry.name +
-                                     "' CRC mismatch (corrupted payload)");
-    }
-    for (const auto& [existing, unused] : reader.sections_) {
-      if (existing == entry.name) {
+    for (size_t j = 0; j < i; ++j) {
+      if (index.sections[j].name == entry.name) {
         return Status::InvalidArgument("duplicate section '" + entry.name +
                                        "'");
       }
     }
-    reader.sections_.emplace_back(
-        entry.name,
-        std::make_pair(offset, offset + static_cast<size_t>(entry.length)));
-    offset += static_cast<size_t>(entry.length);
+    entry.offset = offset;
+    offset += entry.length;
   }
   if (offset != bytes.size()) {
     return Status::InvalidArgument(
         "checkpoint has " + std::to_string(bytes.size() - offset) +
         " trailing bytes after the last section");
+  }
+  return index;
+}
+
+StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
+  StatusOr<CheckpointIndex> index = ParseCheckpointIndex(bytes);
+  if (!index.ok()) return index.status();
+  CheckpointReader reader;
+  reader.version_ = index->version;
+  for (const SectionIndexEntry& entry : index->sections) {
+    const std::string_view payload(bytes.data() + entry.offset, entry.length);
+    if (Crc32(payload) != entry.crc) {
+      return Status::InvalidArgument("section '" + entry.name +
+                                     "' CRC mismatch (corrupted payload)");
+    }
+    reader.sections_.emplace_back(
+        entry.name, std::make_pair(entry.offset, entry.offset + entry.length));
   }
   reader.bytes_ = std::move(bytes);
   return reader;

@@ -44,6 +44,12 @@ inline constexpr char kSectionOptimizer[] = "optimizer/state";
 inline constexpr char kSectionRng[] = "rng/train";
 inline constexpr char kSectionProgress[] = "trainer/progress";
 
+/// Serving-checkpoint sections (DESIGN.md §13). serving/meta holds the
+/// catalog shape, serving/params the head modules; the embedding shards
+/// live in io/embedding_shard.h's kSectionUserEmbeddings/ItemEmbeddings.
+inline constexpr char kSectionServingMeta[] = "serving/meta";
+inline constexpr char kSectionServingParams[] = "serving/params";
+
 /// Accumulates named sections in memory, then writes the whole container.
 class CheckpointWriter {
  public:
@@ -51,16 +57,64 @@ class CheckpointWriter {
   /// caller bug, not an I/O failure).
   void AddSection(std::string name, std::string payload);
 
+  /// Adds a section whose payload must begin at a file offset that is a
+  /// multiple of `alignment` (a power of two). Serialize() materializes the
+  /// gap as a zero-filled "pad/<i>" section immediately before it, so the
+  /// container format is unchanged (readers see an ordinary extra section)
+  /// and format version 1 still applies (DESIGN.md §13).
+  void AddAlignedSection(std::string name, std::string payload,
+                         size_t alignment);
+
   /// The full container as bytes.
   std::string Serialize() const;
 
-  /// Serializes and atomically-ish writes to `path` (write then flush;
-  /// returns Status on any filesystem error).
+  /// Writes the container to `path` without first concatenating all
+  /// payloads in memory (write then flush; returns Status on any
+  /// filesystem error). Byte-identical to Serialize().
   Status WriteFile(const std::string& path) const;
 
  private:
-  std::vector<std::pair<std::string, std::string>> sections_;
+  struct PendingSection {
+    std::string name;
+    std::string payload;
+    size_t alignment;  // 1 for unaligned sections
+  };
+  struct Layout {
+    std::string preamble;            // header + section table + table CRC
+    std::vector<std::string> pads;   // zero payloads of the pad sections
+    // Payload write order: views into sections_ payloads and `pads`.
+    std::vector<std::string_view> payloads;
+  };
+  Layout ComputeLayout() const;
+
+  std::vector<PendingSection> sections_;
 };
+
+// -- Index-only parsing (the lazy/mmap path, DESIGN.md §13) ---------------
+
+struct SectionIndexEntry {
+  std::string name;
+  size_t offset;  ///< Absolute payload offset within the file bytes.
+  size_t length;
+  uint32_t crc;  ///< Payload CRC from the section table (NOT verified).
+};
+
+/// Section directory of a container, without payload validation.
+struct CheckpointIndex {
+  uint32_t version = 0;
+  std::vector<SectionIndexEntry> sections;
+
+  /// The entry named `name`, or null.
+  const SectionIndexEntry* Find(std::string_view name) const;
+};
+
+/// Validates the container's magic, version, header CRC, section-table CRC
+/// and structural consistency (lengths sum to the file size, no duplicate
+/// names) WITHOUT reading any payload bytes — on a MappedFile only the
+/// header/table pages fault in. Callers that need payload integrity verify
+/// an entry's range against its `crc` themselves (CheckpointReader::Parse
+/// does exactly that for every section).
+StatusOr<CheckpointIndex> ParseCheckpointIndex(std::string_view bytes);
 
 /// Parses and validates a container; section payloads are then available
 /// by name. Holds its own copy of the bytes.

@@ -1,0 +1,141 @@
+#include "agnn/io/embedding_shard.h"
+
+#include <cstring>
+
+#include "agnn/common/logging.h"
+#include "agnn/io/bytes.h"
+#include "agnn/io/crc32.h"
+
+namespace agnn::io {
+
+size_t ShardStrideBytes(size_t cols) {
+  const size_t raw = cols * sizeof(float);
+  return (raw + kShardAlignment - 1) / kShardAlignment * kShardAlignment;
+}
+
+size_t ShardPayloadSize(size_t rows, size_t cols) {
+  return kShardHeaderSize + rows * ShardStrideBytes(cols);
+}
+
+EmbeddingShardWriter::EmbeddingShardWriter(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), stride_(ShardStrideBytes(cols)) {
+  AGNN_CHECK_GT(cols, 0u) << "embedding shard needs at least one column";
+  buffer_.reserve(ShardPayloadSize(rows, cols));
+  ByteWriter header;
+  header.Bytes(kShardMagic, sizeof(kShardMagic));
+  header.U32(kShardVersion);
+  header.U32(0);  // flags
+  header.U64(rows_);
+  header.U64(cols_);
+  header.U64(stride_);
+  header.U32(Crc32(header.str()));
+  buffer_ = std::move(header).Release();
+  AGNN_CHECK_LE(buffer_.size(), kShardHeaderSize);
+  buffer_.resize(kShardHeaderSize, '\0');
+}
+
+void EmbeddingShardWriter::AppendRows(const Matrix& chunk) {
+  AGNN_CHECK_EQ(chunk.cols(), cols_);
+  AGNN_CHECK_LE(appended_ + chunk.rows(), rows_)
+      << "embedding shard overflow: declared " << rows_ << " rows";
+  const size_t row_bytes = cols_ * sizeof(float);
+  for (size_t r = 0; r < chunk.rows(); ++r) {
+    buffer_.append(reinterpret_cast<const char*>(chunk.Row(r)), row_bytes);
+    buffer_.append(stride_ - row_bytes, '\0');
+  }
+  appended_ += chunk.rows();
+}
+
+std::string EmbeddingShardWriter::Finish() && {
+  AGNN_CHECK_EQ(appended_, rows_)
+      << "embedding shard incomplete: " << appended_ << " of " << rows_
+      << " rows appended";
+  return std::move(buffer_);
+}
+
+StatusOr<EmbeddingShardReader> EmbeddingShardReader::Open(
+    std::string_view payload) {
+  if (payload.size() < kShardHeaderSize) {
+    return Status::InvalidArgument(
+        "embedding shard truncated: " + std::to_string(payload.size()) +
+        " bytes, header needs " + std::to_string(kShardHeaderSize));
+  }
+  if (std::memcmp(payload.data(), kShardMagic, sizeof(kShardMagic)) != 0) {
+    return Status::InvalidArgument("bad embedding shard magic");
+  }
+  const uint32_t computed_crc =
+      Crc32(std::string_view(payload.data(), 40));
+  ByteReader header(payload.substr(sizeof(kShardMagic)));
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  uint64_t stride = 0;
+  uint32_t header_crc = 0;
+  // The header is long enough (checked above); these cannot fail.
+  AGNN_CHECK(header.U32(&version).ok());
+  AGNN_CHECK(header.U32(&flags).ok());
+  AGNN_CHECK(header.U64(&rows).ok());
+  AGNN_CHECK(header.U64(&cols).ok());
+  AGNN_CHECK(header.U64(&stride).ok());
+  AGNN_CHECK(header.U32(&header_crc).ok());
+  if (header_crc != computed_crc) {
+    return Status::InvalidArgument("embedding shard header CRC mismatch");
+  }
+  if (version != kShardVersion) {
+    return Status::InvalidArgument("unsupported embedding shard version " +
+                                   std::to_string(version));
+  }
+  if (cols == 0) {
+    return Status::InvalidArgument("embedding shard has zero columns");
+  }
+  if (stride < cols * sizeof(float) || stride % kShardAlignment != 0) {
+    return Status::InvalidArgument(
+        "embedding shard stride " + std::to_string(stride) +
+        " invalid for " + std::to_string(cols) + " columns");
+  }
+  if (payload.size() != kShardHeaderSize + rows * stride) {
+    return Status::InvalidArgument(
+        "embedding shard size mismatch: " + std::to_string(payload.size()) +
+        " bytes for " + std::to_string(rows) + " rows of stride " +
+        std::to_string(stride));
+  }
+  if (reinterpret_cast<uintptr_t>(payload.data()) % alignof(float) != 0) {
+    return Status::InvalidArgument(
+        "embedding shard payload is not float-aligned");
+  }
+  EmbeddingShardReader reader;
+  reader.data_ = payload.data();
+  reader.rows_ = static_cast<size_t>(rows);
+  reader.cols_ = static_cast<size_t>(cols);
+  reader.stride_ = static_cast<size_t>(stride);
+  return reader;
+}
+
+const float* EmbeddingShardReader::Row(size_t r) const {
+  AGNN_CHECK_LT(r, rows_);
+  return reinterpret_cast<const float*>(data_ + kShardHeaderSize +
+                                        r * stride_);
+}
+
+void EmbeddingShardReader::CopyRowTo(size_t r, float* out) const {
+  AGNN_CHECK_LT(r, rows_);
+  std::memcpy(out, data_ + kShardHeaderSize + r * stride_,
+              cols_ * sizeof(float));
+}
+
+Matrix EmbeddingShardReader::ReadAll() const {
+  Matrix all(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) CopyRowTo(r, all.Row(r));
+  return all;
+}
+
+Status VerifyShardCrc(std::string_view payload, uint32_t expected_crc) {
+  if (Crc32(payload) != expected_crc) {
+    return Status::InvalidArgument(
+        "embedding shard payload CRC mismatch (corrupted rows)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace agnn::io

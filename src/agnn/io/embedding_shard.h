@@ -1,0 +1,112 @@
+#ifndef AGNN_IO_EMBEDDING_SHARD_H_
+#define AGNN_IO_EMBEDDING_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "agnn/common/status.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::io {
+
+// Fixed-stride embedding-shard payload (DESIGN.md §13). A shard stores the
+// precomputed fused embeddings of one node side as row-aligned float32
+// records, designed to be read in place from a memory-mapped checkpoint:
+//
+//   [0,  8)  magic "AGNNSHRD"
+//   [8, 12)  u32 shard format version (current: 1)
+//   [12,16)  u32 flags (reserved, 0)
+//   [16,24)  u64 rows
+//   [24,32)  u64 cols
+//   [32,40)  u64 stride_bytes (cols*4 rounded up to kShardAlignment)
+//   [40,44)  u32 header CRC-32 of bytes [0,40)
+//   [44,64)  zero padding to kShardHeaderSize
+//   row r at [kShardHeaderSize + r*stride, ... + cols*4), tail zero-padded
+//
+// Shard sections are written with CheckpointWriter::AddAlignedSection so the
+// payload starts at a file offset that is a multiple of kShardAlignment;
+// rows then stay cache-line aligned in the mapping. Whole-payload integrity
+// is guarded by the section table's CRC entry (verified on demand by
+// VerifyShardCrc, NOT on open — the point of the lazy path is to avoid
+// touching every page).
+
+inline constexpr char kShardMagic[8] = {'A', 'G', 'N', 'N',
+                                        'S', 'H', 'R', 'D'};
+inline constexpr uint32_t kShardVersion = 1;
+inline constexpr size_t kShardAlignment = 64;
+inline constexpr size_t kShardHeaderSize = 64;
+
+/// Section names of the serving-checkpoint embedding shards.
+inline constexpr char kSectionUserEmbeddings[] = "embeddings/users";
+inline constexpr char kSectionItemEmbeddings[] = "embeddings/items";
+
+/// Bytes per record: cols*4 rounded up to kShardAlignment.
+size_t ShardStrideBytes(size_t cols);
+
+/// Total payload size of a [rows, cols] shard.
+size_t ShardPayloadSize(size_t rows, size_t cols);
+
+/// Builds a shard payload incrementally so a million-row table never needs a
+/// second resident copy beyond the payload itself: declare the shape up
+/// front, append row chunks in order, Finish() checks every row arrived.
+class EmbeddingShardWriter {
+ public:
+  EmbeddingShardWriter(size_t rows, size_t cols);
+
+  /// Appends `chunk.rows()` consecutive records; chunk.cols() must match.
+  void AppendRows(const Matrix& chunk);
+
+  size_t rows_appended() const { return appended_; }
+
+  /// The finished payload; AGNN_CHECKs that all declared rows arrived.
+  std::string Finish() &&;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  size_t stride_;
+  size_t appended_ = 0;
+  std::string buffer_;
+};
+
+/// Zero-copy view over a shard payload (normally a GetSection/index slice of
+/// a MappedFile). Open validates the header only; Row/CopyRowTo are pure
+/// pointer arithmetic and fault in exactly the pages they touch. The backing
+/// memory must outlive the reader.
+class EmbeddingShardReader {
+ public:
+  EmbeddingShardReader() = default;
+
+  /// Validates magic, version, header CRC, stride/row/size consistency, and
+  /// 4-byte base alignment. Does not touch row pages.
+  static StatusOr<EmbeddingShardReader> Open(std::string_view payload);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t stride_bytes() const { return stride_; }
+
+  /// Pointer to row `r` (cols floats). Valid only while the backing memory
+  /// is mapped.
+  const float* Row(size_t r) const;
+
+  /// memcpy of row `r` into `out` (cols floats).
+  void CopyRowTo(size_t r, float* out) const;
+
+  /// Materializes the whole shard as a resident [rows, cols] matrix.
+  Matrix ReadAll() const;
+
+ private:
+  const char* data_ = nullptr;  // payload base; header at [0, 64)
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+};
+
+/// Recomputes the CRC-32 of `payload` and compares it against the section
+/// table's `expected_crc`. Touches every page — tooling/validation only.
+Status VerifyShardCrc(std::string_view payload, uint32_t expected_crc);
+
+}  // namespace agnn::io
+
+#endif  // AGNN_IO_EMBEDDING_SHARD_H_

@@ -1,0 +1,60 @@
+#include "agnn/io/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace agnn::io {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat " + path + ": " + std::strerror(err));
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument(path + " is empty");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return Status::Internal("mmap " + path + ": " + std::strerror(err));
+  }
+  MappedFile file;
+  file.data_ = data;
+  file.size_ = size;
+  return file;
+}
+
+}  // namespace agnn::io

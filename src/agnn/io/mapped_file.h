@@ -1,0 +1,43 @@
+#ifndef AGNN_IO_MAPPED_FILE_H_
+#define AGNN_IO_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "agnn/common/status.h"
+
+namespace agnn::io {
+
+/// Read-only memory-mapped file (DESIGN.md §13). The mapping is private and
+/// page-backed: bytes are faulted in on first touch, so indexing a large
+/// checkpoint touches only the header/table pages, and serving from an
+/// embedding shard keeps resident memory proportional to the rows actually
+/// read. Move-only; the destructor unmaps.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Returns NotFound if the file cannot be opened,
+  /// InvalidArgument if it is empty, Internal on mmap failure.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  bool valid() const { return data_ != nullptr; }
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data(), size_); }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace agnn::io
+
+#endif  // AGNN_IO_MAPPED_FILE_H_

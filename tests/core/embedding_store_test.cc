@@ -1,0 +1,120 @@
+#include "agnn/core/embedding_store.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/io/embedding_shard.h"
+
+namespace agnn::core {
+namespace {
+
+constexpr size_t kRows = 7;
+constexpr size_t kCols = 5;
+
+// Row r holds {r*100, r*100+1, ...} so every byte identifies its row.
+const std::string& TestShard() {
+  static const std::string* payload = [] {
+    Matrix table(kRows, kCols);
+    for (size_t r = 0; r < kRows; ++r) {
+      for (size_t c = 0; c < kCols; ++c) {
+        *(table.Row(r) + c) = static_cast<float>(r * 100 + c);
+      }
+    }
+    io::EmbeddingShardWriter writer(kRows, kCols);
+    writer.AppendRows(table);
+    return new std::string(std::move(writer).Finish());
+  }();
+  return *payload;
+}
+
+io::EmbeddingShardReader TestReader() {
+  auto reader = io::EmbeddingShardReader::Open(TestShard());
+  AGNN_CHECK(reader.ok()) << reader.status().ToString();
+  return *reader;
+}
+
+TEST(LazyEmbeddingStoreTest, ServesShardBytesAtAnyCapacity) {
+  const Matrix resident = TestReader().ReadAll();
+  for (size_t capacity : {size_t{1}, size_t{2}, size_t{3}, kRows}) {
+    LazyEmbeddingStore store(TestReader(), capacity);
+    // A worst-case-for-LRU order: repeated forward sweeps plus revisits.
+    std::vector<float> row(kCols);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      for (size_t r = 0; r < kRows; ++r) {
+        store.CopyRowTo(r, row.data());
+        for (size_t c = 0; c < kCols; ++c) {
+          EXPECT_EQ(row[c], resident.At(r, c))
+              << "capacity " << capacity << " row " << r;
+        }
+        store.CopyRowTo(r / 2, row.data());
+        EXPECT_EQ(row[0], resident.At(r / 2, 0));
+      }
+    }
+    EXPECT_LE(store.cached_rows(), capacity);
+  }
+}
+
+TEST(LazyEmbeddingStoreTest, GatherRowsIntoMatchesMatrixGather) {
+  const Matrix resident = TestReader().ReadAll();
+  LazyEmbeddingStore store(TestReader(), 3);
+  const std::vector<size_t> ids = {6, 0, 6, 3, 1, 5, 0, 2, 4, 6};
+  Matrix expected(ids.size(), kCols);
+  resident.GatherRowsInto(ids, &expected);
+  Matrix got(ids.size(), kCols);
+  store.GatherRowsInto(ids, &got);
+  EXPECT_EQ(expected.MaxAbsDiff(got), 0.0f);
+}
+
+TEST(LazyEmbeddingStoreTest, CountsHitsMissesAndEvictions) {
+  LazyEmbeddingStore store(TestReader(), 2);
+  std::vector<float> row(kCols);
+
+  store.CopyRowTo(0, row.data());  // miss: load 0
+  store.CopyRowTo(0, row.data());  // hit
+  store.CopyRowTo(1, row.data());  // miss: load 1 -> cache {1, 0}
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.misses(), 2u);
+  EXPECT_EQ(store.cached_rows(), 2u);
+
+  store.CopyRowTo(2, row.data());  // miss: evicts LRU row 0 -> {2, 1}
+  store.CopyRowTo(1, row.data());  // hit: 1 still cached
+  EXPECT_EQ(store.hits(), 2u);
+  EXPECT_EQ(store.misses(), 3u);
+
+  store.CopyRowTo(0, row.data());  // miss: 0 was evicted -> evicts 2
+  store.CopyRowTo(2, row.data());  // miss: 2 was just evicted
+  EXPECT_EQ(store.hits(), 2u);
+  EXPECT_EQ(store.misses(), 5u);
+  EXPECT_EQ(store.cached_rows(), 2u);
+  EXPECT_EQ(row[0], 200.0f);  // evicted-and-reloaded row is still exact
+}
+
+TEST(LazyEmbeddingStoreTest, CapacityCoveringAllRowsNeverEvicts) {
+  LazyEmbeddingStore store(TestReader(), kRows);
+  std::vector<float> row(kCols);
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    for (size_t r = 0; r < kRows; ++r) store.CopyRowTo(r, row.data());
+  }
+  EXPECT_EQ(store.misses(), kRows);  // one cold load per row, then all hits
+  EXPECT_EQ(store.hits(), 3 * kRows);
+  EXPECT_EQ(store.cached_rows(), kRows);
+}
+
+TEST(LazyEmbeddingStoreTest, ReportsShardShape) {
+  LazyEmbeddingStore store(TestReader(), 2);
+  EXPECT_EQ(store.rows(), kRows);
+  EXPECT_EQ(store.cols(), kCols);
+  EXPECT_EQ(store.capacity(), 2u);
+}
+
+TEST(LazyEmbeddingStoreDeathTest, OutOfRangeRowDies) {
+  LazyEmbeddingStore store(TestReader(), 2);
+  std::vector<float> row(kCols);
+  EXPECT_DEATH(store.CopyRowTo(kRows, row.data()), "");
+}
+
+}  // namespace
+}  // namespace agnn::core

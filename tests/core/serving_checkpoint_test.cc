@@ -1,0 +1,349 @@
+#include "agnn/core/serving_checkpoint.h"
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/core/inference_session.h"
+#include "agnn/core/variants.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/io/checkpoint.h"
+#include "agnn/obs/metrics.h"
+
+namespace agnn::core {
+namespace {
+
+using data::Dataset;
+
+const Dataset& TinyDataset() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+    config.num_users = 40;
+    config.num_items = 60;
+    config.num_ratings = 600;
+    return new Dataset(GenerateSynthetic(config, 11));
+  }();
+  return *ds;
+}
+
+AgnnConfig TinyConfig() {
+  AgnnConfig config;
+  config.embedding_dim = 8;
+  config.num_neighbors = 4;
+  config.vae_hidden_dim = 8;
+  config.prediction_hidden_dim = 8;
+  return config;
+}
+
+struct ColdFlags {
+  std::vector<bool> users;
+  std::vector<bool> items;
+};
+
+ColdFlags MakeColdFlags(size_t num_users, size_t num_items) {
+  ColdFlags flags;
+  flags.users.assign(num_users, false);
+  flags.items.assign(num_items, false);
+  flags.users[1] = true;
+  flags.users[3] = true;
+  flags.items[6] = true;
+  // Any catalog node beyond the trained tables must be cold.
+  for (size_t u = TinyDataset().num_users; u < num_users; ++u) {
+    flags.users[u] = true;
+  }
+  for (size_t i = TinyDataset().num_items; i < num_items; ++i) {
+    flags.items[i] = true;
+  }
+  return flags;
+}
+
+/// Catalog over the dataset, optionally extended by extra strict-cold nodes
+/// that reuse the attribute lists of in-dataset nodes (id mod table size) —
+/// exactly what a streamed world whose tail never entered training does.
+ServingCatalog MakeCatalog(size_t num_users, size_t num_items,
+                           const ColdFlags& flags) {
+  ServingCatalog catalog;
+  catalog.num_users = num_users;
+  catalog.num_items = num_items;
+  catalog.cold_users = &flags.users;
+  catalog.cold_items = &flags.items;
+  catalog.attrs = [](bool user_side, size_t begin, size_t count) {
+    const auto& table =
+        user_side ? TinyDataset().user_attrs : TinyDataset().item_attrs;
+    std::vector<std::vector<size_t>> out(count);
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = table[(begin + i) % table.size()];
+    }
+    return out;
+  };
+  return catalog;
+}
+
+struct Requests {
+  std::vector<size_t> user_ids;
+  std::vector<size_t> item_ids;
+  std::vector<size_t> user_neighbors;
+  std::vector<size_t> item_neighbors;
+};
+
+/// Pairs covering warm/warm, cold-user, cold-item, and (when the catalog is
+/// extended) beyond-the-trained-table targets, with neighbor lists cycling
+/// through the whole catalog.
+Requests MakeRequests(size_t num_users, size_t num_items, size_t neighbors) {
+  Requests r;
+  r.user_ids = {0, 1, 2, 3, 4, num_users - 1};
+  r.item_ids = {5, 7, 6, 6, 8, num_items - 1};
+  for (size_t i = 0; i < r.user_ids.size() * neighbors; ++i) {
+    r.user_neighbors.push_back((i * 7) % num_users);
+    r.item_neighbors.push_back((i * 5) % num_items);
+  }
+  return r;
+}
+
+std::vector<float> Serve(InferenceSession* session, const Requests& r) {
+  std::vector<float> out;
+  session->PredictBatch(r.user_ids, r.item_ids, r.user_neighbors,
+                        r.item_neighbors, &out);
+  return out;
+}
+
+TEST(ServingMetaTest, EncodeDecodeRoundTrips) {
+  ServingMeta meta;
+  meta.name = "agnn-tiny";
+  meta.embedding_dim = 8;
+  meta.prediction_hidden_dim = 16;
+  meta.num_users = 1000000;
+  meta.num_items = 250000;
+  meta.num_neighbors = 4;
+  meta.aggregator = Aggregator::kGat;
+  meta.gnn_output_slope = 0.25f;
+
+  StatusOr<ServingMeta> decoded = ServingMeta::Decode(meta.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->name, "agnn-tiny");
+  EXPECT_EQ(decoded->embedding_dim, 8u);
+  EXPECT_EQ(decoded->prediction_hidden_dim, 16u);
+  EXPECT_EQ(decoded->num_users, 1000000u);
+  EXPECT_EQ(decoded->num_items, 250000u);
+  EXPECT_EQ(decoded->num_neighbors, 4u);
+  EXPECT_EQ(decoded->aggregator, Aggregator::kGat);
+  EXPECT_EQ(decoded->gnn_output_slope, 0.25f);
+}
+
+TEST(ServingMetaTest, RejectsTruncationAndBadAggregator) {
+  ServingMeta meta;
+  meta.name = "m";
+  meta.embedding_dim = 4;
+  meta.num_users = 2;
+  meta.num_items = 2;
+  const std::string bytes = meta.Encode();
+  EXPECT_FALSE(ServingMeta::Decode(bytes.substr(0, bytes.size() - 3)).ok());
+
+  std::string bad = bytes;
+  bad[bad.size() - 5] = 0x7f;  // aggregator byte (before the f32 slope)
+  EXPECT_FALSE(ServingMeta::Decode(bad).ok());
+}
+
+TEST(ServingCheckpointTest, ExportedContainerValidatesEndToEnd) {
+  Rng rng(1);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags(TinyDataset().num_users,
+                                  TinyDataset().num_items);
+  const std::string path = ::testing::TempDir() + "/serving_validates.ckpt";
+  ASSERT_TRUE(ExportServingCheckpoint(
+                  model,
+                  MakeCatalog(TinyDataset().num_users, TinyDataset().num_items,
+                              flags),
+                  path)
+                  .ok());
+
+  // The eager reader checks every CRC layer, including the shard payloads
+  // and the zero-fill pad sections that 64-align them.
+  StatusOr<io::CheckpointReader> reader = io::CheckpointReader::ReadFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->HasSection(io::kSectionServingMeta));
+  EXPECT_TRUE(reader->HasSection(io::kSectionServingParams));
+  EXPECT_TRUE(reader->HasSection(io::kSectionUserEmbeddings));
+  EXPECT_TRUE(reader->HasSection(io::kSectionItemEmbeddings));
+}
+
+class ServingSessionVariantTest : public ::testing::TestWithParam<std::string> {
+};
+
+// The spine of §13: model-backed session, resident serving session, and
+// lazy serving session (even with a cache far smaller than the catalog)
+// must produce bitwise-identical predictions.
+TEST_P(ServingSessionVariantTest, LazyAndResidentMatchModelBitwise) {
+  Rng rng(1);
+  AgnnConfig config = MakeVariant(TinyConfig(), GetParam());
+  AgnnModel model(config, TinyDataset(), 3.6f, &rng);
+  const size_t users = TinyDataset().num_users;
+  const size_t items = TinyDataset().num_items;
+  ColdFlags flags = MakeColdFlags(users, items);
+
+  const std::string path =
+      ::testing::TempDir() + "/serving_" + GetParam() + ".ckpt";
+  ASSERT_TRUE(
+      ExportServingCheckpoint(model, MakeCatalog(users, items, flags), path)
+          .ok());
+
+  InferenceSession model_session(model, &flags.users, &flags.items);
+
+  InferenceSession::ServingOptions resident;
+  StatusOr<std::unique_ptr<InferenceSession>> resident_session =
+      InferenceSession::FromServingCheckpoint(path, resident);
+  ASSERT_TRUE(resident_session.ok()) << resident_session.status().ToString();
+
+  InferenceSession::ServingOptions lazy;
+  lazy.lazy = true;
+  lazy.cache_rows = 8;  // far smaller than the 40/60-node catalog
+  StatusOr<std::unique_ptr<InferenceSession>> lazy_session =
+      InferenceSession::FromServingCheckpoint(path, lazy);
+  ASSERT_TRUE(lazy_session.ok()) << lazy_session.status().ToString();
+  EXPECT_TRUE((*lazy_session)->user_embeddings().size() == 0);
+
+  const Requests r = MakeRequests(users, items, model.neighbors_per_node());
+  const std::vector<float> from_model = Serve(&model_session, r);
+  const std::vector<float> from_resident = Serve(resident_session->get(), r);
+  const std::vector<float> from_lazy = Serve(lazy_session->get(), r);
+  EXPECT_EQ(from_model, from_resident) << GetParam();
+  EXPECT_EQ(from_resident, from_lazy) << GetParam();
+
+  // Re-serving the same requests must stay byte-stable while the LRU cache
+  // keeps evicting (capacity 8 << touched rows).
+  EXPECT_EQ(Serve(lazy_session->get(), r), from_lazy);
+  const LazyEmbeddingStore* store = (*lazy_session)->lazy_user_store();
+  ASSERT_NE(store, nullptr);
+  EXPECT_GT(store->misses(), 0u);
+  EXPECT_LE(store->cached_rows(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServedVariants, ServingSessionVariantTest,
+    ::testing::Values("AGNN", "AGNN_GCN", "AGNN_GAT", "AGNN_LLAE"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(ServingCheckpointTest, CatalogBeyondTrainedTablesServesColdNodes) {
+  Rng rng(2);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  const size_t users = TinyDataset().num_users + 13;
+  const size_t items = TinyDataset().num_items + 7;
+  ColdFlags flags = MakeColdFlags(users, items);
+
+  const std::string path = ::testing::TempDir() + "/serving_extended.ckpt";
+  ASSERT_TRUE(
+      ExportServingCheckpoint(model, MakeCatalog(users, items, flags), path)
+          .ok());
+
+  InferenceSession::ServingOptions resident;
+  StatusOr<std::unique_ptr<InferenceSession>> resident_session =
+      InferenceSession::FromServingCheckpoint(path, resident);
+  ASSERT_TRUE(resident_session.ok()) << resident_session.status().ToString();
+  EXPECT_EQ((*resident_session)->num_users(), users);
+  EXPECT_EQ((*resident_session)->num_items(), items);
+
+  InferenceSession::ServingOptions lazy;
+  lazy.lazy = true;
+  lazy.cache_rows = 4;
+  StatusOr<std::unique_ptr<InferenceSession>> lazy_session =
+      InferenceSession::FromServingCheckpoint(path, lazy);
+  ASSERT_TRUE(lazy_session.ok()) << lazy_session.status().ToString();
+
+  const Requests r = MakeRequests(users, items, model.neighbors_per_node());
+  const std::vector<float> from_resident = Serve(resident_session->get(), r);
+  const std::vector<float> from_lazy = Serve(lazy_session->get(), r);
+  EXPECT_EQ(from_resident, from_lazy);
+  for (float p : from_resident) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(ServingCheckpointDeathTest, BeyondTableNodesMustBeFlaggedCold) {
+  Rng rng(3);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  const size_t users = TinyDataset().num_users + 2;
+  const size_t items = TinyDataset().num_items;
+  ColdFlags flags = MakeColdFlags(users, items);
+  flags.users[users - 1] = false;  // beyond the table but claimed warm
+  const std::string path = ::testing::TempDir() + "/serving_notcold.ckpt";
+  EXPECT_DEATH(
+      (void)ExportServingCheckpoint(model, MakeCatalog(users, items, flags),
+                                    path),
+      "missing");
+}
+
+TEST(ServingCheckpointTest, MeteredLazySessionReportsCacheEffectiveness) {
+  Rng rng(4);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  const size_t users = TinyDataset().num_users;
+  const size_t items = TinyDataset().num_items;
+  ColdFlags flags = MakeColdFlags(users, items);
+  const std::string path = ::testing::TempDir() + "/serving_metered.ckpt";
+  ASSERT_TRUE(
+      ExportServingCheckpoint(model, MakeCatalog(users, items, flags), path)
+          .ok());
+
+  obs::MetricsRegistry registry;
+  InferenceSession::ServingOptions lazy;
+  lazy.lazy = true;
+  lazy.cache_rows = 8;
+  StatusOr<std::unique_ptr<InferenceSession>> session =
+      InferenceSession::FromServingCheckpoint(path, lazy, &registry);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const Requests r = MakeRequests(users, items, model.neighbors_per_node());
+  Serve(session->get(), r);
+  EXPECT_GE(registry.GetGauge("session/build_ms")->value(), 0.0);
+  EXPECT_EQ(registry.GetCounter("session/requests")->value(), 1u);
+  EXPECT_GT(registry.GetGauge("session/lazy_user_misses")->value(), 0.0);
+  EXPECT_GT(registry.GetGauge("session/lazy_item_misses")->value(), 0.0);
+}
+
+TEST(ServingCheckpointTest, CorruptParamsSectionIsRejectedInBothModes) {
+  Rng rng(5);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  const size_t users = TinyDataset().num_users;
+  const size_t items = TinyDataset().num_items;
+  ColdFlags flags = MakeColdFlags(users, items);
+  const std::string path = ::testing::TempDir() + "/serving_corrupt.ckpt";
+  ASSERT_TRUE(
+      ExportServingCheckpoint(model, MakeCatalog(users, items, flags), path)
+          .ok());
+
+  // Flip one byte inside the serving/params payload (the mapping is closed
+  // again before the file is rewritten).
+  std::string bytes;
+  {
+    StatusOr<io::MappedFile> mapped = io::MappedFile::Open(path);
+    ASSERT_TRUE(mapped.ok());
+    StatusOr<io::CheckpointIndex> index =
+        io::ParseCheckpointIndex(mapped->view());
+    ASSERT_TRUE(index.ok());
+    const io::SectionIndexEntry* entry =
+        index->Find(io::kSectionServingParams);
+    ASSERT_NE(entry, nullptr);
+    bytes = std::string(mapped->view());
+    bytes[entry->offset + entry->length / 2] ^= 0x40;
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  InferenceSession::ServingOptions resident;
+  EXPECT_FALSE(InferenceSession::FromServingCheckpoint(path, resident).ok());
+  InferenceSession::ServingOptions lazy;
+  lazy.lazy = true;
+  EXPECT_FALSE(InferenceSession::FromServingCheckpoint(path, lazy).ok());
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -129,7 +129,7 @@ TEST(AgnnTrainerTest, GraphConstructionVariantsBuildDifferentGraphs) {
   // Dynamic pools are p%-capped; knn is k-capped; co-purchase reflects
   // interaction overlap. All three should be structurally different.
   EXPECT_NE(dynamic.item_graph().NumEdges(), knn.item_graph().NumEdges());
-  EXPECT_NE(knn.item_graph().neighbors, cop.item_graph().neighbors);
+  EXPECT_NE(knn.item_graph().targets, cop.item_graph().targets);
 }
 
 TEST(AgnnTrainerTest, EvaluateTestIsIdempotent) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "agnn/data/split.h"
 #include "agnn/data/synthetic.h"
 #include "agnn/graph/interaction_graph.h"
@@ -23,7 +25,7 @@ const Dataset& Ds() {
 TEST(BuildCandidatePoolTest, PoolSizeIsTopPercent) {
   auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
                                         Ds().item_schema.total_slots());
-  WeightedGraph pool = BuildCandidatePool(attr_sims, {},
+  CsrGraph pool = BuildCandidatePool(attr_sims, {},
                                           ProximityMode::kAttributeOnly, 5.0);
   const size_t expected = static_cast<size_t>(0.05 * Ds().num_items);
   size_t at_cap = 0;
@@ -38,11 +40,9 @@ TEST(BuildCandidatePoolTest, PoolSizeIsTopPercent) {
 TEST(BuildCandidatePoolTest, WeightsArePositive) {
   auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
                                         Ds().item_schema.total_slots());
-  WeightedGraph pool = BuildCandidatePool(attr_sims, {},
+  CsrGraph pool = BuildCandidatePool(attr_sims, {},
                                           ProximityMode::kAttributeOnly, 5.0);
-  for (const auto& w : pool.weights) {
-    for (double x : w) EXPECT_GT(x, 0.0);
-  }
+  for (double x : pool.weights) EXPECT_GT(x, 0.0);
 }
 
 TEST(BuildCandidatePoolTest, CombinedModeUsesBothProximities) {
@@ -53,14 +53,16 @@ TEST(BuildCandidatePoolTest, CombinedModeUsesBothProximities) {
   auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
                                         Ds().item_schema.total_slots());
   auto pref_sims = PairwiseSparseCosine(ig.AllItemRatings(), Ds().num_users);
-  WeightedGraph both =
+  CsrGraph both =
       BuildCandidatePool(attr_sims, pref_sims, ProximityMode::kBoth, 5.0);
-  WeightedGraph attr_only = BuildCandidatePool(
+  CsrGraph attr_only = BuildCandidatePool(
       attr_sims, pref_sims, ProximityMode::kAttributeOnly, 5.0);
   // The two constructions must differ for at least some node.
   bool any_diff = false;
   for (size_t n = 0; n < both.num_nodes && !any_diff; ++n) {
-    any_diff = both.neighbors[n] != attr_only.neighbors[n];
+    const auto a = both.Neighbors(n);
+    const auto b = attr_only.Neighbors(n);
+    any_diff = !std::equal(a.begin(), a.end(), b.begin(), b.end());
   }
   EXPECT_TRUE(any_diff);
 }
@@ -75,7 +77,7 @@ TEST(BuildCandidatePoolTest, ColdItemsStillGetAttributeNeighbors) {
   auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
                                         Ds().item_schema.total_slots());
   auto pref_sims = PairwiseSparseCosine(ig.AllItemRatings(), Ds().num_users);
-  WeightedGraph pool =
+  CsrGraph pool =
       BuildCandidatePool(attr_sims, pref_sims, ProximityMode::kBoth, 5.0);
   size_t cold_with_neighbors = 0;
   size_t cold_total = 0;
@@ -91,7 +93,7 @@ TEST(BuildCandidatePoolTest, ColdItemsStillGetAttributeNeighbors) {
 TEST(BuildKnnGraphTest, DegreeCappedAtK) {
   auto attr_sims = PairwiseBinaryCosine(Ds().item_attrs,
                                         Ds().item_schema.total_slots());
-  WeightedGraph knn = BuildKnnGraph(attr_sims, 10);
+  CsrGraph knn = BuildKnnGraph(attr_sims, 10);
   for (size_t n = 0; n < knn.num_nodes; ++n) EXPECT_LE(knn.Degree(n), 10u);
 }
 
@@ -100,9 +102,9 @@ TEST(BuildKnnGraphTest, KeepsMostSimilarNeighbors) {
   sims[0] = {{1, 0.9f}, {2, 0.1f}};
   sims[1] = {{0, 0.9f}};
   sims[2] = {{0, 0.1f}};
-  WeightedGraph knn = BuildKnnGraph(sims, 1);
+  CsrGraph knn = BuildKnnGraph(sims, 1);
   ASSERT_EQ(knn.Degree(0), 1u);
-  EXPECT_EQ(knn.neighbors[0][0], 1u);
+  EXPECT_EQ(knn.Neighbors(0)[0], 1u);
 }
 
 TEST(BuildCoPurchaseGraphTest, ColdItemsAreIsolated) {
@@ -112,7 +114,7 @@ TEST(BuildCoPurchaseGraphTest, ColdItemsAreIsolated) {
   data::Split split =
       MakeSplit(Ds(), data::Scenario::kItemColdStart, 0.2, &rng);
   InteractionGraph ig(Ds().num_users, Ds().num_items, split.train);
-  WeightedGraph cop =
+  CsrGraph cop =
       BuildCoPurchaseGraph(ig.AllItemRatings(), Ds().num_users, 10);
   for (size_t i = 0; i < Ds().num_items; ++i) {
     if (split.cold_item[i]) {
@@ -127,19 +129,19 @@ TEST(BuildCoPurchaseGraphTest, CountsCommonRaters) {
       {{1, 4.0f}, {2, 2.0f}},  // item 1 rated by users 1, 2
       {{3, 1.0f}},             // item 2 rated by user 3
   };
-  WeightedGraph cop = BuildCoPurchaseGraph(ratings, 4, 10);
+  CsrGraph cop = BuildCoPurchaseGraph(ratings, 4, 10);
   ASSERT_EQ(cop.Degree(0), 1u);
-  EXPECT_EQ(cop.neighbors[0][0], 1u);
-  EXPECT_DOUBLE_EQ(cop.weights[0][0], 1.0);  // one common rater (user 1)
+  EXPECT_EQ(cop.Neighbors(0)[0], 1u);
+  EXPECT_DOUBLE_EQ(cop.Weights(0)[0], 1.0);  // one common rater (user 1)
   EXPECT_EQ(cop.Degree(2), 0u);
 }
 
 TEST(BuildSocialGraphTest, MirrorsAdjacency) {
   std::vector<std::vector<size_t>> links = {{1, 2}, {0}, {0}};
-  WeightedGraph social = BuildSocialGraph(links);
+  CsrGraph social = BuildSocialGraph(links);
   EXPECT_EQ(social.Degree(0), 2u);
   EXPECT_EQ(social.Degree(1), 1u);
-  EXPECT_DOUBLE_EQ(social.weights[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(social.Weights(0)[0], 1.0);
 }
 
 TEST(InteractionGraphTest, AdjacencyMatchesRatings) {

@@ -19,7 +19,7 @@ TEST(InteractionGraphTest, AdjacencySortedByCounterpart) {
   std::vector<data::Rating> ratings = {
       {0, 5, 3.0f}, {0, 1, 4.0f}, {0, 3, 2.0f}};
   InteractionGraph ig(1, 6, ratings);
-  const SparseVec& row = ig.UserRatings(0);
+  const SparseView row = ig.UserRatings(0);
   ASSERT_EQ(row.size(), 3u);
   EXPECT_EQ(row[0].first, 1u);
   EXPECT_EQ(row[1].first, 3u);

@@ -281,6 +281,95 @@ TEST(CheckpointCorruptionTest, TrailingBytesAreRejected) {
   EXPECT_NE(reader.status().message().find("trailing"), std::string::npos);
 }
 
+// -- Aligned sections and index-only parsing (DESIGN.md §13) --------------
+
+TEST(CheckpointAlignmentTest, AlignedSectionStartsOnItsBoundary) {
+  CheckpointWriter writer;
+  writer.AddSection("meta", "m");  // odd size to knock offsets off-boundary
+  writer.AddAlignedSection("embeddings/users", std::string(128, 'u'), 64);
+  writer.AddSection("tail", "t");
+  writer.AddAlignedSection("embeddings/items", std::string(64, 'i'), 64);
+  const std::string bytes = writer.Serialize();
+
+  StatusOr<CheckpointIndex> index = ParseCheckpointIndex(bytes);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const SectionIndexEntry* users = index->Find("embeddings/users");
+  const SectionIndexEntry* items = index->Find("embeddings/items");
+  ASSERT_NE(users, nullptr);
+  ASSERT_NE(items, nullptr);
+  EXPECT_EQ(users->offset % 64, 0u);
+  EXPECT_EQ(items->offset % 64, 0u);
+  // The pads are ordinary zero-filled sections in the table.
+  ASSERT_NE(index->Find("pad/0"), nullptr);
+  ASSERT_NE(index->Find("pad/1"), nullptr);
+  EXPECT_EQ(bytes.substr(index->Find("pad/0")->offset,
+                         index->Find("pad/0")->length),
+            std::string(index->Find("pad/0")->length, '\0'));
+}
+
+TEST(CheckpointAlignmentTest, AlignedContainerStillParsesAsVersion1) {
+  CheckpointWriter writer;
+  writer.AddSection("meta", "abc");
+  writer.AddAlignedSection("embeddings/users", std::string(256, 'u'), 64);
+  StatusOr<CheckpointReader> reader =
+      CheckpointReader::Parse(writer.Serialize());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->version(), kCheckpointVersion);
+  EXPECT_EQ(reader->GetSection("embeddings/users")->size(), 256u);
+}
+
+TEST(CheckpointAlignmentTest, WriteFileMatchesSerializeByteForByte) {
+  const std::string path = ::testing::TempDir() + "/ckpt_aligned.ckpt";
+  CheckpointWriter writer;
+  writer.AddSection("meta", "m");
+  writer.AddAlignedSection("embeddings/users", std::string(200, 'u'), 64);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string on_disk;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) on_disk.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(on_disk, writer.Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIndexTest, MatchesFullParseAndSkipsPayloadValidation) {
+  const std::string full = TwoSectionContainer();
+  StatusOr<CheckpointIndex> index = ParseCheckpointIndex(full);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->version, kCheckpointVersion);
+  ASSERT_EQ(index->sections.size(), 2u);
+  EXPECT_EQ(index->sections[0].name, "alpha");
+  EXPECT_EQ(full.substr(index->sections[0].offset, index->sections[0].length),
+            "payload-a");
+  EXPECT_EQ(index->sections[0].crc, Crc32("payload-a"));
+  EXPECT_EQ(index->Find("nope"), nullptr);
+
+  // A payload bit flip is invisible to the index (by design — the lazy path
+  // must not touch payload pages) but still caught by the full parse.
+  std::string corrupt = full;
+  corrupt[corrupt.size() - 1] ^= 0x40;
+  EXPECT_TRUE(ParseCheckpointIndex(corrupt).ok());
+  EXPECT_FALSE(CheckpointReader::Parse(corrupt).ok());
+}
+
+TEST(CheckpointIndexTest, TableCorruptionIsStillDetected) {
+  const std::string full = TwoSectionContainer();
+  // Flip every byte of the header + table region; the index parse must
+  // catch each one (payload region starts after table CRC).
+  StatusOr<CheckpointIndex> clean = ParseCheckpointIndex(full);
+  ASSERT_TRUE(clean.ok());
+  const size_t payload_begin = clean->sections[0].offset;
+  for (size_t i = 0; i < payload_begin; ++i) {
+    std::string corrupt = full;
+    corrupt[i] ^= 0x01;
+    EXPECT_FALSE(ParseCheckpointIndex(corrupt).ok())
+        << "bit flip at byte " << i << " undetected by index parse";
+  }
+}
+
 // -- Named parameter records ----------------------------------------------
 
 std::vector<NamedMatrix> SampleParams() {

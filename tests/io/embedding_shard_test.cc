@@ -1,0 +1,165 @@
+// Embedding-shard codec (DESIGN.md §13): stride math, chunked write /
+// lazy read round trips with exact float bytes, header validation matrix,
+// and end-to-end through an aligned checkpoint section on a MappedFile —
+// the lazy serving path's storage contract.
+
+#include "agnn/io/embedding_shard.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "agnn/common/rng.h"
+#include "agnn/io/checkpoint.h"
+#include "agnn/io/crc32.h"
+#include "agnn/io/mapped_file.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::io {
+namespace {
+
+TEST(ShardStrideTest, RoundsUpToAlignment) {
+  EXPECT_EQ(ShardStrideBytes(1), 64u);
+  EXPECT_EQ(ShardStrideBytes(16), 64u);  // the D=16 default: exactly one line
+  EXPECT_EQ(ShardStrideBytes(17), 128u);
+  EXPECT_EQ(ShardStrideBytes(32), 128u);
+  EXPECT_EQ(ShardPayloadSize(10, 16), kShardHeaderSize + 10 * 64);
+}
+
+Matrix TestRows(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomNormal(rows, cols, 0.0f, 1.0f, &rng);
+}
+
+TEST(EmbeddingShardTest, ChunkedWriteRoundTripsExactBytes) {
+  const Matrix table = TestRows(37, 16, 7);
+  EmbeddingShardWriter writer(37, 16);
+  // Append in uneven chunks; the reader must not care.
+  writer.AppendRows(table.SliceRows(0, 10));
+  writer.AppendRows(table.SliceRows(10, 11));
+  writer.AppendRows(table.SliceRows(11, 37));
+  const std::string payload = std::move(writer).Finish();
+  EXPECT_EQ(payload.size(), ShardPayloadSize(37, 16));
+
+  StatusOr<EmbeddingShardReader> reader = EmbeddingShardReader::Open(payload);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->rows(), 37u);
+  EXPECT_EQ(reader->cols(), 16u);
+  EXPECT_EQ(reader->stride_bytes(), 64u);
+  for (size_t r = 0; r < 37; ++r) {
+    EXPECT_EQ(std::memcmp(reader->Row(r), table.Row(r), 16 * sizeof(float)),
+              0)
+        << "row " << r << " bytes differ";
+  }
+  float row[16];
+  reader->CopyRowTo(5, row);
+  EXPECT_EQ(std::memcmp(row, table.Row(5), sizeof(row)), 0);
+  const Matrix all = reader->ReadAll();
+  EXPECT_EQ(all.MaxAbsDiff(table), 0.0f);
+}
+
+TEST(EmbeddingShardTest, PaddedStrideTailIsZero) {
+  const Matrix table = TestRows(3, 5, 11);  // 20 bytes data, 44 bytes pad
+  EmbeddingShardWriter writer(3, 5);
+  writer.AppendRows(table);
+  const std::string payload = std::move(writer).Finish();
+  for (size_t r = 0; r < 3; ++r) {
+    const char* tail = payload.data() + kShardHeaderSize + r * 64 + 20;
+    for (size_t i = 0; i < 44; ++i) EXPECT_EQ(tail[i], '\0');
+  }
+  StatusOr<EmbeddingShardReader> reader = EmbeddingShardReader::Open(payload);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->ReadAll().MaxAbsDiff(table), 0.0f);
+}
+
+TEST(EmbeddingShardTest, FinishChecksAllRowsArrived) {
+  EmbeddingShardWriter writer(4, 8);
+  writer.AppendRows(Matrix::Ones(2, 8));
+  EXPECT_EQ(writer.rows_appended(), 2u);
+  EXPECT_DEATH(std::move(writer).Finish(), "incomplete");
+}
+
+TEST(EmbeddingShardTest, ZeroRowShardIsValid) {
+  EmbeddingShardWriter writer(0, 16);
+  const std::string payload = std::move(writer).Finish();
+  StatusOr<EmbeddingShardReader> reader = EmbeddingShardReader::Open(payload);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->rows(), 0u);
+}
+
+TEST(EmbeddingShardTest, HeaderCorruptionMatrix) {
+  EmbeddingShardWriter writer(2, 4);
+  writer.AppendRows(Matrix::Ones(2, 4));
+  const std::string payload = std::move(writer).Finish();
+
+  // Truncation anywhere in the header fails.
+  for (size_t n = 0; n < kShardHeaderSize; ++n) {
+    EXPECT_FALSE(EmbeddingShardReader::Open(payload.substr(0, n)).ok());
+  }
+  // Wrong total size (row truncation / trailing junk) fails.
+  EXPECT_FALSE(
+      EmbeddingShardReader::Open(payload.substr(0, payload.size() - 1)).ok());
+  EXPECT_FALSE(EmbeddingShardReader::Open(payload + "x").ok());
+  // Any bit flip in the CRC-guarded header prefix fails.
+  for (size_t i = 0; i < 44; ++i) {
+    std::string corrupt = payload;
+    corrupt[i] ^= 0x01;
+    EXPECT_FALSE(EmbeddingShardReader::Open(corrupt).ok())
+        << "header flip at byte " << i << " undetected";
+  }
+  // Row corruption is invisible to Open (lazy) but caught by VerifyShardCrc.
+  std::string corrupt_row = payload;
+  corrupt_row[kShardHeaderSize + 3] ^= 0x10;
+  EXPECT_TRUE(EmbeddingShardReader::Open(corrupt_row).ok());
+  const uint32_t crc = Crc32(payload);
+  EXPECT_TRUE(VerifyShardCrc(payload, crc).ok());
+  EXPECT_FALSE(VerifyShardCrc(corrupt_row, crc).ok());
+}
+
+TEST(EmbeddingShardTest, ReadsLazilyFromMappedCheckpoint) {
+  const Matrix users = TestRows(19, 16, 3);
+  const Matrix items = TestRows(23, 16, 4);
+  EmbeddingShardWriter user_writer(19, 16);
+  EmbeddingShardWriter item_writer(23, 16);
+  user_writer.AppendRows(users);
+  item_writer.AppendRows(items);
+
+  CheckpointWriter writer;
+  writer.AddSection("meta", "odd-length-meta");
+  writer.AddAlignedSection(kSectionUserEmbeddings,
+                           std::move(user_writer).Finish(), kShardAlignment);
+  writer.AddAlignedSection(kSectionItemEmbeddings,
+                           std::move(item_writer).Finish(), kShardAlignment);
+  const std::string path = ::testing::TempDir() + "/shard_mapped.ckpt";
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  StatusOr<CheckpointIndex> index = ParseCheckpointIndex(mapped->view());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  for (const auto& [name, table] :
+       {std::pair<const char*, const Matrix*>{kSectionUserEmbeddings, &users},
+        {kSectionItemEmbeddings, &items}}) {
+    const SectionIndexEntry* entry = index->Find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    // The §13 alignment contract: a mapped shard's rows are 64-byte aligned.
+    EXPECT_EQ(entry->offset % kShardAlignment, 0u);
+    StatusOr<EmbeddingShardReader> reader = EmbeddingShardReader::Open(
+        mapped->view().substr(entry->offset, entry->length));
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(reader->Row(0)) % kShardAlignment,
+              0u);
+    EXPECT_EQ(reader->ReadAll().MaxAbsDiff(*table), 0.0f);
+    EXPECT_TRUE(VerifyShardCrc(
+                    mapped->view().substr(entry->offset, entry->length),
+                    entry->crc)
+                    .ok());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace agnn::io

@@ -1,0 +1,78 @@
+// io::MappedFile: open/read/move semantics and error Statuses, plus the
+// §13 lazy contract that a mapped checkpoint's bytes equal the on-disk
+// bytes (the lazy session relies on reading the exact floats the writer
+// produced).
+
+#include "agnn/io/mapped_file.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "agnn/common/status.h"
+
+namespace agnn::io {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return path;
+}
+
+TEST(MappedFileTest, MapsExactBytes) {
+  std::string bytes = "The quick brown fox";
+  bytes.push_back('\0');
+  bytes += std::string(4096, 'z');  // cross a page boundary
+  const std::string path = WriteTemp("mapped_exact.bin", bytes);
+  StatusOr<MappedFile> file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_TRUE(file->valid());
+  ASSERT_EQ(file->size(), bytes.size());
+  EXPECT_EQ(file->view(), bytes);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsNotFound) {
+  StatusOr<MappedFile> file = MappedFile::Open("/nonexistent/dir/nope.bin");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MappedFileTest, EmptyFileIsInvalidArgument) {
+  const std::string path = WriteTemp("mapped_empty.bin", "");
+  StatusOr<MappedFile> file = MappedFile::Open(path);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MoveTransfersOwnership) {
+  const std::string path = WriteTemp("mapped_move.bin", "abcdef");
+  StatusOr<MappedFile> opened = MappedFile::Open(path);
+  ASSERT_TRUE(opened.ok());
+  MappedFile a = std::move(*opened);
+  const char* data = a.data();
+  MappedFile b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b.view(), "abcdef");
+  MappedFile c;
+  c = std::move(b);
+  EXPECT_EQ(c.view(), "abcdef");
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, DefaultConstructedIsInvalid) {
+  MappedFile file;
+  EXPECT_FALSE(file.valid());
+  EXPECT_EQ(file.size(), 0u);
+}
+
+}  // namespace
+}  // namespace agnn::io

@@ -46,7 +46,7 @@ int Validate(const std::string& path) {
     std::fprintf(stderr, "%s: missing string key \"name\"\n", path.c_str());
     return 1;
   }
-  for (const char* key : {"seed", "wall_ms"}) {
+  for (const char* key : {"seed", "wall_ms", "peak_rss_kb"}) {
     const obs::JsonValue* v = root.Find(key);
     if (v == nullptr || !v->is_number()) {
       std::fprintf(stderr, "%s: missing numeric key \"%s\"\n", path.c_str(),

@@ -1,10 +1,12 @@
 // Validates a CKPT_* / *.ckpt artifact written by CheckpointWriter
-// (DESIGN.md §12): the container must parse — magic, version, all three
-// CRC layers — and, when a model/params section is present, its
-// named-parameter payload must decode. Prints a human-readable audit of
-// the sections and parameter shapes. Registered in ctest behind a fixture
-// that has train_cli emit a real checkpoint, so the training emission path
-// is exercised end-to-end on every test run.
+// (DESIGN.md §12/§13): the container must parse — magic, version, all
+// three CRC layers — and then one of two payload audits applies. A
+// training checkpoint's model/params named-parameter payload must decode;
+// a serving checkpoint's serving/params must decode and each embedding
+// shard must sit 64-aligned in the file, carry a valid header, and match
+// its section-table CRC. Registered in ctest behind fixtures that have
+// train_cli emit both artifact kinds, so both emission paths are
+// exercised end-to-end on every test run.
 //
 // Usage: validate_checkpoint <path> [<path>...]; exits non-zero with a
 // message on the first invalid artifact.
@@ -14,9 +16,103 @@
 #include <vector>
 
 #include "agnn/io/checkpoint.h"
+#include "agnn/io/embedding_shard.h"
+#include "agnn/io/mapped_file.h"
 
 namespace agnn::io {
 namespace {
+
+int ValidateNamedParams(const std::string& path, const CheckpointReader& reader,
+                        const char* section) {
+  std::vector<NamedMatrix> params;
+  Status s = DecodeNamedMatrices(*reader.GetSection(section), &params);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s does not decode: %s\n", path.c_str(), section,
+                 s.ToString().c_str());
+    return 1;
+  }
+  if (params.empty()) {
+    std::fprintf(stderr, "%s: %s holds no parameters\n", path.c_str(),
+                 section);
+    return 1;
+  }
+  size_t scalars = 0;
+  for (const NamedMatrix& p : params) {
+    std::printf("    %-40s %zux%zu\n", p.name.c_str(), p.value.rows(),
+                p.value.cols());
+    scalars += p.value.rows() * p.value.cols();
+  }
+  std::printf("  %s: %zu tensors, %zu scalars\n", section, params.size(),
+              scalars);
+  return 0;
+}
+
+/// Shard audit (DESIGN.md §13): position, header, and payload integrity of
+/// one embeddings/* section, checked against the raw file through the same
+/// index-only path the lazy server uses.
+int ValidateShard(const std::string& path, const MappedFile& mapped,
+                  const CheckpointIndex& index, const char* name) {
+  const SectionIndexEntry* entry = index.Find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "%s: missing shard section '%s'\n", path.c_str(),
+                 name);
+    return 1;
+  }
+  if (entry->offset % kShardAlignment != 0) {
+    std::fprintf(stderr,
+                 "%s: shard '%s' starts at offset %zu, not %zu-aligned\n",
+                 path.c_str(), name, entry->offset, kShardAlignment);
+    return 1;
+  }
+  const std::string_view payload =
+      mapped.view().substr(entry->offset, entry->length);
+  StatusOr<EmbeddingShardReader> shard = EmbeddingShardReader::Open(payload);
+  if (!shard.ok()) {
+    std::fprintf(stderr, "%s: shard '%s' header invalid: %s\n", path.c_str(),
+                 name, shard.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = VerifyShardCrc(payload, entry->crc); !s.ok()) {
+    std::fprintf(stderr, "%s: shard '%s': %s\n", path.c_str(), name,
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("  shard %-18s %zu rows x %zu cols, stride %zu B, "
+              "offset %zu (64-aligned, CRC ok)\n",
+              name, shard->rows(), shard->cols(), shard->stride_bytes(),
+              entry->offset);
+  return 0;
+}
+
+int ValidateServing(const std::string& path, const CheckpointReader& reader) {
+  if (!reader.HasSection(kSectionServingParams)) {
+    std::fprintf(stderr, "%s: missing section '%s'\n", path.c_str(),
+                 kSectionServingParams);
+    return 1;
+  }
+  if (int rc = ValidateNamedParams(path, reader, kSectionServingParams);
+      rc != 0) {
+    return rc;
+  }
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "%s: cannot map: %s\n", path.c_str(),
+                 mapped.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<CheckpointIndex> index = ParseCheckpointIndex(mapped->view());
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s: index parse failed: %s\n", path.c_str(),
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  for (const char* name : {kSectionUserEmbeddings, kSectionItemEmbeddings}) {
+    if (int rc = ValidateShard(path, *mapped, *index, name); rc != 0) {
+      return rc;
+    }
+  }
+  return 0;
+}
 
 int Validate(const std::string& path) {
   StatusOr<CheckpointReader> reader = CheckpointReader::ReadFile(path);
@@ -36,30 +132,17 @@ int Validate(const std::string& path) {
     std::printf("  section %-16s %zu bytes\n", name.c_str(), payload->size());
   }
   if (reader->HasSection(kSectionModelParams)) {
-    std::vector<NamedMatrix> params;
-    Status s = DecodeNamedMatrices(*reader->GetSection(kSectionModelParams),
-                                   &params);
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s: model/params does not decode: %s\n",
-                   path.c_str(), s.ToString().c_str());
-      return 1;
+    if (int rc = ValidateNamedParams(path, *reader, kSectionModelParams);
+        rc != 0) {
+      return rc;
     }
-    if (params.empty()) {
-      std::fprintf(stderr, "%s: model/params holds no parameters\n",
-                   path.c_str());
-      return 1;
-    }
-    size_t scalars = 0;
-    for (const NamedMatrix& p : params) {
-      std::printf("    %-40s %zux%zu\n", p.name.c_str(), p.value.rows(),
-                  p.value.cols());
-      scalars += p.value.rows() * p.value.cols();
-    }
-    std::printf("  model/params: %zu tensors, %zu scalars\n", params.size(),
-                scalars);
+  } else if (reader->HasSection(kSectionServingMeta)) {
+    if (int rc = ValidateServing(path, *reader); rc != 0) return rc;
   } else {
-    std::fprintf(stderr, "%s: missing section '%s'\n", path.c_str(),
-                 kSectionModelParams);
+    std::fprintf(stderr,
+                 "%s: neither a training checkpoint ('%s') nor a serving "
+                 "checkpoint ('%s')\n",
+                 path.c_str(), kSectionModelParams, kSectionServingMeta);
     return 1;
   }
   std::printf("%s: ok\n", path.c_str());
