@@ -1,0 +1,320 @@
+// Serving-gateway benchmark (DESIGN.md §14): the layered serving front
+// under open-loop heavy traffic. A streamed synthetic world is trained on
+// its warm prefix, exported as a serving checkpoint, and opened as a lazy
+// (mmap + LRU) InferenceSession — then a Zipf-popularity request stream
+// with Poisson arrivals and a configurable cold-user fraction is driven
+// through the ServingGateway on a virtual clock. Open-loop means arrivals
+// never wait for the server: when offered load outruns service capacity,
+// queueing delay shows up in the tail percentiles instead of silently
+// slowing the generator down.
+//
+// Reports sustained throughput, per-request latency percentiles (p50/p95/
+// p99 over completion latencies), the adaptive batch-size distribution,
+// and a bitwise gate: every gateway prediction must equal a direct
+// one-by-one session Predict of the same request.
+//
+// Bench-specific knobs (on top of the common bench flags):
+//   --qps=N             offered load (default 2000)
+//   --requests=N        stream length (default 4096)
+//   --cold_fraction=F   probability an arrival is a strict-cold user
+//   --zipf_q=Q          popularity tail exponent for warm users and items
+//   --budget_us=B --max_batch=M --queue_capacity=C   gateway options
+//
+// The default --scale=small world answers in seconds (the ctest smoke
+// fixture runs it with a tiny --requests budget); --scale=million serves
+// the same pipeline against the >1M-node catalog.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agnn/common/flags.h"
+#include "agnn/common/logging.h"
+#include "agnn/common/table.h"
+#include "agnn/core/inference_session.h"
+#include "agnn/core/serving_checkpoint.h"
+#include "agnn/core/serving_gateway.h"
+#include "agnn/core/trainer.h"
+#include "agnn/data/split.h"
+#include "agnn/data/synthetic_stream.h"
+#include "bench_util.h"
+
+namespace agnn::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double PercentileMs(std::vector<double>* us, double pct) {
+  std::sort(us->begin(), us->end());
+  const size_t idx =
+      std::min(us->size() - 1,
+               static_cast<size_t>(pct * static_cast<double>(us->size())));
+  return (*us)[idx] / 1000.0;
+}
+
+struct TimedRequest {
+  double arrival_us = 0.0;
+  bool cold = false;
+  core::ServingRequest request;
+};
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromFlags(argc, argv);
+  if (!options.epochs_explicit) options.epochs = 2;
+  // FlagParser keeps unknown flags, so the bench-specific knobs ride the
+  // same argv through a second parse.
+  FlagParser flags;
+  AGNN_CHECK(flags.Parse(argc, argv).ok());
+  const double qps = flags.GetDouble("qps", 2000.0);
+  const size_t num_requests =
+      static_cast<size_t>(flags.GetInt("requests", 4096));
+  const double cold_fraction = flags.GetDouble("cold_fraction", 0.1);
+  const double zipf_q = flags.GetDouble("zipf_q", 1.5);
+  core::ServingGatewayOptions gateway_options;
+  gateway_options.max_batch =
+      static_cast<size_t>(flags.GetInt("max_batch", 32));
+  gateway_options.budget_us = flags.GetDouble("budget_us", 2000.0);
+  gateway_options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue_capacity", 1024));
+  AGNN_CHECK_GT(qps, 0.0);
+  AGNN_CHECK_GT(num_requests, 0u);
+  AGNN_CHECK(cold_fraction >= 0.0 && cold_fraction <= 1.0);
+
+  PrintHeader("Serving gateway — Zipf open-loop load through the "
+              "micro-batcher",
+              "systems extension; not a paper table", options);
+  BenchReporter reporter("serving_gateway", options);
+  reporter.Add("load/offered_qps", qps);
+  reporter.Add("load/requests", static_cast<double>(num_requests));
+  reporter.Add("load/cold_fraction", cold_fraction);
+  reporter.Add("load/zipf_q", zipf_q);
+  reporter.Add("gateway/max_batch",
+               static_cast<double>(gateway_options.max_batch));
+  reporter.Add("gateway/budget_us", gateway_options.budget_us);
+
+  // --- World → warm-prefix training → serving checkpoint → lazy session,
+  // the same storage spine as bench/million_node_serving. The warm prefix
+  // is half the catalog at small scale so strict-cold arrivals exist even
+  // in the smoke configuration.
+  const bool million = options.scale == data::Scale::kMillion;
+  const data::SyntheticConfig world_config =
+      data::SyntheticConfig::Ml100k(options.scale);
+  data::StreamOptions stream_options;
+  stream_options.chunk_size = million ? 8192 : 128;
+  stream_options.warm_users =
+      million ? 1024 : std::max<size_t>(1, world_config.num_users / 2);
+  stream_options.warm_items =
+      million ? 1024 : std::max<size_t>(1, world_config.num_items / 2);
+  stream_options.ratings_per_warm_user =
+      std::min<size_t>(stream_options.warm_items, 24);
+  const data::SyntheticStream stream(world_config, stream_options,
+                                     options.seed);
+  const size_t num_users = stream.num_users();
+  const size_t num_items = stream.num_items();
+  const size_t warm_users = stream_options.warm_users;
+  reporter.Add("world/users", static_cast<double>(num_users));
+  reporter.Add("world/items", static_cast<double>(num_items));
+
+  const auto train0 = Clock::now();
+  const data::Dataset replica = stream.MaterializeWarmReplica();
+  core::AgnnConfig agnn_config = options.MakeExperimentConfig().agnn;
+  Rng split_rng(options.seed);
+  const data::Split split = data::MakeSplit(
+      replica, data::Scenario::kWarmStart, options.test_fraction, &split_rng);
+  core::AgnnTrainer trainer(replica, split, agnn_config);
+  trainer.Train();
+  reporter.Add("train/ms", MsSince(train0));
+
+  const std::string path = "CKPT_serving_gateway.ckpt";
+  core::ServingCatalog catalog;
+  catalog.num_users = num_users;
+  catalog.num_items = num_items;
+  std::vector<bool> cold_users(num_users, false);
+  std::vector<bool> cold_items(num_items, false);
+  for (size_t u = warm_users; u < num_users; ++u) cold_users[u] = true;
+  for (size_t i = stream_options.warm_items; i < num_items; ++i) {
+    cold_items[i] = true;
+  }
+  catalog.cold_users = &cold_users;
+  catalog.cold_items = &cold_items;
+  struct ChunkCache {
+    size_t chunk = static_cast<size_t>(-1);
+    data::NodeChunk data;
+  };
+  ChunkCache user_cache, item_cache;
+  catalog.attrs = [&](bool user_side, size_t begin, size_t count) {
+    ChunkCache* cache = user_side ? &user_cache : &item_cache;
+    std::vector<std::vector<size_t>> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t id = begin + i;
+      const size_t chunk = id / stream_options.chunk_size;
+      if (cache->chunk != chunk) {
+        cache->data =
+            user_side ? stream.UserChunk(chunk) : stream.ItemChunk(chunk);
+        cache->chunk = chunk;
+      }
+      out.push_back(cache->data.attrs[id - cache->data.begin]);
+    }
+    return out;
+  };
+  const auto export0 = Clock::now();
+  if (Status s = core::ExportServingCheckpoint(trainer.model(), catalog, path);
+      !s.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  reporter.Add("export/ms", MsSince(export0));
+
+  core::InferenceSession::ServingOptions serving_options;
+  serving_options.lazy = true;
+  serving_options.cache_rows = 4096;
+  auto session = core::InferenceSession::FromServingCheckpoint(
+      path, serving_options, reporter.registry(), reporter.trace());
+  if (!session.ok()) {
+    std::fprintf(stderr, "session open failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  const size_t neighbors = (*session)->neighbors_per_node();
+
+  // --- Request stream: Poisson arrivals at --qps; warm users drawn by
+  // Zipf rank (rank 0 most popular — with the lazy LRU this keeps the head
+  // resident while the cold tail takes the misses), cold users uniform
+  // over the strict-cold id range, items Zipf over the whole catalog.
+  Rng load_rng(options.seed ^ 0xbadc0ffeULL);
+  std::vector<TimedRequest> requests(num_requests);
+  double arrival_us = 0.0;
+  size_t cold_arrivals = 0;
+  for (TimedRequest& timed : requests) {
+    arrival_us += -std::log(1.0 - load_rng.Uniform()) * 1e6 / qps;
+    timed.arrival_us = arrival_us;
+    timed.cold = warm_users < num_users && load_rng.Bernoulli(cold_fraction);
+    core::ServingRequest& req = timed.request;
+    if (timed.cold) {
+      ++cold_arrivals;
+      req.user = warm_users + load_rng.UniformInt(num_users - warm_users);
+    } else {
+      req.user = load_rng.Zipf(warm_users, zipf_q);
+    }
+    req.item = load_rng.Zipf(num_items, zipf_q);
+    for (size_t k = 0; k < neighbors; ++k) {
+      req.user_neighbors.push_back(load_rng.UniformInt(num_users));
+      req.item_neighbors.push_back(load_rng.UniformInt(num_items));
+    }
+  }
+  reporter.Add("load/cold_arrivals", static_cast<double>(cold_arrivals));
+
+  // --- Drive the gateway. Completions carry virtual-clock latencies; the
+  // sink keeps one prediction slot per submission id for the bitwise gate.
+  std::vector<double> latency_us;
+  latency_us.reserve(num_requests);
+  std::vector<float> gateway_pred(num_requests, 0.0f);
+  std::vector<bool> served(num_requests, false);
+  double last_complete_us = 0.0;
+  auto sink = [&](const core::ServingCompletion& done) {
+    latency_us.push_back(done.latency_us);
+    gateway_pred[done.id] = done.prediction;
+    served[done.id] = true;
+    last_complete_us = std::max(last_complete_us, done.complete_us);
+  };
+  if (reporter.trace() != nullptr) reporter.trace()->SetTrack(1);
+  core::ServingGateway gateway(session->get(), gateway_options, sink,
+                               reporter.registry(), reporter.trace());
+  // Warm the session workspace outside the measured run.
+  (*session)->Predict(requests[0].request.user, requests[0].request.item,
+                      requests[0].request.user_neighbors,
+                      requests[0].request.item_neighbors);
+  const auto serve0 = Clock::now();
+  // Submission ids must stay aligned with the requests vector for the
+  // bitwise gate, so shed requests (queue overflow under a burst) are
+  // simply dropped — exactly what a real admission layer would do.
+  for (const TimedRequest& timed : requests) {
+    gateway.Submit(timed.request, timed.arrival_us);
+  }
+  gateway.Drain(requests.back().arrival_us);
+  const double serve_wall_ms = MsSince(serve0);
+  const core::ServingGatewayStats& stats = gateway.stats();
+
+  // --- SLO + batching report. Sustained QPS is on the virtual clock
+  // (served work per simulated second); wall ms is the real compute cost.
+  const double span_s = last_complete_us > 0.0 ? last_complete_us / 1e6 : 1.0;
+  const double sustained_qps = static_cast<double>(stats.served) / span_s;
+  const double p50_ms = PercentileMs(&latency_us, 0.5);
+  const double p95_ms = PercentileMs(&latency_us, 0.95);
+  const double p99_ms = PercentileMs(&latency_us, 0.99);
+  const double mean_batch =
+      stats.batches > 0 ? static_cast<double>(stats.served) /
+                              static_cast<double>(stats.batches)
+                        : 0.0;
+  reporter.Add("load/sustained_qps", sustained_qps);
+  reporter.Add("load/served", static_cast<double>(stats.served));
+  reporter.Add("load/shed", static_cast<double>(stats.shed));
+  reporter.Add("latency/p50_ms", p50_ms);
+  reporter.Add("latency/p95_ms", p95_ms);
+  reporter.Add("latency/p99_ms", p99_ms);
+  reporter.Add("batch/count", static_cast<double>(stats.batches));
+  reporter.Add("batch/mean_size", mean_batch);
+  reporter.Add("batch/full_flushes", static_cast<double>(stats.full_flushes));
+  reporter.Add("batch/budget_flushes",
+               static_cast<double>(stats.budget_flushes));
+  reporter.Add("batch/drain_flushes",
+               static_cast<double>(stats.drain_flushes));
+  reporter.Add("batch/peak_queue_depth",
+               static_cast<double>(stats.peak_queue_depth));
+  reporter.Add("serve/wall_ms", serve_wall_ms);
+
+  // --- Bitwise gate: replay every served request one-by-one against the
+  // bare session; the gateway's batching must not change a single bit.
+  size_t mismatches = 0;
+  for (size_t i = 0; i < num_requests; ++i) {
+    if (!served[i]) continue;
+    const core::ServingRequest& req = requests[i].request;
+    const float direct = (*session)->Predict(req.user, req.item,
+                                             req.user_neighbors,
+                                             req.item_neighbors);
+    if (direct != gateway_pred[i]) ++mismatches;
+  }
+  reporter.Add("gate/bitwise_equal", mismatches == 0 ? 1.0 : 0.0);
+
+  Table table({"Metric", "Value"});
+  table.AddRow({"offered QPS", Table::Cell(qps)});
+  table.AddRow({"sustained QPS", Table::Cell(sustained_qps)});
+  table.AddRow({"p50 ms", Table::Cell(p50_ms)});
+  table.AddRow({"p95 ms", Table::Cell(p95_ms)});
+  table.AddRow({"p99 ms", Table::Cell(p99_ms)});
+  table.AddRow({"mean batch", Table::Cell(mean_batch)});
+  table.AddRow({"peak queue", Table::Cell(static_cast<double>(
+                                  stats.peak_queue_depth))});
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("served %llu/%llu (%llu shed, %zu cold arrivals) in %llu "
+              "batches (%llu full / %llu budget / %llu drain); "
+              "bitwise gate: %zu mismatches\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.shed), cold_arrivals,
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.full_flushes),
+              static_cast<unsigned long long>(stats.budget_flushes),
+              static_cast<unsigned long long>(stats.drain_flushes),
+              mismatches);
+  reporter.WriteJson();
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: gateway predictions diverge from direct "
+                         "session predicts — batching is not bitwise-safe\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace agnn::bench
+
+int main(int argc, char** argv) { return agnn::bench::Main(argc, argv); }

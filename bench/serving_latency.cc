@@ -4,6 +4,11 @@
 // from cached per-node embeddings with zero tape and zero heap allocation,
 // so the single-request p50 must come out well ahead (the PR gate is >= 3x)
 // of the tape path, which rebuilds the graph-node closures per request.
+//
+// --cold_fraction=F (optional) controls the traffic mix: each request is a
+// strict-cold test pair with probability F and a warm training pair
+// otherwise, so warm-only (F=0) and cold-heavy (F=1) tails can be compared
+// directly. Unset, requests cycle over the test pairs as before.
 
 #include <algorithm>
 #include <chrono>
@@ -11,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "agnn/common/flags.h"
+#include "agnn/common/logging.h"
 #include "agnn/common/table.h"
 #include "agnn/core/inference_session.h"
 #include "agnn/graph/graph.h"
@@ -44,6 +51,12 @@ int Main(int argc, char** argv) {
   // Serving cost does not depend on model quality; a couple of epochs give
   // realistic (non-degenerate) weights without dominating the bench.
   if (!options.epochs_explicit) options.epochs = 2;
+  // FlagParser keeps unknown flags, so the bench-specific knob rides the
+  // same argv through a second parse. Negative (the default) = unset.
+  FlagParser flags;
+  AGNN_CHECK(flags.Parse(argc, argv).ok());
+  const double cold_fraction = flags.GetDouble("cold_fraction", -1.0);
+  AGNN_CHECK(cold_fraction <= 1.0);
   PrintHeader("Serving latency — tape vs. tape-free InferenceSession",
               "systems extension; not a paper table", options);
   BenchReporter reporter("serving_latency", options);
@@ -64,18 +77,46 @@ int Main(int argc, char** argv) {
     const data::Split& split = runner.split();
     const size_t s = model.neighbors_per_node();
 
-    // Presample requests by cycling over the test pairs (includes strict
-    // cold items by construction).
+    // Presample requests. Default: cycle over the test pairs (includes
+    // strict cold items by construction). With --cold_fraction, each
+    // request is instead a Bernoulli mix of strict-cold test pairs and
+    // warm training pairs, so the latency tables measure a chosen traffic
+    // composition rather than the split's.
+    std::vector<size_t> cold_pool;
+    for (size_t i = 0; i < split.test.size(); ++i) {
+      if (split.cold_item[split.test[i].item]) cold_pool.push_back(i);
+    }
+    const bool mix = cold_fraction >= 0.0 && !cold_pool.empty() &&
+                     !split.train.empty();
     Rng rng(options.seed ^ 0xbadc0ffeULL);
     std::vector<Request> requests(kSingleRequests);
+    size_t cold_requests = 0;
     for (size_t i = 0; i < requests.size(); ++i) {
-      const data::Rating& r = split.test[i % split.test.size()];
+      const data::Rating* picked;
+      if (mix) {
+        if (rng.Bernoulli(cold_fraction)) {
+          picked = &split.test[cold_pool[rng.UniformInt(cold_pool.size())]];
+          ++cold_requests;
+        } else {
+          picked = &split.train[rng.UniformInt(split.train.size())];
+        }
+      } else {
+        picked = &split.test[i % split.test.size()];
+      }
+      const data::Rating& r = *picked;
       requests[i].user = r.user;
       requests[i].item = r.item;
       graph::SampleNeighborsInto(trainer.user_graph(), r.user, s, &rng,
                                  &requests[i].user_neighbors);
       graph::SampleNeighborsInto(trainer.item_graph(), r.item, s, &rng,
                                  &requests[i].item_neighbors);
+    }
+    if (mix) {
+      reporter.Add(dataset_name + "/traffic/cold_fraction", cold_fraction);
+      reporter.Add(dataset_name + "/traffic/cold_requests",
+                   static_cast<double>(cold_requests));
+      std::printf("traffic mix: %zu/%zu cold requests (--cold_fraction=%.2f)\n",
+                  cold_requests, requests.size(), cold_fraction);
     }
 
     // --- Tape path: full eval-mode Forward per request. ---

@@ -92,6 +92,53 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+uint64_t Rng::Zipf(uint64_t n, double q, double v) {
+  AGNN_CHECK_GT(n, 0u);
+  AGNN_CHECK_GT(q, 1.0) << "Zipf needs a tail exponent q > 1";
+  AGNN_CHECK_GT(v, 0.0);
+  if (n == 1) return 0;  // only one rank; no randomness consumed
+
+  // Rejection inversion over the unnormalized pmf p(x) = (v + x)^-q with
+  // H(x) = (v + x)^(1-q) / (1 - q), the continuous antiderivative. A
+  // uniform u over [H(0.5) - p(0), H(n-0.5)] is inverted to a candidate
+  // rank and accepted either inside the squeeze band s or under the exact
+  // per-rank bound u >= H(rank+0.5) - p(rank) — the same construction as
+  // absl's zipf_distribution. Truncating rank 0's cell at H(0.5) - p(0)
+  // (rather than starting at H(-0.5)) is load-bearing: it makes the exact
+  // bound auto-accept every rank-0 candidate, exactly p(0) of u-measure,
+  // so the squeeze (derived from rank 1) can never over-accept the head.
+  const double one_minus_q = 1.0 - q;
+  const double one_minus_q_inv = 1.0 / one_minus_q;
+  const auto pow_neg_q = [&](double x) { return std::exp(-q * std::log(x)); };
+  const auto big_h = [&](double x) {
+    return std::exp(one_minus_q * std::log(v + x)) * one_minus_q_inv;
+  };
+  const auto big_h_inv = [&](double x) {
+    return -v + std::exp(one_minus_q_inv * std::log(one_minus_q * x));
+  };
+  const double max_rank = static_cast<double>(n - 1);
+  const double hxm = big_h(max_rank + 0.5);
+  const double span = (big_h(0.5) - hxm) - pow_neg_q(v);
+  const double s = 1.0 - big_h_inv(big_h(1.5) - pow_neg_q(v + 1.0));
+  for (;;) {
+    // Exactly one Uniform() per iteration: generator state alone resumes
+    // the stream (the SaveState contract above).
+    const double u = hxm + Uniform() * span;
+    const double x = big_h_inv(u);
+    double rank = std::floor(x + 0.5);
+    // Limited precision can push the inverse just past either end.
+    if (rank < 0.0) {
+      rank = 0.0;
+    } else if (rank > max_rank) {
+      rank = max_rank;
+    }
+    if (rank - x <= s) return static_cast<uint64_t>(rank);
+    if (u >= big_h(rank + 0.5) - pow_neg_q(v + rank)) {
+      return static_cast<uint64_t>(rank);
+    }
+  }
+}
+
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   AGNN_CHECK_LE(k, n);
   // Partial Fisher-Yates over an index vector; O(n) setup, fine for the

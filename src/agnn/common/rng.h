@@ -40,6 +40,16 @@ class Rng {
   /// (non-negative, not all zero).
   size_t Categorical(const std::vector<double>& weights);
 
+  /// Zipf-distributed rank in [0, n): P(x) proportional to (v + x)^-q,
+  /// so rank 0 is the most popular. Requires n > 0, q > 1, v > 0.
+  /// Defaults mirror absl's zipf_distribution (q = 2, v = 1). Sampled by
+  /// rejection inversion (Hörmann & Derflinger 1996) — O(1) per draw
+  /// independent of n, so it scales to million-entity catalogs. Consumes
+  /// only Uniform() draws, so the sampler carries no state beyond the
+  /// generator words and SaveState/RestoreState replays a Zipf stream
+  /// exactly like any other.
+  uint64_t Zipf(uint64_t n, double q = 2.0, double v = 1.0);
+
   /// Fisher-Yates shuffle of `values`.
   template <typename T>
   void Shuffle(std::vector<T>* values) {

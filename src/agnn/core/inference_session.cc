@@ -264,10 +264,13 @@ void InferenceSession::GatherEmbeddingRows(bool user_side,
 float InferenceSession::Predict(size_t user_id, size_t item_id,
                                 const std::vector<size_t>& user_neighbor_ids,
                                 const std::vector<size_t>& item_neighbor_ids) {
+  // A single request is a one-row batch through the same unified pipeline
+  // (and the same instrumentation), via session-owned reusable buffers.
   one_user_.assign(1, user_id);
   one_item_.assign(1, item_id);
-  PredictBatch(one_user_, one_item_, user_neighbor_ids, item_neighbor_ids,
-               &one_out_);
+  one_out_.resize(1);
+  PredictBatchInto(one_user_, one_item_, user_neighbor_ids, item_neighbor_ids,
+                   one_out_.data());
   return one_out_[0];
 }
 
@@ -275,9 +278,17 @@ void InferenceSession::PredictBatch(
     const std::vector<size_t>& user_ids, const std::vector<size_t>& item_ids,
     const std::vector<size_t>& user_neighbor_ids,
     const std::vector<size_t>& item_neighbor_ids, std::vector<float>* out) {
+  out->resize(user_ids.size());
+  PredictBatchInto(user_ids, item_ids, user_neighbor_ids, item_neighbor_ids,
+                   out->data());
+}
+
+void InferenceSession::PredictBatchInto(
+    const std::vector<size_t>& user_ids, const std::vector<size_t>& item_ids,
+    const std::vector<size_t>& user_neighbor_ids,
+    const std::vector<size_t>& item_neighbor_ids, float* out) {
   const size_t batch = user_ids.size();
   AGNN_CHECK_EQ(item_ids.size(), batch);
-  out->resize(batch);
   if (batch == 0) return;
   // Observation only — the timer and the spans read no clocks and nothing
   // is recorded when the session has no registry/recorder, and the math
@@ -339,7 +350,7 @@ void InferenceSession::PredictBatch(
                                                 user_ids, item_ids, &ws_,
                                                 trace_);
   }
-  for (size_t i = 0; i < batch; ++i) (*out)[i] = predictions.At(i, 0);
+  for (size_t i = 0; i < batch; ++i) out[i] = predictions.At(i, 0);
   ws_.Give(std::move(user_final));
   ws_.Give(std::move(item_final));
   ws_.Give(std::move(predictions));

@@ -111,6 +111,17 @@ class InferenceSession {
                     const std::vector<size_t>& item_neighbor_ids,
                     std::vector<float>* out);
 
+  /// Destination-passing core of the request pipeline: writes exactly
+  /// user_ids.size() predictions into `out`, which the caller must have
+  /// sized. Predict and PredictBatch are thin wrappers over this form, and
+  /// it is what the ServingGateway's micro-batcher calls on its steady
+  /// path — a warm session touches no heap here (DESIGN.md §14).
+  void PredictBatchInto(const std::vector<size_t>& user_ids,
+                        const std::vector<size_t>& item_ids,
+                        const std::vector<size_t>& user_neighbor_ids,
+                        const std::vector<size_t>& item_neighbor_ids,
+                        float* out);
+
   size_t num_users() const;
   size_t num_items() const;
   size_t embedding_dim() const { return dim_; }

@@ -1,0 +1,203 @@
+#include "agnn/core/serving_gateway.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "agnn/common/logging.h"
+#include "agnn/common/stopwatch.h"
+
+namespace agnn::core {
+
+ServingGateway::ServingGateway(InferenceSession* session,
+                               const ServingGatewayOptions& options,
+                               CompletionSink sink,
+                               obs::MetricsRegistry* metrics,
+                               obs::TraceRecorder* trace)
+    : session_(session),
+      options_(options),
+      sink_(std::move(sink)),
+      metrics_(metrics),
+      trace_(trace) {
+  AGNN_CHECK(session_ != nullptr);
+  AGNN_CHECK_GT(options_.max_batch, 0u);
+  AGNN_CHECK_GT(options_.queue_capacity, 0u);
+  AGNN_CHECK(options_.budget_us >= 0.0);
+  ring_.resize(options_.queue_capacity);
+  const size_t neighbors = session_->neighbors_per_node();
+  for (Slot& slot : ring_) {
+    slot.user_neighbors.reserve(neighbors);
+    slot.item_neighbors.reserve(neighbors);
+  }
+  // Staging sized for the largest possible flush, so the steady path is a
+  // sequence of clear()+push_back into retained capacity: no heap traffic.
+  batch_users_.reserve(options_.max_batch);
+  batch_items_.reserve(options_.max_batch);
+  batch_user_neighbors_.reserve(options_.max_batch * neighbors);
+  batch_item_neighbors_.reserve(options_.max_batch * neighbors);
+  batch_out_.resize(options_.max_batch);
+  ResolveInstruments();
+}
+
+void ServingGateway::ResolveInstruments() {
+  if (metrics_ == nullptr) return;
+  instruments_.latency_ms = metrics_->GetHistogram("gateway/latency_ms");
+  instruments_.batch_size = metrics_->GetHistogram(
+      "gateway/batch_size",
+      obs::Histogram::LinearBuckets(1.0, 1.0, options_.max_batch));
+  instruments_.service_ms = metrics_->GetHistogram("gateway/service_ms");
+  instruments_.queue_depth = metrics_->GetGauge("gateway/queue_depth");
+  instruments_.submitted = metrics_->GetCounter("gateway/submitted");
+  instruments_.served = metrics_->GetCounter("gateway/served");
+  instruments_.shed = metrics_->GetCounter("gateway/shed");
+  instruments_.batches = metrics_->GetCounter("gateway/batches");
+  instruments_.flush_full = metrics_->GetCounter("gateway/flush_full");
+  instruments_.flush_budget = metrics_->GetCounter("gateway/flush_budget");
+  instruments_.flush_drain = metrics_->GetCounter("gateway/flush_drain");
+}
+
+bool ServingGateway::Submit(const ServingRequest& request, double now_us) {
+  // Budget expiries strictly before this arrival fire first, at their own
+  // deadlines — ordering flushes against arrivals is what makes the batch
+  // boundaries a pure function of the arrival stream.
+  AdvanceTo(now_us);
+  stats_.submitted += 1;
+  if (instruments_.submitted != nullptr) instruments_.submitted->Increment();
+  if (count_ == ring_.size()) {
+    stats_.shed += 1;
+    if (instruments_.shed != nullptr) instruments_.shed->Increment();
+    return false;
+  }
+  const size_t neighbors = session_->neighbors_per_node();
+  if (neighbors > 0) {
+    AGNN_CHECK_EQ(request.user_neighbors.size(), neighbors);
+    AGNN_CHECK_EQ(request.item_neighbors.size(), neighbors);
+  }
+  Slot& slot = ring_[(head_ + count_) % ring_.size()];
+  slot.id = next_id_++;
+  slot.arrival_us = now_us;
+  slot.user = request.user;
+  slot.item = request.item;
+  slot.user_neighbors.assign(request.user_neighbors.begin(),
+                             request.user_neighbors.end());
+  slot.item_neighbors.assign(request.item_neighbors.begin(),
+                             request.item_neighbors.end());
+  count_ += 1;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, count_);
+  if (instruments_.queue_depth != nullptr) {
+    instruments_.queue_depth->Set(static_cast<double>(count_));
+  }
+  if (count_ >= options_.max_batch) {
+    FlushBatch(now_us, FlushReason::kBatchFull);
+  }
+  return true;
+}
+
+void ServingGateway::AdvanceTo(double now_us) {
+  while (count_ > 0 &&
+         ring_[head_].arrival_us + options_.budget_us <= now_us) {
+    FlushBatch(ring_[head_].arrival_us + options_.budget_us,
+               FlushReason::kBudget);
+  }
+}
+
+void ServingGateway::Drain(double now_us) {
+  AdvanceTo(now_us);
+  while (count_ > 0) FlushBatch(now_us, FlushReason::kDrain);
+}
+
+void ServingGateway::FlushBatch(double flush_us, FlushReason reason) {
+  if (count_ == 0) return;
+  const size_t n = std::min(count_, options_.max_batch);
+  batch_users_.clear();
+  batch_items_.clear();
+  batch_user_neighbors_.clear();
+  batch_item_neighbors_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const Slot& slot = ring_[(head_ + i) % ring_.size()];
+    batch_users_.push_back(slot.user);
+    batch_items_.push_back(slot.item);
+    batch_user_neighbors_.insert(batch_user_neighbors_.end(),
+                                 slot.user_neighbors.begin(),
+                                 slot.user_neighbors.end());
+    batch_item_neighbors_.insert(batch_item_neighbors_.end(),
+                                 slot.item_neighbors.begin(),
+                                 slot.item_neighbors.end());
+  }
+
+  obs::TraceSpan span(trace_, "flush", "gateway");
+  if (span.enabled()) {
+    span.AddArg("batch", static_cast<double>(n));
+    span.AddArg("queued", static_cast<double>(count_));
+    span.AddArg("reason", static_cast<double>(reason));
+  }
+  // The session call nests its own request → gather/gnn/head spans below
+  // this one. The wall measurement feeds only latency accounting; batch
+  // boundaries and predictions never depend on it.
+  Stopwatch watch;
+  session_->PredictBatchInto(batch_users_, batch_items_,
+                             batch_user_neighbors_, batch_item_neighbors_,
+                             batch_out_.data());
+  const double measured_us = watch.ElapsedSeconds() * 1e6;
+  span.End();
+  const double service_us = options_.service_time_us
+                                ? options_.service_time_us(n)
+                                : measured_us;
+  // Open-loop server model: one session, busy until its previous batch is
+  // done — queueing delay accrues whenever arrivals outpace service.
+  const double start_us = std::max(flush_us, server_free_at_us_);
+  const double complete_us = start_us + service_us;
+  server_free_at_us_ = complete_us;
+
+  const uint64_t batch_index = stats_.batches;
+  stats_.batches += 1;
+  stats_.served += n;
+  switch (reason) {
+    case FlushReason::kBatchFull:
+      stats_.full_flushes += 1;
+      if (instruments_.flush_full != nullptr) {
+        instruments_.flush_full->Increment();
+      }
+      break;
+    case FlushReason::kBudget:
+      stats_.budget_flushes += 1;
+      if (instruments_.flush_budget != nullptr) {
+        instruments_.flush_budget->Increment();
+      }
+      break;
+    case FlushReason::kDrain:
+      stats_.drain_flushes += 1;
+      if (instruments_.flush_drain != nullptr) {
+        instruments_.flush_drain->Increment();
+      }
+      break;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const Slot& slot = ring_[(head_ + i) % ring_.size()];
+    completion_.id = slot.id;
+    completion_.prediction = batch_out_[i];
+    completion_.arrival_us = slot.arrival_us;
+    completion_.flush_us = flush_us;
+    completion_.complete_us = complete_us;
+    completion_.latency_us = complete_us - slot.arrival_us;
+    completion_.batch = batch_index;
+    completion_.batch_size = static_cast<uint32_t>(n);
+    completion_.reason = reason;
+    if (sink_) sink_(completion_);
+    if (instruments_.latency_ms != nullptr) {
+      instruments_.latency_ms->Observe(completion_.latency_us / 1000.0);
+    }
+  }
+  head_ = (head_ + n) % ring_.size();
+  count_ -= n;
+
+  if (metrics_ != nullptr) {
+    instruments_.batches->Increment();
+    instruments_.served->Increment(n);
+    instruments_.batch_size->Observe(static_cast<double>(n));
+    instruments_.service_ms->Observe(service_us / 1000.0);
+    instruments_.queue_depth->Set(static_cast<double>(count_));
+  }
+}
+
+}  // namespace agnn::core

@@ -1,0 +1,191 @@
+#ifndef AGNN_CORE_SERVING_GATEWAY_H_
+#define AGNN_CORE_SERVING_GATEWAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "agnn/core/inference_session.h"
+#include "agnn/obs/metrics.h"
+#include "agnn/obs/trace.h"
+
+namespace agnn::core {
+
+/// One (user, item) request as it enters the gateway. Neighbor lists hold
+/// session->neighbors_per_node() ids each (empty when the aggregator is
+/// off), exactly as in InferenceSession::Predict.
+struct ServingRequest {
+  size_t user = 0;
+  size_t item = 0;
+  std::vector<size_t> user_neighbors;
+  std::vector<size_t> item_neighbors;
+};
+
+/// Why a batch left the queue.
+enum class FlushReason : uint8_t {
+  kBatchFull,  ///< queue reached max_batch at a Submit
+  kBudget,     ///< the oldest queued request aged past the latency budget
+  kDrain,      ///< explicit end-of-stream Drain
+};
+
+/// One served request, delivered to the completion sink in submission
+/// order. Times are on the gateway's virtual clock (microseconds).
+struct ServingCompletion {
+  uint64_t id = 0;          ///< submission sequence number (0-based)
+  float prediction = 0.0f;  ///< bitwise equal to a direct session Predict
+  double arrival_us = 0.0;
+  double flush_us = 0.0;     ///< when its batch left the queue
+  double complete_us = 0.0;  ///< flush + queued-behind-server + service
+  double latency_us = 0.0;   ///< complete - arrival
+  uint64_t batch = 0;        ///< index of the batch that served it
+  uint32_t batch_size = 0;
+  FlushReason reason = FlushReason::kDrain;
+};
+
+struct ServingGatewayOptions {
+  /// A Submit that fills the queue to this size flushes immediately.
+  size_t max_batch = 32;
+  /// A queued request older than this (virtual µs) forces a flush of
+  /// everything queued behind it, so the batcher trades at most this much
+  /// queueing delay for coalescing.
+  double budget_us = 1000.0;
+  /// Submit beyond this many queued requests sheds (returns false).
+  size_t queue_capacity = 1024;
+  /// Virtual service time (µs) charged for a batch of n pairs. Null (the
+  /// default) measures the wall time of the session call — honest on a
+  /// live machine but not replayable; tests inject a model to make the
+  /// latency accounting deterministic too. Either way this only feeds the
+  /// SLO accounting: batch boundaries and predictions never depend on it.
+  std::function<double(size_t)> service_time_us;
+};
+
+/// Lifetime batching/shedding counters, exposed without a registry so the
+/// replay tests and benches can assert on them directly.
+struct ServingGatewayStats {
+  uint64_t submitted = 0;
+  uint64_t served = 0;
+  uint64_t shed = 0;
+  uint64_t batches = 0;
+  uint64_t full_flushes = 0;
+  uint64_t budget_flushes = 0;
+  uint64_t drain_flushes = 0;
+  size_t peak_queue_depth = 0;
+};
+
+/// Layered serving front (DESIGN.md §14): bounded request queue → adaptive
+/// micro-batcher → InferenceSession. Callers stop invoking the session
+/// directly; they Submit single requests against a virtual clock and the
+/// gateway coalesces whatever is queued into PredictBatchInto calls —
+/// flushing when the queue reaches max_batch or when the oldest request's
+/// latency budget expires, so batch sizes adapt to the instantaneous
+/// arrival rate instead of being fixed.
+///
+/// Clocking: the gateway never reads a wall clock for control decisions.
+/// Submit/AdvanceTo/Drain take the caller's virtual time (µs), which is
+/// what makes an open-loop simulation of heavy traffic honest on this
+/// 1-core machine and makes batch boundaries a pure function of
+/// (arrival stream, options). The only wall-clock read is the optional
+/// measured service time, which feeds latency *accounting* (completions,
+/// histograms) and nothing else.
+///
+/// Determinism contracts:
+///  - Predictions are bitwise-identical to issuing every request
+///    one-by-one against the bare session, whatever the batching — the
+///    session's eval math is row-independent (DESIGN.md §9).
+///  - For the same request stream and options, batch boundaries (sizes,
+///    flush times, reasons) replay identically; with an injected
+///    service_time_us model, completions replay byte for byte.
+///
+/// `metrics`/`trace` follow the library-wide observe-never-steer null
+/// contract (DESIGN.md §10-§11). The session must outlive the gateway.
+/// Not thread-safe (single-threaded by design, like the session).
+class ServingGateway {
+ public:
+  using CompletionSink = std::function<void(const ServingCompletion&)>;
+
+  /// `sink` (optional) receives every completion in submission order
+  /// within a batch, batches in flush order. The gateway stores nothing
+  /// per completed request, so long open-loop runs stay O(queue).
+  ServingGateway(InferenceSession* session,
+                 const ServingGatewayOptions& options,
+                 CompletionSink sink = nullptr,
+                 obs::MetricsRegistry* metrics = nullptr,
+                 obs::TraceRecorder* trace = nullptr);
+
+  /// Enqueues one request arriving at virtual time `now_us` (non-
+  /// decreasing across calls). Fires any budget flushes due before
+  /// `now_us` first, then sheds (returns false) if the queue is full;
+  /// reaching max_batch flushes immediately. The request's contents are
+  /// copied into a preallocated queue slot — the steady path reuses slot
+  /// capacity and allocates nothing.
+  bool Submit(const ServingRequest& request, double now_us);
+
+  /// Advances the virtual clock: flushes every batch whose oldest request
+  /// ages past the budget at or before `now_us`, each at its exact
+  /// deadline. Call between arrivals (Submit does it internally).
+  void AdvanceTo(double now_us);
+
+  /// End of stream: flushes everything still queued at `now_us`.
+  void Drain(double now_us);
+
+  size_t queue_depth() const { return count_; }
+  const ServingGatewayStats& stats() const { return stats_; }
+  /// Virtual time at which the server (session) finishes its last batch.
+  double server_free_at_us() const { return server_free_at_us_; }
+
+ private:
+  struct Slot {
+    uint64_t id = 0;
+    double arrival_us = 0.0;
+    size_t user = 0;
+    size_t item = 0;
+    std::vector<size_t> user_neighbors;
+    std::vector<size_t> item_neighbors;
+  };
+
+  void FlushBatch(double flush_us, FlushReason reason);
+  void ResolveInstruments();
+
+  struct Instruments {
+    obs::Histogram* latency_ms = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* service_ms = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* served = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* flush_full = nullptr;
+    obs::Counter* flush_budget = nullptr;
+    obs::Counter* flush_drain = nullptr;
+  };
+
+  InferenceSession* session_;
+  ServingGatewayOptions options_;
+  CompletionSink sink_;
+  obs::MetricsRegistry* metrics_;
+  obs::TraceRecorder* trace_;
+  Instruments instruments_;
+
+  // Bounded FIFO ring, preallocated at queue_capacity slots.
+  std::vector<Slot> ring_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  uint64_t next_id_ = 0;
+
+  double server_free_at_us_ = 0.0;
+  ServingGatewayStats stats_;
+
+  // Flush staging, reserved once so the steady path never reallocates.
+  std::vector<size_t> batch_users_;
+  std::vector<size_t> batch_items_;
+  std::vector<size_t> batch_user_neighbors_;
+  std::vector<size_t> batch_item_neighbors_;
+  std::vector<float> batch_out_;
+  ServingCompletion completion_;
+};
+
+}  // namespace agnn::core
+
+#endif  // AGNN_CORE_SERVING_GATEWAY_H_

@@ -25,6 +25,16 @@ std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
   return bounds;
 }
 
+std::vector<double> Histogram::LinearBuckets(double start, double width,
+                                             size_t count) {
+  AGNN_CHECK(width > 0.0 && count > 0);
+  std::vector<double> bounds(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = start + width * static_cast<double>(i);
+  }
+  return bounds;
+}
+
 std::vector<double> Histogram::DefaultLatencyBucketsMs() {
   // 0.001 ms (1 µs) .. ~134 s in powers of two: covers a single cached
   // serving request through a full multi-minute training run.

@@ -44,6 +44,11 @@ class Histogram {
   /// the usual latency-style bucketing.
   static std::vector<double> ExponentialBuckets(double start, double factor,
                                                 size_t count);
+  /// `count` evenly spaced edges `start, start+width, ...` — the natural
+  /// bucketing for small integer-valued samples (batch sizes, queue
+  /// depths), where every sample lands exactly on an edge.
+  static std::vector<double> LinearBuckets(double start, double width,
+                                           size_t count);
   /// 1 µs .. ~134 s in powers of two, expressed in milliseconds.
   static std::vector<double> DefaultLatencyBucketsMs();
 

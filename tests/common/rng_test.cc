@@ -132,6 +132,62 @@ TEST(RngTest, ShufflePreservesElements) {
   EXPECT_EQ(v, original);
 }
 
+TEST(RngTest, ZipfStaysInRangeAndIsDeterministic) {
+  Rng a(43);
+  Rng b(43);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t x = a.Zipf(1000);
+    EXPECT_LT(x, 1000u);
+    EXPECT_EQ(x, b.Zipf(1000));
+  }
+}
+
+TEST(RngTest, ZipfSingleRankAlwaysZero) {
+  Rng rng(47);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Zipf(1), 0u);
+}
+
+TEST(RngTest, ZipfRankFrequenciesAreMonotone) {
+  // Head ranks must come out in strictly decreasing popularity, and the
+  // q=2, v=1 head mass matches the analytic value: P(0) = 1 / zeta(2)
+  // (the normalizer over an effectively infinite tail) ~ 0.6079.
+  Rng rng(53);
+  const int n = 200000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.Zipf(50)];
+  for (int rank = 0; rank < 8; ++rank) {
+    EXPECT_GT(counts[rank], counts[rank + 1]) << "rank " << rank;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.608, 0.02);
+  // A heavier tail (smaller q) must shift mass off the head.
+  Rng flat(59);
+  int head = 0;
+  for (int i = 0; i < n; ++i) head += flat.Zipf(50, 1.2) == 0 ? 1 : 0;
+  EXPECT_LT(head, counts[0]);
+}
+
+TEST(RngTest, ZipfSaveRestoreStateReplaysStreamExactly) {
+  // The sampler must carry no hidden state: generator words alone resume a
+  // Zipf stream draw for draw, interleaved with the Box-Muller cache.
+  Rng rng(61);
+  for (int i = 0; i < 9; ++i) rng.Zipf(777, 1.5);
+  rng.Normal();  // leaves a cached normal behind the save point
+  const Rng::State state = rng.SaveState();
+
+  std::vector<uint64_t> zipfs;
+  std::vector<double> normals;
+  for (int i = 0; i < 16; ++i) {
+    zipfs.push_back(rng.Zipf(777, 1.5));
+    normals.push_back(rng.Normal());
+  }
+
+  rng.RestoreState(state);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rng.Zipf(777, 1.5), zipfs[i]) << "draw " << i;
+    EXPECT_EQ(rng.Normal(), normals[i]) << "draw " << i;
+  }
+}
+
 TEST(RngTest, SaveRestoreStateReplaysStreamExactly) {
   Rng rng(42);
   // Consume a mix so the saved state is mid-stream.

@@ -1,0 +1,285 @@
+#include "agnn/core/serving_gateway.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/core/agnn_model.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/obs/metrics.h"
+#include "agnn/obs/trace.h"
+
+namespace agnn::core {
+namespace {
+
+using data::Dataset;
+
+const Dataset& TinyDataset() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+    config.num_users = 30;
+    config.num_items = 40;
+    config.num_ratings = 400;
+    return new Dataset(GenerateSynthetic(config, 19));
+  }();
+  return *ds;
+}
+
+AgnnConfig TinyConfig() {
+  AgnnConfig config;
+  config.embedding_dim = 8;
+  config.num_neighbors = 4;
+  config.vae_hidden_dim = 8;
+  config.prediction_hidden_dim = 8;
+  return config;
+}
+
+/// One session per fixture: untrained weights are fine — the gateway
+/// contract is about routing and bitwise equality, not model quality.
+class ServingGatewayTest : public ::testing::Test {
+ protected:
+  ServingGatewayTest()
+      : rng_(23), model_(TinyConfig(), TinyDataset(), 3.6f, &rng_) {
+    cold_users_.assign(TinyDataset().num_users, false);
+    cold_items_.assign(TinyDataset().num_items, false);
+    cold_users_[1] = true;
+    cold_items_[6] = true;
+    session_ = std::make_unique<InferenceSession>(model_, &cold_users_,
+                                                  &cold_items_);
+  }
+
+  /// Deterministic request stream; `salt` varies the ids.
+  ServingRequest MakeRequest(uint64_t salt) const {
+    ServingRequest req;
+    Rng rng(1000 + salt);
+    req.user = rng.UniformInt(TinyDataset().num_users);
+    req.item = rng.UniformInt(TinyDataset().num_items);
+    const size_t s = session_->neighbors_per_node();
+    for (size_t k = 0; k < s; ++k) {
+      req.user_neighbors.push_back(rng.UniformInt(TinyDataset().num_users));
+      req.item_neighbors.push_back(rng.UniformInt(TinyDataset().num_items));
+    }
+    return req;
+  }
+
+  /// Gateway options with a fixed virtual service model so completions
+  /// (not just boundaries) are deterministic.
+  static ServingGatewayOptions ModeledOptions() {
+    ServingGatewayOptions options;
+    options.max_batch = 4;
+    options.budget_us = 100.0;
+    options.queue_capacity = 16;
+    options.service_time_us = [](size_t batch) {
+      return 10.0 + static_cast<double>(batch);
+    };
+    return options;
+  }
+
+  Rng rng_;
+  AgnnModel model_;
+  std::vector<bool> cold_users_;
+  std::vector<bool> cold_items_;
+  std::unique_ptr<InferenceSession> session_;
+};
+
+TEST_F(ServingGatewayTest, EmptyQueueFlushIsNoOp) {
+  std::vector<ServingCompletion> done;
+  ServingGateway gateway(session_.get(), ModeledOptions(),
+                         [&](const ServingCompletion& c) { done.push_back(c); });
+  gateway.AdvanceTo(1e6);
+  gateway.Drain(2e6);
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(gateway.stats().batches, 0u);
+  EXPECT_EQ(gateway.queue_depth(), 0u);
+}
+
+TEST_F(ServingGatewayTest, BudgetExpiryFlushesSingleRequest) {
+  std::vector<ServingCompletion> done;
+  ServingGateway gateway(session_.get(), ModeledOptions(),
+                         [&](const ServingCompletion& c) { done.push_back(c); });
+  EXPECT_TRUE(gateway.Submit(MakeRequest(0), /*now_us=*/50.0));
+  EXPECT_EQ(gateway.queue_depth(), 1u);
+  // Not yet due: the oldest request is 99 µs old at now=149.
+  gateway.AdvanceTo(149.0);
+  EXPECT_TRUE(done.empty());
+  // Due: the flush fires at exactly arrival + budget = 150, not at `now`.
+  gateway.AdvanceTo(400.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].batch_size, 1u);
+  EXPECT_EQ(done[0].reason, FlushReason::kBudget);
+  EXPECT_DOUBLE_EQ(done[0].flush_us, 150.0);
+  // latency = budget (queueing) + modeled service for a 1-batch = 11 µs.
+  EXPECT_DOUBLE_EQ(done[0].latency_us, 100.0 + 11.0);
+  EXPECT_EQ(gateway.stats().budget_flushes, 1u);
+  EXPECT_EQ(gateway.queue_depth(), 0u);
+}
+
+TEST_F(ServingGatewayTest, MaxBatchSizeCapFlushesImmediately) {
+  std::vector<ServingCompletion> done;
+  ServingGateway gateway(session_.get(), ModeledOptions(),
+                         [&](const ServingCompletion& c) { done.push_back(c); });
+  // 4 arrivals well inside the budget window: the 4th (== max_batch) must
+  // flush at its own arrival time without waiting for the budget.
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(gateway.Submit(MakeRequest(i), 10.0 * static_cast<double>(i)));
+  }
+  ASSERT_EQ(done.size(), 4u);
+  for (const ServingCompletion& c : done) {
+    EXPECT_EQ(c.batch_size, 4u);
+    EXPECT_EQ(c.reason, FlushReason::kBatchFull);
+    EXPECT_DOUBLE_EQ(c.flush_us, 30.0);
+  }
+  EXPECT_EQ(gateway.stats().full_flushes, 1u);
+  EXPECT_EQ(gateway.queue_depth(), 0u);
+
+  // A burst larger than max_batch splits: 4 + 4 + 1 (the 1 via drain).
+  done.clear();
+  for (uint64_t i = 0; i < 9; ++i) {
+    EXPECT_TRUE(gateway.Submit(MakeRequest(100 + i), 1000.0));
+  }
+  gateway.Drain(1000.0);
+  ASSERT_EQ(done.size(), 9u);
+  EXPECT_EQ(done[0].batch_size, 4u);
+  EXPECT_EQ(done[4].batch_size, 4u);
+  EXPECT_EQ(done[8].batch_size, 1u);
+  EXPECT_EQ(done[8].reason, FlushReason::kDrain);
+}
+
+TEST_F(ServingGatewayTest, FullQueueShedsInsteadOfBlocking) {
+  ServingGatewayOptions options = ModeledOptions();
+  options.queue_capacity = 3;
+  options.max_batch = 8;        // larger than capacity: no full-flush path
+  options.budget_us = 1e9;      // no budget flush inside the test
+  std::vector<ServingCompletion> done;
+  ServingGateway gateway(session_.get(), options,
+                         [&](const ServingCompletion& c) { done.push_back(c); });
+  for (uint64_t i = 0; i < 5; ++i) {
+    const bool accepted = gateway.Submit(MakeRequest(i), 0.0);
+    EXPECT_EQ(accepted, i < 3) << "request " << i;
+  }
+  EXPECT_EQ(gateway.stats().submitted, 5u);
+  EXPECT_EQ(gateway.stats().shed, 2u);
+  gateway.Drain(1.0);
+  EXPECT_EQ(done.size(), 3u);
+  EXPECT_EQ(gateway.stats().served, 3u);
+}
+
+// The tentpole acceptance gate: for a fixed request stream, gateway
+// predictions must be bitwise-identical to direct one-by-one session
+// Predicts, no matter how the batcher grouped them.
+TEST_F(ServingGatewayTest, PredictionsBitwiseEqualDirectSessionPredicts) {
+  constexpr size_t kRequests = 64;
+  std::vector<ServingRequest> stream;
+  for (uint64_t i = 0; i < kRequests; ++i) stream.push_back(MakeRequest(i));
+
+  // Varied inter-arrival gaps so the run mixes full, budget, and drain
+  // flushes (verified below, so this test keeps covering all paths).
+  std::vector<float> gateway_pred(kRequests);
+  ServingGateway gateway(
+      session_.get(), ModeledOptions(),
+      [&](const ServingCompletion& c) { gateway_pred[c.id] = c.prediction; });
+  Rng arrivals(5);
+  double now = 0.0;
+  for (const ServingRequest& req : stream) {
+    now += arrivals.Uniform(0.0, 60.0);
+    ASSERT_TRUE(gateway.Submit(req, now));
+  }
+  gateway.Drain(now + 1.0);
+  ASSERT_EQ(gateway.stats().served, kRequests);
+  EXPECT_GT(gateway.stats().full_flushes, 0u);
+  EXPECT_GT(gateway.stats().budget_flushes, 0u);
+
+  for (size_t i = 0; i < kRequests; ++i) {
+    const ServingRequest& req = stream[i];
+    EXPECT_EQ(gateway_pred[i],
+              session_->Predict(req.user, req.item, req.user_neighbors,
+                                req.item_neighbors))
+        << "request " << i;
+  }
+}
+
+// Replay contract: the same seed (request stream + arrival times) yields
+// identical batch boundaries AND identical completions, byte for byte.
+TEST_F(ServingGatewayTest, ReplaySameSeedSameBoundariesAndOutputs) {
+  auto run = [&](std::vector<ServingCompletion>* done) {
+    ServingGateway gateway(
+        session_.get(), ModeledOptions(),
+        [&](const ServingCompletion& c) { done->push_back(c); });
+    Rng arrivals(7);
+    double now = 0.0;
+    for (uint64_t i = 0; i < 48; ++i) {
+      now += arrivals.Uniform(0.0, 80.0);
+      gateway.Submit(MakeRequest(i), now);
+    }
+    gateway.Drain(now + 500.0);
+  };
+  std::vector<ServingCompletion> first;
+  std::vector<ServingCompletion> second;
+  run(&first);
+  run(&second);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id) << i;
+    EXPECT_EQ(first[i].prediction, second[i].prediction) << i;
+    EXPECT_EQ(first[i].batch, second[i].batch) << i;
+    EXPECT_EQ(first[i].batch_size, second[i].batch_size) << i;
+    EXPECT_EQ(first[i].reason, second[i].reason) << i;
+    EXPECT_DOUBLE_EQ(first[i].flush_us, second[i].flush_us) << i;
+    EXPECT_DOUBLE_EQ(first[i].complete_us, second[i].complete_us) << i;
+    EXPECT_DOUBLE_EQ(first[i].latency_us, second[i].latency_us) << i;
+  }
+}
+
+TEST_F(ServingGatewayTest, MetricsAndTraceObserveWithoutSteering) {
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  std::vector<float> metered_pred;
+  ServingGateway metered(session_.get(), ModeledOptions(),
+                         [&](const ServingCompletion& c) {
+                           metered_pred.push_back(c.prediction);
+                         },
+                         &registry, &recorder);
+  std::vector<float> plain_pred;
+  ServingGateway plain(session_.get(), ModeledOptions(),
+                       [&](const ServingCompletion& c) {
+                         plain_pred.push_back(c.prediction);
+                       });
+  for (uint64_t i = 0; i < 10; ++i) {
+    metered.Submit(MakeRequest(i), 25.0 * static_cast<double>(i));
+    plain.Submit(MakeRequest(i), 25.0 * static_cast<double>(i));
+  }
+  metered.Drain(1000.0);
+  plain.Drain(1000.0);
+  EXPECT_EQ(metered_pred, plain_pred);  // observation changed no bits
+
+  EXPECT_EQ(registry.GetCounter("gateway/submitted")->value(), 10u);
+  EXPECT_EQ(registry.GetCounter("gateway/served")->value(), 10u);
+  EXPECT_EQ(registry.GetCounter("gateway/shed")->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("gateway/batches")->value(),
+            metered.stats().batches);
+  EXPECT_EQ(registry.GetHistogram("gateway/latency_ms")->count(), 10u);
+  EXPECT_EQ(registry.GetHistogram("gateway/batch_size")->count(),
+            metered.stats().batches);
+  EXPECT_EQ(registry.GetGauge("gateway/queue_depth")->value(), 0.0);
+
+  size_t flush_spans = 0;
+  size_t session_requests = 0;
+  for (const obs::TraceEvent& e : recorder.ChronologicalEvents()) {
+    if (std::string(e.name) == "flush" &&
+        std::string(e.category) == "gateway") {
+      ++flush_spans;
+    }
+    if (std::string(e.name) == "request") ++session_requests;
+  }
+  EXPECT_EQ(flush_spans, metered.stats().batches);
+  // The session was built without a tracer; its request spans are absent,
+  // which confirms the gateway's flush span wraps the call itself.
+  EXPECT_EQ(session_requests, 0u);
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -89,6 +89,25 @@ TEST(HistogramTest, ExponentialBuckets) {
   EXPECT_DOUBLE_EQ(bounds[3], 8.0);
 }
 
+TEST(HistogramTest, LinearBuckets) {
+  const std::vector<double> bounds = Histogram::LinearBuckets(1.0, 1.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 3.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 4.0);
+  // Integer samples land exactly on edges: every batch size is its own
+  // bucket and the max comes back exact.
+  Histogram h(Histogram::LinearBuckets(1.0, 1.0, 8));
+  h.Observe(1.0);
+  h.Observe(3.0);
+  h.Observe(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 2u);
+}
+
 TEST(HistogramTest, DefaultLatencyBucketsAreAscending) {
   const std::vector<double> bounds = Histogram::DefaultLatencyBucketsMs();
   ASSERT_GT(bounds.size(), 1u);

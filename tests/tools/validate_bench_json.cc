@@ -62,6 +62,38 @@ int Validate(const std::string& path) {
       return 1;
     }
   }
+  // Gateway artifacts carry the SLO contract (DESIGN.md §14): throughput,
+  // tail percentiles, the bitwise gate, and the adaptive batch-size
+  // histogram must all be present for the perf trajectory to chart them.
+  if (name->string == "serving_gateway") {
+    const obs::JsonValue& metrics = *root.Find("metrics");
+    for (const char* key :
+         {"load/sustained_qps", "latency/p50_ms", "latency/p95_ms",
+          "latency/p99_ms", "gate/bitwise_equal"}) {
+      const obs::JsonValue* v = metrics.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        std::fprintf(stderr, "%s: gateway artifact missing numeric metric "
+                     "\"%s\"\n", path.c_str(), key);
+        return 1;
+      }
+    }
+    const obs::JsonValue* histograms =
+        root.Find("registry")->Find("histograms");
+    const obs::JsonValue* batch_size =
+        histograms == nullptr ? nullptr : histograms->Find(
+                                              "gateway/batch_size");
+    if (batch_size == nullptr || !batch_size->is_object()) {
+      std::fprintf(stderr, "%s: gateway artifact missing registry histogram "
+                   "\"gateway/batch_size\"\n", path.c_str());
+      return 1;
+    }
+    const obs::JsonValue* count = batch_size->Find("count");
+    if (count == nullptr || !count->is_number() || count->number < 1.0) {
+      std::fprintf(stderr, "%s: \"gateway/batch_size\" histogram is empty\n",
+                   path.c_str());
+      return 1;
+    }
+  }
   std::printf("%s: ok (name=%s, %zu metrics)\n", path.c_str(),
               name->string.c_str(), root.Find("metrics")->object.size());
   return 0;
