@@ -1,0 +1,377 @@
+// Quantized serving benchmark (DESIGN.md §15): what int8 embedding shards
+// + int8 GEMMs buy — and cost — against the bitwise f32 serving path.
+//
+// Per dataset the bench trains AGNN and a few Table-2 baselines on the
+// strict item cold start split, exports the trained model as a serving
+// checkpoint at BOTH precisions, and serves the full test-pair stream
+// through a lazy session over each artifact. It reports, side by side:
+//   - artifact size (whole checkpoint and the embedding-shard sections —
+//     the shard ratio is the headline, gated at >= 3x for D=16),
+//   - serving cost (batch throughput and the RSS delta of open+serve),
+//   - accuracy (RMSE/MAE of the served predictions, the int8 deltas, and
+//     a Table-2-style ordering gate: AGNN's win/loss sign against every
+//     baseline must be identical whether AGNN is served at f32 or int8).
+// The f32 path stays under the §13 bitwise contract: its served
+// predictions must equal AgnnTrainer::Predict() bit for bit, which pins
+// the quantization cost measurement to an exact reference.
+//
+// Gates (process exit): f32 bitwise equality, shard ratio >= 3x, and
+// ordering preservation. RSS and throughput are reported, not gated —
+// they are noisy at --scale=small.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agnn/common/table.h"
+#include "agnn/core/inference_session.h"
+#include "agnn/core/serving_checkpoint.h"
+#include "agnn/core/trainer.h"
+#include "agnn/core/variants.h"
+#include "agnn/eval/protocol.h"
+#include "agnn/graph/graph.h"
+#include "agnn/io/checkpoint.h"
+#include "agnn/io/embedding_shard.h"
+#include "agnn/io/quantized_shard.h"
+#include "bench_util.h"
+
+namespace agnn::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double FileSizeBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return 0.0;
+  std::fseek(file, 0, SEEK_END);
+  const long bytes = std::ftell(file);
+  std::fclose(file);
+  return bytes <= 0 ? 0.0 : static_cast<double>(bytes);
+}
+
+// Embedding-shard section bytes of an exported checkpoint (both sides, at
+// whichever precision the file carries).
+double ShardSectionBytes(const std::string& path) {
+  auto reader = io::CheckpointReader::ReadFile(path);
+  AGNN_CHECK(reader.ok()) << reader.status().ToString();
+  double bytes = 0.0;
+  for (const char* name :
+       {io::kSectionUserEmbeddings, io::kSectionItemEmbeddings,
+        io::kSectionUserEmbeddingsQ8, io::kSectionItemEmbeddingsQ8}) {
+    if (!reader->HasSection(name)) continue;
+    auto section = reader->GetSection(name);
+    AGNN_CHECK(section.ok());
+    bytes += static_cast<double>(section->size());
+  }
+  return bytes;
+}
+
+// Serves every test pair through `session`, mirroring AgnnTrainer::Predict
+// exactly — same chunking, same seed-derived eval RNG, same per-chunk
+// neighbor sampling order, same clamp — so the f32 session's output is
+// bitwise-comparable to the trainer's reference predictions.
+std::vector<float> ServePairs(
+    core::InferenceSession* session,
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const graph::CsrGraph& user_graph, const graph::CsrGraph& item_graph,
+    const core::AgnnConfig& config, float rating_min, float rating_max) {
+  std::vector<float> predictions;
+  predictions.reserve(pairs.size());
+  Rng eval_rng(config.seed ^ 0x9e3779b97f4a7c15ull);
+  const size_t s = session->neighbors_per_node();
+  const size_t chunk = std::max<size_t>(config.batch_size, 256);
+  std::vector<float> chunk_out;
+  for (size_t start = 0; start < pairs.size(); start += chunk) {
+    const size_t end = std::min(pairs.size(), start + chunk);
+    std::vector<size_t> user_ids;
+    std::vector<size_t> item_ids;
+    user_ids.reserve(end - start);
+    item_ids.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      user_ids.push_back(pairs[i].first);
+      item_ids.push_back(pairs[i].second);
+    }
+    std::vector<size_t> user_neighbors;
+    std::vector<size_t> item_neighbors;
+    if (s > 0) {
+      user_neighbors.reserve(user_ids.size() * s);
+      item_neighbors.reserve(item_ids.size() * s);
+      for (size_t id : user_ids) {
+        graph::SampleNeighborsInto(user_graph, id, s, &eval_rng,
+                                   &user_neighbors);
+      }
+      for (size_t id : item_ids) {
+        graph::SampleNeighborsInto(item_graph, id, s, &eval_rng,
+                                   &item_neighbors);
+      }
+    }
+    session->PredictBatch(user_ids, item_ids, user_neighbors, item_neighbors,
+                          &chunk_out);
+    predictions.insert(predictions.end(), chunk_out.begin(), chunk_out.end());
+  }
+  eval::ClampPredictions(&predictions, rating_min, rating_max);
+  return predictions;
+}
+
+// One precision's serving measurement over an exported checkpoint.
+struct ServedSide {
+  double file_bytes = 0.0;
+  double shard_bytes = 0.0;
+  double export_ms = 0.0;
+  double rss_delta_kb = 0.0;
+  double pairs_per_s = 0.0;
+  std::vector<float> predictions;
+  eval::RmseMae metrics;
+};
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromFlags(argc, argv);
+  PrintHeader("Quantized serving — int8 shards + int8 GEMM vs bitwise f32",
+              "systems extension; accuracy gate vs Table 2 orderings",
+              options);
+  BenchReporter reporter("quantized_serving", options);
+
+  // Cheap Table-2 baselines spanning the ordering: NFM (strong attribute
+  // baseline), DropoutNet (cold-start specific), LLAE (weak).
+  const std::vector<std::string> kBaselines = {"NFM", "DropoutNet", "LLAE"};
+
+  double max_rmse_delta = 0.0;
+  double max_mae_delta = 0.0;
+  bool all_orderings_preserved = true;
+  bool all_f32_bitwise = true;
+  double total_f32_file = 0.0, total_int8_file = 0.0;
+  double total_f32_shard = 0.0, total_int8_shard = 0.0;
+  double total_f32_rss = 0.0, total_int8_rss = 0.0;
+  double total_f32_pps = 0.0, total_int8_pps = 0.0;
+
+  for (const std::string& dataset_name : options.datasets) {
+    const data::Dataset& dataset =
+        LoadDataset(dataset_name, options.scale, options.seed);
+    eval::ExperimentConfig config = options.MakeExperimentConfig();
+    eval::ExperimentRunner runner(dataset, data::Scenario::kItemColdStart,
+                                  config);
+    const data::Split& split = runner.split();
+    const auto& pairs = runner.test_pairs();
+    std::printf("--- %s / ics: %zu train, %zu test interactions ---\n",
+                dataset_name.c_str(), split.train.size(), split.test.size());
+
+    // Baselines first: their RMSE anchors the ordering gate.
+    std::vector<eval::ModelResult> baseline_results;
+    for (const std::string& name : kBaselines) {
+      baseline_results.push_back(runner.Run(name));
+      reporter.Add(dataset_name + "/baseline/" + name + "/rmse",
+                   baseline_results.back().metrics.rmse);
+    }
+
+    // AGNN trained once; the trainer's own predictions are the bitwise
+    // reference for the f32-served path.
+    core::AgnnConfig agnn_config = core::MakeVariant(config.agnn, "AGNN");
+    core::AgnnTrainer trainer(dataset, split, agnn_config);
+    trainer.Train();
+    const std::vector<float> reference = trainer.Predict(pairs);
+    const eval::RmseMae reference_metrics =
+        eval::ComputeRmseMae(reference, runner.test_targets());
+    reporter.Add(dataset_name + "/model/rmse", reference_metrics.rmse);
+    reporter.Add(dataset_name + "/model/mae", reference_metrics.mae);
+
+    core::ServingCatalog catalog;
+    catalog.num_users = dataset.num_users;
+    catalog.num_items = dataset.num_items;
+    catalog.cold_users = &split.cold_user;
+    catalog.cold_items = &split.cold_item;
+    catalog.attrs = [&dataset](bool user_side, size_t begin, size_t count) {
+      const auto& attr_table =
+          user_side ? dataset.user_attrs : dataset.item_attrs;
+      return std::vector<std::vector<size_t>>(
+          attr_table.begin() + static_cast<ptrdiff_t>(begin),
+          attr_table.begin() + static_cast<ptrdiff_t>(begin + count));
+    };
+
+    // Export + lazy-serve the test stream at one precision.
+    auto serve = [&](core::ServingPrecision precision,
+                     ServedSide* side) -> bool {
+      const std::string path = std::string("CKPT_quantized_serving_") +
+                               dataset_name + "_" +
+                               core::ServingPrecisionName(precision) +
+                               ".ckpt";
+      const auto ex0 = Clock::now();
+      if (Status st = core::ExportServingCheckpoint(trainer.model(), catalog,
+                                                    path, precision);
+          !st.ok()) {
+        std::fprintf(stderr, "export failed: %s\n", st.ToString().c_str());
+        return false;
+      }
+      side->export_ms = MsSince(ex0);
+      side->file_bytes = FileSizeBytes(path);
+      side->shard_bytes = ShardSectionBytes(path);
+      core::InferenceSession::ServingOptions serving_options;
+      serving_options.lazy = true;
+      serving_options.cache_rows = 4096;
+      serving_options.precision = precision;
+      const size_t rss_before = CurrentRssKb();
+      auto session =
+          core::InferenceSession::FromServingCheckpoint(path, serving_options);
+      if (!session.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     session.status().ToString().c_str());
+        return false;
+      }
+      // Warm pass faults the shard pages + fills the workspace pool; the
+      // second, timed pass replays the identical deterministic stream.
+      ServePairs(session->get(), pairs, trainer.user_graph(),
+                 trainer.item_graph(), agnn_config, dataset.rating_min,
+                 dataset.rating_max);
+      const size_t rss_after = CurrentRssKb();
+      side->rss_delta_kb = rss_after > rss_before
+                               ? static_cast<double>(rss_after - rss_before)
+                               : 0.0;
+      const auto t0 = Clock::now();
+      side->predictions = ServePairs(session->get(), pairs,
+                                     trainer.user_graph(),
+                                     trainer.item_graph(), agnn_config,
+                                     dataset.rating_min, dataset.rating_max);
+      const double serve_s =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      side->pairs_per_s =
+          serve_s > 0.0 ? static_cast<double>(pairs.size()) / serve_s : 0.0;
+      side->metrics =
+          eval::ComputeRmseMae(side->predictions, runner.test_targets());
+      return true;
+    };
+
+    ServedSide f32, int8;
+    if (!serve(core::ServingPrecision::kF32, &f32)) return 1;
+    if (!serve(core::ServingPrecision::kInt8, &int8)) return 1;
+
+    // Gate 1: f32 serving stays bitwise on the trainer's predictions.
+    size_t mismatches = 0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      if (reference[i] != f32.predictions[i]) ++mismatches;
+    }
+    const bool f32_bitwise = mismatches == 0;
+    all_f32_bitwise = all_f32_bitwise && f32_bitwise;
+
+    // Gate 2: Table-2-style ordering. AGNN's sign against every baseline
+    // must be the same whether AGNN is served at f32 or int8.
+    bool orderings_preserved = true;
+    for (const eval::ModelResult& baseline : baseline_results) {
+      const bool f32_wins = f32.metrics.rmse < baseline.metrics.rmse;
+      const bool int8_wins = int8.metrics.rmse < baseline.metrics.rmse;
+      if (f32_wins != int8_wins) orderings_preserved = false;
+    }
+    all_orderings_preserved = all_orderings_preserved && orderings_preserved;
+
+    const double rmse_delta = std::fabs(int8.metrics.rmse - f32.metrics.rmse);
+    const double mae_delta = std::fabs(int8.metrics.mae - f32.metrics.mae);
+    max_rmse_delta = std::max(max_rmse_delta, rmse_delta);
+    max_mae_delta = std::max(max_mae_delta, mae_delta);
+    total_f32_file += f32.file_bytes;
+    total_int8_file += int8.file_bytes;
+    total_f32_shard += f32.shard_bytes;
+    total_int8_shard += int8.shard_bytes;
+    total_f32_rss += f32.rss_delta_kb;
+    total_int8_rss += int8.rss_delta_kb;
+    total_f32_pps += f32.pairs_per_s;
+    total_int8_pps += int8.pairs_per_s;
+
+    const std::string prefix = dataset_name + "/";
+    reporter.Add(prefix + "f32/rmse", f32.metrics.rmse);
+    reporter.Add(prefix + "f32/mae", f32.metrics.mae);
+    reporter.Add(prefix + "f32/file_bytes", f32.file_bytes);
+    reporter.Add(prefix + "f32/shard_bytes", f32.shard_bytes);
+    reporter.Add(prefix + "f32/export_ms", f32.export_ms);
+    reporter.Add(prefix + "f32/rss_delta_kb", f32.rss_delta_kb);
+    reporter.Add(prefix + "f32/pairs_per_s", f32.pairs_per_s);
+    reporter.Add(prefix + "int8/rmse", int8.metrics.rmse);
+    reporter.Add(prefix + "int8/mae", int8.metrics.mae);
+    reporter.Add(prefix + "int8/file_bytes", int8.file_bytes);
+    reporter.Add(prefix + "int8/shard_bytes", int8.shard_bytes);
+    reporter.Add(prefix + "int8/export_ms", int8.export_ms);
+    reporter.Add(prefix + "int8/rss_delta_kb", int8.rss_delta_kb);
+    reporter.Add(prefix + "int8/pairs_per_s", int8.pairs_per_s);
+    reporter.Add(prefix + "precision/rmse_delta", rmse_delta);
+    reporter.Add(prefix + "precision/mae_delta", mae_delta);
+    reporter.Add(prefix + "precision/ordering_preserved",
+                 orderings_preserved ? 1.0 : 0.0);
+    reporter.Add(prefix + "gate/f32_bitwise_equal", f32_bitwise ? 1.0 : 0.0);
+
+    Table table({"Serving path", "RMSE", "MAE", "pairs/s", "shard KiB",
+                 "file KiB", "RSS delta KiB"});
+    table.AddRow({"f32 (bitwise)", Table::Cell(f32.metrics.rmse),
+                  Table::Cell(f32.metrics.mae),
+                  Table::Cell(f32.pairs_per_s, 0),
+                  Table::Cell(f32.shard_bytes / 1024.0, 1),
+                  Table::Cell(f32.file_bytes / 1024.0, 1),
+                  Table::Cell(f32.rss_delta_kb, 0)});
+    table.AddRow({"int8 (quantized)", Table::Cell(int8.metrics.rmse),
+                  Table::Cell(int8.metrics.mae),
+                  Table::Cell(int8.pairs_per_s, 0),
+                  Table::Cell(int8.shard_bytes / 1024.0, 1),
+                  Table::Cell(int8.file_bytes / 1024.0, 1),
+                  Table::Cell(int8.rss_delta_kb, 0)});
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("f32 bitwise vs trainer: %zu/%zu mismatches; int8 RMSE "
+                "delta %.4f, MAE delta %.4f, shard ratio %.2fx, orderings "
+                "%s\n\n",
+                mismatches, reference.size(), rmse_delta, mae_delta,
+                int8.shard_bytes > 0.0 ? f32.shard_bytes / int8.shard_bytes
+                                       : 0.0,
+                orderings_preserved ? "preserved" : "BROKEN");
+  }
+
+  const double shard_ratio =
+      total_int8_shard > 0.0 ? total_f32_shard / total_int8_shard : 0.0;
+  const double file_ratio =
+      total_int8_file > 0.0 ? total_f32_file / total_int8_file : 0.0;
+  const double rss_ratio =
+      total_int8_rss > 0.0 ? total_f32_rss / total_int8_rss : 0.0;
+  const double throughput_ratio =
+      total_f32_pps > 0.0 ? total_int8_pps / total_f32_pps : 0.0;
+  reporter.Add("precision/rmse_delta", max_rmse_delta);
+  reporter.Add("precision/mae_delta", max_mae_delta);
+  reporter.Add("precision/ordering_preserved",
+               all_orderings_preserved ? 1.0 : 0.0);
+  reporter.Add("artifact/bytes_ratio", file_ratio);
+  reporter.Add("artifact/shard_bytes_ratio", shard_ratio);
+  reporter.Add("serve/rss_ratio", rss_ratio);
+  reporter.Add("serve/throughput_ratio", throughput_ratio);
+  reporter.Add("gate/f32_bitwise_equal", all_f32_bitwise ? 1.0 : 0.0);
+
+  std::printf("Across datasets: shard ratio %.2fx (gate >= 3x), checkpoint "
+              "ratio %.2fx, serve-RSS ratio %.2fx, int8 throughput %.2fx "
+              "f32, worst RMSE delta %.4f.\n",
+              shard_ratio, file_ratio, rss_ratio, throughput_ratio,
+              max_rmse_delta);
+  reporter.WriteJson();
+
+  bool failed = false;
+  if (!all_f32_bitwise) {
+    std::fprintf(stderr, "FAIL: f32 serving is not bitwise-equal to the "
+                         "trainer's predictions\n");
+    failed = true;
+  }
+  if (shard_ratio < 3.0) {
+    std::fprintf(stderr, "FAIL: int8 shard ratio %.2fx is below the 3x "
+                         "gate\n", shard_ratio);
+    failed = true;
+  }
+  if (!all_orderings_preserved) {
+    std::fprintf(stderr, "FAIL: int8 serving flips an AGNN-vs-baseline "
+                         "Table-2 ordering\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace agnn::bench
+
+int main(int argc, char** argv) { return agnn::bench::Main(argc, argv); }

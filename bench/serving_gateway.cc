@@ -15,6 +15,10 @@
 //
 // Bench-specific knobs (on top of the common bench flags):
 //   --qps=N             offered load (default 2000)
+//   --precision=f32|int8  shard + GEMM precision of the served checkpoint
+//                         (DESIGN.md §15; the replay gate holds at both —
+//                         int8 serving is deterministic, so batched and
+//                         one-by-one predictions still match bitwise)
 //   --requests=N        stream length (default 4096)
 //   --cold_fraction=F   probability an arrival is a strict-cold user
 //   --zipf_q=Q          popularity tail exponent for warm users and items
@@ -77,6 +81,9 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("requests", 4096));
   const double cold_fraction = flags.GetDouble("cold_fraction", 0.1);
   const double zipf_q = flags.GetDouble("zipf_q", 1.5);
+  StatusOr<core::ServingPrecision> precision =
+      core::ParseServingPrecision(flags.GetString("precision", "f32"));
+  AGNN_CHECK(precision.ok()) << precision.status().ToString();
   core::ServingGatewayOptions gateway_options;
   gateway_options.max_batch =
       static_cast<size_t>(flags.GetInt("max_batch", 32));
@@ -98,6 +105,8 @@ int Main(int argc, char** argv) {
   reporter.Add("gateway/max_batch",
                static_cast<double>(gateway_options.max_batch));
   reporter.Add("gateway/budget_us", gateway_options.budget_us);
+  reporter.Add("serve/precision_int8",
+               *precision == core::ServingPrecision::kInt8 ? 1.0 : 0.0);
 
   // --- World → warm-prefix training → serving checkpoint → lazy session,
   // the same storage spine as bench/million_node_serving. The warm prefix
@@ -166,7 +175,8 @@ int Main(int argc, char** argv) {
     return out;
   };
   const auto export0 = Clock::now();
-  if (Status s = core::ExportServingCheckpoint(trainer.model(), catalog, path);
+  if (Status s = core::ExportServingCheckpoint(trainer.model(), catalog, path,
+                                               *precision);
       !s.ok()) {
     std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
     return 1;
@@ -176,6 +186,7 @@ int Main(int argc, char** argv) {
   core::InferenceSession::ServingOptions serving_options;
   serving_options.lazy = true;
   serving_options.cache_rows = 4096;
+  serving_options.precision = *precision;
   auto session = core::InferenceSession::FromServingCheckpoint(
       path, serving_options, reporter.registry(), reporter.trace());
   if (!session.ok()) {

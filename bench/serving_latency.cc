@@ -9,10 +9,18 @@
 // strict-cold test pair with probability F and a warm training pair
 // otherwise, so warm-only (F=0) and cold-heavy (F=1) tails can be compared
 // directly. Unset, requests cycle over the test pairs as before.
+//
+// --precision=int8 adds a third measured path per dataset: the model is
+// exported as a §15 quantized serving checkpoint and a lazy int8 session
+// serves the identical request stream, so the int8 rows report what
+// reduced-precision serving costs/saves next to the two f32 paths. The
+// default (f32) run is untouched by the flag.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -57,6 +65,9 @@ int Main(int argc, char** argv) {
   AGNN_CHECK(flags.Parse(argc, argv).ok());
   const double cold_fraction = flags.GetDouble("cold_fraction", -1.0);
   AGNN_CHECK(cold_fraction <= 1.0);
+  StatusOr<core::ServingPrecision> precision =
+      core::ParseServingPrecision(flags.GetString("precision", "f32"));
+  AGNN_CHECK(precision.ok()) << precision.status().ToString();
   PrintHeader("Serving latency — tape vs. tape-free InferenceSession",
               "systems extension; not a paper table", options);
   BenchReporter reporter("serving_latency", options);
@@ -237,6 +248,95 @@ int Main(int argc, char** argv) {
         "checksum %.3f) ---\n%s\n",
         dataset_name.c_str(), build_ms, tape_p50 / session_p50,
         static_cast<double>(sink), table.ToString().c_str());
+
+    // --- Optional int8 serving path (--precision=int8, DESIGN.md §15):
+    // export the model as a quantized serving checkpoint, open a lazy int8
+    // session over it, and serve the identical request stream. Reported
+    // next to the f32 paths under session_int8/*, with the worst absolute
+    // rating deviation from the f32 session as the accuracy readout.
+    if (*precision == core::ServingPrecision::kInt8) {
+      const std::string q8_path = "CKPT_serving_latency_q8.ckpt";
+      core::ServingCatalog catalog;
+      catalog.num_users = dataset.num_users;
+      catalog.num_items = dataset.num_items;
+      catalog.cold_users = &split.cold_user;
+      catalog.cold_items = &split.cold_item;
+      catalog.attrs = [&dataset](bool user_side, size_t begin, size_t count) {
+        const auto& attr_table =
+            user_side ? dataset.user_attrs : dataset.item_attrs;
+        return std::vector<std::vector<size_t>>(
+            attr_table.begin() + static_cast<ptrdiff_t>(begin),
+            attr_table.begin() + static_cast<ptrdiff_t>(begin + count));
+      };
+      const auto ex0 = Clock::now();
+      if (Status st = core::ExportServingCheckpoint(
+              trainer.model(), catalog, q8_path,
+              core::ServingPrecision::kInt8);
+          !st.ok()) {
+        std::fprintf(stderr, "int8 export failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      const double export_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - ex0)
+              .count();
+      core::InferenceSession::ServingOptions q8_options;
+      q8_options.lazy = true;
+      q8_options.cache_rows = 4096;
+      q8_options.precision = core::ServingPrecision::kInt8;
+      auto q8 = core::InferenceSession::FromServingCheckpoint(q8_path,
+                                                              q8_options);
+      if (!q8.ok()) {
+        std::fprintf(stderr, "int8 open failed: %s\n",
+                     q8.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t i = 0; i < 16; ++i) {  // warm the workspace pool
+        const Request& req = requests[i % requests.size()];
+        sink += (*q8)->Predict(req.user, req.item, req.user_neighbors,
+                               req.item_neighbors);
+      }
+      std::vector<double> q8_us;
+      q8_us.reserve(requests.size());
+      float max_delta = 0.0f;
+      for (const Request& req : requests) {
+        const auto t0 = Clock::now();
+        const float quantized = (*q8)->Predict(
+            req.user, req.item, req.user_neighbors, req.item_neighbors);
+        const auto t1 = Clock::now();
+        q8_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        const float f32_pred = session.Predict(
+            req.user, req.item, req.user_neighbors, req.item_neighbors);
+        max_delta = std::max(max_delta, std::fabs(quantized - f32_pred));
+        sink += quantized;
+      }
+      (*q8)->PredictBatch(big.user_ids, big.item_ids, big.user_neighbor_ids,
+                          big.item_neighbor_ids, &served);  // warm shapes
+      const auto qb0 = Clock::now();
+      for (size_t round = 0; round < kBatchRounds; ++round) {
+        (*q8)->PredictBatch(big.user_ids, big.item_ids, big.user_neighbor_ids,
+                            big.item_neighbor_ids, &served);
+        sink += served[0];
+      }
+      const auto qb1 = Clock::now();
+      const double q8_batch_s =
+          std::chrono::duration<double>(qb1 - qb0).count();
+      const double q8_p50 = PercentileUs(&q8_us, 0.5);
+      reporter.Add(dataset_name + "/session_int8/p50_us", q8_p50);
+      reporter.Add(dataset_name + "/session_int8/p95_us",
+                   PercentileUs(&q8_us, 0.95));
+      reporter.Add(dataset_name + "/session_int8/batch_pairs_per_s",
+                   pairs / q8_batch_s);
+      reporter.Add(dataset_name + "/session_int8/export_ms", export_ms);
+      reporter.Add(dataset_name + "/session_int8/max_delta_vs_f32",
+                   static_cast<double>(max_delta));
+      std::printf(
+          "int8 serving (lazy, %s): p50 %.1f us, p95 %.1f us, batch %.0f "
+          "pairs/s, max |delta| vs f32 session %.4f\n",
+          q8_path.c_str(), q8_p50, PercentileUs(&q8_us, 0.95),
+          pairs / q8_batch_s, static_cast<double>(max_delta));
+    }
 
     // --- Traced deep-dive (--trace_json only): a fresh session with the
     // recorder attached serves a slice of the request stream, so the

@@ -13,6 +13,8 @@
 //       --checkpoint=run.ckpt --resume
 //   ./build/examples/train_cli --dataset=yelp --load=run.ckpt   # eval only
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -42,7 +44,7 @@ int Usage(const char* message) {
       "                 [--checkpoint=path [--checkpoint_every=K] "
       "[--resume]]\n"
       "                 [--save=path | --load=path]\n"
-      "                 [--export_serving=path]\n");
+      "                 [--export_serving=path [--precision=f32|int8]]\n");
   return 2;
 }
 
@@ -193,6 +195,9 @@ int main(int argc, char** argv) {
   // session before the CLI reports success.
   const std::string serving_path = flags.GetString("export_serving", "");
   if (!serving_path.empty()) {
+    StatusOr<core::ServingPrecision> precision =
+        core::ParseServingPrecision(flags.GetString("precision", "f32"));
+    if (!precision.ok()) return Usage(precision.status().ToString().c_str());
     core::ServingCatalog catalog;
     catalog.num_users = dataset.num_users;
     catalog.num_items = dataset.num_items;
@@ -205,7 +210,7 @@ int main(int argc, char** argv) {
           table.begin() + static_cast<ptrdiff_t>(begin + count));
     };
     if (Status s = core::ExportServingCheckpoint(trainer.model(), catalog,
-                                                 serving_path);
+                                                 serving_path, *precision);
         !s.ok()) {
       return Usage(s.ToString().c_str());
     }
@@ -215,6 +220,7 @@ int main(int argc, char** argv) {
     core::InferenceSession::ServingOptions options;
     options.lazy = true;
     options.cache_rows = 256;
+    options.precision = *precision;
     auto lazy = core::InferenceSession::FromServingCheckpoint(serving_path,
                                                               options);
     if (!lazy.ok()) return Usage(lazy.status().ToString().c_str());
@@ -224,6 +230,9 @@ int main(int argc, char** argv) {
     std::vector<size_t> user_neighbors;
     std::vector<size_t> item_neighbors;
     size_t mismatches = 0;
+    float max_delta = 0.0f;
+    // §15 accuracy tolerance for an int8-served rating vs the f32 model.
+    constexpr float kInt8Tolerance = 0.25f;
     constexpr size_t kVerifyPairs = 32;
     for (size_t t = 0; t < kVerifyPairs; ++t) {
       const size_t user = verify_rng.UniformInt(dataset.num_users);
@@ -240,7 +249,16 @@ int main(int argc, char** argv) {
           model_session.Predict(user, item, user_neighbors, item_neighbors);
       const float served =
           (*lazy)->Predict(user, item, user_neighbors, item_neighbors);
-      if (expected != served) ++mismatches;
+      if (*precision == core::ServingPrecision::kF32) {
+        // f32 serving is under the bitwise contract (DESIGN.md §13).
+        if (expected != served) ++mismatches;
+      } else {
+        // int8 serving is under the §15 accuracy gate instead: quantization
+        // moves bits by design, so verify against the documented tolerance
+        // and report the worst deviation.
+        max_delta = std::max(max_delta, std::fabs(expected - served));
+        if (std::fabs(expected - served) > kInt8Tolerance) ++mismatches;
+      }
     }
     if (mismatches > 0) {
       std::fprintf(stderr,
@@ -249,9 +267,18 @@ int main(int argc, char** argv) {
                    mismatches, kVerifyPairs, serving_path.c_str());
       return 1;
     }
-    std::printf("exported serving checkpoint to %s "
-                "(%zu lazy predictions verified bitwise against the model)\n",
-                serving_path.c_str(), kVerifyPairs);
+    if (*precision == core::ServingPrecision::kF32) {
+      std::printf(
+          "exported serving checkpoint to %s "
+          "(%zu lazy predictions verified bitwise against the model)\n",
+          serving_path.c_str(), kVerifyPairs);
+    } else {
+      std::printf(
+          "exported int8 serving checkpoint to %s "
+          "(%zu lazy predictions within %.2f of the f32 model; max delta "
+          "%.4f)\n",
+          serving_path.c_str(), kVerifyPairs, kInt8Tolerance, max_delta);
+    }
   }
 
   if (flags.Has("save")) {

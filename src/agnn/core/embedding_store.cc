@@ -11,19 +11,33 @@ namespace {
 constexpr size_t kNil = std::numeric_limits<size_t>::max();
 }  // namespace
 
-LazyEmbeddingStore::LazyEmbeddingStore(io::EmbeddingShardReader reader,
+LazyEmbeddingStore::LazyEmbeddingStore(size_t rows, size_t cols,
                                        size_t capacity)
-    : reader_(reader),
+    : rows_(rows),
+      cols_(cols),
       capacity_(capacity),
-      cache_(capacity, reader.cols()),
+      cache_(capacity, cols),
       id_of_slot_(capacity, kNil),
       prev_(capacity, kNil),
       next_(capacity, kNil),
       head_(kNil),
       tail_(kNil) {
   AGNN_CHECK_GT(capacity, 0u);
-  AGNN_CHECK_GT(reader_.cols(), 0u);
+  AGNN_CHECK_GT(cols, 0u);
   slot_of_.reserve(capacity);
+}
+
+LazyEmbeddingStore::LazyEmbeddingStore(io::EmbeddingShardReader reader,
+                                       size_t capacity)
+    : LazyEmbeddingStore(reader.rows(), reader.cols(), capacity) {
+  reader_ = reader;
+}
+
+LazyEmbeddingStore::LazyEmbeddingStore(io::QuantizedShardReader reader,
+                                       size_t capacity)
+    : LazyEmbeddingStore(reader.rows(), reader.cols(), capacity) {
+  qreader_ = reader;
+  quantized_ = true;
 }
 
 void LazyEmbeddingStore::Unlink(size_t slot) {
@@ -44,7 +58,7 @@ void LazyEmbeddingStore::PushFront(size_t slot) {
 }
 
 size_t LazyEmbeddingStore::Touch(size_t id) {
-  AGNN_CHECK_LT(id, reader_.rows());
+  AGNN_CHECK_LT(id, rows_);
   if (auto it = slot_of_.find(id); it != slot_of_.end()) {
     ++hits_;
     const size_t slot = it->second;
@@ -63,7 +77,11 @@ size_t LazyEmbeddingStore::Touch(size_t id) {
     Unlink(slot);
     slot_of_.erase(id_of_slot_[slot]);
   }
-  reader_.CopyRowTo(id, cache_.Row(slot));
+  if (quantized_) {
+    qreader_.DequantizeRowTo(id, cache_.Row(slot));
+  } else {
+    reader_.CopyRowTo(id, cache_.Row(slot));
+  }
   id_of_slot_[slot] = id;
   slot_of_.emplace(id, slot);
   PushFront(slot);
@@ -72,13 +90,13 @@ size_t LazyEmbeddingStore::Touch(size_t id) {
 
 void LazyEmbeddingStore::CopyRowTo(size_t id, float* out) {
   const size_t slot = Touch(id);
-  std::memcpy(out, cache_.Row(slot), reader_.cols() * sizeof(float));
+  std::memcpy(out, cache_.Row(slot), cols_ * sizeof(float));
 }
 
 void LazyEmbeddingStore::GatherRowsInto(const std::vector<size_t>& ids,
                                         Matrix* out) {
   AGNN_CHECK_EQ(out->rows(), ids.size());
-  AGNN_CHECK_EQ(out->cols(), reader_.cols());
+  AGNN_CHECK_EQ(out->cols(), cols_);
   for (size_t i = 0; i < ids.size(); ++i) {
     CopyRowTo(ids[i], out->Row(i));
   }

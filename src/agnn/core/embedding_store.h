@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "agnn/io/embedding_shard.h"
+#include "agnn/io/quantized_shard.h"
 #include "agnn/tensor/matrix.h"
 
 namespace agnn::core {
@@ -26,8 +27,15 @@ class LazyEmbeddingStore {
   /// `capacity` > 0 is the maximum number of cached rows.
   LazyEmbeddingStore(io::EmbeddingShardReader reader, size_t capacity);
 
-  size_t rows() const { return reader_.rows(); }
-  size_t cols() const { return reader_.cols(); }
+  /// int8 shard variant (DESIGN.md §15): cached rows hold the dequantized
+  /// floats, so a hit is the same memcpy as the f32 store and only the miss
+  /// path differs (DequantizeRowTo instead of a raw row copy). Lazy and
+  /// resident int8 sessions stay bitwise-equal because both run the same
+  /// dequantization kernel over the same shard bytes.
+  LazyEmbeddingStore(io::QuantizedShardReader reader, size_t capacity);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
   size_t capacity() const { return capacity_; }
 
   /// Copies row `id` (cols floats) into `out`.
@@ -44,11 +52,18 @@ class LazyEmbeddingStore {
  private:
   /// Returns the cache slot holding row `id`, loading and evicting as
   /// needed, and marks it most-recently-used.
+  LazyEmbeddingStore(size_t rows, size_t cols, size_t capacity);
+
   size_t Touch(size_t id);
   void Unlink(size_t slot);
   void PushFront(size_t slot);
 
+  // Exactly one backend is live, per `quantized_`.
   io::EmbeddingShardReader reader_;
+  io::QuantizedShardReader qreader_;
+  bool quantized_ = false;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
   size_t capacity_ = 0;
   Matrix cache_;                              // [capacity, cols]
   std::unordered_map<size_t, size_t> slot_of_;  // row id -> slot

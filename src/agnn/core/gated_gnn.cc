@@ -11,10 +11,19 @@ namespace {
 
 // a.MatMulInto(b, out) wrapped in an op span carrying the analytic gemm
 // cost (DESIGN.md §11); one branch and no clock reads when `trace` is null.
+// With a non-null `qw` the GEMM runs on the serving-only int8 path instead
+// (DESIGN.md §15); the null case is textually the same MatMulInto as
+// before, keeping the f32 path bitwise-identical.
 void TracedGemm(obs::TraceRecorder* trace, const char* name, const Matrix& a,
-                const Matrix& b, Matrix* out) {
+                const Matrix& b, Matrix* out,
+                const QuantizedWeight* qw = nullptr,
+                QuantScratch* qscratch = nullptr) {
   obs::TraceSpan span(trace, name, "op");
-  a.MatMulInto(b, out);
+  if (qw != nullptr) {
+    QuantizedGemmInto(a, *qw, qscratch, out);
+  } else {
+    a.MatMulInto(b, out);
+  }
   if (span.enabled()) {
     span.AddArg("rows", static_cast<double>(a.rows()));
     span.AddArg("cols", static_cast<double>(b.cols()));
@@ -111,7 +120,10 @@ ag::Var GatedGnn::Forward(const ag::Var& self, const ag::Var& neighbors,
 
 Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
                                   size_t num_neighbors, Workspace* ws,
-                                  obs::TraceRecorder* trace) const {
+                                  obs::TraceRecorder* trace,
+                                  const GatedGnnQuant* quant,
+                                  QuantScratch* qscratch) const {
+  AGNN_CHECK((quant == nullptr) == (qscratch == nullptr));
   if (aggregator_ == Aggregator::kNone) return ws->TakeCopy(self);
 
   const size_t batch = self.rows();
@@ -126,7 +138,8 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
       Matrix neighbor_mean = ws->Take(batch, dim);
       fn::RowBlockMeanInto(neighbors, num_neighbors, &neighbor_mean);
       Matrix conv = ws->Take(batch, dim);
-      TracedGemm(trace, "gemm:w_gcn", neighbor_mean, w_gcn_->value(), &conv);
+      TracedGemm(trace, "gemm:w_gcn", neighbor_mean, w_gcn_->value(), &conv,
+                 quant != nullptr ? &quant->w_gcn : nullptr, qscratch);
       fn::AddRowBroadcastInto(conv, b_gcn_->value(), &conv);
       self.AddInto(conv, &out);
       fn::LeakyReluInto(out, leaky_slope_, &out);
@@ -138,13 +151,16 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
       Matrix self_rep = ws->Take(batch * num_neighbors, dim);
       fn::RepeatRowsInto(self, num_neighbors, &self_rep);
       Matrix proj_self = ws->Take(self_rep.rows(), dim);
-      TracedGemm(trace, "gemm:w_gat", self_rep, w_gat_->value(), &proj_self);
+      TracedGemm(trace, "gemm:w_gat", self_rep, w_gat_->value(), &proj_self,
+                 quant != nullptr ? &quant->w_gat : nullptr, qscratch);
       Matrix proj_neigh = ws->Take(neighbors.rows(), dim);
-      TracedGemm(trace, "gemm:w_gat", neighbors, w_gat_->value(), &proj_neigh);
+      TracedGemm(trace, "gemm:w_gat", neighbors, w_gat_->value(), &proj_neigh,
+                 quant != nullptr ? &quant->w_gat : nullptr, qscratch);
       Matrix concat = ws->Take(proj_self.rows(), 2 * dim);
       proj_self.ConcatColsInto(proj_neigh, &concat);
       Matrix alpha = ws->Take(concat.rows(), 1);
-      TracedGemm(trace, "gemm:attn", concat, attn_->value(), &alpha);
+      TracedGemm(trace, "gemm:attn", concat, attn_->value(), &alpha,
+                 quant != nullptr ? &quant->attn : nullptr, qscratch);
       fn::LeakyReluInto(alpha, 0.2f, &alpha);
       fn::SoftmaxBlocksInto(alpha, num_neighbors, &alpha);
       fn::MulColBroadcastInto(proj_neigh, alpha, &proj_neigh);
@@ -175,7 +191,8 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
     self_rep.ConcatColsInto(neighbors, &concat);
     Matrix a_gate = ws->Take(concat.rows(), dim);
     TracedGemm(trace, "gemm:w_aggregate", concat, w_aggregate_->value(),
-               &a_gate);
+               &a_gate, quant != nullptr ? &quant->w_aggregate : nullptr,
+               qscratch);
     fn::AddRowBroadcastInto(a_gate, b_aggregate_->value(), &a_gate);
     fn::SigmoidInto(a_gate, &a_gate);
     neighbors.MulInto(a_gate, &a_gate);
@@ -194,7 +211,8 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
     Matrix concat = ws->Take(batch, 2 * dim);
     self.ConcatColsInto(neighbor_mean, &concat);
     Matrix f_gate = ws->Take(batch, dim);
-    TracedGemm(trace, "gemm:w_filter", concat, w_filter_->value(), &f_gate);
+    TracedGemm(trace, "gemm:w_filter", concat, w_filter_->value(), &f_gate,
+               quant != nullptr ? &quant->w_filter : nullptr, qscratch);
     fn::AddRowBroadcastInto(f_gate, b_filter_->value(), &f_gate);
     fn::SigmoidInto(f_gate, &f_gate);
     // p_u ⊙ (1 − f_gate), phrased as the tape's AddScalar(Neg(·), 1).
@@ -211,6 +229,16 @@ Matrix GatedGnn::ForwardInference(const Matrix& self, const Matrix& neighbors,
   fn::LeakyReluInto(out, leaky_slope_, &out);
   ws->Give(std::move(aggregated));
   return out;
+}
+
+GatedGnnQuant GatedGnn::QuantizeWeights() const {
+  GatedGnnQuant q;
+  q.w_aggregate = QuantizeWeightPerColumn(w_aggregate_->value());
+  q.w_filter = QuantizeWeightPerColumn(w_filter_->value());
+  q.w_gcn = QuantizeWeightPerColumn(w_gcn_->value());
+  q.w_gat = QuantizeWeightPerColumn(w_gat_->value());
+  q.attn = QuantizeWeightPerColumn(attn_->value());
+  return q;
 }
 
 }  // namespace agnn::core

@@ -7,6 +7,17 @@
 
 namespace agnn::core {
 
+/// Per-column int8 snapshots of one GatedGnn's GEMM weights (serving-only,
+/// DESIGN.md §15); built once per session by GatedGnn::QuantizeWeights.
+/// Only the aggregator's live members are meaningful.
+struct GatedGnnQuant {
+  QuantizedWeight w_aggregate;  // [2D, D]
+  QuantizedWeight w_filter;     // [2D, D]
+  QuantizedWeight w_gcn;        // [D, D]
+  QuantizedWeight w_gat;        // [D, D]
+  QuantizedWeight attn;         // [2D, 1]
+};
+
 /// Neighborhood aggregation layer (Section 3.3.4, Eq. 9-13, Fig. 4).
 ///
 /// The full gated-GNN applies two dimension-level gates:
@@ -36,9 +47,19 @@ class GatedGnn : public nn::Module {
   /// `trace` (optional) wraps each gemm in an op span carrying its analytic
   /// flop/byte cost (DESIGN.md §11); null reads no clocks and changes no
   /// bits.
+  ///
+  /// `quant`/`qscratch` (optional, DESIGN.md §15) switch every GEMM onto the
+  /// int8 path (dynamic per-row activation quantization against the
+  /// snapshot in `quant`); both must be set together. Null keeps the f32
+  /// GEMMs untouched — the bitwise §9 contract holds exactly as before.
   Matrix ForwardInference(const Matrix& self, const Matrix& neighbors,
                           size_t num_neighbors, Workspace* ws,
-                          obs::TraceRecorder* trace = nullptr) const;
+                          obs::TraceRecorder* trace = nullptr,
+                          const GatedGnnQuant* quant = nullptr,
+                          QuantScratch* qscratch = nullptr) const;
+
+  /// Builds the serving-session int8 snapshot of this module's weights.
+  GatedGnnQuant QuantizeWeights() const;
 
   Aggregator aggregator() const { return aggregator_; }
 

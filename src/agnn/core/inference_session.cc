@@ -10,6 +10,7 @@
 #include "agnn/io/checkpoint.h"
 #include "agnn/io/crc32.h"
 #include "agnn/io/embedding_shard.h"
+#include "agnn/io/quantized_shard.h"
 #include "agnn/obs/scoped_timer.h"
 
 namespace agnn::core {
@@ -44,6 +45,7 @@ InferenceSession::InferenceSession(const AgnnModel& model,
 InferenceSession::InferenceSession(io::MappedFile mapped,
                                    std::unique_ptr<ServingHead> head,
                                    const ServingMeta& meta,
+                                   ServingPrecision precision,
                                    std::unique_ptr<LazyEmbeddingStore> lazy_users,
                                    std::unique_ptr<LazyEmbeddingStore> lazy_items,
                                    Matrix user_embeddings, Matrix item_embeddings,
@@ -62,6 +64,14 @@ InferenceSession::InferenceSession(io::MappedFile mapped,
       lazy_items_(std::move(lazy_items)),
       user_embeddings_(std::move(user_embeddings)),
       item_embeddings_(std::move(item_embeddings)) {
+  if (precision == ServingPrecision::kInt8) {
+    // Quantize the head weights once; every request's GEMMs then run on the
+    // int8 kernels (DESIGN.md §15).
+    quantized_ = true;
+    user_gnn_quant_ = user_gnn_->QuantizeWeights();
+    item_gnn_quant_ = item_gnn_->QuantizeWeights();
+    mlp_quant_ = prediction_->QuantizeMlpWeights();
+  }
   ResolveInstruments(build_ms);
 }
 
@@ -127,12 +137,14 @@ StatusOr<std::string_view> IndexedSection(const io::MappedFile& mapped,
   return payload;
 }
 
-StatusOr<io::EmbeddingShardReader> OpenShard(const io::MappedFile& mapped,
-                                             const io::CheckpointIndex& index,
-                                             std::string_view name,
-                                             size_t expected_rows,
-                                             size_t expected_cols,
-                                             bool verify_crc) {
+/// Shared by the f32 (EmbeddingShardReader) and int8 (QuantizedShardReader)
+/// shard formats — both validate their header in Open and expose
+/// rows()/cols() for the meta cross-check.
+template <typename ShardReader>
+StatusOr<ShardReader> OpenShard(const io::MappedFile& mapped,
+                                const io::CheckpointIndex& index,
+                                std::string_view name, size_t expected_rows,
+                                size_t expected_cols, bool verify_crc) {
   StatusOr<std::string_view> payload =
       IndexedSection(mapped, index, name, /*verify_crc=*/false);
   if (!payload.ok()) return payload.status();
@@ -142,8 +154,7 @@ StatusOr<io::EmbeddingShardReader> OpenShard(const io::MappedFile& mapped,
       return s;
     }
   }
-  StatusOr<io::EmbeddingShardReader> reader =
-      io::EmbeddingShardReader::Open(*payload);
+  StatusOr<ShardReader> reader = ShardReader::Open(*payload);
   if (!reader.ok()) return reader.status();
   if (reader->rows() != expected_rows || reader->cols() != expected_cols) {
     return Status::InvalidArgument(
@@ -181,32 +192,55 @@ InferenceSession::FromServingCheckpoint(const std::string& path,
   auto head = std::make_unique<ServingHead>(*meta);
   if (Status s = head->LoadState(*params); !s.ok()) return s;
 
-  StatusOr<io::EmbeddingShardReader> users =
-      OpenShard(*mapped, *index, io::kSectionUserEmbeddings, meta->num_users,
-                meta->embedding_dim, /*verify_crc=*/!options.lazy);
-  if (!users.ok()) return users.status();
-  StatusOr<io::EmbeddingShardReader> items =
-      OpenShard(*mapped, *index, io::kSectionItemEmbeddings, meta->num_items,
-                meta->embedding_dim, /*verify_crc=*/!options.lazy);
-  if (!items.ok()) return items.status();
-
   std::unique_ptr<LazyEmbeddingStore> lazy_users;
   std::unique_ptr<LazyEmbeddingStore> lazy_items;
   Matrix user_embeddings;
   Matrix item_embeddings;
-  if (options.lazy) {
-    const size_t floor = std::max<size_t>(options.cache_rows, 1);
-    lazy_users = std::make_unique<LazyEmbeddingStore>(
-        *users, std::min(floor, users->rows()));
-    lazy_items = std::make_unique<LazyEmbeddingStore>(
-        *items, std::min(floor, items->rows()));
+  const size_t cache_floor = std::max<size_t>(options.cache_rows, 1);
+  if (options.precision == ServingPrecision::kInt8) {
+    StatusOr<io::QuantizedShardReader> users =
+        OpenShard<io::QuantizedShardReader>(
+            *mapped, *index, io::kSectionUserEmbeddingsQ8, meta->num_users,
+            meta->embedding_dim, /*verify_crc=*/!options.lazy);
+    if (!users.ok()) return users.status();
+    StatusOr<io::QuantizedShardReader> items =
+        OpenShard<io::QuantizedShardReader>(
+            *mapped, *index, io::kSectionItemEmbeddingsQ8, meta->num_items,
+            meta->embedding_dim, /*verify_crc=*/!options.lazy);
+    if (!items.ok()) return items.status();
+    if (options.lazy) {
+      lazy_users = std::make_unique<LazyEmbeddingStore>(
+          *users, std::min(cache_floor, users->rows()));
+      lazy_items = std::make_unique<LazyEmbeddingStore>(
+          *items, std::min(cache_floor, items->rows()));
+    } else {
+      user_embeddings = users->ReadAllDequantized();
+      item_embeddings = items->ReadAllDequantized();
+    }
   } else {
-    user_embeddings = users->ReadAll();
-    item_embeddings = items->ReadAll();
+    StatusOr<io::EmbeddingShardReader> users =
+        OpenShard<io::EmbeddingShardReader>(
+            *mapped, *index, io::kSectionUserEmbeddings, meta->num_users,
+            meta->embedding_dim, /*verify_crc=*/!options.lazy);
+    if (!users.ok()) return users.status();
+    StatusOr<io::EmbeddingShardReader> items =
+        OpenShard<io::EmbeddingShardReader>(
+            *mapped, *index, io::kSectionItemEmbeddings, meta->num_items,
+            meta->embedding_dim, /*verify_crc=*/!options.lazy);
+    if (!items.ok()) return items.status();
+    if (options.lazy) {
+      lazy_users = std::make_unique<LazyEmbeddingStore>(
+          *users, std::min(cache_floor, users->rows()));
+      lazy_items = std::make_unique<LazyEmbeddingStore>(
+          *items, std::min(cache_floor, items->rows()));
+    } else {
+      user_embeddings = users->ReadAll();
+      item_embeddings = items->ReadAll();
+    }
   }
   return std::unique_ptr<InferenceSession>(new InferenceSession(
-      std::move(mapped).value(), std::move(head), *meta, std::move(lazy_users),
-      std::move(lazy_items), std::move(user_embeddings),
+      std::move(mapped).value(), std::move(head), *meta, options.precision,
+      std::move(lazy_users), std::move(lazy_items), std::move(user_embeddings),
       std::move(item_embeddings), build_watch.ElapsedMillis(), metrics,
       trace));
 }
@@ -331,10 +365,14 @@ void InferenceSession::PredictBatchInto(
     Matrix item_neigh = ws_.Take(batch * neighbors, dim);
     GatherEmbeddingRows(/*user_side=*/false, item_neighbor_ids, &item_neigh);
 
-    Matrix user_agg = user_gnn_->ForwardInference(user_final, user_neigh,
-                                                  neighbors, &ws_, trace_);
-    Matrix item_agg = item_gnn_->ForwardInference(item_final, item_neigh,
-                                                  neighbors, &ws_, trace_);
+    Matrix user_agg = user_gnn_->ForwardInference(
+        user_final, user_neigh, neighbors, &ws_, trace_,
+        quantized_ ? &user_gnn_quant_ : nullptr,
+        quantized_ ? &qscratch_ : nullptr);
+    Matrix item_agg = item_gnn_->ForwardInference(
+        item_final, item_neigh, neighbors, &ws_, trace_,
+        quantized_ ? &item_gnn_quant_ : nullptr,
+        quantized_ ? &qscratch_ : nullptr);
     ws_.Give(std::move(user_final));
     ws_.Give(std::move(item_final));
     ws_.Give(std::move(user_neigh));
@@ -346,9 +384,9 @@ void InferenceSession::PredictBatchInto(
   Matrix predictions;
   {
     obs::TraceSpan span(trace_, "head", "session");
-    predictions = prediction_->ForwardInference(user_final, item_final,
-                                                user_ids, item_ids, &ws_,
-                                                trace_);
+    predictions = prediction_->ForwardInference(
+        user_final, item_final, user_ids, item_ids, &ws_, trace_,
+        quantized_ ? &mlp_quant_ : nullptr, quantized_ ? &qscratch_ : nullptr);
   }
   for (size_t i = 0; i < batch; ++i) out[i] = predictions.At(i, 0);
   ws_.Give(std::move(user_final));

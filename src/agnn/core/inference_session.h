@@ -56,6 +56,12 @@ class InferenceSession {
     bool lazy = false;
     /// Lazy mode: max cached rows per side (clamped to [1, shard rows]).
     size_t cache_rows = 4096;
+    /// Must match the precision the checkpoint was exported with
+    /// (DESIGN.md §15): kF32 opens the §13 f32 shards; kInt8 opens the
+    /// quantized shards AND routes the session's GEMMs through the int8
+    /// kernels over per-column-quantized head weights. Opening a checkpoint
+    /// at the wrong precision is a NotFound (the sections are disjoint).
+    ServingPrecision precision = ServingPrecision::kF32;
   };
 
   /// `metrics` (optional, must outlive the session) enables serving
@@ -127,6 +133,12 @@ class InferenceSession {
   size_t embedding_dim() const { return dim_; }
   size_t neighbors_per_node() const { return neighbors_; }
 
+  /// kInt8 only for a FromServingCheckpoint session opened at int8; every
+  /// other construction path serves f32.
+  ServingPrecision precision() const {
+    return quantized_ ? ServingPrecision::kInt8 : ServingPrecision::kF32;
+  }
+
   /// Cached fused embeddings ([num_users, D] / [num_items, D]). Empty in a
   /// lazy serving session — rows live in the mapped shards there.
   const Matrix& user_embeddings() const { return user_embeddings_; }
@@ -149,7 +161,7 @@ class InferenceSession {
   /// Serving-checkpoint path: exactly one of (lazy stores) / (resident
   /// matrices) is populated per side.
   InferenceSession(io::MappedFile mapped, std::unique_ptr<ServingHead> head,
-                   const ServingMeta& meta,
+                   const ServingMeta& meta, ServingPrecision precision,
                    std::unique_ptr<LazyEmbeddingStore> lazy_users,
                    std::unique_ptr<LazyEmbeddingStore> lazy_items,
                    Matrix user_embeddings, Matrix item_embeddings,
@@ -207,6 +219,15 @@ class InferenceSession {
   std::unique_ptr<LazyEmbeddingStore> lazy_items_;
   Matrix user_embeddings_;
   Matrix item_embeddings_;
+  // int8 serving state (DESIGN.md §15): per-column weight snapshots built
+  // once at open, plus the integer scratch the quantized GEMMs reuse. All
+  // empty/unused when quantized_ is false, which is every path except a
+  // FromServingCheckpoint open at ServingPrecision::kInt8.
+  bool quantized_ = false;
+  GatedGnnQuant user_gnn_quant_;
+  GatedGnnQuant item_gnn_quant_;
+  std::vector<QuantizedWeight> mlp_quant_;
+  QuantScratch qscratch_;
   Workspace ws_;
   // Reused by Predict so the single-request path stays allocation-free.
   std::vector<size_t> one_user_;

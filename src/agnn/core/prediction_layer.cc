@@ -38,9 +38,12 @@ ag::Var PredictionLayer::Forward(const ag::Var& user_final,
 Matrix PredictionLayer::ForwardInference(
     const Matrix& user_final, const Matrix& item_final,
     const std::vector<size_t>& user_ids, const std::vector<size_t>& item_ids,
-    Workspace* ws, obs::TraceRecorder* trace) const {
+    Workspace* ws, obs::TraceRecorder* trace,
+    const std::vector<QuantizedWeight>* mlp_quant,
+    QuantScratch* qscratch) const {
   AGNN_CHECK_EQ(user_final.rows(), user_ids.size());
   AGNN_CHECK_EQ(item_final.rows(), item_ids.size());
+  AGNN_CHECK((mlp_quant == nullptr) == (qscratch == nullptr));
   const size_t batch = user_final.rows();
 
   Matrix concat = ws->Take(batch, user_final.cols() + item_final.cols());
@@ -48,7 +51,10 @@ Matrix PredictionLayer::ForwardInference(
   Matrix out;
   {
     obs::TraceSpan span(trace, "mlp", "op");
-    out = mlp_.ForwardInference(concat, ws);  // [B, 1]
+    out = mlp_quant != nullptr
+              ? mlp_.ForwardInferenceQuantized(concat, *mlp_quant, qscratch,
+                                               ws)          // [B, 1]
+              : mlp_.ForwardInference(concat, ws);          // [B, 1]
     if (span.enabled()) {
       // Two dense layers: [B,2D]x[2D,H] then [B,H]x[H,1].
       span.AddArg("rows", static_cast<double>(batch));
@@ -84,6 +90,10 @@ Matrix PredictionLayer::ForwardInference(
   ws->Give(std::move(u_bias));
   ws->Give(std::move(i_bias));
   return out;
+}
+
+std::vector<QuantizedWeight> PredictionLayer::QuantizeMlpWeights() const {
+  return mlp_.QuantizeWeights();
 }
 
 }  // namespace agnn::core

@@ -28,10 +28,21 @@ class PredictionLayer : public nn::Module {
   /// value; the [B, 1] result is Taken from `ws`. `trace` (optional) wraps
   /// the MLP and the rowwise dot in op spans with analytic flop costs
   /// (DESIGN.md §11); null reads no clocks and changes no bits.
+  ///
+  /// `mlp_quant`/`qscratch` (optional, set together; DESIGN.md §15) route
+  /// the MLP's GEMMs through the serving-only int8 path against the
+  /// snapshot from QuantizeMlpWeights; the rowwise dot and bias adds stay
+  /// f32. Null leaves the f32 path bitwise-untouched.
   Matrix ForwardInference(const Matrix& user_final, const Matrix& item_final,
                           const std::vector<size_t>& user_ids,
                           const std::vector<size_t>& item_ids, Workspace* ws,
-                          obs::TraceRecorder* trace = nullptr) const;
+                          obs::TraceRecorder* trace = nullptr,
+                          const std::vector<QuantizedWeight>* mlp_quant =
+                              nullptr,
+                          QuantScratch* qscratch = nullptr) const;
+
+  /// Per-layer int8 snapshots of the MLP weights for the serving session.
+  std::vector<QuantizedWeight> QuantizeMlpWeights() const;
 
  private:
   size_t hidden_dim_;  // MLP hidden width, kept for the trace flop model

@@ -8,9 +8,28 @@
 #include "agnn/io/bytes.h"
 #include "agnn/io/checkpoint.h"
 #include "agnn/io/embedding_shard.h"
+#include "agnn/io/quantized_shard.h"
 #include "agnn/tensor/workspace.h"
 
 namespace agnn::core {
+
+const char* ServingPrecisionName(ServingPrecision precision) {
+  switch (precision) {
+    case ServingPrecision::kF32:
+      return "f32";
+    case ServingPrecision::kInt8:
+      return "int8";
+  }
+  AGNN_LOG(Fatal) << "unknown serving precision";
+  return "?";
+}
+
+StatusOr<ServingPrecision> ParseServingPrecision(std::string_view name) {
+  if (name == "f32") return ServingPrecision::kF32;
+  if (name == "int8") return ServingPrecision::kInt8;
+  return Status::InvalidArgument("unknown precision \"" + std::string(name) +
+                                 "\" (expected f32 or int8)");
+}
 
 std::string ServingMeta::Encode() const {
   io::ByteWriter w;
@@ -129,7 +148,9 @@ StatusOr<std::string> BuildServingParams(const AgnnModel& model,
 }
 
 // Computes every catalog node's fused embedding p chunk by chunk and packs
-// the rows into a fixed-stride shard payload.
+// the rows into a shard payload: fixed-stride f32 (§13) or per-row affine
+// int8 (§15), both writers sharing the AppendRows/Finish streaming shape.
+template <typename ShardWriter>
 std::string BuildShard(const AgnnModel& model, const ServingCatalog& catalog,
                        bool user_side, Workspace* ws) {
   const size_t total = user_side ? catalog.num_users : catalog.num_items;
@@ -137,7 +158,7 @@ std::string BuildShard(const AgnnModel& model, const ServingCatalog& catalog,
       user_side ? catalog.cold_users : catalog.cold_items;
   AGNN_CHECK(cold == nullptr || cold->size() == total);
   const size_t dim = model.config().embedding_dim;
-  io::EmbeddingShardWriter writer(total, dim);
+  ShardWriter writer(total, dim);
 
   constexpr size_t kChunk = 1024;
   std::vector<size_t> ids;
@@ -164,7 +185,8 @@ std::string BuildShard(const AgnnModel& model, const ServingCatalog& catalog,
 
 Status ExportServingCheckpoint(const AgnnModel& model,
                                const ServingCatalog& catalog,
-                               const std::string& path) {
+                               const std::string& path,
+                               ServingPrecision precision) {
   AGNN_CHECK(catalog.attrs != nullptr);
   AGNN_CHECK_GT(catalog.num_users, 0u);
   AGNN_CHECK_GT(catalog.num_items, 0u);
@@ -186,12 +208,29 @@ Status ExportServingCheckpoint(const AgnnModel& model,
   io::CheckpointWriter writer;
   writer.AddSection(io::kSectionServingMeta, meta.Encode());
   writer.AddSection(io::kSectionServingParams, std::move(params).value());
-  writer.AddAlignedSection(io::kSectionUserEmbeddings,
-                           BuildShard(model, catalog, /*user_side=*/true, &ws),
-                           io::kShardAlignment);
-  writer.AddAlignedSection(io::kSectionItemEmbeddings,
-                           BuildShard(model, catalog, /*user_side=*/false, &ws),
-                           io::kShardAlignment);
+  if (precision == ServingPrecision::kInt8) {
+    writer.AddAlignedSection(
+        io::kSectionUserEmbeddingsQ8,
+        BuildShard<io::QuantizedShardWriter>(model, catalog,
+                                             /*user_side=*/true, &ws),
+        io::kShardAlignment);
+    writer.AddAlignedSection(
+        io::kSectionItemEmbeddingsQ8,
+        BuildShard<io::QuantizedShardWriter>(model, catalog,
+                                             /*user_side=*/false, &ws),
+        io::kShardAlignment);
+  } else {
+    writer.AddAlignedSection(
+        io::kSectionUserEmbeddings,
+        BuildShard<io::EmbeddingShardWriter>(model, catalog,
+                                             /*user_side=*/true, &ws),
+        io::kShardAlignment);
+    writer.AddAlignedSection(
+        io::kSectionItemEmbeddings,
+        BuildShard<io::EmbeddingShardWriter>(model, catalog,
+                                             /*user_side=*/false, &ws),
+        io::kShardAlignment);
+  }
   return writer.WriteFile(path);
 }
 

@@ -12,6 +12,19 @@
 
 namespace agnn::core {
 
+/// Numeric format of a serving checkpoint's embedding shards (and of the
+/// session GEMMs serving them, DESIGN.md §15). kF32 writes the §13 f32
+/// shards; kInt8 writes per-row affine int8 shards at ~1/3 the bytes. A
+/// checkpoint carries exactly one precision's sections; opening it at the
+/// other precision is a NotFound.
+enum class ServingPrecision { kF32, kInt8 };
+
+/// "f32" / "int8".
+const char* ServingPrecisionName(ServingPrecision precision);
+
+/// Inverse of ServingPrecisionName (for --precision flags).
+StatusOr<ServingPrecision> ParseServingPrecision(std::string_view name);
+
 /// Architecture fingerprint of a serving checkpoint — everything needed to
 /// rebuild the serving head (two gated-GNNs + prediction layer) without the
 /// training dataset. Stored as the "serving/meta" section.
@@ -78,9 +91,15 @@ struct ServingCatalog {
 /// embedding p (computed chunk-wise through the cold-start module for cold
 /// nodes). The result serves through InferenceSession::FromServingCheckpoint
 /// in resident or lazy (mmap + LRU) mode with bitwise-identical predictions.
-Status ExportServingCheckpoint(const AgnnModel& model,
-                               const ServingCatalog& catalog,
-                               const std::string& path);
+///
+/// At ServingPrecision::kInt8 the shards are written in the §15 quantized
+/// format instead (per-row affine int8) under the *_q8 section names; meta
+/// and params are unchanged, and sessions must be opened with the matching
+/// ServingOptions::precision.
+Status ExportServingCheckpoint(
+    const AgnnModel& model, const ServingCatalog& catalog,
+    const std::string& path,
+    ServingPrecision precision = ServingPrecision::kF32);
 
 }  // namespace agnn::core
 

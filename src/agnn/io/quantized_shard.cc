@@ -1,0 +1,173 @@
+#include "agnn/io/quantized_shard.h"
+
+#include <cstring>
+
+#include "agnn/common/logging.h"
+#include "agnn/io/bytes.h"
+#include "agnn/io/crc32.h"
+#include "agnn/io/embedding_shard.h"  // kShardAlignment, kShardHeaderSize
+#include "agnn/tensor/kernels.h"
+
+namespace agnn::io {
+
+namespace {
+
+size_t PadToAlignment(size_t bytes) {
+  return (bytes + kShardAlignment - 1) / kShardAlignment * kShardAlignment;
+}
+
+size_t ScaleTableBytes(size_t rows) {
+  return PadToAlignment(rows * sizeof(float));
+}
+
+size_t ZeroPointTableBytes(size_t rows) { return PadToAlignment(rows); }
+
+}  // namespace
+
+size_t QuantizedShardRowBase(size_t rows) {
+  return kShardHeaderSize + ScaleTableBytes(rows) + ZeroPointTableBytes(rows);
+}
+
+size_t QuantizedShardPayloadSize(size_t rows, size_t cols) {
+  return QuantizedShardRowBase(rows) + rows * cols;
+}
+
+QuantizedShardWriter::QuantizedShardWriter(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols) {
+  AGNN_CHECK_GT(cols, 0u) << "quantized shard needs at least one column";
+  ByteWriter header;
+  header.Bytes(kQuantizedShardMagic, sizeof(kQuantizedShardMagic));
+  header.U32(kQuantizedShardVersion);
+  header.U32(0);  // flags
+  header.U64(rows_);
+  header.U64(cols_);
+  header.U64(cols_);  // stride_bytes: packed rows in v1
+  header.U32(Crc32(header.str()));
+  buffer_ = std::move(header).Release();
+  AGNN_CHECK_LE(buffer_.size(), kShardHeaderSize);
+  // The table and row regions are filled in place as rows arrive; padding
+  // bytes stay zero.
+  buffer_.resize(QuantizedShardPayloadSize(rows, cols), '\0');
+}
+
+void QuantizedShardWriter::AppendRows(const Matrix& chunk) {
+  AGNN_CHECK_EQ(chunk.cols(), cols_);
+  AGNN_CHECK_LE(appended_ + chunk.rows(), rows_)
+      << "quantized shard overflow: declared " << rows_ << " rows";
+  char* const scales = buffer_.data() + kShardHeaderSize;
+  char* const zero_points = scales + ScaleTableBytes(rows_);
+  char* const row_base = buffer_.data() + QuantizedShardRowBase(rows_);
+  for (size_t r = 0; r < chunk.rows(); ++r) {
+    const size_t row = appended_ + r;
+    float scale = 1.0f;
+    int32_t zp = 0;
+    kernels::QuantizeRowAffine(
+        chunk.Row(r), cols_,
+        reinterpret_cast<int8_t*>(row_base + row * cols_), &scale, &zp);
+    std::memcpy(scales + row * sizeof(float), &scale, sizeof(float));
+    zero_points[row] = static_cast<char>(static_cast<int8_t>(zp));
+  }
+  appended_ += chunk.rows();
+}
+
+std::string QuantizedShardWriter::Finish() && {
+  AGNN_CHECK_EQ(appended_, rows_)
+      << "quantized shard incomplete: " << appended_ << " of " << rows_
+      << " rows appended";
+  return std::move(buffer_);
+}
+
+StatusOr<QuantizedShardReader> QuantizedShardReader::Open(
+    std::string_view payload) {
+  if (payload.size() < kShardHeaderSize) {
+    return Status::InvalidArgument(
+        "quantized shard truncated: " + std::to_string(payload.size()) +
+        " bytes, header needs " + std::to_string(kShardHeaderSize));
+  }
+  if (std::memcmp(payload.data(), kQuantizedShardMagic,
+                  sizeof(kQuantizedShardMagic)) != 0) {
+    return Status::InvalidArgument("bad quantized shard magic");
+  }
+  const uint32_t computed_crc = Crc32(std::string_view(payload.data(), 40));
+  ByteReader header(payload.substr(sizeof(kQuantizedShardMagic)));
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  uint64_t stride = 0;
+  uint32_t header_crc = 0;
+  // The header is long enough (checked above); these cannot fail.
+  AGNN_CHECK(header.U32(&version).ok());
+  AGNN_CHECK(header.U32(&flags).ok());
+  AGNN_CHECK(header.U64(&rows).ok());
+  AGNN_CHECK(header.U64(&cols).ok());
+  AGNN_CHECK(header.U64(&stride).ok());
+  AGNN_CHECK(header.U32(&header_crc).ok());
+  if (header_crc != computed_crc) {
+    return Status::InvalidArgument("quantized shard header CRC mismatch");
+  }
+  if (version != kQuantizedShardVersion) {
+    return Status::InvalidArgument("unsupported quantized shard version " +
+                                   std::to_string(version));
+  }
+  if (cols == 0) {
+    return Status::InvalidArgument("quantized shard has zero columns");
+  }
+  if (stride != cols) {
+    return Status::InvalidArgument(
+        "quantized shard stride " + std::to_string(stride) +
+        " invalid: v1 rows are packed (stride == cols == " +
+        std::to_string(cols) + ")");
+  }
+  if (payload.size() != QuantizedShardPayloadSize(rows, cols)) {
+    return Status::InvalidArgument(
+        "quantized shard size mismatch: " + std::to_string(payload.size()) +
+        " bytes for " + std::to_string(rows) + " rows of " +
+        std::to_string(cols) + " columns");
+  }
+  if (reinterpret_cast<uintptr_t>(payload.data()) % alignof(float) != 0) {
+    return Status::InvalidArgument(
+        "quantized shard scale table is not float-aligned");
+  }
+  QuantizedShardReader reader;
+  reader.data_ = payload.data();
+  reader.rows_ = static_cast<size_t>(rows);
+  reader.cols_ = static_cast<size_t>(cols);
+  reader.stride_ = static_cast<size_t>(stride);
+  reader.row_base_ = QuantizedShardRowBase(reader.rows_);
+  return reader;
+}
+
+float QuantizedShardReader::scale(size_t r) const {
+  AGNN_CHECK_LT(r, rows_);
+  float s;
+  std::memcpy(&s, data_ + kShardHeaderSize + r * sizeof(float), sizeof(float));
+  return s;
+}
+
+int32_t QuantizedShardReader::zero_point(size_t r) const {
+  AGNN_CHECK_LT(r, rows_);
+  const char* zero_points =
+      data_ + kShardHeaderSize +
+      (rows_ * sizeof(float) + kShardAlignment - 1) / kShardAlignment *
+          kShardAlignment;
+  return static_cast<int32_t>(static_cast<int8_t>(zero_points[r]));
+}
+
+const int8_t* QuantizedShardReader::RowData(size_t r) const {
+  AGNN_CHECK_LT(r, rows_);
+  return reinterpret_cast<const int8_t*>(data_ + row_base_ + r * stride_);
+}
+
+void QuantizedShardReader::DequantizeRowTo(size_t r, float* out) const {
+  kernels::DequantizeRowAffine(RowData(r), cols_, scale(r), zero_point(r),
+                               out);
+}
+
+Matrix QuantizedShardReader::ReadAllDequantized() const {
+  Matrix all(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) DequantizeRowTo(r, all.Row(r));
+  return all;
+}
+
+}  // namespace agnn::io

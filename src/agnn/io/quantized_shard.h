@@ -1,0 +1,119 @@
+#ifndef AGNN_IO_QUANTIZED_SHARD_H_
+#define AGNN_IO_QUANTIZED_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "agnn/common/status.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn::io {
+
+// Quantized embedding-shard payload (DESIGN.md §15). The int8 counterpart
+// of the f32 shard in embedding_shard.h: one node side's fused embeddings
+// stored as per-row affine-quantized int8 records plus per-row scale and
+// zero-point tables, designed to be read in place from a memory-mapped
+// checkpoint:
+//
+//   [0,  8)  magic "AGNNQSH8"
+//   [8, 12)  u32 shard format version (current: 1)
+//   [12,16)  u32 flags (reserved, 0)
+//   [16,24)  u64 rows
+//   [24,32)  u64 cols
+//   [32,40)  u64 stride_bytes (== cols in v1: int8 rows are packed — padding
+//            them to the f32 shard's 64-byte stride would erase the whole
+//            size win at D=16)
+//   [40,44)  u32 header CRC-32 of bytes [0,40)
+//   [44,64)  zero padding to kShardHeaderSize
+//   scale table: rows f32 at [64, 64 + rows*4), zero-padded to a 64 boundary
+//   zero-point table: rows i8 next, zero-padded to a 64 boundary
+//   row r at [row_base + r*stride, ... + cols)
+//
+// Quantization per row (kernels::QuantizeRowAffine, rounding = lround, half
+// away from zero): scale = (max(x,0) - min(x,0)) / 255, zero-point chosen so
+// the int8 range covers [min(x,0), max(x,0)] and 0.0 is exactly
+// representable. Dequantization is x' = scale * (q - zero_point).
+//
+// Like the f32 shard, sections are written with AddAlignedSection (64-byte
+// payload base) and whole-payload integrity lives in the section table's CRC
+// entry, verified on demand by VerifyShardCrc — never on open.
+
+inline constexpr char kQuantizedShardMagic[8] = {'A', 'G', 'N', 'N',
+                                                 'Q', 'S', 'H', '8'};
+inline constexpr uint32_t kQuantizedShardVersion = 1;
+
+/// Section names of the int8 serving-checkpoint embedding shards. A serving
+/// checkpoint carries either the f32 sections or these — never both.
+inline constexpr char kSectionUserEmbeddingsQ8[] = "embeddings/users_q8";
+inline constexpr char kSectionItemEmbeddingsQ8[] = "embeddings/items_q8";
+
+/// Offset of the packed int8 rows: header + padded scale + padded
+/// zero-point tables.
+size_t QuantizedShardRowBase(size_t rows);
+
+/// Total payload size of a [rows, cols] quantized shard.
+size_t QuantizedShardPayloadSize(size_t rows, size_t cols);
+
+/// Builds a quantized shard payload from f32 row chunks, quantizing each
+/// row on append. Same streaming contract as EmbeddingShardWriter: declare
+/// the shape up front, append chunks in order, Finish() checks every row
+/// arrived.
+class QuantizedShardWriter {
+ public:
+  QuantizedShardWriter(size_t rows, size_t cols);
+
+  /// Quantizes and appends `chunk.rows()` consecutive records;
+  /// chunk.cols() must match.
+  void AppendRows(const Matrix& chunk);
+
+  size_t rows_appended() const { return appended_; }
+
+  /// The finished payload; AGNN_CHECKs that all declared rows arrived.
+  std::string Finish() &&;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  size_t appended_ = 0;
+  std::string buffer_;  // full payload, filled in place
+};
+
+/// Zero-copy view over a quantized shard payload. Open validates the header
+/// only; row reads fault in exactly the pages they touch. The backing
+/// memory must outlive the reader.
+class QuantizedShardReader {
+ public:
+  QuantizedShardReader() = default;
+
+  /// Validates magic, version, header CRC, stride/row/size consistency, and
+  /// float alignment of the scale table. Does not touch table or row pages.
+  static StatusOr<QuantizedShardReader> Open(std::string_view payload);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t stride_bytes() const { return stride_; }
+
+  float scale(size_t r) const;
+  int32_t zero_point(size_t r) const;
+  /// Pointer to the packed int8 record of row `r` (cols bytes).
+  const int8_t* RowData(size_t r) const;
+
+  /// Dequantizes row `r` into `out` (cols floats).
+  void DequantizeRowTo(size_t r, float* out) const;
+
+  /// Materializes the whole shard as a resident dequantized [rows, cols]
+  /// matrix.
+  Matrix ReadAllDequantized() const;
+
+ private:
+  const char* data_ = nullptr;  // payload base; header at [0, 64)
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+  size_t row_base_ = 0;
+};
+
+}  // namespace agnn::io
+
+#endif  // AGNN_IO_QUANTIZED_SHARD_H_

@@ -71,6 +71,23 @@ Matrix Linear::ForwardInference(const Matrix& x, Workspace* ws) const {
   return out;
 }
 
+Matrix Linear::ForwardInferenceQuantized(const Matrix& x,
+                                         const QuantizedWeight& qw,
+                                         QuantScratch* scratch,
+                                         Workspace* ws) const {
+  AGNN_CHECK_EQ(x.cols(), in_features_);
+  AGNN_CHECK_EQ(qw.rows, in_features_);
+  AGNN_CHECK_EQ(qw.cols, out_features_);
+  Matrix out = ws->Take(x.rows(), out_features_);
+  QuantizedGemmInto(x, qw, scratch, &out);
+  if (bias_) fn::AddRowBroadcastInto(out, bias_->value(), &out);
+  return out;
+}
+
+QuantizedWeight Linear::QuantizeWeight() const {
+  return QuantizeWeightPerColumn(weight_->value());
+}
+
 Embedding::Embedding(size_t count, size_t dim, Rng* rng, float init_scale)
     : count_(count), dim_(dim) {
   table_ =
@@ -121,6 +138,31 @@ Matrix Mlp::ForwardInference(const Matrix& x, Workspace* ws) const {
     ActivateInPlace(&h, is_last ? output_activation_ : hidden_activation_);
   }
   return h;
+}
+
+Matrix Mlp::ForwardInferenceQuantized(const Matrix& x,
+                                      const std::vector<QuantizedWeight>& qws,
+                                      QuantScratch* scratch,
+                                      Workspace* ws) const {
+  AGNN_CHECK_EQ(qws.size(), layers_.size());
+  Matrix h = layers_[0]->ForwardInferenceQuantized(x, qws[0], scratch, ws);
+  ActivateInPlace(&h, layers_.size() == 1 ? output_activation_
+                                          : hidden_activation_);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    Matrix next = layers_[i]->ForwardInferenceQuantized(h, qws[i], scratch, ws);
+    ws->Give(std::move(h));
+    h = std::move(next);
+    const bool is_last = (i + 1 == layers_.size());
+    ActivateInPlace(&h, is_last ? output_activation_ : hidden_activation_);
+  }
+  return h;
+}
+
+std::vector<QuantizedWeight> Mlp::QuantizeWeights() const {
+  std::vector<QuantizedWeight> qws;
+  qws.reserve(layers_.size());
+  for (const auto& layer : layers_) qws.push_back(layer->QuantizeWeight());
+  return qws;
 }
 
 }  // namespace agnn::nn

@@ -5,6 +5,7 @@
 
 #include "agnn/autograd/ops.h"
 #include "agnn/nn/module.h"
+#include "agnn/tensor/quantized.h"
 #include "agnn/tensor/workspace.h"
 
 namespace agnn::nn {
@@ -33,6 +34,15 @@ class Linear : public Module {
   /// Tape-free eval forward, bitwise-identical to Forward's value. The
   /// result is Taken from `ws`; the caller Gives it back when done.
   Matrix ForwardInference(const Matrix& x, Workspace* ws) const;
+
+  /// Serving-only int8 variant (DESIGN.md §15): the GEMM runs through
+  /// QuantizedGemmInto over `qw` (this layer's weight, quantized once via
+  /// QuantizeWeight); the bias add stays f32. Never called during training.
+  Matrix ForwardInferenceQuantized(const Matrix& x, const QuantizedWeight& qw,
+                                   QuantScratch* scratch, Workspace* ws) const;
+
+  /// Per-column symmetric int8 snapshot of the current weight.
+  QuantizedWeight QuantizeWeight() const;
 
   size_t in_features() const { return in_features_; }
   size_t out_features() const { return out_features_; }
@@ -81,6 +91,16 @@ class Mlp : public Module {
 
   /// Tape-free eval forward, bitwise-identical to Forward's value.
   Matrix ForwardInference(const Matrix& x, Workspace* ws) const;
+
+  /// Serving-only int8 variant: each layer's GEMM routed through its
+  /// quantized weight (`qws` from QuantizeWeights, one per layer);
+  /// activations stay f32 between layers.
+  Matrix ForwardInferenceQuantized(const Matrix& x,
+                                   const std::vector<QuantizedWeight>& qws,
+                                   QuantScratch* scratch, Workspace* ws) const;
+
+  /// Per-column symmetric int8 snapshots of every layer weight, in order.
+  std::vector<QuantizedWeight> QuantizeWeights() const;
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;

@@ -375,6 +375,54 @@ void SoftplusGradAcc(float* dst, const float* g, const float* x, size_t n) {
   }
 }
 
+void GemmInt8NN(const int8_t* a, const int8_t* b, int32_t* out, size_t m,
+                size_t k, size_t n, bool accumulate) {
+  for (size_t i = 0; i < m; ++i) {
+    int32_t* out_row = out + i * n;
+    if (!accumulate) std::memset(out_row, 0, n * sizeof(int32_t));
+    for (size_t p = 0; p < k; ++p) {
+      const int32_t av = static_cast<int32_t>(a[i * k + p]);
+      const int8_t* b_row = b + p * n;
+      for (size_t j = 0; j < n; ++j) {
+        out_row[j] += av * static_cast<int32_t>(b_row[j]);
+      }
+    }
+  }
+}
+
+void QuantizeRowAffine(const float* x, size_t n, int8_t* q, float* scale,
+                       int32_t* zero_point) {
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  const float range = hi - lo;
+  float s = 1.0f;
+  int32_t zp = 0;
+  if (range > 0.0f) {
+    s = range / 255.0f;
+    zp = static_cast<int32_t>(std::lround(-128.0 - lo / s));
+    zp = std::clamp(zp, -128, 127);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t v =
+        static_cast<int32_t>(std::lround(x[i] / s)) + zp;
+    q[i] = static_cast<int8_t>(std::clamp(v, -128, 127));
+  }
+  *scale = s;
+  *zero_point = zp;
+}
+
+void DequantizeRowAffine(const int8_t* q, size_t n, float scale,
+                         int32_t zero_point, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = scale * static_cast<float>(static_cast<int32_t>(q[i]) -
+                                        zero_point);
+  }
+}
+
 void SgdStep(float* w, const float* g, size_t n, float lr,
              float weight_decay) {
   for (size_t i = 0; i < n; ++i) {

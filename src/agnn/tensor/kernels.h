@@ -2,6 +2,7 @@
 #define AGNN_TENSOR_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace agnn::kernels {
 
@@ -42,6 +43,33 @@ void GemmNNSparseA(const float* a, const float* b, float* out, size_t m,
 /// access). Used for the dW = a^T g backward of sparse matmuls.
 void GemmTNSparseA(const float* a, const float* b, float* out, size_t m,
                    size_t k, size_t n, bool accumulate);
+
+// -- Quantized serving kernels (DESIGN.md §15) -----------------------------
+//
+// int8 kernels for the serving-only quantized path. They are never reached
+// during training: the §8 bitwise-neutrality contract covers the float
+// kernels above, while these run only under ForwardInference /
+// PredictBatchInto when a session was opened at Precision kInt8.
+
+/// out[m,n] (+)= sum_k a[m,k] * b[k,n], int8 operands accumulated in int32
+/// (exact — no rounding happens in integer accumulation; the k-ascending
+/// order mirrors the float GEMMs' documented contract anyway).
+void GemmInt8NN(const int8_t* a, const int8_t* b, int32_t* out, size_t m,
+                size_t k, size_t n, bool accumulate);
+
+/// Asymmetric per-row quantization of `x` (n floats) into int8:
+///   lo = min(0, min_i x), hi = max(0, max_i x)
+///   scale = (hi - lo) / 255                (1.0 for an all-zero row)
+///   zp    = clamp(lround(-128 - lo/scale), -128, 127)
+///   q_i   = clamp(lround(x_i/scale) + zp, -128, 127)
+/// Zero is always exactly representable (x == 0 maps to q == zp), and the
+/// rounding mode is std::lround, i.e. half away from zero.
+void QuantizeRowAffine(const float* x, size_t n, int8_t* q, float* scale,
+                       int32_t* zero_point);
+
+/// Inverse map out_i = scale * (q_i - zero_point).
+void DequantizeRowAffine(const int8_t* q, size_t n, float scale,
+                         int32_t zero_point, float* out);
 
 // -- Transpose -------------------------------------------------------------
 

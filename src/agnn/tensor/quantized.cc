@@ -1,0 +1,71 @@
+#include "agnn/tensor/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agnn/common/logging.h"
+#include "agnn/tensor/kernels.h"
+
+namespace agnn {
+
+QuantizedWeight QuantizeWeightPerColumn(const Matrix& w) {
+  QuantizedWeight qw;
+  qw.rows = w.rows();
+  qw.cols = w.cols();
+  qw.q.resize(qw.rows * qw.cols);
+  qw.scales.assign(qw.cols, 1.0f);
+  qw.col_sums.assign(qw.cols, 0);
+  for (size_t j = 0; j < qw.cols; ++j) {
+    float peak = 0.0f;
+    for (size_t i = 0; i < qw.rows; ++i) {
+      peak = std::max(peak, std::fabs(w.At(i, j)));
+    }
+    if (peak > 0.0f) qw.scales[j] = peak / 127.0f;
+  }
+  for (size_t i = 0; i < qw.rows; ++i) {
+    for (size_t j = 0; j < qw.cols; ++j) {
+      const int32_t v = static_cast<int32_t>(
+          std::lround(w.At(i, j) / qw.scales[j]));
+      const int8_t q = static_cast<int8_t>(std::clamp(v, -127, 127));
+      qw.q[i * qw.cols + j] = q;
+      qw.col_sums[j] += q;
+    }
+  }
+  return qw;
+}
+
+void QuantizedGemmInto(const Matrix& a, const QuantizedWeight& w,
+                       QuantScratch* scratch, Matrix* out) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = w.cols;
+  AGNN_CHECK_EQ(k, w.rows);
+  AGNN_CHECK_EQ(out->rows(), m);
+  AGNN_CHECK_EQ(out->cols(), n);
+  AGNN_CHECK(out->data() != a.data());
+
+  scratch->lhs.resize(m * k);
+  scratch->row_scales.resize(m);
+  scratch->row_zero_points.resize(m);
+  scratch->acc.resize(m * n);
+
+  for (size_t i = 0; i < m; ++i) {
+    kernels::QuantizeRowAffine(a.Row(i), k, scratch->lhs.data() + i * k,
+                               &scratch->row_scales[i],
+                               &scratch->row_zero_points[i]);
+  }
+  kernels::GemmInt8NN(scratch->lhs.data(), w.q.data(), scratch->acc.data(),
+                      m, k, n, /*accumulate=*/false);
+  for (size_t i = 0; i < m; ++i) {
+    const float row_scale = scratch->row_scales[i];
+    const int32_t zp = scratch->row_zero_points[i];
+    const int32_t* acc_row = scratch->acc.data() + i * n;
+    float* out_row = out->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      out_row[j] = row_scale * w.scales[j] *
+                   static_cast<float>(acc_row[j] - zp * w.col_sums[j]);
+    }
+  }
+}
+
+}  // namespace agnn

@@ -1,0 +1,54 @@
+#ifndef AGNN_TENSOR_QUANTIZED_H_
+#define AGNN_TENSOR_QUANTIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agnn/tensor/matrix.h"
+
+namespace agnn {
+
+// Quantized-weight GEMM support for the serving-only int8 path
+// (DESIGN.md §15). Weights are quantized once per session (static,
+// per-column symmetric); activations are quantized per call (dynamic,
+// per-row affine, kernels::QuantizeRowAffine). Nothing here is reachable
+// from training code — the §8 bitwise contracts are on the float kernels.
+
+/// A weight matrix W [k, n] quantized per column with symmetric scales:
+///   scales[j]  = max_i |W[i,j]| / 127   (1.0 for an all-zero column)
+///   q[i,j]     = clamp(lround(W[i,j] / scales[j]), -127, 127)
+/// The zero-point is 0 by construction; col_sums[j] = sum_i q[i,j] is
+/// precomputed for the activation-zero-point correction in
+/// QuantizedGemmInto.
+struct QuantizedWeight {
+  size_t rows = 0;  ///< k (input features)
+  size_t cols = 0;  ///< n (output features)
+  std::vector<int8_t> q;          ///< row-major [rows, cols]
+  std::vector<float> scales;      ///< [cols]
+  std::vector<int32_t> col_sums;  ///< [cols]
+};
+
+QuantizedWeight QuantizeWeightPerColumn(const Matrix& w);
+
+/// Reusable integer buffers for the dynamic-activation side of a quantized
+/// GEMM. The float Workspace pools only float matrices, so the quantized
+/// path owns its scratch here; buffers grow to the high-water mark once and
+/// are then reused allocation-free.
+struct QuantScratch {
+  std::vector<int8_t> lhs;              // quantized activation rows [m, k]
+  std::vector<float> row_scales;        // [m]
+  std::vector<int32_t> row_zero_points; // [m]
+  std::vector<int32_t> acc;             // int32 accumulator [m, n]
+};
+
+/// out = a · W at int8: `a` [m, k] is quantized per row on the fly, the
+/// int8×int8→int32 GEMM runs, and the result is dequantized through the
+/// exact affine identity
+///   out[i,j] = row_scale[i] * scales[j] * (acc[i,j] - zp[i] * col_sums[j])
+/// `out` must be [m, w.cols] and must not alias `a`.
+void QuantizedGemmInto(const Matrix& a, const QuantizedWeight& w,
+                       QuantScratch* scratch, Matrix* out);
+
+}  // namespace agnn
+
+#endif  // AGNN_TENSOR_QUANTIZED_H_

@@ -1,0 +1,293 @@
+// Quantized serving path (DESIGN.md §15): int8 export/serve round trips,
+// the lazy==resident bitwise contract at int8, the accuracy gate against
+// the f32 session, precision-mismatch NotFound in both directions, the
+// corrupted-shard Status paths, and an explicit f32 regression pin — the
+// int8 code must not move a single f32-served bit.
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/core/inference_session.h"
+#include "agnn/core/serving_checkpoint.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/io/checkpoint.h"
+#include "agnn/io/embedding_shard.h"
+#include "agnn/io/mapped_file.h"
+#include "agnn/io/quantized_shard.h"
+
+namespace agnn::core {
+namespace {
+
+using data::Dataset;
+
+const Dataset& TinyDataset() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+    config.num_users = 40;
+    config.num_items = 60;
+    config.num_ratings = 600;
+    return new Dataset(GenerateSynthetic(config, 11));
+  }();
+  return *ds;
+}
+
+AgnnConfig TinyConfig() {
+  AgnnConfig config;
+  config.embedding_dim = 8;
+  config.num_neighbors = 4;
+  config.vae_hidden_dim = 8;
+  config.prediction_hidden_dim = 8;
+  return config;
+}
+
+struct ColdFlags {
+  std::vector<bool> users;
+  std::vector<bool> items;
+};
+
+ColdFlags MakeColdFlags() {
+  ColdFlags flags;
+  flags.users.assign(TinyDataset().num_users, false);
+  flags.items.assign(TinyDataset().num_items, false);
+  flags.users[1] = true;
+  flags.items[6] = true;
+  return flags;
+}
+
+ServingCatalog MakeCatalog(const ColdFlags& flags) {
+  ServingCatalog catalog;
+  catalog.num_users = TinyDataset().num_users;
+  catalog.num_items = TinyDataset().num_items;
+  catalog.cold_users = &flags.users;
+  catalog.cold_items = &flags.items;
+  catalog.attrs = [](bool user_side, size_t begin, size_t count) {
+    const auto& table =
+        user_side ? TinyDataset().user_attrs : TinyDataset().item_attrs;
+    std::vector<std::vector<size_t>> out(count);
+    for (size_t i = 0; i < count; ++i) out[i] = table[begin + i];
+    return out;
+  };
+  return catalog;
+}
+
+struct Requests {
+  std::vector<size_t> user_ids;
+  std::vector<size_t> item_ids;
+  std::vector<size_t> user_neighbors;
+  std::vector<size_t> item_neighbors;
+};
+
+Requests MakeRequests(size_t neighbors) {
+  Requests r;
+  r.user_ids = {0, 1, 2, 3, 4, TinyDataset().num_users - 1};
+  r.item_ids = {5, 7, 6, 6, 8, TinyDataset().num_items - 1};
+  for (size_t i = 0; i < r.user_ids.size() * neighbors; ++i) {
+    r.user_neighbors.push_back((i * 7) % TinyDataset().num_users);
+    r.item_neighbors.push_back((i * 5) % TinyDataset().num_items);
+  }
+  return r;
+}
+
+std::vector<float> Serve(InferenceSession* session, const Requests& r) {
+  std::vector<float> out;
+  session->PredictBatch(r.user_ids, r.item_ids, r.user_neighbors,
+                        r.item_neighbors, &out);
+  return out;
+}
+
+// Exports TinyDataset's model at `precision` and returns the path.
+std::string ExportAt(const AgnnModel& model, const ColdFlags& flags,
+                     ServingPrecision precision, const std::string& tag) {
+  const std::string path =
+      ::testing::TempDir() + "/quantized_serving_" + tag + ".ckpt";
+  Status s =
+      ExportServingCheckpoint(model, MakeCatalog(flags), path, precision);
+  AGNN_CHECK(s.ok()) << s.ToString();
+  return path;
+}
+
+TEST(QuantizedServingTest, Int8ExportCarriesOnlyQuantizedSections) {
+  Rng rng(1);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  const std::string path =
+      ExportAt(model, flags, ServingPrecision::kInt8, "sections");
+
+  StatusOr<io::CheckpointReader> reader = io::CheckpointReader::ReadFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->HasSection(io::kSectionServingMeta));
+  EXPECT_TRUE(reader->HasSection(io::kSectionServingParams));
+  EXPECT_TRUE(reader->HasSection(io::kSectionUserEmbeddingsQ8));
+  EXPECT_TRUE(reader->HasSection(io::kSectionItemEmbeddingsQ8));
+  EXPECT_FALSE(reader->HasSection(io::kSectionUserEmbeddings));
+  EXPECT_FALSE(reader->HasSection(io::kSectionItemEmbeddings));
+}
+
+TEST(QuantizedServingTest, LazyAndResidentInt8MatchBitwise) {
+  Rng rng(2);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  const std::string path =
+      ExportAt(model, flags, ServingPrecision::kInt8, "lazy_resident");
+
+  InferenceSession::ServingOptions resident;
+  resident.precision = ServingPrecision::kInt8;
+  StatusOr<std::unique_ptr<InferenceSession>> resident_session =
+      InferenceSession::FromServingCheckpoint(path, resident);
+  ASSERT_TRUE(resident_session.ok()) << resident_session.status().ToString();
+  EXPECT_EQ((*resident_session)->precision(), ServingPrecision::kInt8);
+
+  InferenceSession::ServingOptions lazy;
+  lazy.lazy = true;
+  lazy.cache_rows = 8;  // far smaller than the catalog: evictions happen
+  lazy.precision = ServingPrecision::kInt8;
+  StatusOr<std::unique_ptr<InferenceSession>> lazy_session =
+      InferenceSession::FromServingCheckpoint(path, lazy);
+  ASSERT_TRUE(lazy_session.ok()) << lazy_session.status().ToString();
+  ASSERT_NE((*lazy_session)->lazy_user_store(), nullptr);
+
+  const Requests r = MakeRequests(model.neighbors_per_node());
+  const std::vector<float> from_resident = Serve(resident_session->get(), r);
+  const std::vector<float> from_lazy = Serve(lazy_session->get(), r);
+  EXPECT_EQ(from_resident, from_lazy);
+  // Byte-stable across cache churn, like the f32 lazy contract.
+  EXPECT_EQ(Serve(lazy_session->get(), r), from_lazy);
+  EXPECT_GT((*lazy_session)->lazy_user_store()->misses(), 0u);
+  for (float p : from_resident) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(QuantizedServingTest, Int8TracksTheF32SessionWithinTolerance) {
+  Rng rng(3);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  const std::string f32_path =
+      ExportAt(model, flags, ServingPrecision::kF32, "tol_f32");
+  const std::string int8_path =
+      ExportAt(model, flags, ServingPrecision::kInt8, "tol_int8");
+
+  InferenceSession::ServingOptions f32_options;
+  StatusOr<std::unique_ptr<InferenceSession>> f32_session =
+      InferenceSession::FromServingCheckpoint(f32_path, f32_options);
+  ASSERT_TRUE(f32_session.ok());
+  InferenceSession::ServingOptions int8_options;
+  int8_options.precision = ServingPrecision::kInt8;
+  StatusOr<std::unique_ptr<InferenceSession>> int8_session =
+      InferenceSession::FromServingCheckpoint(int8_path, int8_options);
+  ASSERT_TRUE(int8_session.ok());
+
+  const Requests r = MakeRequests(model.neighbors_per_node());
+  const std::vector<float> f32_pred = Serve(f32_session->get(), r);
+  const std::vector<float> int8_pred = Serve(int8_session->get(), r);
+  ASSERT_EQ(f32_pred.size(), int8_pred.size());
+  size_t exact = 0;
+  for (size_t i = 0; i < f32_pred.size(); ++i) {
+    // The §15 accuracy gate: a quantized rating stays within 0.25 of the
+    // f32 path on the 1-5 scale (train_cli enforces the same bound).
+    EXPECT_LE(std::fabs(f32_pred[i] - int8_pred[i]), 0.25f) << "pair " << i;
+    if (f32_pred[i] == int8_pred[i]) ++exact;
+  }
+  // ... and it IS a lossy path: bit-identical everywhere would mean the
+  // int8 GEMMs are not actually running.
+  EXPECT_LT(exact, f32_pred.size());
+}
+
+TEST(QuantizedServingTest, PrecisionMismatchIsNotFoundBothWays) {
+  Rng rng(4);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  const std::string f32_path =
+      ExportAt(model, flags, ServingPrecision::kF32, "mismatch_f32");
+  const std::string int8_path =
+      ExportAt(model, flags, ServingPrecision::kInt8, "mismatch_int8");
+
+  for (const bool lazy : {false, true}) {
+    InferenceSession::ServingOptions want_int8;
+    want_int8.lazy = lazy;
+    want_int8.precision = ServingPrecision::kInt8;
+    StatusOr<std::unique_ptr<InferenceSession>> a =
+        InferenceSession::FromServingCheckpoint(f32_path, want_int8);
+    EXPECT_FALSE(a.ok());
+    EXPECT_EQ(a.status().code(), StatusCode::kNotFound)
+        << a.status().ToString();
+
+    InferenceSession::ServingOptions want_f32;
+    want_f32.lazy = lazy;
+    StatusOr<std::unique_ptr<InferenceSession>> b =
+        InferenceSession::FromServingCheckpoint(int8_path, want_f32);
+    EXPECT_FALSE(b.ok());
+    EXPECT_EQ(b.status().code(), StatusCode::kNotFound)
+        << b.status().ToString();
+  }
+}
+
+TEST(QuantizedServingTest, CorruptQuantizedShardIsRejected) {
+  Rng rng(5);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  const std::string path =
+      ExportAt(model, flags, ServingPrecision::kInt8, "corrupt");
+
+  // Flip a byte inside the user Q8 shard's CRC-guarded header.
+  std::string bytes;
+  {
+    StatusOr<io::MappedFile> mapped = io::MappedFile::Open(path);
+    ASSERT_TRUE(mapped.ok());
+    StatusOr<io::CheckpointIndex> index =
+        io::ParseCheckpointIndex(mapped->view());
+    ASSERT_TRUE(index.ok());
+    const io::SectionIndexEntry* entry =
+        index->Find(io::kSectionUserEmbeddingsQ8);
+    ASSERT_NE(entry, nullptr);
+    bytes = std::string(mapped->view());
+    bytes[entry->offset + 16] ^= 0x01;  // rows field, CRC-covered
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  for (const bool lazy : {false, true}) {
+    InferenceSession::ServingOptions options;
+    options.lazy = lazy;
+    options.precision = ServingPrecision::kInt8;
+    StatusOr<std::unique_ptr<InferenceSession>> session =
+        InferenceSession::FromServingCheckpoint(path, options);
+    EXPECT_FALSE(session.ok()) << (lazy ? "lazy" : "resident");
+  }
+}
+
+TEST(QuantizedServingTest, F32PathIsBitwiseUnchangedByTheInt8Code) {
+  // Regression pin for the serving-only boundary: a default-precision
+  // session must report kF32, never allocate quantized state, and serve
+  // the exact bits of the model-backed session — the int8 feature cannot
+  // perturb the §13 contract.
+  Rng rng(6);
+  AgnnModel model(TinyConfig(), TinyDataset(), 3.6f, &rng);
+  ColdFlags flags = MakeColdFlags();
+  const std::string path =
+      ExportAt(model, flags, ServingPrecision::kF32, "f32_regression");
+
+  InferenceSession model_session(model, &flags.users, &flags.items);
+  EXPECT_EQ(model_session.precision(), ServingPrecision::kF32);
+
+  for (const bool lazy : {false, true}) {
+    InferenceSession::ServingOptions options;
+    options.lazy = lazy;
+    options.cache_rows = 8;
+    StatusOr<std::unique_ptr<InferenceSession>> session =
+        InferenceSession::FromServingCheckpoint(path, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_EQ((*session)->precision(), ServingPrecision::kF32);
+    const Requests r = MakeRequests(model.neighbors_per_node());
+    EXPECT_EQ(Serve(session->get(), r), Serve(&model_session, r))
+        << (lazy ? "lazy" : "resident");
+  }
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -1,0 +1,209 @@
+// Quantized serving kernels (DESIGN.md §15): per-row affine activation
+// quantization round-trip error bounds, the int8 GEMM against an exact
+// integer reference, per-column weight quantization invariants, and the
+// full QuantizedGemmInto dequantization identity against both the float
+// GEMM (within the derivable error bound) and a bit-exact integer replay.
+
+#include "agnn/tensor/quantized.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/common/rng.h"
+#include "agnn/tensor/kernels.h"
+#include "agnn/tensor/matrix.h"
+
+namespace agnn {
+namespace {
+
+TEST(QuantizeRowAffineTest, RoundTripErrorBoundedByHalfScale) {
+  Rng rng(7);
+  const Matrix row = Matrix::RandomNormal(1, 64, 0.1f, 2.0f, &rng);
+  std::vector<int8_t> q(64);
+  float scale = 0.0f;
+  int32_t zp = 0;
+  kernels::QuantizeRowAffine(row.data(), 64, q.data(), &scale, &zp);
+  ASSERT_GT(scale, 0.0f);
+  std::vector<float> back(64);
+  kernels::DequantizeRowAffine(q.data(), 64, scale, zp, back.data());
+  for (size_t i = 0; i < 64; ++i) {
+    // Round-to-nearest: each element lands within half a quantization step
+    // (a whisker of float slack on top for the divide/multiply round trip).
+    EXPECT_LE(std::fabs(back[i] - row.data()[i]), scale * 0.5f + 1e-6f)
+        << "element " << i;
+  }
+}
+
+TEST(QuantizeRowAffineTest, ZeroIsExactlyRepresentable) {
+  const float x[4] = {-1.5f, 0.0f, 2.5f, 0.0f};
+  int8_t q[4];
+  float scale = 0.0f;
+  int32_t zp = 0;
+  kernels::QuantizeRowAffine(x, 4, q, &scale, &zp);
+  float back[4];
+  kernels::DequantizeRowAffine(q, 4, scale, zp, back);
+  EXPECT_EQ(back[1], 0.0f);
+  EXPECT_EQ(back[3], 0.0f);
+}
+
+TEST(QuantizeRowAffineTest, AllZeroRowUsesIdentityScale) {
+  const float x[3] = {0.0f, 0.0f, 0.0f};
+  int8_t q[3];
+  float scale = 0.0f;
+  int32_t zp = 0;
+  kernels::QuantizeRowAffine(x, 3, q, &scale, &zp);
+  EXPECT_EQ(scale, 1.0f);
+  EXPECT_EQ(zp, 0);
+  for (int8_t v : q) EXPECT_EQ(v, 0);
+}
+
+TEST(QuantizeRowAffineTest, OneSidedRowsKeepZeroInRange) {
+  // The range is [min(x,0), max(x,0)], so an all-positive row still encodes
+  // 0.0 exactly (zero-point pinned at the low end of the int8 range).
+  const float pos[3] = {0.5f, 1.0f, 2.0f};
+  int8_t q[3];
+  float scale = 0.0f;
+  int32_t zp = 0;
+  kernels::QuantizeRowAffine(pos, 3, q, &scale, &zp);
+  EXPECT_EQ(zp, -128);
+  float back[3];
+  kernels::DequantizeRowAffine(q, 3, scale, zp, back);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(std::fabs(back[i] - pos[i]), scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(GemmInt8Test, MatchesIntegerReferenceExactly) {
+  Rng rng(13);
+  const size_t m = 5, k = 9, n = 7;
+  std::vector<int8_t> a(m * k), b(k * n);
+  for (auto& v : a) {
+    v = static_cast<int8_t>(static_cast<int>(rng.UniformInt(255)) - 127);
+  }
+  for (auto& v : b) {
+    v = static_cast<int8_t>(static_cast<int>(rng.UniformInt(255)) - 127);
+  }
+  std::vector<int32_t> out(m * n, 123);
+  kernels::GemmInt8NN(a.data(), b.data(), out.data(), m, k, n,
+                      /*accumulate=*/false);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      int32_t want = 0;
+      for (size_t p = 0; p < k; ++p) {
+        want += static_cast<int32_t>(a[i * k + p]) *
+                static_cast<int32_t>(b[p * n + j]);
+      }
+      EXPECT_EQ(out[i * n + j], want) << "(" << i << "," << j << ")";
+    }
+  }
+  // accumulate=true adds on top of the existing values.
+  std::vector<int32_t> doubled = out;
+  kernels::GemmInt8NN(a.data(), b.data(), doubled.data(), m, k, n,
+                      /*accumulate=*/true);
+  for (size_t i = 0; i < m * n; ++i) EXPECT_EQ(doubled[i], 2 * out[i]);
+}
+
+TEST(QuantizeWeightPerColumnTest, ScalesColSumsAndZeroColumns) {
+  Matrix w = Matrix::Zeros(3, 3);
+  // Column 0: peak 2.54; column 1: all zero; column 2: peak 1.27.
+  w.At(0, 0) = 2.54f;
+  w.At(1, 0) = -1.27f;
+  w.At(0, 2) = -1.27f;
+  w.At(2, 2) = 0.635f;
+  const QuantizedWeight qw = QuantizeWeightPerColumn(w);
+  EXPECT_EQ(qw.rows, 3u);
+  EXPECT_EQ(qw.cols, 3u);
+  EXPECT_FLOAT_EQ(qw.scales[0], 2.54f / 127.0f);
+  EXPECT_FLOAT_EQ(qw.scales[1], 1.0f);  // all-zero column: identity scale
+  EXPECT_FLOAT_EQ(qw.scales[2], 1.27f / 127.0f);
+  EXPECT_EQ(qw.q[0 * 3 + 0], 127);  // the column peak hits +/-127 exactly
+  EXPECT_EQ(qw.q[1 * 3 + 0], -64);  // lround(-1.27 / 0.02) = -64 (half away)
+  EXPECT_EQ(qw.q[0 * 3 + 2], -127);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(qw.q[i * 3 + 1], 0);
+  for (size_t j = 0; j < 3; ++j) {
+    int32_t want = 0;
+    for (size_t i = 0; i < 3; ++i) want += qw.q[i * 3 + j];
+    EXPECT_EQ(qw.col_sums[j], want);
+  }
+}
+
+TEST(QuantizedGemmIntoTest, WithinDerivableBoundOfFloatGemm) {
+  Rng rng(29);
+  const size_t m = 6, k = 16, n = 12;
+  const Matrix a = Matrix::RandomNormal(m, k, 0.0f, 1.5f, &rng);
+  const Matrix w = Matrix::RandomNormal(k, n, 0.0f, 0.8f, &rng);
+  const QuantizedWeight qw = QuantizeWeightPerColumn(w);
+
+  Matrix expected = Matrix::Zeros(m, n);
+  a.MatMulInto(w, &expected);
+  Matrix got = Matrix::Zeros(m, n);
+  QuantScratch scratch;
+  QuantizedGemmInto(a, qw, &scratch, &got);
+
+  // Per-element error bound: |a_err| <= row_scale/2, |w_err| <= col_scale/2,
+  // so |out_err[i,j]| <= sum_p (|w|max*rs/2 + |a|max*cs/2 + rs*cs/4).
+  float a_max = 0.0f, w_max = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    a_max = std::max(a_max, std::fabs(a.data()[i]));
+  }
+  for (size_t i = 0; i < w.size(); ++i) {
+    w_max = std::max(w_max, std::fabs(w.data()[i]));
+  }
+  float rs_max = 0.0f, cs_max = 0.0f;
+  for (float s : scratch.row_scales) rs_max = std::max(rs_max, s);
+  for (float s : qw.scales) cs_max = std::max(cs_max, s);
+  const float bound = static_cast<float>(k) *
+                      (w_max * rs_max * 0.5f + a_max * cs_max * 0.5f +
+                       rs_max * cs_max * 0.25f) +
+                      1e-4f;
+  EXPECT_LE(expected.MaxAbsDiff(got), bound);
+  EXPECT_GT(expected.MaxAbsDiff(got), 0.0f);  // it IS lossy — no silent f32
+}
+
+TEST(QuantizedGemmIntoTest, MatchesDequantizationIdentityBitwise) {
+  // Pin the exact arithmetic: quantize the activations with the public
+  // kernel, replay the integer GEMM + affine correction in this test, and
+  // require bit-identical floats from QuantizedGemmInto.
+  Rng rng(31);
+  const size_t m = 4, k = 8, n = 5;
+  const Matrix a = Matrix::RandomNormal(m, k, 0.0f, 1.0f, &rng);
+  const Matrix w = Matrix::RandomNormal(k, n, 0.0f, 1.0f, &rng);
+  const QuantizedWeight qw = QuantizeWeightPerColumn(w);
+  Matrix got = Matrix::Zeros(m, n);
+  QuantScratch scratch;
+  QuantizedGemmInto(a, qw, &scratch, &got);
+
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<int8_t> qrow(k);
+    float rs = 0.0f;
+    int32_t zp = 0;
+    kernels::QuantizeRowAffine(a.Row(i), k, qrow.data(), &rs, &zp);
+    for (size_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (size_t p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(qrow[p]) *
+               static_cast<int32_t>(qw.q[p * n + j]);
+      }
+      const float want =
+          rs * qw.scales[j] * static_cast<float>(acc - zp * qw.col_sums[j]);
+      EXPECT_EQ(got.At(i, j), want) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(QuantizedGemmIntoDeathTest, ChecksShapes) {
+  const Matrix a = Matrix::Ones(2, 4);
+  const QuantizedWeight qw = QuantizeWeightPerColumn(Matrix::Ones(4, 3));
+  QuantScratch scratch;
+  Matrix wrong = Matrix::Zeros(2, 4);
+  EXPECT_DEATH(QuantizedGemmInto(a, qw, &scratch, &wrong), "");
+  Matrix bad_k = Matrix::Zeros(2, 3);
+  const QuantizedWeight qk = QuantizeWeightPerColumn(Matrix::Ones(5, 3));
+  EXPECT_DEATH(QuantizedGemmInto(a, qk, &scratch, &bad_k), "");
+}
+
+}  // namespace
+}  // namespace agnn

@@ -94,6 +94,25 @@ int Validate(const std::string& path) {
       return 1;
     }
   }
+  // Quantized-serving artifacts carry the accuracy gate (DESIGN.md §15):
+  // the f32-vs-int8 accuracy deltas, the Table-2 ordering-preservation
+  // verdict, the artifact/RSS compression ratios, and the f32 bitwise gate
+  // must all be present for the precision trajectory to chart them.
+  if (name->string == "quantized_serving") {
+    const obs::JsonValue& metrics = *root.Find("metrics");
+    for (const char* key :
+         {"precision/rmse_delta", "precision/mae_delta",
+          "precision/ordering_preserved", "artifact/bytes_ratio",
+          "artifact/shard_bytes_ratio", "serve/rss_ratio",
+          "gate/f32_bitwise_equal"}) {
+      const obs::JsonValue* v = metrics.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        std::fprintf(stderr, "%s: quantized artifact missing numeric metric "
+                     "\"%s\"\n", path.c_str(), key);
+        return 1;
+      }
+    }
+  }
   std::printf("%s: ok (name=%s, %zu metrics)\n", path.c_str(),
               name->string.c_str(), root.Find("metrics")->object.size());
   return 0;

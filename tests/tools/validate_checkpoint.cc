@@ -4,13 +4,18 @@
 // training checkpoint's model/params named-parameter payload must decode;
 // a serving checkpoint's serving/params must decode and each embedding
 // shard must sit 64-aligned in the file, carry a valid header, and match
-// its section-table CRC. Registered in ctest behind fixtures that have
-// train_cli emit both artifact kinds, so both emission paths are
-// exercised end-to-end on every test run.
+// its section-table CRC. A serving checkpoint carries exactly one
+// precision's shards — f32 (§13) or int8 (§15) — and a quantized shard is
+// additionally audited row by row: every scale finite and positive, every
+// zero-point inside the int8 range. Registered in ctest behind fixtures
+// that have train_cli emit all three artifact kinds (training, f32
+// serving, int8 serving), so every emission path is exercised end-to-end
+// on every test run.
 //
 // Usage: validate_checkpoint <path> [<path>...]; exits non-zero with a
 // message on the first invalid artifact.
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,6 +23,7 @@
 #include "agnn/io/checkpoint.h"
 #include "agnn/io/embedding_shard.h"
 #include "agnn/io/mapped_file.h"
+#include "agnn/io/quantized_shard.h"
 
 namespace agnn::io {
 namespace {
@@ -84,6 +90,59 @@ int ValidateShard(const std::string& path, const MappedFile& mapped,
   return 0;
 }
 
+/// Quantized-shard audit (DESIGN.md §15): position, header, payload CRC,
+/// plus the per-row quantization tables — a scale must be finite and
+/// positive (dequantization multiplies by it) and a zero-point must fit
+/// int8 (it is stored as one).
+int ValidateQuantizedShard(const std::string& path, const MappedFile& mapped,
+                           const CheckpointIndex& index, const char* name) {
+  const SectionIndexEntry* entry = index.Find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "%s: missing shard section '%s'\n", path.c_str(),
+                 name);
+    return 1;
+  }
+  if (entry->offset % kShardAlignment != 0) {
+    std::fprintf(stderr,
+                 "%s: shard '%s' starts at offset %zu, not %zu-aligned\n",
+                 path.c_str(), name, entry->offset, kShardAlignment);
+    return 1;
+  }
+  const std::string_view payload =
+      mapped.view().substr(entry->offset, entry->length);
+  StatusOr<QuantizedShardReader> shard = QuantizedShardReader::Open(payload);
+  if (!shard.ok()) {
+    std::fprintf(stderr, "%s: shard '%s' header invalid: %s\n", path.c_str(),
+                 name, shard.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = VerifyShardCrc(payload, entry->crc); !s.ok()) {
+    std::fprintf(stderr, "%s: shard '%s': %s\n", path.c_str(), name,
+                 s.ToString().c_str());
+    return 1;
+  }
+  for (size_t r = 0; r < shard->rows(); ++r) {
+    const float scale = shard->scale(r);
+    if (!std::isfinite(scale) || scale <= 0.0f) {
+      std::fprintf(stderr, "%s: shard '%s' row %zu has invalid scale %g\n",
+                   path.c_str(), name, r, static_cast<double>(scale));
+      return 1;
+    }
+    const int32_t zp = shard->zero_point(r);
+    if (zp < -128 || zp > 127) {
+      std::fprintf(stderr,
+                   "%s: shard '%s' row %zu zero-point %d outside int8\n",
+                   path.c_str(), name, r, zp);
+      return 1;
+    }
+  }
+  std::printf("  q8 shard %-18s %zu rows x %zu cols, stride %zu B, "
+              "offset %zu (64-aligned, CRC ok, scales/zps valid)\n",
+              name, shard->rows(), shard->cols(), shard->stride_bytes(),
+              entry->offset);
+  return 0;
+}
+
 int ValidateServing(const std::string& path, const CheckpointReader& reader) {
   if (!reader.HasSection(kSectionServingParams)) {
     std::fprintf(stderr, "%s: missing section '%s'\n", path.c_str(),
@@ -105,6 +164,29 @@ int ValidateServing(const std::string& path, const CheckpointReader& reader) {
     std::fprintf(stderr, "%s: index parse failed: %s\n", path.c_str(),
                  index.status().ToString().c_str());
     return 1;
+  }
+  // Exactly one precision's shard sections may be present (§15): the f32
+  // pair or the quantized pair, never a mix.
+  const bool has_f32 = reader.HasSection(kSectionUserEmbeddings) ||
+                       reader.HasSection(kSectionItemEmbeddings);
+  const bool has_q8 = reader.HasSection(kSectionUserEmbeddingsQ8) ||
+                      reader.HasSection(kSectionItemEmbeddingsQ8);
+  if (has_f32 == has_q8) {
+    std::fprintf(stderr,
+                 "%s: serving checkpoint must carry exactly one precision's "
+                 "embedding shards (f32: %d, int8: %d)\n",
+                 path.c_str(), has_f32 ? 1 : 0, has_q8 ? 1 : 0);
+    return 1;
+  }
+  if (has_q8) {
+    for (const char* name :
+         {kSectionUserEmbeddingsQ8, kSectionItemEmbeddingsQ8}) {
+      if (int rc = ValidateQuantizedShard(path, *mapped, *index, name);
+          rc != 0) {
+        return rc;
+      }
+    }
+    return 0;
   }
   for (const char* name : {kSectionUserEmbeddings, kSectionItemEmbeddings}) {
     if (int rc = ValidateShard(path, *mapped, *index, name); rc != 0) {
