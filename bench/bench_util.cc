@@ -5,9 +5,11 @@
 #include <cstring>
 #include <map>
 
+#include "agnn/common/logging.h"
 #include "agnn/common/string_util.h"
 #include "agnn/common/table.h"
 #include "agnn/obs/json.h"
+#include "provenance.h"
 
 namespace agnn::bench {
 
@@ -170,6 +172,16 @@ void BenchReporter::Add(const std::string& key, double value) {
   values_.emplace_back(key, value);
 }
 
+obs::TimeSeries* BenchReporter::AddTimeSeries(
+    const std::string& name, const obs::TimeSeries::Options& options) {
+  for (const auto& [existing_name, series] : series_) {
+    AGNN_CHECK(existing_name != name)
+        << "duplicate time series \"" << name << "\"";
+  }
+  series_.emplace_back(name, std::make_unique<obs::TimeSeries>(options));
+  return series_.back().second.get();
+}
+
 std::string BenchReporter::WriteTraceJson() {
   if (trace() == nullptr || trace_written_) return "";
   trace_written_ = true;
@@ -219,11 +231,27 @@ std::string BenchReporter::WriteJson() {
       static_cast<uint64_t>(options_.num_neighbors));
   writer.Key("test_fraction").Value(options_.test_fraction);
   writer.EndObject();
+  // Provenance block (DESIGN.md §16): stamps the run with everything a
+  // cross-commit diff needs — git revision + dirty flag, build facts, seed,
+  // scale, precision, and the on-disk format versions.
+  Provenance provenance = CollectProvenance(options_.seed,
+                                            ScaleName(options_.scale));
+  provenance.precision = precision_;
+  writer.Key("provenance");
+  AppendProvenanceJson(provenance, &writer);
   writer.Key("metrics").BeginObject();
   for (const auto& [key, value] : values_) writer.Key(key).Value(value);
   writer.EndObject();
   writer.Key("registry");
   registry_.AppendJson(&writer);
+  // Time-series sections in AddTimeSeries order; always present (possibly
+  // empty) so readers can rely on the key.
+  writer.Key("series").BeginObject();
+  for (const auto& [series_name, series] : series_) {
+    writer.Key(series_name);
+    series->AppendJson(&writer);
+  }
+  writer.EndObject();
   writer.EndObject();
 
   std::FILE* file = std::fopen(path.c_str(), "w");

@@ -2,7 +2,9 @@
 #define AGNN_BENCH_BENCH_UTIL_H_
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "agnn/common/flags.h"
@@ -10,6 +12,7 @@
 #include "agnn/data/synthetic.h"
 #include "agnn/eval/protocol.h"
 #include "agnn/obs/metrics.h"
+#include "agnn/obs/time_series.h"
 #include "agnn/obs/trace.h"
 
 // Shared plumbing for the table/figure reproduction binaries: flag parsing,
@@ -91,9 +94,12 @@ struct SweepSetting {
 /// (DESIGN.md §10). Scalar results go in via Add() under hierarchical keys
 /// ("ml100k/ics/AGNN/rmse"); runtime metrics (trainer phase timings,
 /// serving latency histograms) ride along by pointing the instrumented
-/// component at registry(). WriteJson() emits
-///   {name, seed, wall_ms, config{...}, metrics{...}, registry{...}}
-/// where wall_ms covers construction to WriteJson().
+/// component at registry(); metric trajectories by pointing it at an
+/// AddTimeSeries() sampler. WriteJson() emits
+///   {name, seed, wall_ms, config{...}, provenance{...}, metrics{...},
+///    registry{...}, series{...}}
+/// where wall_ms covers construction to WriteJson() and provenance stamps
+/// the run for cross-commit diffing (DESIGN.md §16).
 class BenchReporter {
  public:
   BenchReporter(std::string name, const BenchOptions& options);
@@ -104,6 +110,20 @@ class BenchReporter {
 
   /// Registry for instrumenting trainers/sessions inside the bench.
   obs::MetricsRegistry* registry() { return &registry_; }
+
+  /// Creates a reporter-owned time-series sampler emitted under
+  /// `series.<name>` in the artifact (DESIGN.md §16). Wire the returned
+  /// sampler into a trainer (SetTimeSeries) or gateway before the run;
+  /// names must be unique per reporter. The sampler lives until the
+  /// reporter is destroyed.
+  obs::TimeSeries* AddTimeSeries(const std::string& name,
+                                 const obs::TimeSeries::Options& options);
+
+  /// Overrides the provenance block's serving-precision stamp (defaults to
+  /// "f32"); the serving benches set it from their --precision flag.
+  void set_precision(std::string precision) {
+    precision_ = std::move(precision);
+  }
 
   /// Recorder for tracing trainers/sessions inside the bench, or null when
   /// --trace_json is off — callers pass it straight to SetTrace / the
@@ -126,10 +146,15 @@ class BenchReporter {
  private:
   std::string name_;
   BenchOptions options_;
+  std::string precision_ = "f32";
   Stopwatch watch_;
   std::vector<std::pair<std::string, double>> values_;
   obs::MetricsRegistry registry_;
   obs::TraceRecorder trace_recorder_;
+  /// unique_ptr: TimeSeries is move-hostile (probes may capture pointers
+  /// into the owner), so its address must be stable once handed out.
+  std::vector<std::pair<std::string, std::unique_ptr<obs::TimeSeries>>>
+      series_;
   bool trace_written_ = false;
 };
 

@@ -37,6 +37,13 @@ int Main(int argc, char** argv) {
       // With --trace_json the same run also lands in the Chrome trace:
       // epoch → resample/forward/backward/step → per-op spans (§11).
       trainer.SetTrace(reporter.trace());
+      // Time series (§16): one point per epoch — losses, grad-norm mean,
+      // and phase wall times — emitted under
+      // series.<dataset>/<scenario> in the artifact, which is the Fig. 9
+      // curve in machine-checkable form (agnn_inspect series charts it).
+      trainer.SetTimeSeries(reporter.AddTimeSeries(
+          dataset_name + "/" + ScenarioName(scenario),
+          {.capacity = 256, .period = 1.0, .clock = "epoch"}));
       // With --checkpoint_dir the run periodically persists its full
       // training state (§12), so these longer curve runs survive a kill.
       MaybeEnableCheckpointing(options, "fig9",

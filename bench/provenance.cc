@@ -1,0 +1,101 @@
+#include "provenance.h"
+
+#include <cstdio>
+
+#include "agnn/io/checkpoint.h"
+#include "agnn/io/embedding_shard.h"
+#include "agnn/io/quantized_shard.h"
+#include "agnn/obs/json.h"
+
+// Build-time facts injected by bench/CMakeLists.txt; guarded so the file
+// still compiles standalone (everything degrades to unknown).
+#ifndef AGNN_SOURCE_DIR
+#define AGNN_SOURCE_DIR ""
+#endif
+#ifndef AGNN_BUILD_TYPE
+#define AGNN_BUILD_TYPE "unknown"
+#endif
+#ifndef AGNN_CXX_FLAGS
+#define AGNN_CXX_FLAGS ""
+#endif
+
+namespace agnn::bench {
+namespace {
+
+/// Runs `command` through the shell and returns its first output line with
+/// the trailing newline stripped. Returns "" (and sets *ok=false) on any
+/// failure — no shell, command not found, non-zero exit.
+std::string RunCommand(const std::string& command, bool* ok) {
+  *ok = false;
+  std::FILE* pipe = ::popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return "";
+  char buffer[512];
+  std::string first_line;
+  bool first = true;
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    if (first) {
+      first_line = buffer;
+      first = false;
+    }
+    // Drain the rest so the child never blocks on a full pipe.
+  }
+  const int rc = ::pclose(pipe);
+  if (rc != 0) return "";
+  *ok = true;
+  while (!first_line.empty() &&
+         (first_line.back() == '\n' || first_line.back() == '\r')) {
+    first_line.pop_back();
+  }
+  return first_line;
+}
+
+}  // namespace
+
+Provenance CollectProvenance(uint64_t seed, const std::string& scale) {
+  Provenance p;
+  p.seed = seed;
+  p.scale = scale;
+  p.build_type = AGNN_BUILD_TYPE;
+  p.compiler = __VERSION__;
+  p.cxx_flags = AGNN_CXX_FLAGS;
+  p.checkpoint_version = io::kCheckpointVersion;
+  p.shard_version = io::kShardVersion;
+  p.quantized_shard_version = io::kQuantizedShardVersion;
+  const std::string source_dir = AGNN_SOURCE_DIR;
+  if (!source_dir.empty()) {
+    const std::string git = "git -C \"" + source_dir + "\" ";
+    bool ok = false;
+    const std::string sha = RunCommand(git + "rev-parse --short=12 HEAD", &ok);
+    if (ok && !sha.empty()) {
+      p.git_sha = sha;
+      // Dirty = any tracked file modified. Untracked files are ignored:
+      // BENCH_/TRACE_/CKPT_ outputs in the tree must not mark every run
+      // dirty.
+      const std::string status = RunCommand(
+          git + "status --porcelain --untracked-files=no", &ok);
+      p.git_dirty = ok && !status.empty();
+    }
+  }
+  return p;
+}
+
+void AppendProvenanceJson(const Provenance& p, obs::JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("git_sha").Value(p.git_sha);
+  writer->Key("git_dirty").Value(p.git_dirty);
+  writer->Key("build_type").Value(p.build_type);
+  writer->Key("compiler").Value(p.compiler);
+  writer->Key("cxx_flags").Value(p.cxx_flags);
+  writer->Key("seed").Value(p.seed);
+  writer->Key("scale").Value(p.scale);
+  writer->Key("precision").Value(p.precision);
+  writer->Key("checkpoint_version")
+      .Value(static_cast<uint64_t>(p.checkpoint_version));
+  writer->Key("shard_version").Value(static_cast<uint64_t>(p.shard_version));
+  writer->Key("quantized_shard_version")
+      .Value(static_cast<uint64_t>(p.quantized_shard_version));
+  writer->Key("schema").Value(static_cast<uint64_t>(p.schema));
+  writer->EndObject();
+}
+
+}  // namespace agnn::bench

@@ -1,0 +1,57 @@
+#ifndef AGNN_BENCH_PROVENANCE_H_
+#define AGNN_BENCH_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+
+// Provenance stamping for BENCH_*.json artifacts (DESIGN.md §16): every
+// artifact records which source revision, build, seed, and format versions
+// produced it, so the perf trajectory in bench/baselines/ can be compared
+// across commits mechanically (tools/agnn_inspect diff) instead of by
+// eyeball. Compiled into each bench binary next to bench_util.cc.
+
+namespace agnn::obs {
+class JsonWriter;
+}  // namespace agnn::obs
+
+namespace agnn::bench {
+
+/// Version of the BENCH_*.json document layout itself. 1 = the PR-3 shape
+/// (name/seed/wall_ms/config/metrics/registry); 2 adds the "provenance"
+/// and "series" sections.
+inline constexpr uint32_t kBenchJsonSchemaVersion = 2;
+
+/// Everything an artifact needs to be compared against another run of the
+/// same bench at a different commit. Fields that cannot be determined
+/// (e.g. no git binary or not a checkout) degrade to "unknown"/false
+/// rather than failing the bench.
+struct Provenance {
+  std::string git_sha = "unknown";  ///< short commit hash of the source tree
+  bool git_dirty = false;           ///< tracked files modified at run time
+  std::string build_type;           ///< CMAKE_BUILD_TYPE at configure time
+  std::string compiler;             ///< __VERSION__ of the compiler
+  std::string cxx_flags;            ///< effective CXXFLAGS for this config
+  uint64_t seed = 0;
+  std::string scale;                ///< --scale preset name
+  std::string precision = "f32";    ///< serving precision where applicable
+  uint32_t checkpoint_version = 0;  ///< io::kCheckpointVersion
+  uint32_t shard_version = 0;       ///< io::kShardVersion
+  uint32_t quantized_shard_version = 0;  ///< io::kQuantizedShardVersion
+  uint32_t schema = kBenchJsonSchemaVersion;
+};
+
+/// Fills a Provenance from the build-time definitions (AGNN_SOURCE_DIR,
+/// AGNN_BUILD_TYPE, AGNN_CXX_FLAGS — see bench/CMakeLists.txt), a runtime
+/// `git rev-parse` / `git status` probe of the source tree, and the io
+/// format version constants.
+Provenance CollectProvenance(uint64_t seed, const std::string& scale);
+
+/// Appends the provenance block as one JSON object with the exact key
+/// order documented in DESIGN.md §16: git_sha, git_dirty, build_type,
+/// compiler, cxx_flags, seed, scale, precision, checkpoint_version,
+/// shard_version, quantized_shard_version, schema.
+void AppendProvenanceJson(const Provenance& p, obs::JsonWriter* writer);
+
+}  // namespace agnn::bench
+
+#endif  // AGNN_BENCH_PROVENANCE_H_

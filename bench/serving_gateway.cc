@@ -23,6 +23,10 @@
 //   --cold_fraction=F   probability an arrival is a strict-cold user
 //   --zipf_q=Q          popularity tail exponent for warm users and items
 //   --budget_us=B --max_batch=M --queue_capacity=C   gateway options
+//   --series_period_us=P  virtual-clock window between time-series points
+//                         (DESIGN.md §16; the artifact's series.gateway
+//                         section charts QPS, window tail latencies, queue
+//                         depth, shed count, and LRU hit rate over the run)
 //
 // The default --scale=small world answers in seconds (the ctest smoke
 // fixture runs it with a tiny --requests budget); --scale=million serves
@@ -38,6 +42,7 @@
 #include "agnn/common/flags.h"
 #include "agnn/common/logging.h"
 #include "agnn/common/table.h"
+#include "agnn/core/embedding_store.h"
 #include "agnn/core/inference_session.h"
 #include "agnn/core/serving_checkpoint.h"
 #include "agnn/core/serving_gateway.h"
@@ -90,7 +95,10 @@ int Main(int argc, char** argv) {
   gateway_options.budget_us = flags.GetDouble("budget_us", 2000.0);
   gateway_options.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue_capacity", 1024));
+  const double series_period_us =
+      flags.GetDouble("series_period_us", 10'000.0);
   AGNN_CHECK_GT(qps, 0.0);
+  AGNN_CHECK_GT(series_period_us, 0.0);
   AGNN_CHECK_GT(num_requests, 0u);
   AGNN_CHECK(cold_fraction >= 0.0 && cold_fraction <= 1.0);
 
@@ -98,6 +106,7 @@ int Main(int argc, char** argv) {
               "micro-batcher",
               "systems extension; not a paper table", options);
   BenchReporter reporter("serving_gateway", options);
+  reporter.set_precision(flags.GetString("precision", "f32"));
   reporter.Add("load/offered_qps", qps);
   reporter.Add("load/requests", static_cast<double>(num_requests));
   reporter.Add("load/cold_fraction", cold_fraction);
@@ -237,8 +246,28 @@ int Main(int argc, char** argv) {
     last_complete_us = std::max(last_complete_us, done.complete_us);
   };
   if (reporter.trace() != nullptr) reporter.trace()->SetTrack(1);
+  // Time series over the virtual clock (DESIGN.md §16): the caller-side
+  // LRU hit-rate probe goes in first, then the gateway registers its own
+  // track set in the ctor. Sampling is driven by Submit/Drain below, so
+  // two identical runs emit byte-identical series sections.
+  obs::TimeSeries* series = reporter.AddTimeSeries(
+      "gateway", {.capacity = 512,
+                  .period = series_period_us,
+                  .clock = "virtual_us"});
+  series->AddProbe("lru_hit_rate", [&session] {
+    const core::LazyEmbeddingStore* user = (*session)->lazy_user_store();
+    const core::LazyEmbeddingStore* item = (*session)->lazy_item_store();
+    double hits = 0.0;
+    double total = 0.0;
+    for (const core::LazyEmbeddingStore* store : {user, item}) {
+      if (store == nullptr) continue;
+      hits += static_cast<double>(store->hits());
+      total += static_cast<double>(store->hits() + store->misses());
+    }
+    return total > 0.0 ? hits / total : 0.0;
+  });
   core::ServingGateway gateway(session->get(), gateway_options, sink,
-                               reporter.registry(), reporter.trace());
+                               reporter.registry(), reporter.trace(), series);
   // Warm the session workspace outside the measured run.
   (*session)->Predict(requests[0].request.user, requests[0].request.item,
                       requests[0].request.user_neighbors,

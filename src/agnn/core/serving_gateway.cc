@@ -1,6 +1,7 @@
 #include "agnn/core/serving_gateway.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "agnn/common/logging.h"
@@ -12,12 +13,14 @@ ServingGateway::ServingGateway(InferenceSession* session,
                                const ServingGatewayOptions& options,
                                CompletionSink sink,
                                obs::MetricsRegistry* metrics,
-                               obs::TraceRecorder* trace)
+                               obs::TraceRecorder* trace,
+                               obs::TimeSeries* series)
     : session_(session),
       options_(options),
       sink_(std::move(sink)),
       metrics_(metrics),
-      trace_(trace) {
+      trace_(trace),
+      series_(series) {
   AGNN_CHECK(session_ != nullptr);
   AGNN_CHECK_GT(options_.max_batch, 0u);
   AGNN_CHECK_GT(options_.queue_capacity, 0u);
@@ -36,6 +39,7 @@ ServingGateway::ServingGateway(InferenceSession* session,
   batch_item_neighbors_.reserve(options_.max_batch * neighbors);
   batch_out_.resize(options_.max_batch);
   ResolveInstruments();
+  RegisterSeriesProbes();
 }
 
 void ServingGateway::ResolveInstruments() {
@@ -55,16 +59,38 @@ void ServingGateway::ResolveInstruments() {
   instruments_.flush_drain = metrics_->GetCounter("gateway/flush_drain");
 }
 
+void ServingGateway::RegisterSeriesProbes() {
+  if (series_ == nullptr) return;
+  series_state_ = std::make_unique<SeriesState>(options_.max_batch);
+  // Per-window sustained throughput: served delta over the window, scaled
+  // from the microsecond clock to per-second.
+  series_->AddProbeRate(
+      "qps", [this] { return static_cast<double>(stats_.served); },
+      /*time_scale=*/1e6);
+  // Window latency quantiles over the series-private histogram — only the
+  // completions since the previous point, so an SLO burn is visible as it
+  // happens instead of being averaged into the lifetime tail.
+  series_->AddWindowQuantile("p50_ms", &series_state_->latency_ms, 0.5);
+  series_->AddWindowQuantile("p95_ms", &series_state_->latency_ms, 0.95);
+  series_->AddWindowQuantile("p99_ms", &series_state_->latency_ms, 0.99);
+  series_->AddWindowMean("batch_mean", &series_state_->batch_size);
+  series_->AddProbe("queue_depth",
+                    [this] { return static_cast<double>(count_); });
+  series_->AddProbe("shed",
+                    [this] { return static_cast<double>(stats_.shed); });
+}
+
 bool ServingGateway::Submit(const ServingRequest& request, double now_us) {
   // Budget expiries strictly before this arrival fire first, at their own
   // deadlines — ordering flushes against arrivals is what makes the batch
   // boundaries a pure function of the arrival stream.
-  AdvanceTo(now_us);
+  AdvanceClock(now_us);
   stats_.submitted += 1;
   if (instruments_.submitted != nullptr) instruments_.submitted->Increment();
   if (count_ == ring_.size()) {
     stats_.shed += 1;
     if (instruments_.shed != nullptr) instruments_.shed->Increment();
+    if (series_ != nullptr) series_->MaybeSample(now_us);
     return false;
   }
   const size_t neighbors = session_->neighbors_per_node();
@@ -89,10 +115,13 @@ bool ServingGateway::Submit(const ServingRequest& request, double now_us) {
   if (count_ >= options_.max_batch) {
     FlushBatch(now_us, FlushReason::kBatchFull);
   }
+  // Series points ride the arrival clock, after the arrival (and any flush
+  // it caused) is fully processed — one compare per Submit when attached.
+  if (series_ != nullptr) series_->MaybeSample(now_us);
   return true;
 }
 
-void ServingGateway::AdvanceTo(double now_us) {
+void ServingGateway::AdvanceClock(double now_us) {
   while (count_ > 0 &&
          ring_[head_].arrival_us + options_.budget_us <= now_us) {
     FlushBatch(ring_[head_].arrival_us + options_.budget_us,
@@ -100,9 +129,17 @@ void ServingGateway::AdvanceTo(double now_us) {
   }
 }
 
+void ServingGateway::AdvanceTo(double now_us) {
+  AdvanceClock(now_us);
+  if (series_ != nullptr) series_->MaybeSample(now_us);
+}
+
 void ServingGateway::Drain(double now_us) {
-  AdvanceTo(now_us);
+  AdvanceClock(now_us);
   while (count_ > 0) FlushBatch(now_us, FlushReason::kDrain);
+  // One forced end-of-stream point so the series always covers the full
+  // run (ignored if the clock did not advance past the last point).
+  if (series_ != nullptr) series_->SampleAt(now_us);
 }
 
 void ServingGateway::FlushBatch(double flush_us, FlushReason reason) {
@@ -187,9 +224,15 @@ void ServingGateway::FlushBatch(double flush_us, FlushReason reason) {
     if (instruments_.latency_ms != nullptr) {
       instruments_.latency_ms->Observe(completion_.latency_us / 1000.0);
     }
+    if (series_state_ != nullptr) {
+      series_state_->latency_ms.Observe(completion_.latency_us / 1000.0);
+    }
   }
   head_ = (head_ + n) % ring_.size();
   count_ -= n;
+  if (series_state_ != nullptr) {
+    series_state_->batch_size.Observe(static_cast<double>(n));
+  }
 
   if (metrics_ != nullptr) {
     instruments_.batches->Increment();

@@ -1,13 +1,16 @@
 #ifndef AGNN_CORE_SERVING_GATEWAY_H_
 #define AGNN_CORE_SERVING_GATEWAY_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "agnn/core/inference_session.h"
 #include "agnn/obs/metrics.h"
+#include "agnn/obs/time_series.h"
 #include "agnn/obs/trace.h"
 
 namespace agnn::core {
@@ -97,9 +100,9 @@ struct ServingGatewayStats {
 ///    flush times, reasons) replay identically; with an injected
 ///    service_time_us model, completions replay byte for byte.
 ///
-/// `metrics`/`trace` follow the library-wide observe-never-steer null
-/// contract (DESIGN.md §10-§11). The session must outlive the gateway.
-/// Not thread-safe (single-threaded by design, like the session).
+/// `metrics`/`trace`/`series` follow the library-wide observe-never-steer
+/// null contract (DESIGN.md §10-§11, §16). The session must outlive the
+/// gateway. Not thread-safe (single-threaded by design, like the session).
 class ServingGateway {
  public:
   using CompletionSink = std::function<void(const ServingCompletion&)>;
@@ -107,11 +110,24 @@ class ServingGateway {
   /// `sink` (optional) receives every completion in submission order
   /// within a batch, batches in flush order. The gateway stores nothing
   /// per completed request, so long open-loop runs stay O(queue).
+  ///
+  /// `series` (optional) attaches a time-series sampler (DESIGN.md §16):
+  /// the gateway registers its track set — per-window sustained "qps",
+  /// window latency quantiles "p50_ms"/"p95_ms"/"p99_ms", per-window
+  /// "batch_mean", instantaneous "queue_depth", cumulative "shed" — and
+  /// drives MaybeSample from the virtual clock at Submit/AdvanceTo, plus
+  /// one forced final point at Drain. Timestamps come only from the
+  /// callers' virtual times, so two identical runs emit byte-identical
+  /// series. Pass each TimeSeries to at most one gateway, register any
+  /// caller-side probes (e.g. an LRU hit rate over the session's lazy
+  /// stores) before constructing the gateway, and do not sample it after
+  /// the gateway is destroyed.
   ServingGateway(InferenceSession* session,
                  const ServingGatewayOptions& options,
                  CompletionSink sink = nullptr,
                  obs::MetricsRegistry* metrics = nullptr,
-                 obs::TraceRecorder* trace = nullptr);
+                 obs::TraceRecorder* trace = nullptr,
+                 obs::TimeSeries* series = nullptr);
 
   /// Enqueues one request arriving at virtual time `now_us` (non-
   /// decreasing across calls). Fires any budget flushes due before
@@ -145,7 +161,12 @@ class ServingGateway {
   };
 
   void FlushBatch(double flush_us, FlushReason reason);
+  /// AdvanceTo without the trailing series sample — the shared core for
+  /// Submit/AdvanceTo/Drain, so each public entry point samples exactly
+  /// once per event.
+  void AdvanceClock(double now_us);
   void ResolveInstruments();
+  void RegisterSeriesProbes();
 
   struct Instruments {
     obs::Histogram* latency_ms = nullptr;
@@ -161,12 +182,26 @@ class ServingGateway {
     obs::Counter* flush_drain = nullptr;
   };
 
+  /// Histograms backing the windowed series tracks. Separate from the
+  /// registry's histograms so the series works with a null registry (and
+  /// vice versa); allocated only when a series is attached.
+  struct SeriesState {
+    explicit SeriesState(size_t max_batch)
+        : latency_ms(obs::Histogram::DefaultLatencyBucketsMs()),
+          batch_size(obs::Histogram::LinearBuckets(
+              1.0, 1.0, std::max<size_t>(max_batch, 1))) {}
+    obs::Histogram latency_ms;
+    obs::Histogram batch_size;
+  };
+
   InferenceSession* session_;
   ServingGatewayOptions options_;
   CompletionSink sink_;
   obs::MetricsRegistry* metrics_;
   obs::TraceRecorder* trace_;
+  obs::TimeSeries* series_;
   Instruments instruments_;
+  std::unique_ptr<SeriesState> series_state_;
 
   // Bounded FIFO ring, preallocated at queue_capacity slots.
   std::vector<Slot> ring_;

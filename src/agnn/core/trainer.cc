@@ -44,6 +44,20 @@ void AgnnTrainer::SetMetrics(obs::MetricsRegistry* metrics) {
 
 void AgnnTrainer::SetTrace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+void AgnnTrainer::SetTimeSeries(obs::TimeSeries* series) {
+  series_ = series;
+  if (series_ == nullptr) return;
+  series_->AddGauge("prediction_loss", &series_gauges_.prediction_loss);
+  series_->AddGauge("reconstruction_loss",
+                    &series_gauges_.reconstruction_loss);
+  series_->AddGauge("grad_norm", &series_gauges_.grad_norm);
+  series_->AddGauge("epoch_ms", &series_gauges_.epoch_ms);
+  series_->AddGauge("sampling_ms", &series_gauges_.sampling_ms);
+  series_->AddGauge("forward_ms", &series_gauges_.forward_ms);
+  series_->AddGauge("backward_ms", &series_gauges_.backward_ms);
+  series_->AddGauge("optimizer_ms", &series_gauges_.optimizer_ms);
+}
+
 void AgnnTrainer::BuildGraphs() {
   const graph::InteractionGraph train_graph(dataset_.num_users,
                                             dataset_.num_items, split_.train);
@@ -134,9 +148,12 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
   // Metrics observe but never steer: with or without a registry the exact
   // same operations run in the same order (the bitwise test in
   // tests/core/trainer_test.cc holds both paths to identical results), and
-  // with a null registry the phase timer reads no clocks at all.
-  obs::PhaseTimer phase(metrics_ != nullptr);
-  obs::PhaseTimer epoch_timer(metrics_ != nullptr);
+  // with a null registry the phase timer reads no clocks at all. The
+  // time-series sampler (DESIGN.md §16) rides the same timers — it needs
+  // clock readings but never feeds them back into training.
+  const bool timed = metrics_ != nullptr || series_ != nullptr;
+  obs::PhaseTimer phase(timed);
+  obs::PhaseTimer epoch_timer(timed);
   // Same contract for the tracer (DESIGN.md §11): the guard makes trace_
   // visible to the autograd ops for exactly this call, and every TraceSpan
   // below is a single branch when trace_ is null.
@@ -148,6 +165,14 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
     auto batches =
         data::MakeBatches(split_.train.size(), config_.batch_size, &rng_);
     EpochStats stats;
+    // Per-epoch phase totals and gradient-norm mean for the time series;
+    // dead (all zeros, no clock reads behind a disabled PhaseTimer) when
+    // neither sink is attached.
+    double epoch_sampling_ms = 0.0;
+    double epoch_forward_ms = 0.0;
+    double epoch_backward_ms = 0.0;
+    double epoch_optimizer_ms = 0.0;
+    double epoch_grad_norm_sum = 0.0;
     for (const auto& indices : batches) {
       phase.Start();
       std::vector<float> targets;
@@ -157,7 +182,7 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
         span.AddArg("batch", static_cast<double>(indices.size()));
         batch = MakeBatch(indices, &targets);
       }
-      phase.Lap(instruments_.sampling_ms);
+      epoch_sampling_ms += phase.Lap(instruments_.sampling_ms);
       optimizer_->ZeroGrad();
       AgnnModel::ForwardResult forward;
       AgnnModel::LossResult loss;
@@ -166,23 +191,26 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
         forward = model_->Forward(batch, &rng_, /*training=*/true);
         loss = model_->Loss(forward, targets);
       }
-      phase.Lap(instruments_.forward_ms);
+      epoch_forward_ms += phase.Lap(instruments_.forward_ms);
       {
         obs::TraceSpan span(trace_, "backward", "trainer");
         ag::Backward(loss.total);
       }
-      phase.Lap(instruments_.backward_ms);
+      epoch_backward_ms += phase.Lap(instruments_.backward_ms);
       float grad_norm = 0.0f;
       {
         obs::TraceSpan span(trace_, "step", "trainer");
         grad_norm = nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
         optimizer_->Step();
       }
-      phase.Lap(instruments_.optimizer_ms);
+      epoch_optimizer_ms += phase.Lap(instruments_.optimizer_ms);
       if (metrics_ != nullptr) {
         instruments_.grad_norm->Observe(grad_norm);
         instruments_.batches->Increment();
         instruments_.examples->Increment(indices.size());
+      }
+      if (series_ != nullptr) {
+        epoch_grad_norm_sum += static_cast<double>(grad_norm);
       }
       const double weight = static_cast<double>(indices.size()) /
                             static_cast<double>(split_.train.size());
@@ -190,11 +218,28 @@ const std::vector<AgnnTrainer::EpochStats>& AgnnTrainer::Train() {
       stats.reconstruction_loss += weight * loss.reconstruction_loss;
     }
     curves_.push_back(stats);
+    const double epoch_wall_ms = epoch_timer.Lap(instruments_.epoch_ms);
     if (metrics_ != nullptr) {
-      epoch_timer.Lap(instruments_.epoch_ms);
       instruments_.epochs->Increment();
       instruments_.prediction_loss->Set(stats.prediction_loss);
       instruments_.reconstruction_loss->Set(stats.reconstruction_loss);
+    }
+    if (series_ != nullptr) {
+      // One series point per completed epoch, timestamped by the epoch
+      // counter (1-based so the first window is non-empty). After a resume
+      // the timestamps continue at the restored epoch.
+      series_gauges_.prediction_loss.Set(stats.prediction_loss);
+      series_gauges_.reconstruction_loss.Set(stats.reconstruction_loss);
+      series_gauges_.grad_norm.Set(
+          batches.empty()
+              ? 0.0
+              : epoch_grad_norm_sum / static_cast<double>(batches.size()));
+      series_gauges_.epoch_ms.Set(epoch_wall_ms);
+      series_gauges_.sampling_ms.Set(epoch_sampling_ms);
+      series_gauges_.forward_ms.Set(epoch_forward_ms);
+      series_gauges_.backward_ms.Set(epoch_backward_ms);
+      series_gauges_.optimizer_ms.Set(epoch_optimizer_ms);
+      series_->SampleAt(static_cast<double>(epoch + 1));
     }
     // Periodic checkpoint at the epoch boundary. Pure observation: it only
     // reads state, so the training stream is untouched either way.

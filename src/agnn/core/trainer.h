@@ -11,6 +11,7 @@
 #include "agnn/graph/attribute_graph.h"
 #include "agnn/nn/optimizer.h"
 #include "agnn/obs/metrics.h"
+#include "agnn/obs/time_series.h"
 #include "agnn/obs/trace.h"
 
 namespace agnn::core {
@@ -84,6 +85,18 @@ class AgnnTrainer {
   /// results. The recorder must outlive the trainer.
   void SetTrace(obs::TraceRecorder* trace);
 
+  /// Attaches a time-series sampler (DESIGN.md §16): Train() then emits one
+  /// point per completed epoch — timestamped by the epoch counter, never a
+  /// wall clock — carrying the loss components, the epoch-mean gradient
+  /// norm, the epoch wall time, and the per-phase wall-time totals
+  /// (sampling/forward/backward/optimizer). Registers the trainer's track
+  /// set on `series`, so call at most once per sampler, before Train(), and
+  /// keep the sampler alive for the trainer's lifetime. Same contract as
+  /// SetMetrics: null (the default) means no probe reads and
+  /// bitwise-identical results, independent of whether a registry is also
+  /// attached.
+  void SetTimeSeries(obs::TimeSeries* series);
+
   /// RMSE/MAE on the split's test interactions (predictions clamped to the
   /// rating scale; strict cold nodes handled by the cold-start module).
   /// Idempotent: repeated calls return identical numbers (evaluation runs
@@ -137,9 +150,25 @@ class AgnnTrainer {
   size_t start_epoch_ = 0;
   std::string checkpoint_path_;
   size_t checkpoint_every_ = 0;
+  /// Sources the epoch time-series probes read from; the trainer refreshes
+  /// them at each epoch boundary before sampling. Plain gauges so the
+  /// sampler stays decoupled from trainer internals.
+  struct SeriesGauges {
+    obs::Gauge prediction_loss;
+    obs::Gauge reconstruction_loss;
+    obs::Gauge grad_norm;
+    obs::Gauge epoch_ms;
+    obs::Gauge sampling_ms;
+    obs::Gauge forward_ms;
+    obs::Gauge backward_ms;
+    obs::Gauge optimizer_ms;
+  };
+
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::TimeSeries* series_ = nullptr;
   Instruments instruments_;
+  SeriesGauges series_gauges_;
   graph::CsrGraph user_graph_;
   graph::CsrGraph item_graph_;
   std::unique_ptr<AgnnModel> model_;

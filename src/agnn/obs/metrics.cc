@@ -58,7 +58,13 @@ void Histogram::Observe(double value) {
 
 double Histogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  // Clamp q into (0, 1) explicitly rather than via std::clamp: the edges
+  // answer directly from the exact observed extremes (even when every
+  // sample sits in the overflow bucket, where interpolation has no upper
+  // edge to work with), and `!(q > 0.0)` routes NaN to the min edge instead
+  // of letting it poison the bucket walk.
+  if (!(q > 0.0)) return min_;
+  if (q >= 1.0) return max_;
   const double target = q * static_cast<double>(count_);
   uint64_t cumulative = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {

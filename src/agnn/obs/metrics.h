@@ -62,7 +62,9 @@ class Histogram {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
-  /// q in [0, 1]; returns 0 for an empty histogram.
+  /// Quantile estimate. `q` is clamped into [0, 1] — q <= 0 (including
+  /// NaN) reports the exact observed min, q >= 1 the exact observed max.
+  /// An empty histogram reports 0 for every q.
   double Quantile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }

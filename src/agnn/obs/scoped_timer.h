@@ -46,13 +46,18 @@ class PhaseTimer {
     if (enabled_) watch_.Reset();
   }
 
-  /// Records the lap into `histogram` and restarts the clock. Null-safe
-  /// like ScopedTimer: with a null histogram nothing is recorded, but the
-  /// clock still restarts so the next lap covers only its own phase.
-  void Lap(Histogram* histogram) {
-    if (!enabled_) return;
-    if (histogram != nullptr) histogram->Observe(watch_.ElapsedMillis());
+  /// Records the lap into `histogram`, restarts the clock, and returns the
+  /// lap's elapsed milliseconds (0 when disabled) so callers can feed the
+  /// same reading to a second sink (e.g. a TimeSeries gauge) without a
+  /// second clock read. Null-safe like ScopedTimer: with a null histogram
+  /// nothing is recorded, but the clock still restarts so the next lap
+  /// covers only its own phase.
+  double Lap(Histogram* histogram) {
+    if (!enabled_) return 0.0;
+    const double ms = watch_.ElapsedMillis();
+    if (histogram != nullptr) histogram->Observe(ms);
     watch_.Reset();
+    return ms;
   }
 
  private:

@@ -1,0 +1,234 @@
+#include "agnn/obs/time_series.h"
+
+#include <utility>
+
+#include "agnn/common/logging.h"
+#include "agnn/obs/json.h"
+
+namespace agnn::obs {
+namespace {
+
+// Quantile over a window of bucket-count deltas, interpolated inside the
+// owning bucket like Histogram::Quantile but without lifetime min/max (the
+// window's extremes are not tracked). The overflow bucket has no upper
+// edge, so a window quantile landing there reports `lifetime_max`.
+double WindowQuantile(const std::vector<double>& bounds,
+                      const std::vector<uint64_t>& delta, uint64_t total,
+                      double q, double lifetime_max) {
+  if (total == 0) return 0.0;
+  if (!(q > 0.0)) q = 0.0;  // NaN and negatives land here
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < delta.size(); ++i) {
+    cumulative += delta[i];
+    if (static_cast<double>(cumulative) < target || delta[i] == 0) continue;
+    if (i == delta.size() - 1) return lifetime_max;  // overflow bucket
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double rank_in_bucket =
+        target - static_cast<double>(cumulative - delta[i]);
+    const double fraction = rank_in_bucket / static_cast<double>(delta[i]);
+    return lower + fraction * (upper - lower);
+  }
+  return lifetime_max;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(const Options& options)
+    : options_(options), period_(options.period), next_due_(options.period) {
+  AGNN_CHECK(options_.capacity >= 2) << "TimeSeries capacity must be >= 2";
+  AGNN_CHECK(options_.period > 0.0) << "TimeSeries period must be positive";
+  times_.reserve(options_.capacity);
+}
+
+TimeSeries::Probe& TimeSeries::NewProbe(const std::string& name, Kind kind) {
+  AGNN_CHECK(times_.empty())
+      << "TimeSeries probes must be registered before the first sample";
+  for (const Probe& probe : probes_) {
+    AGNN_CHECK(probe.name != name)
+        << "duplicate TimeSeries track \"" << name << "\"";
+  }
+  Probe& probe = probes_.emplace_back();
+  probe.name = name;
+  probe.kind = kind;
+  probe.values.reserve(options_.capacity);
+  return probe;
+}
+
+void TimeSeries::AddGauge(const std::string& name, const Gauge* gauge) {
+  AGNN_CHECK(gauge != nullptr);
+  NewProbe(name, Kind::kGauge).gauge = gauge;
+}
+
+void TimeSeries::AddCounter(const std::string& name, const Counter* counter) {
+  AGNN_CHECK(counter != nullptr);
+  NewProbe(name, Kind::kCounter).counter = counter;
+}
+
+void TimeSeries::AddCounterRate(const std::string& name,
+                                const Counter* counter, double time_scale) {
+  AGNN_CHECK(counter != nullptr);
+  Probe& probe = NewProbe(name, Kind::kCounterRate);
+  probe.counter = counter;
+  probe.time_scale = time_scale;
+}
+
+void TimeSeries::AddQuantile(const std::string& name,
+                             const Histogram* histogram, double q) {
+  AGNN_CHECK(histogram != nullptr);
+  Probe& probe = NewProbe(name, Kind::kQuantile);
+  probe.histogram = histogram;
+  probe.q = q;
+}
+
+void TimeSeries::AddWindowQuantile(const std::string& name,
+                                   const Histogram* histogram, double q) {
+  AGNN_CHECK(histogram != nullptr);
+  Probe& probe = NewProbe(name, Kind::kWindowQuantile);
+  probe.histogram = histogram;
+  probe.q = q;
+  probe.prev_bucket_counts.assign(histogram->bucket_counts().size(), 0);
+}
+
+void TimeSeries::AddWindowMean(const std::string& name,
+                               const Histogram* histogram) {
+  AGNN_CHECK(histogram != nullptr);
+  NewProbe(name, Kind::kWindowMean).histogram = histogram;
+}
+
+void TimeSeries::AddProbe(const std::string& name,
+                          std::function<double()> fn) {
+  AGNN_CHECK(fn != nullptr);
+  NewProbe(name, Kind::kCallback).fn = std::move(fn);
+}
+
+void TimeSeries::AddProbeRate(const std::string& name,
+                              std::function<double()> fn, double time_scale) {
+  AGNN_CHECK(fn != nullptr);
+  Probe& probe = NewProbe(name, Kind::kCallbackRate);
+  probe.fn = std::move(fn);
+  probe.time_scale = time_scale;
+}
+
+double TimeSeries::ReadProbe(Probe* probe, double window) const {
+  switch (probe->kind) {
+    case Kind::kGauge:
+      return probe->gauge->value();
+    case Kind::kCounter:
+      return static_cast<double>(probe->counter->value());
+    case Kind::kCounterRate: {
+      const double value = static_cast<double>(probe->counter->value());
+      const double delta = value - probe->prev_value;
+      probe->prev_value = value;
+      return window > 0.0 ? delta / window * probe->time_scale : 0.0;
+    }
+    case Kind::kQuantile:
+      return probe->histogram->Quantile(probe->q);
+    case Kind::kWindowQuantile: {
+      const std::vector<uint64_t>& counts = probe->histogram->bucket_counts();
+      std::vector<uint64_t>& prev = probe->prev_bucket_counts;
+      uint64_t total = 0;
+      // Reuse prev as scratch for the deltas, then overwrite with the new
+      // cumulative counts — no allocation on the sampling path.
+      for (size_t i = 0; i < counts.size(); ++i) {
+        const uint64_t delta = counts[i] - prev[i];
+        prev[i] = delta;
+        total += delta;
+      }
+      const double value =
+          WindowQuantile(probe->histogram->bounds(), prev, total, probe->q,
+                         probe->histogram->max());
+      for (size_t i = 0; i < counts.size(); ++i) prev[i] = counts[i];
+      return value;
+    }
+    case Kind::kWindowMean: {
+      const double sum = probe->histogram->sum();
+      const uint64_t count = probe->histogram->count();
+      const double delta_sum = sum - probe->prev_sum;
+      const uint64_t delta_count = count - probe->prev_count;
+      probe->prev_sum = sum;
+      probe->prev_count = count;
+      return delta_count == 0
+                 ? 0.0
+                 : delta_sum / static_cast<double>(delta_count);
+    }
+    case Kind::kCallback:
+      return probe->fn();
+    case Kind::kCallbackRate: {
+      const double value = probe->fn();
+      const double delta = value - probe->prev_value;
+      probe->prev_value = value;
+      return window > 0.0 ? delta / window * probe->time_scale : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+void TimeSeries::SampleAt(double now) {
+  if (!times_.empty() && now <= times_.back()) return;
+  if (times_.size() == options_.capacity) Compact();
+  const double window = now - last_time_;
+  times_.push_back(now);
+  for (Probe& probe : probes_) {
+    probe.values.push_back(ReadProbe(&probe, window));
+  }
+  last_time_ = now;
+}
+
+bool TimeSeries::MaybeSample(double now) {
+  if (now < next_due_) return false;
+  SampleAt(now);
+  next_due_ = now + period_;
+  return true;
+}
+
+void TimeSeries::Compact() {
+  // Keep every even-indexed point: the series still spans [first, ~last]
+  // and the decision is a pure function of the sample stream, so two
+  // identical runs compact identically.
+  const size_t kept = times_.size() / 2 + times_.size() % 2;
+  for (size_t i = 0; i < kept; ++i) times_[i] = times_[2 * i];
+  times_.resize(kept);
+  for (Probe& probe : probes_) {
+    for (size_t i = 0; i < kept; ++i) probe.values[i] = probe.values[2 * i];
+    probe.values.resize(kept);
+  }
+  period_ *= 2.0;
+  next_due_ = times_.back() + period_;
+}
+
+const std::vector<double>* TimeSeries::FindTrack(
+    const std::string& name) const {
+  for (const Probe& probe : probes_) {
+    if (probe.name == name) return &probe.values;
+  }
+  return nullptr;
+}
+
+void TimeSeries::AppendJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("clock").Value(options_.clock);
+  writer->Key("period").Value(period_);
+  writer->Key("points").Value(static_cast<uint64_t>(times_.size()));
+  writer->Key("times").BeginArray();
+  for (double t : times_) writer->Value(t);
+  writer->EndArray();
+  writer->Key("tracks").BeginObject();
+  for (const Probe& probe : probes_) {
+    writer->Key(probe.name).BeginArray();
+    for (double v : probe.values) writer->Value(v);
+    writer->EndArray();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string TimeSeries::ToJson() const {
+  JsonWriter writer;
+  AppendJson(&writer);
+  return writer.str();
+}
+
+}  // namespace agnn::obs

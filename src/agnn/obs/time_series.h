@@ -1,0 +1,166 @@
+#ifndef AGNN_OBS_TIME_SERIES_H_
+#define AGNN_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agnn/obs/metrics.h"
+
+namespace agnn::obs {
+
+class JsonWriter;
+
+/// Fixed-capacity time-series sampler over the metrics primitives
+/// (DESIGN.md §16). Probes are registered up front against long-lived
+/// sources (a Gauge, a Counter, a Histogram, or an arbitrary callback);
+/// each SampleAt(now) appends one point per probe, timestamped by the
+/// *caller's* clock — the trainer's epoch counter, the gateway's virtual
+/// microsecond clock — never a wall clock, so the sampling points of a run
+/// are a pure function of its event stream and two identical runs emit
+/// byte-identical series.
+///
+/// The sampler follows the same observe-never-steer contract as
+/// MetricsRegistry (§10): it only reads its sources, and instrumented code
+/// holds a `TimeSeries*` that may be null, in which case no probe is read
+/// and no clock is touched — null or attached, results are
+/// bitwise-identical.
+///
+/// Storage is preallocated at construction (times plus one value vector per
+/// probe, each reserved to `capacity`); sampling never allocates. When a
+/// sample would exceed capacity the series compacts deterministically:
+/// every odd-indexed point is dropped and the effective period doubles, so
+/// a bounded buffer always spans the whole run at a resolution that degrades
+/// gracefully — the classic decimating downsampler.
+class TimeSeries {
+ public:
+  struct Options {
+    /// Maximum retained points; must be >= 2. Compaction halves the point
+    /// count, so runs longer than `capacity * period` keep full-run
+    /// coverage at a coarser resolution instead of truncating the tail.
+    size_t capacity = 512;
+    /// Clock units between MaybeSample points (epochs, virtual µs, ...).
+    double period = 1.0;
+    /// Label emitted with the series so readers know the time unit.
+    std::string clock = "time";
+  };
+
+  explicit TimeSeries(const Options& options);
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  // --- Probe registration -------------------------------------------------
+  // All probes must be registered before the first sample (AGNN_CHECK
+  // otherwise), track names must be unique, and every referenced source
+  // must outlive the sampler's last Sample call.
+
+  /// The gauge's current value.
+  void AddGauge(const std::string& name, const Gauge* gauge);
+  /// The counter's cumulative value.
+  void AddCounter(const std::string& name, const Counter* counter);
+  /// Per-window rate: (counter delta since the previous sample) / window
+  /// length, times `time_scale`. With a microsecond clock,
+  /// `time_scale = 1e6` yields a per-second rate (QPS).
+  void AddCounterRate(const std::string& name, const Counter* counter,
+                      double time_scale = 1.0);
+  /// The histogram's cumulative quantile (exact Histogram::Quantile
+  /// semantics, including the observed-[min,max] clamp).
+  void AddQuantile(const std::string& name, const Histogram* histogram,
+                   double q);
+  /// Quantile over only the samples observed since the previous series
+  /// point, interpolated inside the delta bucket counts. An empty window
+  /// reports 0. The overflow bucket has no upper edge, so a window quantile
+  /// landing there reports the histogram's lifetime max — a documented
+  /// approximation at the tail.
+  void AddWindowQuantile(const std::string& name, const Histogram* histogram,
+                         double q);
+  /// Mean of only the samples observed since the previous series point
+  /// (delta sum / delta count); an empty window reports 0.
+  void AddWindowMean(const std::string& name, const Histogram* histogram);
+  /// Arbitrary read-only probe; `fn` is invoked once per sample.
+  void AddProbe(const std::string& name, std::function<double()> fn);
+  /// Per-window rate of an arbitrary cumulative source: (fn() delta since
+  /// the previous sample) / window length, times `time_scale`.
+  void AddProbeRate(const std::string& name, std::function<double()> fn,
+                    double time_scale = 1.0);
+
+  // --- Sampling -----------------------------------------------------------
+
+  /// Appends one point at `now`, reading every probe. Calls that do not
+  /// advance the clock (`now` <= the last sampled time) are ignored so the
+  /// emitted timestamps are always strictly increasing.
+  void SampleAt(double now);
+  /// Samples when at least one period has elapsed since the last
+  /// MaybeSample-driven point; returns whether a point was taken. Cheap
+  /// enough for per-event call sites (one compare on the common path).
+  bool MaybeSample(double now);
+
+  // --- Inspection ---------------------------------------------------------
+
+  size_t num_points() const { return times_.size(); }
+  size_t num_tracks() const { return probes_.size(); }
+  /// Current effective period (doubles on every compaction).
+  double period() const { return period_; }
+  const std::string& clock() const { return options_.clock; }
+  const std::vector<double>& times() const { return times_; }
+  const std::string& track_name(size_t i) const { return probes_[i].name; }
+  const std::vector<double>& track(size_t i) const {
+    return probes_[i].values;
+  }
+  /// Values for the named track; nullptr when no such track exists.
+  const std::vector<double>* FindTrack(const std::string& name) const;
+
+  /// Appends the series as one JSON object:
+  /// {"clock": "...", "period": p, "points": n,
+  ///  "times": [...], "tracks": {name: [...], ...}}
+  /// with tracks in registration order and every track array aligned
+  /// index-for-index with "times".
+  void AppendJson(JsonWriter* writer) const;
+  std::string ToJson() const;
+
+ private:
+  enum class Kind {
+    kGauge,
+    kCounter,
+    kCounterRate,
+    kQuantile,
+    kWindowQuantile,
+    kWindowMean,
+    kCallback,
+    kCallbackRate,
+  };
+
+  struct Probe {
+    std::string name;
+    Kind kind;
+    const Gauge* gauge = nullptr;
+    const Counter* counter = nullptr;
+    const Histogram* histogram = nullptr;
+    std::function<double()> fn;
+    double q = 0.0;
+    double time_scale = 1.0;
+    // Window state carried between samples for the delta-based kinds.
+    double prev_value = 0.0;
+    double prev_sum = 0.0;
+    uint64_t prev_count = 0;
+    std::vector<uint64_t> prev_bucket_counts;
+    std::vector<double> values;
+  };
+
+  Probe& NewProbe(const std::string& name, Kind kind);
+  double ReadProbe(Probe* probe, double window) const;
+  void Compact();
+
+  Options options_;
+  double period_;
+  double next_due_;
+  double last_time_ = 0.0;
+  std::vector<double> times_;
+  std::vector<Probe> probes_;
+};
+
+}  // namespace agnn::obs
+
+#endif  // AGNN_OBS_TIME_SERIES_H_

@@ -1,5 +1,6 @@
 #include "agnn/core/serving_gateway.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include "agnn/core/agnn_model.h"
 #include "agnn/data/synthetic.h"
 #include "agnn/obs/metrics.h"
+#include "agnn/obs/time_series.h"
 #include "agnn/obs/trace.h"
 
 namespace agnn::core {
@@ -279,6 +281,70 @@ TEST_F(ServingGatewayTest, MetricsAndTraceObserveWithoutSteering) {
   // The session was built without a tracer; its request spans are absent,
   // which confirms the gateway's flush span wraps the call itself.
   EXPECT_EQ(session_requests, 0u);
+}
+
+TEST_F(ServingGatewayTest, TimeSeriesObservesWithoutSteering) {
+  // §16 extension of the same contract: a TimeSeries sampler on the
+  // gateway's virtual clock must not steer routing or predictions.
+  obs::TimeSeries series(
+      {.capacity = 64, .period = 100.0, .clock = "virtual_us"});
+  std::vector<float> sampled_pred;
+  ServingGateway sampled(session_.get(), ModeledOptions(),
+                         [&](const ServingCompletion& c) {
+                           sampled_pred.push_back(c.prediction);
+                         },
+                         nullptr, nullptr, &series);
+  std::vector<float> plain_pred;
+  ServingGateway plain(session_.get(), ModeledOptions(),
+                       [&](const ServingCompletion& c) {
+                         plain_pred.push_back(c.prediction);
+                       });
+  for (uint64_t i = 0; i < 10; ++i) {
+    sampled.Submit(MakeRequest(i), 25.0 * static_cast<double>(i));
+    plain.Submit(MakeRequest(i), 25.0 * static_cast<double>(i));
+  }
+  sampled.Drain(1000.0);
+  plain.Drain(1000.0);
+  EXPECT_EQ(sampled_pred, plain_pred);  // observation changed no bits
+
+  // The sampler really ran: periodic points during the run plus the forced
+  // Drain point, with the full gateway track set.
+  EXPECT_GE(series.num_points(), 2u);
+  EXPECT_EQ(series.times().back(), 1000.0);
+  for (const char* track : {"qps", "p50_ms", "p95_ms", "p99_ms",
+                            "batch_mean", "queue_depth", "shed"}) {
+    ASSERT_NE(series.FindTrack(track), nullptr) << track;
+  }
+  // Everything was served, so the final shed reading is zero and the qps
+  // probe saw traffic in at least one window.
+  EXPECT_EQ(series.FindTrack("shed")->back(), 0.0);
+  double peak_qps = 0.0;
+  for (double v : *series.FindTrack("qps")) peak_qps = std::max(peak_qps, v);
+  EXPECT_GT(peak_qps, 0.0);
+}
+
+TEST_F(ServingGatewayTest, ReplaySameSeedByteIdenticalSeries) {
+  // Acceptance check for the §16 run ledger: two identical gateway runs
+  // must serialize byte-identical series sections — the virtual clock and
+  // deterministic service model leave nothing for wall time to perturb.
+  std::string first_json;
+  for (int run = 0; run < 2; ++run) {
+    obs::TimeSeries series(
+        {.capacity = 64, .period = 100.0, .clock = "virtual_us"});
+    ServingGateway gateway(session_.get(), ModeledOptions(),
+                           [](const ServingCompletion&) {}, nullptr, nullptr,
+                           &series);
+    for (uint64_t i = 0; i < 12; ++i) {
+      gateway.Submit(MakeRequest(i), 20.0 * static_cast<double>(i));
+    }
+    gateway.Drain(800.0);
+    if (run == 0) {
+      first_json = series.ToJson();
+    } else {
+      EXPECT_EQ(series.ToJson(), first_json);
+    }
+  }
+  EXPECT_FALSE(first_json.empty());
 }
 
 }  // namespace

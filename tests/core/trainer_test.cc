@@ -7,6 +7,7 @@
 #include "agnn/core/variants.h"
 #include "agnn/data/synthetic.h"
 #include "agnn/obs/metrics.h"
+#include "agnn/obs/time_series.h"
 
 namespace agnn::core {
 namespace {
@@ -200,6 +201,61 @@ TEST(AgnnTrainerTest, MetricsRegistryChangesNoBits) {
   }
   EXPECT_EQ(registry.GetHistogram("trainer/epoch_ms")->count(), 2u);
   EXPECT_GT(registry.GetGauge("trainer/prediction_loss")->value(), 0.0);
+}
+
+TEST(AgnnTrainerTest, TimeSeriesChangesNoBits) {
+  // Same observe-but-never-steer contract for the per-epoch sampler
+  // (DESIGN.md §16): training with a TimeSeries attached must be BITWISE
+  // identical to training without — EXPECT_EQ on floats, no tolerance —
+  // while still recording one point per epoch.
+  Rng rng(10);
+  data::Split split =
+      MakeSplit(TrainerDataset(), data::Scenario::kItemColdStart, 0.2, &rng);
+  AgnnConfig config = FastConfig();
+  config.epochs = 3;
+
+  AgnnTrainer plain(TrainerDataset(), split, config);
+  AgnnTrainer sampled(TrainerDataset(), split, config);
+  obs::TimeSeries series({.capacity = 16, .period = 1.0, .clock = "epoch"});
+  sampled.SetTimeSeries(&series);
+
+  const auto& plain_curves = plain.Train();
+  const auto& sampled_curves = sampled.Train();
+  ASSERT_EQ(plain_curves.size(), sampled_curves.size());
+  for (size_t i = 0; i < plain_curves.size(); ++i) {
+    EXPECT_EQ(plain_curves[i].prediction_loss,
+              sampled_curves[i].prediction_loss)
+        << "epoch " << i;
+    EXPECT_EQ(plain_curves[i].reconstruction_loss,
+              sampled_curves[i].reconstruction_loss)
+        << "epoch " << i;
+  }
+
+  auto plain_eval = plain.EvaluateTest();
+  auto sampled_eval = sampled.EvaluateTest();
+  EXPECT_EQ(plain_eval.rmse, sampled_eval.rmse);
+  EXPECT_EQ(plain_eval.mae, sampled_eval.mae);
+
+  std::vector<std::pair<size_t, size_t>> pairs = {{0, 0}, {1, 5}, {7, 11}};
+  EXPECT_EQ(plain.Predict(pairs), sampled.Predict(pairs));
+
+  // The series really was driven: one point per epoch on the epoch clock,
+  // and the loss track mirrors the returned curves exactly.
+  ASSERT_EQ(series.num_points(), config.epochs);
+  EXPECT_EQ(series.times().back(), static_cast<double>(config.epochs));
+  const std::vector<double>* loss = series.FindTrack("prediction_loss");
+  ASSERT_NE(loss, nullptr);
+  for (size_t i = 0; i < sampled_curves.size(); ++i) {
+    EXPECT_EQ((*loss)[i],
+              static_cast<double>(sampled_curves[i].prediction_loss))
+        << "epoch " << i;
+  }
+  for (const char* track : {"reconstruction_loss", "grad_norm", "epoch_ms",
+                            "sampling_ms", "forward_ms", "backward_ms",
+                            "optimizer_ms"}) {
+    ASSERT_NE(series.FindTrack(track), nullptr) << track;
+    EXPECT_EQ(series.FindTrack(track)->size(), config.epochs) << track;
+  }
 }
 
 TEST(AgnnTrainerTest, TraceRecorderChangesNoBits) {

@@ -107,6 +107,74 @@ TEST(JsonParseTest, RejectsExcessiveNesting) {
   EXPECT_FALSE(JsonParse(deep).ok());
 }
 
+// Corruption matrix, mirroring the tests/io checkpoint idiom: the parser
+// reads artifacts straight off disk, so every mangled document must come
+// back as a clean Status — never a crash, hang, or AGNN_CHECK.
+
+// A small but representative artifact: nested objects/arrays, escapes,
+// every scalar type, and numbers in several formats.
+std::string RepresentativeDocument() {
+  return R"({"name":"t1","esc":"a\"b\\cé\n","flag":true,"none":null,)"
+         R"("nums":[0,-1,3.5,1e-3,2E+8],"nested":{"deep":[{"k":[1,2]}]}})";
+}
+
+TEST(JsonParseTest, TruncationAtEveryByteFailsCleanly) {
+  const std::string full = RepresentativeDocument();
+  ASSERT_TRUE(JsonParse(full).ok());
+  for (size_t n = 0; n < full.size(); ++n) {
+    StatusOr<JsonValue> parsed = JsonParse(full.substr(0, n));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << n << " bytes parsed";
+  }
+}
+
+TEST(JsonParseTest, ByteReplacementNeverCrashes) {
+  // Replacing any single byte with each of a hostile set may or may not
+  // still parse (flipping inside a string literal is fine) — the contract
+  // is only that the parser always returns instead of crashing.
+  const std::string full = RepresentativeDocument();
+  for (size_t i = 0; i < full.size(); ++i) {
+    for (char c : {'\0', '"', '\\', '{', '[', '}', ']', ',', ':', '\x80'}) {
+      std::string corrupt = full;
+      corrupt[i] = c;
+      (void)JsonParse(corrupt);
+    }
+  }
+}
+
+TEST(JsonParseTest, UnterminatedStringsFail) {
+  EXPECT_FALSE(JsonParse("\"abc").ok());
+  EXPECT_FALSE(JsonParse("{\"key").ok());
+  EXPECT_FALSE(JsonParse("{\"key\":\"value").ok());
+  EXPECT_FALSE(JsonParse("[\"a\",\"b").ok());
+  EXPECT_FALSE(JsonParse("\"ends with escape\\").ok());
+}
+
+TEST(JsonParseTest, BadEscapesFail) {
+  EXPECT_FALSE(JsonParse(R"("\x41")").ok());   // not a JSON escape
+  EXPECT_FALSE(JsonParse(R"("\u12")").ok());   // short unicode escape
+  EXPECT_FALSE(JsonParse(R"("\u12zz")").ok());  // non-hex unicode escape
+  EXPECT_FALSE(JsonParse(R"("\ ")").ok());     // escaped space
+  EXPECT_FALSE(JsonParse("\"\\\n\"").ok());    // escaped raw newline
+}
+
+TEST(JsonParseTest, DepthLimitBoundaryIsExact) {
+  // kMaxDepth = 64 in json.cc: the innermost value of n nested arrays
+  // parses at depth n-1, so 65 containers are accepted and 66 are not.
+  auto nested = [](size_t n) {
+    return std::string(n, '[') + std::string(n, ']');
+  };
+  EXPECT_TRUE(JsonParse(nested(65)).ok());
+  EXPECT_FALSE(JsonParse(nested(66)).ok());
+  // A depth bomb way past the limit must fail fast, not recurse to a
+  // stack overflow.
+  EXPECT_FALSE(JsonParse(nested(100000)).ok());
+  // Object nesting hits the same limit.
+  std::string objects;
+  for (size_t i = 0; i < 66; ++i) objects += "{\"k\":";
+  objects += "1" + std::string(66, '}');
+  EXPECT_FALSE(JsonParse(objects).ok());
+}
+
 TEST(JsonRoundTripTest, WriterOutputParsesBackIdentically) {
   JsonWriter w;
   w.BeginObject()

@@ -1,5 +1,6 @@
 #include "agnn/obs/metrics.h"
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,59 @@ TEST(HistogramTest, QuantileOverflowBucketReturnsMax) {
   // Both samples overflow; any upper quantile must report the true max,
   // not an extrapolation past the last edge.
   EXPECT_DOUBLE_EQ(h.Quantile(0.99), 90.0);
+}
+
+TEST(HistogramTest, QuantileClampsQOutsideUnitInterval) {
+  Histogram h({10.0, 20.0});
+  for (int i = 1; i <= 20; ++i) h.Observe(static_cast<double>(i));
+  // Out-of-range q answers from the exact observed extremes, never from
+  // extrapolation outside the data.
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1e300), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1e300), 20.0);
+}
+
+TEST(HistogramTest, QuantileNanQReportsObservedMin) {
+  Histogram h({10.0});
+  h.Observe(4.0);
+  h.Observe(6.0);
+  // NaN must not poison the bucket walk; it is treated like q <= 0.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(h.Quantile(nan), 4.0);
+}
+
+TEST(HistogramTest, QuantileEmptyHistogramIsZeroForEveryQ) {
+  Histogram h({1.0});
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 0.0) << q;
+  }
+}
+
+TEST(HistogramTest, QuantileSingleBucketHistogram) {
+  // A one-edge histogram still interpolates inside its only real bucket
+  // and clamps the tails to the observed range.
+  Histogram h({100.0});
+  h.Observe(10.0);
+  h.Observe(20.0);
+  h.Observe(30.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 30.0);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 30.0);
+}
+
+TEST(HistogramTest, QuantileAllOverflowReportsExactExtremes) {
+  // Every sample past the last edge: the overflow bucket has no upper
+  // edge, so interior quantiles report the observed max, and the q=0 / q=1
+  // edges still answer from the exact extremes.
+  Histogram h({1.0});
+  h.Observe(70.0);
+  h.Observe(90.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 70.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 90.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 90.0);
 }
 
 TEST(HistogramTest, ExponentialBuckets) {
@@ -226,6 +280,20 @@ TEST(PhaseTimerTest, EnabledTimerRecordsOneLapPerBoundary) {
   timer.Lap(&h);
   EXPECT_EQ(h.count(), 2u);
   EXPECT_GE(h.min(), 0.0);
+}
+
+TEST(PhaseTimerTest, LapReturnsElapsedMilliseconds) {
+  Histogram h({1e9});
+  PhaseTimer enabled(/*enabled=*/true);
+  enabled.Start();
+  EXPECT_GE(enabled.Lap(&h), 0.0);
+  // The returned reading equals what the histogram saw — one clock read
+  // feeding two sinks.
+  EXPECT_EQ(h.count(), 1u);
+  PhaseTimer disabled(/*enabled=*/false);
+  disabled.Start();
+  EXPECT_EQ(disabled.Lap(&h), 0.0);
+  EXPECT_EQ(h.count(), 1u);
 }
 
 // Regression: an enabled timer must tolerate a null histogram (a caller

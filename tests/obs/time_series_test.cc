@@ -1,0 +1,246 @@
+#include "agnn/obs/time_series.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "agnn/obs/json.h"
+#include "agnn/obs/metrics.h"
+#include "gtest/gtest.h"
+
+namespace agnn::obs {
+namespace {
+
+TEST(TimeSeriesTest, GaugeAndCounterProbesSampleCurrentValues) {
+  Gauge loss;
+  Counter batches;
+  TimeSeries series({.capacity = 8, .period = 1.0, .clock = "epoch"});
+  series.AddGauge("loss", &loss);
+  series.AddCounter("batches", &batches);
+
+  loss.Set(0.9);
+  batches.Increment(3);
+  series.SampleAt(1.0);
+  loss.Set(0.5);
+  batches.Increment(2);
+  series.SampleAt(2.0);
+
+  ASSERT_EQ(series.num_points(), 2u);
+  ASSERT_EQ(series.num_tracks(), 2u);
+  EXPECT_EQ(series.times(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(*series.FindTrack("loss"), (std::vector<double>{0.9, 0.5}));
+  EXPECT_EQ(*series.FindTrack("batches"), (std::vector<double>{3.0, 5.0}));
+  EXPECT_EQ(series.FindTrack("absent"), nullptr);
+}
+
+TEST(TimeSeriesTest, CounterRateIsPerWindowDelta) {
+  Counter served;
+  // Microsecond clock, per-second rate.
+  TimeSeries series({.capacity = 8, .period = 1.0, .clock = "virtual_us"});
+  series.AddCounterRate("qps", &served, /*time_scale=*/1e6);
+
+  served.Increment(100);
+  series.SampleAt(1'000'000.0);  // 100 events over the first second
+  served.Increment(50);
+  series.SampleAt(1'500'000.0);  // 50 events over the next half second
+  series.SampleAt(2'000'000.0);  // idle window
+
+  const std::vector<double>& qps = *series.FindTrack("qps");
+  ASSERT_EQ(qps.size(), 3u);
+  EXPECT_DOUBLE_EQ(qps[0], 100.0);
+  EXPECT_DOUBLE_EQ(qps[1], 100.0);  // 50 / 0.5 s
+  EXPECT_DOUBLE_EQ(qps[2], 0.0);
+}
+
+TEST(TimeSeriesTest, QuantileProbeIsCumulativeWindowQuantileIsNot) {
+  Histogram latency({1.0, 2.0, 4.0, 8.0});
+  TimeSeries series({.capacity = 8, .period = 1.0});
+  series.AddQuantile("p50_all", &latency, 0.5);
+  series.AddWindowQuantile("p50_window", &latency, 0.5);
+
+  for (int i = 0; i < 10; ++i) latency.Observe(1.5);  // bucket (1, 2]
+  series.SampleAt(1.0);
+  for (int i = 0; i < 10; ++i) latency.Observe(6.0);  // bucket (4, 8]
+  series.SampleAt(2.0);
+
+  const std::vector<double>& all = *series.FindTrack("p50_all");
+  const std::vector<double>& window = *series.FindTrack("p50_window");
+  // First point: both views see only the (1, 2] samples.
+  EXPECT_GT(all[0], 1.0);
+  EXPECT_LE(all[0], 2.0);
+  EXPECT_GT(window[0], 1.0);
+  EXPECT_LE(window[0], 2.0);
+  // Second point: the cumulative p50 straddles both batches while the
+  // window p50 sees only the new (4, 8] samples.
+  EXPECT_LE(all[1], 4.0);
+  EXPECT_GT(window[1], 4.0);
+  EXPECT_LE(window[1], 8.0);
+}
+
+TEST(TimeSeriesTest, WindowQuantileEmptyWindowIsZero) {
+  Histogram latency({1.0, 2.0});
+  TimeSeries series({.capacity = 8, .period = 1.0});
+  series.AddWindowQuantile("p99", &latency, 0.99);
+  latency.Observe(1.5);
+  series.SampleAt(1.0);
+  series.SampleAt(2.0);  // no new observations
+  const std::vector<double>& p99 = *series.FindTrack("p99");
+  EXPECT_GT(p99[0], 0.0);
+  EXPECT_DOUBLE_EQ(p99[1], 0.0);
+}
+
+TEST(TimeSeriesTest, WindowMeanAveragesOnlyNewSamples) {
+  Histogram batch(Histogram::LinearBuckets(1.0, 1.0, 8));
+  TimeSeries series({.capacity = 8, .period = 1.0});
+  series.AddWindowMean("batch_mean", &batch);
+
+  batch.Observe(2.0);
+  batch.Observe(4.0);
+  series.SampleAt(1.0);
+  batch.Observe(8.0);
+  series.SampleAt(2.0);
+  series.SampleAt(3.0);
+
+  const std::vector<double>& mean = *series.FindTrack("batch_mean");
+  EXPECT_DOUBLE_EQ(mean[0], 3.0);
+  EXPECT_DOUBLE_EQ(mean[1], 8.0);
+  EXPECT_DOUBLE_EQ(mean[2], 0.0);  // empty window
+}
+
+TEST(TimeSeriesTest, CallbackAndCallbackRateProbes) {
+  double depth = 0.0;
+  double total = 0.0;
+  TimeSeries series({.capacity = 8, .period = 1.0});
+  series.AddProbe("depth", [&] { return depth; });
+  series.AddProbeRate("rate", [&] { return total; });
+
+  depth = 3.0;
+  total = 10.0;
+  series.SampleAt(2.0);
+  depth = 1.0;
+  total = 16.0;
+  series.SampleAt(4.0);
+
+  EXPECT_EQ(*series.FindTrack("depth"), (std::vector<double>{3.0, 1.0}));
+  const std::vector<double>& rate = *series.FindTrack("rate");
+  EXPECT_DOUBLE_EQ(rate[0], 5.0);  // 10 over [0, 2]
+  EXPECT_DOUBLE_EQ(rate[1], 3.0);  // 6 over (2, 4]
+}
+
+TEST(TimeSeriesTest, MaybeSampleHonoursPeriod) {
+  Gauge g;
+  TimeSeries series({.capacity = 16, .period = 10.0});
+  series.AddGauge("g", &g);
+
+  EXPECT_FALSE(series.MaybeSample(1.0));
+  EXPECT_FALSE(series.MaybeSample(9.9));
+  EXPECT_TRUE(series.MaybeSample(10.0));
+  EXPECT_FALSE(series.MaybeSample(15.0));
+  EXPECT_TRUE(series.MaybeSample(20.0));
+  // A burst at one timestamp samples at most once.
+  EXPECT_TRUE(series.MaybeSample(40.0));
+  EXPECT_FALSE(series.MaybeSample(40.0));
+  EXPECT_EQ(series.times(), (std::vector<double>{10.0, 20.0, 40.0}));
+}
+
+TEST(TimeSeriesTest, NonAdvancingSampleAtIsIgnored) {
+  Gauge g;
+  TimeSeries series({.capacity = 8, .period = 1.0});
+  series.AddGauge("g", &g);
+  series.SampleAt(5.0);
+  series.SampleAt(5.0);  // duplicate timestamp
+  series.SampleAt(3.0);  // clock went backwards
+  series.SampleAt(6.0);
+  EXPECT_EQ(series.times(), (std::vector<double>{5.0, 6.0}));
+}
+
+TEST(TimeSeriesTest, CompactionKeepsFullRunCoverageWithinCapacity) {
+  Gauge g;
+  TimeSeries series({.capacity = 8, .period = 1.0});
+  series.AddGauge("g", &g);
+  for (int t = 1; t <= 100; ++t) {
+    g.Set(static_cast<double>(t));
+    series.SampleAt(static_cast<double>(t));
+  }
+  // Never over capacity, strictly increasing timestamps, and the retained
+  // points still span the run rather than only its head or tail.
+  EXPECT_LE(series.num_points(), 8u);
+  EXPECT_GE(series.num_points(), 4u);
+  const std::vector<double>& times = series.times();
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i - 1], times[i]);
+  }
+  EXPECT_DOUBLE_EQ(times.front(), 1.0);
+  EXPECT_GE(times.back(), 90.0);
+  EXPECT_GT(series.period(), 1.0);  // doubled at least once
+  // Gauge values rode along with their timestamps.
+  const std::vector<double>& track = *series.FindTrack("g");
+  for (size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(track[i], times[i]);
+  }
+}
+
+TEST(TimeSeriesTest, CompactionIsDeterministic) {
+  auto run = [] {
+    Gauge g;
+    TimeSeries series({.capacity = 4, .period = 1.0});
+    series.AddGauge("g", &g);
+    for (int t = 1; t <= 37; ++t) {
+      g.Set(std::sqrt(static_cast<double>(t)));
+      series.SampleAt(static_cast<double>(t));
+    }
+    return series.ToJson();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TimeSeriesTest, JsonShapeParsesWithAlignedTracks) {
+  Gauge loss;
+  Counter n;
+  TimeSeries series({.capacity = 8, .period = 2.0, .clock = "epoch"});
+  series.AddGauge("loss", &loss);
+  series.AddCounter("batches", &n);
+  loss.Set(0.25);
+  n.Increment(7);
+  series.SampleAt(1.0);
+  series.SampleAt(2.0);
+
+  auto parsed = JsonParse(series.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("clock")->string, "epoch");
+  EXPECT_DOUBLE_EQ(root.Find("period")->number, 2.0);
+  EXPECT_DOUBLE_EQ(root.Find("points")->number, 2.0);
+  const JsonValue* times = root.Find("times");
+  ASSERT_NE(times, nullptr);
+  ASSERT_EQ(times->array.size(), 2u);
+  const JsonValue* tracks = root.Find("tracks");
+  ASSERT_NE(tracks, nullptr);
+  ASSERT_TRUE(tracks->is_object());
+  ASSERT_EQ(tracks->object.size(), 2u);
+  // Registration order preserved; every track aligned with times.
+  EXPECT_EQ(tracks->object[0].first, "loss");
+  EXPECT_EQ(tracks->object[1].first, "batches");
+  for (const auto& [name, track] : tracks->object) {
+    EXPECT_EQ(track.array.size(), times->array.size()) << name;
+  }
+  EXPECT_DOUBLE_EQ(tracks->Find("loss")->array[0].number, 0.25);
+  EXPECT_DOUBLE_EQ(tracks->Find("batches")->array[1].number, 7.0);
+}
+
+TEST(TimeSeriesTest, SamplingDoesNotAllocateBeyondPreallocation) {
+  Gauge g;
+  TimeSeries series({.capacity = 32, .period = 1.0});
+  series.AddGauge("g", &g);
+  series.SampleAt(1.0);
+  const double* times_data = series.times().data();
+  const double* track_data = series.track(0).data();
+  for (int t = 2; t <= 32; ++t) series.SampleAt(static_cast<double>(t));
+  // Reserved at construction: filling to capacity must not reallocate.
+  EXPECT_EQ(series.times().data(), times_data);
+  EXPECT_EQ(series.track(0).data(), track_data);
+}
+
+}  // namespace
+}  // namespace agnn::obs

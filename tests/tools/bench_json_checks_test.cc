@@ -1,0 +1,205 @@
+// Feeds bench_json_checks.h synthetically broken artifacts that a healthy
+// bench never emits — missing SLO keys, NaN values (which JsonWriter
+// serializes as null), a stripped provenance block, non-monotone series
+// clocks — and checks each one is rejected with a pointed message. The
+// happy path is covered by the ctest fixtures running validate_bench_json
+// on real bench output; this test covers the sad paths those fixtures
+// can't reach.
+
+#include "bench_json_checks.h"
+
+#include <string>
+
+#include "agnn/obs/json.h"
+#include "gtest/gtest.h"
+
+namespace agnn::tools {
+namespace {
+
+constexpr char kProvenance[] =
+    R"({"git_sha":"abc123def456","git_dirty":false,"build_type":"Release",)"
+    R"("compiler":"g++ 12","cxx_flags":"-O2 -DNDEBUG","seed":7,)"
+    R"("scale":"small","precision":"f32","checkpoint_version":1,)"
+    R"("shard_version":1,"quantized_shard_version":1,"schema":2})";
+
+constexpr char kSeries[] =
+    R"({"gateway":{"clock":"virtual_us","period":100,"points":3,)"
+    R"("times":[100,200,300],)"
+    R"("tracks":{"qps":[10,12,11],"shed":[0,0,1]}}})";
+
+struct ArtifactParts {
+  std::string name = "bench_json_checks_test";
+  std::string top = R"("seed":7,"wall_ms":1.5,"peak_rss_kb":100)";
+  std::string config = "{}";
+  std::string provenance = kProvenance;
+  std::string metrics = R"({"ml100k/ics/AGNN/rmse":0.9})";
+  std::string registry = "{}";
+  std::string series = "{}";
+};
+
+std::string Render(const ArtifactParts& parts) {
+  return "{\"name\":\"" + parts.name + "\"," + parts.top +
+         ",\"config\":" + parts.config +
+         ",\"provenance\":" + parts.provenance +
+         ",\"metrics\":" + parts.metrics +
+         ",\"registry\":" + parts.registry + ",\"series\":" + parts.series +
+         "}";
+}
+
+std::string Check(const std::string& text) {
+  StatusOr<obs::JsonValue> parsed = obs::JsonParse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return "unparseable test document";
+  return CheckBenchJson(*parsed);
+}
+
+std::string Replaced(std::string text, const std::string& from,
+                     const std::string& to) {
+  const size_t at = text.find(from);
+  EXPECT_NE(at, std::string::npos) << from;
+  if (at == std::string::npos) return text;
+  return text.replace(at, from.size(), to);
+}
+
+TEST(BenchJsonChecksTest, ValidArtifactPasses) {
+  EXPECT_EQ(Check(Render({})), "");
+}
+
+TEST(BenchJsonChecksTest, ValidArtifactWithSeriesPasses) {
+  ArtifactParts parts;
+  parts.series = kSeries;
+  EXPECT_EQ(Check(Render(parts)), "");
+}
+
+TEST(BenchJsonChecksTest, MissingNameFails) {
+  ArtifactParts parts;
+  parts.name = "";
+  EXPECT_NE(Check(Render(parts)).find("\"name\""), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, NanWallMsFails) {
+  // JsonWriter serializes NaN as null (json.h), so a bench that computed
+  // garbage shows up as a non-number here.
+  ArtifactParts parts;
+  parts.top = R"("seed":7,"wall_ms":null,"peak_rss_kb":100)";
+  EXPECT_NE(Check(Render(parts)).find("wall_ms"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, MissingProvenanceBlockFails) {
+  const std::string text =
+      Replaced(Render({}), std::string(",\"provenance\":") + kProvenance, "");
+  EXPECT_NE(Check(text).find("provenance"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, ProvenanceEmptyGitShaFails) {
+  ArtifactParts parts;
+  parts.provenance =
+      Replaced(kProvenance, "\"git_sha\":\"abc123def456\"",
+               "\"git_sha\":\"\"");
+  EXPECT_NE(Check(Render(parts)).find("git_sha"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, ProvenanceNonBoolDirtyFlagFails) {
+  ArtifactParts parts;
+  parts.provenance =
+      Replaced(kProvenance, "\"git_dirty\":false", "\"git_dirty\":0");
+  EXPECT_NE(Check(Render(parts)).find("git_dirty"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, ProvenanceNanSeedFails) {
+  ArtifactParts parts;
+  parts.provenance = Replaced(kProvenance, "\"seed\":7", "\"seed\":null");
+  EXPECT_NE(Check(Render(parts)).find("seed"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, SeriesNonMonotoneTimesFail) {
+  ArtifactParts parts;
+  parts.series = Replaced(kSeries, "[100,200,300]", "[100,300,200]");
+  EXPECT_NE(Check(Render(parts)).find("strictly increasing"),
+            std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, SeriesRepeatedTimestampFails) {
+  // The sampler's clock is strictly increasing by contract (SampleAt drops
+  // non-advancing calls), so even a repeat is corruption.
+  ArtifactParts parts;
+  parts.series = Replaced(kSeries, "[100,200,300]", "[100,200,200]");
+  EXPECT_NE(Check(Render(parts)).find("strictly increasing"),
+            std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, SeriesTrackLengthMismatchFails) {
+  ArtifactParts parts;
+  parts.series = Replaced(kSeries, "\"shed\":[0,0,1]", "\"shed\":[0,0]");
+  EXPECT_NE(Check(Render(parts)).find("shed"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, SeriesNanTrackValueFails) {
+  ArtifactParts parts;
+  parts.series = Replaced(kSeries, "\"qps\":[10,12,11]",
+                          "\"qps\":[10,null,11]");
+  EXPECT_NE(Check(Render(parts)).find("qps"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, SeriesPointsCountMismatchFails) {
+  ArtifactParts parts;
+  parts.series = Replaced(kSeries, "\"points\":3", "\"points\":2");
+  EXPECT_NE(Check(Render(parts)).find("points"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, MissingSeriesSectionFails) {
+  const std::string text = Replaced(Render({}), ",\"series\":{}", "");
+  EXPECT_NE(Check(text).find("series"), std::string::npos);
+}
+
+constexpr char kGatewayMetrics[] =
+    R"({"load/sustained_qps":1998,"latency/p50_ms":1.4,)"
+    R"("latency/p95_ms":2.0,"latency/p99_ms":2.1,"gate/bitwise_equal":1})";
+constexpr char kGatewayRegistry[] =
+    R"({"histograms":{"gateway/batch_size":{"count":20,"sum":96}}})";
+
+ArtifactParts GatewayParts() {
+  ArtifactParts parts;
+  parts.name = "serving_gateway";
+  parts.metrics = kGatewayMetrics;
+  parts.registry = kGatewayRegistry;
+  return parts;
+}
+
+TEST(BenchJsonChecksTest, GatewayArtifactPasses) {
+  EXPECT_EQ(Check(Render(GatewayParts())), "");
+}
+
+TEST(BenchJsonChecksTest, GatewayMissingSloKeyFails) {
+  ArtifactParts parts = GatewayParts();
+  parts.metrics =
+      Replaced(parts.metrics, R"("latency/p95_ms":2.0,)", "");
+  EXPECT_NE(Check(Render(parts)).find("latency/p95_ms"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, GatewayNanSloKeyFails) {
+  ArtifactParts parts = GatewayParts();
+  parts.metrics = Replaced(parts.metrics, "\"latency/p99_ms\":2.1",
+                           "\"latency/p99_ms\":null");
+  EXPECT_NE(Check(Render(parts)).find("latency/p99_ms"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, GatewayEmptyBatchHistogramFails) {
+  ArtifactParts parts = GatewayParts();
+  parts.registry = Replaced(parts.registry, "\"count\":20", "\"count\":0");
+  EXPECT_NE(Check(Render(parts)).find("batch_size"), std::string::npos);
+}
+
+TEST(BenchJsonChecksTest, QuantizedMissingGateKeyFails) {
+  ArtifactParts parts;
+  parts.name = "quantized_serving";
+  parts.metrics =
+      R"({"precision/rmse_delta":0.001,"precision/mae_delta":0.001,)"
+      R"("precision/ordering_preserved":1,"artifact/bytes_ratio":3.4,)"
+      R"("artifact/shard_bytes_ratio":3.9,"serve/rss_ratio":2.5})";
+  EXPECT_NE(Check(Render(parts)).find("gate/f32_bitwise_equal"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace agnn::tools

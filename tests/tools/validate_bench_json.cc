@@ -1,8 +1,10 @@
 // Validates a BENCH_<name>.json artifact emitted by a bench binary
-// (bench/bench_util.h): the file must parse as JSON and carry the required
-// top-level keys. Registered in ctest behind a fixture that runs one fast
-// bench with --metrics_json, so the emission path is exercised end-to-end
-// on every test run.
+// (bench/bench_util.h): the file must parse as JSON and satisfy the full
+// structural contract in bench_json_checks.h — required top-level keys,
+// the §16 provenance block, internally consistent series sections, and the
+// per-bench SLO/accuracy-gate metrics. Registered in ctest behind fixtures
+// that run fast benches with --metrics_json, so the emission path is
+// exercised end-to-end on every test run.
 //
 // Usage: validate_bench_json <path> [<path>...]; exits non-zero with a
 // message on the first invalid artifact.
@@ -12,6 +14,7 @@
 
 #include "agnn/common/status.h"
 #include "agnn/obs/json.h"
+#include "bench_json_checks.h"
 
 namespace agnn {
 namespace {
@@ -36,85 +39,14 @@ int Validate(const std::string& path) {
                  std::string(parsed.status().message()).c_str());
     return 1;
   }
-  const obs::JsonValue& root = *parsed;
-  if (!root.is_object()) {
-    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+  const std::string error = tools::CheckBenchJson(*parsed);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
     return 1;
-  }
-  const obs::JsonValue* name = root.Find("name");
-  if (name == nullptr || !name->is_string() || name->string.empty()) {
-    std::fprintf(stderr, "%s: missing string key \"name\"\n", path.c_str());
-    return 1;
-  }
-  for (const char* key : {"seed", "wall_ms", "peak_rss_kb"}) {
-    const obs::JsonValue* v = root.Find(key);
-    if (v == nullptr || !v->is_number()) {
-      std::fprintf(stderr, "%s: missing numeric key \"%s\"\n", path.c_str(),
-                   key);
-      return 1;
-    }
-  }
-  for (const char* key : {"config", "metrics", "registry"}) {
-    const obs::JsonValue* v = root.Find(key);
-    if (v == nullptr || !v->is_object()) {
-      std::fprintf(stderr, "%s: missing object key \"%s\"\n", path.c_str(),
-                   key);
-      return 1;
-    }
-  }
-  // Gateway artifacts carry the SLO contract (DESIGN.md §14): throughput,
-  // tail percentiles, the bitwise gate, and the adaptive batch-size
-  // histogram must all be present for the perf trajectory to chart them.
-  if (name->string == "serving_gateway") {
-    const obs::JsonValue& metrics = *root.Find("metrics");
-    for (const char* key :
-         {"load/sustained_qps", "latency/p50_ms", "latency/p95_ms",
-          "latency/p99_ms", "gate/bitwise_equal"}) {
-      const obs::JsonValue* v = metrics.Find(key);
-      if (v == nullptr || !v->is_number()) {
-        std::fprintf(stderr, "%s: gateway artifact missing numeric metric "
-                     "\"%s\"\n", path.c_str(), key);
-        return 1;
-      }
-    }
-    const obs::JsonValue* histograms =
-        root.Find("registry")->Find("histograms");
-    const obs::JsonValue* batch_size =
-        histograms == nullptr ? nullptr : histograms->Find(
-                                              "gateway/batch_size");
-    if (batch_size == nullptr || !batch_size->is_object()) {
-      std::fprintf(stderr, "%s: gateway artifact missing registry histogram "
-                   "\"gateway/batch_size\"\n", path.c_str());
-      return 1;
-    }
-    const obs::JsonValue* count = batch_size->Find("count");
-    if (count == nullptr || !count->is_number() || count->number < 1.0) {
-      std::fprintf(stderr, "%s: \"gateway/batch_size\" histogram is empty\n",
-                   path.c_str());
-      return 1;
-    }
-  }
-  // Quantized-serving artifacts carry the accuracy gate (DESIGN.md §15):
-  // the f32-vs-int8 accuracy deltas, the Table-2 ordering-preservation
-  // verdict, the artifact/RSS compression ratios, and the f32 bitwise gate
-  // must all be present for the precision trajectory to chart them.
-  if (name->string == "quantized_serving") {
-    const obs::JsonValue& metrics = *root.Find("metrics");
-    for (const char* key :
-         {"precision/rmse_delta", "precision/mae_delta",
-          "precision/ordering_preserved", "artifact/bytes_ratio",
-          "artifact/shard_bytes_ratio", "serve/rss_ratio",
-          "gate/f32_bitwise_equal"}) {
-      const obs::JsonValue* v = metrics.Find(key);
-      if (v == nullptr || !v->is_number()) {
-        std::fprintf(stderr, "%s: quantized artifact missing numeric metric "
-                     "\"%s\"\n", path.c_str(), key);
-        return 1;
-      }
-    }
   }
   std::printf("%s: ok (name=%s, %zu metrics)\n", path.c_str(),
-              name->string.c_str(), root.Find("metrics")->object.size());
+              parsed->Find("name")->string.c_str(),
+              parsed->Find("metrics")->object.size());
   return 0;
 }
 

@@ -1,0 +1,505 @@
+// agnn_inspect — reads the BENCH_*.json artifacts the bench binaries emit
+// (DESIGN.md §16) and answers the three questions a perf trajectory needs:
+//
+//   agnn_inspect summary <artifact.json>
+//       What ran, on which commit/build, and what did it measure? Prints the
+//       provenance block, headline metrics, and a per-series overview.
+//
+//   agnn_inspect series <artifact.json> [--series=name] [--width=N]
+//       ASCII sparkline table of every time-series track (one row per
+//       track: min / max / last plus the resampled curve), so a training
+//       curve or a latency trajectory is legible without leaving the
+//       terminal.
+//
+//   agnn_inspect diff <baseline.json> <candidate.json>
+//                 [--tol=REL] [--tol=PREFIX=REL]... [--ignore=SUBSTR]...
+//       Key-by-key comparison of the two artifacts' `metrics` sections with
+//       per-key relative-tolerance thresholds. Exits 0 when every baseline
+//       key is present, numeric, and within tolerance; 1 on any regression
+//       (missing key, non-numeric value — NaN serializes as null — or
+//       relative delta above the threshold); 2 on usage/parse errors.
+//       `--tol=PREFIX=REL` overrides the default for keys starting with
+//       PREFIX (longest matching prefix wins); `--ignore=SUBSTR` skips keys
+//       containing SUBSTR (wall-clock keys are machine-dependent). Checked
+//       against bench/baselines/ in ctest, which makes the bench suite a
+//       self-checking perf trajectory.
+//
+// Flags are hand-parsed: the shared FlagParser is a pure --key=value map
+// and this tool needs positional paths and repeatable flags.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agnn/common/table.h"
+#include "agnn/obs/json.h"
+
+namespace agnn::tools {
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kRegression = 1;
+constexpr int kUsage = 2;
+
+constexpr char kUsageText[] =
+    "usage: agnn_inspect summary <artifact.json>\n"
+    "       agnn_inspect series  <artifact.json> [--series=name] "
+    "[--width=N]\n"
+    "       agnn_inspect diff    <baseline.json> <candidate.json>\n"
+    "                            [--tol=REL] [--tol=PREFIX=REL]... "
+    "[--ignore=SUBSTR]...\n";
+
+// ---------------------------------------------------------------------------
+// Artifact loading.
+
+bool LoadArtifact(const std::string& path, obs::JsonValue* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "agnn_inspect: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<obs::JsonValue> parsed = obs::JsonParse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "agnn_inspect: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(parsed).value();
+  if (!out->is_object()) {
+    std::fprintf(stderr, "agnn_inspect: %s: root is not an object\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string NumberCell(double value) {
+  // Large counts read better without the fractional noise Table::Cell adds.
+  if (std::floor(value) == value && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  return Table::Cell(value);
+}
+
+std::string StringOr(const obs::JsonValue& object, const std::string& key,
+                     const std::string& fallback) {
+  const obs::JsonValue* value = object.Find(key);
+  return value != nullptr && value->is_string() ? value->string
+                                                : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// summary
+
+void PrintProvenance(const obs::JsonValue& artifact) {
+  const obs::JsonValue* provenance = artifact.Find("provenance");
+  if (provenance == nullptr || !provenance->is_object()) {
+    std::printf("provenance: (missing — pre-§16 artifact)\n");
+    return;
+  }
+  std::printf("provenance:\n");
+  for (const auto& [key, value] : provenance->object) {
+    std::string rendered;
+    if (value.is_string()) {
+      rendered = value.string;
+    } else if (value.is_number()) {
+      rendered = NumberCell(value.number);
+    } else if (value.type == obs::JsonValue::Type::kBool) {
+      rendered = value.boolean ? "true" : "false";
+    } else {
+      rendered = "null";
+    }
+    std::printf("  %-24s %s\n", key.c_str(), rendered.c_str());
+  }
+}
+
+int RunSummary(const std::string& path) {
+  obs::JsonValue artifact;
+  if (!LoadArtifact(path, &artifact)) return kUsage;
+
+  std::printf("artifact: %s\n", path.c_str());
+  std::printf("name:     %s\n", StringOr(artifact, "name", "?").c_str());
+  const obs::JsonValue* wall = artifact.Find("wall_ms");
+  if (wall != nullptr && wall->is_number()) {
+    std::printf("wall_ms:  %s\n", NumberCell(wall->number).c_str());
+  }
+  PrintProvenance(artifact);
+
+  const obs::JsonValue* metrics = artifact.Find("metrics");
+  if (metrics != nullptr && metrics->is_object() &&
+      !metrics->object.empty()) {
+    Table table({"Metric", "Value"});
+    for (const auto& [key, value] : metrics->object) {
+      table.AddRow({key, value.is_number() ? NumberCell(value.number)
+                                           : std::string("(non-numeric)")});
+    }
+    std::printf("\nmetrics (%zu):\n%s", metrics->object.size(),
+                table.ToString().c_str());
+  } else {
+    std::printf("\nmetrics: (none)\n");
+  }
+
+  const obs::JsonValue* registry = artifact.Find("registry");
+  if (registry != nullptr && registry->is_object()) {
+    std::printf("\nregistry: %zu instrument(s)\n",
+                registry->object.size());
+  }
+
+  const obs::JsonValue* series = artifact.Find("series");
+  if (series != nullptr && series->is_object() &&
+      !series->object.empty()) {
+    Table table({"Series", "Clock", "Points", "Period", "Tracks"});
+    for (const auto& [name, one] : series->object) {
+      if (!one.is_object()) continue;
+      const obs::JsonValue* points = one.Find("points");
+      const obs::JsonValue* period = one.Find("period");
+      const obs::JsonValue* tracks = one.Find("tracks");
+      table.AddRow(
+          {name, StringOr(one, "clock", "?"),
+           points != nullptr && points->is_number()
+               ? NumberCell(points->number)
+               : "?",
+           period != nullptr && period->is_number()
+               ? NumberCell(period->number)
+               : "?",
+           tracks != nullptr && tracks->is_object()
+               ? std::to_string(tracks->object.size())
+               : "?"});
+    }
+    std::printf("\nseries (%zu):\n%s", series->object.size(),
+                table.ToString().c_str());
+  } else {
+    std::printf("\nseries: (none)\n");
+  }
+  return kOk;
+}
+
+// ---------------------------------------------------------------------------
+// series
+
+/// Resamples `values` to `width` columns and renders each column as one
+/// character from a density ramp, scaled to the track's own [min, max].
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static constexpr char kRamp[] = " .:-=+*#";
+  constexpr size_t kLevels = sizeof(kRamp) - 2;  // Index of the top glyph.
+  if (values.empty()) return "";
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const size_t columns = std::min(width, values.size());
+  std::string line(columns, ' ');
+  for (size_t c = 0; c < columns; ++c) {
+    // Nearest-sample resampling keeps first and last points anchored.
+    const size_t index =
+        columns == 1 ? 0 : c * (values.size() - 1) / (columns - 1);
+    const double v = values[index];
+    size_t level = kLevels;  // Flat tracks render at full density.
+    if (hi > lo) {
+      level = static_cast<size_t>((v - lo) / (hi - lo) * kLevels + 0.5);
+    }
+    line[c] = kRamp[std::min(level, kLevels)];
+  }
+  return line;
+}
+
+int RunSeries(const std::string& path, const std::string& only,
+              size_t width) {
+  obs::JsonValue artifact;
+  if (!LoadArtifact(path, &artifact)) return kUsage;
+  const obs::JsonValue* series = artifact.Find("series");
+  if (series == nullptr || !series->is_object() ||
+      series->object.empty()) {
+    std::printf("%s: no series sections\n", path.c_str());
+    return only.empty() ? kOk : kUsage;
+  }
+
+  bool found = false;
+  for (const auto& [name, one] : series->object) {
+    if (!only.empty() && name != only) continue;
+    found = true;
+    if (!one.is_object()) continue;
+    const obs::JsonValue* times = one.Find("times");
+    const obs::JsonValue* tracks = one.Find("tracks");
+    const size_t points =
+        times != nullptr && times->type == obs::JsonValue::Type::kArray ? times->array.size() : 0;
+    std::printf("series %s  (clock=%s, %zu point%s)\n", name.c_str(),
+                StringOr(one, "clock", "?").c_str(), points,
+                points == 1 ? "" : "s");
+    if (tracks == nullptr || !tracks->is_object() || points == 0) {
+      std::printf("  (empty)\n\n");
+      continue;
+    }
+    Table table({"Track", "Min", "Max", "Last", "Curve"});
+    for (const auto& [track_name, track] : tracks->object) {
+      if (track.type != obs::JsonValue::Type::kArray) continue;
+      std::vector<double> values;
+      values.reserve(track.array.size());
+      for (const obs::JsonValue& v : track.array) {
+        values.push_back(v.is_number() ? v.number
+                                       : std::nan(""));
+      }
+      if (values.empty()) continue;
+      double lo = values[0];
+      double hi = values[0];
+      for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      table.AddRow({track_name, NumberCell(lo), NumberCell(hi),
+                    NumberCell(values.back()),
+                    "|" + Sparkline(values, width) + "|"});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  if (!found) {
+    std::fprintf(stderr, "agnn_inspect: no series named '%s' in %s\n",
+                 only.c_str(), path.c_str());
+    return kUsage;
+  }
+  return kOk;
+}
+
+// ---------------------------------------------------------------------------
+// diff
+
+struct TolRule {
+  std::string prefix;  // Empty = the default rule.
+  double tolerance = 0.0;
+};
+
+/// Longest matching prefix wins; the empty-prefix default always matches.
+double ToleranceFor(const std::string& key, double default_tolerance,
+                    const std::vector<TolRule>& rules) {
+  double tolerance = default_tolerance;
+  size_t best = 0;
+  bool matched = false;
+  for (const TolRule& rule : rules) {
+    if (key.rfind(rule.prefix, 0) != 0) continue;
+    if (!matched || rule.prefix.size() >= best) {
+      best = rule.prefix.size();
+      tolerance = rule.tolerance;
+      matched = true;
+    }
+  }
+  return tolerance;
+}
+
+bool Ignored(const std::string& key, const std::vector<std::string>& ignores) {
+  for (const std::string& substr : ignores) {
+    if (key.find(substr) != std::string::npos) return true;
+  }
+  return false;
+}
+
+int RunDiff(const std::string& baseline_path,
+            const std::string& candidate_path, double default_tolerance,
+            const std::vector<TolRule>& rules,
+            const std::vector<std::string>& ignores) {
+  obs::JsonValue baseline;
+  obs::JsonValue candidate;
+  if (!LoadArtifact(baseline_path, &baseline) ||
+      !LoadArtifact(candidate_path, &candidate)) {
+    return kUsage;
+  }
+
+  const obs::JsonValue* baseline_prov = baseline.Find("provenance");
+  const obs::JsonValue* candidate_prov = candidate.Find("provenance");
+  std::printf("baseline:  %s  (%s)\n", baseline_path.c_str(),
+              baseline_prov != nullptr && baseline_prov->is_object()
+                  ? StringOr(*baseline_prov, "git_sha", "?").c_str()
+                  : "no provenance");
+  std::printf("candidate: %s  (%s)\n", candidate_path.c_str(),
+              candidate_prov != nullptr && candidate_prov->is_object()
+                  ? StringOr(*candidate_prov, "git_sha", "?").c_str()
+                  : "no provenance");
+
+  const obs::JsonValue* baseline_metrics = baseline.Find("metrics");
+  const obs::JsonValue* candidate_metrics = candidate.Find("metrics");
+  if (baseline_metrics == nullptr || !baseline_metrics->is_object()) {
+    std::fprintf(stderr, "agnn_inspect: baseline has no metrics object\n");
+    return kUsage;
+  }
+  if (candidate_metrics == nullptr || !candidate_metrics->is_object()) {
+    std::fprintf(stderr, "agnn_inspect: candidate has no metrics object\n");
+    return kUsage;
+  }
+
+  size_t compared = 0;
+  size_t skipped = 0;
+  std::vector<std::string> failures;
+  Table table({"Key", "Baseline", "Candidate", "Delta", "Tol", "Verdict"});
+  for (const auto& [key, baseline_value] : baseline_metrics->object) {
+    if (Ignored(key, ignores)) {
+      ++skipped;
+      continue;
+    }
+    const double tolerance = ToleranceFor(key, default_tolerance, rules);
+    char tol_cell[32];
+    std::snprintf(tol_cell, sizeof(tol_cell), "%g", tolerance);
+    const obs::JsonValue* candidate_value = candidate_metrics->Find(key);
+    if (candidate_value == nullptr) {
+      failures.push_back(key + ": missing from candidate");
+      table.AddRow({key, NumberCell(baseline_value.number), "(missing)",
+                    "-", tol_cell, "FAIL"});
+      continue;
+    }
+    if (!baseline_value.is_number() || !candidate_value->is_number()) {
+      // JsonWriter serializes NaN/Inf as null, so a null here means the
+      // bench computed garbage — always a failure, never "equal".
+      failures.push_back(key + ": non-numeric value");
+      table.AddRow({key, baseline_value.is_number() ? "number" : "non-num",
+                    candidate_value->is_number() ? "number" : "non-num", "-",
+                    tol_cell, "FAIL"});
+      continue;
+    }
+    ++compared;
+    const double b = baseline_value.number;
+    const double c = candidate_value->number;
+    // Relative delta against the baseline magnitude; a zero baseline
+    // degenerates to an absolute comparison against the same threshold.
+    const double scale = std::max(std::fabs(b), 1e-12);
+    const double delta = std::fabs(c - b) / scale;
+    const bool ok = delta <= tolerance;
+    if (!ok) {
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "%s: %.6g -> %.6g (rel delta %.3g > tol %g)", key.c_str(),
+                    b, c, delta, tolerance);
+      failures.push_back(detail);
+    }
+    char delta_cell[32];
+    std::snprintf(delta_cell, sizeof(delta_cell), "%+.3g%%",
+                  (c - b) / scale * 100.0);
+    table.AddRow({key, NumberCell(b), NumberCell(c), delta_cell, tol_cell,
+                  ok ? "ok" : "FAIL"});
+  }
+
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("%zu key(s) compared, %zu ignored, %zu failure(s)\n", compared,
+              skipped, failures.size());
+  if (!failures.empty()) {
+    std::printf("\nregressions:\n");
+    for (const std::string& failure : failures) {
+      std::printf("  %s\n", failure.c_str());
+    }
+    return kRegression;
+  }
+  return kOk;
+}
+
+// ---------------------------------------------------------------------------
+// argv handling
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsageText, stderr);
+    return kUsage;
+  }
+  const std::string command = argv[1];
+
+  std::vector<std::string> paths;
+  double default_tolerance = 0.05;
+  std::vector<TolRule> rules;
+  std::vector<std::string> ignores;
+  std::string only_series;
+  size_t width = 60;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      paths.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    const std::string flag = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (flag == "--tol") {
+      // --tol=0.1 sets the default; --tol=prefix=0.1 adds a prefix rule.
+      const size_t inner = value.find('=');
+      char* end = nullptr;
+      if (inner == std::string::npos) {
+        default_tolerance = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' ||
+            !(default_tolerance >= 0.0)) {
+          std::fprintf(stderr, "agnn_inspect: bad --tol value '%s'\n",
+                       value.c_str());
+          return kUsage;
+        }
+      } else {
+        const std::string rel = value.substr(inner + 1);
+        TolRule rule;
+        rule.prefix = value.substr(0, inner);
+        rule.tolerance = std::strtod(rel.c_str(), &end);
+        if (end == rel.c_str() || *end != '\0' || !(rule.tolerance >= 0.0)) {
+          std::fprintf(stderr, "agnn_inspect: bad --tol value '%s'\n",
+                       value.c_str());
+          return kUsage;
+        }
+        rules.push_back(rule);
+      }
+    } else if (flag == "--ignore") {
+      if (value.empty()) {
+        std::fprintf(stderr, "agnn_inspect: --ignore needs a substring\n");
+        return kUsage;
+      }
+      ignores.push_back(value);
+    } else if (flag == "--series") {
+      only_series = value;
+    } else if (flag == "--width") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 1) {
+        std::fprintf(stderr, "agnn_inspect: bad --width value '%s'\n",
+                     value.c_str());
+        return kUsage;
+      }
+      width = static_cast<size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "agnn_inspect: unknown flag %s\n%s", flag.c_str(),
+                   kUsageText);
+      return kUsage;
+    }
+  }
+
+  if (command == "summary") {
+    if (paths.size() != 1) {
+      std::fputs(kUsageText, stderr);
+      return kUsage;
+    }
+    return RunSummary(paths[0]);
+  }
+  if (command == "series") {
+    if (paths.size() != 1) {
+      std::fputs(kUsageText, stderr);
+      return kUsage;
+    }
+    return RunSeries(paths[0], only_series, width);
+  }
+  if (command == "diff") {
+    if (paths.size() != 2) {
+      std::fputs(kUsageText, stderr);
+      return kUsage;
+    }
+    return RunDiff(paths[0], paths[1], default_tolerance, rules, ignores);
+  }
+  std::fprintf(stderr, "agnn_inspect: unknown command '%s'\n%s",
+               command.c_str(), kUsageText);
+  return kUsage;
+}
+
+}  // namespace
+}  // namespace agnn::tools
+
+int main(int argc, char** argv) { return agnn::tools::Main(argc, argv); }
