@@ -9,6 +9,7 @@
 #include "agnn/core/agnn_model.h"
 #include "agnn/core/embedding_store.h"
 #include "agnn/core/serving_checkpoint.h"
+#include "agnn/graph/dynamic_graph.h"
 #include "agnn/io/mapped_file.h"
 #include "agnn/obs/metrics.h"
 #include "agnn/obs/trace.h"
@@ -128,6 +129,76 @@ class InferenceSession {
                         const std::vector<size_t>& item_neighbor_ids,
                         float* out);
 
+  /// Online cold-start ingestion (DESIGN.md §17).
+  struct IngestOptions {
+    /// kNN degree of the per-side dynamic attribute graphs.
+    size_t top_k = 8;
+  };
+
+  /// Lifetime ingestion counters, exposed without a registry so tests and
+  /// benches can assert on them directly (the registry mirrors them under
+  /// ingest/*).
+  struct IngestStats {
+    uint64_t ingested_users = 0;
+    uint64_t ingested_items = 0;
+    /// Graph edges the ingested nodes linked (both sides combined).
+    uint64_t edges_linked = 0;
+    /// Cached fused-embedding rows marked stale by inserts / lazily
+    /// recomputed on their next gather. Adjacency-row churn is counted
+    /// separately, on the DynamicKnnGraphs themselves.
+    uint64_t rows_invalidated = 0;
+    uint64_t rows_refreshed = 0;
+  };
+
+  /// Turns the session mutable (DESIGN.md §17): builds per-side
+  /// DynamicKnnGraphs over the dataset's attribute catalog so IngestNode
+  /// can insert arriving nodes. Model-backed sessions only (an ingested
+  /// node's embedding is computed through the model's cold-start module);
+  /// `dataset` must be the session model's construction dataset and must
+  /// outlive the session. Until the first IngestNode, predictions are
+  /// bitwise-unchanged — enabling ingestion only adds validity bookkeeping
+  /// around the same cached rows.
+  void EnableIngestion(const data::Dataset& dataset,
+                       const IngestOptions& options);
+  void EnableIngestion(const data::Dataset& dataset) {
+    EnableIngestion(dataset, IngestOptions());
+  }
+
+  /// Ingests one attribute-only node (sorted unique slots, the Dataset
+  /// convention) into one side and returns its id, == the side's previous
+  /// node count. The node is inserted into the side's dynamic attribute
+  /// graph via top-k attribute-proximity search, its fused embedding p is
+  /// computed eagerly through the cold-start module (eVAE-generated x', so
+  /// the node is servable the moment this returns), and the cached rows of
+  /// its new graph neighbors are invalidated, to be lazily refreshed on
+  /// their next gather. Refreshes are bitwise-identical recomputations —
+  /// the post-ingest session equals a freshly built one over the same
+  /// post-ingest world (the §17 contract test).
+  size_t IngestNode(bool user_side, const std::vector<size_t>& attr_slots);
+
+  bool ingestion_enabled() const { return ingest_ != nullptr; }
+  const IngestStats& ingest_stats() const;
+
+  /// The side's dynamic attribute graph (null unless ingestion is
+  /// enabled). Mutable because reads lazily refresh stale adjacency rows —
+  /// the test/bench seam for Flatten() and churn counters.
+  graph::DynamicKnnGraph* ingest_graph(bool user_side);
+
+  /// Samples `count` neighbors of `node` from the side's dynamic graph,
+  /// appending onto `out` — how callers draw request neighbor lists that
+  /// may include (or target) ingested nodes. RNG consumption matches
+  /// graph::SampleNeighborsInto on the flattened graph.
+  void SampleIngestNeighborsInto(bool user_side, size_t node, size_t count,
+                                 Rng* rng, std::vector<size_t>* out);
+
+  /// The batch alternative IngestNode's incremental path is measured
+  /// against: recomputes EVERY cached row (base catalog chunk-by-chunk
+  /// exactly like construction, then all ingested rows) and marks them
+  /// valid. Bitwise no-op on the served bytes — bench/cold_ingestion gates
+  /// on that while charging the full-rebuild cost against the incremental
+  /// churn counters.
+  void RebuildIngestCaches();
+
   size_t num_users() const;
   size_t num_items() const;
   size_t embedding_dim() const { return dim_; }
@@ -173,9 +244,48 @@ class InferenceSession {
 
   /// The one seam between resident and lazy embedding storage: gathers
   /// `ids` rows of one side into `out` ([ids.size(), D]). Both backends
-  /// copy the same bytes (DESIGN.md §13 bitwise contract).
+  /// copy the same bytes (DESIGN.md §13 bitwise contract). With ingestion
+  /// enabled it first refreshes any stale requested rows, then serves base
+  /// and ingested rows through the same memcpy.
   void GatherEmbeddingRows(bool user_side, const std::vector<size_t>& ids,
                            Matrix* out);
+
+  /// Ingestion internals (DESIGN.md §17).
+  struct IngestSide {
+    std::unique_ptr<graph::DynamicKnnGraph> graph;
+    size_t base_rows = 0;
+    /// Fused embeddings of ingested nodes, row-major [num_extra, D],
+    /// appended by IngestNode.
+    std::vector<float> extra;
+    /// Validity over base + ingested rows; cleared by neighbor
+    /// invalidation, restored by RefreshStaleRows.
+    std::vector<uint8_t> valid;
+  };
+  struct IngestState {
+    const data::Dataset* dataset = nullptr;
+    IngestOptions options;
+    IngestSide users;
+    IngestSide items;
+    IngestStats stats;
+    // Registry handles (null without a registry), mirroring `stats`.
+    obs::Counter* nodes_counter = nullptr;
+    obs::Counter* edges_counter = nullptr;
+    obs::Counter* invalidated_counter = nullptr;
+    obs::Counter* refreshed_counter = nullptr;
+    // Refresh scratch, reused across gathers.
+    std::vector<size_t> stale_ids;
+    std::vector<std::vector<size_t>> stale_attrs;
+    std::vector<bool> stale_missing;
+  };
+  IngestSide& ingest_side(bool user_side) {
+    return user_side ? ingest_->users : ingest_->items;
+  }
+  /// Recomputes (catalog-form, one batch) every stale row among `ids` and
+  /// writes the — bitwise-identical — bytes back into its cache slot.
+  void RefreshStaleRows(bool user_side, const std::vector<size_t>& ids);
+  void GatherIngestRows(bool user_side, const std::vector<size_t>& ids,
+                        Matrix* out);
+  void RebuildIngestSide(bool user_side);
 
   void ResolveInstruments(double build_ms);
 
@@ -228,6 +338,8 @@ class InferenceSession {
   GatedGnnQuant item_gnn_quant_;
   std::vector<QuantizedWeight> mlp_quant_;
   QuantScratch qscratch_;
+  /// Null until EnableIngestion; model-backed sessions only.
+  std::unique_ptr<IngestState> ingest_;
   Workspace ws_;
   // Reused by Predict so the single-request path stays allocation-free.
   std::vector<size_t> one_user_;

@@ -4,6 +4,24 @@
 #include "agnn/tensor/functional.h"
 
 namespace agnn::core {
+namespace {
+
+// Bias lookup tolerant of ids beyond the trained tables: an ingested node
+// (DESIGN.md §17) has no trained bias row, and zero is the natural prior
+// for a node no training example touched — the same extension rule the
+// serving-checkpoint export applies to streamed catalogs (§13.4). In-range
+// ids copy the exact table bytes, so the trained path is bitwise-unchanged.
+Matrix GatherBiasRows(const nn::Embedding& table,
+                      const std::vector<size_t>& ids, Workspace* ws) {
+  Matrix out = ws->Take(ids.size(), 1);
+  const Matrix& t = table.table()->value();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out.At(i, 0) = ids[i] < table.count() ? t.At(ids[i], 0) : 0.0f;
+  }
+  return out;
+}
+
+}  // namespace
 
 PredictionLayer::PredictionLayer(size_t dim, size_t hidden_dim,
                                  size_t num_users, size_t num_items,
@@ -81,8 +99,8 @@ Matrix PredictionLayer::ForwardInference(
 
   // Bias sum mirrors the tape's Add(user_bias, item_bias) before the
   // (nonlinear + dot) accumulation.
-  Matrix u_bias = user_bias_.ForwardInference(user_ids, ws);
-  Matrix i_bias = item_bias_.ForwardInference(item_ids, ws);
+  Matrix u_bias = GatherBiasRows(user_bias_, user_ids, ws);
+  Matrix i_bias = GatherBiasRows(item_bias_, item_ids, ws);
   u_bias.AddInto(i_bias, &u_bias);
   out.AddInto(u_bias, &out);
   fn::AddRowBroadcastInto(out, global_bias_->value(), &out);

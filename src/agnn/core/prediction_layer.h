@@ -25,7 +25,9 @@ class PredictionLayer : public nn::Module {
                   const std::vector<size_t>& item_ids) const;
 
   /// Tape-free eval forward (DESIGN.md §9), bitwise-identical to Forward's
-  /// value; the [B, 1] result is Taken from `ws`. `trace` (optional) wraps
+  /// value; the [B, 1] result is Taken from `ws`. Unlike Forward it accepts
+  /// ids at or beyond the bias tables — ingested nodes (DESIGN.md §17) —
+  /// which contribute a zero bias; in-range ids are bitwise-unchanged. `trace` (optional) wraps
   /// the MLP and the rowwise dot in op spans with analytic flop costs
   /// (DESIGN.md §11); null reads no clocks and changes no bits.
   ///

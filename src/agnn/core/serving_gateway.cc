@@ -49,6 +49,7 @@ void ServingGateway::ResolveInstruments() {
       "gateway/batch_size",
       obs::Histogram::LinearBuckets(1.0, 1.0, options_.max_batch));
   instruments_.service_ms = metrics_->GetHistogram("gateway/service_ms");
+  instruments_.ingest_ms = metrics_->GetHistogram("gateway/ingest_ms");
   instruments_.queue_depth = metrics_->GetGauge("gateway/queue_depth");
   instruments_.submitted = metrics_->GetCounter("gateway/submitted");
   instruments_.served = metrics_->GetCounter("gateway/served");
@@ -57,6 +58,8 @@ void ServingGateway::ResolveInstruments() {
   instruments_.flush_full = metrics_->GetCounter("gateway/flush_full");
   instruments_.flush_budget = metrics_->GetCounter("gateway/flush_budget");
   instruments_.flush_drain = metrics_->GetCounter("gateway/flush_drain");
+  instruments_.flush_fence = metrics_->GetCounter("gateway/flush_fence");
+  instruments_.ingested = metrics_->GetCounter("gateway/ingested");
 }
 
 void ServingGateway::RegisterSeriesProbes() {
@@ -78,6 +81,12 @@ void ServingGateway::RegisterSeriesProbes() {
                     [this] { return static_cast<double>(count_); });
   series_->AddProbe("shed",
                     [this] { return static_cast<double>(stats_.shed); });
+  // Ingestion tracks (DESIGN.md §17): cumulative nodes applied plus the
+  // per-window time-to-serve quantile, so an ingest burst's cost is
+  // visible when it happens.
+  series_->AddProbe("ingested",
+                    [this] { return static_cast<double>(stats_.ingested); });
+  series_->AddWindowQuantile("ingest_p95_ms", &series_state_->ingest_ms, 0.95);
 }
 
 bool ServingGateway::Submit(const ServingRequest& request, double now_us) {
@@ -140,6 +149,65 @@ void ServingGateway::Drain(double now_us) {
   // One forced end-of-stream point so the series always covers the full
   // run (ignored if the clock did not advance past the last point).
   if (series_ != nullptr) series_->SampleAt(now_us);
+}
+
+size_t ServingGateway::SubmitIngest(const IngestArrival& arrival,
+                                    double now_us) {
+  AGNN_CHECK(session_->ingestion_enabled());
+  // Budget expiries due before this arrival fire at their own deadlines,
+  // then the ingest fences whatever is still queued: those predicts were
+  // admitted before the node existed and are served against the pre-ingest
+  // state, whatever the queue depth — the §17 replay-determinism rule.
+  AdvanceClock(now_us);
+  while (count_ > 0) FlushBatch(now_us, FlushReason::kIngestFence);
+
+  obs::TraceSpan span(trace_, "ingest", "gateway");
+  const uint64_t edges_before = session_->ingest_stats().edges_linked;
+  Stopwatch watch;
+  const size_t node_id = session_->IngestNode(arrival.user_side,
+                                              arrival.attr_slots);
+  const double measured_us = watch.ElapsedSeconds() * 1e6;
+  const uint64_t edges_linked =
+      session_->ingest_stats().edges_linked - edges_before;
+  if (span.enabled()) {
+    span.AddArg("side", arrival.user_side ? 1.0 : 0.0);
+    span.AddArg("node", static_cast<double>(node_id));
+    span.AddArg("edges", static_cast<double>(edges_linked));
+  }
+  span.End();
+  const double service_us =
+      options_.ingest_time_us
+          ? options_.ingest_time_us(static_cast<size_t>(edges_linked))
+          : measured_us;
+  // The ingest occupies the same single server as the predict batches.
+  const double start_us = std::max(now_us, server_free_at_us_);
+  const double complete_us = start_us + service_us;
+  server_free_at_us_ = complete_us;
+
+  stats_.ingested += 1;
+  const double latency_ms = (complete_us - now_us) / 1000.0;
+  if (metrics_ != nullptr) {
+    instruments_.ingested->Increment();
+    instruments_.ingest_ms->Observe(latency_ms);
+    instruments_.queue_depth->Set(static_cast<double>(count_));
+  }
+  if (series_state_ != nullptr) {
+    series_state_->ingest_ms.Observe(latency_ms);
+  }
+  if (ingest_sink_) {
+    IngestCompletion completion;
+    completion.id = next_ingest_id_;
+    completion.node_id = node_id;
+    completion.user_side = arrival.user_side;
+    completion.edges_linked = edges_linked;
+    completion.arrival_us = now_us;
+    completion.complete_us = complete_us;
+    completion.latency_us = complete_us - now_us;
+    ingest_sink_(completion);
+  }
+  next_ingest_id_ += 1;
+  if (series_ != nullptr) series_->MaybeSample(now_us);
+  return node_id;
 }
 
 void ServingGateway::FlushBatch(double flush_us, FlushReason reason) {
@@ -205,6 +273,12 @@ void ServingGateway::FlushBatch(double flush_us, FlushReason reason) {
       stats_.drain_flushes += 1;
       if (instruments_.flush_drain != nullptr) {
         instruments_.flush_drain->Increment();
+      }
+      break;
+    case FlushReason::kIngestFence:
+      stats_.fence_flushes += 1;
+      if (instruments_.flush_fence != nullptr) {
+        instruments_.flush_fence->Increment();
       }
       break;
   }

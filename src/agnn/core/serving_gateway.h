@@ -27,9 +27,29 @@ struct ServingRequest {
 
 /// Why a batch left the queue.
 enum class FlushReason : uint8_t {
-  kBatchFull,  ///< queue reached max_batch at a Submit
-  kBudget,     ///< the oldest queued request aged past the latency budget
-  kDrain,      ///< explicit end-of-stream Drain
+  kBatchFull,     ///< queue reached max_batch at a Submit
+  kBudget,        ///< the oldest queued request aged past the latency budget
+  kDrain,         ///< explicit end-of-stream Drain
+  kIngestFence,   ///< an ingest arrival fenced the queue (DESIGN.md §17)
+};
+
+/// One attribute-only node arrival for the ingestion path (DESIGN.md §17).
+struct IngestArrival {
+  bool user_side = true;
+  std::vector<size_t> attr_slots;  ///< sorted unique, the Dataset convention
+};
+
+/// One applied ingest, delivered to the ingest sink in arrival order.
+/// `latency_us` is the node's time-to-serve on the virtual clock: arrival
+/// to the instant the session can answer predictions about it.
+struct IngestCompletion {
+  uint64_t id = 0;       ///< ingest sequence number (0-based)
+  size_t node_id = 0;    ///< id the session assigned on its side
+  bool user_side = true;
+  uint64_t edges_linked = 0;  ///< graph neighbors the node linked
+  double arrival_us = 0.0;
+  double complete_us = 0.0;
+  double latency_us = 0.0;  ///< complete - arrival (time-to-serve)
 };
 
 /// One served request, delivered to the completion sink in submission
@@ -61,6 +81,10 @@ struct ServingGatewayOptions {
   /// latency accounting deterministic too. Either way this only feeds the
   /// SLO accounting: batch boundaries and predictions never depend on it.
   std::function<double(size_t)> service_time_us;
+  /// Virtual service time (µs) charged for one ingest that linked n graph
+  /// edges. Same contract as service_time_us: null measures wall time,
+  /// injecting a model makes IngestCompletions replay byte for byte.
+  std::function<double(size_t)> ingest_time_us;
 };
 
 /// Lifetime batching/shedding counters, exposed without a registry so the
@@ -73,6 +97,8 @@ struct ServingGatewayStats {
   uint64_t full_flushes = 0;
   uint64_t budget_flushes = 0;
   uint64_t drain_flushes = 0;
+  uint64_t ingested = 0;
+  uint64_t fence_flushes = 0;
   size_t peak_queue_depth = 0;
 };
 
@@ -106,6 +132,7 @@ struct ServingGatewayStats {
 class ServingGateway {
  public:
   using CompletionSink = std::function<void(const ServingCompletion&)>;
+  using IngestSink = std::function<void(const IngestCompletion&)>;
 
   /// `sink` (optional) receives every completion in submission order
   /// within a batch, batches in flush order. The gateway stores nothing
@@ -114,7 +141,9 @@ class ServingGateway {
   /// `series` (optional) attaches a time-series sampler (DESIGN.md §16):
   /// the gateway registers its track set — per-window sustained "qps",
   /// window latency quantiles "p50_ms"/"p95_ms"/"p99_ms", per-window
-  /// "batch_mean", instantaneous "queue_depth", cumulative "shed" — and
+  /// "batch_mean", instantaneous "queue_depth", cumulative "shed",
+  /// cumulative "ingested" and the per-window "ingest_p95_ms"
+  /// time-to-serve quantile (§17) — and
   /// drives MaybeSample from the virtual clock at Submit/AdvanceTo, plus
   /// one forced final point at Drain. Timestamps come only from the
   /// callers' virtual times, so two identical runs emit byte-identical
@@ -145,6 +174,23 @@ class ServingGateway {
   /// End of stream: flushes everything still queued at `now_us`.
   void Drain(double now_us);
 
+  /// Applies one node arrival at virtual time `now_us` and returns the id
+  /// the session assigned (DESIGN.md §17). The session must have ingestion
+  /// enabled. Ordering is an ingest fence: due budget flushes fire first,
+  /// then everything still queued is flushed at `now_us` with
+  /// FlushReason::kIngestFence — queued predicts are always served against
+  /// the pre-ingest state, which is what makes an interleaved
+  /// predict/ingest stream replay deterministically regardless of queue
+  /// depth. The ingest itself then occupies the single server (it competes
+  /// with predict batches for the session), and its completion — carrying
+  /// the node's time-to-serve on the virtual clock — goes to the ingest
+  /// sink.
+  size_t SubmitIngest(const IngestArrival& arrival, double now_us);
+
+  /// `sink` (optional) receives every IngestCompletion in arrival order.
+  /// Set before the first SubmitIngest.
+  void set_ingest_sink(IngestSink sink) { ingest_sink_ = std::move(sink); }
+
   size_t queue_depth() const { return count_; }
   const ServingGatewayStats& stats() const { return stats_; }
   /// Virtual time at which the server (session) finishes its last batch.
@@ -172,6 +218,7 @@ class ServingGateway {
     obs::Histogram* latency_ms = nullptr;
     obs::Histogram* batch_size = nullptr;
     obs::Histogram* service_ms = nullptr;
+    obs::Histogram* ingest_ms = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Counter* submitted = nullptr;
     obs::Counter* served = nullptr;
@@ -180,6 +227,8 @@ class ServingGateway {
     obs::Counter* flush_full = nullptr;
     obs::Counter* flush_budget = nullptr;
     obs::Counter* flush_drain = nullptr;
+    obs::Counter* flush_fence = nullptr;
+    obs::Counter* ingested = nullptr;
   };
 
   /// Histograms backing the windowed series tracks. Separate from the
@@ -189,14 +238,18 @@ class ServingGateway {
     explicit SeriesState(size_t max_batch)
         : latency_ms(obs::Histogram::DefaultLatencyBucketsMs()),
           batch_size(obs::Histogram::LinearBuckets(
-              1.0, 1.0, std::max<size_t>(max_batch, 1))) {}
+              1.0, 1.0, std::max<size_t>(max_batch, 1))),
+          ingest_ms(obs::Histogram::DefaultLatencyBucketsMs()) {}
     obs::Histogram latency_ms;
     obs::Histogram batch_size;
+    obs::Histogram ingest_ms;  ///< per-window ingest time-to-serve (§17)
   };
 
   InferenceSession* session_;
   ServingGatewayOptions options_;
   CompletionSink sink_;
+  IngestSink ingest_sink_;
+  uint64_t next_ingest_id_ = 0;
   obs::MetricsRegistry* metrics_;
   obs::TraceRecorder* trace_;
   obs::TimeSeries* series_;

@@ -1,0 +1,170 @@
+#include "agnn/graph/dynamic_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "agnn/common/logging.h"
+
+namespace agnn::graph {
+namespace {
+
+// Slot-list hygiene shared by the constructor and InsertNode: the Dataset
+// convention (sorted strictly ascending, in range) is what keeps the
+// inverted index ordered and the attribute forward deterministic.
+void CheckSlots(const std::vector<size_t>& slots, size_t num_slots) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    AGNN_CHECK_LT(slots[i], num_slots);
+    if (i > 0) AGNN_CHECK_LT(slots[i - 1], slots[i]);
+  }
+}
+
+}  // namespace
+
+DynamicKnnGraph::DynamicKnnGraph(const std::vector<std::vector<size_t>>& slots,
+                                 size_t num_slots, size_t k)
+    : num_slots_(num_slots), k_(k), slots_(slots) {
+  AGNN_CHECK_GT(k_, 0u);
+  const size_t n = slots_.size();
+  by_slot_.resize(num_slots_);
+  norms_.resize(n);
+  for (size_t u = 0; u < n; ++u) {
+    CheckSlots(slots_[u], num_slots_);
+    // Same norm arithmetic as PairwiseSparseCosine: float sum of v*v
+    // (v == 1), then float sqrt.
+    float norm = 0.0f;
+    for (size_t s : slots_[u]) {
+      by_slot_[s].push_back(u);
+      norm += 1.0f;
+    }
+    norms_[u] = std::sqrt(norm);
+  }
+  sims_ = PairwiseBinaryCosine(slots_, num_slots_);
+  adj_.resize(n);
+  adj_w_.resize(n);
+  stale_.assign(n, 0);
+  for (size_t u = 0; u < n; ++u) RecomputeRow(u);
+}
+
+DynamicKnnGraph::InsertResult DynamicKnnGraph::InsertNode(
+    const std::vector<size_t>& slots) {
+  const size_t id = slots_.size();
+  CheckSlots(slots, num_slots_);
+  InsertResult result;
+  result.id = id;
+  slots_.push_back(slots);
+  float norm = 0.0f;
+  for (size_t s : slots) {
+    (void)s;
+    norm += 1.0f;
+  }
+  norms_.push_back(std::sqrt(norm));
+  sims_.emplace_back();
+  adj_.emplace_back();
+  adj_w_.emplace_back();
+  stale_.push_back(0);
+  if (norms_[id] == 0.0f) return result;  // attribute-free: isolated
+
+  // The new node's dots against every co-occurring node, via the inverted
+  // index — binary dots are exact integer counts, so this cannot differ
+  // from the batch builder's accumulation.
+  std::unordered_map<size_t, float> dots;
+  for (size_t s : slots_[id]) {
+    // by_slot_ holds only nodes active on s (norm > 0); id is not indexed
+    // yet, so no self-pair can appear.
+    for (size_t w : by_slot_[s]) dots[w] += 1.0f;
+  }
+  auto& row = sims_[id];
+  row.reserve(dots.size());
+  for (const auto& [w, dot] : dots) {
+    const float sim = dot / (norms_[id] * norms_[w]);
+    if (sim > 0.0f) row.push_back({w, sim});
+  }
+  std::sort(row.begin(), row.end());
+
+  // Mirror the new edges into the existing full rows. id is the maximum
+  // node id, so the append keeps each row sorted ascending — and the sim
+  // value is bitwise the one a rebuild would compute for row w, because
+  // norms_[id] * norms_[w] == norms_[w] * norms_[id] under IEEE float
+  // multiplication. The touched rows' derived top-k is now stale.
+  result.touched.reserve(row.size());
+  for (const auto& [w, sim] : row) {
+    sims_[w].push_back({id, sim});
+    if (!stale_[w]) {
+      stale_[w] = 1;
+      rows_invalidated_ += 1;
+    }
+    result.touched.push_back(w);
+    edges_linked_ += 1;
+  }
+  for (size_t s : slots_[id]) by_slot_[s].push_back(id);
+  RecomputeRow(id);
+  return result;
+}
+
+void DynamicKnnGraph::EnsureRow(size_t node) {
+  AGNN_CHECK_LT(node, num_nodes());
+  if (!stale_[node]) return;
+  RecomputeRow(node);
+  stale_[node] = 0;
+  rows_refreshed_ += 1;
+}
+
+void DynamicKnnGraph::RecomputeRow(size_t node) {
+  const auto& row = sims_[node];
+  auto& adj = adj_[node];
+  auto& w = adj_w_[node];
+  adj.clear();
+  w.clear();
+  if (row.size() <= k_) {
+    // TruncateTopK keeps short rows untouched, in ascending-id order.
+    adj.reserve(row.size());
+    w.reserve(row.size());
+    for (const auto& [v, sim] : row) {
+      adj.push_back(v);
+      w.push_back(sim);  // float -> double is exact
+    }
+    return;
+  }
+  std::vector<double> full(row.size());
+  for (size_t i = 0; i < row.size(); ++i) full[i] = row[i].second;
+  const std::vector<size_t> order = TopKOrder(full, k_);
+  adj.reserve(k_);
+  w.reserve(k_);
+  for (size_t i : order) {
+    adj.push_back(row[i].first);
+    w.push_back(row[i].second);
+  }
+}
+
+std::span<const size_t> DynamicKnnGraph::Neighbors(size_t node) {
+  EnsureRow(node);
+  return adj_[node];
+}
+
+std::span<const double> DynamicKnnGraph::Weights(size_t node) {
+  EnsureRow(node);
+  return adj_w_[node];
+}
+
+void DynamicKnnGraph::SampleNeighborsInto(size_t node, size_t count, Rng* rng,
+                                          std::vector<size_t>* out) {
+  EnsureRow(node);
+  SampleRowInto(adj_[node], adj_w_[node], node, count, rng, out);
+}
+
+CsrGraph DynamicKnnGraph::Flatten() {
+  CsrBuilder builder(num_nodes());
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    EnsureRow(u);
+    for (size_t i = 0; i < adj_[u].size(); ++i) {
+      builder.AddEdge(u, adj_[u][i], adj_w_[u][i]);
+    }
+  }
+  CsrGraph graph = std::move(builder).Finish();
+  graph.Validate();
+  return graph;
+}
+
+}  // namespace agnn::graph

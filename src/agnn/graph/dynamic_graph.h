@@ -1,0 +1,121 @@
+#ifndef AGNN_GRAPH_DYNAMIC_GRAPH_H_
+#define AGNN_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "agnn/common/rng.h"
+#include "agnn/graph/graph.h"
+#include "agnn/graph/proximity.h"
+
+namespace agnn::graph {
+
+/// Appendable top-k attribute-proximity graph (DESIGN.md §17): the dynamic
+/// counterpart of BuildKnnGraph(PairwiseBinaryCosine(slots), k) for the
+/// online cold-start ingestion path.
+///
+/// InsertNode adds one attribute-only node: its cosine similarities to every
+/// co-occurring node are computed through the same inverted slot index the
+/// batch builder walks, the new edges are mirrored into the existing
+/// similarity rows, and the touched nodes' derived top-k adjacency rows are
+/// invalidated and lazily recomputed on next access.
+///
+/// Rebuild-equivalence contract: after any insert sequence, Flatten() is
+/// byte-for-byte equal to BuildKnnGraph(PairwiseBinaryCosine(all slots), k)
+/// over the post-insert slot catalog (enforced by dynamic_graph_test). The
+/// parity argument, row by row:
+///  - binary-cosine dots are exact small-integer counts, so the incremental
+///    accumulation order cannot differ from the batch builder's;
+///  - `sim = dot / (norms[u] * norms[v])` sees the identical float operands
+///    in both directions (IEEE float multiplication is commutative);
+///  - the new node takes the maximum id, so appending its edge keeps every
+///    similarity row sorted ascending, exactly as AccumulatePairwise emits;
+///  - top-k rows are derived from the full rows through the shared
+///    TopKOrder (same partial_sort, same tie behaviour as TruncateTopK).
+///
+/// Full similarity rows are retained (memory O(non-zero pairs), the same as
+/// the batch builder's transient peak) — that is what makes a refreshed
+/// top-k row lossless instead of an approximation.
+class DynamicKnnGraph {
+ public:
+  struct InsertResult {
+    size_t id = 0;
+    /// Pre-existing nodes that gained an edge to the new node, ascending —
+    /// exactly the nodes whose adjacency row was invalidated.
+    std::vector<size_t> touched;
+  };
+
+  /// `slots[n]` are node n's active attribute slots, sorted strictly
+  /// ascending, each < num_slots (the Dataset attr convention). The initial
+  /// adjacency equals BuildKnnGraph(PairwiseBinaryCosine(slots, num_slots),
+  /// k); counters start at zero.
+  DynamicKnnGraph(const std::vector<std::vector<size_t>>& slots,
+                  size_t num_slots, size_t k);
+
+  /// Inserts one node with the given slots (same convention as the
+  /// constructor) and returns its id (== previous num_nodes()) plus the
+  /// neighbors it linked. An attribute-free node is inserted isolated, as
+  /// the batch builder would leave it. The new node's own adjacency row is
+  /// computed eagerly — an ingested node must be servable immediately.
+  InsertResult InsertNode(const std::vector<size_t>& slots);
+
+  size_t num_nodes() const { return slots_.size(); }
+  size_t num_slots() const { return num_slots_; }
+  size_t k() const { return k_; }
+
+  /// The node's slots as stored (constructor or InsertNode argument).
+  const std::vector<size_t>& node_slots(size_t node) const {
+    return slots_[node];
+  }
+
+  /// Top-k adjacency row views; refresh the row first if it is stale.
+  std::span<const size_t> Neighbors(size_t node);
+  std::span<const double> Weights(size_t node);
+
+  /// Weighted neighbor sampling through the shared SampleRowInto core:
+  /// identical RNG consumption and samples as SampleNeighborsInto on the
+  /// flattened CSR graph.
+  void SampleNeighborsInto(size_t node, size_t count, Rng* rng,
+                           std::vector<size_t>* out);
+
+  /// Materializes the CSR adjacency (refreshing every stale row). Equals a
+  /// from-scratch BuildKnnGraph over the current slot catalog, byte for
+  /// byte — the §17 rebuild-equivalence contract.
+  CsrGraph Flatten();
+
+  /// Cumulative adjacency-row churn: rows marked stale by inserts, rows
+  /// lazily recomputed (including by Flatten), and edges linked by inserts.
+  uint64_t rows_invalidated() const { return rows_invalidated_; }
+  uint64_t rows_refreshed() const { return rows_refreshed_; }
+  uint64_t edges_linked() const { return edges_linked_; }
+
+ private:
+  void EnsureRow(size_t node);
+  /// Derives adj_/adj_w_[node] from sims_[node] exactly as BuildKnnGraph +
+  /// TruncateTopK would: rows of degree <= k keep ascending-id order, larger
+  /// rows take the TopKOrder selection (heaviest first).
+  void RecomputeRow(size_t node);
+
+  size_t num_slots_ = 0;
+  size_t k_ = 0;
+  std::vector<std::vector<size_t>> slots_;
+  /// Inverted index slot -> nodes active on it, ascending id (appends keep
+  /// it sorted because inserted ids are maximal).
+  std::vector<std::vector<size_t>> by_slot_;
+  std::vector<float> norms_;
+  /// FULL similarity rows, ascending id — the lossless source every top-k
+  /// refresh re-derives from.
+  SimilarityLists sims_;
+  std::vector<std::vector<size_t>> adj_;
+  std::vector<std::vector<double>> adj_w_;
+  std::vector<uint8_t> stale_;
+  uint64_t rows_invalidated_ = 0;
+  uint64_t rows_refreshed_ = 0;
+  uint64_t edges_linked_ = 0;
+};
+
+}  // namespace agnn::graph
+
+#endif  // AGNN_GRAPH_DYNAMIC_GRAPH_H_

@@ -7,11 +7,7 @@
 #include "agnn/common/logging.h"
 
 namespace agnn::graph {
-namespace {
 
-// Selection order of one row's top-k: indices into the row, heaviest first,
-// exactly as WeightedGraph::TruncateTopK has always picked them. Shared so
-// the CSR and vector-of-vectors paths cannot drift.
 std::vector<size_t> TopKOrder(std::span<const double> w, size_t k) {
   std::vector<size_t> order(w.size());
   std::iota(order.begin(), order.end(), 0);
@@ -22,10 +18,6 @@ std::vector<size_t> TopKOrder(std::span<const double> w, size_t k) {
   return order;
 }
 
-// Row-level weighted sampling core shared by the WeightedGraph and CsrGraph
-// overloads of SampleNeighborsInto. Any change here changes every sampled
-// experiment in the repo — both representations consume the RNG through
-// this one function, which is what keeps them bitwise-interchangeable.
 void SampleRowInto(std::span<const size_t> adj, std::span<const double> w,
                    size_t node, size_t count, Rng* rng,
                    std::vector<size_t>* out) {
@@ -59,8 +51,6 @@ void SampleRowInto(std::span<const size_t> adj, std::span<const double> w,
     out->push_back(adj[pick]);
   }
 }
-
-}  // namespace
 
 void WeightedGraph::AddEdge(size_t from, size_t to, double weight) {
   AGNN_CHECK_LT(from, num_nodes);

@@ -134,6 +134,23 @@ void SampleNeighborsInto(const WeightedGraph& graph, size_t node, size_t count,
 void SampleNeighborsInto(const CsrGraph& graph, size_t node, size_t count,
                          Rng* rng, std::vector<size_t>* out);
 
+/// Selection order of one row's top-k: indices into the row, heaviest first,
+/// exactly as TruncateTopK has always picked them (same partial_sort, same
+/// tie behaviour on the same input sequence). Shared by WeightedGraph,
+/// CsrGraph, and DynamicKnnGraph so the truncation paths cannot drift.
+/// Requires k <= w.size().
+std::vector<size_t> TopKOrder(std::span<const double> w, size_t k);
+
+/// Row-level weighted sampling core behind every SampleNeighborsInto
+/// overload (including DynamicKnnGraph's). Any change here changes every
+/// sampled experiment in the repo — all representations consume the RNG
+/// through this one function, which is what keeps them
+/// bitwise-interchangeable. Empty rows fall back to `count` copies of
+/// `node` (the self-loop degenerate case).
+void SampleRowInto(std::span<const size_t> adj, std::span<const double> w,
+                   size_t node, size_t count, Rng* rng,
+                   std::vector<size_t>* out);
+
 }  // namespace agnn::graph
 
 #endif  // AGNN_GRAPH_GRAPH_H_

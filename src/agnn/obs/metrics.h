@@ -35,7 +35,9 @@ class Gauge {
 /// edge land in an implicit overflow bucket. Quantiles are estimated by
 /// linear interpolation inside the owning bucket and clamped to the exact
 /// observed [min, max], so they are exact at the bucket resolution and the
-/// tails never over-report.
+/// tails never over-report; the overflow bucket has no upper edge to
+/// interpolate against, so any quantile landing there reports the exact
+/// observed max (metrics_test pins all of these edges).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -64,7 +66,10 @@ class Histogram {
 
   /// Quantile estimate. `q` is clamped into [0, 1] — q <= 0 (including
   /// NaN) reports the exact observed min, q >= 1 the exact observed max.
-  /// An empty histogram reports 0 for every q.
+  /// Interior q interpolates linearly inside the bucket owning the target
+  /// rank, clamps the result into the observed [min, max], and reports the
+  /// observed max when the target rank lands in the overflow bucket. An
+  /// empty histogram reports 0 for every q.
   double Quantile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }

@@ -29,15 +29,17 @@ class JsonWriter;
 ///
 /// Storage is preallocated at construction (times plus one value vector per
 /// probe, each reserved to `capacity`); sampling never allocates. When a
-/// sample would exceed capacity the series compacts deterministically:
-/// every odd-indexed point is dropped and the effective period doubles, so
-/// a bounded buffer always spans the whole run at a resolution that degrades
-/// gracefully — the classic decimating downsampler.
+/// sample would exceed capacity the series compacts deterministically: the
+/// ceil(n/2) even-indexed points are kept (every odd-indexed point is
+/// dropped), the effective period doubles, and the MaybeSample cadence
+/// re-arms one doubled period after the last retained point — so a bounded
+/// buffer always spans the whole run at a resolution that degrades
+/// gracefully, the classic decimating downsampler.
 class TimeSeries {
  public:
   struct Options {
-    /// Maximum retained points; must be >= 2. Compaction halves the point
-    /// count, so runs longer than `capacity * period` keep full-run
+    /// Maximum retained points; must be >= 2. Compaction keeps ceil(n/2)
+    /// points, so runs longer than `capacity * period` keep full-run
     /// coverage at a coarser resolution instead of truncating the tail.
     size_t capacity = 512;
     /// Clock units between MaybeSample points (epochs, virtual µs, ...).
@@ -93,8 +95,12 @@ class TimeSeries {
   /// emitted timestamps are always strictly increasing.
   void SampleAt(double now);
   /// Samples when at least one period has elapsed since the last
-  /// MaybeSample-driven point; returns whether a point was taken. Cheap
-  /// enough for per-event call sites (one compare on the common path).
+  /// MaybeSample-driven point; returns whether a point was taken. The first
+  /// point fires once `now` reaches one full period from construction (not
+  /// at time zero), and each sample re-arms the next due time at
+  /// `now + period` rather than on a fixed grid — both pinned by
+  /// time_series_test. Cheap enough for per-event call sites (one compare
+  /// on the common path).
   bool MaybeSample(double now);
 
   // --- Inspection ---------------------------------------------------------

@@ -1,0 +1,271 @@
+// Contract tests for the online ingestion path (DESIGN.md §17): a session
+// that ingests attribute-only nodes and lazily refreshes invalidated
+// neighbor rows must serve exactly the bytes a full rebuild of the
+// post-ingest world serves.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/core/inference_session.h"
+#include "agnn/data/synthetic.h"
+#include "agnn/graph/attribute_graph.h"
+#include "agnn/graph/proximity.h"
+#include "agnn/obs/metrics.h"
+
+namespace agnn::core {
+namespace {
+
+using data::Dataset;
+
+const Dataset& TinyDataset() {
+  static const Dataset* ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::Ml100k(data::Scale::kSmall);
+    config.num_users = 30;
+    config.num_items = 40;
+    config.num_ratings = 400;
+    return new Dataset(GenerateSynthetic(config, 19));
+  }();
+  return *ds;
+}
+
+AgnnConfig TinyConfig() {
+  AgnnConfig config;
+  config.embedding_dim = 8;
+  config.num_neighbors = 4;
+  config.vae_hidden_dim = 8;
+  config.prediction_hidden_dim = 8;
+  return config;
+}
+
+struct ColdFlags {
+  std::vector<bool> users;
+  std::vector<bool> items;
+};
+
+ColdFlags MakeColdFlags() {
+  ColdFlags flags;
+  flags.users.assign(TinyDataset().num_users, false);
+  flags.items.assign(TinyDataset().num_items, false);
+  flags.users[1] = true;
+  flags.items[6] = true;
+  return flags;
+}
+
+// Random sorted-unique slot sets within one side's schema — the shape of an
+// arriving node's attribute vector.
+std::vector<std::vector<size_t>> ArrivalSlots(size_t count, size_t total_slots,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<size_t>> arrivals(count);
+  for (auto& slots : arrivals) {
+    std::vector<bool> active(total_slots, false);
+    for (size_t i = 0; i < 3; ++i) active[rng.UniformInt(total_slots)] = true;
+    for (size_t s = 0; s < total_slots; ++s) {
+      if (active[s]) slots.push_back(s);
+    }
+  }
+  return arrivals;
+}
+
+class IngestSessionTest : public ::testing::Test {
+ protected:
+  IngestSessionTest()
+      : rng_(23),
+        flags_(MakeColdFlags()),
+        model_(TinyConfig(), TinyDataset(), 3.6f, &rng_) {}
+
+  std::unique_ptr<InferenceSession> MakeSession() {
+    return std::make_unique<InferenceSession>(model_, &flags_.users,
+                                              &flags_.items);
+  }
+
+  // Ingests the same deterministic arrival mix into `session`: 4 users
+  // then 3 items.
+  void IngestArrivals(InferenceSession* session) {
+    for (const auto& slots :
+         ArrivalSlots(4, TinyDataset().user_schema.total_slots(), 101)) {
+      session->IngestNode(/*user_side=*/true, slots);
+    }
+    for (const auto& slots :
+         ArrivalSlots(3, TinyDataset().item_schema.total_slots(), 202)) {
+      session->IngestNode(/*user_side=*/false, slots);
+    }
+  }
+
+  // Serves every (user, item) pair from `users` x `items` with neighbor
+  // lists drawn from the session's dynamic graphs at a fixed seed, so two
+  // sessions over the same post-ingest world are probed identically.
+  std::vector<float> Probe(InferenceSession* session,
+                           const std::vector<size_t>& users,
+                           const std::vector<size_t>& items) {
+    const size_t s = session->neighbors_per_node();
+    std::vector<float> out;
+    for (size_t u : users) {
+      for (size_t i : items) {
+        Rng rng(7000 + u * 131 + i);
+        std::vector<size_t> user_neigh;
+        std::vector<size_t> item_neigh;
+        session->SampleIngestNeighborsInto(/*user_side=*/true, u, s, &rng,
+                                           &user_neigh);
+        session->SampleIngestNeighborsInto(/*user_side=*/false, i, s, &rng,
+                                           &item_neigh);
+        out.push_back(session->Predict(u, i, user_neigh, item_neigh));
+      }
+    }
+    return out;
+  }
+
+  Rng rng_;
+  ColdFlags flags_;
+  AgnnModel model_;
+};
+
+// Probe ids spanning base warm nodes, base cold nodes, and (given 4 user /
+// 3 item arrivals on a 30 x 40 catalog) every ingested node.
+const std::vector<size_t> kProbeUsers = {0, 1, 2, 15, 29, 30, 31, 32, 33};
+const std::vector<size_t> kProbeItems = {0, 5, 6, 20, 39, 40, 41, 42};
+
+TEST_F(IngestSessionTest, EnableIngestionAloneChangesNoBits) {
+  auto plain = MakeSession();
+  auto enabled = MakeSession();
+  enabled->EnableIngestion(TinyDataset());
+
+  const size_t s = plain->neighbors_per_node();
+  std::vector<size_t> user_neigh;
+  std::vector<size_t> item_neigh;
+  for (size_t i = 0; i < s; ++i) {
+    user_neigh.push_back(i % TinyDataset().num_users);
+    item_neigh.push_back(i % TinyDataset().num_items);
+  }
+  for (size_t u : {size_t{0}, size_t{1}, size_t{29}}) {
+    for (size_t i : {size_t{0}, size_t{6}, size_t{39}}) {
+      EXPECT_EQ(plain->Predict(u, i, user_neigh, item_neigh),
+                enabled->Predict(u, i, user_neigh, item_neigh));
+    }
+  }
+  EXPECT_EQ(enabled->ingest_stats().rows_refreshed, 0u);
+}
+
+TEST_F(IngestSessionTest, CatalogGrowsAndNodesServeImmediately) {
+  auto session = MakeSession();
+  session->EnableIngestion(TinyDataset());
+  EXPECT_EQ(session->num_users(), TinyDataset().num_users);
+
+  const auto arrivals =
+      ArrivalSlots(2, TinyDataset().user_schema.total_slots(), 77);
+  EXPECT_EQ(session->IngestNode(true, arrivals[0]), TinyDataset().num_users);
+  EXPECT_EQ(session->IngestNode(true, arrivals[1]),
+            TinyDataset().num_users + 1);
+  EXPECT_EQ(session->num_users(), TinyDataset().num_users + 2);
+  EXPECT_EQ(session->num_items(), TinyDataset().num_items);
+
+  // The freshly ingested node answers a prediction right away.
+  const size_t s = session->neighbors_per_node();
+  Rng rng(5);
+  std::vector<size_t> user_neigh;
+  std::vector<size_t> item_neigh;
+  session->SampleIngestNeighborsInto(true, TinyDataset().num_users, s, &rng,
+                                     &user_neigh);
+  session->SampleIngestNeighborsInto(false, 0, s, &rng, &item_neigh);
+  const float p =
+      session->Predict(TinyDataset().num_users, 0, user_neigh, item_neigh);
+  EXPECT_TRUE(std::isfinite(p));
+
+  const auto& stats = session->ingest_stats();
+  EXPECT_EQ(stats.ingested_users, 2u);
+  EXPECT_EQ(stats.ingested_items, 0u);
+}
+
+// The tentpole contract: lazy invalidate-and-refresh serves the same bytes
+// as the full batch rebuild of every cached row (RebuildIngestCaches), over
+// a probe set that includes the invalidated neighbors and the ingested
+// nodes themselves.
+TEST_F(IngestSessionTest, LazyRefreshBitwiseEqualsFullRebuild) {
+  auto lazy = MakeSession();
+  auto rebuilt = MakeSession();
+  lazy->EnableIngestion(TinyDataset());
+  rebuilt->EnableIngestion(TinyDataset());
+  IngestArrivals(lazy.get());
+  IngestArrivals(rebuilt.get());
+  rebuilt->RebuildIngestCaches();
+
+  const auto from_lazy = Probe(lazy.get(), kProbeUsers, kProbeItems);
+  const auto from_rebuilt = Probe(rebuilt.get(), kProbeUsers, kProbeItems);
+  ASSERT_EQ(from_lazy.size(), from_rebuilt.size());
+  for (size_t i = 0; i < from_lazy.size(); ++i) {
+    EXPECT_EQ(from_lazy[i], from_rebuilt[i]) << "probe " << i;
+  }
+  // The lazy session actually took the lazy path: inserts invalidated
+  // cached rows and the probe refreshed them on demand.
+  EXPECT_GT(lazy->ingest_stats().rows_invalidated, 0u);
+  EXPECT_GT(lazy->ingest_stats().rows_refreshed, 0u);
+}
+
+// A post-ingest rebuild is idempotent on the served bytes: probing, then
+// rebuilding, then probing again returns identical predictions.
+TEST_F(IngestSessionTest, RebuildAfterServingIsBitwiseNoOp) {
+  auto session = MakeSession();
+  session->EnableIngestion(TinyDataset());
+  IngestArrivals(session.get());
+
+  const auto before = Probe(session.get(), kProbeUsers, kProbeItems);
+  session->RebuildIngestCaches();
+  const auto after = Probe(session.get(), kProbeUsers, kProbeItems);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "probe " << i;
+  }
+}
+
+// The session's dynamic graphs match a from-scratch BuildKnnGraph over the
+// post-ingest attribute catalog — the graph half of the §17 contract.
+TEST_F(IngestSessionTest, DynamicGraphsMatchBatchRebuild) {
+  auto session = MakeSession();
+  InferenceSession::IngestOptions options;
+  options.top_k = 5;
+  session->EnableIngestion(TinyDataset(), options);
+  IngestArrivals(session.get());
+
+  auto user_slots = TinyDataset().user_attrs;
+  for (const auto& slots :
+       ArrivalSlots(4, TinyDataset().user_schema.total_slots(), 101)) {
+    user_slots.push_back(slots);
+  }
+  const graph::CsrGraph expected = graph::BuildKnnGraph(
+      graph::PairwiseBinaryCosine(user_slots,
+                                  TinyDataset().user_schema.total_slots()),
+      options.top_k);
+  const graph::CsrGraph actual = session->ingest_graph(true)->Flatten();
+  ASSERT_EQ(actual.offsets, expected.offsets);
+  ASSERT_EQ(actual.targets, expected.targets);
+  ASSERT_EQ(actual.weights.size(), expected.weights.size());
+  EXPECT_EQ(std::memcmp(actual.weights.data(), expected.weights.data(),
+                        actual.weights.size() * sizeof(double)),
+            0);
+}
+
+TEST_F(IngestSessionTest, RegistryMirrorsIngestCounters) {
+  obs::MetricsRegistry metrics;
+  InferenceSession session(model_, &flags_.users, &flags_.items, &metrics);
+  session.EnableIngestion(TinyDataset());
+  IngestArrivals(&session);
+  Probe(&session, kProbeUsers, kProbeItems);
+
+  const auto& stats = session.ingest_stats();
+  EXPECT_EQ(metrics.GetCounter("ingest/nodes")->value(),
+            stats.ingested_users + stats.ingested_items);
+  EXPECT_EQ(metrics.GetCounter("ingest/edges_linked")->value(),
+            stats.edges_linked);
+  EXPECT_EQ(metrics.GetCounter("ingest/rows_invalidated")->value(),
+            stats.rows_invalidated);
+  EXPECT_EQ(metrics.GetCounter("ingest/rows_refreshed")->value(),
+            stats.rows_refreshed);
+  EXPECT_EQ(stats.ingested_users, 4u);
+  EXPECT_EQ(stats.ingested_items, 3u);
+}
+
+}  // namespace
+}  // namespace agnn::core

@@ -347,5 +347,186 @@ TEST_F(ServingGatewayTest, ReplaySameSeedByteIdenticalSeries) {
   EXPECT_FALSE(first_json.empty());
 }
 
+// Random sorted-unique slot set within a schema — an arriving node's
+// attribute vector for the ingestion tests (DESIGN.md §17).
+std::vector<size_t> RandomSortedSlots(Rng* rng, size_t total_slots) {
+  std::vector<bool> active(total_slots, false);
+  for (int i = 0; i < 3; ++i) active[rng->UniformInt(total_slots)] = true;
+  std::vector<size_t> slots;
+  for (size_t s = 0; s < total_slots; ++s) {
+    if (active[s]) slots.push_back(s);
+  }
+  return slots;
+}
+
+// The §17 fence contract: an ingest flushes everything queued first, so
+// queued predicts are always served against the PRE-ingest state — their
+// bits must match a session that never ingests at all.
+TEST_F(ServingGatewayTest, IngestFenceServesQueuedPredictsPreIngest) {
+  session_->EnableIngestion(TinyDataset());
+  InferenceSession reference(model_, &cold_users_, &cold_items_);
+
+  ServingGatewayOptions options = ModeledOptions();
+  options.ingest_time_us = [](size_t edges) {
+    return 50.0 + static_cast<double>(edges);
+  };
+  std::vector<ServingCompletion> done;
+  ServingGateway gateway(session_.get(), options,
+                         [&](const ServingCompletion& c) { done.push_back(c); });
+  std::vector<IngestCompletion> ingests;
+  gateway.set_ingest_sink(
+      [&](const IngestCompletion& c) { ingests.push_back(c); });
+
+  std::vector<ServingRequest> stream = {MakeRequest(0), MakeRequest(1),
+                                        MakeRequest(2)};
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(gateway.Submit(stream[i], 10.0 * static_cast<double>(i)));
+  }
+  ASSERT_EQ(gateway.queue_depth(), 3u);
+  ASSERT_TRUE(done.empty());
+
+  IngestArrival arrival;
+  arrival.user_side = true;
+  Rng slot_rng(31);
+  arrival.attr_slots =
+      RandomSortedSlots(&slot_rng, TinyDataset().user_schema.total_slots());
+  const size_t node_id = gateway.SubmitIngest(arrival, 40.0);
+  EXPECT_EQ(node_id, TinyDataset().num_users);
+
+  ASSERT_EQ(done.size(), 3u);
+  for (size_t i = 0; i < done.size(); ++i) {
+    EXPECT_EQ(done[i].reason, FlushReason::kIngestFence) << i;
+    EXPECT_DOUBLE_EQ(done[i].flush_us, 40.0) << i;
+    const ServingRequest& req = stream[i];
+    EXPECT_EQ(done[i].prediction,
+              reference.Predict(req.user, req.item, req.user_neighbors,
+                                req.item_neighbors))
+        << "queued predict " << i << " saw post-ingest state";
+  }
+  EXPECT_EQ(gateway.stats().fence_flushes, 1u);
+  EXPECT_EQ(gateway.stats().ingested, 1u);
+
+  // Time-to-serve: the fenced batch (service 10 + 3 = 13 µs from t=40)
+  // occupies the server, then the modeled ingest runs to completion.
+  ASSERT_EQ(ingests.size(), 1u);
+  EXPECT_EQ(ingests[0].id, 0u);
+  EXPECT_EQ(ingests[0].node_id, node_id);
+  EXPECT_TRUE(ingests[0].user_side);
+  EXPECT_DOUBLE_EQ(ingests[0].arrival_us, 40.0);
+  EXPECT_DOUBLE_EQ(ingests[0].complete_us,
+                   53.0 + 50.0 +
+                       static_cast<double>(ingests[0].edges_linked));
+  EXPECT_DOUBLE_EQ(ingests[0].latency_us,
+                   ingests[0].complete_us - ingests[0].arrival_us);
+}
+
+// Replay contract extended to a mutating stream: the same interleaved
+// predict/ingest arrival sequence against a fresh session yields
+// byte-identical completions of BOTH kinds.
+TEST_F(ServingGatewayTest, InterleavedIngestPredictReplayIsByteIdentical) {
+  auto run = [&](std::vector<ServingCompletion>* done,
+                 std::vector<IngestCompletion>* ingests) {
+    InferenceSession session(model_, &cold_users_, &cold_items_);
+    session.EnableIngestion(TinyDataset());
+    ServingGatewayOptions options = ModeledOptions();
+    options.ingest_time_us = [](size_t edges) {
+      return 40.0 + 2.0 * static_cast<double>(edges);
+    };
+    ServingGateway gateway(
+        &session, options,
+        [&](const ServingCompletion& c) { done->push_back(c); });
+    gateway.set_ingest_sink(
+        [&](const IngestCompletion& c) { ingests->push_back(c); });
+    Rng arrivals(13);
+    Rng slot_rng(29);
+    double now = 0.0;
+    for (uint64_t i = 0; i < 40; ++i) {
+      now += arrivals.Uniform(0.0, 60.0);
+      if (i % 7 == 3) {
+        IngestArrival arrival;
+        arrival.user_side = (i % 2 == 1);
+        arrival.attr_slots = RandomSortedSlots(
+            &slot_rng, arrival.user_side
+                           ? TinyDataset().user_schema.total_slots()
+                           : TinyDataset().item_schema.total_slots());
+        gateway.SubmitIngest(arrival, now);
+      } else {
+        gateway.Submit(MakeRequest(i), now);
+      }
+    }
+    gateway.Drain(now + 500.0);
+    // The interleave really exercised the fence path.
+    EXPECT_GT(gateway.stats().fence_flushes, 0u);
+    EXPECT_EQ(gateway.stats().ingested, 6u);
+  };
+  std::vector<ServingCompletion> done_a;
+  std::vector<ServingCompletion> done_b;
+  std::vector<IngestCompletion> ingests_a;
+  std::vector<IngestCompletion> ingests_b;
+  run(&done_a, &ingests_a);
+  run(&done_b, &ingests_b);
+
+  ASSERT_EQ(done_a.size(), done_b.size());
+  for (size_t i = 0; i < done_a.size(); ++i) {
+    EXPECT_EQ(done_a[i].id, done_b[i].id) << i;
+    EXPECT_EQ(done_a[i].prediction, done_b[i].prediction) << i;
+    EXPECT_EQ(done_a[i].batch, done_b[i].batch) << i;
+    EXPECT_EQ(done_a[i].batch_size, done_b[i].batch_size) << i;
+    EXPECT_EQ(done_a[i].reason, done_b[i].reason) << i;
+    EXPECT_DOUBLE_EQ(done_a[i].flush_us, done_b[i].flush_us) << i;
+    EXPECT_DOUBLE_EQ(done_a[i].complete_us, done_b[i].complete_us) << i;
+    EXPECT_DOUBLE_EQ(done_a[i].latency_us, done_b[i].latency_us) << i;
+  }
+  ASSERT_EQ(ingests_a.size(), ingests_b.size());
+  for (size_t i = 0; i < ingests_a.size(); ++i) {
+    EXPECT_EQ(ingests_a[i].id, ingests_b[i].id) << i;
+    EXPECT_EQ(ingests_a[i].node_id, ingests_b[i].node_id) << i;
+    EXPECT_EQ(ingests_a[i].user_side, ingests_b[i].user_side) << i;
+    EXPECT_EQ(ingests_a[i].edges_linked, ingests_b[i].edges_linked) << i;
+    EXPECT_DOUBLE_EQ(ingests_a[i].arrival_us, ingests_b[i].arrival_us) << i;
+    EXPECT_DOUBLE_EQ(ingests_a[i].complete_us, ingests_b[i].complete_us) << i;
+    EXPECT_DOUBLE_EQ(ingests_a[i].latency_us, ingests_b[i].latency_us) << i;
+  }
+}
+
+TEST_F(ServingGatewayTest, IngestCountersAndSeriesTracks) {
+  session_->EnableIngestion(TinyDataset());
+  obs::MetricsRegistry registry;
+  obs::TimeSeries series(
+      {.capacity = 64, .period = 100.0, .clock = "virtual_us"});
+  ServingGatewayOptions options = ModeledOptions();
+  options.ingest_time_us = [](size_t edges) {
+    return 50.0 + static_cast<double>(edges);
+  };
+  ServingGateway gateway(session_.get(), options, nullptr, &registry, nullptr,
+                         &series);
+  Rng slot_rng(41);
+  double now = 0.0;
+  for (uint64_t i = 0; i < 8; ++i) {
+    now = 30.0 * static_cast<double>(i + 1);
+    if (i % 4 == 2) {
+      IngestArrival arrival;
+      arrival.user_side = (i % 2 == 0);
+      arrival.attr_slots = RandomSortedSlots(
+          &slot_rng, arrival.user_side
+                         ? TinyDataset().user_schema.total_slots()
+                         : TinyDataset().item_schema.total_slots());
+      gateway.SubmitIngest(arrival, now);
+    } else {
+      gateway.Submit(MakeRequest(i), now);
+    }
+  }
+  gateway.Drain(now + 500.0);
+
+  EXPECT_EQ(gateway.stats().ingested, 2u);
+  EXPECT_EQ(registry.GetCounter("gateway/ingested")->value(), 2u);
+  EXPECT_EQ(registry.GetCounter("gateway/flush_fence")->value(),
+            gateway.stats().fence_flushes);
+  EXPECT_EQ(registry.GetHistogram("gateway/ingest_ms")->count(), 2u);
+  ASSERT_NE(series.FindTrack("ingested"), nullptr);
+  ASSERT_NE(series.FindTrack("ingest_p95_ms"), nullptr);
+  EXPECT_EQ(series.FindTrack("ingested")->back(), 2.0);
+}
+
 }  // namespace
 }  // namespace agnn::core

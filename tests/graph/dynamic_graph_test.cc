@@ -1,0 +1,170 @@
+#include "agnn/graph/dynamic_graph.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agnn/common/rng.h"
+#include "agnn/graph/attribute_graph.h"
+#include "agnn/graph/graph.h"
+#include "agnn/graph/proximity.h"
+
+namespace agnn::graph {
+namespace {
+
+// The §17 rebuild-equivalence oracle: what a from-scratch build over the
+// same slot catalog produces.
+CsrGraph BatchBuild(const std::vector<std::vector<size_t>>& slots,
+                    size_t num_slots, size_t k) {
+  return BuildKnnGraph(PairwiseBinaryCosine(slots, num_slots), k);
+}
+
+// Byte-for-byte CSR equality — weights compared as exact doubles, not
+// within a tolerance, because the contract is bitwise.
+void ExpectCsrIdentical(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_nodes, b.num_nodes);
+  ASSERT_EQ(a.offsets, b.offsets);
+  ASSERT_EQ(a.targets, b.targets);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  if (!a.weights.empty()) {
+    EXPECT_EQ(std::memcmp(a.weights.data(), b.weights.data(),
+                          a.weights.size() * sizeof(double)),
+              0);
+  }
+}
+
+std::vector<std::vector<size_t>> RandomSlots(size_t nodes, size_t num_slots,
+                                             size_t per_node, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<size_t>> slots(nodes);
+  for (auto& row : slots) {
+    std::vector<bool> active(num_slots, false);
+    for (size_t i = 0; i < per_node; ++i) {
+      active[rng.UniformInt(num_slots)] = true;
+    }
+    for (size_t s = 0; s < num_slots; ++s) {
+      if (active[s]) row.push_back(s);
+    }
+  }
+  return slots;
+}
+
+TEST(DynamicKnnGraphTest, InitialGraphMatchesBatchBuilder) {
+  const auto slots = RandomSlots(40, 12, 4, 7);
+  DynamicKnnGraph dynamic(slots, 12, 5);
+  ExpectCsrIdentical(dynamic.Flatten(), BatchBuild(slots, 12, 5));
+  EXPECT_EQ(dynamic.rows_invalidated(), 0u);
+  EXPECT_EQ(dynamic.edges_linked(), 0u);
+}
+
+TEST(DynamicKnnGraphTest, InsertSequenceMatchesRebuildByteForByte) {
+  auto slots = RandomSlots(30, 10, 3, 11);
+  DynamicKnnGraph dynamic(slots, 10, 4);
+  const auto arrivals = RandomSlots(12, 10, 3, 99);
+  for (const auto& node : arrivals) {
+    const auto inserted = dynamic.InsertNode(node);
+    slots.push_back(node);
+    EXPECT_EQ(inserted.id, slots.size() - 1);
+    ExpectCsrIdentical(dynamic.Flatten(), BatchBuild(slots, 10, 4));
+  }
+}
+
+TEST(DynamicKnnGraphTest, TiedSimilaritiesMatchRebuild) {
+  // Every node shares the identical slot set, so every pairwise similarity
+  // is exactly 1.0 and the top-k selection is pure tie-breaking — the
+  // incremental refresh must reproduce partial_sort's tie order, not just
+  // "some" top-k.
+  std::vector<std::vector<size_t>> slots(9, {0, 1});
+  DynamicKnnGraph dynamic(slots, 4, 3);
+  for (size_t i = 0; i < 4; ++i) {
+    dynamic.InsertNode({0, 1});
+    slots.push_back({0, 1});
+    ExpectCsrIdentical(dynamic.Flatten(), BatchBuild(slots, 4, 3));
+  }
+}
+
+TEST(DynamicKnnGraphTest, KLargerThanCandidatePoolKeepsAscendingRows) {
+  // 3 nodes sharing a slot, k = 8: rows are shorter than k, and
+  // TruncateTopK leaves short rows in ascending-id order.
+  std::vector<std::vector<size_t>> slots = {{0}, {0, 1}, {0, 2}};
+  DynamicKnnGraph dynamic(slots, 4, 8);
+  const auto inserted = dynamic.InsertNode({0, 3});
+  slots.push_back({0, 3});
+  EXPECT_EQ(inserted.touched, (std::vector<size_t>{0, 1, 2}));
+  for (size_t n = 0; n < dynamic.num_nodes(); ++n) {
+    const auto row = dynamic.Neighbors(n);
+    ASSERT_LE(row.size(), 8u);
+    for (size_t i = 1; i < row.size(); ++i) EXPECT_LT(row[i - 1], row[i]);
+  }
+  ExpectCsrIdentical(dynamic.Flatten(), BatchBuild(slots, 4, 8));
+}
+
+TEST(DynamicKnnGraphTest, NodesNeverNeighborThemselves) {
+  auto slots = RandomSlots(20, 6, 3, 3);
+  DynamicKnnGraph dynamic(slots, 6, 4);
+  for (size_t i = 0; i < 6; ++i) {
+    dynamic.InsertNode(RandomSlots(1, 6, 3, 1000 + i)[0]);
+  }
+  for (size_t n = 0; n < dynamic.num_nodes(); ++n) {
+    for (size_t v : dynamic.Neighbors(n)) EXPECT_NE(v, n);
+  }
+}
+
+TEST(DynamicKnnGraphTest, AttributeFreeNodeInsertsIsolated) {
+  auto slots = RandomSlots(10, 5, 2, 21);
+  slots[4].clear();  // a zero-norm base node stays isolated too
+  DynamicKnnGraph dynamic(slots, 5, 3);
+  const auto inserted = dynamic.InsertNode({});
+  slots.push_back({});
+  EXPECT_TRUE(inserted.touched.empty());
+  EXPECT_TRUE(dynamic.Neighbors(inserted.id).empty());
+  EXPECT_TRUE(dynamic.Neighbors(4).empty());
+  ExpectCsrIdentical(dynamic.Flatten(), BatchBuild(slots, 5, 3));
+  // And later arrivals still never link the attribute-free nodes.
+  dynamic.InsertNode({0, 1, 2, 3, 4});
+  slots.push_back({0, 1, 2, 3, 4});
+  EXPECT_TRUE(dynamic.Neighbors(inserted.id).empty());
+  ExpectCsrIdentical(dynamic.Flatten(), BatchBuild(slots, 5, 3));
+}
+
+TEST(DynamicKnnGraphTest, SamplingMatchesFlattenedCsr) {
+  auto slots = RandomSlots(25, 8, 3, 17);
+  DynamicKnnGraph dynamic(slots, 8, 4);
+  for (size_t i = 0; i < 5; ++i) {
+    dynamic.InsertNode(RandomSlots(1, 8, 3, 500 + i)[0]);
+  }
+  CsrGraph flat = dynamic.Flatten();
+  for (size_t n = 0; n < flat.num_nodes; ++n) {
+    Rng a(42 + n);
+    Rng b(42 + n);
+    std::vector<size_t> from_dynamic;
+    std::vector<size_t> from_csr;
+    dynamic.SampleNeighborsInto(n, 6, &a, &from_dynamic);
+    SampleNeighborsInto(flat, n, 6, &b, &from_csr);
+    EXPECT_EQ(from_dynamic, from_csr) << "node " << n;
+  }
+}
+
+TEST(DynamicKnnGraphTest, ChurnCountersTrackInvalidationAndLazyRefresh) {
+  std::vector<std::vector<size_t>> slots = {{0}, {0}, {1}};
+  DynamicKnnGraph dynamic(slots, 3, 2);
+  const auto inserted = dynamic.InsertNode({0});
+  EXPECT_EQ(inserted.touched, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(dynamic.edges_linked(), 2u);
+  EXPECT_EQ(dynamic.rows_invalidated(), 2u);
+  EXPECT_EQ(dynamic.rows_refreshed(), 0u);
+  // First read refreshes; the second is served from the refreshed row.
+  dynamic.Neighbors(0);
+  EXPECT_EQ(dynamic.rows_refreshed(), 1u);
+  dynamic.Neighbors(0);
+  EXPECT_EQ(dynamic.rows_refreshed(), 1u);
+  // A second insert touching an already-stale row does not double-count.
+  dynamic.InsertNode({0});
+  EXPECT_EQ(dynamic.rows_invalidated(), 4u);  // rows 0 and 3 fresh, 1 stale
+  dynamic.Neighbors(1);
+  EXPECT_EQ(dynamic.rows_refreshed(), 2u);
+}
+
+}  // namespace
+}  // namespace agnn::graph

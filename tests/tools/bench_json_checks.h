@@ -151,6 +151,38 @@ inline std::string CheckBenchJson(const obs::JsonValue& root) {
     }
   }
 
+  // Ingestion artifacts carry the online cold-start contract (DESIGN.md
+  // §17): per-node time-to-serve tails, the incremental churn counters and
+  // their batch-rebuild comparison, both bitwise gates, and the "ingestion"
+  // series the trajectory charts time-to-serve from.
+  if (name->string == "cold_ingestion") {
+    const obs::JsonValue& metrics = *root.Find("metrics");
+    for (const char* key :
+         {"ingest/count", "ingest/p50_ms", "ingest/p95_ms",
+          "ingest/edges_linked", "churn/rows_invalidated",
+          "churn/rows_refreshed", "rebuild/ms", "rebuild/rows",
+          "gate/bitwise_equal", "gate/rebuild_bitwise_equal"}) {
+      const obs::JsonValue* v = metrics.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return std::string("ingestion artifact missing numeric metric \"") +
+               key + "\"";
+      }
+    }
+    const obs::JsonValue* ingestion = series->Find("ingestion");
+    if (ingestion == nullptr || !ingestion->is_object()) {
+      return "ingestion artifact missing series \"ingestion\"";
+    }
+    const obs::JsonValue* tracks = ingestion->Find("tracks");
+    for (const char* track : {"ingested", "ingest_p95_ms", "catalog_nodes"}) {
+      const obs::JsonValue* v = tracks == nullptr ? nullptr
+                                                  : tracks->Find(track);
+      if (v == nullptr) {
+        return std::string("ingestion series missing track \"") + track +
+               "\"";
+      }
+    }
+  }
+
   // Quantized-serving artifacts carry the accuracy gate (DESIGN.md §15):
   // the f32-vs-int8 accuracy deltas, the Table-2 ordering-preservation
   // verdict, the artifact/RSS compression ratios, and the f32 bitwise gate
